@@ -1,0 +1,157 @@
+//! Exact KNN by exhaustive pairwise comparison.
+
+use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_sim::{ProfileStore, Similarity};
+
+/// Computes the exact KNN graph: every user's true top-`K` most
+/// similar users under `measure`, ties broken by ascending id (the
+/// workspace-wide deterministic order).
+///
+/// `O(n²)` similarity evaluations, split across `threads` workers —
+/// the ground truth for every recall number in EXPERIMENTS.md.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `threads == 0`.
+///
+/// ```
+/// use knn_baseline::brute_force_knn;
+/// use knn_sim::{Measure, Profile, ProfileStore};
+///
+/// let store: ProfileStore = vec![
+///     Profile::from_items(vec![1, 2]).unwrap(),
+///     Profile::from_items(vec![1, 2]).unwrap(),
+///     Profile::from_items(vec![9]).unwrap(),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let g = brute_force_knn(&store, &Measure::Jaccard, 1, 1);
+/// assert_eq!(g.neighbors(knn_graph::UserId::new(0))[0].id.raw(), 1);
+/// ```
+pub fn brute_force_knn<M: Similarity>(
+    profiles: &ProfileStore,
+    measure: &M,
+    k: usize,
+    threads: usize,
+) -> KnnGraph {
+    assert!(k > 0, "K must be positive");
+    assert!(threads > 0, "need at least one thread");
+    let n = profiles.num_users();
+    let mut graph = KnnGraph::new(n, k);
+    if n < 2 {
+        return graph;
+    }
+
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let mut lists: Vec<(usize, Vec<Vec<Neighbor>>)> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                    for s in lo..hi {
+                        let sp = profiles.get(UserId::new(s as u32));
+                        let mut acc: Vec<Neighbor> = Vec::with_capacity(n - 1);
+                        for d in 0..n {
+                            if d == s {
+                                continue;
+                            }
+                            let sim = measure.score(sp, profiles.get(UserId::new(d as u32)));
+                            acc.push(Neighbor::new(UserId::new(d as u32), sim));
+                        }
+                        acc.sort();
+                        acc.truncate(k);
+                        out.push(acc);
+                    }
+                    (lo, out)
+                })
+            })
+            .collect();
+        for h in handles {
+            lists.push(h.join().expect("brute-force worker panicked"));
+        }
+    });
+
+    for (lo, chunk_lists) in lists {
+        for (off, list) in chunk_lists.into_iter().enumerate() {
+            graph
+                .set_neighbors(UserId::new((lo + off) as u32), list)
+                .expect("brute-force output satisfies invariants");
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+    use knn_sim::{ItemId, Measure, Profile};
+
+    fn store_of(n: usize) -> ProfileStore {
+        let mut s = ProfileStore::new(n);
+        for u in 0..n as u32 {
+            let p = s.get_mut(UserId::new(u));
+            p.set(ItemId::new(u), 1.0);
+            p.set(ItemId::new(u + 1), 1.0);
+        }
+        s
+    }
+
+    #[test]
+    fn finds_obvious_nearest_neighbors() {
+        // Users 0 and 1 share item 1; user 2 shares item 2 with 1.
+        let g = brute_force_knn(&store_of(3), &Measure::Cosine, 1, 1);
+        assert_eq!(g.neighbors(UserId::new(0))[0].id, UserId::new(1));
+        assert_eq!(g.neighbors(UserId::new(2))[0].id, UserId::new(1));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let (store, _) = clustered_profiles(ClusteredConfig::new(50, 3));
+        let a = brute_force_knn(&store, &Measure::Cosine, 5, 1);
+        let b = brute_force_knn(&store, &Measure::Cosine, 5, 4);
+        let c = brute_force_knn(&store, &Measure::Cosine, 5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn every_user_gets_k_neighbors() {
+        let g = brute_force_knn(&store_of(10), &Measure::Cosine, 3, 2);
+        for u in 0..10u32 {
+            assert_eq!(g.neighbors(UserId::new(u)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_caps_at_n_minus_one() {
+        let g = brute_force_knn(&store_of(3), &Measure::Cosine, 10, 1);
+        for u in 0..3u32 {
+            assert_eq!(g.neighbors(UserId::new(u)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn single_user_graph_is_empty() {
+        let store: ProfileStore =
+            vec![Profile::from_items(vec![1]).unwrap()].into_iter().collect();
+        let g = brute_force_knn(&store, &Measure::Cosine, 3, 2);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        // Users 1, 2, 3 identical; user 0 ties with all of them.
+        let mut s = ProfileStore::new(4);
+        for u in 0..4u32 {
+            s.get_mut(UserId::new(u)).set(ItemId::new(0), 1.0);
+        }
+        let g = brute_force_knn(&s, &Measure::Cosine, 2, 1);
+        let ids: Vec<u32> = g.neighbors(UserId::new(0)).iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

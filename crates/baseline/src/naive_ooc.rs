@@ -1,0 +1,170 @@
+//! The naive out-of-core strawman.
+//!
+//! The paper's motivation: *"inefficient accesses of disk lead to poor
+//! utility in terms of computational power"*. This baseline runs the
+//! **same** KNN iteration as the engine — identical candidate set,
+//! similarity, and tie-breaking — but processes users in plain id
+//! order and demand-loads whichever partition each candidate happens
+//! to live in. No hash-table bucketing, no PI graph, no traversal
+//! planning: every cross-partition candidate is a potential partition
+//! swap. Comparing its load/unload count against the engine's is the
+//! clearest quantification of what phases 2–3 buy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use knn_core::partition::Partitioning;
+use knn_core::phase2::reference_tuple_set;
+use knn_core::topk::TopKAccumulator;
+use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_sim::{Profile, Similarity};
+use knn_store::record_file::read_user_lists;
+use knn_store::{CacheCounters, IoStats, RecordKind, SlotCache, StoreError, WorkingDir};
+
+use knn_core::EngineError;
+
+/// Result of a naive out-of-core iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveOocOutput {
+    /// The next KNN graph (identical to the engine's, by design).
+    pub graph: KnnGraph,
+    /// Partition cache operations — the number to compare against the
+    /// engine's Table-1 metric.
+    pub cache: CacheCounters,
+    /// Similarity evaluations performed.
+    pub sims_computed: u64,
+}
+
+/// Runs one random-access KNN iteration over partitioned profile files
+/// (the same on-disk layout the engine uses; see
+/// [`knn_core::phase1::reshard_profiles`]).
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] on I/O failures or corrupt files.
+pub fn naive_out_of_core_iteration<M: Similarity>(
+    graph: &KnnGraph,
+    partitioning: &Partitioning,
+    workdir: &WorkingDir,
+    stats: &Arc<IoStats>,
+    measure: &M,
+    k: usize,
+    cache_slots: usize,
+) -> Result<NaiveOocOutput, EngineError> {
+    let n = graph.num_vertices();
+    let mut cache: SlotCache<HashMap<u32, Profile>> =
+        SlotCache::new(cache_slots).with_io_stats(Arc::clone(stats));
+    let mut sims_computed = 0u64;
+
+    // The same candidate tuples the engine scores, but consumed in
+    // user-id order with no locality planning.
+    let mut tuples: Vec<(u32, u32)> = reference_tuple_set(graph).into_iter().collect();
+    tuples.sort_unstable();
+
+    let load = |p: u32| -> Result<HashMap<u32, Profile>, EngineError> {
+        let rows = read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
+        let mut map = HashMap::with_capacity(rows.len());
+        for (user, row) in rows {
+            let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
+                EngineError::Store(StoreError::corrupt(
+                    workdir.profiles_path(p),
+                    format!("invalid profile for user {user}: {e}"),
+                ))
+            })?;
+            map.insert(user, profile);
+        }
+        Ok(map)
+    };
+
+    let mut accums: Vec<TopKAccumulator> = (0..n).map(|_| TopKAccumulator::new(k)).collect();
+    for &(s, d) in &tuples {
+        let ps = partitioning.partition_of(UserId::new(s));
+        let pd = partitioning.partition_of(UserId::new(d));
+        cache.ensure(ps, None, load, |_, _| Ok(()))?;
+        if pd != ps {
+            cache.ensure(pd, Some(ps), load, |_, _| Ok(()))?;
+        }
+        let sp = &cache.get(ps).expect("resident")[&s];
+        let dp = &cache.get(pd).expect("resident")[&d];
+        let sim = measure.score(sp, dp);
+        sims_computed += 1;
+        accums[s as usize].offer(Neighbor::new(UserId::new(d), sim));
+    }
+    cache.flush(|_, _| Ok::<(), EngineError>(()))?;
+
+    let mut next = KnnGraph::new(n, k);
+    for (v, acc) in accums.into_iter().enumerate() {
+        next.set_neighbors(UserId::new(v as u32), acc.into_sorted())?;
+    }
+    Ok(NaiveOocOutput { graph: next, cache: cache.counters(), sims_computed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_core::phase1::reshard_profiles;
+    use knn_core::reference::reference_iteration;
+    use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+    use knn_sim::{Measure, ProfileStore};
+
+    fn world(n: usize, m: usize, seed: u64) -> (KnnGraph, ProfileStore, Partitioning, WorkingDir, Arc<IoStats>) {
+        let (profiles, _) = clustered_profiles(
+            ClusteredConfig::new(n, seed).with_clusters(4).with_ratings(10, 2),
+        );
+        let g = KnnGraph::random_init(n, 4, seed);
+        let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
+        let p = Partitioning::from_assignment(assignment, m).unwrap();
+        let wd = WorkingDir::temp("naive_ooc").unwrap();
+        let stats = Arc::new(IoStats::new());
+        reshard_profiles(&wd, None, &p, Some(&profiles), &stats).unwrap();
+        (g, profiles, p, wd, stats)
+    }
+
+    #[test]
+    fn matches_the_reference_iteration() {
+        let (g, profiles, p, wd, stats) = world(40, 5, 3);
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
+            .unwrap();
+        let expected = reference_iteration(&g, &profiles, &Measure::Cosine, 4, false);
+        assert_eq!(out.graph, expected);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn pays_far_more_partition_ops_than_locality_planning_would() {
+        let (g, _, p, wd, stats) = world(60, 6, 7);
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
+            .unwrap();
+        // The PI schedule touches each pair once: at most
+        // 2 * (m*(m+1)/2) loads. Random access does much worse.
+        let m = 6u64;
+        let planned_upper = 2 * (m * (m + 1)) / 2 + 2 * m;
+        assert!(
+            out.cache.total_ops() > 2 * planned_upper,
+            "naive ops {} vs planned upper bound {}",
+            out.cache.total_ops(),
+            planned_upper
+        );
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn single_partition_needs_exactly_one_load() {
+        let (g, _, _, wd, stats) = world(20, 1, 1);
+        let p = Partitioning::from_assignment(vec![0; 20], 1).unwrap();
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
+            .unwrap();
+        assert_eq!(out.cache.loads, 1);
+        assert_eq!(out.cache.unloads, 1);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn sims_match_tuple_count() {
+        let (g, _, p, wd, stats) = world(30, 3, 9);
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
+            .unwrap();
+        assert_eq!(out.sims_computed as usize, reference_tuple_set(&g).len());
+        wd.destroy().unwrap();
+    }
+}

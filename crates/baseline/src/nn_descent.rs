@@ -1,0 +1,323 @@
+//! In-memory NN-Descent (Dong, Moses & Li, WWW 2011) — the paper's
+//! reference \[1\].
+//!
+//! NN-Descent refines a random KNN graph by *local joins*: neighbors of
+//! neighbors are likely neighbors. This implementation follows the
+//! published algorithm with the incremental-search optimization (only
+//! pairs involving a "new" entry are rescored), sampling rate `ρ`, and
+//! the `δ·n·K` early-termination rule. It is the in-memory counterpart
+//! of the out-of-core engine: same candidate logic, no disk, full
+//! random access — the thing a commodity PC *cannot* run once profiles
+//! outgrow RAM.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_sim::{ProfileStore, Similarity};
+
+/// NN-Descent parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnDescentConfig {
+    /// The KNN bound `K`.
+    pub k: usize,
+    /// Sampling rate `ρ` of new/reverse lists (paper default 0.5; 1.0
+    /// reproduces the unsampled algorithm).
+    pub rho: f64,
+    /// Termination threshold `δ`: stop when an iteration performs
+    /// fewer than `δ·n·K` list updates (paper default 0.001).
+    pub delta: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// RNG seed (initial graph + sampling).
+    pub seed: u64,
+}
+
+impl NnDescentConfig {
+    /// The paper's defaults: `ρ = 0.5`, `δ = 0.001`, 30 iterations cap.
+    pub fn new(k: usize, seed: u64) -> Self {
+        NnDescentConfig { k, rho: 0.5, delta: 0.001, max_iterations: 30, seed }
+    }
+}
+
+/// Outcome of an NN-Descent run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnDescentOutcome {
+    /// The final KNN graph.
+    pub graph: KnnGraph,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Similarity evaluations performed.
+    pub sims_computed: u64,
+    /// Whether the `δ` rule triggered (vs. the iteration cap).
+    pub converged: bool,
+}
+
+/// The NN-Descent solver.
+#[derive(Debug)]
+pub struct NnDescent<'a, M> {
+    profiles: &'a ProfileStore,
+    measure: &'a M,
+    config: NnDescentConfig,
+}
+
+/// Per-vertex entry state: the scored neighbor plus its "new" flag.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    neighbor: Neighbor,
+    is_new: bool,
+}
+
+impl<'a, M: Similarity> NnDescent<'a, M> {
+    /// Creates a solver over `profiles` with `measure`.
+    pub fn new(profiles: &'a ProfileStore, measure: &'a M, config: NnDescentConfig) -> Self {
+        NnDescent { profiles, measure, config }
+    }
+
+    /// Runs NN-Descent from a random initial graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `ρ ∉ (0, 1]`, or `δ < 0`.
+    pub fn run(&self) -> NnDescentOutcome {
+        let NnDescentConfig { k, rho, delta, max_iterations, seed } = self.config;
+        assert!(k > 0, "K must be positive");
+        assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
+        assert!(delta >= 0.0, "delta must be non-negative");
+
+        let n = self.profiles.num_users();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sims_computed = 0u64;
+
+        // B[v] ← K random entries, all flagged new, scored lazily at
+        // first join (score them now for correctness of eviction).
+        let init = KnnGraph::random_init(n, k, seed);
+        let mut lists: Vec<Vec<Entry>> = (0..n)
+            .map(|v| {
+                init.neighbors(UserId::new(v as u32))
+                    .iter()
+                    .map(|nb| {
+                        let sim = self.score(v as u32, nb.id.raw(), &mut sims_computed);
+                        Entry { neighbor: Neighbor::new(nb.id, sim), is_new: true }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let sample_cap = ((rho * k as f64).ceil() as usize).max(1);
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for _ in 0..max_iterations {
+            iterations += 1;
+            // Build sampled old/new forward lists and clear the flags
+            // of sampled new entries (incremental search).
+            let mut old_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for v in 0..n {
+                let mut new_indices: Vec<usize> = Vec::new();
+                for (i, e) in lists[v].iter().enumerate() {
+                    if e.is_new {
+                        new_indices.push(i);
+                    } else {
+                        old_fwd[v].push(e.neighbor.id.raw());
+                    }
+                }
+                new_indices.shuffle(&mut rng);
+                new_indices.truncate(sample_cap);
+                for &i in &new_indices {
+                    lists[v][i].is_new = false;
+                    new_fwd[v].push(lists[v][i].neighbor.id.raw());
+                }
+            }
+
+            // Reverse lists, sampled to ρK.
+            let mut old_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut new_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for v in 0..n {
+                for &u in &old_fwd[v] {
+                    old_rev[u as usize].push(v as u32);
+                }
+                for &u in &new_fwd[v] {
+                    new_rev[u as usize].push(v as u32);
+                }
+            }
+            for v in 0..n {
+                old_rev[v].shuffle(&mut rng);
+                old_rev[v].truncate(sample_cap);
+                new_rev[v].shuffle(&mut rng);
+                new_rev[v].truncate(sample_cap);
+            }
+
+            // Local joins.
+            let mut updates = 0u64;
+            for v in 0..n {
+                let news: Vec<u32> = new_fwd[v]
+                    .iter()
+                    .chain(new_rev[v].iter())
+                    .copied()
+                    .collect();
+                let olds: Vec<u32> = old_fwd[v]
+                    .iter()
+                    .chain(old_rev[v].iter())
+                    .copied()
+                    .collect();
+                // new × new (unordered) and new × old.
+                for (i, &u1) in news.iter().enumerate() {
+                    for &u2 in news.iter().skip(i + 1) {
+                        updates += self.join(&mut lists, u1, u2, &mut sims_computed);
+                    }
+                    for &u2 in &olds {
+                        updates += self.join(&mut lists, u1, u2, &mut sims_computed);
+                    }
+                }
+            }
+
+            if (updates as f64) <= delta * (n as f64) * (k as f64) {
+                converged = true;
+                break;
+            }
+        }
+
+        let mut graph = KnnGraph::new(n, k);
+        for (v, list) in lists.into_iter().enumerate() {
+            let neighbors: Vec<Neighbor> = list.into_iter().map(|e| e.neighbor).collect();
+            graph
+                .set_neighbors(UserId::new(v as u32), neighbors)
+                .expect("NN-Descent lists satisfy the KNN invariants");
+        }
+        NnDescentOutcome { graph, iterations, sims_computed, converged }
+    }
+
+    fn score(&self, a: u32, b: u32, counter: &mut u64) -> f32 {
+        *counter += 1;
+        self.measure.score(
+            self.profiles.get(UserId::new(a)),
+            self.profiles.get(UserId::new(b)),
+        )
+    }
+
+    /// Scores the pair `(u1, u2)` and offers each to the other's list;
+    /// returns the number of list changes (0..=2).
+    fn join(&self, lists: &mut [Vec<Entry>], u1: u32, u2: u32, counter: &mut u64) -> u64 {
+        if u1 == u2 {
+            return 0;
+        }
+        let sim = self.score(u1, u2, counter);
+        let mut changed = 0;
+        for (from, to) in [(u1, u2), (u2, u1)] {
+            if offer(&mut lists[from as usize], self.config.k, Neighbor::new(UserId::new(to), sim))
+            {
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+/// Offers a candidate into a bounded entry list (best-first order,
+/// dedup by id keeping the better score); new entries are flagged.
+fn offer(list: &mut Vec<Entry>, k: usize, cand: Neighbor) -> bool {
+    if let Some(pos) = list.iter().position(|e| e.neighbor.id == cand.id) {
+        if cand.beats(&list[pos].neighbor) {
+            list.remove(pos);
+            let at = list.partition_point(|e| e.neighbor.beats(&cand));
+            list.insert(at, Entry { neighbor: cand, is_new: true });
+            return true;
+        }
+        return false;
+    }
+    if list.len() < k {
+        let at = list.partition_point(|e| e.neighbor.beats(&cand));
+        list.insert(at, Entry { neighbor: cand, is_new: true });
+        return true;
+    }
+    if cand.beats(&list.last().expect("non-empty").neighbor) {
+        list.pop();
+        let at = list.partition_point(|e| e.neighbor.beats(&cand));
+        list.insert(at, Entry { neighbor: cand, is_new: true });
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_knn;
+    use crate::recall::recall_at_k;
+    use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+    use knn_sim::Measure;
+
+    #[test]
+    fn reaches_high_recall_on_clustered_data() {
+        let (store, _) = clustered_profiles(
+            ClusteredConfig::new(120, 5).with_clusters(6).with_ratings(15, 2),
+        );
+        let truth = brute_force_knn(&store, &Measure::Cosine, 5, 2);
+        let outcome =
+            NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(5, 5)).run();
+        let recall = recall_at_k(&outcome.graph, &truth);
+        assert!(recall.mean_recall > 0.85, "recall {:.3} too low", recall.mean_recall);
+        assert!(outcome.iterations >= 2);
+    }
+
+    #[test]
+    fn needs_fewer_sims_than_brute_force() {
+        // NN-Descent's sampled local join beats O(n²) once n is large
+        // enough relative to K; at small n the join overlap dominates.
+        let (store, _) = clustered_profiles(ClusteredConfig::new(1000, 7));
+        let n = 1000u64;
+        let outcome =
+            NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(6, 7)).run();
+        assert!(
+            outcome.sims_computed < n * (n - 1) / 2,
+            "NN-Descent did {} sims, brute force needs {}",
+            outcome.sims_computed,
+            n * (n - 1) / 2
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (store, _) = clustered_profiles(ClusteredConfig::new(60, 2));
+        let cfg = NnDescentConfig::new(4, 9);
+        let a = NnDescent::new(&store, &Measure::Cosine, cfg).run();
+        let b = NnDescent::new(&store, &Measure::Cosine, cfg).run();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.sims_computed, b.sims_computed);
+    }
+
+    #[test]
+    fn respects_invariants() {
+        let (store, _) = clustered_profiles(ClusteredConfig::new(50, 4));
+        let outcome =
+            NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(4, 4)).run();
+        for v in 0..50u32 {
+            let u = UserId::new(v);
+            let list = outcome.graph.neighbors(u);
+            assert!(list.len() <= 4);
+            assert!(list.iter().all(|nb| nb.id != u));
+        }
+    }
+
+    #[test]
+    fn delta_one_terminates_after_first_iteration() {
+        let (store, _) = clustered_profiles(ClusteredConfig::new(40, 1));
+        let mut cfg = NnDescentConfig::new(3, 1);
+        cfg.delta = f64::MAX;
+        let outcome = NnDescent::new(&store, &Measure::Cosine, cfg).run();
+        assert_eq!(outcome.iterations, 1);
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_bad_rho() {
+        let store = ProfileStore::new(5);
+        let mut cfg = NnDescentConfig::new(2, 0);
+        cfg.rho = 0.0;
+        let _ = NnDescent::new(&store, &Measure::Cosine, cfg).run();
+    }
+}

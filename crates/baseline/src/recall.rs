@@ -1,0 +1,128 @@
+//! Recall against a ground-truth KNN graph.
+
+use knn_graph::{KnnGraph, UserId};
+
+/// Per-run recall statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecallReport {
+    /// Mean per-user recall in `[0, 1]`.
+    pub mean_recall: f64,
+    /// Minimum per-user recall.
+    pub min_recall: f64,
+    /// Users with perfect recall.
+    pub perfect_users: usize,
+    /// Users considered (those with a non-empty truth list).
+    pub users_measured: usize,
+}
+
+/// Computes recall@K of `candidate` against `truth`: for each user,
+/// the fraction of its true top-K neighbor *ids* present in the
+/// candidate list. Users whose truth list is empty are skipped.
+///
+/// # Panics
+///
+/// Panics if the two graphs have different vertex counts.
+///
+/// ```
+/// use knn_baseline::recall_at_k;
+/// use knn_graph::{KnnGraph, Neighbor, UserId};
+///
+/// let mut truth = KnnGraph::new(2, 1);
+/// truth.insert(UserId::new(0), Neighbor::new(UserId::new(1), 0.9));
+/// let report = recall_at_k(&truth, &truth);
+/// assert_eq!(report.mean_recall, 1.0);
+/// ```
+pub fn recall_at_k(candidate: &KnnGraph, truth: &KnnGraph) -> RecallReport {
+    assert_eq!(
+        candidate.num_vertices(),
+        truth.num_vertices(),
+        "graphs must share the vertex set"
+    );
+    let n = truth.num_vertices();
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut perfect = 0usize;
+    let mut measured = 0usize;
+    for v in 0..n as u32 {
+        let u = UserId::new(v);
+        let true_ids: std::collections::HashSet<UserId> =
+            truth.neighbors(u).iter().map(|nb| nb.id).collect();
+        if true_ids.is_empty() {
+            continue;
+        }
+        let hit = candidate
+            .neighbors(u)
+            .iter()
+            .filter(|nb| true_ids.contains(&nb.id))
+            .count();
+        let r = hit as f64 / true_ids.len() as f64;
+        total += r;
+        min = min.min(r);
+        if (r - 1.0).abs() < 1e-12 {
+            perfect += 1;
+        }
+        measured += 1;
+    }
+    if measured == 0 {
+        return RecallReport { mean_recall: 0.0, min_recall: 0.0, perfect_users: 0, users_measured: 0 };
+    }
+    RecallReport { mean_recall: total / measured as f64, min_recall: min, perfect_users: perfect, users_measured: measured }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::Neighbor;
+
+    fn graph_of(n: usize, k: usize, edges: &[(u32, u32)]) -> KnnGraph {
+        let mut g = KnnGraph::new(n, k);
+        for &(s, d) in edges {
+            g.insert(UserId::new(s), Neighbor::new(UserId::new(d), 0.5));
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_have_recall_one() {
+        let g = graph_of(4, 2, &[(0, 1), (0, 2), (1, 3), (2, 0)]);
+        let r = recall_at_k(&g, &g);
+        assert_eq!(r.mean_recall, 1.0);
+        assert_eq!(r.min_recall, 1.0);
+        assert_eq!(r.perfect_users, 3);
+        assert_eq!(r.users_measured, 3, "user 3 has empty truth");
+    }
+
+    #[test]
+    fn disjoint_graphs_have_recall_zero() {
+        let truth = graph_of(4, 1, &[(0, 1)]);
+        let cand = graph_of(4, 1, &[(0, 2)]);
+        let r = recall_at_k(&cand, &truth);
+        assert_eq!(r.mean_recall, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_fractionally() {
+        let truth = graph_of(3, 2, &[(0, 1), (0, 2)]);
+        let cand = graph_of(3, 2, &[(0, 1)]);
+        let r = recall_at_k(&cand, &truth);
+        assert!((r.mean_recall - 0.5).abs() < 1e-12);
+        assert_eq!(r.perfect_users, 0);
+    }
+
+    #[test]
+    fn scores_ignore_similarity_values() {
+        let truth = graph_of(2, 1, &[(0, 1)]);
+        let mut cand = KnnGraph::new(2, 1);
+        cand.insert(UserId::new(0), Neighbor::new(UserId::new(1), -0.99));
+        assert_eq!(recall_at_k(&cand, &truth).mean_recall, 1.0);
+    }
+
+    #[test]
+    fn empty_truth_measures_nobody() {
+        let truth = KnnGraph::new(3, 2);
+        let cand = graph_of(3, 2, &[(0, 1)]);
+        let r = recall_at_k(&cand, &truth);
+        assert_eq!(r.users_measured, 0);
+        assert_eq!(r.mean_recall, 0.0);
+    }
+}

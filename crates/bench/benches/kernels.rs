@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks: similarity kernels and top-K
+//! accumulators — the phase-4 inner loops.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use knn_core::topk::TopKAccumulator;
+use knn_graph::{Neighbor, UserId};
+use knn_sim::{Measure, Profile, Similarity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_profile(rng: &mut StdRng, len: usize, universe: u32) -> Profile {
+    let mut p = Profile::new();
+    while p.len() < len {
+        let item = rng.random_range(0..universe);
+        p.set(knn_sim::ItemId::new(item), rng.random_range(0.5..5.0f32));
+    }
+    p
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    let mut rng = StdRng::seed_from_u64(7);
+    for len in [16usize, 64, 256] {
+        let a = random_profile(&mut rng, len, len as u32 * 4);
+        let b = random_profile(&mut rng, len, len as u32 * 4);
+        for measure in [
+            Measure::Cosine,
+            Measure::Jaccard,
+            Measure::WeightedJaccard,
+            Measure::Pearson,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(measure.name(), len),
+                &(&a, &b),
+                |bencher, (a, b)| bencher.iter(|| black_box(measure.score(a, b))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let mut rng = StdRng::seed_from_u64(11);
+    let candidates: Vec<Neighbor> = (0..10_000)
+        .map(|_| {
+            Neighbor::new(
+                UserId::new(rng.random_range(0..2000)),
+                rng.random_range(-1.0..1.0f32),
+            )
+        })
+        .collect();
+    for k in [10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("offer_10k", k), &k, |bencher, &k| {
+            bencher.iter(|| {
+                let mut acc = TopKAccumulator::new(k);
+                for &cand in &candidates {
+                    acc.offer(cand);
+                }
+                black_box(acc.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile");
+    let mut rng = StdRng::seed_from_u64(13);
+    let a = random_profile(&mut rng, 128, 1024);
+    let b = random_profile(&mut rng, 128, 1024);
+    group.bench_function("dot_128", |bencher| bencher.iter(|| black_box(a.dot(&b))));
+    group.bench_function("common_items_128", |bencher| {
+        bencher.iter(|| black_box(a.common_items(&b)))
+    });
+    group.bench_function("l2_norm_128", |bencher| bencher.iter(|| black_box(a.l2_norm())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_topk, bench_profile_ops);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark: one full five-phase engine iteration
+//! end-to-end (small instance; the experiment binaries cover scale).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_store::WorkingDir;
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("iteration_n1000_m8_k8", |b| {
+        b.iter_batched(
+            || {
+                let workload = WorkloadConfig::recommender().build(1000, 3);
+                let config = EngineConfig::builder(1000)
+                    .k(8)
+                    .num_partitions(8)
+                    .measure(workload.measure)
+                    .seed(3)
+                    .build()
+                    .expect("config");
+                let wd = WorkingDir::temp("bench_pipeline").expect("workdir");
+                KnnEngine::new(config, workload.profiles, wd).expect("engine")
+            },
+            |mut engine| {
+                let report = engine.run_iteration().expect("iteration");
+                black_box(report.sims_computed);
+                engine.into_working_dir().destroy().expect("cleanup");
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

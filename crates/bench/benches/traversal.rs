@@ -1,0 +1,59 @@
+//! Criterion benchmarks: PI-graph scheduling, op simulation, and
+//! partitioners — the phase-1/3 planning costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use knn_core::partition::PartitionerKind;
+use knn_core::traversal::{simulate_schedule_ops, Heuristic};
+use knn_core::PiGraph;
+use knn_graph::generators::{core_periphery, CorePeripheryConfig};
+use knn_graph::DiGraph;
+
+fn pi_fixture(n: usize) -> PiGraph {
+    let edges = core_periphery(
+        CorePeripheryConfig::new(n, n * 5, 17)
+            .with_core_fraction(0.1)
+            .with_p_periphery(0.05),
+    );
+    PiGraph::from_network_shape(n, &edges)
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(20);
+    let pi = pi_fixture(2000);
+    for h in Heuristic::ALL {
+        group.bench_with_input(BenchmarkId::new("order", h.to_string()), &h, |b, h| {
+            b.iter(|| black_box(h.schedule(&pi).len()))
+        });
+    }
+    let schedule = Heuristic::DegreeLowHigh.schedule(&pi);
+    group.bench_function("simulate_ops", |b| {
+        b.iter(|| black_box(simulate_schedule_ops(&schedule, 2).total_ops()))
+    });
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    let edges = core_periphery(
+        CorePeripheryConfig::new(2000, 10_000, 23)
+            .with_core_fraction(0.15)
+            .with_p_periphery(0.1),
+    );
+    let g = DiGraph::from_undirected_edges(2000, edges).expect("graph");
+    for kind in PartitionerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("partition_m16", kind.to_string()),
+            &kind,
+            |b, kind| {
+                let partitioner = kind.instantiate(5);
+                b.iter(|| black_box(partitioner.partition(&g, 16).unwrap().num_partitions()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule, bench_partitioners);
+criterion_main!(benches);

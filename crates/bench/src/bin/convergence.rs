@@ -1,0 +1,115 @@
+//! **Experiment E7 — KNN quality over iterations.**
+//!
+//! The paper's §1 claims the iterate-compare-keep-top-K process
+//! converges to the KNN graph recommender systems need. This
+//! experiment measures it: recall against the exact brute-force graph
+//! after every engine iteration, the edge-change fraction δ (the
+//! convergence signal), and the same for in-memory NN-Descent — the
+//! out-of-core engine should trace the same quality curve.
+//!
+//! Usage: `convergence [--users N] [--k N] [--iters N] [--seed N]`
+
+use knn_baseline::{brute_force_knn, recall_at_k, NnDescent, NnDescentConfig};
+use knn_bench::{opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_store::WorkingDir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = opt_or(&args, "users", 3000);
+    let k: usize = opt_or(&args, "k", 10);
+    let iters: usize = opt_or(&args, "iters", 8);
+    let seed: u64 = opt_or(&args, "seed", 42);
+
+    println!("E7 convergence: n={n}, K={k}, seed={seed}");
+    let workload = WorkloadConfig::recommender().build(n, seed);
+    println!("workload: {}\n", workload.name);
+
+    println!("computing brute-force ground truth ...");
+    let truth = brute_force_knn(&workload.profiles, &workload.measure, k, 4);
+
+    let config = EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(8)
+        .measure(workload.measure)
+        .threads(2)
+        .include_reverse(true)
+        .seed(seed)
+        .build()
+        .expect("config");
+    let wd = WorkingDir::temp("convergence").expect("workdir");
+    let mut engine =
+        KnnEngine::new(config, workload.profiles.clone(), wd).expect("engine");
+
+    println!("\nout-of-core engine (reverse offers on, like NN-Descent):\n");
+    let mut t = TextTable::new(&["iter", "recall@K", "perfect users", "changed", "avg sim"]);
+    for i in 0..iters {
+        let report = engine.run_iteration().expect("iteration");
+        let recall = recall_at_k(engine.graph(), &truth);
+        t.row(&[
+            (i + 1).to_string(),
+            format!("{:.4}", recall.mean_recall),
+            format!("{}/{}", recall.perfect_users, recall.users_measured),
+            format!("{:.2}%", report.changed_fraction * 100.0),
+            format!(
+                "{:.4}",
+                engine.graph().total_similarity() / engine.graph().num_edges().max(1) as f64
+            ),
+        ]);
+        if report.changed_fraction < 0.001 {
+            break;
+        }
+    }
+    t.print();
+    engine.into_working_dir().destroy().expect("cleanup");
+
+    // Ablation: the paper's forward-only candidate rule (tuples offer
+    // d to s only) vs the NN-Descent-style reverse join used above.
+    println!("\nablation: forward-only offers (paper-faithful, no reverse join):\n");
+    let config = EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(8)
+        .measure(workload.measure)
+        .threads(2)
+        .include_reverse(false)
+        .seed(seed)
+        .build()
+        .expect("config");
+    let wd = WorkingDir::temp("convergence_fwd").expect("workdir");
+    let mut forward = KnnEngine::new(config, workload.profiles.clone(), wd).expect("engine");
+    let mut t = TextTable::new(&["iter", "recall@K", "changed"]);
+    for i in 0..iters {
+        let report = forward.run_iteration().expect("iteration");
+        let recall = recall_at_k(forward.graph(), &truth);
+        t.row(&[
+            (i + 1).to_string(),
+            format!("{:.4}", recall.mean_recall),
+            format!("{:.2}%", report.changed_fraction * 100.0),
+        ]);
+        if report.changed_fraction < 0.001 {
+            break;
+        }
+    }
+    t.print();
+    forward.into_working_dir().destroy().expect("cleanup");
+
+    println!("\nNN-Descent (in-memory reference [1], same K):\n");
+    let outcome = NnDescent::new(
+        &workload.profiles,
+        &workload.measure,
+        NnDescentConfig::new(k, seed),
+    )
+    .run();
+    let recall = recall_at_k(&outcome.graph, &truth);
+    println!(
+        "  converged={} after {} iterations, {} similarity evaluations",
+        outcome.converged, outcome.iterations, outcome.sims_computed
+    );
+    println!(
+        "  recall@K = {:.4} ({} / {} users perfect)",
+        recall.mean_recall, recall.perfect_users, recall.users_measured
+    );
+    println!("\nexpected shape: recall climbs steeply in the first 2-3 iterations and");
+    println!("plateaus near 1.0 as the changed-edge fraction collapses below δ.");
+}

@@ -1,0 +1,102 @@
+//! **Experiment F1 — the paper's Figure 1.**
+//!
+//! The figure shows the five-phase pipeline: input `G(t)`, 1) KNN
+//! graph partitioning, 2) hash table, 3) PI graph, 4) KNN computation,
+//! 5) updating profiles. This binary runs the real pipeline on a
+//! recommender workload and narrates each phase with its measured
+//! inputs, outputs, time, and I/O — including the per-phase disk
+//! throughput (future-work item E5).
+//!
+//! Usage: `figure1_pipeline [--users N] [--k N] [--partitions N] [--iters N] [--seed N]`
+
+use knn_bench::{fmt_bytes, opt_or, TextTable};
+use knn_core::metrics::PHASE_NAMES;
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_sim::{ItemId, ProfileDelta};
+use knn_store::WorkingDir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let users: usize = opt_or(&args, "users", 20_000);
+    let k: usize = opt_or(&args, "k", 10);
+    let partitions: usize = opt_or(&args, "partitions", 32);
+    let iters: usize = opt_or(&args, "iters", 2);
+    let seed: u64 = opt_or(&args, "seed", 42);
+
+    println!("Figure 1 pipeline: n={users}, K={k}, m={partitions}, seed={seed}");
+    let workload = WorkloadConfig::recommender().build(users, seed);
+    println!("workload: {}, measure: {}\n", workload.name, workload.measure);
+
+    let config = EngineConfig::builder(users)
+        .k(k)
+        .num_partitions(partitions)
+        .measure(workload.measure)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    let wd = WorkingDir::temp("figure1").expect("temp working dir");
+    let mut engine =
+        KnnEngine::new(config, workload.profiles, wd).expect("engine construction");
+
+    for iter in 0..iters {
+        // Queue a few mid-iteration profile updates so phase 5 has
+        // something to do (they become visible next iteration).
+        for u in 0..5u32 {
+            engine
+                .queue_update(&ProfileDelta::set(
+                    knn_graph::UserId::new(u),
+                    ItemId::new(1_000_000 + iter as u32),
+                    3.0,
+                ))
+                .expect("valid update");
+        }
+        let report = engine.run_iteration().expect("iteration");
+        println!("=== iteration {iter}: G({iter}) -> G({})", iter + 1);
+        let mut t = TextTable::new(&["phase", "time", "read", "written", "throughput"]);
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            let io = report.phase_io[i];
+            let secs = report.phase_durations[i].as_secs_f64();
+            let throughput = if secs > 0.0 {
+                format!("{}/s", fmt_bytes((io.bytes_total() as f64 / secs) as u64))
+            } else {
+                "-".to_string()
+            };
+            t.row(&[
+                format!("{}. {name}", i + 1),
+                format!("{:.3?}", report.phase_durations[i]),
+                fmt_bytes(io.bytes_read),
+                fmt_bytes(io.bytes_written),
+                throughput,
+            ]);
+        }
+        t.print();
+        println!(
+            "tuples: {} offered -> {} unique ({} duplicates removed by the hash table)",
+            report.tuples.offered, report.tuples.unique, report.tuples.duplicates
+        );
+        println!(
+            "PI graph: {} pairs scheduled; {} loads + {} unloads (predicted {})",
+            report.schedule_len,
+            report.cache.loads,
+            report.cache.unloads,
+            report.predicted.total_ops()
+        );
+        println!(
+            "similarities: {}; partition objective: {}; updates applied: {}; edges changed: {:.1}%",
+            report.sims_computed,
+            report.replication_cost,
+            report.updates_applied,
+            report.changed_fraction * 100.0
+        );
+        if let Some(rate) = report.scan_rate() {
+            println!("phase-4 scan rate: {rate:.0} similarities/s");
+        }
+        println!();
+    }
+
+    let disk = engine.working_dir().disk_usage().expect("disk usage");
+    println!("on-disk working set: {}", fmt_bytes(disk));
+    println!("total engine I/O:   {}", engine.io_snapshot());
+    engine.into_working_dir().destroy().expect("cleanup");
+}

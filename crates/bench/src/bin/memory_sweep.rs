@@ -1,0 +1,87 @@
+//! **Experiment E2 — future work: "amounts of memory".**
+//!
+//! The engine's memory budget is `cache_slots × (n/m)` profiles: the
+//! partition count `m` *is* the memory knob. This sweep holds the
+//! workload fixed and varies `m`, reporting the resident-set estimate,
+//! partition ops, bytes moved, and iteration time — the classic
+//! memory/I-O trade-off curve. A second sweep varies the cache slot
+//! count at fixed `m` (more slots ≈ more RAM given to the same layout).
+//!
+//! Usage: `memory_sweep [--users N] [--k N] [--seed N]`
+
+use std::time::Instant;
+
+use knn_bench::{fmt_bytes, opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_store::WorkingDir;
+
+fn run_once(
+    n: usize,
+    k: usize,
+    m: usize,
+    slots: usize,
+    seed: u64,
+) -> (std::time::Duration, u64, u64, u64) {
+    let workload = WorkloadConfig::recommender().build(n, seed);
+    let resident_estimate = (workload.profiles.approx_bytes() / m) * slots;
+    let config = EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(m)
+        .cache_slots(slots)
+        .measure(workload.measure)
+        .seed(seed)
+        .build()
+        .expect("config");
+    let wd = WorkingDir::temp("memory_sweep").expect("workdir");
+    let mut engine = KnnEngine::new(config, workload.profiles, wd).expect("engine");
+    let t0 = Instant::now();
+    let report = engine.run_iteration().expect("iteration");
+    let elapsed = t0.elapsed();
+    let result = (
+        elapsed,
+        report.cache.total_ops(),
+        report.total_bytes(),
+        resident_estimate as u64,
+    );
+    engine.into_working_dir().destroy().expect("cleanup");
+    result
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = opt_or(&args, "users", 10_000);
+    let k: usize = opt_or(&args, "k", 10);
+    let seed: u64 = opt_or(&args, "seed", 42);
+
+    println!("E2 memory sweep: n={n}, K={k}, seed={seed}");
+    println!("\npart 1: vary partition count m (2-slot cache, smaller partitions = less RAM)\n");
+    let mut t = TextTable::new(&["m", "resident (est)", "part ops", "bytes moved", "iter time"]);
+    for m in [4, 8, 16, 32, 64] {
+        let (elapsed, ops, bytes, resident) = run_once(n, k, m, 2, seed);
+        t.row(&[
+            m.to_string(),
+            fmt_bytes(resident),
+            ops.to_string(),
+            fmt_bytes(bytes),
+            format!("{elapsed:.2?}"),
+        ]);
+    }
+    t.print();
+
+    println!("\npart 2: vary cache slots at m=32 (more slots = more RAM, fewer reloads)\n");
+    let mut t = TextTable::new(&["slots", "resident (est)", "part ops", "bytes moved", "iter time"]);
+    for slots in [2, 3, 4, 8, 16] {
+        let (elapsed, ops, bytes, resident) = run_once(n, k, 32, slots, seed);
+        t.row(&[
+            slots.to_string(),
+            fmt_bytes(resident),
+            ops.to_string(),
+            fmt_bytes(bytes),
+            format!("{elapsed:.2?}"),
+        ]);
+    }
+    t.print();
+    println!("\nexpected shape: more partitions → smaller memory, more load/unload ops;");
+    println!("more cache slots → fewer ops at the same layout (diminishing returns).");
+}

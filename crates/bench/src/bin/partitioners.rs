@@ -1,0 +1,82 @@
+//! **Experiment E8 — the phase-1 partitioning objective ablation.**
+//!
+//! The paper partitions `G(t)` to minimize `Σ (N_in + N_out)` — the
+//! unique-external-vertex count. This experiment quantifies what each
+//! partitioner buys: the objective value on the Table-1 replicas and,
+//! end-to-end, the downstream effect on tuple-bucket spread and
+//! partition operations inside the engine.
+//!
+//! Usage: `partitioners [--partitions N] [--seed N] [--users N]`
+
+use std::time::Instant;
+
+use knn_bench::{opt_or, TextTable};
+use knn_core::partition::{objective, PartitionerKind};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::{Table1Dataset, WorkloadConfig};
+use knn_graph::DiGraph;
+use knn_store::WorkingDir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let m: usize = opt_or(&args, "partitions", 16);
+    let seed: u64 = opt_or(&args, "seed", 42);
+    let n_engine: usize = opt_or(&args, "users", 5000);
+
+    println!("E8 partitioner ablation (m={m}, seed={seed})");
+    println!("\npart 1: objective Σ(N_in + N_out) on Table-1 replicas (lower is better)\n");
+    let mut t = TextTable::new(&["dataset", "contiguous", "random", "greedy", "refined", "greedy time"]);
+    for ds in [
+        Table1Dataset::GeneralRelativity,
+        Table1Dataset::WikiVote,
+        Table1Dataset::Gnutella,
+    ] {
+        let row = ds.paper_row();
+        let g = DiGraph::from_undirected_edges(row.nodes, ds.generate(seed)).expect("graph");
+        let mut cells = vec![row.label.to_string()];
+        let mut greedy_time = String::new();
+        for kind in PartitionerKind::ALL {
+            let t0 = Instant::now();
+            let p = kind.instantiate(seed).partition(&g, m).expect("partition");
+            let elapsed = t0.elapsed();
+            if kind == PartitionerKind::Greedy {
+                greedy_time = format!("{elapsed:.2?}");
+            }
+            cells.push(objective::replication_cost(&g, &p).to_string());
+        }
+        cells.push(greedy_time);
+        t.row(&cells);
+    }
+    t.print();
+
+    println!("\npart 2: end-to-end engine effect (n={n_engine}, one iteration)\n");
+    let mut t = TextTable::new(&["partitioner", "objective", "pi pairs", "part ops", "iter time"]);
+    for kind in PartitionerKind::ALL {
+        let workload = WorkloadConfig::recommender().build(n_engine, seed);
+        let config = EngineConfig::builder(n_engine)
+            .k(10)
+            .num_partitions(m)
+            .partitioner(kind)
+            .measure(workload.measure)
+            .seed(seed)
+            .build()
+            .expect("config");
+        let wd = WorkingDir::temp("partitioners").expect("workdir");
+        let mut engine = KnnEngine::new(config, workload.profiles, wd).expect("engine");
+        let t0 = Instant::now();
+        let report = engine.run_iteration().expect("iteration");
+        let elapsed = t0.elapsed();
+        t.row(&[
+            kind.to_string(),
+            report.replication_cost.to_string(),
+            report.schedule_len.to_string(),
+            report.cache.total_ops().to_string(),
+            format!("{elapsed:.2?}"),
+        ]);
+        engine.into_working_dir().destroy().expect("cleanup");
+    }
+    t.print();
+    println!("\nexpected shape: greedy/refined cut the objective well below contiguous and");
+    println!("random; with m² ≪ tuple spread the op counts move less than the objective —");
+    println!("the win is in bytes touched per load, not the schedule length.");
+}

@@ -1,0 +1,93 @@
+//! **Experiment E1 — future work: "different graph sizes".**
+//!
+//! Sweeps the user count and compares, per size: the out-of-core
+//! engine (time per iteration, partition ops, bytes moved), in-memory
+//! NN-Descent (total time), and brute force (total time, the exact
+//! baseline). Demonstrates the engine's near-linear scaling in `n`
+//! while brute force grows quadratically.
+//!
+//! Usage: `scaling [--sizes a,b,c] [--k N] [--iters N] [--seed N] [--threads N]`
+
+use std::time::Instant;
+
+use knn_baseline::{brute_force_knn, NnDescent, NnDescentConfig};
+use knn_bench::{fmt_bytes, opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_store::WorkingDir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes: String = opt_or(&args, "sizes", "1000,2000,5000,10000".to_string());
+    let k: usize = opt_or(&args, "k", 10);
+    let iters: usize = opt_or(&args, "iters", 3);
+    let seed: u64 = opt_or(&args, "seed", 42);
+    let threads: usize = opt_or(&args, "threads", 4);
+    let sizes: Vec<usize> =
+        sizes.split(',').map(|s| s.trim().parse().expect("size list")).collect();
+
+    println!("E1 scaling sweep: K={k}, {iters} engine iterations per size, seed={seed}\n");
+    let mut table = TextTable::new(&[
+        "n",
+        "engine/iter",
+        "part ops",
+        "bytes/iter",
+        "nn-descent",
+        "brute force",
+    ]);
+
+    for &n in &sizes {
+        let workload = WorkloadConfig::recommender().build(n, seed);
+        let m = (n / 1250).clamp(4, 64);
+
+        // Out-of-core engine.
+        let config = EngineConfig::builder(n)
+            .k(k)
+            .num_partitions(m)
+            .measure(workload.measure)
+            .threads(threads)
+            .seed(seed)
+            .build()
+            .expect("config");
+        let wd = WorkingDir::temp("scaling").expect("workdir");
+        let mut engine =
+            KnnEngine::new(config, workload.profiles.clone(), wd).expect("engine");
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            engine.run_iteration().expect("iteration");
+        }
+        let engine_per_iter = t0.elapsed() / iters as u32;
+        let ops: u64 = engine.reports().iter().map(|r| r.cache.total_ops()).sum::<u64>()
+            / iters as u64;
+        let bytes: u64 =
+            engine.reports().iter().map(|r| r.total_bytes()).sum::<u64>() / iters as u64;
+        engine.into_working_dir().destroy().expect("cleanup");
+
+        // NN-Descent (in-memory).
+        let t0 = Instant::now();
+        let nnd = NnDescent::new(
+            &workload.profiles,
+            &workload.measure,
+            NnDescentConfig::new(k, seed),
+        )
+        .run();
+        let nnd_time = t0.elapsed();
+
+        // Brute force (exact).
+        let t0 = Instant::now();
+        let _truth = brute_force_knn(&workload.profiles, &workload.measure, k, threads);
+        let brute_time = t0.elapsed();
+
+        table.row(&[
+            n.to_string(),
+            format!("{engine_per_iter:.2?}"),
+            ops.to_string(),
+            fmt_bytes(bytes),
+            format!("{nnd_time:.2?} ({} it)", nnd.iterations),
+            format!("{brute_time:.2?}"),
+        ]);
+    }
+    table.print();
+    println!("\nexpected shape: engine and NN-Descent grow ~linearly in n, brute force ~n²;");
+    println!("the engine trades time for an O(2 partitions) memory footprint.");
+}

@@ -1,0 +1,73 @@
+//! **Experiment E4 — future work: "multiple threads".**
+//!
+//! Sweeps the phase-4 worker thread count on a fixed workload and
+//! reports phase-4 time, speedup over single-threaded, and similarity
+//! throughput. Scoring is embarrassingly parallel within a resident
+//! partition pair; the sequential I/O walls (load/unload) bound the
+//! achievable speedup, so the curve flattens — Amdahl in miniature.
+//!
+//! Usage: `threads [--users N] [--k N] [--partitions N] [--max N] [--seed N]`
+
+use knn_bench::{opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_store::WorkingDir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = opt_or(&args, "users", 20_000);
+    let k: usize = opt_or(&args, "k", 10);
+    let m: usize = opt_or(&args, "partitions", 4);
+    let max_threads: usize = opt_or(&args, "max", 8);
+    let seed: u64 = opt_or(&args, "seed", 42);
+
+    println!("E4 thread sweep: n={n}, K={k}, m={m}, seed={seed}\n");
+    let mut table =
+        TextTable::new(&["threads", "phase-4 time", "speedup", "similarities/s", "result"]);
+
+    let mut baseline = None;
+    let mut reference_graph = None;
+    let mut threads = 1;
+    while threads <= max_threads {
+        let workload = WorkloadConfig::recommender().build(n, seed);
+        let config = EngineConfig::builder(n)
+            .k(k)
+            .num_partitions(m)
+            .measure(workload.measure)
+            .threads(threads)
+            .seed(seed)
+            .build()
+            .expect("config");
+        let wd = WorkingDir::temp("threads").expect("workdir");
+        let mut engine = KnnEngine::new(config, workload.profiles, wd).expect("engine");
+        let report = engine.run_iteration().expect("iteration");
+        let phase4 = report.phase_durations[3];
+        let speedup = match baseline {
+            None => {
+                baseline = Some(phase4);
+                1.0
+            }
+            Some(base) => base.as_secs_f64() / phase4.as_secs_f64(),
+        };
+        let identical = match &reference_graph {
+            None => {
+                reference_graph = Some(engine.graph().clone());
+                "reference"
+            }
+            Some(g) if g == engine.graph() => "identical",
+            Some(_) => "DIFFERENT (bug!)",
+        };
+        table.row(&[
+            threads.to_string(),
+            format!("{phase4:.3?}"),
+            format!("{speedup:.2}x"),
+            format!("{:.0}", report.scan_rate().unwrap_or(0.0)),
+            identical.to_string(),
+        ]);
+        engine.into_working_dir().destroy().expect("cleanup");
+        threads *= 2;
+    }
+    table.print();
+    println!("\nexpected shape: near-linear speedup for small thread counts, flattening as");
+    println!("partition load/unload I/O (sequential by design) dominates; results identical.");
+}

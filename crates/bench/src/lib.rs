@@ -1,0 +1,189 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (or one of its future-work experiments); see EXPERIMENTS.md at
+//! the repository root for the index. This library only holds the
+//! bits they share: argument parsing and aligned-table printing.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Returns `true` when `--name` is present in `args`.
+pub fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{name}"))
+}
+
+/// Parses `--name value` from `args`.
+///
+/// # Panics
+///
+/// Panics with a usage message when the value is missing or does not
+/// parse — these binaries are operator tools, not a library API.
+pub fn opt<T: FromStr>(args: &[String], name: &str) -> Option<T>
+where
+    T::Err: Display,
+{
+    let key = format!("--{name}");
+    let idx = args.iter().position(|a| a == &key)?;
+    let raw = args
+        .get(idx + 1)
+        .unwrap_or_else(|| panic!("missing value after {key}"));
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(e) => panic!("invalid value {raw:?} for {key}: {e}"),
+    }
+}
+
+/// `opt` with a default.
+pub fn opt_or<T: FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: Display,
+{
+    opt(args, name).unwrap_or(default)
+}
+
+/// A right-aligned plain-text table printer.
+///
+/// ```
+/// use knn_bench::TextTable;
+///
+/// let mut t = TextTable::new(&["dataset", "ops"]);
+/// t.row(&["Wiki-Vote".to_string(), "211856".to_string()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("Wiki-Vote"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns (first column left,
+    /// the rest right).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a signed percentage (e.g. `-4.5%`).
+pub fn pct(new: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (new - baseline) / baseline * 100.0)
+}
+
+/// Formats a byte count with binary units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_detection() {
+        let a = args(&["--extended", "--seed", "7"]);
+        assert!(flag(&a, "extended"));
+        assert!(!flag(&a, "missing"));
+    }
+
+    #[test]
+    fn opt_parsing() {
+        let a = args(&["--seed", "7", "--slots", "4"]);
+        assert_eq!(opt::<u64>(&a, "seed"), Some(7));
+        assert_eq!(opt_or::<usize>(&a, "slots", 2), 4);
+        assert_eq!(opt_or::<usize>(&a, "nope", 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn opt_rejects_garbage() {
+        let a = args(&["--seed", "xyz"]);
+        let _ = opt::<u64>(&a, "seed");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "12345".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn pct_and_bytes_format() {
+        assert_eq!(pct(95.0, 100.0), "-5.0%");
+        assert_eq!(pct(1.0, 0.0), "n/a");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+    }
+}

@@ -1,0 +1,325 @@
+//! Engine configuration.
+
+use knn_sim::Measure;
+
+use crate::partition::PartitionerKind;
+use crate::traversal::Heuristic;
+use crate::EngineError;
+
+/// Validated configuration of a [`crate::KnnEngine`].
+///
+/// Build with [`EngineConfig::builder`]:
+///
+/// ```
+/// use knn_core::{EngineConfig, Heuristic};
+/// use knn_sim::Measure;
+///
+/// let config = EngineConfig::builder(10_000)
+///     .k(10)
+///     .num_partitions(16)
+///     .measure(Measure::Cosine)
+///     .heuristic(Heuristic::DegreeLowHigh)
+///     .threads(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.num_users(), 10_000);
+/// assert_eq!(config.k(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    num_users: usize,
+    k: usize,
+    num_partitions: usize,
+    measure: Measure,
+    heuristic: Heuristic,
+    partitioner: PartitionerKind,
+    threads: usize,
+    cache_slots: usize,
+    include_reverse: bool,
+    repartition_each_iteration: bool,
+    spill_threshold: usize,
+    seed: u64,
+}
+
+impl EngineConfig {
+    /// Starts building a configuration for `num_users` users.
+    pub fn builder(num_users: usize) -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            num_users,
+            k: 10,
+            num_partitions: 8,
+            measure: Measure::Cosine,
+            heuristic: Heuristic::DegreeLowHigh,
+            partitioner: PartitionerKind::Greedy,
+            threads: 1,
+            cache_slots: 2,
+            include_reverse: false,
+            repartition_each_iteration: true,
+            spill_threshold: 1 << 20,
+            seed: 0,
+        }
+    }
+
+    /// Number of users `n`.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// The KNN bound `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of partitions `m`.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// The similarity measure.
+    pub fn measure(&self) -> Measure {
+        self.measure
+    }
+
+    /// The PI-graph traversal heuristic.
+    pub fn heuristic(&self) -> Heuristic {
+        self.heuristic
+    }
+
+    /// The phase-1 partitioner.
+    pub fn partitioner(&self) -> PartitionerKind {
+        self.partitioner
+    }
+
+    /// Worker threads for phase-4 similarity scoring.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Resident-partition cache slots (the paper uses 2).
+    pub fn cache_slots(&self) -> usize {
+        self.cache_slots
+    }
+
+    /// Whether each tuple `(s, d)` also offers `s` as a candidate to
+    /// `d` (NN-Descent-style reverse join; off in the paper).
+    pub fn include_reverse(&self) -> bool {
+        self.include_reverse
+    }
+
+    /// Whether phase 1 recomputes the partitioning every iteration
+    /// (paper-faithful) or reuses the iteration-0 assignment.
+    pub fn repartition_each_iteration(&self) -> bool {
+        self.repartition_each_iteration
+    }
+
+    /// Tuple-table spill threshold, in tuples per bucket.
+    pub fn spill_threshold(&self) -> usize {
+        self.spill_threshold
+    }
+
+    /// Seed for every randomized component (initial graph, partitioner
+    /// tie-breaks).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Builder for [`EngineConfig`] (see there for an example).
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    num_users: usize,
+    k: usize,
+    num_partitions: usize,
+    measure: Measure,
+    heuristic: Heuristic,
+    partitioner: PartitionerKind,
+    threads: usize,
+    cache_slots: usize,
+    include_reverse: bool,
+    repartition_each_iteration: bool,
+    spill_threshold: usize,
+    seed: u64,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the KNN bound `K` (default 10).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the number of partitions `m` (default 8).
+    pub fn num_partitions(mut self, m: usize) -> Self {
+        self.num_partitions = m;
+        self
+    }
+
+    /// Sets the similarity measure (default cosine).
+    pub fn measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the traversal heuristic (default degree low→high, the
+    /// paper's usually-best variant).
+    pub fn heuristic(mut self, heuristic: Heuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the phase-1 partitioner (default greedy).
+    pub fn partitioner(mut self, partitioner: PartitionerKind) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Sets the phase-4 worker thread count (default 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the resident-partition cache capacity (default 2, as in
+    /// the paper).
+    pub fn cache_slots(mut self, slots: usize) -> Self {
+        self.cache_slots = slots;
+        self
+    }
+
+    /// Enables the NN-Descent-style reverse candidate offer.
+    pub fn include_reverse(mut self, yes: bool) -> Self {
+        self.include_reverse = yes;
+        self
+    }
+
+    /// Disables per-iteration repartitioning (reuse iteration-0
+    /// assignment).
+    pub fn repartition_each_iteration(mut self, yes: bool) -> Self {
+        self.repartition_each_iteration = yes;
+        self
+    }
+
+    /// Sets the tuple-table spill threshold in tuples per bucket
+    /// (default 2²⁰).
+    pub fn spill_threshold(mut self, tuples: usize) -> Self {
+        self.spill_threshold = tuples;
+        self
+    }
+
+    /// Sets the global seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if any constraint is violated:
+    /// `n ≥ 2`, `k ≥ 1`, `1 ≤ m ≤ n`, `threads ≥ 1`, `cache_slots ≥ 2`,
+    /// `spill_threshold ≥ 1`.
+    pub fn build(self) -> Result<EngineConfig, EngineError> {
+        if self.num_users < 2 {
+            return Err(EngineError::config(format!(
+                "need at least 2 users, got {}",
+                self.num_users
+            )));
+        }
+        if self.k == 0 {
+            return Err(EngineError::config("K must be at least 1"));
+        }
+        if self.num_partitions == 0 || self.num_partitions > self.num_users {
+            return Err(EngineError::config(format!(
+                "num_partitions must be in 1..={} (one user per partition at most), got {}",
+                self.num_users, self.num_partitions
+            )));
+        }
+        if self.threads == 0 {
+            return Err(EngineError::config("threads must be at least 1"));
+        }
+        if self.cache_slots < 2 {
+            return Err(EngineError::config(
+                "cache needs at least 2 slots to co-load a partition pair",
+            ));
+        }
+        if self.spill_threshold == 0 {
+            return Err(EngineError::config("spill_threshold must be at least 1"));
+        }
+        Ok(EngineConfig {
+            num_users: self.num_users,
+            k: self.k,
+            num_partitions: self.num_partitions,
+            measure: self.measure,
+            heuristic: self.heuristic,
+            partitioner: self.partitioner,
+            threads: self.threads,
+            cache_slots: self.cache_slots,
+            include_reverse: self.include_reverse,
+            repartition_each_iteration: self.repartition_each_iteration,
+            spill_threshold: self.spill_threshold,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let c = EngineConfig::builder(100).build().unwrap();
+        assert_eq!(c.k(), 10);
+        assert_eq!(c.num_partitions(), 8);
+        assert_eq!(c.cache_slots(), 2);
+        assert_eq!(c.threads(), 1);
+        assert!(!c.include_reverse());
+        assert!(c.repartition_each_iteration());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(EngineConfig::builder(1).build().is_err());
+        assert!(EngineConfig::builder(10).k(0).build().is_err());
+        assert!(EngineConfig::builder(10).num_partitions(0).build().is_err());
+        assert!(EngineConfig::builder(10).num_partitions(11).build().is_err());
+        assert!(EngineConfig::builder(10).threads(0).build().is_err());
+        assert!(EngineConfig::builder(10).cache_slots(1).build().is_err());
+        assert!(EngineConfig::builder(10).spill_threshold(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_setters_stick() {
+        let c = EngineConfig::builder(50)
+            .k(3)
+            .num_partitions(5)
+            .measure(Measure::Jaccard)
+            .heuristic(Heuristic::Sequential)
+            .partitioner(PartitionerKind::Contiguous)
+            .threads(8)
+            .cache_slots(4)
+            .include_reverse(true)
+            .repartition_each_iteration(false)
+            .spill_threshold(128)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(c.k(), 3);
+        assert_eq!(c.num_partitions(), 5);
+        assert_eq!(c.measure(), Measure::Jaccard);
+        assert_eq!(c.heuristic(), Heuristic::Sequential);
+        assert_eq!(c.partitioner(), PartitionerKind::Contiguous);
+        assert_eq!(c.threads(), 8);
+        assert_eq!(c.cache_slots(), 4);
+        assert!(c.include_reverse());
+        assert!(!c.repartition_each_iteration());
+        assert_eq!(c.spill_threshold(), 128);
+        assert_eq!(c.seed(), 99);
+    }
+
+    #[test]
+    fn one_user_per_partition_is_allowed() {
+        assert!(EngineConfig::builder(4).num_partitions(4).k(2).build().is_ok());
+    }
+}

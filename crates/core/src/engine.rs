@@ -1,0 +1,609 @@
+//! The iteration driver.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_sim::{Profile, ProfileDelta, ProfileStore};
+use knn_store::record_file::{
+    read_meta, read_pairs, read_scored_pairs, write_meta, write_pairs, write_scored_pairs,
+};
+use knn_store::{IoSnapshot, IoStats, RecordKind, WorkingDir};
+
+use crate::config::EngineConfig;
+use crate::metrics::{ConvergenceOutcome, IterationReport};
+use crate::partition::{objective, Partitioning};
+use crate::phase1;
+use crate::phase2;
+use crate::phase4::{self, Phase4Options};
+use crate::phase5::UpdateQueue;
+use crate::traversal::simulate_schedule_ops;
+use crate::EngineError;
+
+// Metadata keys of `meta.bin`.
+const META_ITERATION: u32 = 1;
+const META_NUM_USERS: u32 = 2;
+const META_K: u32 = 3;
+const META_NUM_PARTITIONS: u32 = 4;
+const META_SEED: u32 = 5;
+
+/// The out-of-core KNN engine: owns the working directory, the current
+/// KNN graph `G(t)`, and the update queue, and executes the five-phase
+/// iteration loop.
+///
+/// Memory footprint: `G(t)` (`n × K` scored edges) plus at most
+/// `cache_slots` partitions of profile/accumulator state — the profile
+/// set itself lives on disk, exactly as in the paper. See the crate
+/// docs for a full example.
+pub struct KnnEngine {
+    config: EngineConfig,
+    workdir: WorkingDir,
+    stats: Arc<IoStats>,
+    graph: KnnGraph,
+    partitioning: Partitioning,
+    queue: UpdateQueue,
+    iteration: u64,
+    reports: Vec<IterationReport>,
+}
+
+impl std::fmt::Debug for KnnEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnnEngine")
+            .field("iteration", &self.iteration)
+            .field("num_users", &self.config.num_users())
+            .field("k", &self.config.k())
+            .field("num_partitions", &self.config.num_partitions())
+            .field("workdir", &self.workdir.root())
+            .finish()
+    }
+}
+
+impl KnnEngine {
+    /// Creates an engine with the random initial graph `G(0)`
+    /// (NN-Descent-style: `K` random neighbors per user, derived from
+    /// `config.seed()`).
+    ///
+    /// `profiles` is consumed: it is sharded into per-partition files
+    /// under `workdir` and dropped — from here on the profile set lives
+    /// on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] if `profiles` does not
+    /// cover exactly `config.num_users()` users, or a storage error.
+    pub fn new(
+        config: EngineConfig,
+        profiles: ProfileStore,
+        workdir: WorkingDir,
+    ) -> Result<Self, EngineError> {
+        let initial =
+            KnnGraph::random_init(config.num_users(), config.k(), config.seed());
+        Self::with_initial_graph(config, initial, profiles, workdir)
+    }
+
+    /// Creates an engine from an explicit initial graph (e.g. a warm
+    /// start from a previous run).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnEngine::new`], plus a mismatch error if the graph's
+    /// vertex count or `K` bound disagrees with the configuration.
+    pub fn with_initial_graph(
+        config: EngineConfig,
+        graph: KnnGraph,
+        profiles: ProfileStore,
+        workdir: WorkingDir,
+    ) -> Result<Self, EngineError> {
+        if graph.num_vertices() != config.num_users() {
+            return Err(EngineError::input(format!(
+                "graph has {} vertices, config expects {}",
+                graph.num_vertices(),
+                config.num_users()
+            )));
+        }
+        if graph.k() != config.k() {
+            return Err(EngineError::input(format!(
+                "graph K={} but config K={}",
+                graph.k(),
+                config.k()
+            )));
+        }
+        if profiles.num_users() != config.num_users() {
+            return Err(EngineError::input(format!(
+                "profile store has {} users, config expects {}",
+                profiles.num_users(),
+                config.num_users()
+            )));
+        }
+        let stats = Arc::new(IoStats::new());
+        // Initial on-disk layout: partition G(0) with the configured
+        // partitioner and shard the profiles accordingly.
+        let partitioner = config.partitioner().instantiate(config.seed());
+        let partitioning =
+            partitioner.partition(&graph.to_digraph(), config.num_partitions())?;
+        phase1::reshard_profiles(&workdir, None, &partitioning, Some(&profiles), &stats)?;
+        let queue = UpdateQueue::open(&workdir, config.num_users())?;
+        let engine = KnnEngine {
+            config,
+            workdir,
+            stats,
+            graph,
+            partitioning,
+            queue,
+            iteration: 0,
+            reports: Vec::new(),
+        };
+        engine.persist_state()?;
+        Ok(engine)
+    }
+
+    /// Reopens an engine from a working directory previously populated
+    /// by [`KnnEngine::new`] / [`KnnEngine::with_initial_graph`]: the
+    /// persisted KNN graph, partition assignment, profiles, and any
+    /// still-queued updates are all recovered from disk, and the
+    /// iteration counter continues where the previous process stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] if the on-disk metadata
+    /// disagrees with `config` (different `n`, `K`, `m`, or seed), and
+    /// storage errors for missing or corrupt state files.
+    pub fn resume(config: EngineConfig, workdir: WorkingDir) -> Result<Self, EngineError> {
+        let stats = Arc::new(IoStats::new());
+        let meta: std::collections::HashMap<u32, u64> =
+            read_meta(&workdir.meta_path(), &stats)?.into_iter().collect();
+        let expect = |key: u32, name: &str, want: u64| -> Result<(), EngineError> {
+            match meta.get(&key) {
+                Some(&found) if found == want => Ok(()),
+                Some(&found) => Err(EngineError::input(format!(
+                    "on-disk {name} is {found}, config says {want}"
+                ))),
+                None => Err(EngineError::input(format!("metadata missing {name}"))),
+            }
+        };
+        expect(META_NUM_USERS, "num_users", config.num_users() as u64)?;
+        expect(META_K, "k", config.k() as u64)?;
+        expect(META_NUM_PARTITIONS, "num_partitions", config.num_partitions() as u64)?;
+        expect(META_SEED, "seed", config.seed())?;
+        let iteration = *meta
+            .get(&META_ITERATION)
+            .ok_or_else(|| EngineError::input("metadata missing iteration"))?;
+
+        let assignment_rows =
+            read_pairs(&workdir.assignment_path(), RecordKind::Assignment, &stats)?;
+        let mut assignment = vec![0u32; config.num_users()];
+        if assignment_rows.len() != config.num_users() {
+            return Err(EngineError::input(format!(
+                "assignment covers {} users, expected {}",
+                assignment_rows.len(),
+                config.num_users()
+            )));
+        }
+        for (user, p) in assignment_rows {
+            let slot = assignment.get_mut(user as usize).ok_or_else(|| {
+                EngineError::input(format!("assignment row for unknown user {user}"))
+            })?;
+            *slot = p;
+        }
+        let partitioning = Partitioning::from_assignment(assignment, config.num_partitions())?;
+
+        let mut graph = KnnGraph::new(config.num_users(), config.k());
+        for p in 0..config.num_partitions() as u32 {
+            let rows = read_scored_pairs(&workdir.knn_path(p), &stats)?;
+            let mut current: Option<(u32, Vec<Neighbor>)> = None;
+            for (s, d, sim) in rows {
+                match &mut current {
+                    Some((user, list)) if *user == s => {
+                        list.push(Neighbor { id: UserId::new(d), sim });
+                    }
+                    _ => {
+                        if let Some((user, list)) = current.take() {
+                            graph.set_neighbors(UserId::new(user), list)?;
+                        }
+                        current = Some((s, vec![Neighbor { id: UserId::new(d), sim }]));
+                    }
+                }
+            }
+            if let Some((user, list)) = current {
+                graph.set_neighbors(UserId::new(user), list)?;
+            }
+        }
+
+        let queue = UpdateQueue::open(&workdir, config.num_users())?;
+        Ok(KnnEngine {
+            config,
+            workdir,
+            stats,
+            graph,
+            partitioning,
+            queue,
+            iteration,
+            reports: Vec::new(),
+        })
+    }
+
+    /// Writes the resumable state: metadata, the partition assignment,
+    /// and the current KNN graph sliced per partition.
+    fn persist_state(&self) -> Result<(), EngineError> {
+        write_meta(
+            &self.workdir.meta_path(),
+            &[
+                (META_ITERATION, self.iteration),
+                (META_NUM_USERS, self.config.num_users() as u64),
+                (META_K, self.config.k() as u64),
+                (META_NUM_PARTITIONS, self.config.num_partitions() as u64),
+                (META_SEED, self.config.seed()),
+            ],
+            &self.stats,
+        )?;
+        let assignment_rows: Vec<(u32, u32)> = self
+            .partitioning
+            .assignment()
+            .iter()
+            .enumerate()
+            .map(|(u, &p)| (u as u32, p))
+            .collect();
+        write_pairs(
+            &self.workdir.assignment_path(),
+            RecordKind::Assignment,
+            &assignment_rows,
+            &self.stats,
+        )?;
+        for p in 0..self.partitioning.num_partitions() as u32 {
+            let mut rows: Vec<(u32, u32, f32)> = Vec::new();
+            for &user in self.partitioning.users_of(p) {
+                for nb in self.graph.neighbors(user) {
+                    rows.push((user.raw(), nb.id.raw(), nb.sim));
+                }
+            }
+            write_scored_pairs(&self.workdir.knn_path(p), &rows, &self.stats)?;
+        }
+        Ok(())
+    }
+
+    /// The current KNN graph `G(t)`.
+    pub fn graph(&self) -> &KnnGraph {
+        &self.graph
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current iteration index `t`.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// The current partition layout.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Reports of every completed iteration.
+    pub fn reports(&self) -> &[IterationReport] {
+        &self.reports
+    }
+
+    /// Cumulative I/O counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The working directory.
+    pub fn working_dir(&self) -> &WorkingDir {
+        &self.workdir
+    }
+
+    /// Consumes the engine, returning its working directory (for
+    /// cleanup or inspection).
+    pub fn into_working_dir(self) -> WorkingDir {
+        self.workdir
+    }
+
+    /// Queues a profile update; it becomes visible in `P(t+1)` after
+    /// the current iteration's phase 5 (the paper's lazy queue `q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidUpdate`] for out-of-range users or
+    /// non-finite weights.
+    pub fn queue_update(&mut self, delta: &ProfileDelta) -> Result<(), EngineError> {
+        self.queue.queue(delta, &self.stats)
+    }
+
+    /// Reads one user's current on-disk profile (diagnostic helper).
+    ///
+    /// # Errors
+    ///
+    /// Returns a storage error or an unknown-user mismatch.
+    pub fn profile_of(&self, user: UserId) -> Result<Profile, EngineError> {
+        UpdateQueue::read_profile(user, &self.partitioning, &self.workdir, &self.stats)
+    }
+
+    /// Executes one full five-phase iteration, advancing `G(t)` to
+    /// `G(t+1)` and `P(t)` to `P(t+1)`.
+    ///
+    /// # Errors
+    ///
+    /// Any phase's storage or validation error aborts the iteration;
+    /// the engine's in-memory graph is only replaced on success.
+    pub fn run_iteration(&mut self) -> Result<IterationReport, EngineError> {
+        let mut durations = [std::time::Duration::ZERO; 5];
+        let mut io = [IoSnapshot::default(); 5];
+
+        // Phase 1: partition G(t) and lay out edge/profile files.
+        let before = self.stats.snapshot();
+        let t0 = Instant::now();
+        if self.config.repartition_each_iteration() || self.iteration == 0 {
+            let partitioner = self.config.partitioner().instantiate(self.config.seed());
+            let next = partitioner
+                .partition(&self.graph.to_digraph(), self.config.num_partitions())?;
+            if next != self.partitioning {
+                phase1::reshard_profiles(
+                    &self.workdir,
+                    Some(&self.partitioning),
+                    &next,
+                    None,
+                    &self.stats,
+                )?;
+                self.partitioning = next;
+            }
+        }
+        phase1::write_partition_edges(&self.graph, &self.partitioning, &self.workdir, &self.stats)?;
+        let replication_cost =
+            objective::replication_cost(&self.graph.to_digraph(), &self.partitioning);
+        durations[0] = t0.elapsed();
+        io[0] = self.stats.snapshot() - before;
+
+        // Phase 2: tuple generation + dedup into pair buckets.
+        let before = self.stats.snapshot();
+        let t0 = Instant::now();
+        let phase2_out = phase2::generate_tuples(
+            &self.partitioning,
+            &self.workdir,
+            &self.stats,
+            self.config.spill_threshold(),
+        )?;
+        durations[1] = t0.elapsed();
+        io[1] = self.stats.snapshot() - before;
+
+        // Phase 3: PI-graph traversal schedule.
+        let before = self.stats.snapshot();
+        let t0 = Instant::now();
+        let schedule = self.config.heuristic().schedule(&phase2_out.pi);
+        let predicted = simulate_schedule_ops(&schedule, self.config.cache_slots());
+        durations[2] = t0.elapsed();
+        io[2] = self.stats.snapshot() - before;
+
+        // Phase 4: out-of-core similarity scoring and top-K harvest.
+        let before = self.stats.snapshot();
+        let t0 = Instant::now();
+        let options = Phase4Options {
+            k: self.config.k(),
+            measure: self.config.measure(),
+            threads: self.config.threads(),
+            cache_slots: self.config.cache_slots(),
+            include_reverse: self.config.include_reverse(),
+        };
+        let phase4_out = phase4::run_phase4(
+            &schedule,
+            &phase2_out.pi,
+            &self.partitioning,
+            &self.workdir,
+            &self.stats,
+            &options,
+        )?;
+        durations[3] = t0.elapsed();
+        io[3] = self.stats.snapshot() - before;
+
+        // Phase 5: apply the lazy profile-update queue.
+        let before = self.stats.snapshot();
+        let t0 = Instant::now();
+        let phase5_stats =
+            self.queue.apply_all(&self.partitioning, &self.workdir, &self.stats)?;
+        durations[4] = t0.elapsed();
+        io[4] = self.stats.snapshot() - before;
+
+        let changed_fraction = self.graph.edge_change_fraction(&phase4_out.graph);
+        self.graph = phase4_out.graph;
+        self.iteration += 1;
+        self.persist_state()?;
+
+        let report = IterationReport {
+            iteration: self.iteration - 1,
+            phase_durations: durations,
+            phase_io: io,
+            cache: phase4_out.cache,
+            predicted,
+            tuples: phase2_out.stats,
+            schedule_len: schedule.len(),
+            sims_computed: phase4_out.sims_computed,
+            updates_applied: phase5_stats.updates_applied,
+            replication_cost,
+            changed_fraction,
+        };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// Runs iterations until the edge-change fraction drops below
+    /// `threshold` or `max_iterations` is reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first iteration error.
+    pub fn run_until_converged(
+        &mut self,
+        threshold: f64,
+        max_iterations: usize,
+    ) -> Result<ConvergenceOutcome, EngineError> {
+        let mut last_change = 1.0f64;
+        for i in 0..max_iterations {
+            let report = self.run_iteration()?;
+            last_change = report.changed_fraction;
+            if last_change < threshold {
+                return Ok(ConvergenceOutcome {
+                    converged: true,
+                    iterations_run: i + 1,
+                    final_change_fraction: last_change,
+                });
+            }
+        }
+        Ok(ConvergenceOutcome {
+            converged: false,
+            iterations_run: max_iterations,
+            final_change_fraction: last_change,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_iteration;
+    use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+    use knn_sim::Measure;
+
+    fn small_world(n: usize, seed: u64) -> (EngineConfig, ProfileStore, WorkingDir) {
+        let (profiles, _) = clustered_profiles(
+            ClusteredConfig::new(n, seed).with_clusters(4).with_ratings(12, 2),
+        );
+        let config = EngineConfig::builder(n)
+            .k(4)
+            .num_partitions(4)
+            .measure(Measure::Cosine)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let wd = WorkingDir::temp("engine").unwrap();
+        (config, profiles, wd)
+    }
+
+    #[test]
+    fn one_iteration_matches_reference() {
+        let (config, profiles, wd) = small_world(60, 3);
+        let g0 = KnnGraph::random_init(60, 4, 3);
+        let expected = reference_iteration(&g0, &profiles, &Measure::Cosine, 4, false);
+        let mut engine =
+            KnnEngine::with_initial_graph(config, g0, profiles, wd).unwrap();
+        engine.run_iteration().unwrap();
+        assert_eq!(engine.graph(), &expected);
+        engine.into_working_dir().destroy().unwrap();
+    }
+
+    #[test]
+    fn multiple_iterations_match_reference() {
+        let (config, profiles, wd) = small_world(40, 5);
+        let g0 = KnnGraph::random_init(40, 4, 5);
+        let expected = crate::reference::reference_run(
+            &g0,
+            &profiles,
+            &Measure::Cosine,
+            4,
+            false,
+            3,
+        );
+        let mut engine =
+            KnnEngine::with_initial_graph(config, g0, profiles, wd).unwrap();
+        for _ in 0..3 {
+            engine.run_iteration().unwrap();
+        }
+        assert_eq!(engine.graph(), &expected);
+        assert_eq!(engine.iteration(), 3);
+        assert_eq!(engine.reports().len(), 3);
+        engine.into_working_dir().destroy().unwrap();
+    }
+
+    #[test]
+    fn predicted_ops_match_real_execution() {
+        let (config, profiles, wd) = small_world(50, 7);
+        let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
+        let report = engine.run_iteration().unwrap();
+        assert_eq!(report.cache.loads, report.predicted.loads);
+        assert_eq!(report.cache.unloads, report.predicted.unloads);
+        engine.into_working_dir().destroy().unwrap();
+    }
+
+    #[test]
+    fn updates_invisible_until_next_iteration() {
+        let (config, profiles, wd) = small_world(30, 9);
+        let baseline = profiles.clone();
+        let g0 = KnnGraph::random_init(30, 4, 9);
+        let mut engine = KnnEngine::with_initial_graph(config, g0.clone(), profiles, wd).unwrap();
+        // Queue an update mid-iteration-0: iteration 0 must compute
+        // with the original profiles.
+        engine
+            .queue_update(&ProfileDelta::replace(
+                UserId::new(0),
+                Profile::from_unsorted_pairs(vec![(99999, 5.0)]).unwrap(),
+            ))
+            .unwrap();
+        let expected_iter0 = reference_iteration(&g0, &baseline, &Measure::Cosine, 4, false);
+        let report = engine.run_iteration().unwrap();
+        assert_eq!(engine.graph(), &expected_iter0, "update leaked into iteration 0");
+        assert_eq!(report.updates_applied, 1);
+        // After phase 5 the profile is replaced on disk.
+        let p = engine.profile_of(UserId::new(0)).unwrap();
+        assert_eq!(p.get(knn_sim::ItemId::new(99999)), Some(5.0));
+        engine.into_working_dir().destroy().unwrap();
+    }
+
+    #[test]
+    fn convergence_on_clustered_data() {
+        let (config, profiles, wd) = small_world(80, 11);
+        let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
+        let outcome = engine.run_until_converged(0.05, 12).unwrap();
+        assert!(outcome.converged, "did not converge: {outcome:?}");
+        assert!(outcome.iterations_run >= 2);
+        engine.into_working_dir().destroy().unwrap();
+    }
+
+    #[test]
+    fn constructor_validates_inputs() {
+        let (config, profiles, wd) = small_world(30, 1);
+        let wrong_graph = KnnGraph::random_init(29, 4, 1);
+        assert!(matches!(
+            KnnEngine::with_initial_graph(config.clone(), wrong_graph, profiles.clone(), wd),
+            Err(EngineError::InputMismatch { .. })
+        ));
+        let wd = WorkingDir::temp("engine_bad_k").unwrap();
+        let wrong_k = KnnGraph::random_init(30, 9, 1);
+        assert!(matches!(
+            KnnEngine::with_initial_graph(config.clone(), wrong_k, profiles.clone(), wd),
+            Err(EngineError::InputMismatch { .. })
+        ));
+        let wd = WorkingDir::temp("engine_bad_profiles").unwrap();
+        let short_profiles = ProfileStore::new(29);
+        assert!(matches!(
+            KnnEngine::new(config, short_profiles, wd),
+            Err(EngineError::InputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn repartition_toggle_does_not_change_results() {
+        let n = 40;
+        let g0 = KnnGraph::random_init(n, 3, 13);
+        let mut graphs = Vec::new();
+        for repartition in [true, false] {
+            let (_, profiles, wd) = small_world(n, 13);
+            let config = EngineConfig::builder(n)
+                .k(3)
+                .num_partitions(5)
+                .repartition_each_iteration(repartition)
+                .seed(13)
+                .build()
+                .unwrap();
+            let mut engine =
+                KnnEngine::with_initial_graph(config, g0.clone(), profiles, wd).unwrap();
+            for _ in 0..2 {
+                engine.run_iteration().unwrap();
+            }
+            graphs.push(engine.graph().clone());
+            engine.into_working_dir().destroy().unwrap();
+        }
+        assert_eq!(graphs[0], graphs[1], "layout must not affect results");
+    }
+}

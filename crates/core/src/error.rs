@@ -1,0 +1,114 @@
+use std::fmt;
+
+use knn_graph::GraphError;
+use knn_store::StoreError;
+
+/// Errors produced by the out-of-core engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Invalid engine configuration.
+    Config {
+        /// What is wrong.
+        detail: String,
+    },
+    /// The supplied graph/profile inputs disagree with the
+    /// configuration (e.g. wrong vertex count).
+    InputMismatch {
+        /// What disagrees.
+        detail: String,
+    },
+    /// A queued profile update is invalid (unknown user, non-finite
+    /// weight).
+    InvalidUpdate {
+        /// What is wrong.
+        detail: String,
+    },
+    /// Storage-layer failure.
+    Store(StoreError),
+    /// Graph-layer failure.
+    Graph(GraphError),
+}
+
+impl EngineError {
+    /// Builds a configuration error.
+    pub fn config(detail: impl Into<String>) -> Self {
+        EngineError::Config { detail: detail.into() }
+    }
+
+    /// Builds an input-mismatch error.
+    pub fn input(detail: impl Into<String>) -> Self {
+        EngineError::InputMismatch { detail: detail.into() }
+    }
+
+    /// Builds an invalid-update error.
+    pub fn update(detail: impl Into<String>) -> Self {
+        EngineError::InvalidUpdate { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            EngineError::InputMismatch { detail } => write!(f, "input mismatch: {detail}"),
+            EngineError::InvalidUpdate { detail } => write!(f, "invalid profile update: {detail}"),
+            EngineError::Store(e) => write!(f, "storage error: {e}"),
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Store(e) => Some(e),
+            EngineError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<EngineError>();
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<EngineError> = vec![
+            EngineError::config("m must be positive"),
+            EngineError::input("graph has 3 vertices, config says 4"),
+            EngineError::update("user 99 out of range"),
+            EngineError::Store(StoreError::corrupt("/f", "bad")),
+            EngineError::Graph(GraphError::SelfLoop { vertex: knn_graph::UserId::new(0) }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_are_exposed() {
+        use std::error::Error;
+        assert!(EngineError::Store(StoreError::corrupt("/f", "x")).source().is_some());
+        assert!(EngineError::config("x").source().is_none());
+    }
+}

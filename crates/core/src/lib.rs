@@ -1,0 +1,72 @@
+//! The five-phase out-of-core KNN engine from *"Scaling KNN Computation
+//! over Large Graphs on a PC"* (Chiluka, Kermarrec, Olivares;
+//! Middleware 2014).
+//!
+//! One iteration refines the KNN graph `G(t) → G(t+1)`: every user's
+//! neighbor list is replaced by the top-`K` most similar users among
+//! its neighbors and neighbors' neighbors — executed with at most two
+//! partitions of profile data in memory at a time:
+//!
+//! 1. **Partitioning** ([`phase1`], [`partition`]) — split the `n`
+//!    users into `m` balanced partitions minimizing the unique
+//!    external-vertex count `Σ (N_in + N_out)`; write per-partition
+//!    edge lists sorted by bridge vertex.
+//! 2. **Tuple generation** ([`phase2`], [`tuple_table`]) — merge-scan
+//!    the sorted lists to emit candidate tuples `(s, d)`, deduplicated
+//!    in a hash table and bucketed by partition pair.
+//! 3. **PI graph** ([`pigraph`], [`traversal`]) — build the
+//!    partition-interaction graph and order the partition pairs with a
+//!    traversal heuristic so that partition load/unload operations are
+//!    minimized (the paper's Table 1 compares these heuristics).
+//! 4. **KNN computation** ([`phase4`], [`topk`]) — walk the schedule
+//!    with a two-slot partition cache, score every tuple, and keep
+//!    per-user top-`K` accumulators, yielding `G(t+1)`.
+//! 5. **Lazy profile updates** ([`phase5`]) — apply the update queue so
+//!    that `P(t+1)` reflects changes queued during iteration `t`.
+//!
+//! [`KnnEngine`] drives the full loop:
+//!
+//! ```
+//! use knn_core::{EngineConfig, KnnEngine};
+//! use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+//! use knn_store::WorkingDir;
+//!
+//! # fn main() -> Result<(), knn_core::EngineError> {
+//! let (profiles, _) = clustered_profiles(ClusteredConfig::new(200, 7));
+//! let config = EngineConfig::builder(200)
+//!     .k(4)
+//!     .num_partitions(4)
+//!     .seed(7)
+//!     .build()?;
+//! let wd = WorkingDir::temp("engine_doc")?;
+//! let mut engine = KnnEngine::new(config, profiles, wd)?;
+//! let report = engine.run_iteration()?;
+//! assert!(report.tuples.unique > 0);
+//! # engine.into_working_dir().destroy()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod partition;
+pub mod phase1;
+pub mod phase2;
+pub mod phase4;
+pub mod phase5;
+pub mod pigraph;
+pub mod reference;
+pub mod topk;
+pub mod traversal;
+pub mod tuple_table;
+
+mod engine;
+
+pub use config::{EngineConfig, EngineConfigBuilder};
+pub use engine::KnnEngine;
+pub use error::EngineError;
+pub use metrics::IterationReport;
+pub use partition::{Partitioner, PartitionerKind, Partitioning};
+pub use pigraph::PiGraph;
+pub use traversal::Heuristic;

@@ -1,0 +1,158 @@
+//! Per-iteration metrics and reports.
+
+use std::fmt;
+use std::time::Duration;
+
+use knn_store::{CacheCounters, IoSnapshot};
+
+use crate::traversal::TraversalCost;
+use crate::tuple_table::TupleTableStats;
+
+/// Names of the five phases, for display.
+pub const PHASE_NAMES: [&str; 5] =
+    ["partitioning", "tuple generation", "pi graph", "knn computation", "profile updates"];
+
+/// Everything measured during one engine iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationReport {
+    /// Iteration index `t` (0-based; this report covers `G(t) → G(t+1)`).
+    pub iteration: u64,
+    /// Wall-clock time of each phase.
+    pub phase_durations: [Duration; 5],
+    /// I/O performed by each phase.
+    pub phase_io: [IoSnapshot; 5],
+    /// Partition cache operations of phase 4 (the Table-1 metric).
+    pub cache: CacheCounters,
+    /// Dry-run prediction from the phase-3 schedule (must match
+    /// `cache` when `cache_slots` agree).
+    pub predicted: TraversalCost,
+    /// Tuple-table statistics from phase 2.
+    pub tuples: TupleTableStats,
+    /// Number of schedule steps (PI pairs processed).
+    pub schedule_len: usize,
+    /// Similarity evaluations performed.
+    pub sims_computed: u64,
+    /// Profile updates applied in phase 5.
+    pub updates_applied: u64,
+    /// The partitioning objective `Σ (N_in + N_out)` of this iteration.
+    pub replication_cost: u64,
+    /// Fraction of `G(t)` edges absent from `G(t+1)`.
+    pub changed_fraction: f64,
+}
+
+impl IterationReport {
+    /// Unique tuples scored per second of phase-4 time; `None` when
+    /// the phase was too fast to time.
+    pub fn scan_rate(&self) -> Option<f64> {
+        let secs = self.phase_durations[3].as_secs_f64();
+        if secs > 0.0 {
+            Some(self.sims_computed as f64 / secs)
+        } else {
+            None
+        }
+    }
+
+    /// Total wall-clock time across phases.
+    pub fn total_duration(&self) -> Duration {
+        self.phase_durations.iter().sum()
+    }
+
+    /// Total bytes moved (read + write) across phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.phase_io.iter().map(IoSnapshot::bytes_total).sum()
+    }
+}
+
+impl fmt::Display for IterationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "iteration {}:", self.iteration)?;
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            writeln!(
+                f,
+                "  {:>2}. {:<17} {:>9.3?}  read {:>12} B  wrote {:>12} B",
+                i + 1,
+                name,
+                self.phase_durations[i],
+                self.phase_io[i].bytes_read,
+                self.phase_io[i].bytes_written,
+            )?;
+        }
+        writeln!(
+            f,
+            "  tuples: {} offered, {} unique, {} duplicates, {} spills",
+            self.tuples.offered, self.tuples.unique, self.tuples.duplicates, self.tuples.spills
+        )?;
+        writeln!(
+            f,
+            "  schedule: {} pairs; partition ops: {} loads + {} unloads = {} (predicted {})",
+            self.schedule_len,
+            self.cache.loads,
+            self.cache.unloads,
+            self.cache.total_ops(),
+            self.predicted.total_ops(),
+        )?;
+        writeln!(
+            f,
+            "  similarities: {}; replication cost: {}; updates: {}; changed: {:.2}%",
+            self.sims_computed,
+            self.replication_cost,
+            self.updates_applied,
+            self.changed_fraction * 100.0
+        )
+    }
+}
+
+/// Outcome of [`crate::KnnEngine::run_until_converged`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceOutcome {
+    /// Whether the change fraction dropped below the threshold.
+    pub converged: bool,
+    /// Iterations executed.
+    pub iterations_run: usize,
+    /// The final change fraction observed.
+    pub final_change_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IterationReport {
+        IterationReport {
+            iteration: 3,
+            phase_durations: [Duration::from_millis(10); 5],
+            phase_io: [IoSnapshot { bytes_read: 100, bytes_written: 50, ..Default::default() }; 5],
+            cache: CacheCounters { loads: 10, unloads: 10, hits: 4 },
+            predicted: TraversalCost { loads: 10, unloads: 10, hits: 4, steps: 7 },
+            tuples: TupleTableStats { offered: 100, unique: 80, duplicates: 20, spills: 1 },
+            schedule_len: 7,
+            sims_computed: 80,
+            updates_applied: 2,
+            replication_cost: 42,
+            changed_fraction: 0.25,
+        }
+    }
+
+    #[test]
+    fn display_mentions_every_phase() {
+        let text = sample().to_string();
+        for name in PHASE_NAMES {
+            assert!(text.contains(name), "missing {name} in {text}");
+        }
+        assert!(text.contains("predicted 20"));
+    }
+
+    #[test]
+    fn totals_sum_phases() {
+        let r = sample();
+        assert_eq!(r.total_duration(), Duration::from_millis(50));
+        assert_eq!(r.total_bytes(), 5 * 150);
+    }
+
+    #[test]
+    fn scan_rate_uses_phase4_time() {
+        let r = sample();
+        let rate = r.scan_rate().unwrap();
+        assert!((rate - 8000.0).abs() < 1e-6, "{rate}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Contiguous id-range partitioner.
+
+use knn_graph::DiGraph;
+
+use super::{Partitioner, Partitioning};
+use crate::EngineError;
+
+/// Assigns users to partitions by contiguous id ranges: users
+/// `0..⌈n/m⌉` to partition 0, and so on. Ignores graph structure — the
+/// paper's baseline layout and the cheapest possible phase 1.
+///
+/// ```
+/// use knn_core::partition::{ContiguousPartitioner, Partitioner};
+/// use knn_graph::{DiGraph, UserId};
+///
+/// let g = DiGraph::new(6);
+/// let p = ContiguousPartitioner.partition(&g, 3).unwrap();
+/// assert_eq!(p.partition_of(UserId::new(0)), 0);
+/// assert_eq!(p.partition_of(UserId::new(5)), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContiguousPartitioner;
+
+impl Partitioner for ContiguousPartitioner {
+    fn partition(&self, graph: &DiGraph, m: usize) -> Result<Partitioning, EngineError> {
+        let n = graph.num_vertices();
+        if m == 0 || m > n.max(1) {
+            return Err(EngineError::config(format!("m={m} invalid for n={n}")));
+        }
+        let cap = n.div_ceil(m);
+        let assignment: Vec<u32> = (0..n).map(|u| (u / cap) as u32).collect();
+        Partitioning::from_assignment(assignment, m)
+    }
+
+    fn name(&self) -> &'static str {
+        "contiguous"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::assert_balanced;
+
+    #[test]
+    fn ranges_are_contiguous_and_balanced() {
+        let g = DiGraph::new(10);
+        let p = ContiguousPartitioner.partition(&g, 3).unwrap();
+        assert_balanced(&p);
+        // cap = 4: partitions sizes 4, 4, 2.
+        assert_eq!(p.users_of(0).len(), 4);
+        assert_eq!(p.users_of(1).len(), 4);
+        assert_eq!(p.users_of(2).len(), 2);
+    }
+
+    #[test]
+    fn exact_division() {
+        let g = DiGraph::new(9);
+        let p = ContiguousPartitioner.partition(&g, 3).unwrap();
+        for i in 0..3 {
+            assert_eq!(p.users_of(i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn single_partition() {
+        let g = DiGraph::new(5);
+        let p = ContiguousPartitioner.partition(&g, 1).unwrap();
+        assert_eq!(p.users_of(0).len(), 5);
+    }
+
+    #[test]
+    fn rejects_invalid_m() {
+        let g = DiGraph::new(3);
+        assert!(ContiguousPartitioner.partition(&g, 0).is_err());
+        assert!(ContiguousPartitioner.partition(&g, 4).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Swap-refinement on top of any base partitioner.
+
+use knn_graph::DiGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use super::{Partitioner, Partitioning};
+use crate::EngineError;
+
+/// Improves a base partitioning by hill-climbing on user swaps: each
+/// pass samples random cross-partition user pairs and applies a swap
+/// whenever it lowers the replication objective. Swapping (rather than
+/// moving) preserves exact balance by construction.
+#[derive(Debug, Clone)]
+pub struct RefinePartitioner<P> {
+    inner: P,
+    passes: usize,
+    seed: u64,
+}
+
+impl<P: Partitioner> RefinePartitioner<P> {
+    /// Wraps `inner` with `passes` refinement passes (each pass tries
+    /// `2n` sampled swaps).
+    pub fn new(inner: P, passes: usize, seed: u64) -> Self {
+        RefinePartitioner { inner, passes, seed }
+    }
+}
+
+impl<P: Partitioner> Partitioner for RefinePartitioner<P> {
+    fn partition(&self, graph: &DiGraph, m: usize) -> Result<Partitioning, EngineError> {
+        let base = self.inner.partition(graph, m)?;
+        if m < 2 {
+            return Ok(base);
+        }
+        let n = graph.num_vertices();
+        let mut assignment = base.assignment().to_vec();
+
+        // Directional adjacency for localized objective deltas.
+        let mut out_nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut in_nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (s, d) in graph.iter_edges() {
+            out_nbrs[s.index()].push(d.raw());
+            in_nbrs[d.index()].push(s.raw());
+        }
+
+        // Local objective share of vertex v: the number of distinct
+        // partitions among its out-neighbors plus among its in-neighbors.
+        let local = |assignment: &[u32], v: u32| -> u64 {
+            let mut parts: HashSet<u32> = HashSet::new();
+            let mut total = 0u64;
+            for list in [&out_nbrs[v as usize], &in_nbrs[v as usize]] {
+                parts.clear();
+                for &x in list.iter() {
+                    parts.insert(assignment[x as usize]);
+                }
+                total += parts.len() as u64;
+            }
+            total
+        };
+
+        // Salted: keep this stream independent of same-seed components.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7061_7274_5f72_6566); // "part_ref"
+        for _ in 0..self.passes {
+            let mut improved = false;
+            for _ in 0..2 * n {
+                let u = rng.random_range(0..n as u32);
+                let w = rng.random_range(0..n as u32);
+                let (pu, pw) = (assignment[u as usize], assignment[w as usize]);
+                if u == w || pu == pw {
+                    continue;
+                }
+                // Vertices whose local share a swap can change: the
+                // swapped pair and everyone adjacent to either.
+                let mut affected: HashSet<u32> = HashSet::from([u, w]);
+                for x in [u, w] {
+                    affected.extend(out_nbrs[x as usize].iter().copied());
+                    affected.extend(in_nbrs[x as usize].iter().copied());
+                }
+                let before: u64 = affected.iter().map(|&v| local(&assignment, v)).sum();
+                assignment[u as usize] = pw;
+                assignment[w as usize] = pu;
+                let after: u64 = affected.iter().map(|&v| local(&assignment, v)).sum();
+                if after >= before {
+                    // Revert: not an improvement.
+                    assignment[u as usize] = pu;
+                    assignment[w as usize] = pw;
+                } else {
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        Partitioning::from_assignment(assignment, m)
+    }
+
+    fn name(&self) -> &'static str {
+        "refined"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::objective::replication_cost;
+    use crate::partition::{assert_balanced, RandomPartitioner};
+    use knn_graph::generators::{chung_lu, ChungLuConfig};
+
+    fn test_graph(seed: u64) -> DiGraph {
+        let edges = chung_lu(ChungLuConfig::new(150, 500, seed));
+        DiGraph::from_undirected_edges(150, edges).unwrap()
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_objective() {
+        let g = test_graph(1);
+        let base = RandomPartitioner::new(3).partition(&g, 5).unwrap();
+        let refined = RefinePartitioner::new(RandomPartitioner::new(3), 2, 7)
+            .partition(&g, 5)
+            .unwrap();
+        assert!(
+            replication_cost(&g, &refined) <= replication_cost(&g, &base),
+            "refined {} vs base {}",
+            replication_cost(&g, &refined),
+            replication_cost(&g, &base)
+        );
+        assert_balanced(&refined);
+    }
+
+    #[test]
+    fn refinement_improves_random_substantially() {
+        let g = test_graph(2);
+        let base = RandomPartitioner::new(0).partition(&g, 5).unwrap();
+        let refined = RefinePartitioner::new(RandomPartitioner::new(0), 3, 1)
+            .partition(&g, 5)
+            .unwrap();
+        assert!(replication_cost(&g, &refined) < replication_cost(&g, &base));
+    }
+
+    #[test]
+    fn partition_sizes_preserved_exactly() {
+        let g = test_graph(3);
+        let base = RandomPartitioner::new(1).partition(&g, 7).unwrap();
+        let refined = RefinePartitioner::new(RandomPartitioner::new(1), 2, 2)
+            .partition(&g, 7)
+            .unwrap();
+        for p in 0..7u32 {
+            assert_eq!(base.users_of(p).len(), refined.users_of(p).len());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = test_graph(4);
+        let a = RefinePartitioner::new(RandomPartitioner::new(5), 2, 9).partition(&g, 4).unwrap();
+        let b = RefinePartitioner::new(RandomPartitioner::new(5), 2, 9).partition(&g, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_partition_is_passthrough() {
+        let g = test_graph(5);
+        let p = RefinePartitioner::new(RandomPartitioner::new(0), 2, 0).partition(&g, 1).unwrap();
+        assert_eq!(p.users_of(0).len(), 150);
+    }
+}

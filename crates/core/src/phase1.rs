@@ -1,0 +1,271 @@
+//! Phase 1: KNN-graph partitioning and on-disk layout.
+//!
+//! Splits `G(t)` into `m` balanced partitions, writes each partition's
+//! in-edge and out-edge lists **sorted by the bridge vertex** `v` (so
+//! phase 2 can emit all two-hop tuples `s → v → d` with one sequential
+//! merge-scan), migrates profile files to the new layout, and resets
+//! the per-partition top-K accumulator state.
+
+use std::sync::Arc;
+
+use knn_graph::{KnnGraph, UserId};
+use knn_sim::ProfileStore;
+use knn_store::record_file::{read_user_lists, write_pairs, write_user_lists};
+use knn_store::{IoStats, RecordKind, WorkingDir};
+
+use crate::partition::Partitioning;
+use crate::EngineError;
+
+/// Summary of one phase-1 run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Phase1Stats {
+    /// Directed edges written into in-edge files.
+    pub in_edges_written: u64,
+    /// Directed edges written into out-edge files.
+    pub out_edges_written: u64,
+    /// Profiles migrated between partition files.
+    pub profiles_resharded: u64,
+}
+
+/// Writes the per-partition edge files of `graph` under `partitioning`.
+///
+/// For partition `Ri` with users `Vi`:
+/// * the **out-edge file** holds rows `(v, d)` for every edge
+///   `v → d, v ∈ Vi`, sorted by `(v, d)`;
+/// * the **in-edge file** holds rows `(v, s)` for every edge
+///   `s → v, v ∈ Vi`, sorted by `(v, s)` — the bridge `v` comes first
+///   in both layouts.
+///
+/// Also resets each partition's accumulator file to the empty state.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] on I/O failure.
+pub fn write_partition_edges(
+    graph: &KnnGraph,
+    partitioning: &Partitioning,
+    workdir: &WorkingDir,
+    stats: &Arc<IoStats>,
+) -> Result<Phase1Stats, EngineError> {
+    let m = partitioning.num_partitions();
+    let mut result = Phase1Stats::default();
+
+    // Group edges by the partition that owns each endpoint-as-bridge.
+    let mut out_rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+    let mut in_rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+    for (s, nb) in graph.iter_edges() {
+        let d = nb.id;
+        out_rows[partitioning.partition_of(s) as usize].push((s.raw(), d.raw()));
+        in_rows[partitioning.partition_of(d) as usize].push((d.raw(), s.raw()));
+    }
+
+    for p in 0..m as u32 {
+        let rows = &mut out_rows[p as usize];
+        rows.sort_unstable();
+        write_pairs(&workdir.out_edges_path(p), RecordKind::OutEdges, rows, stats)?;
+        result.out_edges_written += rows.len() as u64;
+
+        let rows = &mut in_rows[p as usize];
+        rows.sort_unstable();
+        write_pairs(&workdir.in_edges_path(p), RecordKind::InEdges, rows, stats)?;
+        result.in_edges_written += rows.len() as u64;
+
+        // Fresh (empty) accumulator state for every user of p.
+        let accum_rows: Vec<(u32, Vec<(u32, f32)>)> = partitioning
+            .users_of(p)
+            .iter()
+            .map(|u| (u.raw(), Vec::new()))
+            .collect();
+        write_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, &accum_rows, stats)?;
+    }
+
+    Ok(result)
+}
+
+/// Migrates profile files from `old` partition layout to `new`.
+///
+/// When `old` is `None` the profiles come from `initial` (engine
+/// setup); otherwise each old partition file is read once and its rows
+/// are redistributed. Every user must appear exactly once.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] on I/O failure and
+/// [`EngineError::InputMismatch`] if the old layout does not cover
+/// exactly the expected users.
+pub fn reshard_profiles(
+    workdir: &WorkingDir,
+    old: Option<&Partitioning>,
+    new: &Partitioning,
+    initial: Option<&ProfileStore>,
+    stats: &Arc<IoStats>,
+) -> Result<u64, EngineError> {
+    let m = new.num_partitions();
+    let n = new.num_users();
+    let mut staged: Vec<Vec<knn_store::record_file::UserListRow>> = vec![Vec::new(); m];
+    let mut seen = 0u64;
+
+    let mut place = |user: u32, row: Vec<(u32, f32)>| -> Result<(), EngineError> {
+        if user as usize >= n {
+            return Err(EngineError::input(format!(
+                "profile row for user {user} but n={n}"
+            )));
+        }
+        let p = new.partition_of(UserId::new(user));
+        staged[p as usize].push((user, row));
+        seen += 1;
+        Ok(())
+    };
+
+    match (old, initial) {
+        (Some(old_layout), _) => {
+            for p in 0..old_layout.num_partitions() as u32 {
+                let rows =
+                    read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
+                for (user, row) in rows {
+                    place(user, row)?;
+                }
+            }
+        }
+        (None, Some(store)) => {
+            for (user, profile) in store.iter() {
+                let row: Vec<(u32, f32)> =
+                    profile.iter().map(|(i, w)| (i.raw(), w)).collect();
+                place(user.raw(), row)?;
+            }
+        }
+        (None, None) => {
+            return Err(EngineError::input(
+                "reshard needs either an old layout or an initial profile store",
+            ));
+        }
+    }
+
+    if seen != n as u64 {
+        return Err(EngineError::input(format!(
+            "reshard saw {seen} profile rows, expected {n}"
+        )));
+    }
+
+    for p in 0..m as u32 {
+        let rows = &mut staged[p as usize];
+        rows.sort_unstable_by_key(|&(u, _)| u);
+        write_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, rows, stats)?;
+    }
+    Ok(seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::Neighbor;
+    use knn_store::record_file::read_pairs;
+
+    fn setup(n: usize, m: usize) -> (WorkingDir, Partitioning, Arc<IoStats>) {
+        let wd = WorkingDir::temp("phase1").unwrap();
+        let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
+        let p = Partitioning::from_assignment(assignment, m).unwrap();
+        (wd, p, Arc::new(IoStats::new()))
+    }
+
+    fn graph_with_edges(n: usize, k: usize, edges: &[(u32, u32)]) -> KnnGraph {
+        let mut g = KnnGraph::new(n, k);
+        for &(s, d) in edges {
+            g.insert(UserId::new(s), Neighbor::new(UserId::new(d), 0.5));
+        }
+        g
+    }
+
+    #[test]
+    fn edge_files_are_sorted_by_bridge() {
+        let (wd, p, stats) = setup(6, 2);
+        // Edges: 4→0, 2→0, 0→5 (users 0,2,4 in partition 0; 1,3,5 in 1).
+        let g = graph_with_edges(6, 3, &[(4, 0), (2, 0), (0, 5)]);
+        let st = write_partition_edges(&g, &p, &wd, &stats).unwrap();
+        assert_eq!(st.out_edges_written, 3);
+        assert_eq!(st.in_edges_written, 3);
+        // Partition 0 out-edges: bridges 0,2,4 → rows (0,5),(2,0),(4,0).
+        let out0 = read_pairs(&wd.out_edges_path(0), RecordKind::OutEdges, &stats).unwrap();
+        assert_eq!(out0, vec![(0, 5), (2, 0), (4, 0)]);
+        // Partition 0 in-edges: edges into users 0,2,4: (0,2),(0,4).
+        let in0 = read_pairs(&wd.in_edges_path(0), RecordKind::InEdges, &stats).unwrap();
+        assert_eq!(in0, vec![(0, 2), (0, 4)]);
+        // Partition 1 in-edges: edge into 5 from 0.
+        let in1 = read_pairs(&wd.in_edges_path(1), RecordKind::InEdges, &stats).unwrap();
+        assert_eq!(in1, vec![(5, 0)]);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn accumulator_files_initialized_empty() {
+        let (wd, p, stats) = setup(4, 2);
+        let g = graph_with_edges(4, 2, &[]);
+        write_partition_edges(&g, &p, &wd, &stats).unwrap();
+        let rows = read_user_lists(&wd.accum_path(0), RecordKind::Accumulators, &stats).unwrap();
+        assert_eq!(rows, vec![(0u32, vec![]), (2, vec![])]);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn initial_reshard_places_every_profile() {
+        let (wd, p, stats) = setup(5, 2);
+        let mut store = ProfileStore::new(5);
+        for u in 0..5u32 {
+            store.get_mut(UserId::new(u)).set(knn_sim::ItemId::new(u), u as f32 + 1.0);
+        }
+        let moved = reshard_profiles(&wd, None, &p, Some(&store), &stats).unwrap();
+        assert_eq!(moved, 5);
+        let rows0 = read_user_lists(&wd.profiles_path(0), RecordKind::Profiles, &stats).unwrap();
+        let users0: Vec<u32> = rows0.iter().map(|&(u, _)| u).collect();
+        assert_eq!(users0, vec![0, 2, 4]);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn relayout_moves_rows_between_files() {
+        let (wd, old, stats) = setup(4, 2); // u % 2
+        let mut store = ProfileStore::new(4);
+        for u in 0..4u32 {
+            store.get_mut(UserId::new(u)).set(knn_sim::ItemId::new(9), u as f32);
+        }
+        reshard_profiles(&wd, None, &old, Some(&store), &stats).unwrap();
+        // New layout: contiguous halves.
+        let new = Partitioning::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        let moved = reshard_profiles(&wd, Some(&old), &new, None, &stats).unwrap();
+        assert_eq!(moved, 4);
+        let rows0 = read_user_lists(&wd.profiles_path(0), RecordKind::Profiles, &stats).unwrap();
+        let users0: Vec<u32> = rows0.iter().map(|&(u, _)| u).collect();
+        assert_eq!(users0, vec![0, 1]);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn reshard_without_source_errors() {
+        let (wd, p, stats) = setup(4, 2);
+        assert!(matches!(
+            reshard_profiles(&wd, None, &p, None, &stats),
+            Err(EngineError::InputMismatch { .. })
+        ));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn reshard_detects_missing_users() {
+        let (wd, p, stats) = setup(4, 2);
+        let store = ProfileStore::new(3); // one user short
+        assert!(matches!(
+            reshard_profiles(&wd, None, &p, Some(&store), &stats),
+            Err(EngineError::InputMismatch { .. })
+        ));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn io_is_counted() {
+        let (wd, p, stats) = setup(4, 2);
+        let g = graph_with_edges(4, 2, &[(0, 1), (2, 3)]);
+        write_partition_edges(&g, &p, &wd, &stats).unwrap();
+        assert!(stats.snapshot().bytes_written > 0);
+        wd.destroy().unwrap();
+    }
+}

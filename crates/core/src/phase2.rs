@@ -1,0 +1,246 @@
+//! Phase 2: candidate tuple generation and deduplication.
+//!
+//! Streams each partition's sorted in-edge and out-edge files once,
+//! joining on the bridge vertex `v`: every `(s, v)` in-edge crossed
+//! with every `(v, d)` out-edge yields the two-hop candidate `(s, d)`,
+//! and the out-edges themselves are the direct candidates `(v, d)` —
+//! together the "neighbors and neighbors' neighbors" set the paper's
+//! KNN step scores. Uniqueness is enforced by the hash table
+//! ([`crate::tuple_table::TupleTable`]).
+
+use std::sync::Arc;
+
+use knn_store::record_file::read_pairs;
+use knn_store::{IoStats, RecordKind, WorkingDir};
+
+use crate::partition::Partitioning;
+use crate::tuple_table::{TupleTable, TupleTableStats};
+use crate::{EngineError, PiGraph};
+
+/// Output of phase 2: the PI graph over the written tuple buckets plus
+/// dedup statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase2Output {
+    /// The partition-interaction graph (bucket tuple counts).
+    pub pi: PiGraph,
+    /// Hash-table statistics.
+    pub stats: TupleTableStats,
+}
+
+/// Runs phase 2 over the edge files written by
+/// [`crate::phase1::write_partition_edges`].
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] on I/O failure or corrupt edge files.
+pub fn generate_tuples(
+    partitioning: &Partitioning,
+    workdir: &WorkingDir,
+    stats: &Arc<IoStats>,
+    spill_threshold: usize,
+) -> Result<Phase2Output, EngineError> {
+    workdir.clear_tuples()?;
+    let mut table = TupleTable::new(workdir, partitioning, Arc::clone(stats), spill_threshold);
+
+    for p in 0..partitioning.num_partitions() as u32 {
+        // Rows are (bridge, other), sorted by bridge then other.
+        let in_rows = read_pairs(&workdir.in_edges_path(p), RecordKind::InEdges, stats)?;
+        let out_rows = read_pairs(&workdir.out_edges_path(p), RecordKind::OutEdges, stats)?;
+
+        // Direct candidates: each out-edge (v, d) of G(t).
+        for &(v, d) in &out_rows {
+            table.offer(v, d)?;
+        }
+
+        // Two-hop candidates: group both lists by bridge and cross.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < in_rows.len() && j < out_rows.len() {
+            let bridge = in_rows[i].0;
+            match bridge.cmp(&out_rows[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let i_end = in_rows[i..].partition_point(|r| r.0 == bridge) + i;
+                    let j_end = out_rows[j..].partition_point(|r| r.0 == bridge) + j;
+                    for &(_, s) in &in_rows[i..i_end] {
+                        for &(_, d) in &out_rows[j..j_end] {
+                            table.offer(s, d)?;
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+    }
+
+    let (pi, table_stats) = table.finalize()?;
+    Ok(Phase2Output { pi, stats: table_stats })
+}
+
+/// Reference tuple set for a KNN graph: all direct edges plus all
+/// two-hop pairs `(s, d)` with `s → v → d`, excluding self-pairs.
+/// Used by tests and the reference engine to validate
+/// [`generate_tuples`].
+pub fn reference_tuple_set(graph: &knn_graph::KnnGraph) -> std::collections::HashSet<(u32, u32)> {
+    let n = graph.num_vertices();
+    let mut set = std::collections::HashSet::new();
+    // In-neighbor lists: sources per bridge.
+    let mut sources: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (s, nb) in graph.iter_edges() {
+        set.insert((s.raw(), nb.id.raw()));
+        sources[nb.id.index()].push(s.raw());
+    }
+    for v in 0..n as u32 {
+        let bridge = knn_graph::UserId::new(v);
+        for &s in &sources[bridge.index()] {
+            for d_nb in graph.neighbors(bridge) {
+                if s != d_nb.id.raw() {
+                    set.insert((s, d_nb.id.raw()));
+                }
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::write_partition_edges;
+    use knn_graph::{KnnGraph, Neighbor, UserId};
+    use knn_store::record_file::read_pairs as read_bucket_pairs;
+
+    fn setup(n: usize, m: usize) -> (WorkingDir, Partitioning, Arc<IoStats>) {
+        let wd = WorkingDir::temp("phase2").unwrap();
+        let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
+        let p = Partitioning::from_assignment(assignment, m).unwrap();
+        (wd, p, Arc::new(IoStats::new()))
+    }
+
+    fn run_phase2(
+        g: &KnnGraph,
+        wd: &WorkingDir,
+        p: &Partitioning,
+        stats: &Arc<IoStats>,
+    ) -> Phase2Output {
+        write_partition_edges(g, p, wd, stats).unwrap();
+        generate_tuples(p, wd, stats, 1 << 16).unwrap()
+    }
+
+    fn all_tuples(
+        out: &Phase2Output,
+        wd: &WorkingDir,
+        stats: &Arc<IoStats>,
+    ) -> std::collections::HashSet<(u32, u32)> {
+        let mut set = std::collections::HashSet::new();
+        for ((i, j), _) in out.pi.iter_buckets() {
+            for t in
+                read_bucket_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, stats).unwrap()
+            {
+                set.insert(t);
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn path_graph_generates_direct_and_two_hop() {
+        // 0→1→2: direct (0,1),(1,2); two-hop (0,2).
+        let (wd, p, stats) = setup(3, 2);
+        let mut g = KnnGraph::new(3, 2);
+        g.insert(UserId::new(0), Neighbor::new(UserId::new(1), 0.5));
+        g.insert(UserId::new(1), Neighbor::new(UserId::new(2), 0.5));
+        let out = run_phase2(&g, &wd, &p, &stats);
+        let got = all_tuples(&out, &wd, &stats);
+        let expected: std::collections::HashSet<(u32, u32)> =
+            [(0, 1), (1, 2), (0, 2)].into_iter().collect();
+        assert_eq!(got, expected);
+        assert_eq!(out.stats.unique, 3);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn cycle_deduplicates_and_skips_self() {
+        // Triangle 0→1→2→0: two-hop pairs include (0,2),(1,0),(2,1);
+        // (0,0) etc. are skipped as self-tuples.
+        let (wd, p, stats) = setup(3, 3);
+        let mut g = KnnGraph::new(3, 1);
+        g.insert(UserId::new(0), Neighbor::new(UserId::new(1), 0.5));
+        g.insert(UserId::new(1), Neighbor::new(UserId::new(2), 0.5));
+        g.insert(UserId::new(2), Neighbor::new(UserId::new(0), 0.5));
+        let out = run_phase2(&g, &wd, &p, &stats);
+        let got = all_tuples(&out, &wd, &stats);
+        assert_eq!(got, reference_tuple_set(&g));
+        assert!(got.iter().all(|&(s, d)| s != d));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn diamond_counts_duplicate_once() {
+        // a→b→d and a→c→d: tuple (a,d) generated via two bridges.
+        let (wd, p, stats) = setup(4, 2);
+        let mut g = KnnGraph::new(4, 2);
+        let nb = |id: u32| Neighbor::new(UserId::new(id), 0.5);
+        g.insert(UserId::new(0), nb(1));
+        g.insert(UserId::new(0), nb(2));
+        g.insert(UserId::new(1), nb(3));
+        g.insert(UserId::new(2), nb(3));
+        let out = run_phase2(&g, &wd, &p, &stats);
+        assert!(out.stats.duplicates >= 1, "diamond tuple must be deduplicated");
+        let got = all_tuples(&out, &wd, &stats);
+        assert_eq!(got, reference_tuple_set(&g));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..5u64 {
+            let n = 40;
+            let g = KnnGraph::random_init(n, 4, seed);
+            let (wd, p, stats) = setup(n, 5);
+            let out = run_phase2(&g, &wd, &p, &stats);
+            let got = all_tuples(&out, &wd, &stats);
+            assert_eq!(got, reference_tuple_set(&g), "seed {seed}");
+            assert_eq!(out.stats.unique as usize, got.len());
+            wd.destroy().unwrap();
+        }
+    }
+
+    #[test]
+    fn pi_graph_weights_match_bucket_contents() {
+        let (wd, p, stats) = setup(30, 4);
+        let g = KnnGraph::random_init(30, 3, 9);
+        let out = run_phase2(&g, &wd, &p, &stats);
+        for ((i, j), w) in out.pi.iter_buckets() {
+            let rows =
+                read_bucket_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, &stats).unwrap();
+            assert_eq!(rows.len() as u64, w);
+            for (s, d) in rows {
+                assert_eq!(p.partition_of(UserId::new(s)), i);
+                assert_eq!(p.partition_of(UserId::new(d)), j);
+            }
+        }
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn empty_graph_produces_no_tuples() {
+        let (wd, p, stats) = setup(4, 2);
+        let g = KnnGraph::new(4, 2);
+        let out = run_phase2(&g, &wd, &p, &stats);
+        assert_eq!(out.pi.total_tuples(), 0);
+        assert_eq!(out.stats.offered, 0);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn stale_buckets_from_previous_iteration_are_cleared() {
+        let (wd, p, stats) = setup(3, 2);
+        std::fs::write(wd.tuples_path(1, 1), b"stale").unwrap();
+        let g = KnnGraph::new(3, 2);
+        let _ = run_phase2(&g, &wd, &p, &stats);
+        assert!(!wd.tuples_path(1, 1).exists(), "stale bucket must be removed");
+        wd.destroy().unwrap();
+    }
+}

@@ -1,0 +1,511 @@
+//! Phase 4: out-of-core KNN computation.
+//!
+//! Walks the phase-3 schedule with a bounded partition cache (two
+//! slots by default, exactly the paper's memory constraint), scores
+//! every tuple of the resident pair's buckets — across a persistent
+//! worker pool when `threads > 1` — and folds the scores into per-user
+//! top-K accumulators. Accumulator state belongs to its partition: it
+//! is loaded and saved with the partition, so peak memory stays
+//! `O(cache_slots × partition)`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel;
+use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_sim::{Measure, Profile, Similarity};
+use knn_store::record_file::{read_user_lists, write_user_lists};
+use knn_store::{CacheCounters, IoStats, RecordKind, SlotCache, StoreError, WorkingDir};
+
+use crate::partition::Partitioning;
+use crate::topk::TopKAccumulator;
+use crate::traversal::Schedule;
+use crate::{EngineError, PiGraph};
+
+/// Buckets smaller than this are scored inline even when a worker pool
+/// exists (the dispatch overhead would dominate).
+const PARALLEL_THRESHOLD: usize = 2048;
+
+/// Options of one phase-4 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase4Options {
+    /// The KNN bound `K`.
+    pub k: usize,
+    /// Similarity measure.
+    pub measure: Measure,
+    /// Worker threads for similarity scoring.
+    pub threads: usize,
+    /// Partition cache slots (≥ 2).
+    pub cache_slots: usize,
+    /// Offer each tuple's source as a candidate to its destination too.
+    pub include_reverse: bool,
+}
+
+/// Result of one phase-4 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase4Output {
+    /// The next KNN graph `G(t+1)`.
+    pub graph: KnnGraph,
+    /// Partition cache operation counts (the real Table-1 metric).
+    pub cache: CacheCounters,
+    /// Similarity evaluations performed.
+    pub sims_computed: u64,
+}
+
+/// One partition's resident state: its users' profiles (read-only
+/// during the iteration, shared with scoring workers via `Arc`) and
+/// their top-K accumulators (read-write, persisted on unload).
+struct PartitionState {
+    profiles: Arc<HashMap<u32, Profile>>,
+    accums: HashMap<u32, TopKAccumulator>,
+    dirty: bool,
+}
+
+/// A unit of scoring work: an owned tuple chunk plus shared profile
+/// maps, safe to outlive cache evictions.
+struct ScoreTask {
+    src: Arc<HashMap<u32, Profile>>,
+    dst: Arc<HashMap<u32, Profile>>,
+    tuples: Vec<(u32, u32)>,
+    measure: Measure,
+}
+
+fn score_chunk(task: &ScoreTask) -> Vec<(u32, u32, f32)> {
+    task.tuples
+        .iter()
+        .map(|&(s, d)| {
+            let sim = task.measure.score(&task.src[&s], &task.dst[&d]);
+            (s, d, sim)
+        })
+        .collect()
+}
+
+fn load_state(
+    workdir: &WorkingDir,
+    stats: &IoStats,
+    k: usize,
+    p: u32,
+) -> Result<PartitionState, EngineError> {
+    let profile_rows = read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
+    let mut profiles = HashMap::with_capacity(profile_rows.len());
+    for (user, row) in profile_rows {
+        let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
+            EngineError::Store(StoreError::corrupt(
+                workdir.profiles_path(p),
+                format!("invalid profile for user {user}: {e}"),
+            ))
+        })?;
+        profiles.insert(user, profile);
+    }
+    let accum_rows = read_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, stats)?;
+    let mut accums = HashMap::with_capacity(accum_rows.len());
+    for (user, row) in accum_rows {
+        accums.insert(user, TopKAccumulator::from_row(k, &row));
+    }
+    Ok(PartitionState { profiles: Arc::new(profiles), accums, dirty: false })
+}
+
+fn unload_state(
+    workdir: &WorkingDir,
+    stats: &IoStats,
+    p: u32,
+    state: PartitionState,
+) -> Result<(), EngineError> {
+    if !state.dirty {
+        // Profiles are immutable during the iteration and the
+        // accumulators are unchanged: nothing to persist.
+        return Ok(());
+    }
+    let mut rows: Vec<(u32, Vec<(u32, f32)>)> = state
+        .accums
+        .iter()
+        .map(|(&user, acc)| (user, acc.to_row()))
+        .collect();
+    rows.sort_unstable_by_key(|&(u, _)| u);
+    write_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, &rows, stats)?;
+    Ok(())
+}
+
+/// Runs phase 4 over the given schedule.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] on I/O failure or corrupt state
+/// files, and [`EngineError::InputMismatch`] if a tuple references a
+/// user missing from its partition's files.
+pub fn run_phase4(
+    schedule: &Schedule,
+    pi: &PiGraph,
+    partitioning: &Partitioning,
+    workdir: &WorkingDir,
+    stats: &Arc<IoStats>,
+    options: &Phase4Options,
+) -> Result<Phase4Output, EngineError> {
+    let workers = options.threads.max(1);
+    if workers <= 1 {
+        return drive(schedule, pi, partitioning, workdir, stats, options, None);
+    }
+    // Persistent worker pool for the whole run: tasks own Arc'd
+    // profile maps, so the cache can evict freely while chunks are in
+    // flight within a bucket.
+    let (task_tx, task_rx) = channel::unbounded::<ScoreTask>();
+    let (result_tx, result_rx) = channel::unbounded::<Vec<(u32, u32, f32)>>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok(task) = task_rx.recv() {
+                    let _ = result_tx.send(score_chunk(&task));
+                }
+            });
+        }
+        drop(task_rx);
+        drop(result_tx);
+        let pool = WorkerPool { task_tx, result_rx, workers };
+        drive(schedule, pi, partitioning, workdir, stats, options, Some(pool))
+    })
+}
+
+/// Handle to the scoring pool (senders dropped at end of scope shut
+/// the workers down).
+struct WorkerPool {
+    task_tx: channel::Sender<ScoreTask>,
+    result_rx: channel::Receiver<Vec<(u32, u32, f32)>>,
+    workers: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    schedule: &Schedule,
+    pi: &PiGraph,
+    partitioning: &Partitioning,
+    workdir: &WorkingDir,
+    stats: &Arc<IoStats>,
+    options: &Phase4Options,
+    pool: Option<WorkerPool>,
+) -> Result<Phase4Output, EngineError> {
+    let mut cache: SlotCache<PartitionState> =
+        SlotCache::new(options.cache_slots).with_io_stats(Arc::clone(stats));
+    let mut sims_computed = 0u64;
+
+    for step in schedule.iter() {
+        cache.ensure(
+            step.a,
+            None,
+            |p| load_state(workdir, stats, options.k, p),
+            |p, s| unload_state(workdir, stats, p, s),
+        )?;
+        if !step.is_self() {
+            cache.ensure(
+                step.b,
+                Some(step.a),
+                |p| load_state(workdir, stats, options.k, p),
+                |p, s| unload_state(workdir, stats, p, s),
+            )?;
+        }
+        // Both directed buckets of the pair (one for a self-pair).
+        let buckets: &[(u32, u32)] = if step.is_self() {
+            &[(step.a, step.a)]
+        } else {
+            &[(step.a, step.b), (step.b, step.a)]
+        };
+        for &(src, dst) in buckets {
+            if pi.bucket_weight(src, dst) == 0 {
+                continue;
+            }
+            let tuples = knn_store::record_file::read_pairs(
+                &workdir.tuples_path(src, dst),
+                RecordKind::Tuples,
+                stats,
+            )?;
+            let src_profiles = Arc::clone(&cache.get(src).expect("src resident").profiles);
+            let dst_profiles = Arc::clone(&cache.get(dst).expect("dst resident").profiles);
+            validate_tuples(&tuples, &src_profiles, &dst_profiles)?;
+            let scored = match &pool {
+                Some(pool) if tuples.len() >= PARALLEL_THRESHOLD => {
+                    let chunk = tuples.len().div_ceil(pool.workers);
+                    let mut dispatched = 0usize;
+                    for part in tuples.chunks(chunk) {
+                        pool.task_tx
+                            .send(ScoreTask {
+                                src: Arc::clone(&src_profiles),
+                                dst: Arc::clone(&dst_profiles),
+                                tuples: part.to_vec(),
+                                measure: options.measure,
+                            })
+                            .expect("workers alive while the run drives them");
+                        dispatched += 1;
+                    }
+                    let mut out = Vec::with_capacity(tuples.len());
+                    for _ in 0..dispatched {
+                        out.extend(
+                            pool.result_rx.recv().expect("worker delivered its chunk"),
+                        );
+                    }
+                    out
+                }
+                _ => score_chunk(&ScoreTask {
+                    src: src_profiles,
+                    dst: dst_profiles,
+                    tuples,
+                    measure: options.measure,
+                }),
+            };
+            sims_computed += scored.len() as u64;
+            apply_scores(&mut cache, src, dst, &scored, options.include_reverse);
+        }
+    }
+
+    cache.flush(|p, s| unload_state(workdir, stats, p, s))?;
+    let counters = cache.counters();
+
+    // Harvest: fold every partition's accumulator file into G(t+1).
+    let n = partitioning.num_users();
+    let mut graph = KnnGraph::new(n, options.k);
+    for p in 0..partitioning.num_partitions() as u32 {
+        let rows = read_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, stats)?;
+        for (user, row) in rows {
+            let neighbors: Vec<Neighbor> = row
+                .iter()
+                .map(|&(id, sim)| Neighbor::new(UserId::new(id), sim))
+                .collect();
+            graph.set_neighbors(UserId::new(user), neighbors)?;
+        }
+    }
+
+    Ok(Phase4Output { graph, cache: counters, sims_computed })
+}
+
+/// Checks that every tuple endpoint has a profile row before scoring.
+fn validate_tuples(
+    tuples: &[(u32, u32)],
+    src: &HashMap<u32, Profile>,
+    dst: &HashMap<u32, Profile>,
+) -> Result<(), EngineError> {
+    for &(s, d) in tuples {
+        if !src.contains_key(&s) || !dst.contains_key(&d) {
+            return Err(EngineError::input(format!(
+                "tuple ({s}, {d}) references a user missing from its partition file"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Applies scored tuples to the resident accumulators.
+fn apply_scores(
+    cache: &mut SlotCache<PartitionState>,
+    src: u32,
+    dst: u32,
+    scored: &[(u32, u32, f32)],
+    include_reverse: bool,
+) {
+    // Forward offers: candidate d for user s (s lives in `src`).
+    {
+        let state = cache.get_mut(src).expect("src resident");
+        for &(s, d, sim) in scored {
+            state
+                .accums
+                .get_mut(&s)
+                .expect("accumulator row exists for every partition user")
+                .offer(Neighbor::new(UserId::new(d), sim));
+        }
+        state.dirty = true;
+    }
+    if include_reverse {
+        let state = cache.get_mut(dst).expect("dst resident");
+        for &(s, d, sim) in scored {
+            state
+                .accums
+                .get_mut(&d)
+                .expect("accumulator row exists for every partition user")
+                .offer(Neighbor::new(UserId::new(s), sim));
+        }
+        state.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::{reshard_profiles, write_partition_edges};
+    use crate::phase2::generate_tuples;
+    use crate::traversal::Heuristic;
+    use knn_sim::ProfileStore;
+
+    fn options(k: usize, threads: usize) -> Phase4Options {
+        Phase4Options {
+            k,
+            measure: Measure::Cosine,
+            threads,
+            cache_slots: 2,
+            include_reverse: false,
+        }
+    }
+
+    /// Builds a tiny world: n users in m partitions with simple
+    /// profiles, a given KNN graph, everything written to disk.
+    fn setup_world(
+        g: &KnnGraph,
+        profiles: &ProfileStore,
+        m: usize,
+    ) -> (WorkingDir, Partitioning, Arc<IoStats>, PiGraph) {
+        let n = g.num_vertices();
+        let wd = WorkingDir::temp("phase4").unwrap();
+        let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
+        let p = Partitioning::from_assignment(assignment, m).unwrap();
+        let stats = Arc::new(IoStats::new());
+        reshard_profiles(&wd, None, &p, Some(profiles), &stats).unwrap();
+        write_partition_edges(g, &p, &wd, &stats).unwrap();
+        let out = generate_tuples(&p, &wd, &stats, 1 << 16).unwrap();
+        (wd, p, stats, out.pi)
+    }
+
+    fn line_profiles(n: usize) -> ProfileStore {
+        // User u rates items u and u+1: consecutive users overlap.
+        let mut store = ProfileStore::new(n);
+        for u in 0..n as u32 {
+            let p = store.get_mut(UserId::new(u));
+            p.set(knn_sim::ItemId::new(u), 1.0);
+            p.set(knn_sim::ItemId::new(u + 1), 1.0);
+        }
+        store
+    }
+
+    #[test]
+    fn single_pair_scores_and_harvests() {
+        // 0 → 1 with overlapping profiles: G(1)[0] must contain 1.
+        let mut g = KnnGraph::new(2, 1);
+        g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
+        let profiles = line_profiles(2);
+        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        let schedule = Heuristic::Sequential.schedule(&pi);
+        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(1, 1)).unwrap();
+        let nbrs = out.graph.neighbors(UserId::new(0));
+        assert_eq!(nbrs.len(), 1);
+        assert_eq!(nbrs[0].id, UserId::new(1));
+        assert!((nbrs[0].sim - 0.5).abs() < 1e-6, "cosine of half-overlap");
+        assert_eq!(out.sims_computed, 1);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn result_is_heuristic_independent() {
+        let n = 36;
+        let g = KnnGraph::random_init(n, 4, 3);
+        let profiles = line_profiles(n);
+        let mut results = Vec::new();
+        for h in Heuristic::ALL {
+            let (wd, p, stats, pi) = setup_world(&g, &profiles, 4);
+            let schedule = h.schedule(&pi);
+            let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(4, 1)).unwrap();
+            results.push((h, out.graph));
+            wd.destroy().unwrap();
+        }
+        for (h, g2) in &results[1..] {
+            assert_eq!(g2, &results[0].1, "{h} produced a different G(t+1)");
+        }
+    }
+
+    #[test]
+    fn result_is_thread_count_independent() {
+        let n = 48;
+        let g = KnnGraph::random_init(n, 5, 7);
+        let profiles = line_profiles(n);
+        let mut results = Vec::new();
+        for threads in [1, 2, 4] {
+            let (wd, p, stats, pi) = setup_world(&g, &profiles, 3);
+            let schedule = Heuristic::DegreeLowHigh.schedule(&pi);
+            let out =
+                run_phase4(&schedule, &pi, &p, &wd, &stats, &options(5, threads)).unwrap();
+            results.push(out.graph);
+            wd.destroy().unwrap();
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn parallel_path_is_exercised_above_threshold() {
+        // Enough users that at least one bucket crosses the parallel
+        // threshold with m=2.
+        let n = 600;
+        let g = KnnGraph::random_init(n, 6, 2);
+        let profiles = line_profiles(n);
+        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        assert!(
+            pi.iter_buckets().any(|(_, w)| w >= PARALLEL_THRESHOLD as u64),
+            "test needs a bucket above the parallel threshold"
+        );
+        let schedule = Heuristic::Sequential.schedule(&pi);
+        let sequential =
+            run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 1)).unwrap();
+        let parallel =
+            run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 4)).unwrap();
+        assert_eq!(sequential.graph, parallel.graph);
+        assert_eq!(sequential.sims_computed, parallel.sims_computed);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn result_is_partition_count_independent() {
+        let n = 30;
+        let g = KnnGraph::random_init(n, 3, 11);
+        let profiles = line_profiles(n);
+        let mut results = Vec::new();
+        for m in [2, 3, 5] {
+            let (wd, p, stats, pi) = setup_world(&g, &profiles, m);
+            let schedule = Heuristic::Sequential.schedule(&pi);
+            let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(3, 1)).unwrap();
+            results.push(out.graph);
+            wd.destroy().unwrap();
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn cache_respects_two_slots_and_counts_ops() {
+        let n = 24;
+        let g = KnnGraph::random_init(n, 3, 5);
+        let profiles = line_profiles(n);
+        let (wd, p, stats, pi) = setup_world(&g, &profiles, 6);
+        let schedule = Heuristic::Sequential.schedule(&pi);
+        let predicted = crate::traversal::simulate_schedule_ops(&schedule, 2);
+        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(3, 1)).unwrap();
+        assert_eq!(out.cache.loads, predicted.loads, "dry run must match execution");
+        assert_eq!(out.cache.unloads, predicted.unloads);
+        assert_eq!(stats.snapshot().partition_loads, out.cache.loads);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn reverse_offers_add_candidates() {
+        // Only edge 0 → 1; with reverse, user 1 also gains candidate 0.
+        let mut g = KnnGraph::new(2, 1);
+        g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
+        let profiles = line_profiles(2);
+        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        let schedule = Heuristic::Sequential.schedule(&pi);
+        let mut opts = options(1, 1);
+        opts.include_reverse = true;
+        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &opts).unwrap();
+        assert_eq!(out.graph.neighbors(UserId::new(1)).len(), 1);
+        assert_eq!(out.graph.neighbors(UserId::new(1))[0].id, UserId::new(0));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn empty_schedule_yields_empty_graph() {
+        let g = KnnGraph::new(4, 2);
+        let profiles = ProfileStore::new(4);
+        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        let schedule = Heuristic::Sequential.schedule(&pi);
+        assert!(schedule.is_empty());
+        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(2, 1)).unwrap();
+        assert_eq!(out.graph.num_edges(), 0);
+        assert_eq!(out.sims_computed, 0);
+        wd.destroy().unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! In-memory reference implementation of one KNN iteration.
+//!
+//! Computes the exact `G(t) → G(t+1)` transition the out-of-core
+//! engine must produce — same candidate set (direct neighbors plus
+//! two-hop neighbors), same similarity, same deterministic
+//! tie-breaking — but with everything in RAM and no partitioning. The
+//! integration tests assert byte-for-byte equality between this and
+//! the five-phase engine.
+
+use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_sim::{ProfileStore, Similarity};
+
+use crate::topk::TopKAccumulator;
+
+/// Computes `G(t+1)` from `G(t)` in memory.
+///
+/// Candidates for user `s` are its out-neighbors and its neighbors'
+/// out-neighbors in `graph`; each unique `(s, d)` pair is scored once
+/// with `measure`. With `include_reverse`, every pair additionally
+/// offers `s` as a candidate to `d`.
+///
+/// # Panics
+///
+/// Panics if `profiles` has fewer users than `graph` has vertices.
+pub fn reference_iteration<M: Similarity>(
+    graph: &KnnGraph,
+    profiles: &ProfileStore,
+    measure: &M,
+    k: usize,
+    include_reverse: bool,
+) -> KnnGraph {
+    let n = graph.num_vertices();
+    assert!(profiles.num_users() >= n, "profiles must cover every vertex");
+
+    let tuples = crate::phase2::reference_tuple_set(graph);
+    let mut accums: Vec<TopKAccumulator> =
+        (0..n).map(|_| TopKAccumulator::new(k)).collect();
+
+    for &(s, d) in &tuples {
+        let sim = measure.score(
+            profiles.get(UserId::new(s)),
+            profiles.get(UserId::new(d)),
+        );
+        accums[s as usize].offer(Neighbor::new(UserId::new(d), sim));
+        if include_reverse {
+            accums[d as usize].offer(Neighbor::new(UserId::new(s), sim));
+        }
+    }
+
+    let mut next = KnnGraph::new(n, k);
+    for (u, acc) in accums.into_iter().enumerate() {
+        next.set_neighbors(UserId::new(u as u32), acc.into_sorted())
+            .expect("accumulator output satisfies KNN invariants");
+    }
+    next
+}
+
+/// Runs `iterations` reference iterations from `initial`.
+///
+/// # Panics
+///
+/// Same as [`reference_iteration`].
+pub fn reference_run<M: Similarity>(
+    initial: &KnnGraph,
+    profiles: &ProfileStore,
+    measure: &M,
+    k: usize,
+    include_reverse: bool,
+    iterations: usize,
+) -> KnnGraph {
+    let mut g = initial.clone();
+    for _ in 0..iterations {
+        g = reference_iteration(&g, profiles, measure, k, include_reverse);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_sim::{ItemId, Measure};
+
+    fn chain_profiles(n: usize) -> ProfileStore {
+        let mut store = ProfileStore::new(n);
+        for u in 0..n as u32 {
+            let p = store.get_mut(UserId::new(u));
+            p.set(ItemId::new(u), 1.0);
+            p.set(ItemId::new(u + 1), 1.0);
+        }
+        store
+    }
+
+    #[test]
+    fn two_hop_candidates_enter_the_graph() {
+        // 0→1→2; profile overlap makes 2 a better neighbor for 0 than
+        // nothing: G(1)[0] must contain both 1 and 2.
+        let mut g = KnnGraph::new(3, 2);
+        g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
+        g.insert(UserId::new(1), Neighbor::unscored(UserId::new(2)));
+        let profiles = chain_profiles(3);
+        let next = reference_iteration(&g, &profiles, &Measure::Cosine, 2, false);
+        let ids: Vec<u32> = next.neighbors(UserId::new(0)).iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2], "direct (higher sim) first, then 2-hop");
+    }
+
+    #[test]
+    fn respects_k_bound() {
+        let g = KnnGraph::random_init(20, 6, 1);
+        let profiles = chain_profiles(20);
+        let next = reference_iteration(&g, &profiles, &Measure::Cosine, 3, false);
+        for v in 0..20u32 {
+            assert!(next.neighbors(UserId::new(v)).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn users_with_no_outedges_end_up_empty() {
+        let mut g = KnnGraph::new(3, 2);
+        g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
+        let profiles = chain_profiles(3);
+        let next = reference_iteration(&g, &profiles, &Measure::Cosine, 2, false);
+        assert!(next.neighbors(UserId::new(2)).is_empty());
+        assert!(next.neighbors(UserId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn reverse_offers_fill_in_isolated_users() {
+        let mut g = KnnGraph::new(3, 2);
+        g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
+        let profiles = chain_profiles(3);
+        let next = reference_iteration(&g, &profiles, &Measure::Cosine, 2, true);
+        assert_eq!(next.neighbors(UserId::new(1)).len(), 1);
+        assert_eq!(next.neighbors(UserId::new(1))[0].id, UserId::new(0));
+    }
+
+    #[test]
+    fn total_similarity_never_decreases_over_iterations() {
+        // The candidate set always contains the current neighbors, so
+        // each user's list can only improve (or stay) under a fixed
+        // profile set.
+        let profiles = chain_profiles(30);
+        let mut g = reference_iteration(
+            &KnnGraph::random_init(30, 4, 2),
+            &profiles,
+            &Measure::Cosine,
+            4,
+            false,
+        );
+        let mut prev = g.total_similarity();
+        for _ in 0..4 {
+            g = reference_iteration(&g, &profiles, &Measure::Cosine, 4, false);
+            let cur = g.total_similarity();
+            assert!(cur + 1e-9 >= prev, "similarity regressed: {cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn reference_run_composes_iterations() {
+        let profiles = chain_profiles(15);
+        let g0 = KnnGraph::random_init(15, 3, 4);
+        let two_steps = reference_run(&g0, &profiles, &Measure::Cosine, 3, false, 2);
+        let manual = reference_iteration(
+            &reference_iteration(&g0, &profiles, &Measure::Cosine, 3, false),
+            &profiles,
+            &Measure::Cosine,
+            3,
+            false,
+        );
+        assert_eq!(two_steps, manual);
+    }
+}

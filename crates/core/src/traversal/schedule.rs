@@ -1,0 +1,127 @@
+//! Traversal schedules.
+
+use std::fmt;
+
+/// One processing step: co-load partitions `a` and `b` and score every
+/// tuple between them (`a == b` for a self-pair, needing one slot).
+///
+/// `a` is the pivot that selected the step — phase 4 keeps it pinned
+/// while the step runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairStep {
+    /// The pivot partition.
+    pub a: u32,
+    /// The partner partition (equal to `a` for a self-pair).
+    pub b: u32,
+}
+
+impl PairStep {
+    /// The unordered form `(min, max)`.
+    pub fn unordered(&self) -> (u32, u32) {
+        if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+
+    /// Whether this is a self-pair.
+    pub fn is_self(&self) -> bool {
+        self.a == self.b
+    }
+}
+
+impl fmt::Display for PairStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(R{}, R{})", self.a, self.b)
+    }
+}
+
+/// An ordered list of [`PairStep`]s covering every PI-graph pair
+/// exactly once.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    steps: Vec<PairStep>,
+}
+
+impl Schedule {
+    /// Wraps an explicit step list.
+    pub fn new(steps: Vec<PairStep>) -> Self {
+        Schedule { steps }
+    }
+
+    /// The steps in processing order.
+    pub fn steps(&self) -> &[PairStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates the steps.
+    pub fn iter(&self) -> impl Iterator<Item = &PairStep> + '_ {
+        self.steps.iter()
+    }
+
+    /// Validates that every unordered pair appears at most once,
+    /// returning the first duplicate if any.
+    pub fn first_duplicate(&self) -> Option<(u32, u32)> {
+        let mut seen = std::collections::HashSet::with_capacity(self.steps.len());
+        for s in &self.steps {
+            if !seen.insert(s.unordered()) {
+                return Some(s.unordered());
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<PairStep> for Schedule {
+    fn from_iter<T: IntoIterator<Item = PairStep>>(iter: T) -> Self {
+        Schedule::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unordered_normalizes() {
+        assert_eq!(PairStep { a: 3, b: 1 }.unordered(), (1, 3));
+        assert_eq!(PairStep { a: 1, b: 3 }.unordered(), (1, 3));
+    }
+
+    #[test]
+    fn self_pair_detection() {
+        assert!(PairStep { a: 2, b: 2 }.is_self());
+        assert!(!PairStep { a: 2, b: 3 }.is_self());
+    }
+
+    #[test]
+    fn duplicate_detection_ignores_direction() {
+        let s = Schedule::new(vec![PairStep { a: 0, b: 1 }, PairStep { a: 1, b: 0 }]);
+        assert_eq!(s.first_duplicate(), Some((0, 1)));
+        let ok = Schedule::new(vec![PairStep { a: 0, b: 1 }, PairStep { a: 0, b: 2 }]);
+        assert_eq!(ok.first_duplicate(), None);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: Schedule = vec![PairStep { a: 0, b: 0 }].into_iter().collect();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(PairStep { a: 1, b: 2 }.to_string(), "(R1, R2)");
+    }
+}

@@ -1,0 +1,282 @@
+//! Phase 2's hash table `H`, bucketed by partition pair with disk
+//! spill.
+//!
+//! The paper uses one hash table to deduplicate candidate tuples
+//! `(s, d)` (the same two-hop pair arises once per bridge vertex, plus
+//! cycles). Because a tuple's bucket `(part(s), part(d))` is a pure
+//! function of the tuple, deduplicating *per bucket* is equivalent to
+//! one global table — and the buckets are exactly the PI-graph edges
+//! phase 4 streams, so the table writes its output directly in the
+//! layout the executor needs.
+//!
+//! Memory is bounded by a spill threshold: a bucket whose in-memory
+//! staging exceeds the threshold is flushed to its file as a sorted
+//! run; [`TupleTable::finalize`] merges runs, deduplicates, rewrites
+//! each final bucket file, and returns the resulting [`PiGraph`].
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use knn_store::record_file::{read_pairs, write_pairs};
+use knn_store::{IoStats, RecordKind, StoreError, WorkingDir};
+
+use crate::partition::Partitioning;
+use crate::{EngineError, PiGraph};
+
+/// Statistics of one phase-2 run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TupleTableStats {
+    /// Tuples offered (before dedup).
+    pub offered: u64,
+    /// Unique tuples kept.
+    pub unique: u64,
+    /// Duplicates rejected.
+    pub duplicates: u64,
+    /// Spill runs written before finalize.
+    pub spills: u64,
+}
+
+/// The bucketed, spilling tuple hash table.
+pub struct TupleTable<'a> {
+    workdir: &'a WorkingDir,
+    partitioning: &'a Partitioning,
+    stats: Arc<IoStats>,
+    spill_threshold: usize,
+    /// In-memory staging per directed bucket.
+    staging: BTreeMap<(u32, u32), Vec<(u32, u32)>>,
+    /// Per-bucket dedup sets for the staged (unspilled) portion.
+    seen: BTreeMap<(u32, u32), HashSet<(u32, u32)>>,
+    /// Buckets that have spilled runs on disk (run count).
+    spilled: BTreeMap<(u32, u32), u32>,
+    counters: TupleTableStats,
+}
+
+impl<'a> TupleTable<'a> {
+    /// Creates a table writing buckets under `workdir`, spilling any
+    /// bucket whose staging exceeds `spill_threshold` tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spill_threshold == 0`.
+    pub fn new(
+        workdir: &'a WorkingDir,
+        partitioning: &'a Partitioning,
+        stats: Arc<IoStats>,
+        spill_threshold: usize,
+    ) -> Self {
+        assert!(spill_threshold > 0, "spill threshold must be positive");
+        TupleTable {
+            workdir,
+            partitioning,
+            stats,
+            spill_threshold,
+            staging: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            spilled: BTreeMap::new(),
+            counters: TupleTableStats::default(),
+        }
+    }
+
+    /// Offers the tuple `(s, d)`; self-tuples (`s == d`) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] if a spill write fails.
+    pub fn offer(&mut self, s: u32, d: u32) -> Result<(), EngineError> {
+        if s == d {
+            return Ok(());
+        }
+        self.counters.offered += 1;
+        let key = (
+            self.partitioning.partition_of(knn_graph::UserId::new(s)),
+            self.partitioning.partition_of(knn_graph::UserId::new(d)),
+        );
+        let seen = self.seen.entry(key).or_default();
+        if !seen.insert((s, d)) {
+            self.counters.duplicates += 1;
+            return Ok(());
+        }
+        let staged = self.staging.entry(key).or_default();
+        staged.push((s, d));
+        if staged.len() >= self.spill_threshold {
+            self.spill(key)?;
+        }
+        Ok(())
+    }
+
+    fn run_path(&self, key: (u32, u32), run: u32) -> std::path::PathBuf {
+        let base = self.workdir.tuples_path(key.0, key.1);
+        base.with_extension(format!("run{run}"))
+    }
+
+    fn spill(&mut self, key: (u32, u32)) -> Result<(), EngineError> {
+        let run_idx = *self.spilled.get(&key).unwrap_or(&0);
+        let path = self.run_path(key, run_idx);
+        let staged = self.staging.get_mut(&key).expect("spill of unknown bucket");
+        staged.sort_unstable();
+        write_pairs(&path, RecordKind::Tuples, staged, &self.stats)?;
+        staged.clear();
+        // The per-bucket seen set must survive spills for global
+        // dedup correctness; only the staging vector is freed.
+        self.spilled.insert(key, run_idx + 1);
+        self.counters.spills += 1;
+        Ok(())
+    }
+
+    /// Flushes and merges every bucket to its final file, returning the
+    /// PI graph (bucket → tuple count) and the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] on I/O failure.
+    pub fn finalize(mut self) -> Result<(PiGraph, TupleTableStats), EngineError> {
+        let mut pi = PiGraph::new(self.partitioning.num_partitions());
+        let keys: Vec<(u32, u32)> = self
+            .staging
+            .keys()
+            .chain(self.spilled.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for key in keys {
+            let mut tuples: Vec<(u32, u32)> = self.staging.remove(&key).unwrap_or_default();
+            if let Some(&runs) = self.spilled.get(&key) {
+                for run in 0..runs {
+                    let path = self.run_path(key, run);
+                    tuples.extend(read_pairs(&path, RecordKind::Tuples, &self.stats)?);
+                    std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+                }
+            }
+            // Runs were deduplicated globally at offer time; sort for
+            // deterministic, scan-friendly bucket files.
+            tuples.sort_unstable();
+            debug_assert!(tuples.windows(2).all(|w| w[0] != w[1]), "dedup invariant broken");
+            if tuples.is_empty() {
+                continue;
+            }
+            let path = self.workdir.tuples_path(key.0, key.1);
+            write_pairs(&path, RecordKind::Tuples, &tuples, &self.stats)?;
+            self.counters.unique += tuples.len() as u64;
+            pi.add_bucket(key.0, key.1, tuples.len() as u64);
+        }
+        Ok((pi, self.counters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize, m: usize) -> (WorkingDir, Partitioning, Arc<IoStats>) {
+        let wd = WorkingDir::temp("tuple_table").unwrap();
+        let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
+        let p = Partitioning::from_assignment(assignment, m).unwrap();
+        (wd, p, Arc::new(IoStats::new()))
+    }
+
+    fn read_bucket(wd: &WorkingDir, i: u32, j: u32, stats: &IoStats) -> Vec<(u32, u32)> {
+        read_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, stats).unwrap()
+    }
+
+    #[test]
+    fn dedups_within_bucket() {
+        let (wd, p, stats) = setup(4, 2);
+        let mut t = TupleTable::new(&wd, &p, Arc::clone(&stats), 1000);
+        for _ in 0..3 {
+            t.offer(0, 1).unwrap(); // bucket (0, 1): users 0→p0, 1→p1
+        }
+        t.offer(0, 3).unwrap(); // also bucket (0, 1)
+        let (pi, st) = t.finalize().unwrap();
+        assert_eq!(st.offered, 4);
+        assert_eq!(st.duplicates, 2);
+        assert_eq!(st.unique, 2);
+        assert_eq!(pi.bucket_weight(0, 1), 2);
+        assert_eq!(read_bucket(&wd, 0, 1, &stats), vec![(0, 1), (0, 3)]);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn self_tuples_ignored() {
+        let (wd, p, stats) = setup(4, 2);
+        let mut t = TupleTable::new(&wd, &p, stats, 1000);
+        t.offer(2, 2).unwrap();
+        let (pi, st) = t.finalize().unwrap();
+        assert_eq!(st.offered, 0);
+        assert_eq!(pi.total_tuples(), 0);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn spill_and_merge_preserves_exact_tuple_set() {
+        let (wd, p, stats) = setup(100, 4);
+        // Tiny threshold forces many spills.
+        let mut t = TupleTable::new(&wd, &p, Arc::clone(&stats), 3);
+        let mut expected: Vec<(u32, u32)> = Vec::new();
+        for s in 0..50u32 {
+            for d in 50..60u32 {
+                t.offer(s, d).unwrap();
+                // Offer every tuple twice: dedup must hold across spills.
+                t.offer(s, d).unwrap();
+                expected.push((s, d));
+            }
+        }
+        let (pi, st) = t.finalize().unwrap();
+        assert!(st.spills > 0, "threshold should have forced spills");
+        assert_eq!(st.unique as usize, expected.len());
+        assert_eq!(st.duplicates as usize, expected.len());
+        // Re-read all buckets and compare with the expected set.
+        let mut got = Vec::new();
+        for ((i, j), _) in pi.iter_buckets() {
+            got.extend(read_bucket(&wd, i, j, &stats));
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn buckets_key_by_partition_pair() {
+        let (wd, p, stats) = setup(6, 3); // user u → partition u % 3
+        let mut t = TupleTable::new(&wd, &p, stats, 100);
+        t.offer(0, 1).unwrap(); // p0 → p1
+        t.offer(1, 0).unwrap(); // p1 → p0
+        t.offer(3, 4).unwrap(); // p0 → p1 again
+        t.offer(2, 5).unwrap(); // p2 → p2 (users 2 and 5 share partition 2)
+        let (pi, _) = t.finalize().unwrap();
+        assert_eq!(pi.bucket_weight(0, 1), 2);
+        assert_eq!(pi.bucket_weight(1, 0), 1);
+        assert_eq!(pi.bucket_weight(2, 2), 1);
+        assert_eq!(pi.num_pairs(), 1);
+        assert_eq!(pi.self_pairs(), vec![2]);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn run_files_are_cleaned_up() {
+        let (wd, p, stats) = setup(20, 2);
+        let mut t = TupleTable::new(&wd, &p, stats, 2);
+        for s in 0..10u32 {
+            t.offer(s, (s + 1) % 20).unwrap();
+        }
+        let (_, st) = t.finalize().unwrap();
+        assert!(st.spills > 0);
+        // Only final .tuples files remain in the tuples dir.
+        for entry in std::fs::read_dir(wd.root().join("tuples")).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(name.ends_with(".tuples"), "leftover run file {name}");
+        }
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn empty_table_finalizes_to_empty_pi() {
+        let (wd, p, stats) = setup(4, 2);
+        let t = TupleTable::new(&wd, &p, stats, 10);
+        let (pi, st) = t.finalize().unwrap();
+        assert_eq!(pi.total_tuples(), 0);
+        assert_eq!(st.offered, 0);
+        wd.destroy().unwrap();
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the engine's invariant-bearing pieces.
+
+use knn_core::partition::{objective, PartitionerKind, Partitioning};
+use knn_core::topk::TopKAccumulator;
+use knn_core::traversal::{simulate_schedule_ops, Heuristic};
+use knn_core::PiGraph;
+use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..30).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(a, b)| a != b);
+        (Just(n), proptest::collection::vec(edge, 0..60))
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_partitioner_is_balanced_and_total((n, edges) in arb_graph(), m in 1usize..6, seed in 0u64..20) {
+        let m = m.min(n);
+        let mut g = DiGraph::from_edges(n, edges).unwrap();
+        g.sort_and_dedup();
+        for kind in PartitionerKind::ALL {
+            let p = kind.instantiate(seed).partition(&g, m).unwrap();
+            let cap = n.div_ceil(m);
+            let mut seen = vec![false; n];
+            for part in 0..m as u32 {
+                prop_assert!(p.users_of(part).len() <= cap, "{kind} unbalanced");
+                for u in p.users_of(part) {
+                    prop_assert!(!seen[u.index()], "{kind} duplicated user {u}");
+                    seen[u.index()] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "{kind} lost a user");
+        }
+    }
+
+    #[test]
+    fn objective_lower_bound_holds((n, edges) in arb_graph(), m in 1usize..6, seed in 0u64..10) {
+        // Each vertex with out-edges contributes >= 1, same for
+        // in-edges; and the cost never exceeds 2x the edge count.
+        let m = m.min(n);
+        let mut g = DiGraph::from_edges(n, edges).unwrap();
+        g.sort_and_dedup();
+        let p = PartitionerKind::Greedy.instantiate(seed).partition(&g, m).unwrap();
+        let cost = objective::replication_cost(&g, &p);
+        let sources = (0..n as u32).filter(|&v| g.out_degree(UserId::new(v)) > 0).count() as u64;
+        let sinks = g.in_degrees().iter().filter(|&&d| d > 0).count() as u64;
+        prop_assert!(cost >= sources + sinks, "cost {cost} below lower bound");
+        prop_assert!(cost <= 2 * g.num_edges() as u64, "cost {cost} above upper bound");
+    }
+
+    #[test]
+    fn single_partition_cost_is_exactly_active_vertices((n, edges) in arb_graph()) {
+        let mut g = DiGraph::from_edges(n, edges).unwrap();
+        g.sort_and_dedup();
+        let p = Partitioning::from_assignment(vec![0; n], 1).unwrap();
+        let cost = objective::replication_cost(&g, &p);
+        let sources = (0..n as u32).filter(|&v| g.out_degree(UserId::new(v)) > 0).count() as u64;
+        let sinks = g.in_degrees().iter().filter(|&&d| d > 0).count() as u64;
+        prop_assert_eq!(cost, sources + sinks);
+    }
+
+    #[test]
+    fn schedules_cover_all_pairs_exactly_once((n, edges) in arb_graph()) {
+        let mut norm: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        let pi = PiGraph::from_network_shape(n, &norm);
+        let mut expected: Vec<(u32, u32)> = pi.unordered_pairs();
+        expected.extend(pi.self_pairs().into_iter().map(|i| (i, i)));
+        expected.sort_unstable();
+        for h in Heuristic::ALL {
+            let s = h.schedule(&pi);
+            prop_assert!(s.first_duplicate().is_none(), "{h} duplicated a pair");
+            let mut got: Vec<(u32, u32)> = s.steps().iter().map(|st| st.unordered()).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "{} coverage mismatch", h);
+        }
+    }
+
+    #[test]
+    fn op_counts_are_conserved((n, edges) in arb_graph(), slots in 2usize..5) {
+        let mut norm: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        let pi = PiGraph::from_network_shape(n, &norm);
+        for h in Heuristic::ALL {
+            let cost = simulate_schedule_ops(&h.schedule(&pi), slots);
+            prop_assert_eq!(cost.loads, cost.unloads, "{} leaked residents", h);
+            // Each step touches <= 2 partitions: loads <= 2 * steps.
+            prop_assert!(cost.loads <= 2 * cost.steps.max(1));
+        }
+    }
+
+    #[test]
+    fn topk_matches_sort_truncate(
+        k in 1usize..6,
+        cands in proptest::collection::vec((0u32..25, -1.0f32..1.0), 0..80),
+    ) {
+        let mut acc = TopKAccumulator::new(k);
+        for &(id, sim) in &cands {
+            acc.offer(Neighbor::new(UserId::new(id), sim));
+        }
+        // Reference: best score per id, sorted, truncated.
+        let mut best: std::collections::HashMap<u32, Neighbor> = std::collections::HashMap::new();
+        for &(id, sim) in &cands {
+            let nb = Neighbor::new(UserId::new(id), sim);
+            best.entry(id)
+                .and_modify(|cur| {
+                    if nb.beats(cur) {
+                        *cur = nb;
+                    }
+                })
+                .or_insert(nb);
+        }
+        let mut reference: Vec<Neighbor> = best.into_values().collect();
+        reference.sort();
+        reference.truncate(k);
+        prop_assert_eq!(acc.entries(), reference.as_slice());
+    }
+
+    #[test]
+    fn reference_tuple_set_is_exact(n in 4usize..25, k in 1usize..4, seed in 0u64..10) {
+        let g = KnnGraph::random_init(n, k, seed);
+        let tuples = knn_core::phase2::reference_tuple_set(&g);
+        // Brute force: direct + 2-hop.
+        let mut brute = std::collections::HashSet::new();
+        for s in 0..n as u32 {
+            for nb in g.neighbors(UserId::new(s)) {
+                brute.insert((s, nb.id.raw()));
+                for nb2 in g.neighbors(nb.id) {
+                    if nb2.id.raw() != s {
+                        brute.insert((s, nb2.id.raw()));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(tuples, brute);
+    }
+}

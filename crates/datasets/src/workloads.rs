@@ -1,0 +1,116 @@
+//! End-to-end workload presets: a profile set plus engine-ready
+//! parameters, used by the benches and examples.
+
+use knn_sim::generators::{clustered_profiles, zipf_profiles, ClusteredConfig, ZipfConfig};
+use knn_sim::{Measure, ProfileStore};
+
+/// The kind of synthetic profile workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadConfig {
+    /// Clustered rating vectors (recommender-style; cosine works well).
+    ClusteredRatings {
+        /// Number of planted clusters.
+        clusters: usize,
+        /// In-cluster ratings per user.
+        ratings: usize,
+    },
+    /// Zipf-popularity item sets (tag-style; Jaccard works well).
+    ZipfSets {
+        /// Item-universe size.
+        items: usize,
+        /// Items per user.
+        per_user: usize,
+        /// Zipf skew.
+        skew: f64,
+    },
+}
+
+/// A ready-to-run workload: profiles plus the natural similarity
+/// measure for them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Descriptive name for reports.
+    pub name: String,
+    /// The generated profiles.
+    pub profiles: ProfileStore,
+    /// The measure the workload is designed for.
+    pub measure: Measure,
+}
+
+impl WorkloadConfig {
+    /// The default recommender-style workload.
+    pub fn recommender() -> Self {
+        WorkloadConfig::ClusteredRatings { clusters: 16, ratings: 25 }
+    }
+
+    /// The default tag-style workload.
+    pub fn tags() -> Self {
+        WorkloadConfig::ZipfSets { items: 20_000, per_user: 25, skew: 1.0 }
+    }
+
+    /// Instantiates the workload for `num_users` users.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero clusters/items, more
+    /// items per user than the universe holds).
+    pub fn build(&self, num_users: usize, seed: u64) -> Workload {
+        match *self {
+            WorkloadConfig::ClusteredRatings { clusters, ratings } => {
+                let (profiles, _) = clustered_profiles(
+                    ClusteredConfig::new(num_users, seed)
+                        .with_clusters(clusters)
+                        .with_ratings(ratings, 4),
+                );
+                Workload {
+                    name: format!("clustered-ratings(c={clusters}, r={ratings})"),
+                    profiles,
+                    measure: Measure::Cosine,
+                }
+            }
+            WorkloadConfig::ZipfSets { items, per_user, skew } => {
+                let profiles = zipf_profiles(ZipfConfig {
+                    num_users,
+                    num_items: items,
+                    items_per_user: per_user,
+                    skew,
+                    seed,
+                });
+                Workload {
+                    name: format!("zipf-sets(i={items}, p={per_user}, s={skew})"),
+                    profiles,
+                    measure: Measure::Jaccard,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommender_workload_builds() {
+        let w = WorkloadConfig::recommender().build(100, 1);
+        assert_eq!(w.profiles.num_users(), 100);
+        assert_eq!(w.measure, Measure::Cosine);
+        assert!(w.name.contains("clustered"));
+    }
+
+    #[test]
+    fn tags_workload_builds() {
+        let w = WorkloadConfig::tags().build(50, 2);
+        assert_eq!(w.profiles.num_users(), 50);
+        assert_eq!(w.measure, Measure::Jaccard);
+        assert!(w.profiles.iter().all(|(_, p)| p.len() == 25));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = WorkloadConfig::recommender().build(30, 9);
+        let b = WorkloadConfig::recommender().build(30, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,177 @@
+//! Compressed sparse row (CSR) read-only graph.
+
+use crate::{DiGraph, UserId};
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// `Csr` trades mutability for cache-friendly sequential neighbor scans;
+/// the heavy inner loops (tuple generation, NN-Descent joins, statistics)
+/// run on `Csr` rather than [`DiGraph`].
+///
+/// ```
+/// use knn_graph::{Csr, DiGraph, UserId};
+///
+/// let g = DiGraph::from_edges(3, [(0, 1), (0, 2), (2, 0)]).unwrap();
+/// let csr = Csr::from_digraph(&g);
+/// assert_eq!(csr.neighbors(UserId::new(0)), &[1, 2]);
+/// assert_eq!(csr.degree(UserId::new(1)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from a [`DiGraph`], sorting each adjacency run.
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.num_edges());
+        offsets.push(0);
+        for v in 0..n as u32 {
+            let mut run: Vec<u32> = g.out_neighbors(UserId::new(v)).to_vec();
+            run.sort_unstable();
+            targets.extend_from_slice(&run);
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds a CSR directly from raw edges over `n` vertices.
+    ///
+    /// Duplicate edges are preserved; call
+    /// [`DiGraph::sort_and_dedup`] first if uniqueness matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(s, d) in edges {
+            assert!((s as usize) < n && (d as usize) < n, "edge endpoint out of range");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            targets[cursor[s as usize]] = d;
+            cursor[s as usize] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted out-neighbor slice of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: UserId) -> &[u32] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: UserId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Whether the edge `(s, d)` exists (binary search).
+    pub fn has_edge(&self, s: UserId, d: UserId) -> bool {
+        self.neighbors(s).binary_search(&d.raw()).is_ok()
+    }
+
+    /// Iterates all edges in source order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |s| {
+            self.neighbors(UserId::new(s as u32))
+                .iter()
+                .map(move |&d| (UserId::new(s as u32), UserId::new(d)))
+        })
+    }
+
+    /// Builds the transpose CSR (all edges reversed).
+    pub fn transpose(&self) -> Csr {
+        let edges: Vec<(u32, u32)> =
+            self.iter_edges().map(|(s, d)| (d.raw(), s.raw())).collect();
+        Csr::from_edges(self.num_vertices(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_edges(4, &[(0, 3), (0, 1), (2, 0), (2, 3), (3, 2)])
+    }
+
+    #[test]
+    fn from_edges_sorts_runs() {
+        let csr = sample();
+        assert_eq!(csr.neighbors(UserId::new(0)), &[1, 3]);
+        assert_eq!(csr.neighbors(UserId::new(2)), &[0, 3]);
+        assert_eq!(csr.num_edges(), 5);
+        assert_eq!(csr.num_vertices(), 4);
+    }
+
+    #[test]
+    fn empty_vertex_has_empty_slice() {
+        let csr = sample();
+        assert_eq!(csr.neighbors(UserId::new(1)), &[] as &[u32]);
+        assert_eq!(csr.degree(UserId::new(1)), 0);
+    }
+
+    #[test]
+    fn from_digraph_matches_from_edges() {
+        let edges = [(0u32, 3u32), (0, 1), (2, 0), (2, 3), (3, 2)];
+        let g = DiGraph::from_edges(4, edges).unwrap();
+        assert_eq!(Csr::from_digraph(&g), sample());
+    }
+
+    #[test]
+    fn has_edge_uses_binary_search() {
+        let csr = sample();
+        assert!(csr.has_edge(UserId::new(0), UserId::new(3)));
+        assert!(!csr.has_edge(UserId::new(3), UserId::new(0)));
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let csr = sample();
+        assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn iter_edges_yields_all() {
+        let csr = sample();
+        assert_eq!(csr.iter_edges().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_panics_on_bad_vertex() {
+        let _ = Csr::from_edges(2, &[(0, 5)]);
+    }
+}

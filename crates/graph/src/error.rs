@@ -1,0 +1,128 @@
+use std::fmt;
+use std::io;
+
+use crate::UserId;
+
+/// Errors produced by graph construction, validation, and edge-list I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id referenced a vertex outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: UserId,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A self-loop `(v, v)` was supplied where self-loops are forbidden.
+    SelfLoop {
+        /// The looping vertex.
+        vertex: UserId,
+    },
+    /// A duplicate neighbor id was supplied in a neighbor list.
+    DuplicateNeighbor {
+        /// The owning vertex.
+        vertex: UserId,
+        /// The repeated neighbor.
+        neighbor: UserId,
+    },
+    /// A neighbor list exceeded the graph's `K` bound.
+    TooManyNeighbors {
+        /// The owning vertex.
+        vertex: UserId,
+        /// Supplied list length.
+        supplied: usize,
+        /// The graph's bound.
+        k: usize,
+    },
+    /// A similarity score was NaN or infinite.
+    NonFiniteSimilarity {
+        /// The edge whose score was invalid.
+        edge: (UserId, UserId),
+    },
+    /// An edge-list file contained a malformed line.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content (possibly truncated).
+        content: String,
+    },
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex} is not allowed"),
+            GraphError::DuplicateNeighbor { vertex, neighbor } => {
+                write!(f, "duplicate neighbor {neighbor} in neighbor list of {vertex}")
+            }
+            GraphError::TooManyNeighbors { vertex, supplied, k } => {
+                write!(f, "{supplied} neighbors supplied for {vertex} but the graph bound is K={k}")
+            }
+            GraphError::NonFiniteSimilarity { edge: (s, d) } => {
+                write!(f, "non-finite similarity on edge ({s}, {d})")
+            }
+            GraphError::MalformedLine { line, content } => {
+                write!(f, "malformed edge-list line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "edge-list i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<GraphError> = vec![
+            GraphError::VertexOutOfRange { vertex: UserId::new(9), num_vertices: 4 },
+            GraphError::SelfLoop { vertex: UserId::new(1) },
+            GraphError::DuplicateNeighbor { vertex: UserId::new(1), neighbor: UserId::new(2) },
+            GraphError::TooManyNeighbors { vertex: UserId::new(0), supplied: 5, k: 3 },
+            GraphError::NonFiniteSimilarity { edge: (UserId::new(0), UserId::new(1)) },
+            GraphError::MalformedLine { line: 3, content: "a b".into() },
+            GraphError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn io_variant_exposes_source() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(GraphError::SelfLoop { vertex: UserId::new(0) }.source().is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Preferential-attachment generators: Barabási–Albert and Holme–Kim.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use super::{norm, sort_dedup};
+use crate::EdgePair;
+
+/// Generates an undirected Barabási–Albert preferential-attachment
+/// graph: starts from a clique of `m_attach + 1` seed vertices, then
+/// each arriving vertex attaches to `m_attach` distinct existing
+/// vertices with probability proportional to their current degree.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+///
+/// ```
+/// use knn_graph::generators::{barabasi_albert, validate_undirected};
+///
+/// let edges = barabasi_albert(200, 3, 1);
+/// assert!(validate_undirected(200, &edges));
+/// ```
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Vec<EdgePair> {
+    holme_kim(n, m_attach, 0.0, seed)
+}
+
+/// Generates a Holme–Kim graph: Barabási–Albert with *triad formation* —
+/// after each preferential attachment, with probability `p_triangle`
+/// the next link closes a triangle with a neighbor of the previous
+/// target instead of attaching preferentially. Produces the clustered
+/// heavy-tailed structure typical of collaboration networks.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0`, `n <= m_attach`, or
+/// `p_triangle ∉ [0, 1]`.
+pub fn holme_kim(n: usize, m_attach: usize, p_triangle: f64, seed: u64) -> Vec<EdgePair> {
+    assert!(m_attach > 0, "m_attach must be positive");
+    assert!(n > m_attach, "need n > m_attach (got n={n}, m_attach={m_attach})");
+    assert!((0.0..=1.0).contains(&p_triangle), "p_triangle must be in [0,1], got {p_triangle}");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seeds = m_attach + 1;
+    let mut edges: Vec<EdgePair> = Vec::new();
+    // `endpoints` lists every edge endpoint; sampling it uniformly is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::new();
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    let connect = |edges: &mut Vec<EdgePair>,
+                       endpoints: &mut Vec<u32>,
+                       adjacency: &mut Vec<Vec<u32>>,
+                       a: u32,
+                       b: u32| {
+        edges.push(norm(a, b));
+        endpoints.push(a);
+        endpoints.push(b);
+        adjacency[a as usize].push(b);
+        adjacency[b as usize].push(a);
+    };
+
+    // Seed clique.
+    for a in 0..seeds as u32 {
+        for b in (a + 1)..seeds as u32 {
+            connect(&mut edges, &mut endpoints, &mut adjacency, a, b);
+        }
+    }
+
+    for v in seeds as u32..n as u32 {
+        let mut chosen: HashSet<u32> = HashSet::with_capacity(m_attach);
+        let mut last_target: Option<u32> = None;
+        while chosen.len() < m_attach {
+            let triad = last_target
+                .filter(|_| rng.random_range(0.0..1.0) < p_triangle)
+                .and_then(|t| {
+                    let nbrs = &adjacency[t as usize];
+                    if nbrs.is_empty() {
+                        None
+                    } else {
+                        Some(nbrs[rng.random_range(0..nbrs.len())])
+                    }
+                });
+            let target = match triad {
+                Some(t) if t != v && !chosen.contains(&t) => t,
+                _ => {
+                    // Preferential attachment via the endpoints list.
+                    let t = endpoints[rng.random_range(0..endpoints.len())];
+                    if t == v || chosen.contains(&t) {
+                        continue;
+                    }
+                    t
+                }
+            };
+            chosen.insert(target);
+            last_target = Some(target);
+        }
+        // Sort before connecting: HashSet iteration order would otherwise
+        // leak into `endpoints` and break seed determinism.
+        let mut chosen: Vec<u32> = chosen.into_iter().collect();
+        chosen.sort_unstable();
+        for t in chosen {
+            connect(&mut edges, &mut endpoints, &mut adjacency, v, t);
+        }
+    }
+
+    sort_dedup(&mut edges);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::validate_undirected;
+
+    #[test]
+    fn ba_edge_count_formula_holds_before_dedup_effects() {
+        // Seed clique has C(m+1, 2) edges; every later vertex adds m.
+        let (n, m) = (300, 3);
+        let edges = barabasi_albert(n, m, 2);
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(edges.len(), expected);
+        assert!(validate_undirected(n, &edges));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(barabasi_albert(100, 2, 8), barabasi_albert(100, 2, 8));
+        assert_ne!(barabasi_albert(100, 2, 8), barabasi_albert(100, 2, 9));
+    }
+
+    #[test]
+    fn ba_produces_hubs() {
+        let n = 1000;
+        let edges = barabasi_albert(n, 2, 4);
+        let mut deg = vec![0usize; n];
+        for &(a, b) in &edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = 2.0 * edges.len() as f64 / n as f64;
+        assert!(max as f64 > 6.0 * mean, "max degree {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn holme_kim_increases_triangles() {
+        let n = 600;
+        let count_triangles = |edges: &[EdgePair]| {
+            let mut adj = vec![HashSet::new(); n];
+            for &(a, b) in edges {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+            let mut tri = 0usize;
+            for &(a, b) in edges {
+                tri += adj[a as usize].intersection(&adj[b as usize]).count();
+            }
+            tri / 3
+        };
+        let plain = count_triangles(&barabasi_albert(n, 3, 5));
+        let clustered = count_triangles(&holme_kim(n, 3, 0.9, 5));
+        assert!(
+            clustered > plain,
+            "triad formation should add triangles ({clustered} <= {plain})"
+        );
+    }
+
+    #[test]
+    fn holme_kim_output_is_valid() {
+        let edges = holme_kim(250, 4, 0.5, 12);
+        assert!(validate_undirected(250, &edges));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m_attach")]
+    fn rejects_tiny_n() {
+        let _ = barabasi_albert(3, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_triangle")]
+    fn rejects_bad_probability() {
+        let _ = holme_kim(10, 2, 1.5, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Core–periphery generator with an exact edge count.
+//!
+//! Several of the paper's evaluation networks (Wiki-Vote's
+//! voters→candidates structure, Gnutella's leaves→ultrapeers topology)
+//! concentrate almost every edge on a small *core*: the graph's vertex
+//! cover is far smaller than its vertex count. That property is what
+//! makes degree-ordered PI-graph traversals much cheaper than
+//! sequential ones, so the Table-1 replicas need it. Plain Chung–Lu
+//! sampling produces hubs but too many periphery–periphery edges; this
+//! generator controls that fraction explicitly.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use super::norm;
+use crate::EdgePair;
+
+/// Configuration for [`core_periphery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePeripheryConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Exact number of distinct unordered edges.
+    pub num_edges: usize,
+    /// Fraction of vertices forming the core (`0 < f <= 1`).
+    pub core_fraction: f64,
+    /// Probability that an edge connects two periphery vertices
+    /// (everything else touches the core).
+    pub p_periphery: f64,
+    /// Weight decay across core ranks (higher = more skewed core hubs).
+    pub core_alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorePeripheryConfig {
+    /// A typical voters→candidates shape: 20 % core, 2 %
+    /// periphery–periphery edges, moderately skewed core.
+    pub fn new(n: usize, num_edges: usize, seed: u64) -> Self {
+        CorePeripheryConfig {
+            n,
+            num_edges,
+            core_fraction: 0.2,
+            p_periphery: 0.02,
+            core_alpha: 0.6,
+            seed,
+        }
+    }
+
+    /// Overrides the core fraction.
+    pub fn with_core_fraction(mut self, f: f64) -> Self {
+        self.core_fraction = f;
+        self
+    }
+
+    /// Overrides the periphery–periphery edge probability.
+    pub fn with_p_periphery(mut self, p: f64) -> Self {
+        self.p_periphery = p;
+        self
+    }
+
+    /// Overrides the core weight skew.
+    pub fn with_core_alpha(mut self, alpha: f64) -> Self {
+        self.core_alpha = alpha;
+        self
+    }
+}
+
+/// Generates a core–periphery graph with **exactly**
+/// `config.num_edges` unique undirected edges. Core membership is a
+/// seeded random subset (ids are *not* clustered, so id-ordered
+/// traversals see no artificial locality). Deterministic in
+/// `config.seed`.
+///
+/// # Panics
+///
+/// Panics if `num_edges > n·(n−1)/2`, `core_fraction ∉ (0, 1]`,
+/// `p_periphery ∉ [0, 1]`, or `core_alpha <= 0`.
+///
+/// ```
+/// use knn_graph::generators::{core_periphery, CorePeripheryConfig, validate_undirected};
+///
+/// let edges = core_periphery(CorePeripheryConfig::new(1000, 4000, 7));
+/// assert_eq!(edges.len(), 4000);
+/// assert!(validate_undirected(1000, &edges));
+/// ```
+pub fn core_periphery(config: CorePeripheryConfig) -> Vec<EdgePair> {
+    let CorePeripheryConfig { n, num_edges, core_fraction, p_periphery, core_alpha, seed } =
+        config;
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        num_edges <= possible,
+        "requested {num_edges} edges but only {possible} distinct pairs exist for n={n}"
+    );
+    assert!(
+        core_fraction > 0.0 && core_fraction <= 1.0,
+        "core_fraction must be in (0, 1], got {core_fraction}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_periphery),
+        "p_periphery must be in [0, 1], got {p_periphery}"
+    );
+    assert!(core_alpha > 0.0, "core_alpha must be positive, got {core_alpha}");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core_size = ((n as f64 * core_fraction).round() as usize).clamp(1, n);
+
+    // Random core membership (shuffled ids).
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let core: Vec<u32> = ids[..core_size].to_vec();
+
+    // Rank-weighted core sampling (inverse CDF).
+    let mut cumulative = Vec::with_capacity(core_size);
+    let mut acc = 0.0f64;
+    for i in 0..core_size {
+        acc += (i as f64 + 1.0).powf(-core_alpha);
+        cumulative.push(acc);
+    }
+    let total = acc;
+
+    let mut seen: HashSet<EdgePair> = HashSet::with_capacity(num_edges);
+    let mut edges = Vec::with_capacity(num_edges);
+    let max_attempts = num_edges.saturating_mul(60).max(1000);
+    let mut attempts = 0usize;
+    while edges.len() < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (a, b) = if rng.random_range(0.0..1.0) < p_periphery {
+            // Periphery–periphery (uniform over all vertices keeps it
+            // simple; core members may occasionally appear here too).
+            (rng.random_range(0..n as u32), rng.random_range(0..n as u32))
+        } else {
+            // Anyone → rank-weighted core member.
+            let x = rng.random_range(0.0..total);
+            let c = core[cumulative.partition_point(|&cum| cum <= x)];
+            (rng.random_range(0..n as u32), c)
+        };
+        if a == b {
+            continue;
+        }
+        let pair = norm(a, b);
+        if seen.insert(pair) {
+            edges.push(pair);
+        }
+    }
+    // Uniform top-up guarantees termination at the exact edge count.
+    while edges.len() < num_edges {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let pair = norm(a, b);
+        if seen.insert(pair) {
+            edges.push(pair);
+        }
+    }
+
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::validate_undirected;
+
+    #[test]
+    fn exact_counts_and_validity() {
+        let edges = core_periphery(CorePeripheryConfig::new(500, 2500, 3));
+        assert_eq!(edges.len(), 2500);
+        assert!(validate_undirected(500, &edges));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = core_periphery(CorePeripheryConfig::new(300, 900, 5));
+        let b = core_periphery(CorePeripheryConfig::new(300, 900, 5));
+        let c = core_periphery(CorePeripheryConfig::new(300, 900, 6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn most_edges_touch_the_core() {
+        let n = 2000;
+        let cfg = CorePeripheryConfig::new(n, 8000, 1)
+            .with_core_fraction(0.1)
+            .with_p_periphery(0.05);
+        let edges = core_periphery(cfg);
+        // Recover the core: the 10% highest-degree vertices.
+        let mut deg = vec![0usize; n];
+        for &(a, b) in &edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut by_degree: Vec<usize> = (0..n).collect();
+        by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(deg[v]));
+        let core: std::collections::HashSet<usize> =
+            by_degree[..n / 10].iter().copied().collect();
+        let touching = edges
+            .iter()
+            .filter(|&&(a, b)| core.contains(&(a as usize)) || core.contains(&(b as usize)))
+            .count();
+        assert!(
+            touching as f64 > 0.9 * edges.len() as f64,
+            "only {touching}/{} edges touch the top-degree decile",
+            edges.len()
+        );
+    }
+
+    #[test]
+    fn saturates_small_graphs() {
+        let n = 10;
+        let all = n * (n - 1) / 2;
+        let edges = core_periphery(CorePeripheryConfig::new(n, all, 0));
+        assert_eq!(edges.len(), all);
+    }
+
+    #[test]
+    #[should_panic(expected = "core_fraction")]
+    fn rejects_bad_core_fraction() {
+        let _ = core_periphery(CorePeripheryConfig::new(10, 5, 0).with_core_fraction(0.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Erdős–Rényi `G(n, M)` generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use super::norm;
+use crate::EdgePair;
+
+/// Generates an undirected Erdős–Rényi `G(n, M)` graph: exactly
+/// `num_edges` distinct unordered pairs chosen uniformly at random.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `num_edges` exceeds the number of possible pairs
+/// `n·(n−1)/2` or if `n < 2` while `num_edges > 0`.
+///
+/// ```
+/// use knn_graph::generators::{erdos_renyi, validate_undirected};
+///
+/// let edges = erdos_renyi(100, 250, 42);
+/// assert_eq!(edges.len(), 250);
+/// assert!(validate_undirected(100, &edges));
+/// ```
+pub fn erdos_renyi(n: usize, num_edges: usize, seed: u64) -> Vec<EdgePair> {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        num_edges <= possible,
+        "requested {num_edges} edges but only {possible} distinct pairs exist for n={n}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<EdgePair> = HashSet::with_capacity(num_edges);
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let pair = norm(a, b);
+        if seen.insert(pair) {
+            edges.push(pair);
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+/// Generates a directed Erdős–Rényi graph: exactly `num_edges` distinct
+/// ordered pairs `(s, d)` with `s != d`. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `num_edges > n·(n−1)`.
+pub fn erdos_renyi_directed(n: usize, num_edges: usize, seed: u64) -> Vec<EdgePair> {
+    let possible = n.saturating_mul(n.saturating_sub(1));
+    assert!(
+        num_edges <= possible,
+        "requested {num_edges} directed edges but only {possible} exist for n={n}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<EdgePair> = HashSet::with_capacity(num_edges);
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let s = rng.random_range(0..n as u32);
+        let d = rng.random_range(0..n as u32);
+        if s == d {
+            continue;
+        }
+        if seen.insert((s, d)) {
+            edges.push((s, d));
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::validate_undirected;
+
+    #[test]
+    fn produces_exact_edge_count() {
+        let edges = erdos_renyi(50, 100, 1);
+        assert_eq!(edges.len(), 100);
+        assert!(validate_undirected(50, &edges));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(erdos_renyi(40, 60, 5), erdos_renyi(40, 60, 5));
+        assert_ne!(erdos_renyi(40, 60, 5), erdos_renyi(40, 60, 6));
+    }
+
+    #[test]
+    fn can_saturate_the_complete_graph() {
+        let n = 10;
+        let all = n * (n - 1) / 2;
+        let edges = erdos_renyi(n, all, 3);
+        assert_eq!(edges.len(), all);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct pairs")]
+    fn rejects_impossible_edge_count() {
+        let _ = erdos_renyi(4, 100, 0);
+    }
+
+    #[test]
+    fn zero_edges_is_fine() {
+        assert!(erdos_renyi(10, 0, 0).is_empty());
+        assert!(erdos_renyi_directed(10, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn directed_variant_allows_both_orientations() {
+        let n = 6;
+        let all = n * (n - 1);
+        let edges = erdos_renyi_directed(n, all, 2);
+        assert_eq!(edges.len(), all);
+        assert!(edges.contains(&(0, 1)) && edges.contains(&(1, 0)));
+        assert!(edges.iter().all(|&(s, d)| s != d));
+    }
+
+    #[test]
+    fn directed_deterministic_in_seed() {
+        assert_eq!(erdos_renyi_directed(30, 80, 9), erdos_renyi_directed(30, 80, 9));
+    }
+}

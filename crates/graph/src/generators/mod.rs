@@ -1,0 +1,76 @@
+//! Seeded random-graph generators.
+//!
+//! All generators are deterministic in their `seed` argument and return
+//! **undirected unique pairs** `(a, b)` with `a < b` unless the function
+//! name says `directed`. Callers orient the pairs as needed (e.g.
+//! [`crate::DiGraph::from_undirected_edges`]).
+//!
+//! The power-law [`chung_lu`] generator is the workhorse for replicating
+//! the Middleware'14 Table-1 datasets: it hits an exact vertex count and
+//! an exact unique-pair edge count while matching a heavy-tailed degree
+//! shape.
+
+mod barabasi_albert;
+mod chung_lu;
+mod core_periphery;
+mod erdos_renyi;
+mod watts_strogatz;
+
+pub use barabasi_albert::{barabasi_albert, holme_kim};
+pub use chung_lu::{chung_lu, ChungLuConfig};
+pub use core_periphery::{core_periphery, CorePeripheryConfig};
+pub use erdos_renyi::{erdos_renyi, erdos_renyi_directed};
+pub use watts_strogatz::watts_strogatz;
+
+use crate::EdgePair;
+
+/// Normalizes a pair to `(min, max)` form.
+pub(crate) fn norm(a: u32, b: u32) -> EdgePair {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Sorts pairs and removes duplicates in place.
+pub(crate) fn sort_dedup(edges: &mut Vec<EdgePair>) {
+    edges.sort_unstable();
+    edges.dedup();
+}
+
+/// Checks the output contract shared by the undirected generators:
+/// every pair `(a, b)` satisfies `a < b < n` and pairs are unique.
+///
+/// Intended for tests and debug assertions.
+pub fn validate_undirected(n: usize, edges: &[EdgePair]) -> bool {
+    let mut seen = std::collections::HashSet::with_capacity(edges.len());
+    edges.iter().all(|&(a, b)| a < b && (b as usize) < n && seen.insert((a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_orders_endpoints() {
+        assert_eq!(norm(5, 2), (2, 5));
+        assert_eq!(norm(2, 5), (2, 5));
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicates() {
+        let mut v = vec![(3, 4), (1, 2), (3, 4)];
+        sort_dedup(&mut v);
+        assert_eq!(v, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn validate_undirected_catches_violations() {
+        assert!(validate_undirected(5, &[(0, 1), (1, 4)]));
+        assert!(!validate_undirected(5, &[(1, 1)]), "self-loop");
+        assert!(!validate_undirected(5, &[(2, 1)]), "unordered");
+        assert!(!validate_undirected(5, &[(0, 7)]), "out of range");
+        assert!(!validate_undirected(5, &[(0, 1), (0, 1)]), "duplicate");
+    }
+}

@@ -1,0 +1,115 @@
+//! Watts–Strogatz small-world generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use super::norm;
+use crate::EdgePair;
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where
+/// each vertex connects to its `k_each_side` nearest neighbors on each
+/// side, with every edge rewired to a random target with probability
+/// `beta`. Deterministic in `seed`.
+///
+/// The output keeps exactly `n · k_each_side` unique undirected edges
+/// (a rewire that would create a duplicate or self-loop is skipped,
+/// keeping the original edge).
+///
+/// # Panics
+///
+/// Panics if `k_each_side == 0`, `2·k_each_side >= n`, or
+/// `beta ∉ [0, 1]`.
+///
+/// ```
+/// use knn_graph::generators::{watts_strogatz, validate_undirected};
+///
+/// let edges = watts_strogatz(50, 3, 0.1, 9);
+/// assert_eq!(edges.len(), 150);
+/// assert!(validate_undirected(50, &edges));
+/// ```
+pub fn watts_strogatz(n: usize, k_each_side: usize, beta: f64, seed: u64) -> Vec<EdgePair> {
+    assert!(k_each_side > 0, "k_each_side must be positive");
+    assert!(2 * k_each_side < n, "ring requires 2*k_each_side < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1], got {beta}");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<EdgePair> = HashSet::with_capacity(n * k_each_side);
+    for v in 0..n as u32 {
+        for hop in 1..=k_each_side as u32 {
+            seen.insert(norm(v, (v + hop) % n as u32));
+        }
+    }
+
+    let lattice: Vec<EdgePair> = {
+        let mut v: Vec<EdgePair> = seen.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+
+    for &(a, b) in &lattice {
+        if rng.random_range(0.0..1.0) >= beta {
+            continue;
+        }
+        // Rewire the far endpoint of (a, b) to a uniform random target.
+        let target = rng.random_range(0..n as u32);
+        let candidate = norm(a, target);
+        if target == a || seen.contains(&candidate) {
+            continue; // keep the original edge
+        }
+        seen.remove(&(a, b));
+        seen.insert(candidate);
+    }
+
+    let mut edges: Vec<EdgePair> = seen.into_iter().collect();
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::validate_undirected;
+
+    #[test]
+    fn zero_beta_is_the_pure_ring_lattice() {
+        let n = 20;
+        let edges = watts_strogatz(n, 2, 0.0, 0);
+        assert_eq!(edges.len(), n * 2);
+        // Every vertex has degree exactly 2*k.
+        let mut deg = vec![0usize; n];
+        for &(a, b) in &edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn edge_count_is_preserved_under_rewiring() {
+        let n = 100;
+        for beta in [0.1, 0.5, 1.0] {
+            let edges = watts_strogatz(n, 3, beta, 7);
+            assert_eq!(edges.len(), n * 3, "beta={beta}");
+            assert!(validate_undirected(n, &edges));
+        }
+    }
+
+    #[test]
+    fn rewiring_changes_the_lattice() {
+        let a = watts_strogatz(60, 2, 0.0, 1);
+        let b = watts_strogatz(60, 2, 0.8, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(watts_strogatz(80, 2, 0.3, 5), watts_strogatz(80, 2, 0.3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "2*k_each_side < n")]
+    fn rejects_overfull_ring() {
+        let _ = watts_strogatz(6, 3, 0.1, 0);
+    }
+}

@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Identifier of a user (a vertex of the KNN graph).
+///
+/// `UserId` is a zero-cost newtype over `u32`; users are always numbered
+/// densely `0..n` so a `UserId` doubles as an index into per-user arrays
+/// (see [`UserId::index`]).
+///
+/// ```
+/// use knn_graph::UserId;
+///
+/// let u = UserId::new(7);
+/// assert_eq!(u.raw(), 7);
+/// assert_eq!(u.index(), 7usize);
+/// assert_eq!(u.to_string(), "u7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UserId(u32);
+
+impl UserId {
+    /// Creates a user id from its raw `u32` value.
+    pub const fn new(raw: u32) -> Self {
+        UserId(raw)
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` array index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(raw: u32) -> Self {
+        UserId(raw)
+    }
+}
+
+impl From<UserId> for u32 {
+    fn from(id: UserId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UserId({})", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_raw_value() {
+        let id = UserId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(UserId::from(42u32), id);
+    }
+
+    #[test]
+    fn orders_by_raw_value() {
+        assert!(UserId::new(1) < UserId::new(2));
+        assert_eq!(UserId::new(5), UserId::new(5));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(UserId::default(), UserId::new(0));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{}", UserId::new(3)), "u3");
+        assert_eq!(format!("{:?}", UserId::new(3)), "UserId(3)");
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        for raw in [0u32, 1, 1000, u32::MAX] {
+            assert_eq!(UserId::new(raw).index(), raw as usize);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! SNAP-style text edge-list reading and writing.
+//!
+//! The format is the one used by the SNAP datasets the paper evaluates
+//! on: `#`-prefixed comment lines, then one whitespace-separated
+//! `source destination` pair per line.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{EdgePair, GraphError};
+
+/// Reads a SNAP-style text edge list.
+///
+/// Blank lines and lines starting with `#` are skipped. Each remaining
+/// line must hold exactly two unsigned integers separated by
+/// whitespace.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on I/O failure and
+/// [`GraphError::MalformedLine`] on parse failure (with the 1-based
+/// line number).
+///
+/// ```no_run
+/// # fn main() -> Result<(), knn_graph::GraphError> {
+/// let edges = knn_graph::io::read_edge_list_text("graph.txt")?;
+/// println!("{} edges", edges.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list_text<P: AsRef<Path>>(path: P) -> Result<Vec<EdgePair>, GraphError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u32> { tok.and_then(|t| t.parse().ok()) };
+        match (parse(it.next()), parse(it.next()), it.next()) {
+            (Some(s), Some(d), None) => edges.push((s, d)),
+            _ => {
+                return Err(GraphError::MalformedLine {
+                    line: idx + 1,
+                    content: truncate_for_error(trimmed),
+                })
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Writes edges in SNAP-style text format with a comment header.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on I/O failure.
+pub fn write_edge_list_text<P: AsRef<Path>>(
+    path: P,
+    header: &str,
+    edges: &[EdgePair],
+) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for line in header.lines() {
+        writeln!(w, "# {line}")?;
+    }
+    writeln!(w, "# Edges: {}", edges.len())?;
+    for &(s, d) in edges {
+        writeln!(w, "{s}\t{d}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn truncate_for_error(s: &str) -> String {
+    const MAX: usize = 64;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..MAX])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("knn_graph_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_edges() {
+        let path = temp_path("roundtrip.txt");
+        let edges = vec![(0, 1), (5, 2), (1000000, 7)];
+        write_edge_list_text(&path, "test graph\nsecond line", &edges).unwrap();
+        let back = read_edge_list_text(&path).unwrap();
+        assert_eq!(back, edges);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let path = temp_path("comments.txt");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "# header").unwrap();
+        writeln!(f).unwrap();
+        writeln!(f, "3 4").unwrap();
+        writeln!(f, "  # indented comment is not a comment per SNAP, but trim handles it").unwrap();
+        writeln!(f, "5\t6").unwrap();
+        drop(f);
+        let edges = read_edge_list_text(&path).unwrap();
+        assert_eq!(edges, vec![(3, 4), (5, 6)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reports_malformed_line_with_number() {
+        let path = temp_path("malformed.txt");
+        std::fs::write(&path, "0 1\nnot numbers\n2 3\n").unwrap();
+        let err = read_edge_list_text(&path).unwrap_err();
+        match err {
+            GraphError::MalformedLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected MalformedLine, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_three_column_lines() {
+        let path = temp_path("threecol.txt");
+        std::fs::write(&path, "0 1 2\n").unwrap();
+        assert!(matches!(
+            read_edge_list_text(&path),
+            Err(GraphError::MalformedLine { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_edge_list_text("/nonexistent/definitely/missing.txt"),
+            Err(GraphError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn empty_edge_list_round_trips() {
+        let path = temp_path("empty.txt");
+        write_edge_list_text(&path, "empty", &[]).unwrap();
+        assert!(read_edge_list_text(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

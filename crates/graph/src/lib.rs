@@ -1,0 +1,47 @@
+//! Directed-graph substrate for out-of-core KNN computation.
+//!
+//! This crate provides the graph data structures, random-graph
+//! generators, text/binary edge-list I/O, and structural statistics used
+//! by the out-of-core KNN engine (`knn-core`) and its baselines. It is
+//! deliberately free of any storage or similarity concerns: vertices are
+//! plain [`UserId`]s and edges are either unscored ([`DiGraph`], [`Csr`])
+//! or carry a similarity score ([`KnnGraph`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use knn_graph::{DiGraph, UserId};
+//!
+//! let mut g = DiGraph::new(4);
+//! g.add_edge(UserId::new(0), UserId::new(1));
+//! g.add_edge(UserId::new(1), UserId::new(2));
+//! g.add_edge(UserId::new(1), UserId::new(3));
+//! assert_eq!(g.out_degree(UserId::new(1)), 2);
+//! assert_eq!(g.num_edges(), 3);
+//! ```
+
+pub mod csr;
+pub mod digraph;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod knn;
+pub mod neighbor;
+pub mod pagerank;
+pub mod stats;
+
+mod id;
+
+pub use csr::Csr;
+pub use digraph::DiGraph;
+pub use error::GraphError;
+pub use id::UserId;
+pub use knn::KnnGraph;
+pub use neighbor::Neighbor;
+pub use stats::DegreeStats;
+
+/// A directed edge as a raw `(source, destination)` pair of vertex ids.
+///
+/// Generators and I/O functions traffic in raw pairs; structured graph
+/// types ([`DiGraph`], [`Csr`], [`KnnGraph`]) are built from them.
+pub type EdgePair = (u32, u32);

@@ -1,0 +1,148 @@
+//! Scored neighbor entries and their deterministic ordering.
+
+use std::cmp::Ordering;
+
+use crate::UserId;
+
+/// A candidate or accepted KNN neighbor: a target user plus the
+/// similarity score of the edge pointing at it.
+///
+/// `Neighbor` carries the workspace-wide deterministic ordering used for
+/// all top-K decisions: **higher similarity first, then lower id**. Ties
+/// therefore never depend on insertion or traversal order, which is what
+/// makes the out-of-core engine's results independent of the PI-graph
+/// traversal heuristic and of the thread count.
+///
+/// ```
+/// use knn_graph::{Neighbor, UserId};
+///
+/// let a = Neighbor::new(UserId::new(3), 0.9);
+/// let b = Neighbor::new(UserId::new(1), 0.9);
+/// let c = Neighbor::new(UserId::new(0), 0.2);
+/// // a and b tie on similarity; the smaller id wins.
+/// assert!(b.beats(&a));
+/// assert!(a.beats(&c));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The neighbor's user id.
+    pub id: UserId,
+    /// Similarity score of the edge (finite).
+    pub sim: f32,
+}
+
+impl Neighbor {
+    /// Sentinel similarity for neighbors that have never been scored
+    /// (e.g. the random initial graph `G(0)`); any real score beats it.
+    pub const UNSCORED: f32 = f32::MIN;
+
+    /// Creates a scored neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `sim` is not finite; the engine
+    /// validates similarities at its boundaries.
+    pub fn new(id: UserId, sim: f32) -> Self {
+        debug_assert!(sim.is_finite(), "similarity must be finite, got {sim}");
+        Neighbor { id, sim }
+    }
+
+    /// Creates a placeholder neighbor with the [`UNSCORED`] sentinel
+    /// similarity.
+    ///
+    /// [`UNSCORED`]: Neighbor::UNSCORED
+    pub fn unscored(id: UserId) -> Self {
+        Neighbor { id, sim: Self::UNSCORED }
+    }
+
+    /// Whether this entry has never received a real score.
+    pub fn is_unscored(&self) -> bool {
+        self.sim == Self::UNSCORED
+    }
+
+    /// Whether `self` ranks strictly ahead of `other` under the
+    /// deterministic best-first order (higher sim, then lower id).
+    pub fn beats(&self, other: &Neighbor) -> bool {
+        cmp_best_first(self, other) == Ordering::Less
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    /// Best-first total order: higher similarity sorts **earlier**
+    /// (i.e. compares as `Less`), ties broken by ascending id.
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_best_first(self, other)
+    }
+}
+
+/// The workspace-wide best-first comparison: descending similarity,
+/// ascending id. Sorting a slice with this order puts the best neighbor
+/// at index 0.
+pub fn cmp_best_first(a: &Neighbor, b: &Neighbor) -> Ordering {
+    b.sim.total_cmp(&a.sim).then_with(|| a.id.cmp(&b.id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_similarity_sorts_first() {
+        let mut v = [Neighbor::new(UserId::new(0), 0.1),
+            Neighbor::new(UserId::new(1), 0.9),
+            Neighbor::new(UserId::new(2), 0.5)];
+        v.sort();
+        let ids: Vec<u32> = v.iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        let mut v = [Neighbor::new(UserId::new(9), 0.5),
+            Neighbor::new(UserId::new(3), 0.5),
+            Neighbor::new(UserId::new(7), 0.5)];
+        v.sort();
+        let ids: Vec<u32> = v.iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn beats_is_strict() {
+        let a = Neighbor::new(UserId::new(1), 0.5);
+        assert!(!a.beats(&a));
+        let b = Neighbor::new(UserId::new(2), 0.5);
+        assert!(a.beats(&b));
+        assert!(!b.beats(&a));
+    }
+
+    #[test]
+    fn unscored_loses_to_any_real_score() {
+        let u = Neighbor::unscored(UserId::new(0));
+        assert!(u.is_unscored());
+        let worst_real = Neighbor::new(UserId::new(1), -1.0e30);
+        assert!(worst_real.beats(&u));
+    }
+
+    #[test]
+    fn negative_zero_and_zero_order_consistently() {
+        // total_cmp distinguishes -0.0 < 0.0; the order must stay total.
+        let a = Neighbor::new(UserId::new(0), 0.0);
+        let b = Neighbor::new(UserId::new(1), -0.0);
+        assert!(a.beats(&b));
+    }
+
+    #[test]
+    fn ord_agrees_with_partial_ord() {
+        let a = Neighbor::new(UserId::new(0), 0.3);
+        let b = Neighbor::new(UserId::new(1), 0.7);
+        assert_eq!(a.partial_cmp(&b), Some(a.cmp(&b)));
+    }
+}

@@ -1,0 +1,235 @@
+//! PageRank over [`Csr`] graphs.
+//!
+//! Used to characterize the dataset replicas (hub mass concentration is
+//! the structural property behind the Table-1 heuristic savings) and as
+//! a general-purpose centrality tool for workload analysis.
+
+use crate::{Csr, UserId};
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (standard 0.85).
+    pub damping: f64,
+    /// Stop when the L1 change between sweeps drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, tolerance: 1e-9, max_iterations: 100 }
+    }
+}
+
+/// Result of a PageRank computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRank {
+    scores: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+}
+
+impl PageRank {
+    /// The score vector (sums to 1 over non-empty graphs).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The score of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn score(&self, v: UserId) -> f64 {
+        self.scores[v.index()]
+    }
+
+    /// Power-iteration sweeps performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the tolerance was reached (vs. the iteration cap).
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Vertices sorted by descending score (ties by ascending id).
+    pub fn ranking(&self) -> Vec<UserId> {
+        let mut order: Vec<u32> = (0..self.scores.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b as usize]
+                .total_cmp(&self.scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        order.into_iter().map(UserId::new).collect()
+    }
+
+    /// Total score mass held by the `k` highest-ranked vertices — the
+    /// hub-concentration statistic the replica calibration targets.
+    pub fn top_mass(&self, k: usize) -> f64 {
+        let mut sorted: Vec<f64> = self.scores.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        sorted.iter().take(k).sum()
+    }
+}
+
+/// Computes PageRank by power iteration with uniform teleport and
+/// dangling-mass redistribution.
+///
+/// # Panics
+///
+/// Panics if `config.damping ∉ [0, 1)` or `config.tolerance <= 0`.
+///
+/// ```
+/// use knn_graph::pagerank::{pagerank, PageRankConfig};
+/// use knn_graph::{Csr, UserId};
+///
+/// // A star: everyone points at vertex 0.
+/// let csr = Csr::from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+/// let pr = pagerank(&csr, PageRankConfig::default());
+/// assert_eq!(pr.ranking()[0], UserId::new(0));
+/// assert!((pr.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn pagerank(graph: &Csr, config: PageRankConfig) -> PageRank {
+    let PageRankConfig { damping, tolerance, max_iterations } = config;
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1), got {damping}");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+
+    let n = graph.num_vertices();
+    if n == 0 {
+        return PageRank { scores: Vec::new(), iterations: 0, converged: true };
+    }
+    let uniform = 1.0 / n as f64;
+    let mut scores = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _ in 0..max_iterations {
+        iterations += 1;
+        next.fill(0.0);
+        let mut dangling = 0.0f64;
+        for v in 0..n as u32 {
+            let targets = graph.neighbors(UserId::new(v));
+            let mass = scores[v as usize];
+            if targets.is_empty() {
+                dangling += mass;
+            } else {
+                let share = mass / targets.len() as f64;
+                for &t in targets {
+                    next[t as usize] += share;
+                }
+            }
+        }
+        let teleport = (1.0 - damping) * uniform + damping * dangling * uniform;
+        let mut delta = 0.0f64;
+        for v in 0..n {
+            let value = teleport + damping * next[v];
+            delta += (value - scores[v]).abs();
+            scores[v] = value;
+        }
+        if delta < tolerance {
+            converged = true;
+            break;
+        }
+    }
+    PageRank { scores, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    fn pr(csr: &Csr) -> PageRank {
+        pagerank(csr, PageRankConfig::default())
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let csr = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let result = pr(&csr);
+        assert!((result.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(result.converged());
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        // Directed 4-cycle: perfect symmetry ⇒ uniform scores.
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let result = pr(&csr);
+        for &s in result.scores() {
+            assert!((s - 0.25).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let csr = Csr::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let result = pr(&csr);
+        assert_eq!(result.ranking()[0], UserId::new(0));
+        assert!(result.score(UserId::new(0)) > 0.5);
+        // Leaves tie; ranking breaks by id.
+        assert_eq!(result.ranking()[1], UserId::new(1));
+    }
+
+    #[test]
+    fn dangling_mass_is_redistributed() {
+        // 0 → 1, 1 dangles: mass must not leak.
+        let csr = Csr::from_edges(2, &[(0, 1)]);
+        let result = pr(&csr);
+        assert!((result.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(result.score(UserId::new(1)) > result.score(UserId::new(0)));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let result = pr(&Csr::from_edges(0, &[]));
+        assert!(result.scores().is_empty());
+        assert!(result.converged());
+    }
+
+    #[test]
+    fn top_mass_measures_hub_concentration() {
+        use crate::generators::{core_periphery, erdos_renyi, CorePeripheryConfig};
+        let n = 500;
+        let hubby = core_periphery(
+            CorePeripheryConfig::new(n, 2500, 3)
+                .with_core_fraction(0.05)
+                .with_p_periphery(0.02),
+        );
+        let flat = erdos_renyi(n, 2500, 3);
+        let rank = |edges: &[(u32, u32)]| {
+            let g = DiGraph::from_undirected_edges(n, edges.to_vec()).unwrap();
+            pr(&Csr::from_digraph(&g)).top_mass(n / 20)
+        };
+        let (hub_mass, flat_mass) = (rank(&hubby), rank(&flat));
+        assert!(
+            hub_mass > 2.0 * flat_mass,
+            "core-periphery top-5% mass {hub_mass:.3} vs ER {flat_mass:.3}"
+        );
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        // Asymmetric graph (a cycle converges in one sweep — uniform is
+        // its exact fixed point — so it cannot exercise the cap).
+        let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let result = pagerank(
+            &csr,
+            PageRankConfig { damping: 0.85, tolerance: 1e-30, max_iterations: 2 },
+        );
+        assert_eq!(result.iterations(), 2);
+        assert!(!result.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        let csr = Csr::from_edges(2, &[(0, 1)]);
+        let _ = pagerank(&csr, PageRankConfig { damping: 1.0, tolerance: 1e-9, max_iterations: 5 });
+    }
+}

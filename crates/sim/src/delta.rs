@@ -1,0 +1,134 @@
+//! Profile update objects (the entries of the phase-5 lazy queue).
+
+use knn_graph::UserId;
+
+use crate::{ItemId, Profile};
+
+/// A single mutation of one profile entry or of a whole profile.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeltaOp {
+    /// Insert or overwrite one item's weight.
+    Set(ItemId, f32),
+    /// Remove one item (no-op if absent).
+    Remove(ItemId),
+    /// Replace the entire profile.
+    Replace(Profile),
+    /// Remove every item.
+    Clear,
+}
+
+/// A queued profile update: *which* user changes and *how*.
+///
+/// Updates produced during iteration `t` are buffered (the paper's
+/// queue `q`) and only become visible in `P(t+1)` — the engine's
+/// phase 5 applies them in arrival order.
+///
+/// ```
+/// use knn_graph::UserId;
+/// use knn_sim::{DeltaOp, ItemId, Profile, ProfileDelta};
+///
+/// let mut p = Profile::new();
+/// let d = ProfileDelta::new(UserId::new(0), DeltaOp::Set(ItemId::new(3), 2.0));
+/// d.op.apply(&mut p);
+/// assert_eq!(p.get(ItemId::new(3)), Some(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDelta {
+    /// The user whose profile changes.
+    pub user: UserId,
+    /// The mutation to apply.
+    pub op: DeltaOp,
+}
+
+impl ProfileDelta {
+    /// Creates a delta.
+    pub fn new(user: UserId, op: DeltaOp) -> Self {
+        ProfileDelta { user, op }
+    }
+
+    /// Convenience constructor for a single item set.
+    pub fn set(user: UserId, item: ItemId, weight: f32) -> Self {
+        ProfileDelta::new(user, DeltaOp::Set(item, weight))
+    }
+
+    /// Convenience constructor for a single item removal.
+    pub fn remove(user: UserId, item: ItemId) -> Self {
+        ProfileDelta::new(user, DeltaOp::Remove(item))
+    }
+
+    /// Convenience constructor for a full replacement.
+    pub fn replace(user: UserId, profile: Profile) -> Self {
+        ProfileDelta::new(user, DeltaOp::Replace(profile))
+    }
+}
+
+impl DeltaOp {
+    /// Applies the mutation to a profile in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Set` weight is non-finite (deltas are validated when
+    /// queued; see `knn-core`'s update queue).
+    pub fn apply(&self, profile: &mut Profile) {
+        match self {
+            DeltaOp::Set(item, weight) => profile.set(*item, *weight),
+            DeltaOp::Remove(item) => {
+                profile.remove(*item);
+            }
+            DeltaOp::Replace(p) => *profile = p.clone(),
+            DeltaOp::Clear => *profile = Profile::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof(pairs: &[(u32, f32)]) -> Profile {
+        Profile::from_unsorted_pairs(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn set_inserts_and_overwrites() {
+        let mut p = prof(&[(1, 1.0)]);
+        DeltaOp::Set(ItemId::new(1), 5.0).apply(&mut p);
+        DeltaOp::Set(ItemId::new(2), 7.0).apply(&mut p);
+        assert_eq!(p.get(ItemId::new(1)), Some(5.0));
+        assert_eq!(p.get(ItemId::new(2)), Some(7.0));
+    }
+
+    #[test]
+    fn remove_is_noop_when_absent() {
+        let mut p = prof(&[(1, 1.0)]);
+        DeltaOp::Remove(ItemId::new(9)).apply(&mut p);
+        assert_eq!(p.len(), 1);
+        DeltaOp::Remove(ItemId::new(1)).apply(&mut p);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn replace_and_clear() {
+        let mut p = prof(&[(1, 1.0), (2, 2.0)]);
+        DeltaOp::Replace(prof(&[(9, 9.0)])).apply(&mut p);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(ItemId::new(9)), Some(9.0));
+        DeltaOp::Clear.apply(&mut p);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn application_order_matters() {
+        let mut p = Profile::new();
+        for d in [
+            ProfileDelta::set(UserId::new(0), ItemId::new(1), 1.0),
+            ProfileDelta::set(UserId::new(0), ItemId::new(1), 2.0),
+            ProfileDelta::remove(UserId::new(0), ItemId::new(1)),
+            ProfileDelta::set(UserId::new(0), ItemId::new(1), 3.0),
+        ] {
+            d.op.apply(&mut p);
+        }
+        assert_eq!(p.get(ItemId::new(1)), Some(3.0));
+    }
+}

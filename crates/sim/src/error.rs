@@ -1,0 +1,53 @@
+use std::fmt;
+
+/// Errors produced when constructing or mutating profiles.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A weight was NaN or infinite.
+    NonFiniteWeight {
+        /// The item carrying the invalid weight.
+        item: u32,
+        /// The invalid weight (printed via Debug to preserve NaN).
+        weight: f32,
+    },
+    /// The same item appeared twice in one profile.
+    DuplicateItem {
+        /// The repeated item.
+        item: u32,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::NonFiniteWeight { item, weight } => {
+                write!(f, "non-finite weight {weight:?} for item {item}")
+            }
+            ProfileError::DuplicateItem { item } => {
+                write!(f, "duplicate item {item} in profile")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e1 = ProfileError::NonFiniteWeight { item: 3, weight: f32::NAN };
+        let e2 = ProfileError::DuplicateItem { item: 5 };
+        assert!(!e1.to_string().is_empty());
+        assert!(!e2.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ProfileError>();
+    }
+}

@@ -1,0 +1,314 @@
+//! Synthetic profile workloads.
+//!
+//! The paper's setting is a recommender system over user profiles that
+//! we cannot obtain; these generators produce workloads with *planted*
+//! similarity structure so that KNN iterations have a meaningful signal
+//! to converge on (see DESIGN.md §5, substitutions).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ItemId, Profile, ProfileStore};
+
+/// Configuration for [`clustered_profiles`]: users are split into
+/// `num_clusters` groups; users in the same cluster rate items from the
+/// same item block (plus some global noise items), so intra-cluster
+/// similarity dominates inter-cluster similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteredConfig {
+    /// Number of users to generate.
+    pub num_users: usize,
+    /// Number of planted clusters (≥ 1).
+    pub num_clusters: usize,
+    /// Items in each cluster's dedicated block.
+    pub items_per_cluster: usize,
+    /// Ratings drawn per user from its own cluster block.
+    pub ratings_per_user: usize,
+    /// Extra ratings drawn per user from the global noise block.
+    pub noise_ratings: usize,
+    /// Items in the global noise block.
+    pub noise_items: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusteredConfig {
+    /// A balanced default: 8 clusters, 200-item blocks, 30 in-cluster
+    /// ratings and 5 noise ratings per user.
+    pub fn new(num_users: usize, seed: u64) -> Self {
+        ClusteredConfig {
+            num_users,
+            num_clusters: 8,
+            items_per_cluster: 200,
+            ratings_per_user: 30,
+            noise_ratings: 5,
+            noise_items: 500,
+            seed,
+        }
+    }
+
+    /// Overrides the number of clusters.
+    pub fn with_clusters(mut self, num_clusters: usize) -> Self {
+        self.num_clusters = num_clusters;
+        self
+    }
+
+    /// Overrides the per-user rating counts.
+    pub fn with_ratings(mut self, in_cluster: usize, noise: usize) -> Self {
+        self.ratings_per_user = in_cluster;
+        self.noise_ratings = noise;
+        self
+    }
+}
+
+/// Generates clustered rating profiles with planted ground truth.
+///
+/// Returns the store and the cluster label of each user. User `u`
+/// belongs to cluster `u % num_clusters` (labels returned explicitly
+/// for clarity). Ratings are in `[1.0, 5.0]`. Deterministic in
+/// `config.seed`.
+///
+/// # Panics
+///
+/// Panics if `num_clusters == 0` or `items_per_cluster == 0`, or if
+/// `ratings_per_user > items_per_cluster` (a user cannot rate the same
+/// item twice), or `noise_ratings > noise_items`.
+///
+/// ```
+/// use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+///
+/// let (store, labels) = clustered_profiles(ClusteredConfig::new(100, 42));
+/// assert_eq!(store.num_users(), 100);
+/// assert_eq!(labels.len(), 100);
+/// ```
+pub fn clustered_profiles(config: ClusteredConfig) -> (ProfileStore, Vec<u32>) {
+    let ClusteredConfig {
+        num_users,
+        num_clusters,
+        items_per_cluster,
+        ratings_per_user,
+        noise_ratings,
+        noise_items,
+        seed,
+    } = config;
+    assert!(num_clusters > 0, "need at least one cluster");
+    assert!(items_per_cluster > 0, "cluster item blocks must be non-empty");
+    assert!(
+        ratings_per_user <= items_per_cluster,
+        "ratings_per_user ({ratings_per_user}) exceeds items_per_cluster ({items_per_cluster})"
+    );
+    assert!(
+        noise_ratings <= noise_items,
+        "noise_ratings ({noise_ratings}) exceeds noise_items ({noise_items})"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise_base = (num_clusters * items_per_cluster) as u32;
+    let mut profiles = Vec::with_capacity(num_users);
+    let mut labels = Vec::with_capacity(num_users);
+
+    for u in 0..num_users {
+        let cluster = (u % num_clusters) as u32;
+        labels.push(cluster);
+        let block_base = cluster * items_per_cluster as u32;
+        let mut profile = Profile::new();
+        sample_distinct(&mut rng, items_per_cluster, ratings_per_user, |item_off, rng| {
+            let rating = 1.0 + rng.random_range(0.0..4.0f32);
+            profile.set(ItemId::new(block_base + item_off as u32), rating);
+        });
+        sample_distinct(&mut rng, noise_items.max(1), noise_ratings, |item_off, rng| {
+            let rating = 1.0 + rng.random_range(0.0..4.0f32);
+            profile.set(ItemId::new(noise_base + item_off as u32), rating);
+        });
+        profiles.push(profile);
+    }
+
+    (ProfileStore::from_profiles(profiles), labels)
+}
+
+/// Configuration for [`zipf_profiles`]: each user holds a set of items
+/// sampled from a Zipf popularity distribution — the shape of tag/like
+/// data, exercising the set-based measures (Jaccard, overlap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Size of the item universe.
+    pub num_items: usize,
+    /// Items per user.
+    pub items_per_user: usize,
+    /// Zipf skew `s` (0 = uniform; 1 ≈ classic Zipf).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ZipfConfig {
+    /// A typical tag-like workload: 10k items, 20 per user, skew 1.0.
+    pub fn new(num_users: usize, seed: u64) -> Self {
+        ZipfConfig { num_users, num_items: 10_000, items_per_user: 20, skew: 1.0, seed }
+    }
+}
+
+/// Generates set-semantics profiles with Zipf-distributed item
+/// popularity. Deterministic in `config.seed`.
+///
+/// # Panics
+///
+/// Panics if `items_per_user > num_items`, `num_items == 0`, or
+/// `skew < 0`.
+pub fn zipf_profiles(config: ZipfConfig) -> ProfileStore {
+    let ZipfConfig { num_users, num_items, items_per_user, skew, seed } = config;
+    assert!(num_items > 0, "item universe must be non-empty");
+    assert!(
+        items_per_user <= num_items,
+        "items_per_user ({items_per_user}) exceeds num_items ({num_items})"
+    );
+    assert!(skew >= 0.0, "skew must be non-negative, got {skew}");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Inverse-CDF table for the Zipf distribution over ranks 1..=num_items.
+    let mut cumulative = Vec::with_capacity(num_items);
+    let mut acc = 0.0f64;
+    for rank in 1..=num_items {
+        acc += (rank as f64).powf(-skew);
+        cumulative.push(acc);
+    }
+    let total = acc;
+
+    let mut profiles = Vec::with_capacity(num_users);
+    for _ in 0..num_users {
+        let mut items: Vec<u32> = Vec::with_capacity(items_per_user);
+        let mut seen = std::collections::HashSet::with_capacity(items_per_user);
+        while items.len() < items_per_user {
+            let x = rng.random_range(0.0..total);
+            let item = cumulative.partition_point(|&c| c <= x) as u32;
+            if seen.insert(item) {
+                items.push(item);
+            }
+        }
+        profiles.push(Profile::from_items(items).expect("sampled items are distinct"));
+    }
+    ProfileStore::from_profiles(profiles)
+}
+
+/// Samples `take` distinct offsets in `0..universe` (Floyd-ish via
+/// retry; `take << universe` in practice) and invokes `f` for each.
+fn sample_distinct<F: FnMut(usize, &mut StdRng)>(
+    rng: &mut StdRng,
+    universe: usize,
+    take: usize,
+    mut f: F,
+) {
+    let mut seen = std::collections::HashSet::with_capacity(take);
+    while seen.len() < take {
+        let x = rng.random_range(0..universe);
+        if seen.insert(x) {
+            f(x, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Measure, Similarity};
+
+    #[test]
+    fn clustered_profiles_have_planted_structure() {
+        let cfg = ClusteredConfig::new(60, 3).with_clusters(3).with_ratings(20, 2);
+        let (store, labels) = clustered_profiles(cfg);
+        // Average intra-cluster cosine must beat inter-cluster cosine.
+        let (mut intra, mut inter) = (Vec::new(), Vec::new());
+        for a in 0..30usize {
+            for b in (a + 1)..30 {
+                let s = Measure::Cosine.score(
+                    store.get(knn_graph::UserId::new(a as u32)),
+                    store.get(knn_graph::UserId::new(b as u32)),
+                );
+                if labels[a] == labels[b] {
+                    intra.push(s);
+                } else {
+                    inter.push(s);
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&intra) > mean(&inter) + 0.05,
+            "intra {} vs inter {}",
+            mean(&intra),
+            mean(&inter)
+        );
+    }
+
+    #[test]
+    fn clustered_is_deterministic() {
+        let cfg = ClusteredConfig::new(20, 9);
+        assert_eq!(clustered_profiles(cfg), clustered_profiles(cfg));
+    }
+
+    #[test]
+    fn clustered_ratings_are_in_range() {
+        let (store, _) = clustered_profiles(ClusteredConfig::new(30, 1));
+        for (_, p) in store.iter() {
+            for (_, w) in p.iter() {
+                assert!((1.0..=5.0).contains(&w), "rating {w} out of range");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratings_per_user")]
+    fn clustered_rejects_oversampling() {
+        let cfg = ClusteredConfig {
+            num_users: 5,
+            num_clusters: 1,
+            items_per_cluster: 3,
+            ratings_per_user: 10,
+            noise_ratings: 0,
+            noise_items: 1,
+            seed: 0,
+        };
+        let _ = clustered_profiles(cfg);
+    }
+
+    #[test]
+    fn zipf_profiles_have_exact_sizes() {
+        let store = zipf_profiles(ZipfConfig { num_users: 40, num_items: 100, items_per_user: 7, skew: 1.1, seed: 2 });
+        assert_eq!(store.num_users(), 40);
+        for (_, p) in store.iter() {
+            assert_eq!(p.len(), 7);
+            assert!(p.iter().all(|(i, w)| w == 1.0 && i.raw() < 100));
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_popularity() {
+        let skewed = zipf_profiles(ZipfConfig { num_users: 200, num_items: 1000, items_per_user: 10, skew: 1.2, seed: 5 });
+        let uniform = zipf_profiles(ZipfConfig { num_users: 200, num_items: 1000, items_per_user: 10, skew: 0.0, seed: 5 });
+        let popularity = |s: &ProfileStore| {
+            let mut count = vec![0usize; 1000];
+            for (_, p) in s.iter() {
+                for (i, _) in p.iter() {
+                    count[i.raw() as usize] += 1;
+                }
+            }
+            count.sort_unstable_by(|a, b| b.cmp(a));
+            count[..10].iter().sum::<usize>()
+        };
+        assert!(
+            popularity(&skewed) > 2 * popularity(&uniform),
+            "skewed head {} vs uniform head {}",
+            popularity(&skewed),
+            popularity(&uniform)
+        );
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let cfg = ZipfConfig::new(15, 77);
+        assert_eq!(zipf_profiles(cfg), zipf_profiles(cfg));
+    }
+}

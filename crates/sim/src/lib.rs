@@ -1,0 +1,39 @@
+//! Profile and similarity substrate for out-of-core KNN.
+//!
+//! The Middleware'14 engine is agnostic to what a "profile" is: it only
+//! ever asks for `sim(s, d)` between two user profiles. This crate
+//! supplies that abstraction:
+//!
+//! * [`Profile`] — a sorted sparse vector (item → weight), the common
+//!   representation for rating vectors, term sets, and tag sets;
+//! * [`Similarity`] / [`Measure`] — the similarity kernels (cosine,
+//!   Jaccard, weighted Jaccard, overlap, common-items, Pearson);
+//! * [`ProfileStore`] — an in-memory profile table with byte accounting;
+//! * [`ProfileDelta`] — the update objects queued during an iteration
+//!   and applied lazily in phase 5;
+//! * [`generators`] — synthetic workloads with planted similarity
+//!   structure, standing in for the proprietary recommender data the
+//!   paper's setting assumes.
+//!
+//! ```
+//! use knn_sim::{Measure, Profile, Similarity};
+//!
+//! let a = Profile::from_unsorted_pairs(vec![(1, 2.0), (2, 1.0)]).unwrap();
+//! let b = Profile::from_unsorted_pairs(vec![(2, 1.0), (3, 4.0)]).unwrap();
+//! let sim = Measure::Cosine.score(&a, &b);
+//! assert!(sim > 0.0 && sim < 1.0);
+//! ```
+
+pub mod delta;
+pub mod error;
+pub mod generators;
+pub mod profile;
+pub mod similarity;
+pub mod store;
+pub mod tfidf;
+
+pub use delta::{DeltaOp, ProfileDelta};
+pub use error::ProfileError;
+pub use profile::{ItemId, Profile};
+pub use similarity::{Measure, Similarity};
+pub use store::ProfileStore;

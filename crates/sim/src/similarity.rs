@@ -1,0 +1,368 @@
+//! Similarity measures over sparse profiles.
+
+use std::fmt;
+
+use crate::Profile;
+
+/// A similarity function between two user profiles.
+///
+/// Implementations must be symmetric (`score(a, b) == score(b, a)`) and
+/// always return a **finite** value — the KNN graph rejects NaN edges.
+/// Higher is more similar.
+///
+/// The engine is generic over this trait; [`Measure`] provides the
+/// standard kernels.
+pub trait Similarity: Send + Sync {
+    /// Scores the similarity between `a` and `b`.
+    fn score(&self, a: &Profile, b: &Profile) -> f32;
+
+    /// Short human-readable kernel name (for reports and benches).
+    fn name(&self) -> &'static str;
+}
+
+/// The built-in similarity kernels.
+///
+/// ```
+/// use knn_sim::{Measure, Profile, Similarity};
+///
+/// let a = Profile::from_items(vec![1, 2, 3]).unwrap();
+/// let b = Profile::from_items(vec![2, 3, 4]).unwrap();
+/// assert_eq!(Measure::Jaccard.score(&a, &b), 0.5);
+/// assert_eq!(Measure::CommonItems.score(&a, &b), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Measure {
+    /// Cosine similarity of the weight vectors; in `[-1, 1]`
+    /// (`[0, 1]` for non-negative weights). Empty profiles score 0.
+    #[default]
+    Cosine,
+    /// Set Jaccard: `|A ∩ B| / |A ∪ B|` over item sets, ignoring
+    /// weights; in `[0, 1]`. Two empty profiles score 0.
+    Jaccard,
+    /// Weighted Jaccard (Ruzicka): `Σ min(aᵢ, bᵢ) / Σ max(aᵢ, bᵢ)`,
+    /// for non-negative weights; in `[0, 1]`.
+    WeightedJaccard,
+    /// Overlap (Szymkiewicz–Simpson): `|A ∩ B| / min(|A|, |B|)`;
+    /// in `[0, 1]`.
+    Overlap,
+    /// Raw count of common items (unnormalized; useful for debugging
+    /// and for triangle-counting-style workloads).
+    CommonItems,
+    /// Pearson correlation over co-rated items (mean-centered per
+    /// profile over the intersection); in `[-1, 1]`. Fewer than two
+    /// common items scores 0.
+    Pearson,
+    /// Sørensen–Dice coefficient: `2·|A ∩ B| / (|A| + |B|)` over item
+    /// sets; in `[0, 1]`. Two empty profiles score 0.
+    Dice,
+}
+
+impl Measure {
+    /// All built-in measures, for sweeps and tests.
+    pub const ALL: [Measure; 7] = [
+        Measure::Cosine,
+        Measure::Jaccard,
+        Measure::WeightedJaccard,
+        Measure::Overlap,
+        Measure::CommonItems,
+        Measure::Pearson,
+        Measure::Dice,
+    ];
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(Similarity::name(self))
+    }
+}
+
+impl Similarity for Measure {
+    fn score(&self, a: &Profile, b: &Profile) -> f32 {
+        let v = match self {
+            Measure::Cosine => cosine(a, b),
+            Measure::Jaccard => jaccard(a, b),
+            Measure::WeightedJaccard => weighted_jaccard(a, b),
+            Measure::Overlap => overlap(a, b),
+            Measure::CommonItems => a.common_items(b) as f64,
+            Measure::Pearson => pearson(a, b),
+            Measure::Dice => dice(a, b),
+        };
+        debug_assert!(v.is_finite(), "{self} produced non-finite score {v}");
+        v as f32
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Measure::Cosine => "cosine",
+            Measure::Jaccard => "jaccard",
+            Measure::WeightedJaccard => "weighted-jaccard",
+            Measure::Overlap => "overlap",
+            Measure::CommonItems => "common-items",
+            Measure::Pearson => "pearson",
+            Measure::Dice => "dice",
+        }
+    }
+}
+
+fn cosine(a: &Profile, b: &Profile) -> f64 {
+    let denom = a.l2_norm() * b.l2_norm();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (a.dot(b) / denom).clamp(-1.0, 1.0)
+}
+
+fn jaccard(a: &Profile, b: &Profile) -> f64 {
+    let inter = a.common_items(b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+fn weighted_jaccard(a: &Profile, b: &Profile) -> f64 {
+    let (mut min_sum, mut max_sum) = (0.0f64, 0.0f64);
+    let (ae, be) = (a.entries(), b.entries());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ae.len() || j < be.len() {
+        match (ae.get(i), be.get(j)) {
+            (Some(&(ia, wa)), Some(&(ib, wb))) => match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    max_sum += wa as f64;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    max_sum += wb as f64;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    min_sum += (wa as f64).min(wb as f64);
+                    max_sum += (wa as f64).max(wb as f64);
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some(&(_, wa)), None) => {
+                max_sum += wa as f64;
+                i += 1;
+            }
+            (None, Some(&(_, wb))) => {
+                max_sum += wb as f64;
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    if max_sum == 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+fn dice(a: &Profile, b: &Profile) -> f64 {
+    let total = a.len() + b.len();
+    if total == 0 {
+        return 0.0;
+    }
+    2.0 * a.common_items(b) as f64 / total as f64
+}
+
+fn overlap(a: &Profile, b: &Profile) -> f64 {
+    let smaller = a.len().min(b.len());
+    if smaller == 0 {
+        return 0.0;
+    }
+    a.common_items(b) as f64 / smaller as f64
+}
+
+fn pearson(a: &Profile, b: &Profile) -> f64 {
+    // Collect co-rated weights.
+    let (ae, be) = (a.entries(), b.entries());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    while i < ae.len() && j < be.len() {
+        match ae[i].0.cmp(&be[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                xs.push(ae[i].1 as f64);
+                ys.push(be[j].1 as f64);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let (mut num, mut dx, mut dy) = (0.0, 0.0, 0.0);
+    for k in 0..n {
+        let (a, b) = (xs[k] - mx, ys[k] - my);
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 0.0;
+    }
+    (num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof(pairs: &[(u32, f32)]) -> Profile {
+        Profile::from_unsorted_pairs(pairs.to_vec()).unwrap()
+    }
+
+    fn set(items: &[u32]) -> Profile {
+        Profile::from_items(items.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let p = prof(&[(1, 2.0), (5, 3.0)]);
+        assert!((Measure::Cosine.score(&p, &p) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = prof(&[(1, 2.0)]);
+        let b = prof(&[(2, 3.0)]);
+        assert_eq!(Measure::Cosine.score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let a = prof(&[(1, 1.0)]);
+        let b = prof(&[(1, -1.0)]);
+        assert!((Measure::Cosine.score(&a, &b) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_profiles_score_zero_everywhere() {
+        let e = Profile::new();
+        let p = prof(&[(1, 1.0)]);
+        for m in Measure::ALL {
+            assert_eq!(m.score(&e, &e), 0.0, "{m} on empty/empty");
+            assert_eq!(m.score(&e, &p), 0.0, "{m} on empty/nonempty");
+        }
+    }
+
+    #[test]
+    fn jaccard_known_value() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5, 6]);
+        assert!((Measure::Jaccard.score(&a, &b) - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaccard_ignores_weights() {
+        let a = prof(&[(1, 5.0), (2, 0.1)]);
+        let b = prof(&[(1, 0.2), (2, 7.0)]);
+        assert!((Measure::Jaccard.score(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_jaccard_known_value() {
+        let a = prof(&[(1, 2.0), (2, 4.0)]);
+        let b = prof(&[(1, 3.0), (3, 1.0)]);
+        // min: 2; max: 3 + 4 + 1 = 8
+        assert!((Measure::WeightedJaccard.score(&a, &b) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_jaccard_identical_is_one() {
+        let p = prof(&[(1, 2.0), (2, 0.5)]);
+        assert!((Measure::WeightedJaccard.score(&p, &p) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_subset_is_one() {
+        let a = set(&[1, 2]);
+        let b = set(&[1, 2, 3, 4, 5]);
+        assert!((Measure::Overlap.score(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn common_items_is_intersection_size() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[2, 3, 4, 5]);
+        assert_eq!(Measure::CommonItems.score(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let a = prof(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let b = prof(&[(1, 2.0), (2, 4.0), (3, 6.0)]);
+        assert!((Measure::Pearson.score(&a, &b) - 1.0).abs() < 1e-6);
+        let c = prof(&[(1, 3.0), (2, 2.0), (3, 1.0)]);
+        assert!((Measure::Pearson.score(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_fewer_than_two_common_items_is_zero() {
+        let a = prof(&[(1, 1.0), (2, 2.0)]);
+        let b = prof(&[(2, 4.0), (3, 6.0)]);
+        assert_eq!(Measure::Pearson.score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn pearson_constant_profile_is_zero() {
+        let a = prof(&[(1, 2.0), (2, 2.0), (3, 2.0)]);
+        let b = prof(&[(1, 1.0), (2, 5.0), (3, 9.0)]);
+        assert_eq!(Measure::Pearson.score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn dice_known_values() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[2, 3, 4, 5]);
+        // 2*2 / (3+4)
+        assert!((Measure::Dice.score(&a, &b) - 4.0 / 7.0).abs() < 1e-6);
+        assert!((Measure::Dice.score(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dice_dominates_jaccard() {
+        // Dice = 2J/(1+J) >= J for J in [0, 1].
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5]);
+        let j = Measure::Jaccard.score(&a, &b);
+        let d = Measure::Dice.score(&a, &b);
+        assert!(d >= j);
+        assert!((d - 2.0 * j / (1.0 + j)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_measures_are_symmetric_on_samples() {
+        let samples = [
+            prof(&[(1, 1.0), (2, -2.0), (9, 0.5)]),
+            prof(&[(2, 3.0), (9, 1.0)]),
+            prof(&[(100, 1.0)]),
+            Profile::new(),
+        ];
+        for m in Measure::ALL {
+            for a in &samples {
+                for b in &samples {
+                    assert_eq!(m.score(a, b), m.score(b, a), "{m} not symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for m in Measure::ALL {
+            assert_eq!(m.to_string(), m.name());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! In-memory profile table.
+
+use knn_graph::UserId;
+
+use crate::{Profile, ProfileDelta};
+
+/// The in-memory profile set `P(t)`: one [`Profile`] per user
+/// `0..num_users`, with running byte accounting.
+///
+/// The out-of-core engine keeps only partition-sized slices of this in
+/// memory; `ProfileStore` is the reference representation used to build
+/// working directories, by the in-memory baselines, and by tests.
+///
+/// ```
+/// use knn_graph::UserId;
+/// use knn_sim::{Profile, ProfileStore};
+///
+/// let mut store = ProfileStore::new(2);
+/// store.set(UserId::new(0), Profile::from_items(vec![1, 2]).unwrap());
+/// assert_eq!(store.get(UserId::new(0)).len(), 2);
+/// assert!(store.get(UserId::new(1)).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileStore {
+    profiles: Vec<Profile>,
+}
+
+impl ProfileStore {
+    /// Creates a store of `num_users` empty profiles.
+    pub fn new(num_users: usize) -> Self {
+        ProfileStore { profiles: vec![Profile::new(); num_users] }
+    }
+
+    /// Builds a store from an explicit profile vector.
+    pub fn from_profiles(profiles: Vec<Profile>) -> Self {
+        ProfileStore { profiles }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The profile of `user`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn get(&self, user: UserId) -> &Profile {
+        &self.profiles[user.index()]
+    }
+
+    /// Mutable access to the profile of `user`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn get_mut(&mut self, user: UserId) -> &mut Profile {
+        &mut self.profiles[user.index()]
+    }
+
+    /// Replaces the profile of `user`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn set(&mut self, user: UserId, profile: Profile) {
+        self.profiles[user.index()] = profile;
+    }
+
+    /// Applies one queued delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta's user is out of range.
+    pub fn apply_delta(&mut self, delta: &ProfileDelta) {
+        delta.op.apply(&mut self.profiles[delta.user.index()]);
+    }
+
+    /// Applies a batch of deltas in order.
+    pub fn apply_deltas<'a, I: IntoIterator<Item = &'a ProfileDelta>>(&mut self, deltas: I) {
+        for d in deltas {
+            self.apply_delta(d);
+        }
+    }
+
+    /// Iterates `(user, profile)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &Profile)> + '_ {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (UserId::new(i as u32), p))
+    }
+
+    /// Approximate total heap footprint of all profiles, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.profiles.iter().map(Profile::approx_bytes).sum()
+    }
+
+    /// Total number of non-zero entries across all profiles.
+    pub fn total_entries(&self) -> usize {
+        self.profiles.iter().map(Profile::len).sum()
+    }
+}
+
+impl FromIterator<Profile> for ProfileStore {
+    fn from_iter<T: IntoIterator<Item = Profile>>(iter: T) -> Self {
+        ProfileStore { profiles: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeltaOp, ItemId};
+
+    #[test]
+    fn new_store_is_all_empty() {
+        let s = ProfileStore::new(3);
+        assert_eq!(s.num_users(), 3);
+        assert_eq!(s.total_entries(), 0);
+        assert!(s.iter().all(|(_, p)| p.is_empty()));
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut s = ProfileStore::new(2);
+        let p = Profile::from_items(vec![4, 7]).unwrap();
+        s.set(UserId::new(1), p.clone());
+        assert_eq!(s.get(UserId::new(1)), &p);
+        assert_eq!(s.total_entries(), 2);
+    }
+
+    #[test]
+    fn apply_deltas_in_order() {
+        let mut s = ProfileStore::new(1);
+        let u = UserId::new(0);
+        s.apply_deltas(&[
+            ProfileDelta::set(u, ItemId::new(1), 1.0),
+            ProfileDelta::set(u, ItemId::new(1), 2.0),
+            ProfileDelta::new(u, DeltaOp::Clear),
+            ProfileDelta::set(u, ItemId::new(2), 5.0),
+        ]);
+        assert_eq!(s.get(u).get(ItemId::new(1)), None);
+        assert_eq!(s.get(u).get(ItemId::new(2)), Some(5.0));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: ProfileStore = vec![Profile::new(), Profile::from_items(vec![1]).unwrap()]
+            .into_iter()
+            .collect();
+        assert_eq!(s.num_users(), 2);
+        assert_eq!(s.total_entries(), 1);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_growth() {
+        let mut s = ProfileStore::new(1);
+        let before = s.approx_bytes();
+        s.get_mut(UserId::new(0)).set(ItemId::new(1), 1.0);
+        assert!(s.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for profiles and similarity kernels.
+
+use knn_sim::{Measure, Profile, Similarity};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: raw (item, weight) pairs with possibly duplicate items.
+fn raw_pairs() -> impl Strategy<Value = Vec<(u32, f32)>> {
+    proptest::collection::vec((0u32..50, -5.0f32..5.0), 0..30)
+}
+
+/// Builds a profile keeping the last weight per item (map semantics).
+fn build(pairs: &[(u32, f32)]) -> Profile {
+    let mut map: HashMap<u32, f32> = HashMap::new();
+    for &(i, w) in pairs {
+        map.insert(i, w);
+    }
+    Profile::from_unsorted_pairs(map.into_iter().collect()).unwrap()
+}
+
+/// Naive dot product via hash map, for cross-checking the merge join.
+fn naive_dot(a: &Profile, b: &Profile) -> f64 {
+    let bm: HashMap<u32, f32> = b.iter().map(|(i, w)| (i.raw(), w)).collect();
+    a.iter()
+        .filter_map(|(i, w)| bm.get(&i.raw()).map(|bw| w as f64 * *bw as f64))
+        .sum()
+}
+
+proptest! {
+    #[test]
+    fn dot_matches_naive(pa in raw_pairs(), pb in raw_pairs()) {
+        let (a, b) = (build(&pa), build(&pb));
+        let merged = a.dot(&b);
+        let naive = naive_dot(&a, &b);
+        prop_assert!((merged - naive).abs() < 1e-6, "{merged} vs {naive}");
+    }
+
+    #[test]
+    fn common_items_matches_naive(pa in raw_pairs(), pb in raw_pairs()) {
+        let (a, b) = (build(&pa), build(&pb));
+        let bs: std::collections::HashSet<u32> = b.iter().map(|(i, _)| i.raw()).collect();
+        let naive = a.iter().filter(|(i, _)| bs.contains(&i.raw())).count();
+        prop_assert_eq!(a.common_items(&b), naive);
+    }
+
+    #[test]
+    fn all_measures_symmetric_and_finite(pa in raw_pairs(), pb in raw_pairs()) {
+        let (a, b) = (build(&pa), build(&pb));
+        for m in Measure::ALL {
+            let ab = m.score(&a, &b);
+            let ba = m.score(&b, &a);
+            prop_assert!(ab.is_finite(), "{m} not finite");
+            prop_assert_eq!(ab, ba, "{} not symmetric", m);
+        }
+    }
+
+    #[test]
+    fn bounded_measures_stay_in_range(pa in raw_pairs(), pb in raw_pairs()) {
+        let (a, b) = (build(&pa), build(&pb));
+        let cos = Measure::Cosine.score(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&cos));
+        let pearson = Measure::Pearson.score(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&pearson));
+        let jac = Measure::Jaccard.score(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&jac));
+        let ovl = Measure::Overlap.score(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&ovl));
+    }
+
+    #[test]
+    fn weighted_jaccard_bounds_hold_for_nonnegative(
+        pa in proptest::collection::vec((0u32..40, 0.0f32..5.0), 0..25),
+        pb in proptest::collection::vec((0u32..40, 0.0f32..5.0), 0..25),
+    ) {
+        let (a, b) = (build(&pa), build(&pb));
+        let wj = Measure::WeightedJaccard.score(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&wj), "weighted jaccard {wj} out of range");
+    }
+
+    #[test]
+    fn self_similarity_is_maximal_for_normalized_measures(pa in raw_pairs()) {
+        let a = build(&pa);
+        prop_assume!(!a.is_empty());
+        prop_assume!(a.l2_norm() > 1e-6);
+        let cos = Measure::Cosine.score(&a, &a);
+        prop_assert!((cos - 1.0).abs() < 1e-5, "cosine self = {cos}");
+        let jac = Measure::Jaccard.score(&a, &a);
+        prop_assert!((jac - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profile_set_then_get_round_trips(ops in proptest::collection::vec((0u32..20, -3.0f32..3.0), 1..40)) {
+        let mut p = Profile::new();
+        let mut model: HashMap<u32, f32> = HashMap::new();
+        for &(i, w) in &ops {
+            p.set(knn_sim::ItemId::new(i), w);
+            model.insert(i, w);
+        }
+        prop_assert_eq!(p.len(), model.len());
+        for (&i, &w) in &model {
+            prop_assert_eq!(p.get(knn_sim::ItemId::new(i)), Some(w));
+        }
+        // Entries stay sorted.
+        let items: Vec<u32> = p.iter().map(|(i, _)| i.raw()).collect();
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(items, sorted);
+    }
+}

@@ -1,0 +1,100 @@
+//! CRC-32 (IEEE 802.3) checksum.
+//!
+//! Every write-once record file carries a trailing CRC of its
+//! contents, so silent bit corruption is detected at read time rather
+//! than surfacing as mis-parsed records. Implemented locally (table
+//! driven, compile-time table) because no checksum crate is in the
+//! sanctioned offline dependency set.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 (IEEE) of `bytes`.
+///
+/// ```
+/// // The classic test vector.
+/// assert_eq!(knn_store::crc32::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 state for streaming writers.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Finishes and returns the checksum value.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"hello world, this is a checksum test";
+        let mut inc = Crc32::new();
+        for chunk in data.chunks(7) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0xABu8; 100];
+        let before = crc32(&data);
+        data[57] ^= 0x10;
+        assert_ne!(crc32(&data), before);
+    }
+}

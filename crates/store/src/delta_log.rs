@@ -1,0 +1,292 @@
+//! The on-disk profile-update queue (the paper's queue `q`).
+//!
+//! Updates arriving during iteration `t` are appended here and only
+//! folded into the profile set at the end of the iteration (phase 5).
+//! The log is append-only during an iteration and truncated after it is
+//! drained.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use knn_graph::UserId;
+use knn_sim::{DeltaOp, ItemId, Profile, ProfileDelta};
+
+use crate::codec::need;
+use crate::{IoStats, StoreError};
+
+const TAG_SET: u8 = 0;
+const TAG_REMOVE: u8 = 1;
+const TAG_REPLACE: u8 = 2;
+const TAG_CLEAR: u8 = 3;
+
+/// An append-only on-disk log of [`ProfileDelta`]s.
+///
+/// ```
+/// use knn_graph::UserId;
+/// use knn_sim::{ItemId, ProfileDelta};
+/// use knn_store::{delta_log::DeltaLog, IoStats, WorkingDir};
+///
+/// # fn main() -> Result<(), knn_store::StoreError> {
+/// let wd = WorkingDir::temp("delta_log_doc")?;
+/// let stats = IoStats::new();
+/// let mut log = DeltaLog::open(wd.updates_path())?;
+/// log.append(&ProfileDelta::set(UserId::new(3), ItemId::new(7), 4.5), &stats)?;
+/// let all = log.read_all(&stats)?;
+/// assert_eq!(all.len(), 1);
+/// log.truncate()?;
+/// assert!(log.read_all(&stats)?.is_empty());
+/// # wd.destroy()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DeltaLog {
+    path: PathBuf,
+}
+
+impl DeltaLog {
+    /// Opens (creating if absent) a delta log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the file cannot be created.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let path = path.into();
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        Ok(DeltaLog { path })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one delta (durably written before returning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn append(&mut self, delta: &ProfileDelta, stats: &IoStats) -> Result<(), StoreError> {
+        let mut buf = BytesMut::with_capacity(32);
+        encode_delta(&mut buf, delta);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        file.write_all(&buf).map_err(|e| StoreError::io(&self.path, e))?;
+        stats.record_write(buf.len() as u64);
+        Ok(())
+    }
+
+    /// Reads every delta currently in the log, in append order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] on a malformed record and
+    /// [`StoreError::Io`] on read failure.
+    pub fn read_all(&self, stats: &IoStats) -> Result<Vec<ProfileDelta>, StoreError> {
+        let bytes = std::fs::read(&self.path).map_err(|e| StoreError::io(&self.path, e))?;
+        stats.record_read(bytes.len() as u64);
+        let mut buf = &bytes[..];
+        let mut deltas = Vec::new();
+        while buf.has_remaining() {
+            deltas.push(decode_delta(&mut buf, &self.path)?);
+        }
+        Ok(deltas)
+    }
+
+    /// Number of queued deltas (reads the log).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DeltaLog::read_all`].
+    pub fn len(&self, stats: &IoStats) -> Result<usize, StoreError> {
+        Ok(self.read_all(stats)?.len())
+    }
+
+    /// Whether the log holds no deltas (cheap file-size check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if metadata cannot be read.
+    pub fn is_empty(&self) -> Result<bool, StoreError> {
+        let meta = std::fs::metadata(&self.path).map_err(|e| StoreError::io(&self.path, e))?;
+        Ok(meta.len() == 0)
+    }
+
+    /// Empties the log (after phase 5 has applied it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on failure.
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        std::fs::write(&self.path, []).map_err(|e| StoreError::io(&self.path, e))
+    }
+}
+
+fn encode_delta(buf: &mut BytesMut, delta: &ProfileDelta) {
+    buf.put_u32_le(delta.user.raw());
+    match &delta.op {
+        DeltaOp::Set(item, weight) => {
+            buf.put_u8(TAG_SET);
+            buf.put_u32_le(item.raw());
+            buf.put_f32_le(*weight);
+        }
+        DeltaOp::Remove(item) => {
+            buf.put_u8(TAG_REMOVE);
+            buf.put_u32_le(item.raw());
+        }
+        DeltaOp::Replace(profile) => {
+            buf.put_u8(TAG_REPLACE);
+            buf.put_u32_le(profile.len() as u32);
+            for (item, weight) in profile.iter() {
+                buf.put_u32_le(item.raw());
+                buf.put_f32_le(weight);
+            }
+        }
+        DeltaOp::Clear => buf.put_u8(TAG_CLEAR),
+        // DeltaOp is non_exhaustive upstream; fail loudly if a new op
+        // is added without codec support.
+        other => unreachable!("unsupported delta op {other:?}"),
+    }
+}
+
+fn decode_delta(buf: &mut impl Buf, path: &Path) -> Result<ProfileDelta, StoreError> {
+    need(buf, 5, "delta header", path)?;
+    let user = UserId::new(buf.get_u32_le());
+    let tag = buf.get_u8();
+    let op = match tag {
+        TAG_SET => {
+            need(buf, 8, "set payload", path)?;
+            let item = ItemId::new(buf.get_u32_le());
+            let weight = buf.get_f32_le();
+            if !weight.is_finite() {
+                return Err(StoreError::corrupt(path, format!(
+                    "non-finite weight {weight} in delta for user {user}"
+                )));
+            }
+            DeltaOp::Set(item, weight)
+        }
+        TAG_REMOVE => {
+            need(buf, 4, "remove payload", path)?;
+            DeltaOp::Remove(ItemId::new(buf.get_u32_le()))
+        }
+        TAG_REPLACE => {
+            need(buf, 4, "replace length", path)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len * 8, "replace entries", path)?;
+            let mut pairs = Vec::with_capacity(len);
+            for _ in 0..len {
+                pairs.push((buf.get_u32_le(), buf.get_f32_le()));
+            }
+            let profile = Profile::from_unsorted_pairs(pairs)
+                .map_err(|e| StoreError::corrupt(path, format!("invalid replace profile: {e}")))?;
+            DeltaOp::Replace(profile)
+        }
+        TAG_CLEAR => DeltaOp::Clear,
+        other => {
+            return Err(StoreError::corrupt(path, format!("unknown delta tag {other}")));
+        }
+    };
+    Ok(ProfileDelta::new(user, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkingDir;
+
+    fn setup() -> (WorkingDir, DeltaLog, IoStats) {
+        let wd = WorkingDir::temp("delta_log").unwrap();
+        let log = DeltaLog::open(wd.updates_path()).unwrap();
+        (wd, log, IoStats::new())
+    }
+
+    #[test]
+    fn appends_read_back_in_order() {
+        let (wd, mut log, stats) = setup();
+        let deltas = vec![
+            ProfileDelta::set(UserId::new(1), ItemId::new(10), 2.5),
+            ProfileDelta::remove(UserId::new(2), ItemId::new(11)),
+            ProfileDelta::new(UserId::new(3), DeltaOp::Clear),
+            ProfileDelta::replace(
+                UserId::new(4),
+                Profile::from_unsorted_pairs(vec![(5, 1.0), (6, 2.0)]).unwrap(),
+            ),
+        ];
+        for d in &deltas {
+            log.append(d, &stats).unwrap();
+        }
+        assert_eq!(log.read_all(&stats).unwrap(), deltas);
+        assert_eq!(log.len(&stats).unwrap(), 4);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn empty_replace_round_trips() {
+        let (wd, mut log, stats) = setup();
+        log.append(&ProfileDelta::replace(UserId::new(0), Profile::new()), &stats).unwrap();
+        let back = log.read_all(&stats).unwrap();
+        assert_eq!(back[0].op, DeltaOp::Replace(Profile::new()));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn truncate_clears_the_queue() {
+        let (wd, mut log, stats) = setup();
+        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        assert!(!log.is_empty().unwrap());
+        log.truncate().unwrap();
+        assert!(log.is_empty().unwrap());
+        assert!(log.read_all(&stats).unwrap().is_empty());
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let (wd, mut log, stats) = setup();
+        log.append(&ProfileDelta::set(UserId::new(9), ItemId::new(1), 3.0), &stats).unwrap();
+        drop(log);
+        let log2 = DeltaLog::open(wd.updates_path()).unwrap();
+        assert_eq!(log2.len(&stats).unwrap(), 1);
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn corrupt_tag_is_detected() {
+        let (wd, mut log, stats) = setup();
+        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        let mut bytes = std::fs::read(log.path()).unwrap();
+        bytes[4] = 200; // clobber the tag
+        std::fs::write(log.path(), &bytes).unwrap();
+        assert!(matches!(log.read_all(&stats), Err(StoreError::Corrupt { .. })));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn truncated_record_is_corrupt() {
+        let (wd, mut log, stats) = setup();
+        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        let bytes = std::fs::read(log.path()).unwrap();
+        std::fs::write(log.path(), &bytes[..bytes.len() - 2]).unwrap();
+        assert!(matches!(log.read_all(&stats), Err(StoreError::Corrupt { .. })));
+        wd.destroy().unwrap();
+    }
+
+    #[test]
+    fn io_is_counted() {
+        let (wd, mut log, stats) = setup();
+        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        let _ = log.read_all(&stats).unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.bytes_written > 0);
+        assert_eq!(snap.bytes_read, snap.bytes_written);
+        wd.destroy().unwrap();
+    }
+}

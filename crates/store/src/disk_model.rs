@@ -1,0 +1,162 @@
+//! Simulated storage-device cost models.
+//!
+//! The paper's future-work section plans an HDD-vs-SSD evaluation. This
+//! environment has neither device to measure, so the engine performs
+//! real file I/O (correctness and byte counts are genuine) and a
+//! `DiskModel` replays the recorded operation trace under a classic
+//! seek-latency + transfer-bandwidth linear model to compare devices.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::IoSnapshot;
+
+/// A seek + bandwidth storage-device model.
+///
+/// Simulated time for a trace is
+/// `ops × seek_latency + bytes_read / read_bw + bytes_written / write_bw`.
+///
+/// ```
+/// use knn_store::{DiskModel, IoSnapshot};
+///
+/// let trace = IoSnapshot { bytes_read: 120_000_000, read_ops: 10, ..Default::default() };
+/// let hdd = DiskModel::hdd().simulated_time(&trace);
+/// let ssd = DiskModel::ssd().simulated_time(&trace);
+/// assert!(hdd > ssd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Latency charged per operation (seek + rotational/controller).
+    pub seek_latency: Duration,
+    /// Sequential read bandwidth in bytes/second.
+    pub read_bw: u64,
+    /// Sequential write bandwidth in bytes/second.
+    pub write_bw: u64,
+}
+
+impl DiskModel {
+    /// A 7200-rpm commodity hard disk (2014-era): 8 ms seek,
+    /// 120 MB/s read, 110 MB/s write.
+    pub const fn hdd() -> Self {
+        DiskModel {
+            name: "hdd",
+            seek_latency: Duration::from_micros(8_000),
+            read_bw: 120_000_000,
+            write_bw: 110_000_000,
+        }
+    }
+
+    /// A SATA consumer SSD (2014-era): 80 µs access, 500 MB/s read,
+    /// 450 MB/s write.
+    pub const fn ssd() -> Self {
+        DiskModel {
+            name: "ssd",
+            seek_latency: Duration::from_micros(80),
+            read_bw: 500_000_000,
+            write_bw: 450_000_000,
+        }
+    }
+
+    /// A RAM-disk reference point: negligible latency, 10 GB/s.
+    pub const fn ramdisk() -> Self {
+        DiskModel {
+            name: "ramdisk",
+            seek_latency: Duration::from_micros(1),
+            read_bw: 10_000_000_000,
+            write_bw: 10_000_000_000,
+        }
+    }
+
+    /// The standard trio used by the device-comparison bench.
+    pub const ALL: [DiskModel; 3] = [DiskModel::hdd(), DiskModel::ssd(), DiskModel::ramdisk()];
+
+    /// Simulated elapsed device time for an I/O trace.
+    pub fn simulated_time(&self, trace: &IoSnapshot) -> Duration {
+        let ops = trace.read_ops + trace.write_ops;
+        let seek = self.seek_latency * ops as u32;
+        let read = Duration::from_secs_f64(trace.bytes_read as f64 / self.read_bw as f64);
+        let write = Duration::from_secs_f64(trace.bytes_written as f64 / self.write_bw as f64);
+        seek + read + write
+    }
+
+    /// Effective throughput (bytes moved / simulated time) for a trace;
+    /// `None` if the trace is empty.
+    pub fn effective_throughput(&self, trace: &IoSnapshot) -> Option<f64> {
+        let time = self.simulated_time(trace).as_secs_f64();
+        if time == 0.0 {
+            None
+        } else {
+            Some(trace.bytes_total() as f64 / time)
+        }
+    }
+}
+
+impl fmt::Display for DiskModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (seek {:?}, read {} MB/s, write {} MB/s)",
+            self.name,
+            self.seek_latency,
+            self.read_bw / 1_000_000,
+            self.write_bw / 1_000_000
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(bytes_read: u64, read_ops: u64, bytes_written: u64, write_ops: u64) -> IoSnapshot {
+        IoSnapshot { bytes_read, bytes_written, read_ops, write_ops, ..Default::default() }
+    }
+
+    #[test]
+    fn hdd_seeks_dominate_small_random_io() {
+        // 10k tiny random reads on HDD ≈ 80 s of seeking.
+        let t = trace(10_000 * 512, 10_000, 0, 0);
+        let hdd = DiskModel::hdd().simulated_time(&t);
+        assert!(hdd >= Duration::from_secs(80), "{hdd:?}");
+        // The same trace on SSD is under 2 seconds.
+        let ssd = DiskModel::ssd().simulated_time(&t);
+        assert!(ssd < Duration::from_secs(2), "{ssd:?}");
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_sequential_io() {
+        // One 1.2 GB sequential read: ~10 s on HDD at 120 MB/s.
+        let t = trace(1_200_000_000, 1, 0, 0);
+        let hdd = DiskModel::hdd().simulated_time(&t);
+        assert!((hdd.as_secs_f64() - 10.0).abs() < 0.1, "{hdd:?}");
+    }
+
+    #[test]
+    fn write_bandwidth_is_separate() {
+        let t = trace(0, 0, 450_000_000, 1);
+        let ssd = DiskModel::ssd().simulated_time(&t);
+        assert!((ssd.as_secs_f64() - 1.0).abs() < 0.01, "{ssd:?}");
+    }
+
+    #[test]
+    fn ordering_hdd_slower_than_ssd_slower_than_ram() {
+        let t = trace(100_000_000, 50, 100_000_000, 50);
+        let times: Vec<Duration> =
+            DiskModel::ALL.iter().map(|m| m.simulated_time(&t)).collect();
+        assert!(times[0] > times[1] && times[1] > times[2], "{times:?}");
+    }
+
+    #[test]
+    fn throughput_none_on_empty_trace() {
+        assert!(DiskModel::ssd().effective_throughput(&IoSnapshot::default()).is_none());
+        let t = trace(1_000_000, 1, 0, 0);
+        assert!(DiskModel::ssd().effective_throughput(&t).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn display_names_the_device() {
+        assert!(DiskModel::hdd().to_string().contains("hdd"));
+    }
+}

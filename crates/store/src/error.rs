@@ -1,0 +1,113 @@
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A file failed structural validation (bad magic, wrong kind,
+    /// truncated payload, invalid record).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A file was written by an incompatible codec version.
+    VersionMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Version found in the header.
+        found: u16,
+        /// Version this build expects.
+        expected: u16,
+    },
+}
+
+impl StoreError {
+    /// Wraps an I/O error with the file path it concerns.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io { path: Some(path.into()), source }
+    }
+
+    /// Builds a corruption error.
+    pub fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt { path: path.into(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path: Some(p), source } => {
+                write!(f, "i/o error on {}: {source}", p.display())
+            }
+            StoreError::Io { path: None, source } => write!(f, "i/o error: {source}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt file {}: {detail}", path.display())
+            }
+            StoreError::VersionMismatch { path, found, expected } => {
+                write!(
+                    f,
+                    "file {} has codec version {found}, expected {expected}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(source: io::Error) -> Self {
+        StoreError::Io { path: None, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<StoreError>();
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            StoreError::io("/tmp/x", io::Error::new(io::ErrorKind::NotFound, "nope")),
+            StoreError::from(io::Error::other("raw")),
+            StoreError::corrupt("/tmp/y", "bad magic"),
+            StoreError::VersionMismatch { path: "/tmp/z".into(), found: 9, expected: 1 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_variant_has_source() {
+        use std::error::Error;
+        let e = StoreError::io("/f", io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(StoreError::corrupt("/f", "d").source().is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Global I/O accounting.
+
+use std::fmt;
+use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters observing every storage operation the engine
+/// performs. Shared (`Arc<IoStats>`) between the engine, the partition
+/// cache, and the record files; the disk models replay a
+/// [snapshot](IoStats::snapshot) as simulated device time.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    partition_loads: AtomicU64,
+    partition_unloads: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read operation of `bytes` bytes.
+    pub fn record_read(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one write operation of `bytes` bytes.
+    pub fn record_write(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one partition load (the Table-1 "load" op).
+    pub fn record_partition_load(&self) {
+        self.partition_loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one partition unload (the Table-1 "unload" op).
+    pub fn record_partition_unload(&self) {
+        self.partition_unloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (individual
+    /// counters are read relaxed; exactness across counters is not
+    /// needed for reporting).
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            partition_loads: self.partition_loads.load(Ordering::Relaxed),
+            partition_unloads: self.partition_unloads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.partition_loads.store(0, Ordering::Relaxed);
+        self.partition_unloads.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters.
+///
+/// Snapshots subtract (`after - before`) to delimit a phase:
+///
+/// ```
+/// use knn_store::IoStats;
+///
+/// let stats = IoStats::new();
+/// let before = stats.snapshot();
+/// stats.record_read(4096);
+/// let delta = stats.snapshot() - before;
+/// assert_eq!(delta.bytes_read, 4096);
+/// assert_eq!(delta.read_ops, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Number of partition load operations.
+    pub partition_loads: u64,
+    /// Number of partition unload operations.
+    pub partition_unloads: u64,
+}
+
+impl IoSnapshot {
+    /// Loads + unloads: the paper's Table-1 metric.
+    pub fn partition_ops(&self) -> u64 {
+        self.partition_loads + self.partition_unloads
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+impl Sub for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read.saturating_sub(rhs.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(rhs.bytes_written),
+            read_ops: self.read_ops.saturating_sub(rhs.read_ops),
+            write_ops: self.write_ops.saturating_sub(rhs.write_ops),
+            partition_loads: self.partition_loads.saturating_sub(rhs.partition_loads),
+            partition_unloads: self.partition_unloads.saturating_sub(rhs.partition_unloads),
+        }
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {} B in {} ops, wrote {} B in {} ops, {} loads / {} unloads",
+            self.bytes_read,
+            self.read_ops,
+            self.bytes_written,
+            self.write_ops,
+            self.partition_loads,
+            self.partition_unloads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(10);
+        s.record_read(20);
+        s.record_write(5);
+        s.record_partition_load();
+        s.record_partition_unload();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_read, 30);
+        assert_eq!(snap.read_ops, 2);
+        assert_eq!(snap.bytes_written, 5);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.partition_ops(), 2);
+        assert_eq!(snap.bytes_total(), 35);
+    }
+
+    #[test]
+    fn snapshot_subtraction_delimits_a_phase() {
+        let s = IoStats::new();
+        s.record_read(100);
+        let before = s.snapshot();
+        s.record_write(50);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.bytes_read, 0);
+        assert_eq!(delta.bytes_written, 50);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_read(1);
+        s.record_partition_load();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let s = Arc::new(IoStats::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_read(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.snapshot().bytes_read, 8000);
+        assert_eq!(s.snapshot().read_ops, 8000);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!IoSnapshot::default().to_string().is_empty());
+    }
+}

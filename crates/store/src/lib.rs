@@ -1,0 +1,49 @@
+//! Out-of-core storage substrate for the KNN engine.
+//!
+//! The Middleware'14 system's whole premise is that neither the KNN
+//! graph `G(t)` nor the profile set `P(t)` fits in memory, so both live
+//! on disk in *partition-sized* files and the engine moves whole
+//! partitions between disk and RAM. This crate provides everything
+//! below the algorithm:
+//!
+//! * [`WorkingDir`] — the on-disk layout (one edge/profile/accumulator
+//!   file per partition, one tuple bucket per partition pair);
+//! * [`codec`] / [`record_file`] — explicit, versioned binary encodings
+//!   (no serde formats are available offline; the codec is ~100 lines
+//!   and round-trip tested);
+//! * [`IoStats`] — atomic counters observing every byte and operation;
+//! * [`DiskModel`] — seek + bandwidth cost models replaying a run's I/O
+//!   trace as simulated HDD/SSD/RAM-disk time (the paper's future-work
+//!   device comparison);
+//! * [`SlotCache`] — the ≤`c`-resident partition cache whose
+//!   load/unload operation counts are exactly the metric of the paper's
+//!   Table 1.
+//!
+//! ```
+//! use knn_store::{IoStats, SlotCache};
+//!
+//! // A 2-slot cache holding partition payloads; loads/unloads counted.
+//! let mut cache: SlotCache<Vec<u8>> = SlotCache::new(2);
+//! cache.ensure(0, None, |_| Ok::<_, std::io::Error>(vec![0u8]), |_, _| Ok(())).unwrap();
+//! cache.ensure(1, Some(0), |_| Ok::<_, std::io::Error>(vec![1u8]), |_, _| Ok(())).unwrap();
+//! assert_eq!(cache.counters().loads, 2);
+//! assert_eq!(cache.counters().unloads, 0);
+//! let _ = IoStats::new();
+//! ```
+
+pub mod cache;
+pub mod codec;
+pub mod crc32;
+pub mod delta_log;
+pub mod disk_model;
+pub mod error;
+pub mod io_stats;
+pub mod layout;
+pub mod record_file;
+
+pub use cache::{CacheCounters, SlotCache};
+pub use disk_model::DiskModel;
+pub use error::StoreError;
+pub use io_stats::{IoSnapshot, IoStats};
+pub use layout::WorkingDir;
+pub use record_file::RecordKind;

@@ -1,0 +1,143 @@
+//! Dynamic profiles — the feature GraphChi/X-Stream cannot express and
+//! the reason the paper's phase 5 exists.
+//!
+//! A user's taste shifts mid-computation. The example walks through
+//! what actually happens in the five-phase engine:
+//!
+//! 1. **Lazy visibility** — the queued update is invisible to the
+//!    iteration in flight and lands in `P(t+1)` at the boundary.
+//! 2. **Re-scoring** — the next iteration re-scores the user's
+//!    neighborhood against the new profile: the old neighbors' sims
+//!    collapse to zero.
+//! 3. **Exploration death** — a *converged* KNN graph only proposes
+//!    2-hop candidates, which all live in the old cluster, so the user
+//!    is stranded: KNN-graph iteration exploits, it does not explore.
+//! 4. **Stratified warm restart** — re-seeding just that user's
+//!    out-edges with a spread of users re-opens exploration and the
+//!    neighborhood migrates to the new cluster within an iteration.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_profiles
+//! ```
+
+use ooc_knn::sim::generators::{clustered_profiles, ClusteredConfig};
+use ooc_knn::sim::DeltaOp;
+use ooc_knn::{
+    EngineConfig, KnnEngine, KnnGraph, Measure, Neighbor, Profile, ProfileDelta, UserId,
+    WorkingDir,
+};
+
+const USERS: usize = 800;
+const K: usize = 8;
+
+/// Fraction of `user`'s neighbors whose cluster is `cluster`.
+fn cluster_share(graph: &KnnGraph, labels: &[u32], user: UserId, cluster: u32) -> f64 {
+    let neighbors = graph.neighbors(user);
+    if neighbors.is_empty() {
+        return 0.0;
+    }
+    let hits = neighbors
+        .iter()
+        .filter(|nb| labels[nb.id.index()] == cluster)
+        .count();
+    hits as f64 / neighbors.len() as f64
+}
+
+/// The mover's replacement profile: 35 ratings from `cluster`'s block.
+fn shifted_profile(cluster: u32) -> Profile {
+    let base = cluster * 250;
+    Profile::from_unsorted_pairs((0..35).map(|i| (base + i * 7, 4.0f32)).collect())
+        .expect("valid profile")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ClusteredConfig {
+        num_users: USERS,
+        num_clusters: 4,
+        items_per_cluster: 250,
+        ratings_per_user: 35,
+        noise_ratings: 3,
+        noise_items: 200,
+        seed: 7,
+    };
+    let (profiles, labels) = clustered_profiles(cfg);
+    let mover = UserId::new(0);
+    let old_cluster = labels[mover.index()];
+    let new_cluster = (old_cluster + 1) % 4;
+    println!("user {mover} starts in cluster {old_cluster}; its taste will move to {new_cluster}\n");
+
+    let config = EngineConfig::builder(USERS)
+        .k(K)
+        .num_partitions(8)
+        .measure(Measure::Cosine)
+        .include_reverse(true)
+        .seed(7)
+        .build()?;
+    let workdir = WorkingDir::temp("dynamic_profiles")?;
+    let mut engine = KnnEngine::new(config.clone(), profiles.clone(), workdir)?;
+    engine.run_until_converged(0.01, 10)?;
+    let avg_sim = |g: &KnnGraph| {
+        let ns = g.neighbors(mover);
+        ns.iter().map(|n| n.sim as f64).sum::<f64>() / ns.len().max(1) as f64
+    };
+    println!(
+        "converged: {:.0}% of {mover}'s neighbors in cluster {old_cluster}, avg sim {:.3}",
+        cluster_share(engine.graph(), &labels, mover, old_cluster) * 100.0,
+        avg_sim(engine.graph())
+    );
+
+    // 1) Queue the taste shift; it must NOT affect the iteration in
+    //    flight (lazy queue semantics).
+    engine.queue_update(&ProfileDelta::new(
+        mover,
+        DeltaOp::Replace(shifted_profile(new_cluster)),
+    ))?;
+    let report = engine.run_iteration()?;
+    println!(
+        "\niteration with queued shift: computed on the OLD profile, {} update applied at the boundary",
+        report.updates_applied
+    );
+    println!(
+        "  neighbors still cluster {old_cluster} ({:.0}%), avg sim {:.3}",
+        cluster_share(engine.graph(), &labels, mover, old_cluster) * 100.0,
+        avg_sim(engine.graph())
+    );
+
+    // 2) + 3) The next iterations re-score against the new profile:
+    //    sims collapse, but no new-cluster candidate ever appears —
+    //    the converged graph has no exploration path.
+    for _ in 0..2 {
+        engine.run_iteration()?;
+    }
+    println!(
+        "\ntwo iterations later: {:.0}% old cluster, {:.0}% new cluster, avg sim {:.3}",
+        cluster_share(engine.graph(), &labels, mover, old_cluster) * 100.0,
+        cluster_share(engine.graph(), &labels, mover, new_cluster) * 100.0,
+        avg_sim(engine.graph())
+    );
+    println!("  → re-scored to ~zero similarity, but stranded: 2-hop candidates only exploit");
+
+    // 4) Stratified warm restart: re-seed the mover's out-edges with a
+    //    deterministic spread of users (ids 1..=K hit every cluster
+    //    under the modulo labeling), keep everyone else's lists.
+    let mut warm = engine.graph().clone();
+    let spread: Vec<Neighbor> = (1..=K as u32).map(|u| Neighbor::unscored(UserId::new(u))).collect();
+    warm.set_neighbors(mover, spread)?;
+    let mut patched = profiles.clone();
+    patched.set(mover, shifted_profile(new_cluster));
+    let workdir = WorkingDir::temp("dynamic_profiles_restart")?;
+    let mut restarted = KnnEngine::with_initial_graph(config, warm, patched, workdir)?;
+    for i in 1..=3 {
+        restarted.run_iteration()?;
+        println!(
+            "after warm restart +{i}: {:.0}% old cluster, {:.0}% new cluster, avg sim {:.3}",
+            cluster_share(restarted.graph(), &labels, mover, old_cluster) * 100.0,
+            cluster_share(restarted.graph(), &labels, mover, new_cluster) * 100.0,
+            avg_sim(restarted.graph())
+        );
+    }
+
+    engine.into_working_dir().destroy()?;
+    restarted.into_working_dir().destroy()?;
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build an out-of-core KNN graph for 2 000 users in a few
+//! lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ooc_knn::{EngineConfig, KnnEngine, UserId, WorkingDir, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic recommender workload: 2 000 users with planted
+    // cluster structure (stands in for real rating data).
+    let workload = WorkloadConfig::recommender().build(2000, 42);
+    println!("workload: {} ({})", workload.name, workload.measure);
+
+    // Engine: K=10 neighbors, 16 partitions on disk, 2 resident.
+    let config = EngineConfig::builder(2000)
+        .k(10)
+        .num_partitions(16)
+        .measure(workload.measure)
+        .threads(2)
+        .seed(42)
+        .build()?;
+    let workdir = WorkingDir::temp("quickstart")?;
+    let mut engine = KnnEngine::new(config, workload.profiles, workdir)?;
+
+    // Iterate until fewer than 2% of KNN edges change.
+    let outcome = engine.run_until_converged(0.02, 10)?;
+    println!(
+        "converged: {} after {} iterations (final change {:.2}%)",
+        outcome.converged,
+        outcome.iterations_run,
+        outcome.final_change_fraction * 100.0
+    );
+
+    // Inspect one user's nearest neighbors.
+    let user = UserId::new(0);
+    println!("nearest neighbors of {user}:");
+    for nb in engine.graph().neighbors(user) {
+        println!("  {} (similarity {:.4})", nb.id, nb.sim);
+    }
+
+    // Per-iteration cost summary.
+    if let Some(last) = engine.reports().last() {
+        println!("\nlast iteration cost:\n{last}");
+    }
+
+    engine.into_working_dir().destroy()?;
+    Ok(())
+}

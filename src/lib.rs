@@ -1,0 +1,66 @@
+//! # ooc-knn — Scaling KNN Computation over Large Graphs on a PC
+//!
+//! A from-scratch Rust implementation of the out-of-core K-nearest-
+//! neighbors system described by Chiluka, Kermarrec and Olivares
+//! (*Middleware 2014*): iterative KNN-graph refinement over user
+//! profiles that do not fit in memory, executed with at most two
+//! partitions of data resident at a time.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `knn-graph` | graph types, generators, edge-list I/O |
+//! | [`sim`] | `knn-sim` | sparse profiles, similarity measures, workload generators |
+//! | [`store`] | `knn-store` | partition files, I/O accounting, disk models, the 2-slot cache |
+//! | [`core`] | `knn-core` | the five-phase engine (partitioning → tuples → PI graph → KNN → updates) |
+//! | [`baseline`] | `knn-baseline` | brute force, NN-Descent, naive out-of-core, recall |
+//! | [`datasets`] | `knn-datasets` | Table-1 dataset replicas and workload presets |
+//!
+//! The most common entry points are also re-exported at the top level.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ooc_knn::{EngineConfig, KnnEngine, WorkingDir, WorkloadConfig};
+//!
+//! # fn main() -> Result<(), ooc_knn::EngineError> {
+//! // 500 users with planted cluster structure.
+//! let workload = WorkloadConfig::recommender().build(500, 7);
+//!
+//! let config = EngineConfig::builder(500)
+//!     .k(8)
+//!     .num_partitions(8)
+//!     .measure(workload.measure)
+//!     .seed(7)
+//!     .build()?;
+//! let workdir = WorkingDir::temp("quickstart")?;
+//! let mut engine = KnnEngine::new(config, workload.profiles, workdir)?;
+//!
+//! // Refine G(t) until under 5% of edges change per iteration.
+//! let outcome = engine.run_until_converged(0.05, 10)?;
+//! assert!(outcome.converged);
+//!
+//! // Every user now has (up to) K scored nearest neighbors.
+//! let me = knn_graph::UserId::new(0);
+//! assert!(!engine.graph().neighbors(me).is_empty());
+//! # engine.into_working_dir().destroy()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use knn_baseline as baseline;
+pub use knn_core as core;
+pub use knn_datasets as datasets;
+pub use knn_graph as graph;
+pub use knn_sim as sim;
+pub use knn_store as store;
+
+pub use knn_baseline::{brute_force_knn, recall_at_k, NnDescent, NnDescentConfig};
+pub use knn_core::{
+    EngineConfig, EngineError, Heuristic, IterationReport, KnnEngine, PartitionerKind, PiGraph,
+};
+pub use knn_datasets::{Table1Dataset, Workload, WorkloadConfig};
+pub use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
+pub use knn_sim::{ItemId, Measure, Profile, ProfileDelta, ProfileStore, Similarity};
+pub use knn_store::{DiskModel, IoStats, WorkingDir};

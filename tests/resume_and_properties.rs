@@ -1,0 +1,163 @@
+//! Integration tests for engine persistence/resume and randomized
+//! engine-vs-reference equivalence.
+
+use ooc_knn::core::reference::reference_run;
+use ooc_knn::sim::generators::{clustered_profiles, ClusteredConfig};
+use ooc_knn::{
+    EngineConfig, EngineError, ItemId, KnnEngine, KnnGraph, Measure, ProfileDelta,
+    ProfileStore, UserId, WorkingDir,
+};
+use proptest::prelude::*;
+
+fn workload(n: usize, seed: u64) -> ProfileStore {
+    let (store, _) = clustered_profiles(
+        ClusteredConfig::new(n, seed).with_clusters(4).with_ratings(10, 2),
+    );
+    store
+}
+
+fn config(n: usize, k: usize, m: usize, seed: u64) -> EngineConfig {
+    EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(m)
+        .measure(Measure::Cosine)
+        .seed(seed)
+        .build()
+        .expect("config")
+}
+
+#[test]
+fn resume_continues_exactly_where_the_run_stopped() {
+    let n = 70;
+    let profiles = workload(n, 2);
+    let g0 = KnnGraph::random_init(n, 4, 2);
+    let expected =
+        reference_run(&g0, &profiles, &Measure::Cosine, 4, false, 3);
+
+    // Run 2 iterations, drop the engine (process "crash"), resume,
+    // run the third.
+    let cfg = config(n, 4, 5, 2);
+    let wd = WorkingDir::temp("resume_basic").unwrap();
+    let root = wd.root().to_path_buf();
+    let mut engine =
+        KnnEngine::with_initial_graph(cfg.clone(), g0, profiles, wd).unwrap();
+    engine.run_iteration().unwrap();
+    engine.run_iteration().unwrap();
+    let before = engine.graph().clone();
+    drop(engine);
+
+    let wd = WorkingDir::create(&root).unwrap();
+    let mut resumed = KnnEngine::resume(cfg, wd).unwrap();
+    assert_eq!(resumed.iteration(), 2);
+    assert_eq!(resumed.graph(), &before, "graph must survive the restart");
+    resumed.run_iteration().unwrap();
+    assert_eq!(resumed.graph(), &expected);
+    resumed.into_working_dir().destroy().unwrap();
+}
+
+#[test]
+fn resume_preserves_pending_updates() {
+    let n = 40;
+    let profiles = workload(n, 3);
+    let cfg = config(n, 3, 4, 3);
+    let wd = WorkingDir::temp("resume_updates").unwrap();
+    let root = wd.root().to_path_buf();
+    let mut engine = KnnEngine::new(cfg.clone(), profiles, wd).unwrap();
+    engine.run_iteration().unwrap();
+    engine
+        .queue_update(&ProfileDelta::set(UserId::new(5), ItemId::new(777), 3.0))
+        .unwrap();
+    drop(engine); // crash with a queued, unapplied update
+
+    let wd = WorkingDir::create(&root).unwrap();
+    let mut resumed = KnnEngine::resume(cfg, wd).unwrap();
+    let report = resumed.run_iteration().unwrap();
+    assert_eq!(report.updates_applied, 1, "queued update must survive the crash");
+    assert_eq!(
+        resumed.profile_of(UserId::new(5)).unwrap().get(ItemId::new(777)),
+        Some(3.0)
+    );
+    resumed.into_working_dir().destroy().unwrap();
+}
+
+#[test]
+fn resume_rejects_mismatched_config() {
+    let n = 30;
+    let profiles = workload(n, 4);
+    let cfg = config(n, 3, 3, 4);
+    let wd = WorkingDir::temp("resume_mismatch").unwrap();
+    let root = wd.root().to_path_buf();
+    let engine = KnnEngine::new(cfg.clone(), profiles, wd).unwrap();
+    drop(engine);
+
+    for bad in [
+        config(n, 4, 3, 4),  // wrong k
+        config(n, 3, 5, 4),  // wrong m
+        config(n, 3, 3, 99), // wrong seed
+    ] {
+        let wd = WorkingDir::create(&root).unwrap();
+        assert!(matches!(
+            KnnEngine::resume(bad, wd),
+            Err(EngineError::InputMismatch { .. })
+        ));
+    }
+    WorkingDir::create(&root).unwrap().destroy().unwrap();
+}
+
+#[test]
+fn resume_from_empty_directory_is_a_storage_error() {
+    let wd = WorkingDir::temp("resume_empty").unwrap();
+    assert!(matches!(
+        KnnEngine::resume(config(10, 2, 2, 0), wd),
+        Err(EngineError::Store(_))
+    ));
+}
+
+#[test]
+fn resume_before_any_iteration_reproduces_g0() {
+    let n = 25;
+    let profiles = workload(n, 6);
+    let cfg = config(n, 3, 3, 6);
+    let wd = WorkingDir::temp("resume_g0").unwrap();
+    let root = wd.root().to_path_buf();
+    let engine = KnnEngine::new(cfg.clone(), profiles, wd).unwrap();
+    let g0 = engine.graph().clone();
+    drop(engine);
+    let resumed = KnnEngine::resume(cfg, WorkingDir::create(&root).unwrap()).unwrap();
+    assert_eq!(resumed.iteration(), 0);
+    assert_eq!(resumed.graph(), &g0);
+    resumed.into_working_dir().destroy().unwrap();
+}
+
+proptest! {
+    // Randomized worlds: the out-of-core engine must equal the
+    // in-memory reference transition for arbitrary (n, k, m, seed).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn engine_equals_reference_on_random_worlds(
+        n in 20usize..80,
+        k in 1usize..6,
+        m in 1usize..9,
+        seed in 0u64..1000,
+        reverse in proptest::bool::ANY,
+    ) {
+        let m = m.min(n);
+        let profiles = workload(n, seed);
+        let g0 = KnnGraph::random_init(n, k, seed);
+        let expected = reference_run(&g0, &profiles, &Measure::Cosine, k, reverse, 2);
+        let cfg = EngineConfig::builder(n)
+            .k(k)
+            .num_partitions(m)
+            .measure(Measure::Cosine)
+            .include_reverse(reverse)
+            .seed(seed)
+            .build()
+            .expect("config");
+        let wd = WorkingDir::temp("prop_engine").unwrap();
+        let mut engine = KnnEngine::with_initial_graph(cfg, g0, profiles, wd).unwrap();
+        engine.run_iteration().unwrap();
+        engine.run_iteration().unwrap();
+        prop_assert_eq!(engine.graph(), &expected);
+        engine.into_working_dir().destroy().unwrap();
+    }
+}
