@@ -137,8 +137,9 @@ mod tests {
 
     #[test]
     fn single_user_graph_is_empty() {
-        let store: ProfileStore =
-            vec![Profile::from_items(vec![1]).unwrap()].into_iter().collect();
+        let store: ProfileStore = vec![Profile::from_items(vec![1]).unwrap()]
+            .into_iter()
+            .collect();
         let g = brute_force_knn(&store, &Measure::Cosine, 3, 2);
         assert_eq!(g.num_edges(), 0);
     }
@@ -151,7 +152,11 @@ mod tests {
             s.get_mut(UserId::new(u)).set(ItemId::new(0), 1.0);
         }
         let g = brute_force_knn(&s, &Measure::Cosine, 2, 1);
-        let ids: Vec<u32> = g.neighbors(UserId::new(0)).iter().map(|n| n.id.raw()).collect();
+        let ids: Vec<u32> = g
+            .neighbors(UserId::new(0))
+            .iter()
+            .map(|n| n.id.raw())
+            .collect();
         assert_eq!(ids, vec![1, 2]);
     }
 }

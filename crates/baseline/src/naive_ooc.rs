@@ -96,7 +96,11 @@ pub fn naive_out_of_core_iteration<M: Similarity>(
     for (v, acc) in accums.into_iter().enumerate() {
         next.set_neighbors(UserId::new(v as u32), acc.into_sorted())?;
     }
-    Ok(NaiveOocOutput { graph: next, cache: cache.counters(), sims_computed })
+    Ok(NaiveOocOutput {
+        graph: next,
+        cache: cache.counters(),
+        sims_computed,
+    })
 }
 
 #[cfg(test)]
@@ -107,9 +111,21 @@ mod tests {
     use knn_sim::generators::{clustered_profiles, ClusteredConfig};
     use knn_sim::{Measure, ProfileStore};
 
-    fn world(n: usize, m: usize, seed: u64) -> (KnnGraph, ProfileStore, Partitioning, WorkingDir, Arc<IoStats>) {
+    fn world(
+        n: usize,
+        m: usize,
+        seed: u64,
+    ) -> (
+        KnnGraph,
+        ProfileStore,
+        Partitioning,
+        WorkingDir,
+        Arc<IoStats>,
+    ) {
         let (profiles, _) = clustered_profiles(
-            ClusteredConfig::new(n, seed).with_clusters(4).with_ratings(10, 2),
+            ClusteredConfig::new(n, seed)
+                .with_clusters(4)
+                .with_ratings(10, 2),
         );
         let g = KnnGraph::random_init(n, 4, seed);
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
@@ -123,8 +139,7 @@ mod tests {
     #[test]
     fn matches_the_reference_iteration() {
         let (g, profiles, p, wd, stats) = world(40, 5, 3);
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
-            .unwrap();
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
         let expected = reference_iteration(&g, &profiles, &Measure::Cosine, 4, false);
         assert_eq!(out.graph, expected);
         wd.destroy().unwrap();
@@ -133,8 +148,7 @@ mod tests {
     #[test]
     fn pays_far_more_partition_ops_than_locality_planning_would() {
         let (g, _, p, wd, stats) = world(60, 6, 7);
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
-            .unwrap();
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
         // The PI schedule touches each pair once: at most
         // 2 * (m*(m+1)/2) loads. Random access does much worse.
         let m = 6u64;
@@ -152,8 +166,7 @@ mod tests {
     fn single_partition_needs_exactly_one_load() {
         let (g, _, _, wd, stats) = world(20, 1, 1);
         let p = Partitioning::from_assignment(vec![0; 20], 1).unwrap();
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
-            .unwrap();
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
         assert_eq!(out.cache.loads, 1);
         assert_eq!(out.cache.unloads, 1);
         wd.destroy().unwrap();
@@ -162,8 +175,7 @@ mod tests {
     #[test]
     fn sims_match_tuple_count() {
         let (g, _, p, wd, stats) = world(30, 3, 9);
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2)
-            .unwrap();
+        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
         assert_eq!(out.sims_computed as usize, reference_tuple_set(&g).len());
         wd.destroy().unwrap();
     }

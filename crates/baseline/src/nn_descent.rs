@@ -37,7 +37,13 @@ pub struct NnDescentConfig {
 impl NnDescentConfig {
     /// The paper's defaults: `ρ = 0.5`, `δ = 0.001`, 30 iterations cap.
     pub fn new(k: usize, seed: u64) -> Self {
-        NnDescentConfig { k, rho: 0.5, delta: 0.001, max_iterations: 30, seed }
+        NnDescentConfig {
+            k,
+            rho: 0.5,
+            delta: 0.001,
+            max_iterations: 30,
+            seed,
+        }
     }
 }
 
@@ -72,7 +78,11 @@ struct Entry {
 impl<'a, M: Similarity> NnDescent<'a, M> {
     /// Creates a solver over `profiles` with `measure`.
     pub fn new(profiles: &'a ProfileStore, measure: &'a M, config: NnDescentConfig) -> Self {
-        NnDescent { profiles, measure, config }
+        NnDescent {
+            profiles,
+            measure,
+            config,
+        }
     }
 
     /// Runs NN-Descent from a random initial graph.
@@ -81,7 +91,13 @@ impl<'a, M: Similarity> NnDescent<'a, M> {
     ///
     /// Panics if `k == 0`, `ρ ∉ (0, 1]`, or `δ < 0`.
     pub fn run(&self) -> NnDescentOutcome {
-        let NnDescentConfig { k, rho, delta, max_iterations, seed } = self.config;
+        let NnDescentConfig {
+            k,
+            rho,
+            delta,
+            max_iterations,
+            seed,
+        } = self.config;
         assert!(k > 0, "K must be positive");
         assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
         assert!(delta >= 0.0, "delta must be non-negative");
@@ -99,7 +115,10 @@ impl<'a, M: Similarity> NnDescent<'a, M> {
                     .iter()
                     .map(|nb| {
                         let sim = self.score(v as u32, nb.id.raw(), &mut sims_computed);
-                        Entry { neighbor: Neighbor::new(nb.id, sim), is_new: true }
+                        Entry {
+                            neighbor: Neighbor::new(nb.id, sim),
+                            is_new: true,
+                        }
                     })
                     .collect()
             })
@@ -187,7 +206,12 @@ impl<'a, M: Similarity> NnDescent<'a, M> {
                 .set_neighbors(UserId::new(v as u32), neighbors)
                 .expect("NN-Descent lists satisfy the KNN invariants");
         }
-        NnDescentOutcome { graph, iterations, sims_computed, converged }
+        NnDescentOutcome {
+            graph,
+            iterations,
+            sims_computed,
+            converged,
+        }
     }
 
     fn score(&self, a: u32, b: u32, counter: &mut u64) -> f32 {
@@ -207,8 +231,11 @@ impl<'a, M: Similarity> NnDescent<'a, M> {
         let sim = self.score(u1, u2, counter);
         let mut changed = 0;
         for (from, to) in [(u1, u2), (u2, u1)] {
-            if offer(&mut lists[from as usize], self.config.k, Neighbor::new(UserId::new(to), sim))
-            {
+            if offer(
+                &mut lists[from as usize],
+                self.config.k,
+                Neighbor::new(UserId::new(to), sim),
+            ) {
                 changed += 1;
             }
         }
@@ -223,20 +250,38 @@ fn offer(list: &mut Vec<Entry>, k: usize, cand: Neighbor) -> bool {
         if cand.beats(&list[pos].neighbor) {
             list.remove(pos);
             let at = list.partition_point(|e| e.neighbor.beats(&cand));
-            list.insert(at, Entry { neighbor: cand, is_new: true });
+            list.insert(
+                at,
+                Entry {
+                    neighbor: cand,
+                    is_new: true,
+                },
+            );
             return true;
         }
         return false;
     }
     if list.len() < k {
         let at = list.partition_point(|e| e.neighbor.beats(&cand));
-        list.insert(at, Entry { neighbor: cand, is_new: true });
+        list.insert(
+            at,
+            Entry {
+                neighbor: cand,
+                is_new: true,
+            },
+        );
         return true;
     }
     if cand.beats(&list.last().expect("non-empty").neighbor) {
         list.pop();
         let at = list.partition_point(|e| e.neighbor.beats(&cand));
-        list.insert(at, Entry { neighbor: cand, is_new: true });
+        list.insert(
+            at,
+            Entry {
+                neighbor: cand,
+                is_new: true,
+            },
+        );
         return true;
     }
     false
@@ -253,13 +298,18 @@ mod tests {
     #[test]
     fn reaches_high_recall_on_clustered_data() {
         let (store, _) = clustered_profiles(
-            ClusteredConfig::new(120, 5).with_clusters(6).with_ratings(15, 2),
+            ClusteredConfig::new(120, 5)
+                .with_clusters(6)
+                .with_ratings(15, 2),
         );
         let truth = brute_force_knn(&store, &Measure::Cosine, 5, 2);
-        let outcome =
-            NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(5, 5)).run();
+        let outcome = NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(5, 5)).run();
         let recall = recall_at_k(&outcome.graph, &truth);
-        assert!(recall.mean_recall > 0.85, "recall {:.3} too low", recall.mean_recall);
+        assert!(
+            recall.mean_recall > 0.85,
+            "recall {:.3} too low",
+            recall.mean_recall
+        );
         assert!(outcome.iterations >= 2);
     }
 
@@ -269,8 +319,7 @@ mod tests {
         // enough relative to K; at small n the join overlap dominates.
         let (store, _) = clustered_profiles(ClusteredConfig::new(1000, 7));
         let n = 1000u64;
-        let outcome =
-            NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(6, 7)).run();
+        let outcome = NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(6, 7)).run();
         assert!(
             outcome.sims_computed < n * (n - 1) / 2,
             "NN-Descent did {} sims, brute force needs {}",
@@ -292,8 +341,7 @@ mod tests {
     #[test]
     fn respects_invariants() {
         let (store, _) = clustered_profiles(ClusteredConfig::new(50, 4));
-        let outcome =
-            NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(4, 4)).run();
+        let outcome = NnDescent::new(&store, &Measure::Cosine, NnDescentConfig::new(4, 4)).run();
         for v in 0..50u32 {
             let u = UserId::new(v);
             let list = outcome.graph.neighbors(u);

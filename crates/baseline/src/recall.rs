@@ -64,9 +64,19 @@ pub fn recall_at_k(candidate: &KnnGraph, truth: &KnnGraph) -> RecallReport {
         measured += 1;
     }
     if measured == 0 {
-        return RecallReport { mean_recall: 0.0, min_recall: 0.0, perfect_users: 0, users_measured: 0 };
+        return RecallReport {
+            mean_recall: 0.0,
+            min_recall: 0.0,
+            perfect_users: 0,
+            users_measured: 0,
+        };
     }
-    RecallReport { mean_recall: total / measured as f64, min_recall: min, perfect_users: perfect, users_measured: measured }
+    RecallReport {
+        mean_recall: total / measured as f64,
+        min_recall: min,
+        perfect_users: perfect,
+        users_measured: measured,
+    }
 }
 
 #[cfg(test)]

@@ -73,7 +73,9 @@ fn bench_profile_ops(c: &mut Criterion) {
     group.bench_function("common_items_128", |bencher| {
         bencher.iter(|| black_box(a.common_items(&b)))
     });
-    group.bench_function("l2_norm_128", |bencher| bencher.iter(|| black_box(a.l2_norm())));
+    group.bench_function("l2_norm_128", |bencher| {
+        bencher.iter(|| black_box(a.l2_norm()))
+    });
     group.finish();
 }
 

@@ -39,8 +39,7 @@ fn main() {
         .build()
         .expect("config");
     let wd = WorkingDir::temp("convergence").expect("workdir");
-    let mut engine =
-        KnnEngine::new(config, workload.profiles.clone(), wd).expect("engine");
+    let mut engine = KnnEngine::new(config, workload.profiles.clone(), wd).expect("engine");
 
     println!("\nout-of-core engine (reverse offers on, like NN-Descent):\n");
     let mut t = TextTable::new(&["iter", "recall@K", "perfect users", "changed", "avg sim"]);

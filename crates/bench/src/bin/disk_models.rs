@@ -65,7 +65,11 @@ fn main() {
         });
     t.row(&[
         "total".to_string(),
-        format!("{} ops / {}", total.read_ops + total.write_ops, fmt_bytes(total.bytes_total())),
+        format!(
+            "{} ops / {}",
+            total.read_ops + total.write_ops,
+            fmt_bytes(total.bytes_total())
+        ),
         format!("{:.3?}", DiskModel::hdd().simulated_time(&total)),
         format!("{:.3?}", DiskModel::ssd().simulated_time(&total)),
         format!("{:.3?}", DiskModel::ramdisk().simulated_time(&total)),

@@ -26,7 +26,10 @@ fn main() {
 
     println!("Figure 1 pipeline: n={users}, K={k}, m={partitions}, seed={seed}");
     let workload = WorkloadConfig::recommender().build(users, seed);
-    println!("workload: {}, measure: {}\n", workload.name, workload.measure);
+    println!(
+        "workload: {}, measure: {}\n",
+        workload.name, workload.measure
+    );
 
     let config = EngineConfig::builder(users)
         .k(k)
@@ -36,8 +39,7 @@ fn main() {
         .build()
         .expect("valid config");
     let wd = WorkingDir::temp("figure1").expect("temp working dir");
-    let mut engine =
-        KnnEngine::new(config, workload.profiles, wd).expect("engine construction");
+    let mut engine = KnnEngine::new(config, workload.profiles, wd).expect("engine construction");
 
     for iter in 0..iters {
         // Queue a few mid-iteration profile updates so phase 5 has

@@ -20,8 +20,7 @@ use knn_graph::generators::{
 
 fn ops_row(name: &str, n: usize, pairs: &[(u32, u32)], slots: usize, t: &mut TextTable) {
     let pi = PiGraph::from_network_shape(n, pairs);
-    let ops =
-        |h: Heuristic| simulate_schedule_ops(&h.schedule(&pi), slots).total_ops() as f64;
+    let ops = |h: Heuristic| simulate_schedule_ops(&h.schedule(&pi), slots).total_ops() as f64;
     let seq = ops(Heuristic::Sequential);
     let mut cells = vec![name.to_string(), pairs.len().to_string(), format!("{seq}")];
     for h in [
@@ -44,12 +43,31 @@ fn main() {
 
     println!("E6 heuristic ablation (slots={slots}, seed={seed})");
     println!("\npart 1: synthetic PI-graph families (n={n}, |E|={e})\n");
-    let headers =
-        ["family", "pairs", "seq", "high-low", "low-high", "greedy-chain", "weight-aware"];
+    let headers = [
+        "family",
+        "pairs",
+        "seq",
+        "high-low",
+        "low-high",
+        "greedy-chain",
+        "weight-aware",
+    ];
     let mut t = TextTable::new(&headers);
     ops_row("erdos-renyi", n, &erdos_renyi(n, e, seed), slots, &mut t);
-    ops_row("barabasi-albert", n, &barabasi_albert(n, e / n, seed), slots, &mut t);
-    ops_row("watts-strogatz", n, &watts_strogatz(n, e / n, 0.1, seed), slots, &mut t);
+    ops_row(
+        "barabasi-albert",
+        n,
+        &barabasi_albert(n, e / n, seed),
+        slots,
+        &mut t,
+    );
+    ops_row(
+        "watts-strogatz",
+        n,
+        &watts_strogatz(n, e / n, 0.1, seed),
+        slots,
+        &mut t,
+    );
     ops_row(
         "core-periphery",
         n,

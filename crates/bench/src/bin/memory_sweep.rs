@@ -56,7 +56,13 @@ fn main() {
 
     println!("E2 memory sweep: n={n}, K={k}, seed={seed}");
     println!("\npart 1: vary partition count m (2-slot cache, smaller partitions = less RAM)\n");
-    let mut t = TextTable::new(&["m", "resident (est)", "part ops", "bytes moved", "iter time"]);
+    let mut t = TextTable::new(&[
+        "m",
+        "resident (est)",
+        "part ops",
+        "bytes moved",
+        "iter time",
+    ]);
     for m in [4, 8, 16, 32, 64] {
         let (elapsed, ops, bytes, resident) = run_once(n, k, m, 2, seed);
         t.row(&[
@@ -70,7 +76,13 @@ fn main() {
     t.print();
 
     println!("\npart 2: vary cache slots at m=32 (more slots = more RAM, fewer reloads)\n");
-    let mut t = TextTable::new(&["slots", "resident (est)", "part ops", "bytes moved", "iter time"]);
+    let mut t = TextTable::new(&[
+        "slots",
+        "resident (est)",
+        "part ops",
+        "bytes moved",
+        "iter time",
+    ]);
     for slots in [2, 3, 4, 8, 16] {
         let (elapsed, ops, bytes, resident) = run_once(n, k, 32, slots, seed);
         t.row(&[

@@ -25,7 +25,14 @@ fn main() {
 
     println!("E8 partitioner ablation (m={m}, seed={seed})");
     println!("\npart 1: objective Σ(N_in + N_out) on Table-1 replicas (lower is better)\n");
-    let mut t = TextTable::new(&["dataset", "contiguous", "random", "greedy", "refined", "greedy time"]);
+    let mut t = TextTable::new(&[
+        "dataset",
+        "contiguous",
+        "random",
+        "greedy",
+        "refined",
+        "greedy time",
+    ]);
     for ds in [
         Table1Dataset::GeneralRelativity,
         Table1Dataset::WikiVote,
@@ -50,7 +57,13 @@ fn main() {
     t.print();
 
     println!("\npart 2: end-to-end engine effect (n={n_engine}, one iteration)\n");
-    let mut t = TextTable::new(&["partitioner", "objective", "pi pairs", "part ops", "iter time"]);
+    let mut t = TextTable::new(&[
+        "partitioner",
+        "objective",
+        "pi pairs",
+        "part ops",
+        "iter time",
+    ]);
     for kind in PartitionerKind::ALL {
         let workload = WorkloadConfig::recommender().build(n_engine, seed);
         let config = EngineConfig::builder(n_engine)

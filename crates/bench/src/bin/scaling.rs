@@ -23,8 +23,10 @@ fn main() {
     let iters: usize = opt_or(&args, "iters", 3);
     let seed: u64 = opt_or(&args, "seed", 42);
     let threads: usize = opt_or(&args, "threads", 4);
-    let sizes: Vec<usize> =
-        sizes.split(',').map(|s| s.trim().parse().expect("size list")).collect();
+    let sizes: Vec<usize> = sizes
+        .split(',')
+        .map(|s| s.trim().parse().expect("size list"))
+        .collect();
 
     println!("E1 scaling sweep: K={k}, {iters} engine iterations per size, seed={seed}\n");
     let mut table = TextTable::new(&[
@@ -50,17 +52,24 @@ fn main() {
             .build()
             .expect("config");
         let wd = WorkingDir::temp("scaling").expect("workdir");
-        let mut engine =
-            KnnEngine::new(config, workload.profiles.clone(), wd).expect("engine");
+        let mut engine = KnnEngine::new(config, workload.profiles.clone(), wd).expect("engine");
         let t0 = Instant::now();
         for _ in 0..iters {
             engine.run_iteration().expect("iteration");
         }
         let engine_per_iter = t0.elapsed() / iters as u32;
-        let ops: u64 = engine.reports().iter().map(|r| r.cache.total_ops()).sum::<u64>()
+        let ops: u64 = engine
+            .reports()
+            .iter()
+            .map(|r| r.cache.total_ops())
+            .sum::<u64>()
             / iters as u64;
-        let bytes: u64 =
-            engine.reports().iter().map(|r| r.total_bytes()).sum::<u64>() / iters as u64;
+        let bytes: u64 = engine
+            .reports()
+            .iter()
+            .map(|r| r.total_bytes())
+            .sum::<u64>()
+            / iters as u64;
         engine.into_working_dir().destroy().expect("cleanup");
 
         // NN-Descent (in-memory).

@@ -1,0 +1,145 @@
+//! **Experiment S1 — online serving throughput.**
+//!
+//! Measures `KnnService` query throughput with 1, 4, and 8 reader
+//! threads while the refinement loop keeps iterating underneath — the
+//! serve layer's core claim is that readers never block on refinement,
+//! so throughput should scale with reader count instead of collapsing
+//! when an iteration publishes.
+//!
+//! Emits one JSON document on stdout (for the BENCH trajectory) and a
+//! human-readable table on stderr.
+//!
+//! Usage: `serve_throughput [--users N] [--k N] [--partitions N]
+//! [--seed N] [--millis N] [--threads LIST]` (LIST comma-separated,
+//! default `1,4,8`)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use knn_bench::{opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_graph::UserId;
+use knn_serve::{spawn, KnnService, RefineOptions};
+use knn_store::WorkingDir;
+
+struct Measurement {
+    threads: usize,
+    queries: u64,
+    qps: f64,
+    epochs_crossed: u64,
+}
+
+/// Hammers `neighbors` from `threads` readers for `window`, returning
+/// total queries answered and how many snapshot swaps happened inside
+/// the window (proof refinement really ran underneath).
+fn measure(service: &KnnService, threads: usize, window: Duration, n: usize) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let epoch_before = service.snapshot().epoch();
+    let mut readers = Vec::new();
+    for reader in 0..threads {
+        let service = service.clone();
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            // Cheap deterministic id stream (LCG), distinct per reader.
+            let mut state = 0x9E37_79B9u64.wrapping_mul(reader as u64 + 1) | 1;
+            let mut queries = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let user = UserId::new(((state >> 33) % n as u64) as u32);
+                let list = service.neighbors(user).expect("in-range user");
+                std::hint::black_box(list);
+                queries += 1;
+            }
+            queries
+        }));
+    }
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let queries: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    let epochs_crossed = service.snapshot().epoch() - epoch_before;
+    Measurement {
+        threads,
+        queries,
+        qps: queries as f64 / window.as_secs_f64(),
+        epochs_crossed,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = opt_or(&args, "users", 4_000);
+    let k: usize = opt_or(&args, "k", 8);
+    let m: usize = opt_or(&args, "partitions", 8);
+    let seed: u64 = opt_or(&args, "seed", 42);
+    let millis: u64 = opt_or(&args, "millis", 1_000);
+    let thread_list: String = opt_or(&args, "threads", "1,4,8".to_string());
+    let thread_counts: Vec<usize> = thread_list
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .expect("--threads takes comma-separated counts")
+        })
+        .collect();
+
+    eprintln!("S1 serve throughput: n={n}, K={k}, m={m}, seed={seed}, window={millis}ms");
+
+    let workload = WorkloadConfig::recommender().build(n, seed);
+    let config = EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(m)
+        .measure(workload.measure)
+        .seed(seed)
+        .build()
+        .expect("config");
+    let wd = WorkingDir::temp("serve_throughput").expect("workdir");
+    let engine = KnnEngine::new(config, workload.profiles, wd).expect("engine");
+    // Refine forever: the whole point is to measure with swaps live.
+    let options = RefineOptions {
+        convergence_threshold: None,
+        max_iterations: None,
+        idle_park: Duration::from_millis(1),
+    };
+    let (service, refine) = spawn(engine, options).expect("spawn service");
+
+    let window = Duration::from_millis(millis);
+    let started = Instant::now();
+    let results: Vec<Measurement> = thread_counts
+        .iter()
+        .map(|&t| measure(&service, t, window, n))
+        .collect();
+
+    let mut table = TextTable::new(&["readers", "queries", "queries/s", "swaps in window"]);
+    for r in &results {
+        table.row(&[
+            r.threads.to_string(),
+            r.queries.to_string(),
+            format!("{:.0}", r.qps),
+            r.epochs_crossed.to_string(),
+        ]);
+    }
+    eprintln!("{}", table.render());
+
+    // The BENCH-trajectory JSON document.
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"readers":{},"queries":{},"qps":{:.1},"epochs_crossed":{}}}"#,
+                r.threads, r.queries, r.qps, r.epochs_crossed
+            )
+        })
+        .collect();
+    println!(
+        r#"{{"bench":"serve_throughput","users":{n},"k":{k},"partitions":{m},"seed":{seed},"window_ms":{millis},"wall_s":{:.2},"results":[{}]}}"#,
+        started.elapsed().as_secs_f64(),
+        rows.join(",")
+    );
+
+    let engine = refine.stop().expect("stop");
+    engine.into_working_dir().destroy().expect("cleanup");
+}

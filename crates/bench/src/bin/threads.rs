@@ -22,8 +22,13 @@ fn main() {
     let seed: u64 = opt_or(&args, "seed", 42);
 
     println!("E4 thread sweep: n={n}, K={k}, m={m}, seed={seed}\n");
-    let mut table =
-        TextTable::new(&["threads", "phase-4 time", "speedup", "similarities/s", "result"]);
+    let mut table = TextTable::new(&[
+        "threads",
+        "phase-4 time",
+        "speedup",
+        "similarities/s",
+        "result",
+    ]);
 
     let mut baseline = None;
     let mut reference_graph = None;

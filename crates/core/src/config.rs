@@ -283,10 +283,16 @@ mod tests {
         assert!(EngineConfig::builder(1).build().is_err());
         assert!(EngineConfig::builder(10).k(0).build().is_err());
         assert!(EngineConfig::builder(10).num_partitions(0).build().is_err());
-        assert!(EngineConfig::builder(10).num_partitions(11).build().is_err());
+        assert!(EngineConfig::builder(10)
+            .num_partitions(11)
+            .build()
+            .is_err());
         assert!(EngineConfig::builder(10).threads(0).build().is_err());
         assert!(EngineConfig::builder(10).cache_slots(1).build().is_err());
-        assert!(EngineConfig::builder(10).spill_threshold(0).build().is_err());
+        assert!(EngineConfig::builder(10)
+            .spill_threshold(0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -320,6 +326,10 @@ mod tests {
 
     #[test]
     fn one_user_per_partition_is_allowed() {
-        assert!(EngineConfig::builder(4).num_partitions(4).k(2).build().is_ok());
+        assert!(EngineConfig::builder(4)
+            .num_partitions(4)
+            .k(2)
+            .build()
+            .is_ok());
     }
 }

@@ -6,7 +6,8 @@ use std::time::Instant;
 use knn_graph::{KnnGraph, Neighbor, UserId};
 use knn_sim::{Profile, ProfileDelta, ProfileStore};
 use knn_store::record_file::{
-    read_meta, read_pairs, read_scored_pairs, write_meta, write_pairs, write_scored_pairs,
+    read_meta, read_pairs, read_scored_pairs, read_user_lists, write_meta, write_pairs,
+    write_scored_pairs,
 };
 use knn_store::{IoSnapshot, IoStats, RecordKind, WorkingDir};
 
@@ -76,8 +77,7 @@ impl KnnEngine {
         profiles: ProfileStore,
         workdir: WorkingDir,
     ) -> Result<Self, EngineError> {
-        let initial =
-            KnnGraph::random_init(config.num_users(), config.k(), config.seed());
+        let initial = KnnGraph::random_init(config.num_users(), config.k(), config.seed());
         Self::with_initial_graph(config, initial, profiles, workdir)
     }
 
@@ -119,8 +119,7 @@ impl KnnEngine {
         // Initial on-disk layout: partition G(0) with the configured
         // partitioner and shard the profiles accordingly.
         let partitioner = config.partitioner().instantiate(config.seed());
-        let partitioning =
-            partitioner.partition(&graph.to_digraph(), config.num_partitions())?;
+        let partitioning = partitioner.partition(&graph.to_digraph(), config.num_partitions())?;
         phase1::reshard_profiles(&workdir, None, &partitioning, Some(&profiles), &stats)?;
         let queue = UpdateQueue::open(&workdir, config.num_users())?;
         let engine = KnnEngine {
@@ -150,8 +149,9 @@ impl KnnEngine {
     /// storage errors for missing or corrupt state files.
     pub fn resume(config: EngineConfig, workdir: WorkingDir) -> Result<Self, EngineError> {
         let stats = Arc::new(IoStats::new());
-        let meta: std::collections::HashMap<u32, u64> =
-            read_meta(&workdir.meta_path(), &stats)?.into_iter().collect();
+        let meta: std::collections::HashMap<u32, u64> = read_meta(&workdir.meta_path(), &stats)?
+            .into_iter()
+            .collect();
         let expect = |key: u32, name: &str, want: u64| -> Result<(), EngineError> {
             match meta.get(&key) {
                 Some(&found) if found == want => Ok(()),
@@ -163,7 +163,11 @@ impl KnnEngine {
         };
         expect(META_NUM_USERS, "num_users", config.num_users() as u64)?;
         expect(META_K, "k", config.k() as u64)?;
-        expect(META_NUM_PARTITIONS, "num_partitions", config.num_partitions() as u64)?;
+        expect(
+            META_NUM_PARTITIONS,
+            "num_partitions",
+            config.num_partitions() as u64,
+        )?;
         expect(META_SEED, "seed", config.seed())?;
         let iteration = *meta
             .get(&META_ITERATION)
@@ -194,13 +198,22 @@ impl KnnEngine {
             for (s, d, sim) in rows {
                 match &mut current {
                     Some((user, list)) if *user == s => {
-                        list.push(Neighbor { id: UserId::new(d), sim });
+                        list.push(Neighbor {
+                            id: UserId::new(d),
+                            sim,
+                        });
                     }
                     _ => {
                         if let Some((user, list)) = current.take() {
                             graph.set_neighbors(UserId::new(user), list)?;
                         }
-                        current = Some((s, vec![Neighbor { id: UserId::new(d), sim }]));
+                        current = Some((
+                            s,
+                            vec![Neighbor {
+                                id: UserId::new(d),
+                                sim,
+                            }],
+                        ));
                     }
                 }
             }
@@ -322,6 +335,52 @@ impl KnnEngine {
         UpdateQueue::read_profile(user, &self.partitioning, &self.workdir, &self.stats)
     }
 
+    /// Materializes the entire on-disk profile set `P(t)` as an
+    /// in-memory [`ProfileStore`] — the snapshot-extraction hook the
+    /// serving layer uses to publish a consistent profile view after
+    /// each iteration.
+    ///
+    /// Must only be called between iterations (the engine does not
+    /// rewrite partition files while no iteration is running); costs
+    /// one sequential read of every partition's profile file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a storage error for missing or corrupt partition files,
+    /// or an input-mismatch error if a partition file names a user
+    /// outside the configured range.
+    pub fn export_profiles(&self) -> Result<ProfileStore, EngineError> {
+        let mut store = ProfileStore::new(self.config.num_users());
+        for p in 0..self.partitioning.num_partitions() as u32 {
+            let rows = read_user_lists(
+                &self.workdir.profiles_path(p),
+                RecordKind::Profiles,
+                &self.stats,
+            )?;
+            for (user, row) in rows {
+                if user as usize >= self.config.num_users() {
+                    return Err(EngineError::input(format!(
+                        "partition {p} profile file names unknown user {user}"
+                    )));
+                }
+                let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
+                    EngineError::input(format!("invalid stored profile for user {user}: {e}"))
+                })?;
+                store.set(UserId::new(user), profile);
+            }
+        }
+        Ok(store)
+    }
+
+    /// Number of updates currently queued for phase 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns a storage error if the update log cannot be read.
+    pub fn pending_updates(&self) -> Result<usize, EngineError> {
+        self.queue.pending(&self.stats)
+    }
+
     /// Executes one full five-phase iteration, advancing `G(t)` to
     /// `G(t+1)` and `P(t)` to `P(t+1)`.
     ///
@@ -338,8 +397,8 @@ impl KnnEngine {
         let t0 = Instant::now();
         if self.config.repartition_each_iteration() || self.iteration == 0 {
             let partitioner = self.config.partitioner().instantiate(self.config.seed());
-            let next = partitioner
-                .partition(&self.graph.to_digraph(), self.config.num_partitions())?;
+            let next =
+                partitioner.partition(&self.graph.to_digraph(), self.config.num_partitions())?;
             if next != self.partitioning {
                 phase1::reshard_profiles(
                     &self.workdir,
@@ -401,8 +460,9 @@ impl KnnEngine {
         // Phase 5: apply the lazy profile-update queue.
         let before = self.stats.snapshot();
         let t0 = Instant::now();
-        let phase5_stats =
-            self.queue.apply_all(&self.partitioning, &self.workdir, &self.stats)?;
+        let phase5_stats = self
+            .queue
+            .apply_all(&self.partitioning, &self.workdir, &self.stats)?;
         durations[4] = t0.elapsed();
         io[4] = self.stats.snapshot() - before;
 
@@ -468,7 +528,9 @@ mod tests {
 
     fn small_world(n: usize, seed: u64) -> (EngineConfig, ProfileStore, WorkingDir) {
         let (profiles, _) = clustered_profiles(
-            ClusteredConfig::new(n, seed).with_clusters(4).with_ratings(12, 2),
+            ClusteredConfig::new(n, seed)
+                .with_clusters(4)
+                .with_ratings(12, 2),
         );
         let config = EngineConfig::builder(n)
             .k(4)
@@ -486,8 +548,7 @@ mod tests {
         let (config, profiles, wd) = small_world(60, 3);
         let g0 = KnnGraph::random_init(60, 4, 3);
         let expected = reference_iteration(&g0, &profiles, &Measure::Cosine, 4, false);
-        let mut engine =
-            KnnEngine::with_initial_graph(config, g0, profiles, wd).unwrap();
+        let mut engine = KnnEngine::with_initial_graph(config, g0, profiles, wd).unwrap();
         engine.run_iteration().unwrap();
         assert_eq!(engine.graph(), &expected);
         engine.into_working_dir().destroy().unwrap();
@@ -497,16 +558,9 @@ mod tests {
     fn multiple_iterations_match_reference() {
         let (config, profiles, wd) = small_world(40, 5);
         let g0 = KnnGraph::random_init(40, 4, 5);
-        let expected = crate::reference::reference_run(
-            &g0,
-            &profiles,
-            &Measure::Cosine,
-            4,
-            false,
-            3,
-        );
-        let mut engine =
-            KnnEngine::with_initial_graph(config, g0, profiles, wd).unwrap();
+        let expected =
+            crate::reference::reference_run(&g0, &profiles, &Measure::Cosine, 4, false, 3);
+        let mut engine = KnnEngine::with_initial_graph(config, g0, profiles, wd).unwrap();
         for _ in 0..3 {
             engine.run_iteration().unwrap();
         }
@@ -542,11 +596,40 @@ mod tests {
             .unwrap();
         let expected_iter0 = reference_iteration(&g0, &baseline, &Measure::Cosine, 4, false);
         let report = engine.run_iteration().unwrap();
-        assert_eq!(engine.graph(), &expected_iter0, "update leaked into iteration 0");
+        assert_eq!(
+            engine.graph(),
+            &expected_iter0,
+            "update leaked into iteration 0"
+        );
         assert_eq!(report.updates_applied, 1);
         // After phase 5 the profile is replaced on disk.
         let p = engine.profile_of(UserId::new(0)).unwrap();
         assert_eq!(p.get(knn_sim::ItemId::new(99999)), Some(5.0));
+        engine.into_working_dir().destroy().unwrap();
+    }
+
+    #[test]
+    fn export_profiles_round_trips_the_store() {
+        let (config, profiles, wd) = small_world(45, 21);
+        let original = profiles.clone();
+        let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
+        // The resharded on-disk set must reassemble to the input...
+        assert_eq!(engine.export_profiles().unwrap(), original);
+        // ...and still round-trip after an iteration plus an update.
+        engine
+            .queue_update(&ProfileDelta::set(
+                UserId::new(3),
+                knn_sim::ItemId::new(777),
+                2.5,
+            ))
+            .unwrap();
+        engine.run_iteration().unwrap();
+        let exported = engine.export_profiles().unwrap();
+        assert_eq!(
+            exported.get(UserId::new(3)).get(knn_sim::ItemId::new(777)),
+            Some(2.5)
+        );
+        assert_eq!(exported.num_users(), 45);
         engine.into_working_dir().destroy().unwrap();
     }
 

@@ -33,17 +33,23 @@ pub enum EngineError {
 impl EngineError {
     /// Builds a configuration error.
     pub fn config(detail: impl Into<String>) -> Self {
-        EngineError::Config { detail: detail.into() }
+        EngineError::Config {
+            detail: detail.into(),
+        }
     }
 
     /// Builds an input-mismatch error.
     pub fn input(detail: impl Into<String>) -> Self {
-        EngineError::InputMismatch { detail: detail.into() }
+        EngineError::InputMismatch {
+            detail: detail.into(),
+        }
     }
 
     /// Builds an invalid-update error.
     pub fn update(detail: impl Into<String>) -> Self {
-        EngineError::InvalidUpdate { detail: detail.into() }
+        EngineError::InvalidUpdate {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -98,7 +104,9 @@ mod tests {
             EngineError::input("graph has 3 vertices, config says 4"),
             EngineError::update("user 99 out of range"),
             EngineError::Store(StoreError::corrupt("/f", "bad")),
-            EngineError::Graph(GraphError::SelfLoop { vertex: knn_graph::UserId::new(0) }),
+            EngineError::Graph(GraphError::SelfLoop {
+                vertex: knn_graph::UserId::new(0),
+            }),
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
@@ -108,7 +116,9 @@ mod tests {
     #[test]
     fn sources_are_exposed() {
         use std::error::Error;
-        assert!(EngineError::Store(StoreError::corrupt("/f", "x")).source().is_some());
+        assert!(EngineError::Store(StoreError::corrupt("/f", "x"))
+            .source()
+            .is_some());
         assert!(EngineError::config("x").source().is_none());
     }
 }

@@ -9,8 +9,13 @@ use crate::traversal::TraversalCost;
 use crate::tuple_table::TupleTableStats;
 
 /// Names of the five phases, for display.
-pub const PHASE_NAMES: [&str; 5] =
-    ["partitioning", "tuple generation", "pi graph", "knn computation", "profile updates"];
+pub const PHASE_NAMES: [&str; 5] = [
+    "partitioning",
+    "tuple generation",
+    "pi graph",
+    "knn computation",
+    "profile updates",
+];
 
 /// Everything measured during one engine iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,10 +126,28 @@ mod tests {
         IterationReport {
             iteration: 3,
             phase_durations: [Duration::from_millis(10); 5],
-            phase_io: [IoSnapshot { bytes_read: 100, bytes_written: 50, ..Default::default() }; 5],
-            cache: CacheCounters { loads: 10, unloads: 10, hits: 4 },
-            predicted: TraversalCost { loads: 10, unloads: 10, hits: 4, steps: 7 },
-            tuples: TupleTableStats { offered: 100, unique: 80, duplicates: 20, spills: 1 },
+            phase_io: [IoSnapshot {
+                bytes_read: 100,
+                bytes_written: 50,
+                ..Default::default()
+            }; 5],
+            cache: CacheCounters {
+                loads: 10,
+                unloads: 10,
+                hits: 4,
+            },
+            predicted: TraversalCost {
+                loads: 10,
+                unloads: 10,
+                hits: 4,
+                steps: 7,
+            },
+            tuples: TupleTableStats {
+                offered: 100,
+                unique: 80,
+                duplicates: 20,
+                spills: 1,
+            },
             schedule_len: 7,
             sims_computed: 80,
             updates_applied: 2,

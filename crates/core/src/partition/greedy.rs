@@ -54,7 +54,10 @@ impl Partitioner for GreedyPartitioner {
         // Hubs first: the big neighbor lists constrain placement most.
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_unstable_by_key(|&u| {
-            (std::cmp::Reverse(neighbors[u as usize].len()), mix(self.seed, u as u64))
+            (
+                std::cmp::Reverse(neighbors[u as usize].len()),
+                mix(self.seed, u as u64),
+            )
         });
 
         const UNASSIGNED: u32 = u32::MAX;

@@ -64,7 +64,11 @@ impl Partitioning {
                 )));
             }
         }
-        Ok(Partitioning { assignment, num_partitions: m, users })
+        Ok(Partitioning {
+            assignment,
+            num_partitions: m,
+            users,
+        })
     }
 
     /// Number of partitions `m`.
@@ -153,9 +157,11 @@ impl PartitionerKind {
             PartitionerKind::Contiguous => Box::new(ContiguousPartitioner),
             PartitionerKind::Random => Box::new(RandomPartitioner::new(seed)),
             PartitionerKind::Greedy => Box::new(GreedyPartitioner::new(seed)),
-            PartitionerKind::Refined => {
-                Box::new(RefinePartitioner::new(GreedyPartitioner::new(seed), 2, seed))
-            }
+            PartitionerKind::Refined => Box::new(RefinePartitioner::new(
+                GreedyPartitioner::new(seed),
+                2,
+                seed,
+            )),
         }
     }
 }
@@ -184,7 +190,9 @@ pub(crate) fn assert_balanced(p: &Partitioning) {
         );
     }
     // Every user appears exactly once.
-    let total: usize = (0..p.num_partitions() as u32).map(|i| p.users_of(i).len()).sum();
+    let total: usize = (0..p.num_partitions() as u32)
+        .map(|i| p.users_of(i).len())
+        .sum();
     assert_eq!(total, p.num_users());
 }
 
@@ -195,7 +203,10 @@ mod tests {
     #[test]
     fn from_assignment_validates_range_and_balance() {
         assert!(Partitioning::from_assignment(vec![0, 1, 2], 2).is_err());
-        assert!(Partitioning::from_assignment(vec![0, 0, 0], 2).is_err(), "cap is 2");
+        assert!(
+            Partitioning::from_assignment(vec![0, 0, 0], 2).is_err(),
+            "cap is 2"
+        );
         let p = Partitioning::from_assignment(vec![0, 1, 0, 1], 2).unwrap();
         assert_balanced(&p);
         assert_eq!(p.capacity(), 2);

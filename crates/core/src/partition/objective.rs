@@ -58,10 +58,7 @@ pub fn replication_cost(graph: &DiGraph, partitioning: &Partitioning) -> u64 {
 /// # Panics
 ///
 /// Panics on vertex-count mismatch, as in [`replication_cost`].
-pub fn per_partition_counts(
-    graph: &DiGraph,
-    partitioning: &Partitioning,
-) -> Vec<(u64, u64)> {
+pub fn per_partition_counts(graph: &DiGraph, partitioning: &Partitioning) -> Vec<(u64, u64)> {
     assert_eq!(graph.num_vertices(), partitioning.num_users());
     let m = partitioning.num_partitions();
     let mut in_sources: Vec<std::collections::HashSet<u32>> =
@@ -94,7 +91,16 @@ mod tests {
     fn fast_path_matches_per_partition_breakdown() {
         let g = DiGraph::from_edges(
             6,
-            [(0, 1), (0, 4), (1, 2), (2, 0), (3, 5), (4, 3), (5, 1), (5, 0)],
+            [
+                (0, 1),
+                (0, 4),
+                (1, 2),
+                (2, 0),
+                (3, 5),
+                (4, 3),
+                (5, 1),
+                (5, 0),
+            ],
         )
         .unwrap();
         for assignment in [

@@ -23,7 +23,11 @@ impl<P: Partitioner> RefinePartitioner<P> {
     /// Wraps `inner` with `passes` refinement passes (each pass tries
     /// `2n` sampled swaps).
     pub fn new(inner: P, passes: usize, seed: u64) -> Self {
-        RefinePartitioner { inner, passes, seed }
+        RefinePartitioner {
+            inner,
+            passes,
+            seed,
+        }
     }
 }
 
@@ -155,15 +159,21 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let g = test_graph(4);
-        let a = RefinePartitioner::new(RandomPartitioner::new(5), 2, 9).partition(&g, 4).unwrap();
-        let b = RefinePartitioner::new(RandomPartitioner::new(5), 2, 9).partition(&g, 4).unwrap();
+        let a = RefinePartitioner::new(RandomPartitioner::new(5), 2, 9)
+            .partition(&g, 4)
+            .unwrap();
+        let b = RefinePartitioner::new(RandomPartitioner::new(5), 2, 9)
+            .partition(&g, 4)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn single_partition_is_passthrough() {
         let g = test_graph(5);
-        let p = RefinePartitioner::new(RandomPartitioner::new(0), 2, 0).partition(&g, 1).unwrap();
+        let p = RefinePartitioner::new(RandomPartitioner::new(0), 2, 0)
+            .partition(&g, 1)
+            .unwrap();
         assert_eq!(p.users_of(0).len(), 150);
     }
 }

@@ -62,7 +62,12 @@ pub fn write_partition_edges(
     for p in 0..m as u32 {
         let rows = &mut out_rows[p as usize];
         rows.sort_unstable();
-        write_pairs(&workdir.out_edges_path(p), RecordKind::OutEdges, rows, stats)?;
+        write_pairs(
+            &workdir.out_edges_path(p),
+            RecordKind::OutEdges,
+            rows,
+            stats,
+        )?;
         result.out_edges_written += rows.len() as u64;
 
         let rows = &mut in_rows[p as usize];
@@ -76,7 +81,12 @@ pub fn write_partition_edges(
             .iter()
             .map(|u| (u.raw(), Vec::new()))
             .collect();
-        write_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, &accum_rows, stats)?;
+        write_user_lists(
+            &workdir.accum_path(p),
+            RecordKind::Accumulators,
+            &accum_rows,
+            stats,
+        )?;
     }
 
     Ok(result)
@@ -120,8 +130,7 @@ pub fn reshard_profiles(
     match (old, initial) {
         (Some(old_layout), _) => {
             for p in 0..old_layout.num_partitions() as u32 {
-                let rows =
-                    read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
+                let rows = read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
                 for (user, row) in rows {
                     place(user, row)?;
                 }
@@ -129,8 +138,7 @@ pub fn reshard_profiles(
         }
         (None, Some(store)) => {
             for (user, profile) in store.iter() {
-                let row: Vec<(u32, f32)> =
-                    profile.iter().map(|(i, w)| (i.raw(), w)).collect();
+                let row: Vec<(u32, f32)> = profile.iter().map(|(i, w)| (i.raw(), w)).collect();
                 place(user.raw(), row)?;
             }
         }
@@ -211,7 +219,9 @@ mod tests {
         let (wd, p, stats) = setup(5, 2);
         let mut store = ProfileStore::new(5);
         for u in 0..5u32 {
-            store.get_mut(UserId::new(u)).set(knn_sim::ItemId::new(u), u as f32 + 1.0);
+            store
+                .get_mut(UserId::new(u))
+                .set(knn_sim::ItemId::new(u), u as f32 + 1.0);
         }
         let moved = reshard_profiles(&wd, None, &p, Some(&store), &stats).unwrap();
         assert_eq!(moved, 5);
@@ -226,7 +236,9 @@ mod tests {
         let (wd, old, stats) = setup(4, 2); // u % 2
         let mut store = ProfileStore::new(4);
         for u in 0..4u32 {
-            store.get_mut(UserId::new(u)).set(knn_sim::ItemId::new(9), u as f32);
+            store
+                .get_mut(UserId::new(u))
+                .set(knn_sim::ItemId::new(9), u as f32);
         }
         reshard_profiles(&wd, None, &old, Some(&store), &stats).unwrap();
         // New layout: contiguous halves.

@@ -75,7 +75,10 @@ pub fn generate_tuples(
     }
 
     let (pi, table_stats) = table.finalize()?;
-    Ok(Phase2Output { pi, stats: table_stats })
+    Ok(Phase2Output {
+        pi,
+        stats: table_stats,
+    })
 }
 
 /// Reference tuple set for a KNN graph: all direct edges plus all
@@ -135,9 +138,7 @@ mod tests {
     ) -> std::collections::HashSet<(u32, u32)> {
         let mut set = std::collections::HashSet::new();
         for ((i, j), _) in out.pi.iter_buckets() {
-            for t in
-                read_bucket_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, stats).unwrap()
-            {
+            for t in read_bucket_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, stats).unwrap() {
                 set.insert(t);
             }
         }
@@ -187,7 +188,10 @@ mod tests {
         g.insert(UserId::new(1), nb(3));
         g.insert(UserId::new(2), nb(3));
         let out = run_phase2(&g, &wd, &p, &stats);
-        assert!(out.stats.duplicates >= 1, "diamond tuple must be deduplicated");
+        assert!(
+            out.stats.duplicates >= 1,
+            "diamond tuple must be deduplicated"
+        );
         let got = all_tuples(&out, &wd, &stats);
         assert_eq!(got, reference_tuple_set(&g));
         wd.destroy().unwrap();
@@ -240,7 +244,10 @@ mod tests {
         std::fs::write(wd.tuples_path(1, 1), b"stale").unwrap();
         let g = KnnGraph::new(3, 2);
         let _ = run_phase2(&g, &wd, &p, &stats);
-        assert!(!wd.tuples_path(1, 1).exists(), "stale bucket must be removed");
+        assert!(
+            !wd.tuples_path(1, 1).exists(),
+            "stale bucket must be removed"
+        );
         wd.destroy().unwrap();
     }
 }

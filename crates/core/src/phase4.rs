@@ -102,7 +102,11 @@ fn load_state(
     for (user, row) in accum_rows {
         accums.insert(user, TopKAccumulator::from_row(k, &row));
     }
-    Ok(PartitionState { profiles: Arc::new(profiles), accums, dirty: false })
+    Ok(PartitionState {
+        profiles: Arc::new(profiles),
+        accums,
+        dirty: false,
+    })
 }
 
 fn unload_state(
@@ -122,7 +126,12 @@ fn unload_state(
         .map(|(&user, acc)| (user, acc.to_row()))
         .collect();
     rows.sort_unstable_by_key(|&(u, _)| u);
-    write_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, &rows, stats)?;
+    write_user_lists(
+        &workdir.accum_path(p),
+        RecordKind::Accumulators,
+        &rows,
+        stats,
+    )?;
     Ok(())
 }
 
@@ -162,8 +171,20 @@ pub fn run_phase4(
         }
         drop(task_rx);
         drop(result_tx);
-        let pool = WorkerPool { task_tx, result_rx, workers };
-        drive(schedule, pi, partitioning, workdir, stats, options, Some(pool))
+        let pool = WorkerPool {
+            task_tx,
+            result_rx,
+            workers,
+        };
+        drive(
+            schedule,
+            pi,
+            partitioning,
+            workdir,
+            stats,
+            options,
+            Some(pool),
+        )
     })
 }
 
@@ -239,9 +260,7 @@ fn drive(
                     }
                     let mut out = Vec::with_capacity(tuples.len());
                     for _ in 0..dispatched {
-                        out.extend(
-                            pool.result_rx.recv().expect("worker delivered its chunk"),
-                        );
+                        out.extend(pool.result_rx.recv().expect("worker delivered its chunk"));
                     }
                     out
                 }
@@ -274,7 +293,11 @@ fn drive(
         }
     }
 
-    Ok(Phase4Output { graph, cache: counters, sims_computed })
+    Ok(Phase4Output {
+        graph,
+        cache: counters,
+        sims_computed,
+    })
 }
 
 /// Checks that every tuple endpoint has a profile row before scoring.
@@ -417,8 +440,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let (wd, p, stats, pi) = setup_world(&g, &profiles, 3);
             let schedule = Heuristic::DegreeLowHigh.schedule(&pi);
-            let out =
-                run_phase4(&schedule, &pi, &p, &wd, &stats, &options(5, threads)).unwrap();
+            let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(5, threads)).unwrap();
             results.push(out.graph);
             wd.destroy().unwrap();
         }
@@ -435,14 +457,13 @@ mod tests {
         let profiles = line_profiles(n);
         let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
         assert!(
-            pi.iter_buckets().any(|(_, w)| w >= PARALLEL_THRESHOLD as u64),
+            pi.iter_buckets()
+                .any(|(_, w)| w >= PARALLEL_THRESHOLD as u64),
             "test needs a bucket above the parallel threshold"
         );
         let schedule = Heuristic::Sequential.schedule(&pi);
-        let sequential =
-            run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 1)).unwrap();
-        let parallel =
-            run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 4)).unwrap();
+        let sequential = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 1)).unwrap();
+        let parallel = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 4)).unwrap();
         assert_eq!(sequential.graph, parallel.graph);
         assert_eq!(sequential.sims_computed, parallel.sims_computed);
         wd.destroy().unwrap();
@@ -474,7 +495,10 @@ mod tests {
         let schedule = Heuristic::Sequential.schedule(&pi);
         let predicted = crate::traversal::simulate_schedule_ops(&schedule, 2);
         let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(3, 1)).unwrap();
-        assert_eq!(out.cache.loads, predicted.loads, "dry run must match execution");
+        assert_eq!(
+            out.cache.loads, predicted.loads,
+            "dry run must match execution"
+        );
         assert_eq!(out.cache.unloads, predicted.unloads);
         assert_eq!(stats.snapshot().partition_loads, out.cache.loads);
         wd.destroy().unwrap();

@@ -43,7 +43,10 @@ impl UpdateQueue {
     ///
     /// Returns [`EngineError::Store`] if the log cannot be opened.
     pub fn open(workdir: &WorkingDir, num_users: usize) -> Result<Self, EngineError> {
-        Ok(UpdateQueue { log: DeltaLog::open(workdir.updates_path())?, num_users })
+        Ok(UpdateQueue {
+            log: DeltaLog::open(workdir.updates_path())?,
+            num_users,
+        })
     }
 
     /// Queues one update for the next iteration boundary.
@@ -105,7 +108,10 @@ impl UpdateQueue {
                 .or_default()
                 .push(d);
         }
-        let mut result = Phase5Stats { updates_applied: deltas.len() as u64, ..Default::default() };
+        let mut result = Phase5Stats {
+            updates_applied: deltas.len() as u64,
+            ..Default::default()
+        };
         for (p, partition_deltas) in by_partition {
             let path = workdir.profiles_path(p);
             let rows = read_user_lists(&path, RecordKind::Profiles, stats)?;
@@ -130,9 +136,7 @@ impl UpdateQueue {
             }
             let new_rows: Vec<(u32, Vec<(u32, f32)>)> = profiles
                 .into_iter()
-                .map(|(user, profile)| {
-                    (user, profile.iter().map(|(i, w)| (i.raw(), w)).collect())
-                })
+                .map(|(user, profile)| (user, profile.iter().map(|(i, w)| (i.raw(), w)).collect()))
                 .collect();
             write_user_lists(&path, RecordKind::Profiles, &new_rows, stats)?;
             result.partitions_rewritten += 1;
@@ -167,7 +171,9 @@ impl UpdateQueue {
                 });
             }
         }
-        Err(EngineError::input(format!("user {user} not found in partition {p}")))
+        Err(EngineError::input(format!(
+            "user {user} not found in partition {p}"
+        )))
     }
 }
 
@@ -192,14 +198,25 @@ mod tests {
     fn queue_validates_user_and_weight() {
         let (wd, _, stats, mut q) = setup(4, 2);
         assert!(matches!(
-            q.queue(&ProfileDelta::set(UserId::new(9), ItemId::new(0), 1.0), &stats),
+            q.queue(
+                &ProfileDelta::set(UserId::new(9), ItemId::new(0), 1.0),
+                &stats
+            ),
             Err(EngineError::InvalidUpdate { .. })
         ));
         assert!(matches!(
-            q.queue(&ProfileDelta::set(UserId::new(0), ItemId::new(0), f32::NAN), &stats),
+            q.queue(
+                &ProfileDelta::set(UserId::new(0), ItemId::new(0), f32::NAN),
+                &stats
+            ),
             Err(EngineError::InvalidUpdate { .. })
         ));
-        assert!(q.queue(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).is_ok());
+        assert!(q
+            .queue(
+                &ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0),
+                &stats
+            )
+            .is_ok());
         assert_eq!(q.pending(&stats).unwrap(), 1);
         wd.destroy().unwrap();
     }
@@ -208,8 +225,16 @@ mod tests {
     fn apply_rewrites_only_touched_partitions() {
         let (wd, p, stats, mut q) = setup(6, 3);
         // Users 0 and 3 are both in partition 0; only it is touched.
-        q.queue(&ProfileDelta::set(UserId::new(0), ItemId::new(5), 2.0), &stats).unwrap();
-        q.queue(&ProfileDelta::set(UserId::new(3), ItemId::new(6), 3.0), &stats).unwrap();
+        q.queue(
+            &ProfileDelta::set(UserId::new(0), ItemId::new(5), 2.0),
+            &stats,
+        )
+        .unwrap();
+        q.queue(
+            &ProfileDelta::set(UserId::new(3), ItemId::new(6), 3.0),
+            &stats,
+        )
+        .unwrap();
         let st = q.apply_all(&p, &wd, &stats).unwrap();
         assert_eq!(st.updates_applied, 2);
         assert_eq!(st.partitions_rewritten, 1);
@@ -222,10 +247,14 @@ mod tests {
     fn apply_preserves_arrival_order_per_user() {
         let (wd, p, stats, mut q) = setup(2, 1);
         let u = UserId::new(0);
-        q.queue(&ProfileDelta::set(u, ItemId::new(1), 1.0), &stats).unwrap();
-        q.queue(&ProfileDelta::set(u, ItemId::new(1), 2.0), &stats).unwrap();
-        q.queue(&ProfileDelta::remove(u, ItemId::new(1)), &stats).unwrap();
-        q.queue(&ProfileDelta::set(u, ItemId::new(1), 7.0), &stats).unwrap();
+        q.queue(&ProfileDelta::set(u, ItemId::new(1), 1.0), &stats)
+            .unwrap();
+        q.queue(&ProfileDelta::set(u, ItemId::new(1), 2.0), &stats)
+            .unwrap();
+        q.queue(&ProfileDelta::remove(u, ItemId::new(1)), &stats)
+            .unwrap();
+        q.queue(&ProfileDelta::set(u, ItemId::new(1), 7.0), &stats)
+            .unwrap();
         q.apply_all(&p, &wd, &stats).unwrap();
         let profile = UpdateQueue::read_profile(u, &p, &wd, &stats).unwrap();
         assert_eq!(profile.get(ItemId::new(1)), Some(7.0));
@@ -235,7 +264,11 @@ mod tests {
     #[test]
     fn queue_is_empty_after_apply() {
         let (wd, p, stats, mut q) = setup(2, 1);
-        q.queue(&ProfileDelta::set(UserId::new(1), ItemId::new(0), 1.0), &stats).unwrap();
+        q.queue(
+            &ProfileDelta::set(UserId::new(1), ItemId::new(0), 1.0),
+            &stats,
+        )
+        .unwrap();
         q.apply_all(&p, &wd, &stats).unwrap();
         assert_eq!(q.pending(&stats).unwrap(), 0);
         let st = q.apply_all(&p, &wd, &stats).unwrap();
@@ -248,12 +281,16 @@ mod tests {
         let (wd, p, stats, mut q) = setup(2, 1);
         let u = UserId::new(0);
         let full = Profile::from_unsorted_pairs(vec![(1, 1.0), (2, 2.0)]).unwrap();
-        q.queue(&ProfileDelta::replace(u, full.clone()), &stats).unwrap();
+        q.queue(&ProfileDelta::replace(u, full.clone()), &stats)
+            .unwrap();
         q.apply_all(&p, &wd, &stats).unwrap();
         assert_eq!(UpdateQueue::read_profile(u, &p, &wd, &stats).unwrap(), full);
-        q.queue(&ProfileDelta::new(u, DeltaOp::Clear), &stats).unwrap();
+        q.queue(&ProfileDelta::new(u, DeltaOp::Clear), &stats)
+            .unwrap();
         q.apply_all(&p, &wd, &stats).unwrap();
-        assert!(UpdateQueue::read_profile(u, &p, &wd, &stats).unwrap().is_empty());
+        assert!(UpdateQueue::read_profile(u, &p, &wd, &stats)
+            .unwrap()
+            .is_empty());
         wd.destroy().unwrap();
     }
 

@@ -34,7 +34,10 @@ pub struct PiGraph {
 impl PiGraph {
     /// Creates an empty PI graph over `m` partitions.
     pub fn new(m: usize) -> Self {
-        PiGraph { m, buckets: BTreeMap::new() }
+        PiGraph {
+            m,
+            buckets: BTreeMap::new(),
+        }
     }
 
     /// Number of partitions (nodes).
@@ -48,7 +51,10 @@ impl PiGraph {
     ///
     /// Panics if `i` or `j` is out of range or `count == 0`.
     pub fn add_bucket(&mut self, i: u32, j: u32, count: u64) {
-        assert!((i as usize) < self.m && (j as usize) < self.m, "partition out of range");
+        assert!(
+            (i as usize) < self.m && (j as usize) < self.m,
+            "partition out of range"
+        );
         assert!(count > 0, "empty buckets must not be registered");
         *self.buckets.entry((i, j)).or_insert(0) += count;
     }

@@ -30,17 +30,16 @@ pub fn reference_iteration<M: Similarity>(
     include_reverse: bool,
 ) -> KnnGraph {
     let n = graph.num_vertices();
-    assert!(profiles.num_users() >= n, "profiles must cover every vertex");
+    assert!(
+        profiles.num_users() >= n,
+        "profiles must cover every vertex"
+    );
 
     let tuples = crate::phase2::reference_tuple_set(graph);
-    let mut accums: Vec<TopKAccumulator> =
-        (0..n).map(|_| TopKAccumulator::new(k)).collect();
+    let mut accums: Vec<TopKAccumulator> = (0..n).map(|_| TopKAccumulator::new(k)).collect();
 
     for &(s, d) in &tuples {
-        let sim = measure.score(
-            profiles.get(UserId::new(s)),
-            profiles.get(UserId::new(d)),
-        );
+        let sim = measure.score(profiles.get(UserId::new(s)), profiles.get(UserId::new(d)));
         accums[s as usize].offer(Neighbor::new(UserId::new(d), sim));
         if include_reverse {
             accums[d as usize].offer(Neighbor::new(UserId::new(s), sim));
@@ -99,7 +98,11 @@ mod tests {
         g.insert(UserId::new(1), Neighbor::unscored(UserId::new(2)));
         let profiles = chain_profiles(3);
         let next = reference_iteration(&g, &profiles, &Measure::Cosine, 2, false);
-        let ids: Vec<u32> = next.neighbors(UserId::new(0)).iter().map(|n| n.id.raw()).collect();
+        let ids: Vec<u32> = next
+            .neighbors(UserId::new(0))
+            .iter()
+            .map(|n| n.id.raw())
+            .collect();
         assert_eq!(ids, vec![1, 2], "direct (higher sim) first, then 2-hop");
     }
 

@@ -38,7 +38,10 @@ impl TopKAccumulator {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "K must be positive");
-        TopKAccumulator { k, entries: Vec::with_capacity(k.min(64)) }
+        TopKAccumulator {
+            k,
+            entries: Vec::with_capacity(k.min(64)),
+        }
     }
 
     /// The bound `K`.
@@ -147,7 +150,14 @@ mod tests {
 
     #[test]
     fn order_independence() {
-        let cands = vec![nb(1, 0.5), nb(2, 0.5), nb(3, 0.9), nb(4, 0.1), nb(1, 0.7), nb(5, 0.5)];
+        let cands = vec![
+            nb(1, 0.5),
+            nb(2, 0.5),
+            nb(3, 0.9),
+            nb(4, 0.1),
+            nb(1, 0.7),
+            nb(5, 0.5),
+        ];
         let forward = {
             let mut a = TopKAccumulator::new(3);
             for &c in &cands {

@@ -54,8 +54,11 @@ pub enum Heuristic {
 
 impl Heuristic {
     /// The three heuristics evaluated in the paper's Table 1.
-    pub const PAPER: [Heuristic; 3] =
-        [Heuristic::Sequential, Heuristic::DegreeHighLow, Heuristic::DegreeLowHigh];
+    pub const PAPER: [Heuristic; 3] = [
+        Heuristic::Sequential,
+        Heuristic::DegreeHighLow,
+        Heuristic::DegreeLowHigh,
+    ];
 
     /// All built-in heuristics (paper + extensions).
     pub const ALL: [Heuristic; 5] = [
@@ -79,8 +82,7 @@ impl Heuristic {
                 state.self_pairs[pivot as usize] = false;
                 steps.push(PairStep { a: pivot, b: pivot });
             }
-            let mut neighbors: Vec<u32> =
-                state.adjacency[pivot as usize].iter().copied().collect();
+            let mut neighbors: Vec<u32> = state.adjacency[pivot as usize].iter().copied().collect();
             self.order_neighbors(&state, pivot, &mut neighbors);
             for j in neighbors {
                 steps.push(PairStep { a: pivot, b: j });
@@ -118,9 +120,8 @@ impl Heuristic {
                 neighbors.sort_unstable_by_key(|&j| (state.degree(j), j));
             }
             Heuristic::WeightAware => {
-                neighbors.sort_unstable_by_key(|&j| {
-                    (std::cmp::Reverse(state.pair_weight(pivot, j)), j)
-                });
+                neighbors
+                    .sort_unstable_by_key(|&j| (std::cmp::Reverse(state.pair_weight(pivot, j)), j));
             }
         }
     }
@@ -199,7 +200,9 @@ impl TraversalState {
         for p in 0..m as u32 {
             if state.has_work(p) {
                 state.degree_heap.push((state.degree(p), Reverse(p)));
-                state.weight_heap.push((state.total_weights[p as usize], Reverse(p)));
+                state
+                    .weight_heap
+                    .push((state.total_weights[p as usize], Reverse(p)));
             }
         }
         state
@@ -259,7 +262,8 @@ impl TraversalState {
             self.total_weights[p as usize] -= w;
             if self.has_work(p) {
                 self.degree_heap.push((self.degree(p), Reverse(p)));
-                self.weight_heap.push((self.total_weights[p as usize], Reverse(p)));
+                self.weight_heap
+                    .push((self.total_weights[p as usize], Reverse(p)));
             }
         }
         self.last_processed = Some(b);
@@ -296,7 +300,16 @@ mod tests {
     fn all_heuristics_cover_every_pair_exactly_once() {
         let pi = pi_from_pairs(
             6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (1, 1), (5, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (1, 1),
+                (5, 5),
+            ],
         );
         for h in Heuristic::ALL {
             let s = h.schedule(&pi);
@@ -329,10 +342,7 @@ mod tests {
     #[test]
     fn high_low_and_low_high_order_neighbors_oppositely() {
         // Pivot 0 has neighbors 1 (degree 1), 2 (degree 2), 3 (degree 3).
-        let pi = pi_from_pairs(
-            7,
-            &[(0, 1), (0, 2), (0, 3), (2, 4), (3, 4), (3, 5)],
-        );
+        let pi = pi_from_pairs(7, &[(0, 1), (0, 2), (0, 3), (2, 4), (3, 4), (3, 5)]);
         let hi = Heuristic::DegreeHighLow.schedule(&pi);
         let lo = Heuristic::DegreeLowHigh.schedule(&pi);
         // Both pick pivot 0 or 3 (degree 3); ties break to the lower id
@@ -386,10 +396,8 @@ mod tests {
         // Consecutive steps share a partition whenever possible.
         let steps = s.steps();
         for w in steps.windows(2) {
-            let shared = w[0].a == w[1].a
-                || w[0].a == w[1].b
-                || w[0].b == w[1].a
-                || w[0].b == w[1].b;
+            let shared =
+                w[0].a == w[1].a || w[0].a == w[1].b || w[0].b == w[1].a || w[0].b == w[1].b;
             assert!(shared, "chain broke between {:?} and {:?}", w[0], w[1]);
         }
     }

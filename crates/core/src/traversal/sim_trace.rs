@@ -33,7 +33,12 @@ impl TraversalCost {
 
 impl From<CacheCounters> for TraversalCost {
     fn from(c: CacheCounters) -> Self {
-        TraversalCost { loads: c.loads, unloads: c.unloads, hits: c.hits, steps: 0 }
+        TraversalCost {
+            loads: c.loads,
+            unloads: c.unloads,
+            hits: c.hits,
+            steps: 0,
+        }
     }
 }
 
@@ -53,11 +58,18 @@ pub fn simulate_schedule_ops(schedule: &Schedule, slots: usize) -> TraversalCost
             .expect("infallible");
         if !step.is_self() {
             cache
-                .ensure(step.b, Some(step.a), |_| Ok::<(), Infallible>(()), |_, _| Ok(()))
+                .ensure(
+                    step.b,
+                    Some(step.a),
+                    |_| Ok::<(), Infallible>(()),
+                    |_, _| Ok(()),
+                )
                 .expect("infallible");
         }
     }
-    cache.flush(|_, _| Ok::<(), Infallible>(())).expect("infallible");
+    cache
+        .flush(|_, _| Ok::<(), Infallible>(()))
+        .expect("infallible");
     let mut cost = TraversalCost::from(cache.counters());
     cost.steps = schedule.len() as u64;
     cost
@@ -133,7 +145,17 @@ mod tests {
     fn more_slots_never_cost_more() {
         let pi = PiGraph::from_network_shape(
             8,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (0, 7),
+            ],
         );
         for h in Heuristic::ALL {
             let schedule = h.schedule(&pi);
@@ -148,7 +170,10 @@ mod tests {
         let pi = PiGraph::from_network_shape(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
         for h in Heuristic::ALL {
             let cost = simulate_schedule_ops(&h.schedule(&pi), 2);
-            assert_eq!(cost.loads, cost.unloads, "{h}: every load must eventually unload");
+            assert_eq!(
+                cost.loads, cost.unloads,
+                "{h}: every load must eventually unload"
+            );
         }
     }
 

@@ -151,7 +151,10 @@ impl<'a> TupleTable<'a> {
             // Runs were deduplicated globally at offer time; sort for
             // deterministic, scan-friendly bucket files.
             tuples.sort_unstable();
-            debug_assert!(tuples.windows(2).all(|w| w[0] != w[1]), "dedup invariant broken");
+            debug_assert!(
+                tuples.windows(2).all(|w| w[0] != w[1]),
+                "dedup invariant broken"
+            );
             if tuples.is_empty() {
                 continue;
             }

@@ -41,12 +41,19 @@ pub struct Workload {
 impl WorkloadConfig {
     /// The default recommender-style workload.
     pub fn recommender() -> Self {
-        WorkloadConfig::ClusteredRatings { clusters: 16, ratings: 25 }
+        WorkloadConfig::ClusteredRatings {
+            clusters: 16,
+            ratings: 25,
+        }
     }
 
     /// The default tag-style workload.
     pub fn tags() -> Self {
-        WorkloadConfig::ZipfSets { items: 20_000, per_user: 25, skew: 1.0 }
+        WorkloadConfig::ZipfSets {
+            items: 20_000,
+            per_user: 25,
+            skew: 1.0,
+        }
     }
 
     /// Instantiates the workload for `num_users` users.
@@ -69,7 +76,11 @@ impl WorkloadConfig {
                     measure: Measure::Cosine,
                 }
             }
-            WorkloadConfig::ZipfSets { items, per_user, skew } => {
+            WorkloadConfig::ZipfSets {
+                items,
+                per_user,
+                skew,
+            } => {
                 let profiles = zipf_profiles(ZipfConfig {
                     num_users,
                     num_items: items,

@@ -25,7 +25,11 @@ fn general_relativity_replica_keeps_the_paper_shape() {
     // Absolute magnitude: within 15% of the paper's sequential count
     // (the 2|E| term is matched exactly; pivot activity is approximate).
     let rel = (seq as f64 - row.seq_ops as f64).abs() / row.seq_ops as f64;
-    assert!(rel < 0.15, "sequential ops {seq} vs paper {} ({rel:.3})", row.seq_ops);
+    assert!(
+        rel < 0.15,
+        "sequential ops {seq} vs paper {} ({rel:.3})",
+        row.seq_ops
+    );
 
     // Ordering: degree-based beats sequential, as in every paper row.
     assert!(hi < seq, "high-low {hi} must beat sequential {seq}");
@@ -50,8 +54,15 @@ fn lower_bound_of_the_op_model_holds_on_replicas() {
     let pi = PiGraph::from_network_shape(row.nodes, &ds.generate(7));
     let seq = ops(&pi, Heuristic::Sequential);
     let pairs = pi.num_pairs() as u64;
-    assert!(seq >= 2 * pairs, "ops {seq} below the 2·pairs floor {}", 2 * pairs);
-    assert!(seq <= 2 * pairs + 2 * row.nodes as u64, "ops {seq} above the pivot ceiling");
+    assert!(
+        seq >= 2 * pairs,
+        "ops {seq} below the 2·pairs floor {}",
+        2 * pairs
+    );
+    assert!(
+        seq <= 2 * pairs + 2 * row.nodes as u64,
+        "ops {seq} above the pivot ceiling"
+    );
 }
 
 #[test]

@@ -49,7 +49,10 @@ impl Csr {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut degree = vec![0usize; n];
         for &(s, d) in edges {
-            assert!((s as usize) < n && (d as usize) < n, "edge endpoint out of range");
+            assert!(
+                (s as usize) < n && (d as usize) < n,
+                "edge endpoint out of range"
+            );
             degree[s as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
@@ -113,8 +116,7 @@ impl Csr {
 
     /// Builds the transpose CSR (all edges reversed).
     pub fn transpose(&self) -> Csr {
-        let edges: Vec<(u32, u32)> =
-            self.iter_edges().map(|(s, d)| (d.raw(), s.raw())).collect();
+        let edges: Vec<(u32, u32)> = self.iter_edges().map(|(s, d)| (d.raw(), s.raw())).collect();
         Csr::from_edges(self.num_vertices(), &edges)
     }
 }

@@ -27,7 +27,11 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates an empty graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        DiGraph { out: vec![Vec::new(); n], num_edges: 0, sorted: true }
+        DiGraph {
+            out: vec![Vec::new(); n],
+            num_edges: 0,
+            sorted: true,
+        }
     }
 
     /// Builds a graph from raw edge pairs.
@@ -81,7 +85,8 @@ impl DiGraph {
     /// Panics if either endpoint is out of range; use
     /// [`DiGraph::try_add_edge`] for a checked variant.
     pub fn add_edge(&mut self, s: UserId, d: UserId) {
-        self.try_add_edge(s, d).expect("edge endpoints must be in range");
+        self.try_add_edge(s, d)
+            .expect("edge endpoints must be in range");
     }
 
     /// Adds the directed edge `(s, d)`, validating both endpoints.
@@ -94,7 +99,10 @@ impl DiGraph {
         let n = self.out.len();
         for v in [s, d] {
             if v.index() >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: n,
+                });
             }
         }
         self.out[s.index()].push(d.raw());
@@ -149,7 +157,8 @@ impl DiGraph {
     /// Iterates over all directed edges in `(source, destination)` order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
         self.out.iter().enumerate().flat_map(|(s, list)| {
-            list.iter().map(move |&d| (UserId::new(s as u32), UserId::new(d)))
+            list.iter()
+                .map(move |&d| (UserId::new(s as u32), UserId::new(d)))
         })
     }
 
@@ -188,7 +197,10 @@ impl DiGraph {
         let mut remap = vec![u32::MAX; n];
         for (new, &v) in keep.iter().enumerate() {
             if v.index() >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: n,
+                });
             }
             remap[v.index()] = new as u32;
         }

@@ -54,15 +54,33 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {num_vertices} vertices"
+                )
             }
-            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex} is not allowed"),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
             GraphError::DuplicateNeighbor { vertex, neighbor } => {
-                write!(f, "duplicate neighbor {neighbor} in neighbor list of {vertex}")
+                write!(
+                    f,
+                    "duplicate neighbor {neighbor} in neighbor list of {vertex}"
+                )
             }
-            GraphError::TooManyNeighbors { vertex, supplied, k } => {
-                write!(f, "{supplied} neighbors supplied for {vertex} but the graph bound is K={k}")
+            GraphError::TooManyNeighbors {
+                vertex,
+                supplied,
+                k,
+            } => {
+                write!(
+                    f,
+                    "{supplied} neighbors supplied for {vertex} but the graph bound is K={k}"
+                )
             }
             GraphError::NonFiniteSimilarity { edge: (s, d) } => {
                 write!(f, "non-finite similarity on edge ({s}, {d})")
@@ -104,12 +122,29 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let variants: Vec<GraphError> = vec![
-            GraphError::VertexOutOfRange { vertex: UserId::new(9), num_vertices: 4 },
-            GraphError::SelfLoop { vertex: UserId::new(1) },
-            GraphError::DuplicateNeighbor { vertex: UserId::new(1), neighbor: UserId::new(2) },
-            GraphError::TooManyNeighbors { vertex: UserId::new(0), supplied: 5, k: 3 },
-            GraphError::NonFiniteSimilarity { edge: (UserId::new(0), UserId::new(1)) },
-            GraphError::MalformedLine { line: 3, content: "a b".into() },
+            GraphError::VertexOutOfRange {
+                vertex: UserId::new(9),
+                num_vertices: 4,
+            },
+            GraphError::SelfLoop {
+                vertex: UserId::new(1),
+            },
+            GraphError::DuplicateNeighbor {
+                vertex: UserId::new(1),
+                neighbor: UserId::new(2),
+            },
+            GraphError::TooManyNeighbors {
+                vertex: UserId::new(0),
+                supplied: 5,
+                k: 3,
+            },
+            GraphError::NonFiniteSimilarity {
+                edge: (UserId::new(0), UserId::new(1)),
+            },
+            GraphError::MalformedLine {
+                line: 3,
+                content: "a b".into(),
+            },
             GraphError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")),
         ];
         for v in variants {
@@ -123,6 +158,10 @@ mod tests {
         use std::error::Error;
         let e = GraphError::from(io::Error::other("boom"));
         assert!(e.source().is_some());
-        assert!(GraphError::SelfLoop { vertex: UserId::new(0) }.source().is_none());
+        assert!(GraphError::SelfLoop {
+            vertex: UserId::new(0)
+        }
+        .source()
+        .is_none());
     }
 }

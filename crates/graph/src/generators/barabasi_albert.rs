@@ -40,8 +40,14 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Vec<EdgePair> {
 /// `p_triangle ∉ [0, 1]`.
 pub fn holme_kim(n: usize, m_attach: usize, p_triangle: f64, seed: u64) -> Vec<EdgePair> {
     assert!(m_attach > 0, "m_attach must be positive");
-    assert!(n > m_attach, "need n > m_attach (got n={n}, m_attach={m_attach})");
-    assert!((0.0..=1.0).contains(&p_triangle), "p_triangle must be in [0,1], got {p_triangle}");
+    assert!(
+        n > m_attach,
+        "need n > m_attach (got n={n}, m_attach={m_attach})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_triangle),
+        "p_triangle must be in [0,1], got {p_triangle}"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let seeds = m_attach + 1;
@@ -52,10 +58,10 @@ pub fn holme_kim(n: usize, m_attach: usize, p_triangle: f64, seed: u64) -> Vec<E
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
 
     let connect = |edges: &mut Vec<EdgePair>,
-                       endpoints: &mut Vec<u32>,
-                       adjacency: &mut Vec<Vec<u32>>,
-                       a: u32,
-                       b: u32| {
+                   endpoints: &mut Vec<u32>,
+                   adjacency: &mut Vec<Vec<u32>>,
+                   a: u32,
+                   b: u32| {
         edges.push(norm(a, b));
         endpoints.push(a);
         endpoints.push(b);

@@ -31,7 +31,13 @@ impl ChungLuConfig {
     /// A reasonable default shape for social/collaboration networks:
     /// `alpha = 0.6`, `offset = 10`.
     pub fn new(n: usize, num_edges: usize, seed: u64) -> Self {
-        ChungLuConfig { n, num_edges, alpha: 0.6, offset: 10.0, seed }
+        ChungLuConfig {
+            n,
+            num_edges,
+            alpha: 0.6,
+            offset: 10.0,
+            seed,
+        }
     }
 
     /// Overrides the decay exponent.
@@ -71,13 +77,22 @@ impl ChungLuConfig {
 /// assert!(validate_undirected(1000, &edges));
 /// ```
 pub fn chung_lu(config: ChungLuConfig) -> Vec<EdgePair> {
-    let ChungLuConfig { n, num_edges, alpha, offset, seed } = config;
+    let ChungLuConfig {
+        n,
+        num_edges,
+        alpha,
+        offset,
+        seed,
+    } = config;
     let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
     assert!(
         num_edges <= possible,
         "requested {num_edges} edges but only {possible} distinct pairs exist for n={n}"
     );
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "alpha must be in (0, 1], got {alpha}"
+    );
     assert!(offset > 0.0, "offset must be positive, got {offset}");
 
     let mut rng = StdRng::seed_from_u64(seed);

@@ -87,8 +87,14 @@ impl CorePeripheryConfig {
 /// assert!(validate_undirected(1000, &edges));
 /// ```
 pub fn core_periphery(config: CorePeripheryConfig) -> Vec<EdgePair> {
-    let CorePeripheryConfig { n, num_edges, core_fraction, p_periphery, core_alpha, seed } =
-        config;
+    let CorePeripheryConfig {
+        n,
+        num_edges,
+        core_fraction,
+        p_periphery,
+        core_alpha,
+        seed,
+    } = config;
     let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
     assert!(
         num_edges <= possible,
@@ -102,7 +108,10 @@ pub fn core_periphery(config: CorePeripheryConfig) -> Vec<EdgePair> {
         (0.0..=1.0).contains(&p_periphery),
         "p_periphery must be in [0, 1], got {p_periphery}"
     );
-    assert!(core_alpha > 0.0, "core_alpha must be positive, got {core_alpha}");
+    assert!(
+        core_alpha > 0.0,
+        "core_alpha must be positive, got {core_alpha}"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let core_size = ((n as f64 * core_fraction).round() as usize).clamp(1, n);
@@ -198,8 +207,7 @@ mod tests {
         }
         let mut by_degree: Vec<usize> = (0..n).collect();
         by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(deg[v]));
-        let core: std::collections::HashSet<usize> =
-            by_degree[..n / 10].iter().copied().collect();
+        let core: std::collections::HashSet<usize> = by_degree[..n / 10].iter().copied().collect();
         let touching = edges
             .iter()
             .filter(|&&(a, b)| core.contains(&(a as usize)) || core.contains(&(b as usize)))

@@ -126,6 +126,9 @@ mod tests {
 
     #[test]
     fn directed_deterministic_in_seed() {
-        assert_eq!(erdos_renyi_directed(30, 80, 9), erdos_renyi_directed(30, 80, 9));
+        assert_eq!(
+            erdos_renyi_directed(30, 80, 9),
+            erdos_renyi_directed(30, 80, 9)
+        );
     }
 }

@@ -45,7 +45,9 @@ pub(crate) fn sort_dedup(edges: &mut Vec<EdgePair>) {
 /// Intended for tests and debug assertions.
 pub fn validate_undirected(n: usize, edges: &[EdgePair]) -> bool {
     let mut seen = std::collections::HashSet::with_capacity(edges.len());
-    edges.iter().all(|&(a, b)| a < b && (b as usize) < n && seen.insert((a, b)))
+    edges
+        .iter()
+        .all(|&(a, b)| a < b && (b as usize) < n && seen.insert((a, b)))
 }
 
 #[cfg(test)]

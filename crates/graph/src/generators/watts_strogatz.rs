@@ -31,7 +31,10 @@ use crate::EdgePair;
 pub fn watts_strogatz(n: usize, k_each_side: usize, beta: f64, seed: u64) -> Vec<EdgePair> {
     assert!(k_each_side > 0, "k_each_side must be positive");
     assert!(2 * k_each_side < n, "ring requires 2*k_each_side < n");
-    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1], got {beta}");
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "beta must be in [0,1], got {beta}"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen: HashSet<EdgePair> = HashSet::with_capacity(n * k_each_side);

@@ -113,7 +113,11 @@ mod tests {
         writeln!(f, "# header").unwrap();
         writeln!(f).unwrap();
         writeln!(f, "3 4").unwrap();
-        writeln!(f, "  # indented comment is not a comment per SNAP, but trim handles it").unwrap();
+        writeln!(
+            f,
+            "  # indented comment is not a comment per SNAP, but trim handles it"
+        )
+        .unwrap();
         writeln!(f, "5\t6").unwrap();
         drop(f);
         let edges = read_edge_list_text(&path).unwrap();

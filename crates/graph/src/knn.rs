@@ -44,7 +44,10 @@ impl KnnGraph {
     /// Panics if `k == 0`.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k > 0, "K must be positive");
-        KnnGraph { k, lists: vec![Vec::new(); n] }
+        KnnGraph {
+            k,
+            lists: vec![Vec::new(); n],
+        }
     }
 
     /// Builds the random initial graph `G(0)`: every vertex receives
@@ -156,7 +159,10 @@ impl KnnGraph {
     pub fn set_neighbors(&mut self, v: UserId, mut list: Vec<Neighbor>) -> Result<(), GraphError> {
         let n = self.num_vertices();
         if v.index() >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: n,
+            });
         }
         if list.len() > self.k {
             return Err(GraphError::TooManyNeighbors {
@@ -171,13 +177,19 @@ impl KnnGraph {
                 return Err(GraphError::SelfLoop { vertex: v });
             }
             if nb.id.index() >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: nb.id, num_vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: nb.id,
+                    num_vertices: n,
+                });
             }
             if !nb.sim.is_finite() && !nb.is_unscored() {
                 return Err(GraphError::NonFiniteSimilarity { edge: (v, nb.id) });
             }
             if !seen.insert(nb.id) {
-                return Err(GraphError::DuplicateNeighbor { vertex: v, neighbor: nb.id });
+                return Err(GraphError::DuplicateNeighbor {
+                    vertex: v,
+                    neighbor: nb.id,
+                });
             }
         }
         list.sort_by(cmp_best_first);
@@ -187,9 +199,10 @@ impl KnnGraph {
 
     /// Iterates all scored directed edges `(source, neighbor)`.
     pub fn iter_edges(&self) -> impl Iterator<Item = (UserId, Neighbor)> + '_ {
-        self.lists.iter().enumerate().flat_map(|(s, list)| {
-            list.iter().map(move |&nb| (UserId::new(s as u32), nb))
-        })
+        self.lists
+            .iter()
+            .enumerate()
+            .flat_map(|(s, list)| list.iter().map(move |&nb| (UserId::new(s as u32), nb)))
     }
 
     /// Drops the scores, yielding the plain directed graph.
@@ -235,6 +248,32 @@ impl KnnGraph {
         } else {
             changed as f64 / total as f64
         }
+    }
+
+    /// The distinct vertices reachable from `v` in one or two hops,
+    /// excluding `v` itself — exactly the candidate set one KNN
+    /// iteration scores for `v`, and the neighborhood the serving
+    /// layer brute-forces for ad-hoc profile queries anchored at a
+    /// known user.
+    ///
+    /// The result is sorted by vertex id (deterministic, and ready for
+    /// merge joins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn two_hop_candidates(&self, v: UserId) -> Vec<UserId> {
+        let mut seen = std::collections::HashSet::new();
+        for nb in self.neighbors(v) {
+            seen.insert(nb.id);
+            for nb2 in self.neighbors(nb.id) {
+                seen.insert(nb2.id);
+            }
+        }
+        seen.remove(&v);
+        let mut out: Vec<UserId> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
     }
 
     /// Sum of all edge similarities, ignoring unscored sentinels — a
@@ -327,8 +366,14 @@ mod tests {
 
     #[test]
     fn random_init_is_deterministic_in_seed() {
-        assert_eq!(KnnGraph::random_init(30, 4, 9), KnnGraph::random_init(30, 4, 9));
-        assert_ne!(KnnGraph::random_init(30, 4, 9), KnnGraph::random_init(30, 4, 10));
+        assert_eq!(
+            KnnGraph::random_init(30, 4, 9),
+            KnnGraph::random_init(30, 4, 9)
+        );
+        assert_ne!(
+            KnnGraph::random_init(30, 4, 9),
+            KnnGraph::random_init(30, 4, 10)
+        );
     }
 
     #[test]
@@ -362,7 +407,13 @@ mod tests {
             Err(GraphError::VertexOutOfRange { .. })
         ));
         assert!(matches!(
-            g.set_neighbors(v, vec![Neighbor { id: UserId::new(1), sim: f32::NAN }]),
+            g.set_neighbors(
+                v,
+                vec![Neighbor {
+                    id: UserId::new(1),
+                    sim: f32::NAN
+                }]
+            ),
             Err(GraphError::NonFiniteSimilarity { .. })
         ));
         assert!(g.set_neighbors(v, vec![nb(2, 0.1), nb(1, 0.9)]).is_ok());
@@ -395,6 +446,35 @@ mod tests {
         assert!(d.has_edge(UserId::new(0), UserId::new(2)));
         assert!(d.has_edge(UserId::new(3), UserId::new(0)));
         assert_eq!(d.num_edges(), 2);
+    }
+
+    #[test]
+    fn two_hop_candidates_cover_both_rings() {
+        // 0 → 1 → {2, 3}, 0 → 4; two-hop set of 0 is {1, 2, 3, 4}.
+        let mut g = KnnGraph::new(6, 3);
+        g.insert(UserId::new(0), nb(1, 0.9));
+        g.insert(UserId::new(0), nb(4, 0.2));
+        g.insert(UserId::new(1), nb(2, 0.8));
+        g.insert(UserId::new(1), nb(3, 0.7));
+        let hops = g.two_hop_candidates(UserId::new(0));
+        let raw: Vec<u32> = hops.iter().map(|u| u.raw()).collect();
+        assert_eq!(raw, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn two_hop_candidates_exclude_self_and_dedup() {
+        // 0 ↔ 1 plus 1 → 2: the back-edge to 0 must not appear.
+        let mut g = KnnGraph::new(3, 2);
+        g.insert(UserId::new(0), nb(1, 0.5));
+        g.insert(UserId::new(1), nb(0, 0.5));
+        g.insert(UserId::new(1), nb(2, 0.4));
+        let raw: Vec<u32> = g
+            .two_hop_candidates(UserId::new(0))
+            .iter()
+            .map(|u| u.raw())
+            .collect();
+        assert_eq!(raw, vec![1, 2]);
+        assert!(g.two_hop_candidates(UserId::new(2)).is_empty());
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl Neighbor {
     ///
     /// [`UNSCORED`]: Neighbor::UNSCORED
     pub fn unscored(id: UserId) -> Self {
-        Neighbor { id, sim: Self::UNSCORED }
+        Neighbor {
+            id,
+            sim: Self::UNSCORED,
+        }
     }
 
     /// Whether this entry has never received a real score.
@@ -96,9 +99,11 @@ mod tests {
 
     #[test]
     fn higher_similarity_sorts_first() {
-        let mut v = [Neighbor::new(UserId::new(0), 0.1),
+        let mut v = [
+            Neighbor::new(UserId::new(0), 0.1),
             Neighbor::new(UserId::new(1), 0.9),
-            Neighbor::new(UserId::new(2), 0.5)];
+            Neighbor::new(UserId::new(2), 0.5),
+        ];
         v.sort();
         let ids: Vec<u32> = v.iter().map(|n| n.id.raw()).collect();
         assert_eq!(ids, vec![1, 2, 0]);
@@ -106,9 +111,11 @@ mod tests {
 
     #[test]
     fn ties_break_by_ascending_id() {
-        let mut v = [Neighbor::new(UserId::new(9), 0.5),
+        let mut v = [
+            Neighbor::new(UserId::new(9), 0.5),
             Neighbor::new(UserId::new(3), 0.5),
-            Neighbor::new(UserId::new(7), 0.5)];
+            Neighbor::new(UserId::new(7), 0.5),
+        ];
         v.sort();
         let ids: Vec<u32> = v.iter().map(|n| n.id.raw()).collect();
         assert_eq!(ids, vec![3, 7, 9]);

@@ -19,7 +19,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, tolerance: 1e-9, max_iterations: 100 }
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 100,
+        }
     }
 }
 
@@ -94,13 +98,24 @@ impl PageRank {
 /// assert!((pr.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
 /// ```
 pub fn pagerank(graph: &Csr, config: PageRankConfig) -> PageRank {
-    let PageRankConfig { damping, tolerance, max_iterations } = config;
-    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1), got {damping}");
+    let PageRankConfig {
+        damping,
+        tolerance,
+        max_iterations,
+    } = config;
+    assert!(
+        (0.0..1.0).contains(&damping),
+        "damping must be in [0, 1), got {damping}"
+    );
     assert!(tolerance > 0.0, "tolerance must be positive");
 
     let n = graph.num_vertices();
     if n == 0 {
-        return PageRank { scores: Vec::new(), iterations: 0, converged: true };
+        return PageRank {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+        };
     }
     let uniform = 1.0 / n as f64;
     let mut scores = vec![uniform; n];
@@ -136,7 +151,11 @@ pub fn pagerank(graph: &Csr, config: PageRankConfig) -> PageRank {
             break;
         }
     }
-    PageRank { scores, iterations, converged }
+    PageRank {
+        scores,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +239,11 @@ mod tests {
         let csr = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
         let result = pagerank(
             &csr,
-            PageRankConfig { damping: 0.85, tolerance: 1e-30, max_iterations: 2 },
+            PageRankConfig {
+                damping: 0.85,
+                tolerance: 1e-30,
+                max_iterations: 2,
+            },
         );
         assert_eq!(result.iterations(), 2);
         assert!(!result.converged());
@@ -230,6 +253,13 @@ mod tests {
     #[should_panic(expected = "damping")]
     fn rejects_bad_damping() {
         let csr = Csr::from_edges(2, &[(0, 1)]);
-        let _ = pagerank(&csr, PageRankConfig { damping: 1.0, tolerance: 1e-9, max_iterations: 5 });
+        let _ = pagerank(
+            &csr,
+            PageRankConfig {
+                damping: 1.0,
+                tolerance: 1e-9,
+                max_iterations: 5,
+            },
+        );
     }
 }

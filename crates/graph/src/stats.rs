@@ -76,7 +76,13 @@ impl DegreeStats {
             weighted / (n as f64 * sum as f64)
         };
 
-        DegreeStats { min, max, mean, gini, isolated }
+        DegreeStats {
+            min,
+            max,
+            mean,
+            gini,
+            isolated,
+        }
     }
 }
 

@@ -1,8 +1,7 @@
 //! Property-based tests for the graph substrate.
 
 use knn_graph::generators::{
-    chung_lu, erdos_renyi, erdos_renyi_directed, validate_undirected, watts_strogatz,
-    ChungLuConfig,
+    chung_lu, erdos_renyi, erdos_renyi_directed, validate_undirected, watts_strogatz, ChungLuConfig,
 };
 use knn_graph::neighbor::cmp_best_first;
 use knn_graph::{Csr, DiGraph, KnnGraph, Neighbor, UserId};

@@ -1,0 +1,68 @@
+//! Serving-layer errors.
+
+use std::fmt;
+
+use knn_core::EngineError;
+use knn_graph::UserId;
+
+/// Errors surfaced by the online serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The background engine failed (storage or validation error).
+    Engine(EngineError),
+    /// A query or update referenced a user outside the engine's range.
+    UnknownUser {
+        /// The offending id.
+        user: UserId,
+        /// The engine's user count.
+        num_users: usize,
+    },
+    /// An update carried a non-finite weight.
+    NonFiniteWeight {
+        /// The user whose update was rejected.
+        user: UserId,
+    },
+    /// The refinement thread panicked; the engine state is lost.
+    RefineLoopPanicked,
+    /// The refinement loop has terminated (stopped or failed); the
+    /// service still answers queries from its final snapshot but
+    /// accepts no further updates.
+    Stopped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::UnknownUser { user, num_users } => {
+                write!(
+                    f,
+                    "user {user} out of range (engine serves {num_users} users)"
+                )
+            }
+            ServeError::NonFiniteWeight { user } => {
+                write!(f, "update for user {user} carries a non-finite weight")
+            }
+            ServeError::RefineLoopPanicked => f.write_str("refinement thread panicked"),
+            ServeError::Stopped => {
+                f.write_str("refinement loop has terminated; updates are no longer accepted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}

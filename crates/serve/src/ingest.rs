@@ -1,0 +1,200 @@
+//! The online update queue feeding the engine's phase-5 path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use knn_sim::{DeltaOp, ProfileDelta};
+
+use crate::ServeError;
+
+/// Accepts profile updates from any thread and hands them to the
+/// refinement loop, which drains the queue before each iteration and
+/// feeds the deltas into [`knn_core::KnnEngine::queue_update`] — the
+/// engine's lazy phase-5 queue. An update submitted while iteration
+/// `t` runs is therefore applied to `P` at the end of the iteration
+/// that drains it and influences similarity scores from the following
+/// iteration on, exactly the paper's eventual-visibility contract.
+#[derive(Debug)]
+pub struct UpdateIngest {
+    num_users: usize,
+    queue: Mutex<Queue>,
+    submitted: AtomicU64,
+    drained: AtomicU64,
+}
+
+/// The lock-protected queue state. `closed` lives under the same lock
+/// as the deque so a submit racing a close can never slip an update
+/// in after the closing drain has taken everything.
+#[derive(Debug, Default)]
+struct Queue {
+    items: VecDeque<ProfileDelta>,
+    closed: bool,
+}
+
+impl UpdateIngest {
+    /// An empty queue for a `num_users`-user engine.
+    pub fn new(num_users: usize) -> Self {
+        UpdateIngest {
+            num_users,
+            queue: Mutex::new(Queue::default()),
+            submitted: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Validates and enqueues one update.
+    ///
+    /// Validation happens here, synchronously, so the caller gets the
+    /// error instead of the background thread: the user must be in
+    /// range and `Set`/`Replace` weights finite.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownUser`] or [`ServeError::NonFiniteWeight`]
+    /// for invalid updates, [`ServeError::Stopped`] once the queue has
+    /// been closed by a terminating refinement loop.
+    pub fn submit(&self, delta: ProfileDelta) -> Result<(), ServeError> {
+        self.validate(&delta)?;
+        let mut queue = self.queue.lock().expect("ingest lock poisoned");
+        if queue.closed {
+            return Err(ServeError::Stopped);
+        }
+        queue.items.push_back(delta);
+        drop(queue);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn validate(&self, delta: &ProfileDelta) -> Result<(), ServeError> {
+        if delta.user.index() >= self.num_users {
+            return Err(ServeError::UnknownUser {
+                user: delta.user,
+                num_users: self.num_users,
+            });
+        }
+        let finite = match &delta.op {
+            DeltaOp::Set(_, w) => w.is_finite(),
+            DeltaOp::Replace(p) => p.iter().all(|(_, w)| w.is_finite()),
+            DeltaOp::Remove(_) | DeltaOp::Clear => true,
+            _ => true,
+        };
+        if !finite {
+            return Err(ServeError::NonFiniteWeight { user: delta.user });
+        }
+        Ok(())
+    }
+
+    /// Removes and returns every queued update, in submission order.
+    pub fn drain(&self) -> Vec<ProfileDelta> {
+        let drained: Vec<ProfileDelta> = self
+            .queue
+            .lock()
+            .expect("ingest lock poisoned")
+            .items
+            .drain(..)
+            .collect();
+        self.drained
+            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        drained
+    }
+
+    /// Closes the queue (future submits fail with
+    /// [`ServeError::Stopped`]) and returns everything still queued.
+    /// Close and drain happen under one lock acquisition, so no update
+    /// accepted with `Ok` can slip past this call.
+    pub fn close_and_drain(&self) -> Vec<ProfileDelta> {
+        let mut queue = self.queue.lock().expect("ingest lock poisoned");
+        queue.closed = true;
+        let drained: Vec<ProfileDelta> = queue.items.drain(..).collect();
+        drop(queue);
+        self.drained
+            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        drained
+    }
+
+    /// Updates accepted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Updates already handed to the engine.
+    pub fn drained(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
+    }
+
+    /// Updates still waiting in this queue (not yet handed to the
+    /// engine; the engine's own phase-5 log may hold more).
+    pub fn pending(&self) -> usize {
+        self.queue.lock().expect("ingest lock poisoned").items.len()
+    }
+
+    /// The user-id range accepted by [`submit`](UpdateIngest::submit).
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::UserId;
+    use knn_sim::{ItemId, Profile};
+
+    #[test]
+    fn fifo_submit_and_drain() {
+        let q = UpdateIngest::new(10);
+        q.submit(ProfileDelta::set(UserId::new(1), ItemId::new(5), 1.0))
+            .unwrap();
+        q.submit(ProfileDelta::set(UserId::new(2), ItemId::new(6), 2.0))
+            .unwrap();
+        assert_eq!(q.pending(), 2);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].user, UserId::new(1));
+        assert_eq!(drained[1].user, UserId::new(2));
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.submitted(), 2);
+        assert_eq!(q.drained(), 2);
+    }
+
+    #[test]
+    fn close_rejects_later_submits_and_returns_stragglers() {
+        let q = UpdateIngest::new(10);
+        q.submit(ProfileDelta::set(UserId::new(1), ItemId::new(5), 1.0))
+            .unwrap();
+        let stragglers = q.close_and_drain();
+        assert_eq!(stragglers.len(), 1);
+        let err = q.submit(ProfileDelta::set(UserId::new(2), ItemId::new(6), 2.0));
+        assert!(matches!(err, Err(ServeError::Stopped)));
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.submitted(), 1, "a rejected submit is not counted");
+    }
+
+    #[test]
+    fn rejects_out_of_range_user() {
+        let q = UpdateIngest::new(3);
+        let err = q.submit(ProfileDelta::set(UserId::new(3), ItemId::new(0), 1.0));
+        assert!(matches!(err, Err(ServeError::UnknownUser { .. })));
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn rejects_non_finite_weights() {
+        let q = UpdateIngest::new(3);
+        let bad_set = ProfileDelta::set(UserId::new(0), ItemId::new(0), f32::NAN);
+        assert!(matches!(
+            q.submit(bad_set),
+            Err(ServeError::NonFiniteWeight { .. })
+        ));
+        // A Replace built through the safe Profile API is always finite.
+        let mut p = Profile::new();
+        p.set(ItemId::new(1), 2.0);
+        q.submit(ProfileDelta::replace(UserId::new(0), p)).unwrap();
+        // Remove and Clear are always valid for in-range users.
+        q.submit(ProfileDelta::remove(UserId::new(0), ItemId::new(1)))
+            .unwrap();
+        q.submit(ProfileDelta::new(UserId::new(0), knn_sim::DeltaOp::Clear))
+            .unwrap();
+    }
+}

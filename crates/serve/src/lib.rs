@@ -1,0 +1,64 @@
+//! Online query layer over the five-phase out-of-core KNN engine.
+//!
+//! The Middleware'14 engine refines the KNN graph in offline
+//! iterations; this crate turns it into an always-on service in the
+//! online regime of Debatty et al.'s *Fast Online k-nn Graph Building*:
+//! queries are answered **while** refinement runs, and profile updates
+//! stream in concurrently.
+//!
+//! Three moving parts:
+//!
+//! * [`Snapshot`] / [`SnapshotCell`] — an immutable generation of
+//!   state (graph `G(t)`, profiles `P(t)`, iteration metadata)
+//!   published by atomic pointer swap. Readers grab an `Arc` and keep
+//!   it as long as they like; old generations are freed when the last
+//!   reader drops them.
+//! * [`KnnService`] — the cloneable front-end: per-user top-K lookups
+//!   ([`neighbors`](KnnService::neighbors), batched
+//!   [`neighbors_many`](KnnService::neighbors_many)), ad-hoc profile
+//!   queries ([`query_profile`](KnnService::query_profile) full scan,
+//!   [`query_profile_near`](KnnService::query_profile_near) two-hop
+//!   neighborhood with scan fallback), and
+//!   [`submit_update`](KnnService::submit_update) feeding the engine's
+//!   lazy phase-5 queue through [`UpdateIngest`].
+//! * [`spawn`] / [`RefineHandle`] — the background refinement loop: it
+//!   drains queued updates, runs [`knn_core::KnnEngine::run_iteration`]
+//!   on its own thread, and publishes a fresh snapshot after every
+//!   iteration. [`RefineHandle::stop`] recovers the engine.
+//!
+//! ```
+//! use knn_core::{EngineConfig, KnnEngine};
+//! use knn_serve::{spawn, RefineOptions};
+//! use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+//! use knn_store::WorkingDir;
+//! use knn_graph::UserId;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (profiles, _) = clustered_profiles(ClusteredConfig::new(120, 7));
+//! let config = EngineConfig::builder(120).k(4).num_partitions(4).seed(7).build()?;
+//! let engine = KnnEngine::new(config, profiles, WorkingDir::temp("serve_doc")?)?;
+//!
+//! let (service, refine) = spawn(engine, RefineOptions::default())?;
+//! // Queries are answered immediately, refinement runs behind them.
+//! let top = service.neighbors(UserId::new(0))?;
+//! assert!(!top.is_empty());
+//! refine.wait_for_epoch(1, Duration::from_secs(30));
+//! assert!(service.snapshot().iteration() >= 1);
+//! let engine = refine.stop()?;
+//! engine.into_working_dir().destroy()?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod ingest;
+mod refine;
+mod service;
+mod snapshot;
+
+pub use error::ServeError;
+pub use ingest::UpdateIngest;
+pub use refine::{spawn, RefineHandle, RefineOptions};
+pub use service::{KnnService, ServiceStats};
+pub use snapshot::{Snapshot, SnapshotCell};

@@ -1,0 +1,262 @@
+//! The background refinement loop and its control handle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use knn_core::KnnEngine;
+
+use crate::ingest::UpdateIngest;
+use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::{KnnService, ServeError};
+
+/// Tuning of the refinement loop.
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// Stop refining (but keep serving and applying updates) once an
+    /// iteration's edge-change fraction drops below this threshold.
+    /// `None` refines forever.
+    pub convergence_threshold: Option<f64>,
+    /// Hard cap on *refinement* iterations. `None` is unbounded.
+    /// Streamed updates still force an iteration past the cap — the
+    /// visibility contract of
+    /// [`submit_update`](crate::KnnService::submit_update) (an
+    /// accepted update surfaces in a later snapshot) outranks the cap.
+    pub max_iterations: Option<u64>,
+    /// How long the loop parks when it has nothing to do (converged
+    /// and no pending updates). Submitting an update or stopping the
+    /// service wakes it immediately, so this only bounds the latency
+    /// of convergence-threshold re-checks.
+    pub idle_park: Duration,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            convergence_threshold: Some(0.01),
+            max_iterations: None,
+            idle_park: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Shared state between the service, the handle, and the loop thread.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) cell: SnapshotCell,
+    pub(crate) ingest: UpdateIngest,
+    pub(crate) stop: AtomicBool,
+    /// Last published epoch + its condvar, for `wait_for_epoch`.
+    pub(crate) published: Mutex<u64>,
+    pub(crate) published_cv: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn notify_epoch(&self, epoch: u64) {
+        let mut last = self.published.lock().expect("publish lock poisoned");
+        *last = epoch;
+        drop(last);
+        self.published_cv.notify_all();
+    }
+}
+
+/// Starts serving `engine`: publishes the engine's current state as
+/// snapshot epoch 0, then hands the engine to a background thread that
+/// drains queued updates, runs five-phase iterations, and publishes a
+/// fresh snapshot after each one.
+///
+/// Returns the cloneable query front-end and the (unique) control
+/// handle that stops the loop and recovers the engine.
+///
+/// # Errors
+///
+/// Returns a storage error if the initial profile export fails.
+pub fn spawn(
+    engine: KnnEngine,
+    options: RefineOptions,
+) -> Result<(KnnService, RefineHandle), ServeError> {
+    let initial = Snapshot::new(
+        0,
+        engine.iteration(),
+        1.0,
+        engine.config().measure(),
+        Arc::new(engine.graph().clone()),
+        Arc::new(engine.export_profiles()?),
+    );
+    let shared = Arc::new(Shared {
+        cell: SnapshotCell::new(initial),
+        ingest: UpdateIngest::new(engine.config().num_users()),
+        stop: AtomicBool::new(false),
+        published: Mutex::new(0),
+        published_cv: Condvar::new(),
+    });
+
+    let loop_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("knn-refine".into())
+        .spawn(move || refine_loop(engine, loop_shared, options))
+        .expect("spawning the refinement thread");
+
+    let service = KnnService::new(Arc::clone(&shared), thread.thread().clone());
+    let handle = RefineHandle { shared, thread };
+    Ok((service, handle))
+}
+
+fn refine_loop(
+    mut engine: KnnEngine,
+    shared: Arc<Shared>,
+    options: RefineOptions,
+) -> Result<KnnEngine, crate::ServeError> {
+    let result = refine_loop_inner(&mut engine, &shared, &options);
+    // Terminal path for stop, engine failure, and (via the panic
+    // hook-free contract) normal return alike: close the ingest queue
+    // so submits start failing with `Stopped`, then move anything it
+    // still held into the engine's durable phase-5 log — an update
+    // accepted with `Ok` is never silently dropped, it is either in a
+    // published snapshot or recoverable from the engine's log.
+    let stragglers = shared.ingest.close_and_drain();
+    for delta in &stragglers {
+        engine.queue_update(delta)?;
+    }
+    result?;
+    Ok(engine)
+}
+
+fn refine_loop_inner(
+    engine: &mut KnnEngine,
+    shared: &Shared,
+    options: &RefineOptions,
+) -> Result<(), crate::ServeError> {
+    let mut epoch = 0u64;
+    let mut iterations_run = 0u64;
+    let mut converged = false;
+    // The served profile view, maintained incrementally: cloning the
+    // previous store and replaying the drained deltas mirrors exactly
+    // what the iteration's phase 5 does on disk, without re-reading
+    // every partition file per publish.
+    let mut profiles = Arc::clone(shared.cell.load().profiles());
+    let mut unapplied: Vec<knn_sim::ProfileDelta> = Vec::new();
+
+    while !shared.stop.load(Ordering::Acquire) {
+        let drained = shared.ingest.drain();
+        if !drained.is_empty() {
+            // New profile data can change similarities: resume refining.
+            converged = false;
+            for delta in &drained {
+                engine.queue_update(delta)?;
+            }
+            unapplied.extend(drained);
+        }
+
+        let capped = options
+            .max_iterations
+            .is_some_and(|max| iterations_run >= max);
+        if (capped || converged) && unapplied.is_empty() {
+            // Nothing to refine and no updates awaiting application:
+            // park until a submit/stop unparks us (or the idle
+            // interval elapses and we re-check).
+            std::thread::park_timeout(options.idle_park);
+            continue;
+        }
+
+        let report = engine.run_iteration()?;
+        iterations_run += 1;
+        if let Some(threshold) = options.convergence_threshold {
+            if report.changed_fraction < threshold {
+                converged = true;
+            }
+        }
+
+        // Phase 5 just applied the engine's whole update log. In the
+        // steady state that log is exactly `unapplied`, so the served
+        // view advances by replaying the same deltas in the same
+        // order. If the counts disagree (e.g. the engine recovered
+        // older updates from a pre-existing on-disk log), fall back to
+        // the authoritative full export.
+        if report.updates_applied == unapplied.len() as u64 {
+            if !unapplied.is_empty() {
+                let mut next = (*profiles).clone();
+                next.apply_deltas(&unapplied);
+                unapplied.clear();
+                profiles = Arc::new(next);
+            }
+        } else {
+            unapplied.clear();
+            profiles = Arc::new(engine.export_profiles()?);
+        }
+
+        epoch += 1;
+        let next = Snapshot::new(
+            epoch,
+            engine.iteration(),
+            report.changed_fraction,
+            engine.config().measure(),
+            Arc::new(engine.graph().clone()),
+            Arc::clone(&profiles),
+        );
+        shared.cell.publish(next);
+        shared.notify_epoch(epoch);
+    }
+    Ok(())
+}
+
+/// Control handle of the refinement loop: stop it, recover the
+/// engine, or wait for publications. Dropping the handle without
+/// calling [`stop`](RefineHandle::stop) detaches the loop (it keeps
+/// refining until the process exits).
+#[derive(Debug)]
+pub struct RefineHandle {
+    shared: Arc<Shared>,
+    thread: JoinHandle<Result<KnnEngine, ServeError>>,
+}
+
+impl RefineHandle {
+    /// Signals the loop to stop after its current iteration, joins
+    /// the thread, and returns the engine (for persistence, batch
+    /// work, or a later re-spawn).
+    ///
+    /// # Errors
+    ///
+    /// Propagates an engine error that terminated the loop early, or
+    /// [`ServeError::RefineLoopPanicked`] if the thread panicked.
+    pub fn stop(self) -> Result<KnnEngine, ServeError> {
+        self.shared.stop.store(true, Ordering::Release);
+        self.thread.thread().unpark();
+        self.thread
+            .join()
+            .map_err(|_| ServeError::RefineLoopPanicked)?
+    }
+
+    /// Whether the loop thread is still alive.
+    pub fn is_running(&self) -> bool {
+        !self.thread.is_finished()
+    }
+
+    /// Blocks until snapshot `epoch` (or newer) is published, or
+    /// `timeout` elapses. Returns whether the epoch was reached.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last = self.shared.published.lock().expect("publish lock poisoned");
+        while *last < epoch {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, wait) = self
+                .shared
+                .published_cv
+                .wait_timeout(last, remaining)
+                .expect("publish lock poisoned");
+            last = guard;
+            if wait.timed_out() && *last < epoch {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The epoch of the latest published snapshot.
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+}

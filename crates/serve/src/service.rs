@@ -1,0 +1,180 @@
+//! The concurrent query front-end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+
+use knn_graph::{Neighbor, UserId};
+use knn_sim::{Profile, ProfileDelta};
+
+use crate::refine::Shared;
+use crate::snapshot::Snapshot;
+use crate::ServeError;
+
+/// Running counters of one service instance (shared by its clones).
+#[derive(Debug, Default)]
+struct Counters {
+    neighbor_queries: AtomicU64,
+    profile_queries: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters plus snapshot state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// `neighbors` / `neighbors_many` calls answered (batch counts
+    /// one per queried user).
+    pub neighbor_queries: u64,
+    /// Ad-hoc profile queries answered.
+    pub profile_queries: u64,
+    /// Updates accepted into the ingest queue.
+    pub updates_submitted: u64,
+    /// Updates already handed to the engine's phase-5 log.
+    pub updates_drained: u64,
+    /// Epoch of the currently published snapshot.
+    pub snapshot_epoch: u64,
+}
+
+/// The always-on query front-end over the refining engine.
+///
+/// Cloning is cheap (a few `Arc`s) and every clone serves from the
+/// same snapshot cell, so a server can hand one instance to each
+/// request-handling thread. All methods that touch the graph resolve
+/// **one** snapshot first and answer entirely from it: a reader is
+/// never exposed to state from two different iterations within one
+/// call, no matter how many swaps happen mid-flight.
+#[derive(Debug, Clone)]
+pub struct KnnService {
+    shared: Arc<Shared>,
+    counters: Arc<Counters>,
+    refine_thread: Thread,
+}
+
+impl KnnService {
+    pub(crate) fn new(shared: Arc<Shared>, refine_thread: Thread) -> Self {
+        KnnService {
+            shared,
+            counters: Arc::new(Counters::default()),
+            refine_thread,
+        }
+    }
+
+    /// The currently published snapshot. Hold it to answer any number
+    /// of related questions from one consistent state.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.cell.load()
+    }
+
+    /// The top-K list of `user` in the current snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownUser`] for out-of-range ids.
+    pub fn neighbors(&self, user: UserId) -> Result<Vec<Neighbor>, ServeError> {
+        self.counters
+            .neighbor_queries
+            .fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.snapshot();
+        Ok(snapshot.neighbors(user)?.to_vec())
+    }
+
+    /// The top-K lists of several users, all answered from a single
+    /// snapshot — the batch is internally consistent even while the
+    /// refinement loop publishes mid-call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownUser`] on the first out-of-range
+    /// id (and answers nothing).
+    pub fn neighbors_many(&self, users: &[UserId]) -> Result<Vec<Vec<Neighbor>>, ServeError> {
+        self.counters
+            .neighbor_queries
+            .fetch_add(users.len() as u64, Ordering::Relaxed);
+        let snapshot = self.snapshot();
+        users
+            .iter()
+            .map(|&u| snapshot.neighbors(u).map(<[Neighbor]>::to_vec))
+            .collect()
+    }
+
+    /// Top-`k` users for an ad-hoc `query` profile that belongs to no
+    /// existing user: a brute-force scan of the snapshot's whole
+    /// profile set (exact, O(n) similarity evaluations).
+    pub fn query_profile(&self, query: &Profile, k: usize) -> Vec<Neighbor> {
+        self.counters
+            .profile_queries
+            .fetch_add(1, Ordering::Relaxed);
+        self.snapshot().scan_top_k(query, k)
+    }
+
+    /// Top-`k` users for `query`, anchored at a known similar user:
+    /// scores only `anchor` itself plus its two-hop neighborhood (the
+    /// same candidate set one KNN iteration explores). Falls back to
+    /// the full partition scan when the neighborhood cannot fill `k`
+    /// results — e.g. before the first iteration or on isolated
+    /// vertices. The anchor is a candidate on both paths, so the two
+    /// never disagree about whether it may appear in the results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownUser`] if `anchor` is out of range.
+    pub fn query_profile_near(
+        &self,
+        anchor: UserId,
+        query: &Profile,
+        k: usize,
+    ) -> Result<Vec<Neighbor>, ServeError> {
+        self.counters
+            .profile_queries
+            .fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.snapshot();
+        if anchor.index() >= snapshot.num_users() {
+            return Err(ServeError::UnknownUser {
+                user: anchor,
+                num_users: snapshot.num_users(),
+            });
+        }
+        let mut hood = snapshot.graph().two_hop_candidates(anchor);
+        hood.push(anchor);
+        let local = snapshot.rank_candidates(query, hood, k);
+        if local.len() >= k {
+            return Ok(local);
+        }
+        Ok(snapshot.scan_top_k(query, k))
+    }
+
+    /// Queues a profile update. It is applied by the refinement loop's
+    /// next iteration (the engine's lazy phase-5 queue) and becomes
+    /// visible in the snapshot published after that iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownUser`] or
+    /// [`ServeError::NonFiniteWeight`] — validation is synchronous so
+    /// bad updates fail at the caller, not in the background — and
+    /// [`ServeError::Stopped`] once the refinement loop has terminated
+    /// (queries keep answering from the final snapshot; accepted
+    /// updates are never dropped: any not yet applied are parked in
+    /// the engine's durable phase-5 log on shutdown).
+    pub fn submit_update(&self, delta: ProfileDelta) -> Result<(), ServeError> {
+        self.shared.ingest.submit(delta)?;
+        // A parked (converged/idle) loop must wake to apply it.
+        self.refine_thread.unpark();
+        Ok(())
+    }
+
+    /// Number of users served.
+    pub fn num_users(&self) -> usize {
+        self.shared.ingest.num_users()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            neighbor_queries: self.counters.neighbor_queries.load(Ordering::Relaxed),
+            profile_queries: self.counters.profile_queries.load(Ordering::Relaxed),
+            updates_submitted: self.shared.ingest.submitted(),
+            updates_drained: self.shared.ingest.drained(),
+            snapshot_epoch: self.shared.cell.epoch(),
+        }
+    }
+}

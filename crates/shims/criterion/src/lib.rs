@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Gives the workspace's `#[bench]`-style binaries (declared with
+//! `harness = false`) a compile-compatible subset of criterion's API:
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it runs a short warmup,
+//! then `sample_size` timed samples, and prints median and mean
+//! nanoseconds per iteration — honest numbers with none of the
+//! confidence machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup, mirroring criterion's enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// One setup per sample batch.
+    SmallInput,
+    /// Alias of `SmallInput` in this shim.
+    LargeInput,
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Label `"{function}/{parameter}"`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over warmup plus `samples` batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the per-sample iteration count on one warmup run.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.results
+                .push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Times `routine` with un-timed `setup` before each invocation.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.results.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Ignored; present for API parity.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        let samples = self.sample_size;
+        self.criterion.run_one(&label, samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{id}", self.name);
+        let samples = self.sample_size;
+        self.criterion.run_one(&label, samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; groups have no shared state here).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Hook for criterion's CLI configuration; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, 30, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
+        let mut bencher = Bencher {
+            samples,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.results.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(f64::NAN);
+        let mean = if sorted.is_empty() {
+            f64::NAN
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        println!(
+            "{label}: median {median:.0} ns/iter, mean {mean:.0} ns/iter ({} samples)",
+            sorted.len()
+        );
+    }
+
+    /// Hook for criterion's summary output; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the harness `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion =
+                <$crate::Criterion as ::core::default::Default>::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64 + 2)));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_addition);
+
+    #[test]
+    fn harness_runs_groups() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+    }
+
+    #[test]
+    fn iter_batched_times_every_sample() {
+        let mut b = Bencher {
+            samples: 4,
+            results: Vec::new(),
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::PerIteration,
+        );
+        assert_eq!(setups, 4);
+        assert_eq!(b.results.len(), 4);
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use — the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_flat_map`
+//! / `prop_filter`, range and tuple strategies, [`collection::vec`],
+//! [`bool::ANY`], [`Just`], the `prop_assert*` family, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the exact generated
+//!   input (`Debug`-formatted) and the RNG seed, but does not minimize.
+//! * **Deterministic seeding.** Cases derive from a fixed per-test
+//!   seed (hash of the test name), so CI runs are reproducible.
+
+use std::fmt;
+
+pub use config::ProptestConfig;
+pub use strategy::{Just, Strategy};
+
+/// Outcome of one generated case: pass, fail with message, or reject
+/// (assumption not met — the case is skipped, not failed).
+pub type CaseResult = Result<(), CaseError>;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// A `prop_assert*` failed.
+    Fail(String),
+    /// A `prop_assume!` was not satisfied.
+    Reject,
+}
+
+impl CaseError {
+    /// Constructs a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for CaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseError::Fail(msg) => write!(f, "{msg}"),
+            CaseError::Reject => f.write_str("case rejected by prop_assume!"),
+        }
+    }
+}
+
+pub mod config {
+    //! Runner configuration.
+
+    /// The subset of proptest's config the tests use.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Consecutive rejections tolerated before the test errors.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the heavier
+            // engine property tests fast while still exploring.
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case generation driver.
+
+    use super::config::ProptestConfig;
+    use super::strategy::Strategy;
+    use super::CaseError;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Runs `config.cases` cases of `body` over values drawn from
+    /// `strategy`, panicking with the offending input on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or when rejection sampling starves.
+    pub fn run<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), CaseError>,
+    {
+        let mut hasher = DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        let base_seed = hasher.finish();
+
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut draw = 0u64;
+        while case < config.cases {
+            let seed = base_seed.wrapping_add(draw);
+            draw += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            let Some(value) = strategy.generate(&mut rng) else {
+                rejects += 1;
+                assert!(
+                    rejects < config.max_global_rejects,
+                    "proptest shim: {test_name} rejected {rejects} inputs in a row \
+                     (filter too strict?)"
+                );
+                continue;
+            };
+            let rendered = format!("{value:?}");
+            match body(value) {
+                Ok(()) => {
+                    rejects = 0;
+                    case += 1;
+                }
+                Err(CaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < config.max_global_rejects,
+                        "proptest shim: {test_name} rejected {rejects} cases in a row \
+                         (prop_assume! too strict?)"
+                    );
+                }
+                Err(CaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest shim: {test_name} failed at case {case} (seed {seed:#x})\n\
+                         input: {rendered}\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// A recipe for generating `Value`s.
+    ///
+    /// `generate` returns `None` when a filter rejects the draw; the
+    /// runner then retries with fresh randomness.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value, or `None` on filter rejection.
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then draws from the
+        /// strategy `f` builds from it (dependent generation).
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects values for which `pred` is false; `reason` is kept
+        /// for API parity with proptest (the shim does not report it).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                pred,
+                _reason: reason,
+            }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let intermediate = self.inner.generate(rng)?;
+            (self.f)(intermediate).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+        _reason: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(&self.pred)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is uniform in `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.random_bool(0.5))
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use super::config::ProptestConfig;
+    pub use super::strategy::{Just, Strategy};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $cfg;
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    &($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::config::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// `assert!` that reports the generated input on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::CaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports the generated input on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{}: {:?} == {:?} failed",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports the generated input on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::CaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 5u32..10, f in -2.0f32..2.0) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_dependent_values(
+            (n, idx) in (1usize..20).prop_flat_map(|n| (Just(n), 0usize..n)),
+        ) {
+            prop_assert!(idx < n);
+        }
+
+        #[test]
+        fn filters_apply((a, b) in (0u32..10, 0u32..10).prop_filter("distinct", |(a, b)| a != b)) {
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn bools_vary(flags in crate::collection::vec(crate::bool::ANY, 64..65)) {
+            // 64 fair coins virtually never agree unanimously.
+            prop_assert!(flags.iter().any(|&b| b) && !flags.iter().all(|&b| b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_caps_cases(x in 0u64..1000) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_input() {
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            &(0u32..10,),
+            |(_x,)| Err(crate::CaseError::fail("boom")),
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::test_runner::run(
+                &ProptestConfig::with_cases(10),
+                "determinism_probe",
+                &(0u64..1_000_000,),
+                |(x,)| {
+                    out.push(x);
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+}

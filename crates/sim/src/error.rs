@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let e1 = ProfileError::NonFiniteWeight { item: 3, weight: f32::NAN };
+        let e1 = ProfileError::NonFiniteWeight {
+            item: 3,
+            weight: f32::NAN,
+        };
         let e2 = ProfileError::DuplicateItem { item: 5 };
         assert!(!e1.to_string().is_empty());
         assert!(!e2.to_string().is_empty());

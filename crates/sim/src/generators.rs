@@ -92,7 +92,10 @@ pub fn clustered_profiles(config: ClusteredConfig) -> (ProfileStore, Vec<u32>) {
         seed,
     } = config;
     assert!(num_clusters > 0, "need at least one cluster");
-    assert!(items_per_cluster > 0, "cluster item blocks must be non-empty");
+    assert!(
+        items_per_cluster > 0,
+        "cluster item blocks must be non-empty"
+    );
     assert!(
         ratings_per_user <= items_per_cluster,
         "ratings_per_user ({ratings_per_user}) exceeds items_per_cluster ({items_per_cluster})"
@@ -112,14 +115,24 @@ pub fn clustered_profiles(config: ClusteredConfig) -> (ProfileStore, Vec<u32>) {
         labels.push(cluster);
         let block_base = cluster * items_per_cluster as u32;
         let mut profile = Profile::new();
-        sample_distinct(&mut rng, items_per_cluster, ratings_per_user, |item_off, rng| {
-            let rating = 1.0 + rng.random_range(0.0..4.0f32);
-            profile.set(ItemId::new(block_base + item_off as u32), rating);
-        });
-        sample_distinct(&mut rng, noise_items.max(1), noise_ratings, |item_off, rng| {
-            let rating = 1.0 + rng.random_range(0.0..4.0f32);
-            profile.set(ItemId::new(noise_base + item_off as u32), rating);
-        });
+        sample_distinct(
+            &mut rng,
+            items_per_cluster,
+            ratings_per_user,
+            |item_off, rng| {
+                let rating = 1.0 + rng.random_range(0.0..4.0f32);
+                profile.set(ItemId::new(block_base + item_off as u32), rating);
+            },
+        );
+        sample_distinct(
+            &mut rng,
+            noise_items.max(1),
+            noise_ratings,
+            |item_off, rng| {
+                let rating = 1.0 + rng.random_range(0.0..4.0f32);
+                profile.set(ItemId::new(noise_base + item_off as u32), rating);
+            },
+        );
         profiles.push(profile);
     }
 
@@ -146,7 +159,13 @@ pub struct ZipfConfig {
 impl ZipfConfig {
     /// A typical tag-like workload: 10k items, 20 per user, skew 1.0.
     pub fn new(num_users: usize, seed: u64) -> Self {
-        ZipfConfig { num_users, num_items: 10_000, items_per_user: 20, skew: 1.0, seed }
+        ZipfConfig {
+            num_users,
+            num_items: 10_000,
+            items_per_user: 20,
+            skew: 1.0,
+            seed,
+        }
     }
 }
 
@@ -158,7 +177,13 @@ impl ZipfConfig {
 /// Panics if `items_per_user > num_items`, `num_items == 0`, or
 /// `skew < 0`.
 pub fn zipf_profiles(config: ZipfConfig) -> ProfileStore {
-    let ZipfConfig { num_users, num_items, items_per_user, skew, seed } = config;
+    let ZipfConfig {
+        num_users,
+        num_items,
+        items_per_user,
+        skew,
+        seed,
+    } = config;
     assert!(num_items > 0, "item universe must be non-empty");
     assert!(
         items_per_user <= num_items,
@@ -217,7 +242,9 @@ mod tests {
 
     #[test]
     fn clustered_profiles_have_planted_structure() {
-        let cfg = ClusteredConfig::new(60, 3).with_clusters(3).with_ratings(20, 2);
+        let cfg = ClusteredConfig::new(60, 3)
+            .with_clusters(3)
+            .with_ratings(20, 2);
         let (store, labels) = clustered_profiles(cfg);
         // Average intra-cluster cosine must beat inter-cluster cosine.
         let (mut intra, mut inter) = (Vec::new(), Vec::new());
@@ -276,7 +303,13 @@ mod tests {
 
     #[test]
     fn zipf_profiles_have_exact_sizes() {
-        let store = zipf_profiles(ZipfConfig { num_users: 40, num_items: 100, items_per_user: 7, skew: 1.1, seed: 2 });
+        let store = zipf_profiles(ZipfConfig {
+            num_users: 40,
+            num_items: 100,
+            items_per_user: 7,
+            skew: 1.1,
+            seed: 2,
+        });
         assert_eq!(store.num_users(), 40);
         for (_, p) in store.iter() {
             assert_eq!(p.len(), 7);
@@ -286,8 +319,20 @@ mod tests {
 
     #[test]
     fn zipf_skew_concentrates_popularity() {
-        let skewed = zipf_profiles(ZipfConfig { num_users: 200, num_items: 1000, items_per_user: 10, skew: 1.2, seed: 5 });
-        let uniform = zipf_profiles(ZipfConfig { num_users: 200, num_items: 1000, items_per_user: 10, skew: 0.0, seed: 5 });
+        let skewed = zipf_profiles(ZipfConfig {
+            num_users: 200,
+            num_items: 1000,
+            items_per_user: 10,
+            skew: 1.2,
+            seed: 5,
+        });
+        let uniform = zipf_profiles(ZipfConfig {
+            num_users: 200,
+            num_items: 1000,
+            items_per_user: 10,
+            skew: 0.0,
+            seed: 5,
+        });
         let popularity = |s: &ProfileStore| {
             let mut count = vec![0usize; 1000];
             for (_, p) in s.iter() {

@@ -79,7 +79,9 @@ pub struct Profile {
 impl Profile {
     /// Creates an empty profile.
     pub fn new() -> Self {
-        Profile { entries: Vec::new() }
+        Profile {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a profile from raw `(item, weight)` pairs in any order.
@@ -150,7 +152,10 @@ impl Profile {
     /// infinite.
     pub fn try_set(&mut self, item: ItemId, weight: f32) -> Result<(), ProfileError> {
         if !weight.is_finite() {
-            return Err(ProfileError::NonFiniteWeight { item: item.raw(), weight });
+            return Err(ProfileError::NonFiniteWeight {
+                item: item.raw(),
+                weight,
+            });
         }
         match self.entries.binary_search_by_key(&item, |&(i, _)| i) {
             Ok(idx) => self.entries[idx].1 = weight,

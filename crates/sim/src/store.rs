@@ -28,7 +28,9 @@ pub struct ProfileStore {
 impl ProfileStore {
     /// Creates a store of `num_users` empty profiles.
     pub fn new(num_users: usize) -> Self {
-        ProfileStore { profiles: vec![Profile::new(); num_users] }
+        ProfileStore {
+            profiles: vec![Profile::new(); num_users],
+        }
     }
 
     /// Builds a store from an explicit profile vector.
@@ -68,6 +70,19 @@ impl ProfileStore {
         self.profiles[user.index()] = profile;
     }
 
+    /// The profile of `user`, or `None` when out of range — the
+    /// non-panicking accessor used by read-only views (the serving
+    /// layer must not crash on an out-of-range query id).
+    pub fn get_checked(&self, user: UserId) -> Option<&Profile> {
+        self.profiles.get(user.index())
+    }
+
+    /// Wraps the store in an [`std::sync::Arc`], freezing it into the
+    /// shared read-only view that snapshots hand to concurrent readers.
+    pub fn into_shared(self) -> std::sync::Arc<ProfileStore> {
+        std::sync::Arc::new(self)
+    }
+
     /// Applies one queued delta.
     ///
     /// # Panics
@@ -105,7 +120,9 @@ impl ProfileStore {
 
 impl FromIterator<Profile> for ProfileStore {
     fn from_iter<T: IntoIterator<Item = Profile>>(iter: T) -> Self {
-        ProfileStore { profiles: iter.into_iter().collect() }
+        ProfileStore {
+            profiles: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -152,6 +169,19 @@ mod tests {
             .collect();
         assert_eq!(s.num_users(), 2);
         assert_eq!(s.total_entries(), 1);
+    }
+
+    #[test]
+    fn get_checked_bounds() {
+        let mut s = ProfileStore::new(2);
+        s.get_mut(UserId::new(1)).set(ItemId::new(3), 1.5);
+        assert_eq!(
+            s.get_checked(UserId::new(1)).unwrap().get(ItemId::new(3)),
+            Some(1.5)
+        );
+        assert!(s.get_checked(UserId::new(2)).is_none());
+        let shared = s.into_shared();
+        assert_eq!(shared.num_users(), 2);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl DocumentFrequencies {
                 *df.entry(item).or_insert(0) += 1;
             }
         }
-        DocumentFrequencies { num_profiles: store.num_users(), df }
+        DocumentFrequencies {
+            num_profiles: store.num_users(),
+            df,
+        }
     }
 
     /// Number of profiles the statistics cover.

@@ -67,7 +67,12 @@ impl<T> SlotCache<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache needs at least one slot");
-        SlotCache { capacity, slots: Vec::with_capacity(capacity), counters: CacheCounters::default(), io_stats: None }
+        SlotCache {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            counters: CacheCounters::default(),
+            io_stats: None,
+        }
     }
 
     /// Mirrors load/unload counts into shared [`IoStats`] in addition
@@ -99,12 +104,18 @@ impl<T> SlotCache<T> {
 
     /// Shared access to a resident payload (does not touch LRU order).
     pub fn get(&self, id: u32) -> Option<&T> {
-        self.slots.iter().find(|&&(sid, _)| sid == id).map(|(_, t)| t)
+        self.slots
+            .iter()
+            .find(|&&(sid, _)| sid == id)
+            .map(|(_, t)| t)
     }
 
     /// Mutable access to a resident payload (does not touch LRU order).
     pub fn get_mut(&mut self, id: u32) -> Option<&mut T> {
-        self.slots.iter_mut().find(|(sid, _)| *sid == id).map(|(_, t)| t)
+        self.slots
+            .iter_mut()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, t)| t)
     }
 
     /// Ensures `id` is resident: counts a hit if present (refreshing
@@ -199,7 +210,14 @@ mod tests {
         let mut c: SlotCache<u32> = SlotCache::new(2);
         c.ensure(1, None, ok_load, ok_unload).unwrap();
         c.ensure(1, None, ok_load, ok_unload).unwrap();
-        assert_eq!(c.counters(), CacheCounters { loads: 1, unloads: 0, hits: 1 });
+        assert_eq!(
+            c.counters(),
+            CacheCounters {
+                loads: 1,
+                unloads: 0,
+                hits: 1
+            }
+        );
         assert_eq!(c.get(1), Some(&10));
     }
 
@@ -247,13 +265,19 @@ mod tests {
     #[test]
     fn unload_receives_mutated_payload() {
         let mut c: SlotCache<Vec<u32>> = SlotCache::new(1);
-        c.ensure(1, None, |_| Ok::<_, Infallible>(vec![]), |_, _| Ok(())).unwrap();
+        c.ensure(1, None, |_| Ok::<_, Infallible>(vec![]), |_, _| Ok(()))
+            .unwrap();
         c.get_mut(1).unwrap().push(42);
         let mut captured = None;
-        c.ensure(2, None, |_| Ok::<_, Infallible>(vec![]), |id, payload| {
-            captured = Some((id, payload));
-            Ok(())
-        })
+        c.ensure(
+            2,
+            None,
+            |_| Ok::<_, Infallible>(vec![]),
+            |id, payload| {
+                captured = Some((id, payload));
+                Ok(())
+            },
+        )
         .unwrap();
         assert_eq!(captured, Some((1, vec![42])));
     }
@@ -261,7 +285,12 @@ mod tests {
     #[test]
     fn load_error_propagates_and_leaves_id_absent() {
         let mut c: SlotCache<u32> = SlotCache::new(2);
-        let r = c.ensure(5, None, |_| Err(std::io::Error::other("boom")), |_, _| Ok(()));
+        let r = c.ensure(
+            5,
+            None,
+            |_| Err(std::io::Error::other("boom")),
+            |_, _| Ok(()),
+        );
         assert!(r.is_err());
         assert!(!c.contains(5));
         assert_eq!(c.counters().loads, 0);

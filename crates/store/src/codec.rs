@@ -35,16 +35,15 @@ pub fn put_header(buf: &mut impl BufMut, kind: u16, record_count: u64) {
 ///
 /// Returns [`StoreError::Corrupt`] on bad magic/kind/truncation and
 /// [`StoreError::VersionMismatch`] on a version difference.
-pub fn take_header(
-    buf: &mut impl Buf,
-    expected_kind: u16,
-    path: &Path,
-) -> Result<u64, StoreError> {
+pub fn take_header(buf: &mut impl Buf, expected_kind: u16, path: &Path) -> Result<u64, StoreError> {
     if buf.remaining() < HEADER_LEN {
-        return Err(StoreError::corrupt(path, format!(
-            "file shorter than header ({} < {HEADER_LEN} bytes)",
-            buf.remaining()
-        )));
+        return Err(StoreError::corrupt(
+            path,
+            format!(
+                "file shorter than header ({} < {HEADER_LEN} bytes)",
+                buf.remaining()
+            ),
+        ));
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -61,26 +60,25 @@ pub fn take_header(
     }
     let kind = buf.get_u16_le();
     if kind != expected_kind {
-        return Err(StoreError::corrupt(path, format!(
-            "record kind {kind} found, expected {expected_kind}"
-        )));
+        return Err(StoreError::corrupt(
+            path,
+            format!("record kind {kind} found, expected {expected_kind}"),
+        ));
     }
     Ok(buf.get_u64_le())
 }
 
 /// Ensures at least `needed` readable bytes remain, else a corruption
 /// error naming `what`.
-pub fn need(
-    buf: &impl Buf,
-    needed: usize,
-    what: &str,
-    path: &Path,
-) -> Result<(), StoreError> {
+pub fn need(buf: &impl Buf, needed: usize, what: &str, path: &Path) -> Result<(), StoreError> {
     if buf.remaining() < needed {
-        Err(StoreError::corrupt(path, format!(
-            "truncated {what}: need {needed} bytes, have {}",
-            buf.remaining()
-        )))
+        Err(StoreError::corrupt(
+            path,
+            format!(
+                "truncated {what}: need {needed} bytes, have {}",
+                buf.remaining()
+            ),
+        ))
     } else {
         Ok(())
     }
@@ -124,7 +122,10 @@ mod tests {
         let mut bytes = buf.to_vec();
         bytes[4] = 99; // version low byte
         let err = take_header(&mut &bytes[..], 1, &p()).unwrap_err();
-        assert!(matches!(err, StoreError::VersionMismatch { found: 99, .. }), "{err}");
+        assert!(
+            matches!(err, StoreError::VersionMismatch { found: 99, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -79,7 +79,8 @@ impl DeltaLog {
             .append(true)
             .open(&self.path)
             .map_err(|e| StoreError::io(&self.path, e))?;
-        file.write_all(&buf).map_err(|e| StoreError::io(&self.path, e))?;
+        file.write_all(&buf)
+            .map_err(|e| StoreError::io(&self.path, e))?;
         stats.record_write(buf.len() as u64);
         Ok(())
     }
@@ -167,9 +168,10 @@ fn decode_delta(buf: &mut impl Buf, path: &Path) -> Result<ProfileDelta, StoreEr
             let item = ItemId::new(buf.get_u32_le());
             let weight = buf.get_f32_le();
             if !weight.is_finite() {
-                return Err(StoreError::corrupt(path, format!(
-                    "non-finite weight {weight} in delta for user {user}"
-                )));
+                return Err(StoreError::corrupt(
+                    path,
+                    format!("non-finite weight {weight} in delta for user {user}"),
+                ));
             }
             DeltaOp::Set(item, weight)
         }
@@ -191,7 +193,10 @@ fn decode_delta(buf: &mut impl Buf, path: &Path) -> Result<ProfileDelta, StoreEr
         }
         TAG_CLEAR => DeltaOp::Clear,
         other => {
-            return Err(StoreError::corrupt(path, format!("unknown delta tag {other}")));
+            return Err(StoreError::corrupt(
+                path,
+                format!("unknown delta tag {other}"),
+            ));
         }
     };
     Ok(ProfileDelta::new(user, op))
@@ -231,7 +236,11 @@ mod tests {
     #[test]
     fn empty_replace_round_trips() {
         let (wd, mut log, stats) = setup();
-        log.append(&ProfileDelta::replace(UserId::new(0), Profile::new()), &stats).unwrap();
+        log.append(
+            &ProfileDelta::replace(UserId::new(0), Profile::new()),
+            &stats,
+        )
+        .unwrap();
         let back = log.read_all(&stats).unwrap();
         assert_eq!(back[0].op, DeltaOp::Replace(Profile::new()));
         wd.destroy().unwrap();
@@ -240,7 +249,11 @@ mod tests {
     #[test]
     fn truncate_clears_the_queue() {
         let (wd, mut log, stats) = setup();
-        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        log.append(
+            &ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0),
+            &stats,
+        )
+        .unwrap();
         assert!(!log.is_empty().unwrap());
         log.truncate().unwrap();
         assert!(log.is_empty().unwrap());
@@ -251,7 +264,11 @@ mod tests {
     #[test]
     fn survives_reopen() {
         let (wd, mut log, stats) = setup();
-        log.append(&ProfileDelta::set(UserId::new(9), ItemId::new(1), 3.0), &stats).unwrap();
+        log.append(
+            &ProfileDelta::set(UserId::new(9), ItemId::new(1), 3.0),
+            &stats,
+        )
+        .unwrap();
         drop(log);
         let log2 = DeltaLog::open(wd.updates_path()).unwrap();
         assert_eq!(log2.len(&stats).unwrap(), 1);
@@ -261,28 +278,46 @@ mod tests {
     #[test]
     fn corrupt_tag_is_detected() {
         let (wd, mut log, stats) = setup();
-        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        log.append(
+            &ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0),
+            &stats,
+        )
+        .unwrap();
         let mut bytes = std::fs::read(log.path()).unwrap();
         bytes[4] = 200; // clobber the tag
         std::fs::write(log.path(), &bytes).unwrap();
-        assert!(matches!(log.read_all(&stats), Err(StoreError::Corrupt { .. })));
+        assert!(matches!(
+            log.read_all(&stats),
+            Err(StoreError::Corrupt { .. })
+        ));
         wd.destroy().unwrap();
     }
 
     #[test]
     fn truncated_record_is_corrupt() {
         let (wd, mut log, stats) = setup();
-        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        log.append(
+            &ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0),
+            &stats,
+        )
+        .unwrap();
         let bytes = std::fs::read(log.path()).unwrap();
         std::fs::write(log.path(), &bytes[..bytes.len() - 2]).unwrap();
-        assert!(matches!(log.read_all(&stats), Err(StoreError::Corrupt { .. })));
+        assert!(matches!(
+            log.read_all(&stats),
+            Err(StoreError::Corrupt { .. })
+        ));
         wd.destroy().unwrap();
     }
 
     #[test]
     fn io_is_counted() {
         let (wd, mut log, stats) = setup();
-        log.append(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &stats).unwrap();
+        log.append(
+            &ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0),
+            &stats,
+        )
+        .unwrap();
         let _ = log.read_all(&stats).unwrap();
         let snap = stats.snapshot();
         assert!(snap.bytes_written > 0);

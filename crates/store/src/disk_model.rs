@@ -111,7 +111,13 @@ mod tests {
     use super::*;
 
     fn trace(bytes_read: u64, read_ops: u64, bytes_written: u64, write_ops: u64) -> IoSnapshot {
-        IoSnapshot { bytes_read, bytes_written, read_ops, write_ops, ..Default::default() }
+        IoSnapshot {
+            bytes_read,
+            bytes_written,
+            read_ops,
+            write_ops,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -143,14 +149,18 @@ mod tests {
     #[test]
     fn ordering_hdd_slower_than_ssd_slower_than_ram() {
         let t = trace(100_000_000, 50, 100_000_000, 50);
-        let times: Vec<Duration> =
-            DiskModel::ALL.iter().map(|m| m.simulated_time(&t)).collect();
+        let times: Vec<Duration> = DiskModel::ALL
+            .iter()
+            .map(|m| m.simulated_time(&t))
+            .collect();
         assert!(times[0] > times[1] && times[1] > times[2], "{times:?}");
     }
 
     #[test]
     fn throughput_none_on_empty_trace() {
-        assert!(DiskModel::ssd().effective_throughput(&IoSnapshot::default()).is_none());
+        assert!(DiskModel::ssd()
+            .effective_throughput(&IoSnapshot::default())
+            .is_none());
         let t = trace(1_000_000, 1, 0, 0);
         assert!(DiskModel::ssd().effective_throughput(&t).unwrap() > 0.0);
     }

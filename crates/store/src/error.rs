@@ -35,26 +35,39 @@ pub enum StoreError {
 impl StoreError {
     /// Wraps an I/O error with the file path it concerns.
     pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
-        StoreError::Io { path: Some(path.into()), source }
+        StoreError::Io {
+            path: Some(path.into()),
+            source,
+        }
     }
 
     /// Builds a corruption error.
     pub fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
-        StoreError::Corrupt { path: path.into(), detail: detail.into() }
+        StoreError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
     }
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Io { path: Some(p), source } => {
+            StoreError::Io {
+                path: Some(p),
+                source,
+            } => {
                 write!(f, "i/o error on {}: {source}", p.display())
             }
             StoreError::Io { path: None, source } => write!(f, "i/o error: {source}"),
             StoreError::Corrupt { path, detail } => {
                 write!(f, "corrupt file {}: {detail}", path.display())
             }
-            StoreError::VersionMismatch { path, found, expected } => {
+            StoreError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => {
                 write!(
                     f,
                     "file {} has codec version {found}, expected {expected}",
@@ -96,7 +109,11 @@ mod tests {
             StoreError::io("/tmp/x", io::Error::new(io::ErrorKind::NotFound, "nope")),
             StoreError::from(io::Error::other("raw")),
             StoreError::corrupt("/tmp/y", "bad magic"),
-            StoreError::VersionMismatch { path: "/tmp/z".into(), found: 9, expected: 1 },
+            StoreError::VersionMismatch {
+                path: "/tmp/z".into(),
+                found: 9,
+                expected: 1,
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -106,7 +106,9 @@ impl WorkingDir {
     /// Path of the tuple bucket for the partition pair `(i, j)` — the
     /// on-disk materialization of the PI-graph edge `(Ri, Rj)`.
     pub fn tuples_path(&self, i: u32, j: u32) -> PathBuf {
-        self.root.join("tuples").join(format!("t{i:04}_{j:04}.tuples"))
+        self.root
+            .join("tuples")
+            .join(format!("t{i:04}_{j:04}.tuples"))
     }
 
     /// Path of the phase-5 profile-update log.

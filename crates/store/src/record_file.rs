@@ -59,9 +59,10 @@ fn read_file(path: &Path, stats: &IoStats) -> Result<Vec<u8>, StoreError> {
     let stored = u32::from_le_bytes(bytes[payload_len..].try_into().expect("4 bytes"));
     let actual = crc32(&bytes[..payload_len]);
     if stored != actual {
-        return Err(StoreError::corrupt(path, format!(
-            "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
-        )));
+        return Err(StoreError::corrupt(
+            path,
+            format!("checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+        ));
     }
     bytes.truncate(payload_len);
     Ok(bytes)
@@ -144,10 +145,7 @@ pub fn write_scored_pairs(
 /// # Errors
 ///
 /// Same as [`read_pairs`].
-pub fn read_scored_pairs(
-    path: &Path,
-    stats: &IoStats,
-) -> Result<Vec<(u32, u32, f32)>, StoreError> {
+pub fn read_scored_pairs(path: &Path, stats: &IoStats) -> Result<Vec<(u32, u32, f32)>, StoreError> {
     let bytes = read_file(path, stats)?;
     let mut buf = &bytes[..];
     let count = take_header(&mut buf, RecordKind::ScoredEdges as u16, path)?;
@@ -304,7 +302,10 @@ mod tests {
             (12, vec![(0, -1.0)]),
         ];
         write_user_lists(&path, RecordKind::Profiles, &rows, &stats).unwrap();
-        assert_eq!(read_user_lists(&path, RecordKind::Profiles, &stats).unwrap(), rows);
+        assert_eq!(
+            read_user_lists(&path, RecordKind::Profiles, &stats).unwrap(),
+            rows
+        );
         wd.destroy().unwrap();
     }
 
@@ -375,7 +376,9 @@ mod tests {
         let (wd, stats) = setup();
         let path = wd.tuples_path(0, 0);
         write_pairs(&path, RecordKind::Tuples, &[], &stats).unwrap();
-        assert!(read_pairs(&path, RecordKind::Tuples, &stats).unwrap().is_empty());
+        assert!(read_pairs(&path, RecordKind::Tuples, &stats)
+            .unwrap()
+            .is_empty());
         wd.destroy().unwrap();
     }
 }

@@ -78,7 +78,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         corpus.get(UserId::new(777)),
     );
     println!("\nmeasure comparison (doc0 vs planted duplicate | doc0 vs random):");
-    for m in [Measure::Jaccard, Measure::Dice, Measure::Overlap, Measure::Cosine] {
+    for m in [
+        Measure::Jaccard,
+        Measure::Dice,
+        Measure::Overlap,
+        Measure::Cosine,
+    ] {
         println!(
             "  {:<14} {:>8.3} | {:>8.3}",
             m.to_string(),

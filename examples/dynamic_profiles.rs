@@ -23,8 +23,7 @@
 use ooc_knn::sim::generators::{clustered_profiles, ClusteredConfig};
 use ooc_knn::sim::DeltaOp;
 use ooc_knn::{
-    EngineConfig, KnnEngine, KnnGraph, Measure, Neighbor, Profile, ProfileDelta, UserId,
-    WorkingDir,
+    EngineConfig, KnnEngine, KnnGraph, Measure, Neighbor, Profile, ProfileDelta, UserId, WorkingDir,
 };
 
 const USERS: usize = 800;
@@ -64,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mover = UserId::new(0);
     let old_cluster = labels[mover.index()];
     let new_cluster = (old_cluster + 1) % 4;
-    println!("user {mover} starts in cluster {old_cluster}; its taste will move to {new_cluster}\n");
+    println!(
+        "user {mover} starts in cluster {old_cluster}; its taste will move to {new_cluster}\n"
+    );
 
     let config = EngineConfig::builder(USERS)
         .k(K)
@@ -121,7 +122,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    deterministic spread of users (ids 1..=K hit every cluster
     //    under the modulo labeling), keep everyone else's lists.
     let mut warm = engine.graph().clone();
-    let spread: Vec<Neighbor> = (1..=K as u32).map(|u| Neighbor::unscored(UserId::new(u))).collect();
+    let spread: Vec<Neighbor> = (1..=K as u32)
+        .map(|u| Neighbor::unscored(UserId::new(u)))
+        .collect();
     warm.set_neighbors(mover, spread)?;
     let mut patched = profiles.clone();
     patched.set(mover, shifted_profile(new_cluster));

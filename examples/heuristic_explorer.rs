@@ -10,14 +10,21 @@
 //! ```
 
 use ooc_knn::core::traversal::{simulate_schedule_ops, Heuristic};
-use ooc_knn::{PiGraph, Table1Dataset};
 use ooc_knn::store::SlotCache;
+use ooc_knn::{PiGraph, Table1Dataset};
 use std::convert::Infallible;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small PI graph: hub partition 0, a triangle 1-2-3, self-pair 4.
     let mut pi = PiGraph::new(5);
-    for (i, j, w) in [(0, 1, 40), (0, 2, 10), (0, 3, 25), (1, 2, 5), (2, 3, 8), (4, 4, 12)] {
+    for (i, j, w) in [
+        (0, 1, 40),
+        (0, 2, 10),
+        (0, 3, 25),
+        (1, 2, 5),
+        (2, 3, 8),
+        (4, 4, 12),
+    ] {
         pi.add_bucket(i, j, w);
     }
     println!("PI graph: 5 partitions, pairs with tuple counts:");
@@ -25,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  (R{i} -> R{j}): {w} tuples");
     }
 
-    for h in [Heuristic::Sequential, Heuristic::DegreeLowHigh, Heuristic::GreedyChain] {
+    for h in [
+        Heuristic::Sequential,
+        Heuristic::DegreeLowHigh,
+        Heuristic::GreedyChain,
+    ] {
         println!("\n=== {h} — step-by-step with 2 slots");
         let schedule = h.schedule(&pi);
         let mut cache: SlotCache<()> = SlotCache::new(2);
@@ -70,7 +81,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Ok::<(), Infallible>(())
         })?;
         let c = cache.counters();
-        println!("  => {} loads + {} unloads = {} ops", c.loads, c.unloads, c.total_ops());
+        println!(
+            "  => {} loads + {} unloads = {} ops",
+            c.loads,
+            c.unloads,
+            c.total_ops()
+        );
     }
 
     // Full cost table on a real replica.

@@ -1,0 +1,103 @@
+//! Live service: answer top-K queries *while* the engine refines, and
+//! stream in a profile update that surfaces in a later snapshot.
+//!
+//! ```sh
+//! cargo run --release --example live_service
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ooc_knn::serve::{spawn, RefineOptions};
+use ooc_knn::sim::{ItemId, Profile, ProfileDelta};
+use ooc_knn::{EngineConfig, KnnEngine, UserId, WorkingDir, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1 500-user recommender workload and the usual batch engine.
+    let n = 1500;
+    let workload = WorkloadConfig::recommender().build(n, 11);
+    let config = EngineConfig::builder(n)
+        .k(8)
+        .num_partitions(8)
+        .measure(workload.measure)
+        .seed(11)
+        .build()?;
+    let engine = KnnEngine::new(config, workload.profiles, WorkingDir::temp("live_service")?)?;
+
+    // Hand the engine to the serving layer: refinement now runs on a
+    // background thread and every iteration is published atomically.
+    let options = RefineOptions {
+        convergence_threshold: Some(0.02),
+        max_iterations: Some(8),
+        idle_park: Duration::from_millis(5),
+    };
+    let (service, refine) = spawn(engine, options)?;
+
+    // 1. Query during the in-flight first iteration: epoch 0 serves
+    //    the random initial graph G(0) without waiting for phase work.
+    let me = UserId::new(0);
+    let first = service.neighbors(me)?;
+    println!(
+        "epoch {}: {} neighbors of {me} served mid-refinement",
+        service.snapshot().epoch(),
+        first.len()
+    );
+
+    // 2. Queue a live profile update: user 7 suddenly loves item 9999.
+    let mut fresh = Profile::new();
+    fresh.set(ItemId::new(9_999), 5.0);
+    service.submit_update(ProfileDelta::replace(UserId::new(7), fresh.clone()))?;
+
+    // 3. Keep querying while refinement publishes new generations.
+    let started = Instant::now();
+    let mut last_epoch = service.snapshot().epoch();
+    while started.elapsed() < Duration::from_secs(60) {
+        let snapshot = service.snapshot();
+        if snapshot.epoch() != last_epoch {
+            last_epoch = snapshot.epoch();
+            println!(
+                "epoch {}: iteration {} published (Δ = {:.2}%), top neighbor of {me}: {:?}",
+                snapshot.epoch(),
+                snapshot.iteration(),
+                snapshot.changed_fraction() * 100.0,
+                snapshot.neighbors(me)?.first().map(|nb| nb.id)
+            );
+        }
+        // The queued update becomes visible in a later snapshot's
+        // profile view — the paper's lazy phase-5 semantics, online.
+        if snapshot.profiles().get(UserId::new(7)) == &fresh {
+            println!(
+                "epoch {}: update to user 7 is now served (observed after {:?})",
+                snapshot.epoch(),
+                started.elapsed()
+            );
+            break;
+        }
+        refine.wait_for_epoch(last_epoch + 1, Duration::from_millis(250));
+    }
+
+    // 4. Ad-hoc query: a brand-new visitor profile, matched against
+    //    the current snapshot without belonging to the graph at all.
+    let visitor = service.snapshot().profiles().get(UserId::new(3)).clone();
+    let matches = service.query_profile(&visitor, 5);
+    println!(
+        "visitor query: {} matches, best {:?}",
+        matches.len(),
+        matches.first().map(|nb| nb.id)
+    );
+
+    let stats = service.stats();
+    println!(
+        "served {} neighbor queries, {} profile queries, {} updates ({} drained), final epoch {}",
+        stats.neighbor_queries,
+        stats.profile_queries,
+        stats.updates_submitted,
+        stats.updates_drained,
+        stats.snapshot_epoch
+    );
+
+    // 5. Stop serving and recover the engine for offline work.
+    let engine = refine.stop()?;
+    println!("stopped at iteration {}", engine.iteration());
+    engine.into_working_dir().destroy()?;
+    Ok(())
+}

@@ -90,10 +90,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut ranked: Vec<(u32, f64)> = scores.into_iter().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    println!("\ntop-5 recommendations for {target} (genre {}):", genres[0]);
+    println!(
+        "\ntop-5 recommendations for {target} (genre {}):",
+        genres[0]
+    );
     for (item, score) in ranked.iter().take(5) {
         let genre = *item / 300;
-        println!("  movie {} (genre {genre}, score {score:.2})", ItemId::new(*item));
+        println!(
+            "  movie {} (genre {genre}, score {score:.2})",
+            ItemId::new(*item)
+        );
     }
 
     engine.into_working_dir().destroy()?;

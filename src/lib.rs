@@ -14,6 +14,7 @@
 //! | [`sim`] | `knn-sim` | sparse profiles, similarity measures, workload generators |
 //! | [`store`] | `knn-store` | partition files, I/O accounting, disk models, the 2-slot cache |
 //! | [`core`] | `knn-core` | the five-phase engine (partitioning → tuples → PI graph → KNN → updates) |
+//! | [`serve`] | `knn-serve` | online query layer: snapshot swap, concurrent `KnnService`, background refinement |
 //! | [`baseline`] | `knn-baseline` | brute force, NN-Descent, naive out-of-core, recall |
 //! | [`datasets`] | `knn-datasets` | Table-1 dataset replicas and workload presets |
 //!
@@ -48,11 +49,41 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Serving queries while refining
+//!
+//! The batch engine above stops the world between iterations; the
+//! [`serve`] layer instead publishes every iteration as an immutable
+//! snapshot and answers top-K queries concurrently:
+//!
+//! ```
+//! use ooc_knn::{EngineConfig, KnnEngine, WorkingDir, WorkloadConfig};
+//! use ooc_knn::serve::{spawn, RefineOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = WorkloadConfig::recommender().build(200, 7);
+//! let config = EngineConfig::builder(200)
+//!     .k(6)
+//!     .num_partitions(4)
+//!     .measure(workload.measure)
+//!     .seed(7)
+//!     .build()?;
+//! let engine = KnnEngine::new(config, workload.profiles, WorkingDir::temp("facade_serve")?)?;
+//!
+//! let (service, refine) = spawn(engine, RefineOptions::default())?;
+//! let top = service.neighbors(knn_graph::UserId::new(42))?;
+//! assert!(!top.is_empty());
+//! let engine = refine.stop()?;
+//! engine.into_working_dir().destroy()?;
+//! # Ok(())
+//! # }
+//! ```
 
 pub use knn_baseline as baseline;
 pub use knn_core as core;
 pub use knn_datasets as datasets;
 pub use knn_graph as graph;
+pub use knn_serve as serve;
 pub use knn_sim as sim;
 pub use knn_store as store;
 
@@ -62,5 +93,6 @@ pub use knn_core::{
 };
 pub use knn_datasets::{Table1Dataset, Workload, WorkloadConfig};
 pub use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
+pub use knn_serve::{KnnService, RefineHandle, RefineOptions, ServeError, Snapshot};
 pub use knn_sim::{ItemId, Measure, Profile, ProfileDelta, ProfileStore, Similarity};
 pub use knn_store::{DiskModel, IoStats, WorkingDir};

@@ -11,7 +11,9 @@ use ooc_knn::{
 
 fn workload(n: usize, seed: u64) -> ProfileStore {
     let (store, _) = clustered_profiles(
-        ClusteredConfig::new(n, seed).with_clusters(5).with_ratings(15, 3),
+        ClusteredConfig::new(n, seed)
+            .with_clusters(5)
+            .with_ratings(15, 3),
     );
     store
 }
@@ -34,8 +36,7 @@ fn run_engine(
     .build()
     .expect("config");
     let wd = WorkingDir::temp("itest_engine").expect("workdir");
-    let mut engine =
-        KnnEngine::with_initial_graph(config, g0, profiles, wd).expect("engine");
+    let mut engine = KnnEngine::with_initial_graph(config, g0, profiles, wd).expect("engine");
     for _ in 0..iterations {
         engine.run_iteration().expect("iteration");
     }
@@ -124,10 +125,13 @@ fn all_measures_run_end_to_end() {
             .build()
             .expect("config");
         let wd = WorkingDir::temp("itest_measures").expect("workdir");
-        let mut engine =
-            KnnEngine::with_initial_graph(config, g0, profiles, wd).expect("engine");
+        let mut engine = KnnEngine::with_initial_graph(config, g0, profiles, wd).expect("engine");
         engine.run_iteration().expect("iteration");
-        assert_eq!(engine.graph(), &expected, "{measure} diverged from reference");
+        assert_eq!(
+            engine.graph(),
+            &expected,
+            "{measure} diverged from reference"
+        );
         engine.into_working_dir().destroy().expect("cleanup");
     }
 }

@@ -1,0 +1,96 @@
+//! Integration test mirroring `examples/live_service.rs`: the facade's
+//! serve layer answers queries mid-refinement, applies a streamed
+//! update, and hands the engine back intact.
+
+use std::time::{Duration, Instant};
+
+use ooc_knn::serve::{spawn, RefineOptions};
+use ooc_knn::sim::{ItemId, Profile, ProfileDelta};
+use ooc_knn::{EngineConfig, KnnEngine, UserId, WorkingDir, WorkloadConfig};
+
+#[test]
+fn live_service_round_trip() {
+    let n = 300;
+    let workload = WorkloadConfig::recommender().build(n, 11);
+    let config = EngineConfig::builder(n)
+        .k(6)
+        .num_partitions(4)
+        .measure(workload.measure)
+        .seed(11)
+        .build()
+        .expect("config");
+    let engine = KnnEngine::new(
+        config,
+        workload.profiles,
+        WorkingDir::temp("live_test").expect("wd"),
+    )
+    .expect("engine");
+
+    let (service, refine) = spawn(
+        engine,
+        RefineOptions {
+            convergence_threshold: Some(0.02),
+            max_iterations: Some(10),
+            idle_park: Duration::from_millis(1),
+        },
+    )
+    .expect("spawn");
+
+    // Served immediately, before any iteration completes: G(0).
+    let me = UserId::new(0);
+    assert_eq!(service.neighbors(me).expect("known user").len(), 6);
+
+    // Stream an update and let refinement surface it.
+    let mut fresh = Profile::new();
+    fresh.set(ItemId::new(9_999), 5.0);
+    service
+        .submit_update(ProfileDelta::replace(UserId::new(7), fresh.clone()))
+        .expect("valid update");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let snapshot = service.snapshot();
+        if snapshot.profiles().get(UserId::new(7)) == &fresh {
+            assert!(
+                snapshot.epoch() > 0,
+                "update cannot be in the initial snapshot"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "update never surfaced in a snapshot"
+        );
+        refine.wait_for_epoch(snapshot.epoch() + 1, Duration::from_secs(120));
+    }
+
+    // Queries keep answering from consistent snapshots meanwhile.
+    let lists = service
+        .neighbors_many(&[UserId::new(1), UserId::new(2), UserId::new(3)])
+        .expect("known users");
+    assert!(lists.iter().all(|l| l.len() == 6));
+    assert!(
+        service.neighbors(UserId::new(300)).is_err(),
+        "out of range must fail"
+    );
+
+    let ad_hoc = service.query_profile(service.snapshot().profiles().get(me), 4);
+    assert_eq!(ad_hoc.len(), 4);
+    assert_eq!(
+        ad_hoc[0].id, me,
+        "a user's own profile matches itself first"
+    );
+
+    // Recover the engine: its state matches the final snapshot.
+    let final_snapshot = service.snapshot();
+    let engine = refine.stop().expect("stop");
+    assert!(engine.iteration() >= final_snapshot.iteration());
+    assert_eq!(
+        engine
+            .export_profiles()
+            .expect("export")
+            .get(UserId::new(7)),
+        &fresh
+    );
+    engine.into_working_dir().destroy().expect("cleanup");
+}

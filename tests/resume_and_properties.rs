@@ -4,14 +4,16 @@
 use ooc_knn::core::reference::reference_run;
 use ooc_knn::sim::generators::{clustered_profiles, ClusteredConfig};
 use ooc_knn::{
-    EngineConfig, EngineError, ItemId, KnnEngine, KnnGraph, Measure, ProfileDelta,
-    ProfileStore, UserId, WorkingDir,
+    EngineConfig, EngineError, ItemId, KnnEngine, KnnGraph, Measure, ProfileDelta, ProfileStore,
+    UserId, WorkingDir,
 };
 use proptest::prelude::*;
 
 fn workload(n: usize, seed: u64) -> ProfileStore {
     let (store, _) = clustered_profiles(
-        ClusteredConfig::new(n, seed).with_clusters(4).with_ratings(10, 2),
+        ClusteredConfig::new(n, seed)
+            .with_clusters(4)
+            .with_ratings(10, 2),
     );
     store
 }
@@ -31,16 +33,14 @@ fn resume_continues_exactly_where_the_run_stopped() {
     let n = 70;
     let profiles = workload(n, 2);
     let g0 = KnnGraph::random_init(n, 4, 2);
-    let expected =
-        reference_run(&g0, &profiles, &Measure::Cosine, 4, false, 3);
+    let expected = reference_run(&g0, &profiles, &Measure::Cosine, 4, false, 3);
 
     // Run 2 iterations, drop the engine (process "crash"), resume,
     // run the third.
     let cfg = config(n, 4, 5, 2);
     let wd = WorkingDir::temp("resume_basic").unwrap();
     let root = wd.root().to_path_buf();
-    let mut engine =
-        KnnEngine::with_initial_graph(cfg.clone(), g0, profiles, wd).unwrap();
+    let mut engine = KnnEngine::with_initial_graph(cfg.clone(), g0, profiles, wd).unwrap();
     engine.run_iteration().unwrap();
     engine.run_iteration().unwrap();
     let before = engine.graph().clone();
@@ -72,9 +72,15 @@ fn resume_preserves_pending_updates() {
     let wd = WorkingDir::create(&root).unwrap();
     let mut resumed = KnnEngine::resume(cfg, wd).unwrap();
     let report = resumed.run_iteration().unwrap();
-    assert_eq!(report.updates_applied, 1, "queued update must survive the crash");
     assert_eq!(
-        resumed.profile_of(UserId::new(5)).unwrap().get(ItemId::new(777)),
+        report.updates_applied, 1,
+        "queued update must survive the crash"
+    );
+    assert_eq!(
+        resumed
+            .profile_of(UserId::new(5))
+            .unwrap()
+            .get(ItemId::new(777)),
         Some(3.0)
     );
     resumed.into_working_dir().destroy().unwrap();

@@ -15,7 +15,9 @@ use std::sync::Arc;
 
 fn workload(n: usize, seed: u64) -> ProfileStore {
     let (store, _) = clustered_profiles(
-        ClusteredConfig::new(n, seed).with_clusters(4).with_ratings(12, 2),
+        ClusteredConfig::new(n, seed)
+            .with_clusters(4)
+            .with_ratings(12, 2),
     );
     store
 }
@@ -29,10 +31,12 @@ fn queued_updates_take_effect_exactly_one_iteration_later() {
     // Expected trajectory computed in memory: iteration 0 sees the
     // original profiles; iterations 1+ see the patched ones.
     let mut patched = profiles.clone();
-    patched.set(UserId::new(3), Profile::from_unsorted_pairs(vec![(5000, 4.0)]).unwrap());
+    patched.set(
+        UserId::new(3),
+        Profile::from_unsorted_pairs(vec![(5000, 4.0)]).unwrap(),
+    );
     let expected_iter0 = reference_iteration(&g0, &profiles, &Measure::Cosine, 4, false);
-    let expected_iter1 =
-        reference_iteration(&expected_iter0, &patched, &Measure::Cosine, 4, false);
+    let expected_iter1 = reference_iteration(&expected_iter0, &patched, &Measure::Cosine, 4, false);
 
     let config = EngineConfig::builder(n)
         .k(4)
@@ -52,7 +56,11 @@ fn queued_updates_take_effect_exactly_one_iteration_later() {
     engine.run_iteration().unwrap();
     assert_eq!(engine.graph(), &expected_iter0, "update visible too early");
     engine.run_iteration().unwrap();
-    assert_eq!(engine.graph(), &expected_iter1, "update not applied after boundary");
+    assert_eq!(
+        engine.graph(),
+        &expected_iter1,
+        "update not applied after boundary"
+    );
     engine.into_working_dir().destroy().unwrap();
 }
 
@@ -69,12 +77,23 @@ fn update_stream_across_iterations_applies_in_order() {
     let wd = WorkingDir::temp("itest_update_stream").unwrap();
     let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
     let u = UserId::new(7);
-    engine.queue_update(&ProfileDelta::set(u, ItemId::new(42), 1.0)).unwrap();
-    engine.queue_update(&ProfileDelta::set(u, ItemId::new(42), 2.0)).unwrap();
+    engine
+        .queue_update(&ProfileDelta::set(u, ItemId::new(42), 1.0))
+        .unwrap();
+    engine
+        .queue_update(&ProfileDelta::set(u, ItemId::new(42), 2.0))
+        .unwrap();
     engine.run_iteration().unwrap();
-    assert_eq!(engine.profile_of(u).unwrap().get(ItemId::new(42)), Some(2.0));
-    engine.queue_update(&ProfileDelta::remove(u, ItemId::new(42))).unwrap();
-    engine.queue_update(&ProfileDelta::new(u, DeltaOp::Set(ItemId::new(43), 9.0))).unwrap();
+    assert_eq!(
+        engine.profile_of(u).unwrap().get(ItemId::new(42)),
+        Some(2.0)
+    );
+    engine
+        .queue_update(&ProfileDelta::remove(u, ItemId::new(42)))
+        .unwrap();
+    engine
+        .queue_update(&ProfileDelta::new(u, DeltaOp::Set(ItemId::new(43), 9.0)))
+        .unwrap();
     engine.run_iteration().unwrap();
     let p = engine.profile_of(u).unwrap();
     assert_eq!(p.get(ItemId::new(42)), None);
@@ -86,7 +105,12 @@ fn update_stream_across_iterations_applies_in_order() {
 fn invalid_updates_are_rejected_without_corrupting_the_queue() {
     let n = 20;
     let profiles = workload(n, 3);
-    let config = EngineConfig::builder(n).k(3).num_partitions(2).seed(3).build().unwrap();
+    let config = EngineConfig::builder(n)
+        .k(3)
+        .num_partitions(2)
+        .seed(3)
+        .build()
+        .unwrap();
     let wd = WorkingDir::temp("itest_bad_updates").unwrap();
     let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
     assert!(matches!(
@@ -132,16 +156,9 @@ fn naive_baseline_same_answer_far_more_io() {
     let wd = WorkingDir::temp("itest_naive").unwrap();
     let stats = Arc::new(ooc_knn::IoStats::new());
     reshard_profiles(&wd, None, &partitioning, Some(&profiles), &stats).unwrap();
-    let naive = naive_out_of_core_iteration(
-        &g0,
-        &partitioning,
-        &wd,
-        &stats,
-        &Measure::Cosine,
-        4,
-        2,
-    )
-    .unwrap();
+    let naive =
+        naive_out_of_core_iteration(&g0, &partitioning, &wd, &stats, &Measure::Cosine, 4, 2)
+            .unwrap();
     assert_eq!(naive.graph, engine_graph, "both paths must agree on G(t+1)");
     assert!(
         naive.cache.total_ops() > 3 * engine_ops,
@@ -155,7 +172,12 @@ fn naive_baseline_same_answer_far_more_io() {
 fn corrupt_partition_file_surfaces_a_typed_error() {
     let n = 30;
     let profiles = workload(n, 5);
-    let config = EngineConfig::builder(n).k(3).num_partitions(3).seed(5).build().unwrap();
+    let config = EngineConfig::builder(n)
+        .k(3)
+        .num_partitions(3)
+        .seed(5)
+        .build()
+        .unwrap();
     let wd = WorkingDir::temp("itest_corrupt").unwrap();
     let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
     engine.run_iteration().unwrap();
