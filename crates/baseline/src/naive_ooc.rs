@@ -18,8 +18,8 @@ use knn_core::phase2::reference_tuple_set;
 use knn_core::topk::TopKAccumulator;
 use knn_graph::{KnnGraph, Neighbor, UserId};
 use knn_sim::{Profile, Similarity};
-use knn_store::record_file::read_user_lists;
-use knn_store::{CacheCounters, IoStats, RecordKind, SlotCache, StoreError, WorkingDir};
+use knn_store::backend::read_user_lists;
+use knn_store::{CacheCounters, SlotCache, StorageBackend, StoreError, StreamId};
 
 use knn_core::EngineError;
 
@@ -35,25 +35,24 @@ pub struct NaiveOocOutput {
     pub sims_computed: u64,
 }
 
-/// Runs one random-access KNN iteration over partitioned profile files
-/// (the same on-disk layout the engine uses; see
+/// Runs one random-access KNN iteration over partitioned profile
+/// streams (the same storage layout the engine uses; see
 /// [`knn_core::phase1::reshard_profiles`]).
 ///
 /// # Errors
 ///
-/// Returns [`EngineError::Store`] on I/O failures or corrupt files.
+/// Returns [`EngineError::Store`] on I/O failures or corrupt streams.
 pub fn naive_out_of_core_iteration<M: Similarity>(
     graph: &KnnGraph,
     partitioning: &Partitioning,
-    workdir: &WorkingDir,
-    stats: &Arc<IoStats>,
+    backend: &dyn StorageBackend,
     measure: &M,
     k: usize,
     cache_slots: usize,
 ) -> Result<NaiveOocOutput, EngineError> {
     let n = graph.num_vertices();
     let mut cache: SlotCache<HashMap<u32, Profile>> =
-        SlotCache::new(cache_slots).with_io_stats(Arc::clone(stats));
+        SlotCache::new(cache_slots).with_io_stats(Arc::clone(backend.stats()));
     let mut sims_computed = 0u64;
 
     // The same candidate tuples the engine scores, but consumed in
@@ -62,12 +61,12 @@ pub fn naive_out_of_core_iteration<M: Similarity>(
     tuples.sort_unstable();
 
     let load = |p: u32| -> Result<HashMap<u32, Profile>, EngineError> {
-        let rows = read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
+        let rows = read_user_lists(backend, StreamId::Profiles(p))?;
         let mut map = HashMap::with_capacity(rows.len());
         for (user, row) in rows {
             let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
                 EngineError::Store(StoreError::corrupt(
-                    workdir.profiles_path(p),
+                    backend.describe(StreamId::Profiles(p)),
                     format!("invalid profile for user {user}: {e}"),
                 ))
             })?;
@@ -115,13 +114,7 @@ mod tests {
         n: usize,
         m: usize,
         seed: u64,
-    ) -> (
-        KnnGraph,
-        ProfileStore,
-        Partitioning,
-        WorkingDir,
-        Arc<IoStats>,
-    ) {
+    ) -> (KnnGraph, ProfileStore, Partitioning, knn_store::MemBackend) {
         let (profiles, _) = clustered_profiles(
             ClusteredConfig::new(n, seed)
                 .with_clusters(4)
@@ -130,25 +123,23 @@ mod tests {
         let g = KnnGraph::random_init(n, 4, seed);
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
-        let wd = WorkingDir::temp("naive_ooc").unwrap();
-        let stats = Arc::new(IoStats::new());
-        reshard_profiles(&wd, None, &p, Some(&profiles), &stats).unwrap();
-        (g, profiles, p, wd, stats)
+        let b = knn_store::MemBackend::new();
+        reshard_profiles(&b, None, &p, Some(&profiles)).unwrap();
+        (g, profiles, p, b)
     }
 
     #[test]
     fn matches_the_reference_iteration() {
-        let (g, profiles, p, wd, stats) = world(40, 5, 3);
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
+        let (g, profiles, p, b) = world(40, 5, 3);
+        let out = naive_out_of_core_iteration(&g, &p, &b, &Measure::Cosine, 4, 2).unwrap();
         let expected = reference_iteration(&g, &profiles, &Measure::Cosine, 4, false);
         assert_eq!(out.graph, expected);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn pays_far_more_partition_ops_than_locality_planning_would() {
-        let (g, _, p, wd, stats) = world(60, 6, 7);
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
+        let (g, _, p, b) = world(60, 6, 7);
+        let out = naive_out_of_core_iteration(&g, &p, &b, &Measure::Cosine, 4, 2).unwrap();
         // The PI schedule touches each pair once: at most
         // 2 * (m*(m+1)/2) loads. Random access does much worse.
         let m = 6u64;
@@ -159,24 +150,21 @@ mod tests {
             out.cache.total_ops(),
             planned_upper
         );
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn single_partition_needs_exactly_one_load() {
-        let (g, _, _, wd, stats) = world(20, 1, 1);
+        let (g, _, _, b) = world(20, 1, 1);
         let p = Partitioning::from_assignment(vec![0; 20], 1).unwrap();
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
+        let out = naive_out_of_core_iteration(&g, &p, &b, &Measure::Cosine, 4, 2).unwrap();
         assert_eq!(out.cache.loads, 1);
         assert_eq!(out.cache.unloads, 1);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn sims_match_tuple_count() {
-        let (g, _, p, wd, stats) = world(30, 3, 9);
-        let out = naive_out_of_core_iteration(&g, &p, &wd, &stats, &Measure::Cosine, 4, 2).unwrap();
+        let (g, _, p, b) = world(30, 3, 9);
+        let out = naive_out_of_core_iteration(&g, &p, &b, &Measure::Cosine, 4, 2).unwrap();
         assert_eq!(out.sims_computed as usize, reference_tuple_set(&g).len());
-        wd.destroy().unwrap();
     }
 }

@@ -1,0 +1,177 @@
+//! **Experiment S2 — storage backend comparison.**
+//!
+//! Runs identical engine workloads on `DiskBackend` and `MemBackend`
+//! across several user counts and reports per-iteration wall time plus
+//! the backend-metered `IoStats`. The two engines are seeded
+//! identically, so their graphs are equal by construction (asserted) —
+//! the experiment isolates pure storage cost. The headline number is
+//! the in-RAM speedup the `StorageBackend` seam buys when the profile
+//! set fits in memory.
+//!
+//! Emits one JSON document on stdout (for the BENCH trajectory,
+//! committed as `BENCH_backends.json`) and a human-readable table on
+//! stderr.
+//!
+//! Usage: `backends [--sizes LIST] [--k N] [--partitions N] [--seed N]
+//! [--iters N]` (LIST comma-separated, default `1000,10000,50000`)
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use knn_bench::{opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_store::{DiskBackend, MemBackend, StorageBackend};
+
+struct Run {
+    users: usize,
+    backend: &'static str,
+    iter_ms: Vec<f64>,
+    bytes_read: u64,
+    bytes_written: u64,
+    read_ops: u64,
+    write_ops: u64,
+    /// Checksum of the final graph (edge count) so backend equality is
+    /// visible in the artifact.
+    edges: usize,
+}
+
+fn build_engine(
+    n: usize,
+    k: usize,
+    m: usize,
+    seed: u64,
+    backend: Arc<dyn StorageBackend>,
+) -> KnnEngine {
+    let workload = WorkloadConfig::recommender().build(n, seed);
+    let config = EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(m)
+        .measure(workload.measure)
+        .seed(seed)
+        .build()
+        .expect("config");
+    let engine =
+        KnnEngine::new_on(config, workload.profiles, Arc::clone(&backend)).expect("engine");
+    backend.stats().reset(); // measure the iteration loop, not setup
+    engine
+}
+
+fn finish(n: usize, engine: &KnnEngine, iter_ms: Vec<f64>) -> Run {
+    let io = engine.io_snapshot();
+    Run {
+        users: n,
+        backend: engine.backend().name(),
+        iter_ms,
+        bytes_read: io.bytes_read,
+        bytes_written: io.bytes_written,
+        read_ops: io.read_ops,
+        write_ops: io.write_ops,
+        edges: engine.graph().num_edges(),
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes_arg: String = opt_or(&args, "sizes", "1000,10000,50000".to_string());
+    let sizes: Vec<usize> = sizes_arg
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("--sizes takes comma-separated counts")
+        })
+        .collect();
+    let k: usize = opt_or(&args, "k", 8);
+    let m: usize = opt_or(&args, "partitions", 8);
+    let seed: u64 = opt_or(&args, "seed", 42);
+    let iters: usize = opt_or(&args, "iters", 3);
+
+    eprintln!("S2 storage backends: sizes={sizes:?}, K={k}, m={m}, seed={seed}, iters={iters}");
+
+    let started = Instant::now();
+    let mut runs = Vec::new();
+    for &n in &sizes {
+        let disk = DiskBackend::temp("bench_backends").expect("disk backend");
+        let wd = disk.working_dir().expect("disk").clone();
+        let mut disk_engine = build_engine(n, k, m, seed, Arc::new(disk));
+        let mut mem_engine = build_engine(n, k, m, seed, Arc::new(MemBackend::new()));
+        // Interleave the two engines' iterations so machine drift
+        // (thermal, cache, allocator state) hits both alike.
+        let mut disk_ms = Vec::with_capacity(iters);
+        let mut mem_ms = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            disk_engine.run_iteration().expect("disk iteration");
+            disk_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            let t0 = Instant::now();
+            mem_engine.run_iteration().expect("mem iteration");
+            mem_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                disk_engine.graph(),
+                mem_engine.graph(),
+                "backends must agree after every iteration"
+            );
+        }
+        runs.push(finish(n, &disk_engine, disk_ms));
+        runs.push(finish(n, &mem_engine, mem_ms));
+        drop(disk_engine);
+        wd.destroy().expect("cleanup");
+    }
+
+    let mut table = TextTable::new(&[
+        "users",
+        "backend",
+        "mean iter ms",
+        "MB read",
+        "MB written",
+        "speedup",
+    ]);
+    for pair in runs.chunks(2) {
+        let (disk, mem) = (&pair[0], &pair[1]);
+        for r in pair {
+            table.row(&[
+                r.users.to_string(),
+                r.backend.to_string(),
+                format!("{:.1}", mean(&r.iter_ms)),
+                format!("{:.1}", r.bytes_read as f64 / 1e6),
+                format!("{:.1}", r.bytes_written as f64 / 1e6),
+                if std::ptr::eq(r, mem) {
+                    format!("{:.2}x", mean(&disk.iter_ms) / mean(&mem.iter_ms))
+                } else {
+                    "1.00x".to_string()
+                },
+            ]);
+        }
+    }
+    eprintln!("{}", table.render());
+
+    // The BENCH-trajectory JSON document.
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            let iters_json: Vec<String> = r.iter_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+            format!(
+                r#"{{"users":{},"backend":"{}","iter_ms":[{}],"mean_iter_ms":{:.2},"bytes_read":{},"bytes_written":{},"read_ops":{},"write_ops":{},"edges":{}}}"#,
+                r.users,
+                r.backend,
+                iters_json.join(","),
+                mean(&r.iter_ms),
+                r.bytes_read,
+                r.bytes_written,
+                r.read_ops,
+                r.write_ops,
+                r.edges
+            )
+        })
+        .collect();
+    println!(
+        r#"{{"bench":"backends","k":{k},"partitions":{m},"seed":{seed},"iters":{iters},"wall_s":{:.2},"results":[{}]}}"#,
+        started.elapsed().as_secs_f64(),
+        rows.join(",")
+    );
+}

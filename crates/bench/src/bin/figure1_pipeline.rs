@@ -97,7 +97,11 @@ fn main() {
         println!();
     }
 
-    let disk = engine.working_dir().disk_usage().expect("disk usage");
+    let disk = engine
+        .working_dir()
+        .expect("disk-backed")
+        .disk_usage()
+        .expect("disk usage");
     println!("on-disk working set: {}", fmt_bytes(disk));
     println!("total engine I/O:   {}", engine.io_snapshot());
     engine.into_working_dir().destroy().expect("cleanup");

@@ -5,11 +5,11 @@ use std::time::Instant;
 
 use knn_graph::{KnnGraph, Neighbor, UserId};
 use knn_sim::{Profile, ProfileDelta, ProfileStore};
-use knn_store::record_file::{
+use knn_store::backend::{
     read_meta, read_pairs, read_scored_pairs, read_user_lists, write_meta, write_pairs,
     write_scored_pairs,
 };
-use knn_store::{IoSnapshot, IoStats, RecordKind, WorkingDir};
+use knn_store::{DiskBackend, IoSnapshot, MemBackend, StorageBackend, StreamId, WorkingDir};
 
 use crate::config::EngineConfig;
 use crate::metrics::{ConvergenceOutcome, IterationReport};
@@ -21,25 +21,26 @@ use crate::phase5::UpdateQueue;
 use crate::traversal::simulate_schedule_ops;
 use crate::EngineError;
 
-// Metadata keys of `meta.bin`.
+// Metadata keys of the `Meta` stream.
 const META_ITERATION: u32 = 1;
 const META_NUM_USERS: u32 = 2;
 const META_K: u32 = 3;
 const META_NUM_PARTITIONS: u32 = 4;
 const META_SEED: u32 = 5;
 
-/// The out-of-core KNN engine: owns the working directory, the current
+/// The out-of-core KNN engine: owns a [`StorageBackend`], the current
 /// KNN graph `G(t)`, and the update queue, and executes the five-phase
 /// iteration loop.
 ///
-/// Memory footprint: `G(t)` (`n × K` scored edges) plus at most
-/// `cache_slots` partitions of profile/accumulator state — the profile
-/// set itself lives on disk, exactly as in the paper. See the crate
-/// docs for a full example.
+/// Memory footprint with a [`DiskBackend`]: `G(t)` (`n × K` scored
+/// edges) plus at most `cache_slots` partitions of profile/accumulator
+/// state — the profile set itself lives on disk, exactly as in the
+/// paper. With a [`MemBackend`] the same loop runs against RAM-resident
+/// byte buffers: identical results, no filesystem in the hot path. See
+/// the crate docs for a full example.
 pub struct KnnEngine {
     config: EngineConfig,
-    workdir: WorkingDir,
-    stats: Arc<IoStats>,
+    backend: Arc<dyn StorageBackend>,
     graph: KnnGraph,
     partitioning: Partitioning,
     queue: UpdateQueue,
@@ -54,19 +55,20 @@ impl std::fmt::Debug for KnnEngine {
             .field("num_users", &self.config.num_users())
             .field("k", &self.config.k())
             .field("num_partitions", &self.config.num_partitions())
-            .field("workdir", &self.workdir.root())
+            .field("backend", &self.backend.name())
             .finish()
     }
 }
 
 impl KnnEngine {
-    /// Creates an engine with the random initial graph `G(0)`
-    /// (NN-Descent-style: `K` random neighbors per user, derived from
-    /// `config.seed()`).
+    /// Creates a disk-backed engine with the random initial graph
+    /// `G(0)` (NN-Descent-style: `K` random neighbors per user, derived
+    /// from `config.seed()`).
     ///
-    /// `profiles` is consumed: it is sharded into per-partition files
-    /// under `workdir` and dropped — from here on the profile set lives
-    /// on disk.
+    /// `profiles` is consumed: it is sharded into per-partition streams
+    /// of the backend and dropped — from here on the profile set lives
+    /// in storage. Convenience for
+    /// [`new_on`](KnnEngine::new_on)`(config, profiles, DiskBackend::new(workdir))`.
     ///
     /// # Errors
     ///
@@ -77,12 +79,38 @@ impl KnnEngine {
         profiles: ProfileStore,
         workdir: WorkingDir,
     ) -> Result<Self, EngineError> {
-        let initial = KnnGraph::random_init(config.num_users(), config.k(), config.seed());
-        Self::with_initial_graph(config, initial, profiles, workdir)
+        Self::new_on(config, profiles, Arc::new(DiskBackend::new(workdir)))
     }
 
-    /// Creates an engine from an explicit initial graph (e.g. a warm
-    /// start from a previous run).
+    /// Creates an engine on an arbitrary storage backend with the
+    /// random initial graph `G(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnEngine::new`].
+    pub fn new_on(
+        config: EngineConfig,
+        profiles: ProfileStore,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self, EngineError> {
+        let initial = KnnGraph::random_init(config.num_users(), config.k(), config.seed());
+        Self::with_initial_graph_on(config, initial, profiles, backend)
+    }
+
+    /// Creates a fully in-memory engine ([`MemBackend`]) with the
+    /// random initial graph `G(0)` — the fast path when the profile
+    /// set fits in RAM. Same algorithm, same codec, same results as
+    /// the disk engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnEngine::new`].
+    pub fn in_memory(config: EngineConfig, profiles: ProfileStore) -> Result<Self, EngineError> {
+        Self::new_on(config, profiles, Arc::new(MemBackend::new()))
+    }
+
+    /// Creates a disk-backed engine from an explicit initial graph
+    /// (e.g. a warm start from a previous run).
     ///
     /// # Errors
     ///
@@ -93,6 +121,21 @@ impl KnnEngine {
         graph: KnnGraph,
         profiles: ProfileStore,
         workdir: WorkingDir,
+    ) -> Result<Self, EngineError> {
+        Self::with_initial_graph_on(config, graph, profiles, Arc::new(DiskBackend::new(workdir)))
+    }
+
+    /// Creates an engine from an explicit initial graph on an
+    /// arbitrary storage backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnEngine::with_initial_graph`].
+    pub fn with_initial_graph_on(
+        config: EngineConfig,
+        graph: KnnGraph,
+        profiles: ProfileStore,
+        backend: Arc<dyn StorageBackend>,
     ) -> Result<Self, EngineError> {
         if graph.num_vertices() != config.num_users() {
             return Err(EngineError::input(format!(
@@ -115,17 +158,15 @@ impl KnnEngine {
                 config.num_users()
             )));
         }
-        let stats = Arc::new(IoStats::new());
-        // Initial on-disk layout: partition G(0) with the configured
+        // Initial layout: partition G(0) with the configured
         // partitioner and shard the profiles accordingly.
         let partitioner = config.partitioner().instantiate(config.seed());
         let partitioning = partitioner.partition(&graph.to_digraph(), config.num_partitions())?;
-        phase1::reshard_profiles(&workdir, None, &partitioning, Some(&profiles), &stats)?;
-        let queue = UpdateQueue::open(&workdir, config.num_users())?;
+        phase1::reshard_profiles(backend.as_ref(), None, &partitioning, Some(&profiles))?;
+        let queue = UpdateQueue::new(config.num_users());
         let engine = KnnEngine {
             config,
-            workdir,
-            stats,
+            backend,
             graph,
             partitioning,
             queue,
@@ -136,27 +177,41 @@ impl KnnEngine {
         Ok(engine)
     }
 
-    /// Reopens an engine from a working directory previously populated
-    /// by [`KnnEngine::new`] / [`KnnEngine::with_initial_graph`]: the
-    /// persisted KNN graph, partition assignment, profiles, and any
-    /// still-queued updates are all recovered from disk, and the
-    /// iteration counter continues where the previous process stopped.
+    /// Reopens a disk-backed engine from a working directory previously
+    /// populated by [`KnnEngine::new`] / [`KnnEngine::with_initial_graph`]
+    /// — including directories written before the [`StorageBackend`]
+    /// abstraction existed (the disk format is unchanged).
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::InputMismatch`] if the on-disk metadata
-    /// disagrees with `config` (different `n`, `K`, `m`, or seed), and
-    /// storage errors for missing or corrupt state files.
+    /// Same as [`KnnEngine::resume_on`].
     pub fn resume(config: EngineConfig, workdir: WorkingDir) -> Result<Self, EngineError> {
-        let stats = Arc::new(IoStats::new());
-        let meta: std::collections::HashMap<u32, u64> = read_meta(&workdir.meta_path(), &stats)?
-            .into_iter()
-            .collect();
+        Self::resume_on(config, Arc::new(DiskBackend::new(workdir)))
+    }
+
+    /// Reopens an engine from a backend previously populated by one of
+    /// the constructors: the persisted KNN graph, partition assignment,
+    /// profiles, and any still-queued updates are all recovered, and
+    /// the iteration counter continues where the previous run stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputMismatch`] if the stored metadata
+    /// disagrees with `config` (different `n`, `K`, `m`, or seed) or a
+    /// stored KNN slice is inconsistent (a user listed twice, or more
+    /// than `K` neighbors for one user), and storage errors for missing
+    /// or corrupt state streams.
+    pub fn resume_on(
+        config: EngineConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self, EngineError> {
+        let meta: std::collections::HashMap<u32, u64> =
+            read_meta(backend.as_ref())?.into_iter().collect();
         let expect = |key: u32, name: &str, want: u64| -> Result<(), EngineError> {
             match meta.get(&key) {
                 Some(&found) if found == want => Ok(()),
                 Some(&found) => Err(EngineError::input(format!(
-                    "on-disk {name} is {found}, config says {want}"
+                    "stored {name} is {found}, config says {want}"
                 ))),
                 None => Err(EngineError::input(format!("metadata missing {name}"))),
             }
@@ -173,8 +228,7 @@ impl KnnEngine {
             .get(&META_ITERATION)
             .ok_or_else(|| EngineError::input("metadata missing iteration"))?;
 
-        let assignment_rows =
-            read_pairs(&workdir.assignment_path(), RecordKind::Assignment, &stats)?;
+        let assignment_rows = read_pairs(backend.as_ref(), StreamId::Assignment)?;
         let mut assignment = vec![0u32; config.num_users()];
         if assignment_rows.len() != config.num_users() {
             return Err(EngineError::input(format!(
@@ -191,9 +245,36 @@ impl KnnEngine {
         }
         let partitioning = Partitioning::from_assignment(assignment, config.num_partitions())?;
 
+        // Rebuild G(t) from the per-partition KNN slices. Slice rows
+        // are untrusted input: a user may appear in at most one run of
+        // rows across ALL slices, with at most K neighbors — anything
+        // else is a corrupt or tampered slice, rejected loudly rather
+        // than silently merged.
         let mut graph = KnnGraph::new(config.num_users(), config.k());
+        let mut seen = vec![false; config.num_users()];
+        let mut install = |p: u32, user: u32, list: Vec<Neighbor>| -> Result<(), EngineError> {
+            let claimed = seen.get_mut(user as usize).ok_or_else(|| {
+                EngineError::input(format!(
+                    "KNN slice of partition {p} names unknown user {user}"
+                ))
+            })?;
+            if std::mem::replace(claimed, true) {
+                return Err(EngineError::input(format!(
+                    "KNN slice of partition {p} names user {user} twice"
+                )));
+            }
+            if list.len() > config.k() {
+                return Err(EngineError::input(format!(
+                    "KNN slice of partition {p} carries {} neighbors for user {user}, K={}",
+                    list.len(),
+                    config.k()
+                )));
+            }
+            graph.set_neighbors(UserId::new(user), list)?;
+            Ok(())
+        };
         for p in 0..config.num_partitions() as u32 {
-            let rows = read_scored_pairs(&workdir.knn_path(p), &stats)?;
+            let rows = read_scored_pairs(backend.as_ref(), StreamId::KnnSlice(p))?;
             let mut current: Option<(u32, Vec<Neighbor>)> = None;
             for (s, d, sim) in rows {
                 match &mut current {
@@ -205,7 +286,7 @@ impl KnnEngine {
                     }
                     _ => {
                         if let Some((user, list)) = current.take() {
-                            graph.set_neighbors(UserId::new(user), list)?;
+                            install(p, user, list)?;
                         }
                         current = Some((
                             s,
@@ -218,15 +299,14 @@ impl KnnEngine {
                 }
             }
             if let Some((user, list)) = current {
-                graph.set_neighbors(UserId::new(user), list)?;
+                install(p, user, list)?;
             }
         }
 
-        let queue = UpdateQueue::open(&workdir, config.num_users())?;
+        let queue = UpdateQueue::new(config.num_users());
         Ok(KnnEngine {
             config,
-            workdir,
-            stats,
+            backend,
             graph,
             partitioning,
             queue,
@@ -238,8 +318,9 @@ impl KnnEngine {
     /// Writes the resumable state: metadata, the partition assignment,
     /// and the current KNN graph sliced per partition.
     fn persist_state(&self) -> Result<(), EngineError> {
+        let backend = self.backend.as_ref();
         write_meta(
-            &self.workdir.meta_path(),
+            backend,
             &[
                 (META_ITERATION, self.iteration),
                 (META_NUM_USERS, self.config.num_users() as u64),
@@ -247,7 +328,6 @@ impl KnnEngine {
                 (META_NUM_PARTITIONS, self.config.num_partitions() as u64),
                 (META_SEED, self.config.seed()),
             ],
-            &self.stats,
         )?;
         let assignment_rows: Vec<(u32, u32)> = self
             .partitioning
@@ -256,12 +336,7 @@ impl KnnEngine {
             .enumerate()
             .map(|(u, &p)| (u as u32, p))
             .collect();
-        write_pairs(
-            &self.workdir.assignment_path(),
-            RecordKind::Assignment,
-            &assignment_rows,
-            &self.stats,
-        )?;
+        write_pairs(backend, StreamId::Assignment, &assignment_rows)?;
         for p in 0..self.partitioning.num_partitions() as u32 {
             let mut rows: Vec<(u32, u32, f32)> = Vec::new();
             for &user in self.partitioning.users_of(p) {
@@ -269,7 +344,7 @@ impl KnnEngine {
                     rows.push((user.raw(), nb.id.raw(), nb.sim));
                 }
             }
-            write_scored_pairs(&self.workdir.knn_path(p), &rows, &self.stats)?;
+            write_scored_pairs(backend, StreamId::KnnSlice(p), &rows)?;
         }
         Ok(())
     }
@@ -299,20 +374,35 @@ impl KnnEngine {
         &self.reports
     }
 
-    /// Cumulative I/O counters.
+    /// Cumulative I/O counters (metered inside the storage backend).
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.stats.snapshot()
+        self.backend.stats().snapshot()
     }
 
-    /// The working directory.
-    pub fn working_dir(&self) -> &WorkingDir {
-        &self.workdir
+    /// The storage backend this engine runs on.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// The working directory, when the engine is disk-backed; `None`
+    /// for in-memory (and future non-directory) backends.
+    pub fn working_dir(&self) -> Option<&WorkingDir> {
+        self.backend.working_dir()
     }
 
     /// Consumes the engine, returning its working directory (for
     /// cleanup or inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not disk-backed — use
+    /// [`working_dir`](KnnEngine::working_dir) /
+    /// [`backend`](KnnEngine::backend) for backend-agnostic access.
     pub fn into_working_dir(self) -> WorkingDir {
-        self.workdir
+        self.backend
+            .working_dir()
+            .expect("into_working_dir on a non-disk backend")
+            .clone()
     }
 
     /// Queues a profile update; it becomes visible in `P(t+1)` after
@@ -323,44 +413,40 @@ impl KnnEngine {
     /// Returns [`EngineError::InvalidUpdate`] for out-of-range users or
     /// non-finite weights.
     pub fn queue_update(&mut self, delta: &ProfileDelta) -> Result<(), EngineError> {
-        self.queue.queue(delta, &self.stats)
+        self.queue.queue(delta, self.backend.as_ref())
     }
 
-    /// Reads one user's current on-disk profile (diagnostic helper).
+    /// Reads one user's current stored profile (diagnostic helper).
     ///
     /// # Errors
     ///
     /// Returns a storage error or an unknown-user mismatch.
     pub fn profile_of(&self, user: UserId) -> Result<Profile, EngineError> {
-        UpdateQueue::read_profile(user, &self.partitioning, &self.workdir, &self.stats)
+        UpdateQueue::read_profile(user, &self.partitioning, self.backend.as_ref())
     }
 
-    /// Materializes the entire on-disk profile set `P(t)` as an
+    /// Materializes the entire stored profile set `P(t)` as an
     /// in-memory [`ProfileStore`] — the snapshot-extraction hook the
     /// serving layer uses to publish a consistent profile view after
     /// each iteration.
     ///
     /// Must only be called between iterations (the engine does not
-    /// rewrite partition files while no iteration is running); costs
-    /// one sequential read of every partition's profile file.
+    /// rewrite partition streams while no iteration is running); costs
+    /// one sequential read of every partition's profile stream.
     ///
     /// # Errors
     ///
-    /// Returns a storage error for missing or corrupt partition files,
-    /// or an input-mismatch error if a partition file names a user
-    /// outside the configured range.
+    /// Returns a storage error for missing or corrupt partition
+    /// streams, or an input-mismatch error if a partition stream names
+    /// a user outside the configured range.
     pub fn export_profiles(&self) -> Result<ProfileStore, EngineError> {
         let mut store = ProfileStore::new(self.config.num_users());
         for p in 0..self.partitioning.num_partitions() as u32 {
-            let rows = read_user_lists(
-                &self.workdir.profiles_path(p),
-                RecordKind::Profiles,
-                &self.stats,
-            )?;
+            let rows = read_user_lists(self.backend.as_ref(), StreamId::Profiles(p))?;
             for (user, row) in rows {
                 if user as usize >= self.config.num_users() {
                     return Err(EngineError::input(format!(
-                        "partition {p} profile file names unknown user {user}"
+                        "partition {p} profile stream names unknown user {user}"
                     )));
                 }
                 let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
@@ -378,7 +464,7 @@ impl KnnEngine {
     ///
     /// Returns a storage error if the update log cannot be read.
     pub fn pending_updates(&self) -> Result<usize, EngineError> {
-        self.queue.pending(&self.stats)
+        self.queue.pending(self.backend.as_ref())
     }
 
     /// Executes one full five-phase iteration, advancing `G(t)` to
@@ -391,53 +477,46 @@ impl KnnEngine {
     pub fn run_iteration(&mut self) -> Result<IterationReport, EngineError> {
         let mut durations = [std::time::Duration::ZERO; 5];
         let mut io = [IoSnapshot::default(); 5];
+        let backend = Arc::clone(&self.backend);
+        let backend = backend.as_ref();
+        let stats = backend.stats();
 
-        // Phase 1: partition G(t) and lay out edge/profile files.
-        let before = self.stats.snapshot();
+        // Phase 1: partition G(t) and lay out edge/profile streams.
+        let before = stats.snapshot();
         let t0 = Instant::now();
         if self.config.repartition_each_iteration() || self.iteration == 0 {
             let partitioner = self.config.partitioner().instantiate(self.config.seed());
             let next =
                 partitioner.partition(&self.graph.to_digraph(), self.config.num_partitions())?;
             if next != self.partitioning {
-                phase1::reshard_profiles(
-                    &self.workdir,
-                    Some(&self.partitioning),
-                    &next,
-                    None,
-                    &self.stats,
-                )?;
+                phase1::reshard_profiles(backend, Some(&self.partitioning), &next, None)?;
                 self.partitioning = next;
             }
         }
-        phase1::write_partition_edges(&self.graph, &self.partitioning, &self.workdir, &self.stats)?;
+        phase1::write_partition_edges(&self.graph, &self.partitioning, backend)?;
         let replication_cost =
             objective::replication_cost(&self.graph.to_digraph(), &self.partitioning);
         durations[0] = t0.elapsed();
-        io[0] = self.stats.snapshot() - before;
+        io[0] = stats.snapshot() - before;
 
         // Phase 2: tuple generation + dedup into pair buckets.
-        let before = self.stats.snapshot();
+        let before = stats.snapshot();
         let t0 = Instant::now();
-        let phase2_out = phase2::generate_tuples(
-            &self.partitioning,
-            &self.workdir,
-            &self.stats,
-            self.config.spill_threshold(),
-        )?;
+        let phase2_out =
+            phase2::generate_tuples(&self.partitioning, backend, self.config.spill_threshold())?;
         durations[1] = t0.elapsed();
-        io[1] = self.stats.snapshot() - before;
+        io[1] = stats.snapshot() - before;
 
         // Phase 3: PI-graph traversal schedule.
-        let before = self.stats.snapshot();
+        let before = stats.snapshot();
         let t0 = Instant::now();
         let schedule = self.config.heuristic().schedule(&phase2_out.pi);
         let predicted = simulate_schedule_ops(&schedule, self.config.cache_slots());
         durations[2] = t0.elapsed();
-        io[2] = self.stats.snapshot() - before;
+        io[2] = stats.snapshot() - before;
 
         // Phase 4: out-of-core similarity scoring and top-K harvest.
-        let before = self.stats.snapshot();
+        let before = stats.snapshot();
         let t0 = Instant::now();
         let options = Phase4Options {
             k: self.config.k(),
@@ -450,21 +529,18 @@ impl KnnEngine {
             &schedule,
             &phase2_out.pi,
             &self.partitioning,
-            &self.workdir,
-            &self.stats,
+            backend,
             &options,
         )?;
         durations[3] = t0.elapsed();
-        io[3] = self.stats.snapshot() - before;
+        io[3] = stats.snapshot() - before;
 
         // Phase 5: apply the lazy profile-update queue.
-        let before = self.stats.snapshot();
+        let before = stats.snapshot();
         let t0 = Instant::now();
-        let phase5_stats = self
-            .queue
-            .apply_all(&self.partitioning, &self.workdir, &self.stats)?;
+        let phase5_stats = self.queue.apply_all(&self.partitioning, backend)?;
         durations[4] = t0.elapsed();
-        io[4] = self.stats.snapshot() - before;
+        io[4] = stats.snapshot() - before;
 
         let changed_fraction = self.graph.edge_change_fraction(&phase4_out.graph);
         self.graph = phase4_out.graph;
@@ -571,6 +647,37 @@ mod tests {
     }
 
     #[test]
+    fn in_memory_engine_matches_reference() {
+        let (config, profiles, wd) = small_world(60, 3);
+        wd.destroy().unwrap();
+        let g0 = KnnGraph::random_init(60, 4, 3);
+        let expected =
+            crate::reference::reference_run(&g0, &profiles, &Measure::Cosine, 4, false, 2);
+        let mut engine =
+            KnnEngine::with_initial_graph_on(config, g0, profiles, Arc::new(MemBackend::new()))
+                .unwrap();
+        engine.run_iteration().unwrap();
+        engine.run_iteration().unwrap();
+        assert_eq!(engine.graph(), &expected);
+        assert!(engine.working_dir().is_none());
+        assert_eq!(engine.backend().name(), "mem");
+    }
+
+    #[test]
+    fn in_memory_engine_resumes_from_its_backend() {
+        let (config, profiles, wd) = small_world(40, 8);
+        wd.destroy().unwrap();
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let mut engine = KnnEngine::new_on(config.clone(), profiles, Arc::clone(&backend)).unwrap();
+        engine.run_iteration().unwrap();
+        let expected = engine.graph().clone();
+        drop(engine);
+        let resumed = KnnEngine::resume_on(config, backend).unwrap();
+        assert_eq!(resumed.iteration(), 1);
+        assert_eq!(resumed.graph(), &expected);
+    }
+
+    #[test]
     fn predicted_ops_match_real_execution() {
         let (config, profiles, wd) = small_world(50, 7);
         let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
@@ -602,7 +709,7 @@ mod tests {
             "update leaked into iteration 0"
         );
         assert_eq!(report.updates_applied, 1);
-        // After phase 5 the profile is replaced on disk.
+        // After phase 5 the profile is replaced in storage.
         let p = engine.profile_of(UserId::new(0)).unwrap();
         assert_eq!(p.get(knn_sim::ItemId::new(99999)), Some(5.0));
         engine.into_working_dir().destroy().unwrap();
@@ -613,7 +720,7 @@ mod tests {
         let (config, profiles, wd) = small_world(45, 21);
         let original = profiles.clone();
         let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
-        // The resharded on-disk set must reassemble to the input...
+        // The resharded stored set must reassemble to the input...
         assert_eq!(engine.export_profiles().unwrap(), original);
         // ...and still round-trip after an iteration plus an update.
         engine

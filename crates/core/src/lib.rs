@@ -24,7 +24,13 @@
 //! 5. **Lazy profile updates** ([`phase5`]) — apply the update queue so
 //!    that `P(t+1)` reflects changes queued during iteration `t`.
 //!
-//! [`KnnEngine`] drives the full loop:
+//! Every phase performs its I/O through the
+//! [`StorageBackend`](knn_store::StorageBackend) trait, so the same
+//! loop runs out-of-core (a
+//! [`DiskBackend`](knn_store::DiskBackend) over a working directory,
+//! the paper's setting) or entirely in RAM (a
+//! [`MemBackend`](knn_store::MemBackend) — same codec, same results,
+//! no filesystem). [`KnnEngine`] drives the full loop:
 //!
 //! ```
 //! use knn_core::{EngineConfig, KnnEngine};
@@ -43,6 +49,23 @@
 //! let report = engine.run_iteration()?;
 //! assert!(report.tuples.unique > 0);
 //! # engine.into_working_dir().destroy()?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The in-memory fast path is one constructor away — identical graphs
+//! for identical seeds, verified by the backend-equivalence suite:
+//!
+//! ```
+//! use knn_core::{EngineConfig, KnnEngine};
+//! use knn_sim::generators::{clustered_profiles, ClusteredConfig};
+//!
+//! # fn main() -> Result<(), knn_core::EngineError> {
+//! let (profiles, _) = clustered_profiles(ClusteredConfig::new(200, 7));
+//! let config = EngineConfig::builder(200).k(4).num_partitions(4).seed(7).build()?;
+//! let mut engine = KnnEngine::in_memory(config, profiles)?;
+//! engine.run_iteration()?;
+//! assert!(engine.working_dir().is_none(), "no filesystem involved");
 //! # Ok(())
 //! # }
 //! ```

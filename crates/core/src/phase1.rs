@@ -1,17 +1,16 @@
-//! Phase 1: KNN-graph partitioning and on-disk layout.
+//! Phase 1: KNN-graph partitioning and storage layout.
 //!
 //! Splits `G(t)` into `m` balanced partitions, writes each partition's
-//! in-edge and out-edge lists **sorted by the bridge vertex** `v` (so
+//! in-edge and out-edge streams **sorted by the bridge vertex** `v` (so
 //! phase 2 can emit all two-hop tuples `s → v → d` with one sequential
-//! merge-scan), migrates profile files to the new layout, and resets
-//! the per-partition top-K accumulator state.
-
-use std::sync::Arc;
+//! merge-scan), migrates profile streams to the new layout, and resets
+//! the per-partition top-K accumulator state. All I/O goes through the
+//! engine's [`StorageBackend`].
 
 use knn_graph::{KnnGraph, UserId};
 use knn_sim::ProfileStore;
-use knn_store::record_file::{read_user_lists, write_pairs, write_user_lists};
-use knn_store::{IoStats, RecordKind, WorkingDir};
+use knn_store::backend::{read_user_lists, write_pairs, write_user_lists};
+use knn_store::{StorageBackend, StreamId};
 
 use crate::partition::Partitioning;
 use crate::EngineError;
@@ -19,24 +18,25 @@ use crate::EngineError;
 /// Summary of one phase-1 run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Phase1Stats {
-    /// Directed edges written into in-edge files.
+    /// Directed edges written into in-edge streams.
     pub in_edges_written: u64,
-    /// Directed edges written into out-edge files.
+    /// Directed edges written into out-edge streams.
     pub out_edges_written: u64,
-    /// Profiles migrated between partition files.
+    /// Profiles migrated between partition streams.
     pub profiles_resharded: u64,
 }
 
-/// Writes the per-partition edge files of `graph` under `partitioning`.
+/// Writes the per-partition edge streams of `graph` under
+/// `partitioning`.
 ///
 /// For partition `Ri` with users `Vi`:
-/// * the **out-edge file** holds rows `(v, d)` for every edge
+/// * the **out-edge stream** holds rows `(v, d)` for every edge
 ///   `v → d, v ∈ Vi`, sorted by `(v, d)`;
-/// * the **in-edge file** holds rows `(v, s)` for every edge
+/// * the **in-edge stream** holds rows `(v, s)` for every edge
 ///   `s → v, v ∈ Vi`, sorted by `(v, s)` — the bridge `v` comes first
 ///   in both layouts.
 ///
-/// Also resets each partition's accumulator file to the empty state.
+/// Also resets each partition's accumulator stream to the empty state.
 ///
 /// # Errors
 ///
@@ -44,8 +44,7 @@ pub struct Phase1Stats {
 pub fn write_partition_edges(
     graph: &KnnGraph,
     partitioning: &Partitioning,
-    workdir: &WorkingDir,
-    stats: &Arc<IoStats>,
+    backend: &dyn StorageBackend,
 ) -> Result<Phase1Stats, EngineError> {
     let m = partitioning.num_partitions();
     let mut result = Phase1Stats::default();
@@ -62,17 +61,12 @@ pub fn write_partition_edges(
     for p in 0..m as u32 {
         let rows = &mut out_rows[p as usize];
         rows.sort_unstable();
-        write_pairs(
-            &workdir.out_edges_path(p),
-            RecordKind::OutEdges,
-            rows,
-            stats,
-        )?;
+        write_pairs(backend, StreamId::OutEdges(p), rows)?;
         result.out_edges_written += rows.len() as u64;
 
         let rows = &mut in_rows[p as usize];
         rows.sort_unstable();
-        write_pairs(&workdir.in_edges_path(p), RecordKind::InEdges, rows, stats)?;
+        write_pairs(backend, StreamId::InEdges(p), rows)?;
         result.in_edges_written += rows.len() as u64;
 
         // Fresh (empty) accumulator state for every user of p.
@@ -81,22 +75,17 @@ pub fn write_partition_edges(
             .iter()
             .map(|u| (u.raw(), Vec::new()))
             .collect();
-        write_user_lists(
-            &workdir.accum_path(p),
-            RecordKind::Accumulators,
-            &accum_rows,
-            stats,
-        )?;
+        write_user_lists(backend, StreamId::Accumulators(p), &accum_rows)?;
     }
 
     Ok(result)
 }
 
-/// Migrates profile files from `old` partition layout to `new`.
+/// Migrates profile streams from `old` partition layout to `new`.
 ///
 /// When `old` is `None` the profiles come from `initial` (engine
-/// setup); otherwise each old partition file is read once and its rows
-/// are redistributed. Every user must appear exactly once.
+/// setup); otherwise each old partition stream is read once and its
+/// rows are redistributed. Every user must appear exactly once.
 ///
 /// # Errors
 ///
@@ -104,11 +93,10 @@ pub fn write_partition_edges(
 /// [`EngineError::InputMismatch`] if the old layout does not cover
 /// exactly the expected users.
 pub fn reshard_profiles(
-    workdir: &WorkingDir,
+    backend: &dyn StorageBackend,
     old: Option<&Partitioning>,
     new: &Partitioning,
     initial: Option<&ProfileStore>,
-    stats: &Arc<IoStats>,
 ) -> Result<u64, EngineError> {
     let m = new.num_partitions();
     let n = new.num_users();
@@ -130,7 +118,7 @@ pub fn reshard_profiles(
     match (old, initial) {
         (Some(old_layout), _) => {
             for p in 0..old_layout.num_partitions() as u32 {
-                let rows = read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
+                let rows = read_user_lists(backend, StreamId::Profiles(p))?;
                 for (user, row) in rows {
                     place(user, row)?;
                 }
@@ -158,7 +146,7 @@ pub fn reshard_profiles(
     for p in 0..m as u32 {
         let rows = &mut staged[p as usize];
         rows.sort_unstable_by_key(|&(u, _)| u);
-        write_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, rows, stats)?;
+        write_user_lists(backend, StreamId::Profiles(p), rows)?;
     }
     Ok(seen)
 }
@@ -167,13 +155,13 @@ pub fn reshard_profiles(
 mod tests {
     use super::*;
     use knn_graph::Neighbor;
-    use knn_store::record_file::read_pairs;
+    use knn_store::backend::read_pairs;
+    use knn_store::{DiskBackend, MemBackend};
 
-    fn setup(n: usize, m: usize) -> (WorkingDir, Partitioning, Arc<IoStats>) {
-        let wd = WorkingDir::temp("phase1").unwrap();
+    fn setup(n: usize, m: usize) -> (Box<dyn StorageBackend>, Partitioning) {
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
-        (wd, p, Arc::new(IoStats::new()))
+        (Box::new(MemBackend::new()), p)
     }
 
     fn graph_with_edges(n: usize, k: usize, edges: &[(u32, u32)]) -> KnnGraph {
@@ -186,66 +174,68 @@ mod tests {
 
     #[test]
     fn edge_files_are_sorted_by_bridge() {
-        let (wd, p, stats) = setup(6, 2);
+        let (b, p) = setup(6, 2);
+        let b = b.as_ref();
         // Edges: 4→0, 2→0, 0→5 (users 0,2,4 in partition 0; 1,3,5 in 1).
         let g = graph_with_edges(6, 3, &[(4, 0), (2, 0), (0, 5)]);
-        let st = write_partition_edges(&g, &p, &wd, &stats).unwrap();
+        let st = write_partition_edges(&g, &p, b).unwrap();
         assert_eq!(st.out_edges_written, 3);
         assert_eq!(st.in_edges_written, 3);
         // Partition 0 out-edges: bridges 0,2,4 → rows (0,5),(2,0),(4,0).
-        let out0 = read_pairs(&wd.out_edges_path(0), RecordKind::OutEdges, &stats).unwrap();
+        let out0 = read_pairs(b, StreamId::OutEdges(0)).unwrap();
         assert_eq!(out0, vec![(0, 5), (2, 0), (4, 0)]);
         // Partition 0 in-edges: edges into users 0,2,4: (0,2),(0,4).
-        let in0 = read_pairs(&wd.in_edges_path(0), RecordKind::InEdges, &stats).unwrap();
+        let in0 = read_pairs(b, StreamId::InEdges(0)).unwrap();
         assert_eq!(in0, vec![(0, 2), (0, 4)]);
         // Partition 1 in-edges: edge into 5 from 0.
-        let in1 = read_pairs(&wd.in_edges_path(1), RecordKind::InEdges, &stats).unwrap();
+        let in1 = read_pairs(b, StreamId::InEdges(1)).unwrap();
         assert_eq!(in1, vec![(5, 0)]);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn accumulator_files_initialized_empty() {
-        let (wd, p, stats) = setup(4, 2);
+        let (b, p) = setup(4, 2);
         let g = graph_with_edges(4, 2, &[]);
-        write_partition_edges(&g, &p, &wd, &stats).unwrap();
-        let rows = read_user_lists(&wd.accum_path(0), RecordKind::Accumulators, &stats).unwrap();
+        write_partition_edges(&g, &p, b.as_ref()).unwrap();
+        let rows = read_user_lists(b.as_ref(), StreamId::Accumulators(0)).unwrap();
         assert_eq!(rows, vec![(0u32, vec![]), (2, vec![])]);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn initial_reshard_places_every_profile() {
-        let (wd, p, stats) = setup(5, 2);
+        let (b, p) = setup(5, 2);
         let mut store = ProfileStore::new(5);
         for u in 0..5u32 {
             store
                 .get_mut(UserId::new(u))
                 .set(knn_sim::ItemId::new(u), u as f32 + 1.0);
         }
-        let moved = reshard_profiles(&wd, None, &p, Some(&store), &stats).unwrap();
+        let moved = reshard_profiles(b.as_ref(), None, &p, Some(&store)).unwrap();
         assert_eq!(moved, 5);
-        let rows0 = read_user_lists(&wd.profiles_path(0), RecordKind::Profiles, &stats).unwrap();
+        let rows0 = read_user_lists(b.as_ref(), StreamId::Profiles(0)).unwrap();
         let users0: Vec<u32> = rows0.iter().map(|&(u, _)| u).collect();
         assert_eq!(users0, vec![0, 2, 4]);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn relayout_moves_rows_between_files() {
-        let (wd, old, stats) = setup(4, 2); // u % 2
+        // Run the relayout on the disk backend too: it is the
+        // migration path production working dirs take.
+        let disk = DiskBackend::temp("phase1_relayout").unwrap();
+        let wd = disk.working_dir().unwrap().clone();
+        let old = Partitioning::from_assignment(vec![0, 1, 0, 1], 2).unwrap(); // u % 2
         let mut store = ProfileStore::new(4);
         for u in 0..4u32 {
             store
                 .get_mut(UserId::new(u))
                 .set(knn_sim::ItemId::new(9), u as f32);
         }
-        reshard_profiles(&wd, None, &old, Some(&store), &stats).unwrap();
+        reshard_profiles(&disk, None, &old, Some(&store)).unwrap();
         // New layout: contiguous halves.
         let new = Partitioning::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
-        let moved = reshard_profiles(&wd, Some(&old), &new, None, &stats).unwrap();
+        let moved = reshard_profiles(&disk, Some(&old), &new, None).unwrap();
         assert_eq!(moved, 4);
-        let rows0 = read_user_lists(&wd.profiles_path(0), RecordKind::Profiles, &stats).unwrap();
+        let rows0 = read_user_lists(&disk, StreamId::Profiles(0)).unwrap();
         let users0: Vec<u32> = rows0.iter().map(|&(u, _)| u).collect();
         assert_eq!(users0, vec![0, 1]);
         wd.destroy().unwrap();
@@ -253,31 +243,28 @@ mod tests {
 
     #[test]
     fn reshard_without_source_errors() {
-        let (wd, p, stats) = setup(4, 2);
+        let (b, p) = setup(4, 2);
         assert!(matches!(
-            reshard_profiles(&wd, None, &p, None, &stats),
+            reshard_profiles(b.as_ref(), None, &p, None),
             Err(EngineError::InputMismatch { .. })
         ));
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn reshard_detects_missing_users() {
-        let (wd, p, stats) = setup(4, 2);
+        let (b, p) = setup(4, 2);
         let store = ProfileStore::new(3); // one user short
         assert!(matches!(
-            reshard_profiles(&wd, None, &p, Some(&store), &stats),
+            reshard_profiles(b.as_ref(), None, &p, Some(&store)),
             Err(EngineError::InputMismatch { .. })
         ));
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn io_is_counted() {
-        let (wd, p, stats) = setup(4, 2);
+        let (b, p) = setup(4, 2);
         let g = graph_with_edges(4, 2, &[(0, 1), (2, 3)]);
-        write_partition_edges(&g, &p, &wd, &stats).unwrap();
-        assert!(stats.snapshot().bytes_written > 0);
-        wd.destroy().unwrap();
+        write_partition_edges(&g, &p, b.as_ref()).unwrap();
+        assert!(b.stats().snapshot().bytes_written > 0);
     }
 }

@@ -1,6 +1,6 @@
 //! Phase 2: candidate tuple generation and deduplication.
 //!
-//! Streams each partition's sorted in-edge and out-edge files once,
+//! Streams each partition's sorted in-edge and out-edge streams once,
 //! joining on the bridge vertex `v`: every `(s, v)` in-edge crossed
 //! with every `(v, d)` out-edge yields the two-hop candidate `(s, d)`,
 //! and the out-edges themselves are the direct candidates `(v, d)` —
@@ -8,10 +8,8 @@
 //! KNN step scores. Uniqueness is enforced by the hash table
 //! ([`crate::tuple_table::TupleTable`]).
 
-use std::sync::Arc;
-
-use knn_store::record_file::read_pairs;
-use knn_store::{IoStats, RecordKind, WorkingDir};
+use knn_store::backend::read_pairs;
+use knn_store::{StorageBackend, StreamId};
 
 use crate::partition::Partitioning;
 use crate::tuple_table::{TupleTable, TupleTableStats};
@@ -27,25 +25,25 @@ pub struct Phase2Output {
     pub stats: TupleTableStats,
 }
 
-/// Runs phase 2 over the edge files written by
+/// Runs phase 2 over the edge streams written by
 /// [`crate::phase1::write_partition_edges`].
 ///
 /// # Errors
 ///
-/// Returns [`EngineError::Store`] on I/O failure or corrupt edge files.
+/// Returns [`EngineError::Store`] on I/O failure or corrupt edge
+/// streams.
 pub fn generate_tuples(
     partitioning: &Partitioning,
-    workdir: &WorkingDir,
-    stats: &Arc<IoStats>,
+    backend: &dyn StorageBackend,
     spill_threshold: usize,
 ) -> Result<Phase2Output, EngineError> {
-    workdir.clear_tuples()?;
-    let mut table = TupleTable::new(workdir, partitioning, Arc::clone(stats), spill_threshold);
+    backend.clear_tuples()?;
+    let mut table = TupleTable::new(backend, partitioning, spill_threshold);
 
     for p in 0..partitioning.num_partitions() as u32 {
         // Rows are (bridge, other), sorted by bridge then other.
-        let in_rows = read_pairs(&workdir.in_edges_path(p), RecordKind::InEdges, stats)?;
-        let out_rows = read_pairs(&workdir.out_edges_path(p), RecordKind::OutEdges, stats)?;
+        let in_rows = read_pairs(backend, StreamId::InEdges(p))?;
+        let out_rows = read_pairs(backend, StreamId::OutEdges(p))?;
 
         // Direct candidates: each out-edge (v, d) of G(t).
         for &(v, d) in &out_rows {
@@ -112,33 +110,26 @@ mod tests {
     use super::*;
     use crate::phase1::write_partition_edges;
     use knn_graph::{KnnGraph, Neighbor, UserId};
-    use knn_store::record_file::read_pairs as read_bucket_pairs;
+    use knn_store::MemBackend;
 
-    fn setup(n: usize, m: usize) -> (WorkingDir, Partitioning, Arc<IoStats>) {
-        let wd = WorkingDir::temp("phase2").unwrap();
+    fn setup(n: usize, m: usize) -> (MemBackend, Partitioning) {
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
-        (wd, p, Arc::new(IoStats::new()))
+        (MemBackend::new(), p)
     }
 
-    fn run_phase2(
-        g: &KnnGraph,
-        wd: &WorkingDir,
-        p: &Partitioning,
-        stats: &Arc<IoStats>,
-    ) -> Phase2Output {
-        write_partition_edges(g, p, wd, stats).unwrap();
-        generate_tuples(p, wd, stats, 1 << 16).unwrap()
+    fn run_phase2(g: &KnnGraph, b: &dyn StorageBackend, p: &Partitioning) -> Phase2Output {
+        write_partition_edges(g, p, b).unwrap();
+        generate_tuples(p, b, 1 << 16).unwrap()
     }
 
     fn all_tuples(
         out: &Phase2Output,
-        wd: &WorkingDir,
-        stats: &Arc<IoStats>,
+        b: &dyn StorageBackend,
     ) -> std::collections::HashSet<(u32, u32)> {
         let mut set = std::collections::HashSet::new();
         for ((i, j), _) in out.pi.iter_buckets() {
-            for t in read_bucket_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, stats).unwrap() {
+            for t in read_pairs(b, StreamId::TupleBucket(i, j)).unwrap() {
                 set.insert(t);
             }
         }
@@ -148,53 +139,50 @@ mod tests {
     #[test]
     fn path_graph_generates_direct_and_two_hop() {
         // 0→1→2: direct (0,1),(1,2); two-hop (0,2).
-        let (wd, p, stats) = setup(3, 2);
+        let (b, p) = setup(3, 2);
         let mut g = KnnGraph::new(3, 2);
         g.insert(UserId::new(0), Neighbor::new(UserId::new(1), 0.5));
         g.insert(UserId::new(1), Neighbor::new(UserId::new(2), 0.5));
-        let out = run_phase2(&g, &wd, &p, &stats);
-        let got = all_tuples(&out, &wd, &stats);
+        let out = run_phase2(&g, &b, &p);
+        let got = all_tuples(&out, &b);
         let expected: std::collections::HashSet<(u32, u32)> =
             [(0, 1), (1, 2), (0, 2)].into_iter().collect();
         assert_eq!(got, expected);
         assert_eq!(out.stats.unique, 3);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn cycle_deduplicates_and_skips_self() {
         // Triangle 0→1→2→0: two-hop pairs include (0,2),(1,0),(2,1);
         // (0,0) etc. are skipped as self-tuples.
-        let (wd, p, stats) = setup(3, 3);
+        let (b, p) = setup(3, 3);
         let mut g = KnnGraph::new(3, 1);
         g.insert(UserId::new(0), Neighbor::new(UserId::new(1), 0.5));
         g.insert(UserId::new(1), Neighbor::new(UserId::new(2), 0.5));
         g.insert(UserId::new(2), Neighbor::new(UserId::new(0), 0.5));
-        let out = run_phase2(&g, &wd, &p, &stats);
-        let got = all_tuples(&out, &wd, &stats);
+        let out = run_phase2(&g, &b, &p);
+        let got = all_tuples(&out, &b);
         assert_eq!(got, reference_tuple_set(&g));
         assert!(got.iter().all(|&(s, d)| s != d));
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn diamond_counts_duplicate_once() {
         // a→b→d and a→c→d: tuple (a,d) generated via two bridges.
-        let (wd, p, stats) = setup(4, 2);
+        let (b, p) = setup(4, 2);
         let mut g = KnnGraph::new(4, 2);
         let nb = |id: u32| Neighbor::new(UserId::new(id), 0.5);
         g.insert(UserId::new(0), nb(1));
         g.insert(UserId::new(0), nb(2));
         g.insert(UserId::new(1), nb(3));
         g.insert(UserId::new(2), nb(3));
-        let out = run_phase2(&g, &wd, &p, &stats);
+        let out = run_phase2(&g, &b, &p);
         assert!(
             out.stats.duplicates >= 1,
             "diamond tuple must be deduplicated"
         );
-        let got = all_tuples(&out, &wd, &stats);
+        let got = all_tuples(&out, &b);
         assert_eq!(got, reference_tuple_set(&g));
-        wd.destroy().unwrap();
     }
 
     #[test]
@@ -202,52 +190,47 @@ mod tests {
         for seed in 0..5u64 {
             let n = 40;
             let g = KnnGraph::random_init(n, 4, seed);
-            let (wd, p, stats) = setup(n, 5);
-            let out = run_phase2(&g, &wd, &p, &stats);
-            let got = all_tuples(&out, &wd, &stats);
+            let (b, p) = setup(n, 5);
+            let out = run_phase2(&g, &b, &p);
+            let got = all_tuples(&out, &b);
             assert_eq!(got, reference_tuple_set(&g), "seed {seed}");
             assert_eq!(out.stats.unique as usize, got.len());
-            wd.destroy().unwrap();
         }
     }
 
     #[test]
     fn pi_graph_weights_match_bucket_contents() {
-        let (wd, p, stats) = setup(30, 4);
+        let (b, p) = setup(30, 4);
         let g = KnnGraph::random_init(30, 3, 9);
-        let out = run_phase2(&g, &wd, &p, &stats);
+        let out = run_phase2(&g, &b, &p);
         for ((i, j), w) in out.pi.iter_buckets() {
-            let rows =
-                read_bucket_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, &stats).unwrap();
+            let rows = read_pairs(&b, StreamId::TupleBucket(i, j)).unwrap();
             assert_eq!(rows.len() as u64, w);
             for (s, d) in rows {
                 assert_eq!(p.partition_of(UserId::new(s)), i);
                 assert_eq!(p.partition_of(UserId::new(d)), j);
             }
         }
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn empty_graph_produces_no_tuples() {
-        let (wd, p, stats) = setup(4, 2);
+        let (b, p) = setup(4, 2);
         let g = KnnGraph::new(4, 2);
-        let out = run_phase2(&g, &wd, &p, &stats);
+        let out = run_phase2(&g, &b, &p);
         assert_eq!(out.pi.total_tuples(), 0);
         assert_eq!(out.stats.offered, 0);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn stale_buckets_from_previous_iteration_are_cleared() {
-        let (wd, p, stats) = setup(3, 2);
-        std::fs::write(wd.tuples_path(1, 1), b"stale").unwrap();
+        let (b, p) = setup(3, 2);
+        knn_store::backend::write_pairs(&b, StreamId::TupleBucket(1, 1), &[(9, 9)]).unwrap();
         let g = KnnGraph::new(3, 2);
-        let _ = run_phase2(&g, &wd, &p, &stats);
+        let _ = run_phase2(&g, &b, &p);
         assert!(
-            !wd.tuples_path(1, 1).exists(),
+            !b.exists(StreamId::TupleBucket(1, 1)),
             "stale bucket must be removed"
         );
-        wd.destroy().unwrap();
     }
 }

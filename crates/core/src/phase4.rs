@@ -14,8 +14,8 @@ use std::sync::Arc;
 use crossbeam::channel;
 use knn_graph::{KnnGraph, Neighbor, UserId};
 use knn_sim::{Measure, Profile, Similarity};
-use knn_store::record_file::{read_user_lists, write_user_lists};
-use knn_store::{CacheCounters, IoStats, RecordKind, SlotCache, StoreError, WorkingDir};
+use knn_store::backend::{read_pairs, read_user_lists, write_user_lists};
+use knn_store::{CacheCounters, SlotCache, StorageBackend, StoreError, StreamId};
 
 use crate::partition::Partitioning;
 use crate::topk::TopKAccumulator;
@@ -81,23 +81,22 @@ fn score_chunk(task: &ScoreTask) -> Vec<(u32, u32, f32)> {
 }
 
 fn load_state(
-    workdir: &WorkingDir,
-    stats: &IoStats,
+    backend: &dyn StorageBackend,
     k: usize,
     p: u32,
 ) -> Result<PartitionState, EngineError> {
-    let profile_rows = read_user_lists(&workdir.profiles_path(p), RecordKind::Profiles, stats)?;
+    let profile_rows = read_user_lists(backend, StreamId::Profiles(p))?;
     let mut profiles = HashMap::with_capacity(profile_rows.len());
     for (user, row) in profile_rows {
         let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
             EngineError::Store(StoreError::corrupt(
-                workdir.profiles_path(p),
+                backend.describe(StreamId::Profiles(p)),
                 format!("invalid profile for user {user}: {e}"),
             ))
         })?;
         profiles.insert(user, profile);
     }
-    let accum_rows = read_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, stats)?;
+    let accum_rows = read_user_lists(backend, StreamId::Accumulators(p))?;
     let mut accums = HashMap::with_capacity(accum_rows.len());
     for (user, row) in accum_rows {
         accums.insert(user, TopKAccumulator::from_row(k, &row));
@@ -110,8 +109,7 @@ fn load_state(
 }
 
 fn unload_state(
-    workdir: &WorkingDir,
-    stats: &IoStats,
+    backend: &dyn StorageBackend,
     p: u32,
     state: PartitionState,
 ) -> Result<(), EngineError> {
@@ -126,12 +124,7 @@ fn unload_state(
         .map(|(&user, acc)| (user, acc.to_row()))
         .collect();
     rows.sort_unstable_by_key(|&(u, _)| u);
-    write_user_lists(
-        &workdir.accum_path(p),
-        RecordKind::Accumulators,
-        &rows,
-        stats,
-    )?;
+    write_user_lists(backend, StreamId::Accumulators(p), &rows)?;
     Ok(())
 }
 
@@ -140,19 +133,18 @@ fn unload_state(
 /// # Errors
 ///
 /// Returns [`EngineError::Store`] on I/O failure or corrupt state
-/// files, and [`EngineError::InputMismatch`] if a tuple references a
-/// user missing from its partition's files.
+/// streams, and [`EngineError::InputMismatch`] if a tuple references a
+/// user missing from its partition's streams.
 pub fn run_phase4(
     schedule: &Schedule,
     pi: &PiGraph,
     partitioning: &Partitioning,
-    workdir: &WorkingDir,
-    stats: &Arc<IoStats>,
+    backend: &dyn StorageBackend,
     options: &Phase4Options,
 ) -> Result<Phase4Output, EngineError> {
     let workers = options.threads.max(1);
     if workers <= 1 {
-        return drive(schedule, pi, partitioning, workdir, stats, options, None);
+        return drive(schedule, pi, partitioning, backend, options, None);
     }
     // Persistent worker pool for the whole run: tasks own Arc'd
     // profile maps, so the cache can evict freely while chunks are in
@@ -176,15 +168,7 @@ pub fn run_phase4(
             result_rx,
             workers,
         };
-        drive(
-            schedule,
-            pi,
-            partitioning,
-            workdir,
-            stats,
-            options,
-            Some(pool),
-        )
+        drive(schedule, pi, partitioning, backend, options, Some(pool))
     })
 }
 
@@ -196,33 +180,31 @@ struct WorkerPool {
     workers: usize,
 }
 
-#[allow(clippy::too_many_arguments)]
 fn drive(
     schedule: &Schedule,
     pi: &PiGraph,
     partitioning: &Partitioning,
-    workdir: &WorkingDir,
-    stats: &Arc<IoStats>,
+    backend: &dyn StorageBackend,
     options: &Phase4Options,
     pool: Option<WorkerPool>,
 ) -> Result<Phase4Output, EngineError> {
     let mut cache: SlotCache<PartitionState> =
-        SlotCache::new(options.cache_slots).with_io_stats(Arc::clone(stats));
+        SlotCache::new(options.cache_slots).with_io_stats(Arc::clone(backend.stats()));
     let mut sims_computed = 0u64;
 
     for step in schedule.iter() {
         cache.ensure(
             step.a,
             None,
-            |p| load_state(workdir, stats, options.k, p),
-            |p, s| unload_state(workdir, stats, p, s),
+            |p| load_state(backend, options.k, p),
+            |p, s| unload_state(backend, p, s),
         )?;
         if !step.is_self() {
             cache.ensure(
                 step.b,
                 Some(step.a),
-                |p| load_state(workdir, stats, options.k, p),
-                |p, s| unload_state(workdir, stats, p, s),
+                |p| load_state(backend, options.k, p),
+                |p, s| unload_state(backend, p, s),
             )?;
         }
         // Both directed buckets of the pair (one for a self-pair).
@@ -235,11 +217,7 @@ fn drive(
             if pi.bucket_weight(src, dst) == 0 {
                 continue;
             }
-            let tuples = knn_store::record_file::read_pairs(
-                &workdir.tuples_path(src, dst),
-                RecordKind::Tuples,
-                stats,
-            )?;
+            let tuples = read_pairs(backend, StreamId::TupleBucket(src, dst))?;
             let src_profiles = Arc::clone(&cache.get(src).expect("src resident").profiles);
             let dst_profiles = Arc::clone(&cache.get(dst).expect("dst resident").profiles);
             validate_tuples(&tuples, &src_profiles, &dst_profiles)?;
@@ -276,14 +254,14 @@ fn drive(
         }
     }
 
-    cache.flush(|p, s| unload_state(workdir, stats, p, s))?;
+    cache.flush(|p, s| unload_state(backend, p, s))?;
     let counters = cache.counters();
 
-    // Harvest: fold every partition's accumulator file into G(t+1).
+    // Harvest: fold every partition's accumulator stream into G(t+1).
     let n = partitioning.num_users();
     let mut graph = KnnGraph::new(n, options.k);
     for p in 0..partitioning.num_partitions() as u32 {
-        let rows = read_user_lists(&workdir.accum_path(p), RecordKind::Accumulators, stats)?;
+        let rows = read_user_lists(backend, StreamId::Accumulators(p))?;
         for (user, row) in rows {
             let neighbors: Vec<Neighbor> = row
                 .iter()
@@ -368,21 +346,20 @@ mod tests {
     }
 
     /// Builds a tiny world: n users in m partitions with simple
-    /// profiles, a given KNN graph, everything written to disk.
+    /// profiles, a given KNN graph, everything written to the backend.
     fn setup_world(
         g: &KnnGraph,
         profiles: &ProfileStore,
         m: usize,
-    ) -> (WorkingDir, Partitioning, Arc<IoStats>, PiGraph) {
+    ) -> (knn_store::MemBackend, Partitioning, PiGraph) {
         let n = g.num_vertices();
-        let wd = WorkingDir::temp("phase4").unwrap();
+        let b = knn_store::MemBackend::new();
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
-        let stats = Arc::new(IoStats::new());
-        reshard_profiles(&wd, None, &p, Some(profiles), &stats).unwrap();
-        write_partition_edges(g, &p, &wd, &stats).unwrap();
-        let out = generate_tuples(&p, &wd, &stats, 1 << 16).unwrap();
-        (wd, p, stats, out.pi)
+        reshard_profiles(&b, None, &p, Some(profiles)).unwrap();
+        write_partition_edges(g, &p, &b).unwrap();
+        let out = generate_tuples(&p, &b, 1 << 16).unwrap();
+        (b, p, out.pi)
     }
 
     fn line_profiles(n: usize) -> ProfileStore {
@@ -402,15 +379,14 @@ mod tests {
         let mut g = KnnGraph::new(2, 1);
         g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
         let profiles = line_profiles(2);
-        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        let (b, p, pi) = setup_world(&g, &profiles, 2);
         let schedule = Heuristic::Sequential.schedule(&pi);
-        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(1, 1)).unwrap();
+        let out = run_phase4(&schedule, &pi, &p, &b, &options(1, 1)).unwrap();
         let nbrs = out.graph.neighbors(UserId::new(0));
         assert_eq!(nbrs.len(), 1);
         assert_eq!(nbrs[0].id, UserId::new(1));
         assert!((nbrs[0].sim - 0.5).abs() < 1e-6, "cosine of half-overlap");
         assert_eq!(out.sims_computed, 1);
-        wd.destroy().unwrap();
     }
 
     #[test]
@@ -420,11 +396,10 @@ mod tests {
         let profiles = line_profiles(n);
         let mut results = Vec::new();
         for h in Heuristic::ALL {
-            let (wd, p, stats, pi) = setup_world(&g, &profiles, 4);
+            let (b, p, pi) = setup_world(&g, &profiles, 4);
             let schedule = h.schedule(&pi);
-            let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(4, 1)).unwrap();
+            let out = run_phase4(&schedule, &pi, &p, &b, &options(4, 1)).unwrap();
             results.push((h, out.graph));
-            wd.destroy().unwrap();
         }
         for (h, g2) in &results[1..] {
             assert_eq!(g2, &results[0].1, "{h} produced a different G(t+1)");
@@ -438,11 +413,10 @@ mod tests {
         let profiles = line_profiles(n);
         let mut results = Vec::new();
         for threads in [1, 2, 4] {
-            let (wd, p, stats, pi) = setup_world(&g, &profiles, 3);
+            let (b, p, pi) = setup_world(&g, &profiles, 3);
             let schedule = Heuristic::DegreeLowHigh.schedule(&pi);
-            let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(5, threads)).unwrap();
+            let out = run_phase4(&schedule, &pi, &p, &b, &options(5, threads)).unwrap();
             results.push(out.graph);
-            wd.destroy().unwrap();
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], results[2]);
@@ -455,18 +429,17 @@ mod tests {
         let n = 600;
         let g = KnnGraph::random_init(n, 6, 2);
         let profiles = line_profiles(n);
-        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        let (b, p, pi) = setup_world(&g, &profiles, 2);
         assert!(
             pi.iter_buckets()
                 .any(|(_, w)| w >= PARALLEL_THRESHOLD as u64),
             "test needs a bucket above the parallel threshold"
         );
         let schedule = Heuristic::Sequential.schedule(&pi);
-        let sequential = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 1)).unwrap();
-        let parallel = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(6, 4)).unwrap();
+        let sequential = run_phase4(&schedule, &pi, &p, &b, &options(6, 1)).unwrap();
+        let parallel = run_phase4(&schedule, &pi, &p, &b, &options(6, 4)).unwrap();
         assert_eq!(sequential.graph, parallel.graph);
         assert_eq!(sequential.sims_computed, parallel.sims_computed);
-        wd.destroy().unwrap();
     }
 
     #[test]
@@ -476,11 +449,10 @@ mod tests {
         let profiles = line_profiles(n);
         let mut results = Vec::new();
         for m in [2, 3, 5] {
-            let (wd, p, stats, pi) = setup_world(&g, &profiles, m);
+            let (b, p, pi) = setup_world(&g, &profiles, m);
             let schedule = Heuristic::Sequential.schedule(&pi);
-            let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(3, 1)).unwrap();
+            let out = run_phase4(&schedule, &pi, &p, &b, &options(3, 1)).unwrap();
             results.push(out.graph);
-            wd.destroy().unwrap();
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], results[2]);
@@ -491,17 +463,16 @@ mod tests {
         let n = 24;
         let g = KnnGraph::random_init(n, 3, 5);
         let profiles = line_profiles(n);
-        let (wd, p, stats, pi) = setup_world(&g, &profiles, 6);
+        let (b, p, pi) = setup_world(&g, &profiles, 6);
         let schedule = Heuristic::Sequential.schedule(&pi);
         let predicted = crate::traversal::simulate_schedule_ops(&schedule, 2);
-        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(3, 1)).unwrap();
+        let out = run_phase4(&schedule, &pi, &p, &b, &options(3, 1)).unwrap();
         assert_eq!(
             out.cache.loads, predicted.loads,
             "dry run must match execution"
         );
         assert_eq!(out.cache.unloads, predicted.unloads);
-        assert_eq!(stats.snapshot().partition_loads, out.cache.loads);
-        wd.destroy().unwrap();
+        assert_eq!(b.stats().snapshot().partition_loads, out.cache.loads);
     }
 
     #[test]
@@ -510,26 +481,24 @@ mod tests {
         let mut g = KnnGraph::new(2, 1);
         g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
         let profiles = line_profiles(2);
-        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        let (b, p, pi) = setup_world(&g, &profiles, 2);
         let schedule = Heuristic::Sequential.schedule(&pi);
         let mut opts = options(1, 1);
         opts.include_reverse = true;
-        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &opts).unwrap();
+        let out = run_phase4(&schedule, &pi, &p, &b, &opts).unwrap();
         assert_eq!(out.graph.neighbors(UserId::new(1)).len(), 1);
         assert_eq!(out.graph.neighbors(UserId::new(1))[0].id, UserId::new(0));
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn empty_schedule_yields_empty_graph() {
         let g = KnnGraph::new(4, 2);
         let profiles = ProfileStore::new(4);
-        let (wd, p, stats, pi) = setup_world(&g, &profiles, 2);
+        let (b, p, pi) = setup_world(&g, &profiles, 2);
         let schedule = Heuristic::Sequential.schedule(&pi);
         assert!(schedule.is_empty());
-        let out = run_phase4(&schedule, &pi, &p, &wd, &stats, &options(2, 1)).unwrap();
+        let out = run_phase4(&schedule, &pi, &p, &b, &options(2, 1)).unwrap();
         assert_eq!(out.graph.num_edges(), 0);
         assert_eq!(out.sims_computed, 0);
-        wd.destroy().unwrap();
     }
 }

@@ -1,29 +1,28 @@
 //! Phase 5: lazy profile updates.
 //!
-//! Profile changes arriving *during* iteration `t` are appended to an
-//! on-disk queue (the paper's queue `q`) and are **not** visible to the
-//! similarity computation of iteration `t`. At the end of the
-//! iteration this phase drains the queue, rewrites only the affected
-//! partition profile files, and leaves the queue empty for iteration
-//! `t+1`.
+//! Profile changes arriving *during* iteration `t` are appended to the
+//! backend's durable update log (the paper's queue `q`) and are **not**
+//! visible to the similarity computation of iteration `t`. At the end
+//! of the iteration this phase drains the log, rewrites only the
+//! affected partition profile streams, and leaves the log empty for
+//! iteration `t+1`.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use knn_graph::UserId;
 use knn_sim::{DeltaOp, Profile, ProfileDelta};
-use knn_store::delta_log::DeltaLog;
-use knn_store::record_file::{read_user_lists, write_user_lists};
-use knn_store::{IoStats, RecordKind, StoreError, WorkingDir};
+use knn_store::backend::{append_delta, read_deltas, read_user_lists, write_user_lists};
+use knn_store::{StorageBackend, StoreError, StreamId};
 
 use crate::partition::Partitioning;
 use crate::EngineError;
 
 /// The engine-facing update queue: validated appends during the
-/// iteration, bulk apply at its end.
+/// iteration, bulk apply at its end. The queued deltas live in the
+/// storage backend's update log, so they survive a crash on any
+/// durable backend.
 #[derive(Debug)]
 pub struct UpdateQueue {
-    log: DeltaLog,
     num_users: usize,
 }
 
@@ -32,21 +31,15 @@ pub struct UpdateQueue {
 pub struct Phase5Stats {
     /// Deltas applied.
     pub updates_applied: u64,
-    /// Partition files rewritten.
+    /// Partition streams rewritten.
     pub partitions_rewritten: u64,
 }
 
 impl UpdateQueue {
-    /// Opens the queue backing file under `workdir`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError::Store`] if the log cannot be opened.
-    pub fn open(workdir: &WorkingDir, num_users: usize) -> Result<Self, EngineError> {
-        Ok(UpdateQueue {
-            log: DeltaLog::open(workdir.updates_path())?,
-            num_users,
-        })
+    /// Creates the queue facade for a computation over `num_users`
+    /// users (the log itself lives in the backend).
+    pub fn new(num_users: usize) -> Self {
+        UpdateQueue { num_users }
     }
 
     /// Queues one update for the next iteration boundary.
@@ -56,7 +49,11 @@ impl UpdateQueue {
     /// Returns [`EngineError::InvalidUpdate`] for an out-of-range user
     /// or a non-finite `Set` weight, [`EngineError::Store`] on I/O
     /// failure.
-    pub fn queue(&mut self, delta: &ProfileDelta, stats: &IoStats) -> Result<(), EngineError> {
+    pub fn queue(
+        &mut self,
+        delta: &ProfileDelta,
+        backend: &dyn StorageBackend,
+    ) -> Result<(), EngineError> {
         if delta.user.index() >= self.num_users {
             return Err(EngineError::update(format!(
                 "user {} out of range (n={})",
@@ -71,7 +68,7 @@ impl UpdateQueue {
                 )));
             }
         }
-        self.log.append(delta, stats)?;
+        append_delta(backend, delta)?;
         Ok(())
     }
 
@@ -80,24 +77,24 @@ impl UpdateQueue {
     /// # Errors
     ///
     /// Returns [`EngineError::Store`] on read failure.
-    pub fn pending(&self, stats: &IoStats) -> Result<usize, EngineError> {
-        Ok(self.log.len(stats)?)
+    pub fn pending(&self, backend: &dyn StorageBackend) -> Result<usize, EngineError> {
+        Ok(read_deltas(backend)?.len())
     }
 
-    /// Drains the queue into the partition profile files: groups
-    /// deltas by the owning partition, rewrites each touched file once,
-    /// and truncates the queue.
+    /// Drains the log into the partition profile streams: groups
+    /// deltas by the owning partition, rewrites each touched stream
+    /// once, and truncates the log.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Store`] on I/O failure or corrupt files.
+    /// Returns [`EngineError::Store`] on I/O failure or corrupt
+    /// streams.
     pub fn apply_all(
         &mut self,
         partitioning: &Partitioning,
-        workdir: &WorkingDir,
-        stats: &Arc<IoStats>,
+        backend: &dyn StorageBackend,
     ) -> Result<Phase5Stats, EngineError> {
-        let deltas = self.log.read_all(stats)?;
+        let deltas = read_deltas(backend)?;
         if deltas.is_empty() {
             return Ok(Phase5Stats::default());
         }
@@ -113,13 +110,13 @@ impl UpdateQueue {
             ..Default::default()
         };
         for (p, partition_deltas) in by_partition {
-            let path = workdir.profiles_path(p);
-            let rows = read_user_lists(&path, RecordKind::Profiles, stats)?;
+            let stream = StreamId::Profiles(p);
+            let rows = read_user_lists(backend, stream)?;
             let mut profiles: BTreeMap<u32, Profile> = BTreeMap::new();
             for (user, row) in rows {
                 let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
                     EngineError::Store(StoreError::corrupt(
-                        &path,
+                        backend.describe(stream),
                         format!("invalid profile for user {user}: {e}"),
                     ))
                 })?;
@@ -128,7 +125,7 @@ impl UpdateQueue {
             for d in partition_deltas {
                 let profile = profiles.get_mut(&d.user.raw()).ok_or_else(|| {
                     EngineError::Store(StoreError::corrupt(
-                        &path,
+                        backend.describe(stream),
                         format!("user {} missing from partition {p}", d.user),
                     ))
                 })?;
@@ -138,14 +135,14 @@ impl UpdateQueue {
                 .into_iter()
                 .map(|(user, profile)| (user, profile.iter().map(|(i, w)| (i.raw(), w)).collect()))
                 .collect();
-            write_user_lists(&path, RecordKind::Profiles, &new_rows, stats)?;
+            write_user_lists(backend, stream, &new_rows)?;
             result.partitions_rewritten += 1;
         }
-        self.log.truncate()?;
+        backend.truncate_updates()?;
         Ok(result)
     }
 
-    /// Reads one user's current on-disk profile (diagnostics and
+    /// Reads one user's current stored profile (diagnostics and
     /// examples; the engine itself never random-accesses profiles).
     ///
     /// # Errors
@@ -155,17 +152,16 @@ impl UpdateQueue {
     pub fn read_profile(
         user: UserId,
         partitioning: &Partitioning,
-        workdir: &WorkingDir,
-        stats: &IoStats,
+        backend: &dyn StorageBackend,
     ) -> Result<Profile, EngineError> {
         let p = partitioning.partition_of(user);
-        let path = workdir.profiles_path(p);
-        let rows = read_user_lists(&path, RecordKind::Profiles, stats)?;
+        let stream = StreamId::Profiles(p);
+        let rows = read_user_lists(backend, stream)?;
         for (u, row) in rows {
             if u == user.raw() {
                 return Profile::from_unsorted_pairs(row).map_err(|e| {
                     EngineError::Store(StoreError::corrupt(
-                        &path,
+                        backend.describe(stream),
                         format!("invalid profile for user {u}: {e}"),
                     ))
                 });
@@ -182,126 +178,99 @@ mod tests {
     use super::*;
     use crate::phase1::reshard_profiles;
     use knn_sim::{ItemId, ProfileStore};
+    use knn_store::MemBackend;
 
-    fn setup(n: usize, m: usize) -> (WorkingDir, Partitioning, Arc<IoStats>, UpdateQueue) {
-        let wd = WorkingDir::temp("phase5").unwrap();
+    fn setup(n: usize, m: usize) -> (MemBackend, Partitioning, UpdateQueue) {
+        let b = MemBackend::new();
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
-        let stats = Arc::new(IoStats::new());
         let store = ProfileStore::new(n);
-        reshard_profiles(&wd, None, &p, Some(&store), &stats).unwrap();
-        let q = UpdateQueue::open(&wd, n).unwrap();
-        (wd, p, stats, q)
+        reshard_profiles(&b, None, &p, Some(&store)).unwrap();
+        let q = UpdateQueue::new(n);
+        (b, p, q)
     }
 
     #[test]
     fn queue_validates_user_and_weight() {
-        let (wd, _, stats, mut q) = setup(4, 2);
+        let (b, _, mut q) = setup(4, 2);
         assert!(matches!(
-            q.queue(
-                &ProfileDelta::set(UserId::new(9), ItemId::new(0), 1.0),
-                &stats
-            ),
+            q.queue(&ProfileDelta::set(UserId::new(9), ItemId::new(0), 1.0), &b),
             Err(EngineError::InvalidUpdate { .. })
         ));
         assert!(matches!(
             q.queue(
                 &ProfileDelta::set(UserId::new(0), ItemId::new(0), f32::NAN),
-                &stats
+                &b
             ),
             Err(EngineError::InvalidUpdate { .. })
         ));
         assert!(q
-            .queue(
-                &ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0),
-                &stats
-            )
+            .queue(&ProfileDelta::set(UserId::new(0), ItemId::new(0), 1.0), &b)
             .is_ok());
-        assert_eq!(q.pending(&stats).unwrap(), 1);
-        wd.destroy().unwrap();
+        assert_eq!(q.pending(&b).unwrap(), 1);
     }
 
     #[test]
     fn apply_rewrites_only_touched_partitions() {
-        let (wd, p, stats, mut q) = setup(6, 3);
+        let (b, p, mut q) = setup(6, 3);
         // Users 0 and 3 are both in partition 0; only it is touched.
-        q.queue(
-            &ProfileDelta::set(UserId::new(0), ItemId::new(5), 2.0),
-            &stats,
-        )
-        .unwrap();
-        q.queue(
-            &ProfileDelta::set(UserId::new(3), ItemId::new(6), 3.0),
-            &stats,
-        )
-        .unwrap();
-        let st = q.apply_all(&p, &wd, &stats).unwrap();
+        q.queue(&ProfileDelta::set(UserId::new(0), ItemId::new(5), 2.0), &b)
+            .unwrap();
+        q.queue(&ProfileDelta::set(UserId::new(3), ItemId::new(6), 3.0), &b)
+            .unwrap();
+        let st = q.apply_all(&p, &b).unwrap();
         assert_eq!(st.updates_applied, 2);
         assert_eq!(st.partitions_rewritten, 1);
-        let profile = UpdateQueue::read_profile(UserId::new(0), &p, &wd, &stats).unwrap();
+        let profile = UpdateQueue::read_profile(UserId::new(0), &p, &b).unwrap();
         assert_eq!(profile.get(ItemId::new(5)), Some(2.0));
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn apply_preserves_arrival_order_per_user() {
-        let (wd, p, stats, mut q) = setup(2, 1);
+        let (b, p, mut q) = setup(2, 1);
         let u = UserId::new(0);
-        q.queue(&ProfileDelta::set(u, ItemId::new(1), 1.0), &stats)
+        q.queue(&ProfileDelta::set(u, ItemId::new(1), 1.0), &b)
             .unwrap();
-        q.queue(&ProfileDelta::set(u, ItemId::new(1), 2.0), &stats)
+        q.queue(&ProfileDelta::set(u, ItemId::new(1), 2.0), &b)
             .unwrap();
-        q.queue(&ProfileDelta::remove(u, ItemId::new(1)), &stats)
+        q.queue(&ProfileDelta::remove(u, ItemId::new(1)), &b)
             .unwrap();
-        q.queue(&ProfileDelta::set(u, ItemId::new(1), 7.0), &stats)
+        q.queue(&ProfileDelta::set(u, ItemId::new(1), 7.0), &b)
             .unwrap();
-        q.apply_all(&p, &wd, &stats).unwrap();
-        let profile = UpdateQueue::read_profile(u, &p, &wd, &stats).unwrap();
+        q.apply_all(&p, &b).unwrap();
+        let profile = UpdateQueue::read_profile(u, &p, &b).unwrap();
         assert_eq!(profile.get(ItemId::new(1)), Some(7.0));
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn queue_is_empty_after_apply() {
-        let (wd, p, stats, mut q) = setup(2, 1);
-        q.queue(
-            &ProfileDelta::set(UserId::new(1), ItemId::new(0), 1.0),
-            &stats,
-        )
-        .unwrap();
-        q.apply_all(&p, &wd, &stats).unwrap();
-        assert_eq!(q.pending(&stats).unwrap(), 0);
-        let st = q.apply_all(&p, &wd, &stats).unwrap();
+        let (b, p, mut q) = setup(2, 1);
+        q.queue(&ProfileDelta::set(UserId::new(1), ItemId::new(0), 1.0), &b)
+            .unwrap();
+        q.apply_all(&p, &b).unwrap();
+        assert_eq!(q.pending(&b).unwrap(), 0);
+        let st = q.apply_all(&p, &b).unwrap();
         assert_eq!(st.updates_applied, 0);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn replace_and_clear_apply() {
-        let (wd, p, stats, mut q) = setup(2, 1);
+        let (b, p, mut q) = setup(2, 1);
         let u = UserId::new(0);
         let full = Profile::from_unsorted_pairs(vec![(1, 1.0), (2, 2.0)]).unwrap();
-        q.queue(&ProfileDelta::replace(u, full.clone()), &stats)
+        q.queue(&ProfileDelta::replace(u, full.clone()), &b)
             .unwrap();
-        q.apply_all(&p, &wd, &stats).unwrap();
-        assert_eq!(UpdateQueue::read_profile(u, &p, &wd, &stats).unwrap(), full);
-        q.queue(&ProfileDelta::new(u, DeltaOp::Clear), &stats)
-            .unwrap();
-        q.apply_all(&p, &wd, &stats).unwrap();
-        assert!(UpdateQueue::read_profile(u, &p, &wd, &stats)
-            .unwrap()
-            .is_empty());
-        wd.destroy().unwrap();
+        q.apply_all(&p, &b).unwrap();
+        assert_eq!(UpdateQueue::read_profile(u, &p, &b).unwrap(), full);
+        q.queue(&ProfileDelta::new(u, DeltaOp::Clear), &b).unwrap();
+        q.apply_all(&p, &b).unwrap();
+        assert!(UpdateQueue::read_profile(u, &p, &b).unwrap().is_empty());
     }
 
     #[test]
     fn read_profile_unknown_user_errors() {
-        let (wd, p, stats, _q) = setup(2, 1);
-        assert!(UpdateQueue::read_profile(UserId::new(0), &p, &wd, &stats).is_ok());
-        // Partition exists but the user row does not (out-of-range id
-        // still maps to a partition via modulo — craft a missing user).
-        let err = UpdateQueue::read_profile(UserId::new(1), &p, &wd, &stats);
-        assert!(err.is_ok(), "user 1 exists");
-        wd.destroy().unwrap();
+        let (b, p, _q) = setup(2, 1);
+        assert!(UpdateQueue::read_profile(UserId::new(0), &p, &b).is_ok());
+        assert!(UpdateQueue::read_profile(UserId::new(1), &p, &b).is_ok());
     }
 }

@@ -1,5 +1,5 @@
-//! Phase 2's hash table `H`, bucketed by partition pair with disk
-//! spill.
+//! Phase 2's hash table `H`, bucketed by partition pair with spill to
+//! the storage backend.
 //!
 //! The paper uses one hash table to deduplicate candidate tuples
 //! `(s, d)` (the same two-hop pair arises once per bridge vertex, plus
@@ -10,15 +10,15 @@
 //! layout the executor needs.
 //!
 //! Memory is bounded by a spill threshold: a bucket whose in-memory
-//! staging exceeds the threshold is flushed to its file as a sorted
-//! run; [`TupleTable::finalize`] merges runs, deduplicates, rewrites
-//! each final bucket file, and returns the resulting [`PiGraph`].
+//! staging exceeds the threshold is flushed to a
+//! [`StreamId::TupleRun`] as a sorted run; [`TupleTable::finalize`]
+//! merges runs, deduplicates, rewrites each final bucket stream, and
+//! returns the resulting [`PiGraph`].
 
 use std::collections::{BTreeMap, HashSet};
-use std::sync::Arc;
 
-use knn_store::record_file::{read_pairs, write_pairs};
-use knn_store::{IoStats, RecordKind, StoreError, WorkingDir};
+use knn_store::backend::{read_pairs, write_pairs};
+use knn_store::{StorageBackend, StreamId};
 
 use crate::partition::Partitioning;
 use crate::{EngineError, PiGraph};
@@ -38,9 +38,8 @@ pub struct TupleTableStats {
 
 /// The bucketed, spilling tuple hash table.
 pub struct TupleTable<'a> {
-    workdir: &'a WorkingDir,
+    backend: &'a dyn StorageBackend,
     partitioning: &'a Partitioning,
-    stats: Arc<IoStats>,
     spill_threshold: usize,
     /// In-memory staging per directed bucket.
     staging: BTreeMap<(u32, u32), Vec<(u32, u32)>>,
@@ -52,23 +51,21 @@ pub struct TupleTable<'a> {
 }
 
 impl<'a> TupleTable<'a> {
-    /// Creates a table writing buckets under `workdir`, spilling any
+    /// Creates a table writing buckets through `backend`, spilling any
     /// bucket whose staging exceeds `spill_threshold` tuples.
     ///
     /// # Panics
     ///
     /// Panics if `spill_threshold == 0`.
     pub fn new(
-        workdir: &'a WorkingDir,
+        backend: &'a dyn StorageBackend,
         partitioning: &'a Partitioning,
-        stats: Arc<IoStats>,
         spill_threshold: usize,
     ) -> Self {
         assert!(spill_threshold > 0, "spill threshold must be positive");
         TupleTable {
-            workdir,
+            backend,
             partitioning,
-            stats,
             spill_threshold,
             staging: BTreeMap::new(),
             seen: BTreeMap::new(),
@@ -104,17 +101,15 @@ impl<'a> TupleTable<'a> {
         Ok(())
     }
 
-    fn run_path(&self, key: (u32, u32), run: u32) -> std::path::PathBuf {
-        let base = self.workdir.tuples_path(key.0, key.1);
-        base.with_extension(format!("run{run}"))
-    }
-
     fn spill(&mut self, key: (u32, u32)) -> Result<(), EngineError> {
         let run_idx = *self.spilled.get(&key).unwrap_or(&0);
-        let path = self.run_path(key, run_idx);
         let staged = self.staging.get_mut(&key).expect("spill of unknown bucket");
         staged.sort_unstable();
-        write_pairs(&path, RecordKind::Tuples, staged, &self.stats)?;
+        write_pairs(
+            self.backend,
+            StreamId::TupleRun(key.0, key.1, run_idx),
+            staged,
+        )?;
         staged.clear();
         // The per-bucket seen set must survive spills for global
         // dedup correctness; only the staging vector is freed.
@@ -123,8 +118,8 @@ impl<'a> TupleTable<'a> {
         Ok(())
     }
 
-    /// Flushes and merges every bucket to its final file, returning the
-    /// PI graph (bucket → tuple count) and the run statistics.
+    /// Flushes and merges every bucket to its final stream, returning
+    /// the PI graph (bucket → tuple count) and the run statistics.
     ///
     /// # Errors
     ///
@@ -143,9 +138,9 @@ impl<'a> TupleTable<'a> {
             let mut tuples: Vec<(u32, u32)> = self.staging.remove(&key).unwrap_or_default();
             if let Some(&runs) = self.spilled.get(&key) {
                 for run in 0..runs {
-                    let path = self.run_path(key, run);
-                    tuples.extend(read_pairs(&path, RecordKind::Tuples, &self.stats)?);
-                    std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+                    let stream = StreamId::TupleRun(key.0, key.1, run);
+                    tuples.extend(read_pairs(self.backend, stream)?);
+                    self.backend.delete(stream)?;
                 }
             }
             // Runs were deduplicated globally at offer time; sort for
@@ -158,8 +153,7 @@ impl<'a> TupleTable<'a> {
             if tuples.is_empty() {
                 continue;
             }
-            let path = self.workdir.tuples_path(key.0, key.1);
-            write_pairs(&path, RecordKind::Tuples, &tuples, &self.stats)?;
+            write_pairs(self.backend, StreamId::TupleBucket(key.0, key.1), &tuples)?;
             self.counters.unique += tuples.len() as u64;
             pi.add_bucket(key.0, key.1, tuples.len() as u64);
         }
@@ -170,22 +164,22 @@ impl<'a> TupleTable<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use knn_store::MemBackend;
 
-    fn setup(n: usize, m: usize) -> (WorkingDir, Partitioning, Arc<IoStats>) {
-        let wd = WorkingDir::temp("tuple_table").unwrap();
+    fn setup(n: usize, m: usize) -> (MemBackend, Partitioning) {
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
-        (wd, p, Arc::new(IoStats::new()))
+        (MemBackend::new(), p)
     }
 
-    fn read_bucket(wd: &WorkingDir, i: u32, j: u32, stats: &IoStats) -> Vec<(u32, u32)> {
-        read_pairs(&wd.tuples_path(i, j), RecordKind::Tuples, stats).unwrap()
+    fn read_bucket(b: &dyn StorageBackend, i: u32, j: u32) -> Vec<(u32, u32)> {
+        read_pairs(b, StreamId::TupleBucket(i, j)).unwrap()
     }
 
     #[test]
     fn dedups_within_bucket() {
-        let (wd, p, stats) = setup(4, 2);
-        let mut t = TupleTable::new(&wd, &p, Arc::clone(&stats), 1000);
+        let (b, p) = setup(4, 2);
+        let mut t = TupleTable::new(&b, &p, 1000);
         for _ in 0..3 {
             t.offer(0, 1).unwrap(); // bucket (0, 1): users 0→p0, 1→p1
         }
@@ -195,26 +189,24 @@ mod tests {
         assert_eq!(st.duplicates, 2);
         assert_eq!(st.unique, 2);
         assert_eq!(pi.bucket_weight(0, 1), 2);
-        assert_eq!(read_bucket(&wd, 0, 1, &stats), vec![(0, 1), (0, 3)]);
-        wd.destroy().unwrap();
+        assert_eq!(read_bucket(&b, 0, 1), vec![(0, 1), (0, 3)]);
     }
 
     #[test]
     fn self_tuples_ignored() {
-        let (wd, p, stats) = setup(4, 2);
-        let mut t = TupleTable::new(&wd, &p, stats, 1000);
+        let (b, p) = setup(4, 2);
+        let mut t = TupleTable::new(&b, &p, 1000);
         t.offer(2, 2).unwrap();
         let (pi, st) = t.finalize().unwrap();
         assert_eq!(st.offered, 0);
         assert_eq!(pi.total_tuples(), 0);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn spill_and_merge_preserves_exact_tuple_set() {
-        let (wd, p, stats) = setup(100, 4);
+        let (b, p) = setup(100, 4);
         // Tiny threshold forces many spills.
-        let mut t = TupleTable::new(&wd, &p, Arc::clone(&stats), 3);
+        let mut t = TupleTable::new(&b, &p, 3);
         let mut expected: Vec<(u32, u32)> = Vec::new();
         for s in 0..50u32 {
             for d in 50..60u32 {
@@ -231,18 +223,17 @@ mod tests {
         // Re-read all buckets and compare with the expected set.
         let mut got = Vec::new();
         for ((i, j), _) in pi.iter_buckets() {
-            got.extend(read_bucket(&wd, i, j, &stats));
+            got.extend(read_bucket(&b, i, j));
         }
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn buckets_key_by_partition_pair() {
-        let (wd, p, stats) = setup(6, 3); // user u → partition u % 3
-        let mut t = TupleTable::new(&wd, &p, stats, 100);
+        let (b, p) = setup(6, 3); // user u → partition u % 3
+        let mut t = TupleTable::new(&b, &p, 100);
         t.offer(0, 1).unwrap(); // p0 → p1
         t.offer(1, 0).unwrap(); // p1 → p0
         t.offer(3, 4).unwrap(); // p0 → p1 again
@@ -253,33 +244,31 @@ mod tests {
         assert_eq!(pi.bucket_weight(2, 2), 1);
         assert_eq!(pi.num_pairs(), 1);
         assert_eq!(pi.self_pairs(), vec![2]);
-        wd.destroy().unwrap();
     }
 
     #[test]
     fn run_files_are_cleaned_up() {
-        let (wd, p, stats) = setup(20, 2);
-        let mut t = TupleTable::new(&wd, &p, stats, 2);
+        let (b, p) = setup(20, 2);
+        let mut t = TupleTable::new(&b, &p, 2);
         for s in 0..10u32 {
             t.offer(s, (s + 1) % 20).unwrap();
         }
         let (_, st) = t.finalize().unwrap();
         assert!(st.spills > 0);
-        // Only final .tuples files remain in the tuples dir.
-        for entry in std::fs::read_dir(wd.root().join("tuples")).unwrap() {
-            let name = entry.unwrap().file_name().into_string().unwrap();
-            assert!(name.ends_with(".tuples"), "leftover run file {name}");
-        }
-        wd.destroy().unwrap();
+        // Only final bucket streams remain.
+        assert!(b
+            .list()
+            .unwrap()
+            .iter()
+            .all(|s| matches!(s, StreamId::TupleBucket(..))));
     }
 
     #[test]
     fn empty_table_finalizes_to_empty_pi() {
-        let (wd, p, stats) = setup(4, 2);
-        let t = TupleTable::new(&wd, &p, stats, 10);
+        let (b, p) = setup(4, 2);
+        let t = TupleTable::new(&b, &p, 10);
         let (pi, st) = t.finalize().unwrap();
         assert_eq!(pi.total_tuples(), 0);
         assert_eq!(st.offered, 0);
-        wd.destroy().unwrap();
     }
 }

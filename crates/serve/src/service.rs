@@ -83,17 +83,30 @@ impl KnnService {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownUser`] on the first out-of-range
-    /// id (and answers nothing).
+    /// Returns [`ServeError::UnknownUser`] for the first out-of-range
+    /// id and answers nothing: every id is validated against the
+    /// snapshot *before* any result row is materialized, so a failing
+    /// batch does no allocation work.
     pub fn neighbors_many(&self, users: &[UserId]) -> Result<Vec<Vec<Neighbor>>, ServeError> {
         self.counters
             .neighbor_queries
             .fetch_add(users.len() as u64, Ordering::Relaxed);
         let snapshot = self.snapshot();
-        users
+        if let Some(&bad) = users.iter().find(|u| u.index() >= snapshot.num_users()) {
+            return Err(ServeError::UnknownUser {
+                user: bad,
+                num_users: snapshot.num_users(),
+            });
+        }
+        Ok(users
             .iter()
-            .map(|&u| snapshot.neighbors(u).map(<[Neighbor]>::to_vec))
-            .collect()
+            .map(|&u| {
+                snapshot
+                    .neighbors(u)
+                    .expect("validated above against the same snapshot")
+                    .to_vec()
+            })
+            .collect())
     }
 
     /// Top-`k` users for an ad-hoc `query` profile that belongs to no

@@ -312,3 +312,77 @@ fn stop_rejects_new_updates_and_preserves_accepted_ones() {
 
     engine.into_working_dir().destroy().expect("cleanup");
 }
+
+/// The batch contract: `neighbors_many` validates every id against the
+/// snapshot before materializing anything, so one bad id anywhere in
+/// the batch answers nothing (no partial results, deterministic error).
+#[test]
+fn neighbors_many_is_all_or_nothing() {
+    let (config, profiles) = world();
+    let wd = WorkingDir::temp("serve_batch").expect("workdir");
+    let engine = KnnEngine::new(config, profiles, wd).expect("engine");
+    let (service, refine) = spawn(engine, RefineOptions::default()).expect("spawn");
+
+    // Bad id in front, middle, and back: all answer nothing.
+    let bad = UserId::new(N as u32);
+    let good = [UserId::new(0), UserId::new(1), UserId::new(2)];
+    for users in [
+        vec![bad, good[0], good[1]],
+        vec![good[0], bad, good[1]],
+        vec![good[0], good[1], bad],
+    ] {
+        let err = service.neighbors_many(&users).expect_err("must reject");
+        assert!(
+            matches!(err, knn_serve::ServeError::UnknownUser { user, .. } if user == bad),
+            "error must name the offending id"
+        );
+    }
+    // A clean batch still answers fully.
+    let lists = service.neighbors_many(&good).expect("all in range");
+    assert_eq!(lists.len(), good.len());
+    assert!(lists.iter().all(|l| l.len() == K));
+
+    let engine = refine.stop().expect("stop");
+    engine.into_working_dir().destroy().expect("cleanup");
+}
+
+/// The backend choice threads through `spawn`: a service over a fully
+/// in-memory engine serves, refines, and applies updates exactly like
+/// a disk-backed one — no working directory anywhere.
+#[test]
+fn service_runs_fully_in_memory() {
+    let (config, profiles) = world();
+    let engine = KnnEngine::in_memory(config, profiles).expect("mem engine");
+    assert!(engine.working_dir().is_none());
+    let options = RefineOptions {
+        convergence_threshold: None,
+        max_iterations: None,
+        idle_park: Duration::from_millis(1),
+    };
+    let (service, refine) = spawn(engine, options).expect("spawn");
+
+    assert_eq!(service.neighbors(UserId::new(0)).expect("serving").len(), K);
+
+    let user = UserId::new(9);
+    let mut fresh = Profile::new();
+    fresh.set(ItemId::new(77_777), 2.0);
+    service
+        .submit_update(ProfileDelta::replace(user, fresh.clone()))
+        .expect("accepted");
+    assert!(
+        refine.wait_for_epoch(1, Duration::from_secs(120)),
+        "the in-memory loop must publish"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    while service.snapshot().profiles().get(user) != &fresh {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "update never surfaced in a snapshot"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let engine = refine.stop().expect("stop");
+    assert_eq!(engine.export_profiles().expect("export").get(user), &fresh);
+    assert_eq!(engine.backend().name(), "mem");
+}

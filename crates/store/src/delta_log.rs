@@ -94,12 +94,7 @@ impl DeltaLog {
     pub fn read_all(&self, stats: &IoStats) -> Result<Vec<ProfileDelta>, StoreError> {
         let bytes = std::fs::read(&self.path).map_err(|e| StoreError::io(&self.path, e))?;
         stats.record_read(bytes.len() as u64);
-        let mut buf = &bytes[..];
-        let mut deltas = Vec::new();
-        while buf.has_remaining() {
-            deltas.push(decode_delta(&mut buf, &self.path)?);
-        }
-        Ok(deltas)
+        decode_deltas(&bytes, &self.path)
     }
 
     /// Number of queued deltas (reads the log).
@@ -131,7 +126,10 @@ impl DeltaLog {
     }
 }
 
-fn encode_delta(buf: &mut BytesMut, delta: &ProfileDelta) {
+/// Encodes one delta in the log's wire format (the format is shared by
+/// every storage backend's update log, so a disk log written before the
+/// backend abstraction existed still decodes).
+pub fn encode_delta(buf: &mut BytesMut, delta: &ProfileDelta) {
     buf.put_u32_le(delta.user.raw());
     match &delta.op {
         DeltaOp::Set(item, weight) => {
@@ -156,6 +154,21 @@ fn encode_delta(buf: &mut BytesMut, delta: &ProfileDelta) {
         // is added without codec support.
         other => unreachable!("unsupported delta op {other:?}"),
     }
+}
+
+/// Decodes every delta in `bytes`, in append order. `path` only labels
+/// errors.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] on a malformed record.
+pub fn decode_deltas(bytes: &[u8], path: &Path) -> Result<Vec<ProfileDelta>, StoreError> {
+    let mut buf = bytes;
+    let mut deltas = Vec::new();
+    while buf.has_remaining() {
+        deltas.push(decode_delta(&mut buf, path)?);
+    }
+    Ok(deltas)
 }
 
 fn decode_delta(buf: &mut impl Buf, path: &Path) -> Result<ProfileDelta, StoreError> {

@@ -1,17 +1,26 @@
-//! Out-of-core storage substrate for the KNN engine.
+//! Storage substrate for the KNN engine, behind a pluggable backend.
 //!
-//! The Middleware'14 system's whole premise is that neither the KNN
-//! graph `G(t)` nor the profile set `P(t)` fits in memory, so both live
-//! on disk in *partition-sized* files and the engine moves whole
-//! partitions between disk and RAM. This crate provides everything
-//! below the algorithm:
+//! The Middleware'14 system's premise is that neither the KNN graph
+//! `G(t)` nor the profile set `P(t)` fits in memory, so both live in
+//! *partition-sized* record streams and the engine moves whole
+//! partitions between storage and RAM. Since the [`backend`] redesign
+//! the engine speaks only the [`StorageBackend`] trait — the complete
+//! storage contract as operations over named record streams
+//! ([`backend::StreamId`]) — and this crate provides everything below
+//! the algorithm:
 //!
-//! * [`WorkingDir`] — the on-disk layout (one edge/profile/accumulator
-//!   file per partition, one tuple bucket per partition pair);
+//! * [`backend`] — the [`StorageBackend`] trait plus its two shipped
+//!   implementations: [`DiskBackend`] (the paper's out-of-core
+//!   setting) and [`MemBackend`] (same codec, RAM-resident — the fast
+//!   path when the data fits);
+//! * [`WorkingDir`] — the on-disk layout `DiskBackend` wraps (one
+//!   edge/profile/accumulator file per partition, one tuple bucket per
+//!   partition pair);
 //! * [`codec`] / [`record_file`] — explicit, versioned binary encodings
-//!   (no serde formats are available offline; the codec is ~100 lines
-//!   and round-trip tested);
-//! * [`IoStats`] — atomic counters observing every byte and operation;
+//!   shared by every backend (no serde formats are available offline;
+//!   the codec is ~100 lines and round-trip tested);
+//! * [`IoStats`] — atomic counters living *inside* the backend
+//!   boundary, so different backends are metered uniformly;
 //! * [`DiskModel`] — seek + bandwidth cost models replaying a run's I/O
 //!   trace as simulated HDD/SSD/RAM-disk time (the paper's future-work
 //!   device comparison);
@@ -31,6 +40,7 @@
 //! let _ = IoStats::new();
 //! ```
 
+pub mod backend;
 pub mod cache;
 pub mod codec;
 pub mod crc32;
@@ -41,6 +51,7 @@ pub mod io_stats;
 pub mod layout;
 pub mod record_file;
 
+pub use backend::{DiskBackend, MemBackend, StorageBackend, StreamId};
 pub use cache::{CacheCounters, SlotCache};
 pub use disk_model::DiskModel;
 pub use error::StoreError;

@@ -47,13 +47,27 @@ pub enum RecordKind {
     Assignment = 9,
 }
 
-/// Reads a record file and verifies its trailing CRC-32, returning the
-/// payload without the checksum.
-fn read_file(path: &Path, stats: &IoStats) -> Result<Vec<u8>, StoreError> {
-    let mut bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
-    stats.record_read(bytes.len() as u64);
+/// Appends the trailing CRC-32 frame to a codec payload, producing the
+/// exact byte sequence stored at rest (on disk or in a memory backend).
+pub fn frame(bytes: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(bytes.len() + 4);
+    framed.extend_from_slice(bytes);
+    framed.extend_from_slice(&crc32(bytes).to_le_bytes());
+    framed
+}
+
+/// Verifies the trailing CRC-32 of a framed record, returning the
+/// payload without the checksum. `path` only labels errors.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] on truncation or checksum mismatch.
+pub fn verify_unframe(mut bytes: Vec<u8>, path: &Path) -> Result<Vec<u8>, StoreError> {
     if bytes.len() < 4 {
-        return Err(StoreError::corrupt(path, "file shorter than its checksum"));
+        return Err(StoreError::corrupt(
+            path,
+            "record shorter than its checksum",
+        ));
     }
     let payload_len = bytes.len() - 4;
     let stored = u32::from_le_bytes(bytes[payload_len..].try_into().expect("4 bytes"));
@@ -68,14 +82,56 @@ fn read_file(path: &Path, stats: &IoStats) -> Result<Vec<u8>, StoreError> {
     Ok(bytes)
 }
 
-/// Writes a record file with a trailing CRC-32 of the payload.
-fn write_file(path: &Path, bytes: &[u8], stats: &IoStats) -> Result<(), StoreError> {
-    let mut framed = Vec::with_capacity(bytes.len() + 4);
-    framed.extend_from_slice(bytes);
-    framed.extend_from_slice(&crc32(bytes).to_le_bytes());
+/// Reads a record file and verifies its trailing CRC-32, returning the
+/// payload without the checksum. Shared with `DiskBackend` so the
+/// path-based API and the backend meter and fail identically.
+pub(crate) fn read_file(path: &Path, stats: &IoStats) -> Result<Vec<u8>, StoreError> {
+    let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    stats.record_read(bytes.len() as u64);
+    verify_unframe(bytes, path)
+}
+
+/// Writes a record file with a trailing CRC-32 of the payload. Shared
+/// with `DiskBackend` (see [`read_file`]).
+pub(crate) fn write_file(path: &Path, bytes: &[u8], stats: &IoStats) -> Result<(), StoreError> {
+    let framed = frame(bytes);
     std::fs::write(path, &framed).map_err(|e| StoreError::io(path, e))?;
     stats.record_write(framed.len() as u64);
     Ok(())
+}
+
+/// Encodes a pair record (`(u32, u32)` rows) into its unframed codec
+/// payload (header + rows, no CRC).
+pub fn encode_pairs(kind: RecordKind, rows: &[(u32, u32)]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(16 + rows.len() * 8);
+    put_header(&mut buf, kind as u16, rows.len() as u64);
+    for &(a, b) in rows {
+        buf.put_u32_le(a);
+        buf.put_u32_le(b);
+    }
+    buf
+}
+
+/// Decodes a pair record payload written by [`encode_pairs`]. `path`
+/// only labels errors.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] / [`StoreError::VersionMismatch`] on
+/// malformed content.
+pub fn decode_pairs(
+    bytes: &[u8],
+    kind: RecordKind,
+    path: &Path,
+) -> Result<Vec<(u32, u32)>, StoreError> {
+    let mut buf = bytes;
+    let count = take_header(&mut buf, kind as u16, path)?;
+    need(&buf, count as usize * 8, "pair rows", path)?;
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        rows.push((buf.get_u32_le(), buf.get_u32_le()));
+    }
+    Ok(rows)
 }
 
 /// Writes a pair file (`(u32, u32)` rows).
@@ -89,13 +145,7 @@ pub fn write_pairs(
     rows: &[(u32, u32)],
     stats: &IoStats,
 ) -> Result<(), StoreError> {
-    let mut buf = BytesMut::with_capacity(16 + rows.len() * 8);
-    put_header(&mut buf, kind as u16, rows.len() as u64);
-    for &(a, b) in rows {
-        buf.put_u32_le(a);
-        buf.put_u32_le(b);
-    }
-    write_file(path, &buf, stats)
+    write_file(path, &encode_pairs(kind, rows), stats)
 }
 
 /// Reads a pair file written by [`write_pairs`].
@@ -110,12 +160,35 @@ pub fn read_pairs(
     stats: &IoStats,
 ) -> Result<Vec<(u32, u32)>, StoreError> {
     let bytes = read_file(path, stats)?;
-    let mut buf = &bytes[..];
-    let count = take_header(&mut buf, kind as u16, path)?;
-    need(&buf, count as usize * 8, "pair rows", path)?;
+    decode_pairs(&bytes, kind, path)
+}
+
+/// Encodes a scored-pair record (`(u32, u32, f32)` rows) into its
+/// unframed codec payload.
+pub fn encode_scored_pairs(rows: &[(u32, u32, f32)]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(16 + rows.len() * 12);
+    put_header(&mut buf, RecordKind::ScoredEdges as u16, rows.len() as u64);
+    for &(a, b, s) in rows {
+        buf.put_u32_le(a);
+        buf.put_u32_le(b);
+        buf.put_f32_le(s);
+    }
+    buf
+}
+
+/// Decodes a scored-pair record payload written by
+/// [`encode_scored_pairs`]. `path` only labels errors.
+///
+/// # Errors
+///
+/// Same as [`decode_pairs`].
+pub fn decode_scored_pairs(bytes: &[u8], path: &Path) -> Result<Vec<(u32, u32, f32)>, StoreError> {
+    let mut buf = bytes;
+    let count = take_header(&mut buf, RecordKind::ScoredEdges as u16, path)?;
+    need(&buf, count as usize * 12, "scored rows", path)?;
     let mut rows = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        rows.push((buf.get_u32_le(), buf.get_u32_le()));
+        rows.push((buf.get_u32_le(), buf.get_u32_le(), buf.get_f32_le()));
     }
     Ok(rows)
 }
@@ -130,14 +203,7 @@ pub fn write_scored_pairs(
     rows: &[(u32, u32, f32)],
     stats: &IoStats,
 ) -> Result<(), StoreError> {
-    let mut buf = BytesMut::with_capacity(16 + rows.len() * 12);
-    put_header(&mut buf, RecordKind::ScoredEdges as u16, rows.len() as u64);
-    for &(a, b, s) in rows {
-        buf.put_u32_le(a);
-        buf.put_u32_le(b);
-        buf.put_f32_le(s);
-    }
-    write_file(path, &buf, stats)
+    write_file(path, &encode_scored_pairs(rows), stats)
 }
 
 /// Reads a scored-pair file written by [`write_scored_pairs`].
@@ -147,14 +213,7 @@ pub fn write_scored_pairs(
 /// Same as [`read_pairs`].
 pub fn read_scored_pairs(path: &Path, stats: &IoStats) -> Result<Vec<(u32, u32, f32)>, StoreError> {
     let bytes = read_file(path, stats)?;
-    let mut buf = &bytes[..];
-    let count = take_header(&mut buf, RecordKind::ScoredEdges as u16, path)?;
-    need(&buf, count as usize * 12, "scored rows", path)?;
-    let mut rows = Vec::with_capacity(count as usize);
-    for _ in 0..count {
-        rows.push((buf.get_u32_le(), buf.get_u32_le(), buf.get_f32_le()));
-    }
-    Ok(rows)
+    decode_scored_pairs(&bytes, path)
 }
 
 /// One row of a user-list file: a user id and its `(key, value)`
@@ -174,6 +233,11 @@ pub fn write_user_lists(
     rows: &[UserListRow],
     stats: &IoStats,
 ) -> Result<(), StoreError> {
+    write_file(path, &encode_user_lists(kind, rows), stats)
+}
+
+/// Encodes a user-list record into its unframed codec payload.
+pub fn encode_user_lists(kind: RecordKind, rows: &[UserListRow]) -> BytesMut {
     let payload: usize = rows.iter().map(|(_, l)| 8 + l.len() * 8).sum();
     let mut buf = BytesMut::with_capacity(16 + payload);
     put_header(&mut buf, kind as u16, rows.len() as u64);
@@ -185,21 +249,21 @@ pub fn write_user_lists(
             buf.put_f32_le(v);
         }
     }
-    write_file(path, &buf, stats)
+    buf
 }
 
-/// Reads a user-list file written by [`write_user_lists`].
+/// Decodes a user-list record payload written by [`encode_user_lists`].
+/// `path` only labels errors.
 ///
 /// # Errors
 ///
-/// Same as [`read_pairs`].
-pub fn read_user_lists(
-    path: &Path,
+/// Same as [`decode_pairs`].
+pub fn decode_user_lists(
+    bytes: &[u8],
     kind: RecordKind,
-    stats: &IoStats,
+    path: &Path,
 ) -> Result<Vec<UserListRow>, StoreError> {
-    let bytes = read_file(path, stats)?;
-    let mut buf = &bytes[..];
+    let mut buf = bytes;
     let count = take_header(&mut buf, kind as u16, path)?;
     let mut rows = Vec::with_capacity(count as usize);
     for _ in 0..count {
@@ -216,19 +280,55 @@ pub fn read_user_lists(
     Ok(rows)
 }
 
+/// Reads a user-list file written by [`write_user_lists`].
+///
+/// # Errors
+///
+/// Same as [`read_pairs`].
+pub fn read_user_lists(
+    path: &Path,
+    kind: RecordKind,
+    stats: &IoStats,
+) -> Result<Vec<UserListRow>, StoreError> {
+    let bytes = read_file(path, stats)?;
+    decode_user_lists(&bytes, kind, path)
+}
+
 /// Writes a small metadata map of `(key, value)` integers.
 ///
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] on filesystem failure.
 pub fn write_meta(path: &Path, entries: &[(u32, u64)], stats: &IoStats) -> Result<(), StoreError> {
+    write_file(path, &encode_meta(entries), stats)
+}
+
+/// Encodes a metadata map into its unframed codec payload.
+pub fn encode_meta(entries: &[(u32, u64)]) -> BytesMut {
     let mut buf = BytesMut::with_capacity(16 + entries.len() * 12);
     put_header(&mut buf, RecordKind::Meta as u16, entries.len() as u64);
     for &(k, v) in entries {
         buf.put_u32_le(k);
         buf.put_u64_le(v);
     }
-    write_file(path, &buf, stats)
+    buf
+}
+
+/// Decodes a metadata map payload written by [`encode_meta`]. `path`
+/// only labels errors.
+///
+/// # Errors
+///
+/// Same as [`decode_pairs`].
+pub fn decode_meta(bytes: &[u8], path: &Path) -> Result<Vec<(u32, u64)>, StoreError> {
+    let mut buf = bytes;
+    let count = take_header(&mut buf, RecordKind::Meta as u16, path)?;
+    need(&buf, count as usize * 12, "meta rows", path)?;
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        rows.push((buf.get_u32_le(), buf.get_u64_le()));
+    }
+    Ok(rows)
 }
 
 /// Reads a metadata map written by [`write_meta`].
@@ -238,14 +338,7 @@ pub fn write_meta(path: &Path, entries: &[(u32, u64)], stats: &IoStats) -> Resul
 /// Same as [`read_pairs`].
 pub fn read_meta(path: &Path, stats: &IoStats) -> Result<Vec<(u32, u64)>, StoreError> {
     let bytes = read_file(path, stats)?;
-    let mut buf = &bytes[..];
-    let count = take_header(&mut buf, RecordKind::Meta as u16, path)?;
-    need(&buf, count as usize * 12, "meta rows", path)?;
-    let mut rows = Vec::with_capacity(count as usize);
-    for _ in 0..count {
-        rows.push((buf.get_u32_le(), buf.get_u64_le()));
-    }
-    Ok(rows)
+    decode_meta(&bytes, path)
 }
 
 #[cfg(test)]

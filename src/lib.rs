@@ -12,7 +12,7 @@
 //! |---|---|---|
 //! | [`graph`] | `knn-graph` | graph types, generators, edge-list I/O |
 //! | [`sim`] | `knn-sim` | sparse profiles, similarity measures, workload generators |
-//! | [`store`] | `knn-store` | partition files, I/O accounting, disk models, the 2-slot cache |
+//! | [`store`] | `knn-store` | the `StorageBackend` trait (disk + in-memory backends), codecs, I/O accounting, disk models, the 2-slot cache |
 //! | [`core`] | `knn-core` | the five-phase engine (partitioning → tuples → PI graph → KNN → updates) |
 //! | [`serve`] | `knn-serve` | online query layer: snapshot swap, concurrent `KnnService`, background refinement |
 //! | [`baseline`] | `knn-baseline` | brute force, NN-Descent, naive out-of-core, recall |
@@ -49,6 +49,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Storage is pluggable ([`store::StorageBackend`]): swap the working
+//! directory for [`KnnEngine::in_memory`] and the same loop runs with
+//! zero filesystem — see `examples/in_memory.rs`.
 //!
 //! ## Serving queries while refining
 //!
@@ -95,4 +99,4 @@ pub use knn_datasets::{Table1Dataset, Workload, WorkloadConfig};
 pub use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
 pub use knn_serve::{KnnService, RefineHandle, RefineOptions, ServeError, Snapshot};
 pub use knn_sim::{ItemId, Measure, Profile, ProfileDelta, ProfileStore, Similarity};
-pub use knn_store::{DiskModel, IoStats, WorkingDir};
+pub use knn_store::{DiskBackend, DiskModel, IoStats, MemBackend, StorageBackend, WorkingDir};

@@ -1,0 +1,313 @@
+//! The storage-backend acceptance bar: `MemBackend` and `DiskBackend`
+//! are interchangeable — identical graphs for identical seeds,
+//! byte-identical persisted state — and the disk backend still opens
+//! working directories written with the pre-trait path-based API.
+
+use std::sync::Arc;
+
+use ooc_knn::sim::generators::{clustered_profiles, ClusteredConfig};
+use ooc_knn::store::backend::StorageBackend;
+use ooc_knn::store::delta_log::DeltaLog;
+use ooc_knn::store::record_file::{write_meta, write_pairs, write_scored_pairs, write_user_lists};
+use ooc_knn::store::{DiskBackend, IoStats, MemBackend, RecordKind, StreamId};
+use ooc_knn::{
+    EngineConfig, EngineError, ItemId, KnnEngine, KnnGraph, Measure, ProfileDelta, ProfileStore,
+    UserId, WorkingDir,
+};
+
+fn workload(n: usize, seed: u64) -> ProfileStore {
+    let (store, _) = clustered_profiles(
+        ClusteredConfig::new(n, seed)
+            .with_clusters(4)
+            .with_ratings(10, 2),
+    );
+    store
+}
+
+fn config(n: usize, k: usize, m: usize, seed: u64) -> EngineConfig {
+    EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(m)
+        .measure(Measure::Cosine)
+        .seed(seed)
+        .build()
+        .expect("config")
+}
+
+/// The tentpole equivalence claim: for the same config/seed/profiles
+/// — including queued phase-5 updates landing mid-run — the in-memory
+/// and on-disk engines produce identical graphs after every one of 3
+/// iterations, and their persisted KNN slices are byte-identical.
+#[test]
+fn mem_and_disk_engines_produce_identical_graphs() {
+    let n = 60;
+    let (k, m, seed) = (4, 5, 17);
+    let g0 = KnnGraph::random_init(n, k, seed);
+
+    let disk: Arc<dyn StorageBackend> =
+        Arc::new(DiskBackend::temp("equivalence_disk").expect("disk backend"));
+    let mem: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let mut engines: Vec<KnnEngine> = [Arc::clone(&disk), Arc::clone(&mem)]
+        .into_iter()
+        .map(|b| {
+            KnnEngine::with_initial_graph_on(
+                config(n, k, m, seed),
+                g0.clone(),
+                workload(n, seed),
+                b,
+            )
+            .expect("engine")
+        })
+        .collect();
+
+    for iteration in 0..3 {
+        if iteration == 1 {
+            // Same updates queued on both sides mid-run.
+            for engine in &mut engines {
+                engine
+                    .queue_update(&ProfileDelta::set(UserId::new(3), ItemId::new(901), 4.5))
+                    .expect("update");
+                engine
+                    .queue_update(&ProfileDelta::replace(
+                        UserId::new(11),
+                        ooc_knn::Profile::from_unsorted_pairs(vec![(5, 1.0), (6, 2.0)])
+                            .expect("profile"),
+                    ))
+                    .expect("update");
+            }
+        }
+        let reports: Vec<_> = engines
+            .iter_mut()
+            .map(|e| e.run_iteration().expect("iteration"))
+            .collect();
+        assert_eq!(
+            engines[0].graph(),
+            engines[1].graph(),
+            "graphs diverged at iteration {iteration}"
+        );
+        assert_eq!(
+            reports[0].updates_applied, reports[1].updates_applied,
+            "phase-5 behavior diverged at iteration {iteration}"
+        );
+    }
+
+    // Byte-for-byte: every persisted stream of the run's final state
+    // (unframed payloads as the backends return them) must agree.
+    for p in 0..m as u32 {
+        for stream in [
+            StreamId::KnnSlice(p),
+            StreamId::Profiles(p),
+            StreamId::Assignment,
+            StreamId::Meta,
+        ] {
+            assert_eq!(
+                disk.read(stream).expect("disk read"),
+                mem.read(stream).expect("mem read"),
+                "stream {stream} differs between backends"
+            );
+        }
+    }
+
+    let wd = disk.working_dir().expect("disk-backed").clone();
+    drop(engines);
+    wd.destroy().expect("cleanup");
+}
+
+/// Disk compatibility: a working directory laid out **only** with the
+/// legacy path-based `record_file` / `DeltaLog` API — exactly what
+/// pre-refactor engines wrote — resumes through `DiskBackend`,
+/// continues iterating, and applies the update log it found.
+#[test]
+fn disk_backend_reopens_a_pre_refactor_working_directory() {
+    let n = 30;
+    let (k, m, seed) = (3, 3, 5);
+    let g = KnnGraph::random_init(n, k, seed);
+    let profiles = workload(n, seed);
+    let assignment: Vec<u32> = (0..n as u32).map(|u| u % m as u32).collect();
+
+    let wd = WorkingDir::temp("legacy_dir").expect("workdir");
+    let stats = IoStats::new();
+    // meta.bin — keys as the pre-refactor engine wrote them.
+    write_meta(
+        &wd.meta_path(),
+        &[
+            (1, 2u64), // iteration
+            (2, n as u64),
+            (3, k as u64),
+            (4, m as u64),
+            (5, seed),
+        ],
+        &stats,
+    )
+    .expect("meta");
+    // assignment.bin
+    let assignment_rows: Vec<(u32, u32)> = assignment
+        .iter()
+        .enumerate()
+        .map(|(u, &p)| (u as u32, p))
+        .collect();
+    write_pairs(
+        &wd.assignment_path(),
+        RecordKind::Assignment,
+        &assignment_rows,
+        &stats,
+    )
+    .expect("assignment");
+    // Per-partition KNN slices and profile files.
+    for p in 0..m as u32 {
+        let mut slice = Vec::new();
+        let mut profile_rows = Vec::new();
+        for u in 0..n as u32 {
+            if assignment[u as usize] != p {
+                continue;
+            }
+            for nb in g.neighbors(UserId::new(u)) {
+                slice.push((u, nb.id.raw(), nb.sim));
+            }
+            let row: Vec<(u32, f32)> = profiles
+                .get(UserId::new(u))
+                .iter()
+                .map(|(i, w)| (i.raw(), w))
+                .collect();
+            profile_rows.push((u, row));
+        }
+        write_scored_pairs(&wd.knn_path(p), &slice, &stats).expect("knn slice");
+        write_user_lists(
+            &wd.profiles_path(p),
+            RecordKind::Profiles,
+            &profile_rows,
+            &stats,
+        )
+        .expect("profiles");
+    }
+    // updates.log with one still-pending delta, via the legacy log.
+    let mut log = DeltaLog::open(wd.updates_path()).expect("log");
+    log.append(
+        &ProfileDelta::set(UserId::new(7), ItemId::new(4242), 3.0),
+        &stats,
+    )
+    .expect("append");
+    drop(log);
+
+    // Resume through the trait-based disk backend.
+    let mut engine = KnnEngine::resume(config(n, k, m, seed), wd).expect("resume");
+    assert_eq!(engine.iteration(), 2);
+    assert_eq!(
+        engine.graph(),
+        &g,
+        "legacy slices must rebuild G(t) exactly"
+    );
+    assert_eq!(engine.pending_updates().expect("pending"), 1);
+    let report = engine.run_iteration().expect("iteration");
+    assert_eq!(report.updates_applied, 1, "legacy update log must drain");
+    assert_eq!(
+        engine
+            .profile_of(UserId::new(7))
+            .expect("profile")
+            .get(ItemId::new(4242)),
+        Some(3.0)
+    );
+    engine.into_working_dir().destroy().expect("cleanup");
+}
+
+/// Resume hardening: a KNN slice naming the same user twice is a
+/// corrupt input, not a silent merge.
+#[test]
+fn resume_rejects_slice_naming_a_user_twice() {
+    let n = 20;
+    let cfg = config(n, 3, 2, 9);
+    let wd = WorkingDir::temp("resume_dup_user").expect("workdir");
+    let root = wd.root().to_path_buf();
+    let engine = KnnEngine::new(cfg.clone(), workload(n, 9), wd).expect("engine");
+    drop(engine);
+
+    // Rewrite partition 0's slice so user 0 appears in two separate
+    // runs of rows (0, then 2, then 0 again).
+    let wd = WorkingDir::create(&root).expect("reopen");
+    let stats = IoStats::new();
+    let rows = vec![
+        (0u32, 1u32, 0.9f32),
+        (2, 1, 0.8),
+        (0, 3, 0.7), // user 0 again: second run
+    ];
+    write_scored_pairs(&wd.knn_path(0), &rows, &stats).expect("slice");
+    let err = KnnEngine::resume(cfg.clone(), wd).expect_err("must reject");
+    assert!(
+        matches!(&err, EngineError::InputMismatch { .. }),
+        "got {err:?}"
+    );
+    assert!(
+        err.to_string().contains("twice"),
+        "error must say the user is duplicated: {err}"
+    );
+
+    // A user also cannot span two partitions' slices.
+    let wd = WorkingDir::create(&root).expect("reopen");
+    write_scored_pairs(&wd.knn_path(0), &[(0, 1, 0.9)], &stats).expect("slice 0");
+    write_scored_pairs(&wd.knn_path(1), &[(0, 2, 0.8)], &stats).expect("slice 1");
+    let err = KnnEngine::resume(cfg, wd).expect_err("must reject");
+    assert!(
+        matches!(&err, EngineError::InputMismatch { .. }),
+        "got {err:?}"
+    );
+    WorkingDir::create(&root)
+        .expect("reopen")
+        .destroy()
+        .expect("cleanup");
+}
+
+/// Resume hardening: a KNN slice carrying more than `K` neighbors for
+/// one user is rejected with a typed error.
+#[test]
+fn resume_rejects_slice_with_more_than_k_neighbors() {
+    let n = 20;
+    let cfg = config(n, 2, 2, 10); // K = 2
+    let wd = WorkingDir::temp("resume_over_k").expect("workdir");
+    let root = wd.root().to_path_buf();
+    let engine = KnnEngine::new(cfg.clone(), workload(n, 10), wd).expect("engine");
+    drop(engine);
+
+    let wd = WorkingDir::create(&root).expect("reopen");
+    let stats = IoStats::new();
+    // Three neighbors for user 0 with K = 2.
+    let rows = vec![(0u32, 1u32, 0.9f32), (0, 2, 0.8), (0, 3, 0.7)];
+    write_scored_pairs(&wd.knn_path(0), &rows, &stats).expect("slice");
+    let err = KnnEngine::resume(cfg, wd).expect_err("must reject");
+    assert!(
+        matches!(&err, EngineError::InputMismatch { .. }),
+        "got {err:?}"
+    );
+    assert!(
+        err.to_string().contains("neighbors"),
+        "error must name the bound violation: {err}"
+    );
+    WorkingDir::create(&root)
+        .expect("reopen")
+        .destroy()
+        .expect("cleanup");
+}
+
+/// Resume hardening: a slice naming a user outside the configured
+/// range is rejected (the id would otherwise index out of the graph).
+#[test]
+fn resume_rejects_slice_naming_unknown_user() {
+    let n = 10;
+    let cfg = config(n, 2, 2, 11);
+    let wd = WorkingDir::temp("resume_unknown_user").expect("workdir");
+    let root = wd.root().to_path_buf();
+    let engine = KnnEngine::new(cfg.clone(), workload(n, 11), wd).expect("engine");
+    drop(engine);
+
+    let wd = WorkingDir::create(&root).expect("reopen");
+    let stats = IoStats::new();
+    write_scored_pairs(&wd.knn_path(0), &[(99, 1, 0.9)], &stats).expect("slice");
+    let err = KnnEngine::resume(cfg, wd).expect_err("must reject");
+    assert!(
+        matches!(&err, EngineError::InputMismatch { .. }),
+        "got {err:?}"
+    );
+    WorkingDir::create(&root)
+        .expect("reopen")
+        .destroy()
+        .expect("cleanup");
+}

@@ -136,6 +136,73 @@ fn resume_before_any_iteration_reproduces_g0() {
 }
 
 proptest! {
+    // Persistence round-trip against BOTH storage backends: build an
+    // engine, run 1–3 iterations with updates queued mid-run, leave
+    // more updates pending, reopen via `resume`, and require graph,
+    // partitioning, iteration counter, and pending-update count to be
+    // identical — plus the two backends agreeing with each other.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn persistence_round_trips_on_every_backend(
+        n in 20usize..60,
+        k in 1usize..5,
+        m in 1usize..7,
+        seed in 0u64..1000,
+        iters in 1usize..4,
+        pending in 0usize..4,
+    ) {
+        use ooc_knn::store::{DiskBackend, MemBackend, StorageBackend};
+        use std::sync::Arc;
+
+        let m = m.min(n);
+        let mut final_graphs = Vec::new();
+        let disk: Arc<dyn StorageBackend> =
+            Arc::new(DiskBackend::temp("prop_roundtrip").unwrap());
+        let disk_wd = disk.working_dir().unwrap().clone();
+        let mem: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        for backend in [disk, mem] {
+            let cfg = config(n, k, m, seed);
+            let mut engine = KnnEngine::new_on(
+                cfg.clone(),
+                workload(n, seed),
+                Arc::clone(&backend),
+            ).unwrap();
+            for i in 0..iters {
+                // An update queued mid-run exercises phase 5 before
+                // the crash point.
+                engine.queue_update(&ProfileDelta::set(
+                    UserId::new((i % n) as u32),
+                    ItemId::new(10_000 + i as u32),
+                    1.0 + i as f32,
+                )).unwrap();
+                engine.run_iteration().unwrap();
+            }
+            // Updates still pending when the process "dies".
+            for j in 0..pending {
+                engine.queue_update(&ProfileDelta::set(
+                    UserId::new((j % n) as u32),
+                    ItemId::new(20_000 + j as u32),
+                    2.0,
+                )).unwrap();
+            }
+            let graph = engine.graph().clone();
+            let assignment = engine.partitioning().assignment().to_vec();
+            drop(engine);
+
+            let resumed = KnnEngine::resume_on(cfg, backend).unwrap();
+            prop_assert_eq!(resumed.iteration(), iters as u64);
+            prop_assert_eq!(resumed.graph(), &graph);
+            prop_assert_eq!(resumed.partitioning().assignment(), &assignment[..]);
+            prop_assert_eq!(resumed.pending_updates().unwrap(), pending);
+            final_graphs.push(graph);
+        }
+        prop_assert_eq!(&final_graphs[0], &final_graphs[1],
+            "disk and mem engines must agree");
+        disk_wd.destroy().unwrap();
+    }
+}
+
+proptest! {
     // Randomized worlds: the out-of-core engine must equal the
     // in-memory reference transition for arbitrary (n, k, m, seed).
     #![proptest_config(ProptestConfig::with_cases(8))]

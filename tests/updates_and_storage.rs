@@ -7,11 +7,11 @@ use ooc_knn::core::phase1::reshard_profiles;
 use ooc_knn::core::reference::reference_iteration;
 use ooc_knn::sim::generators::{clustered_profiles, ClusteredConfig};
 use ooc_knn::sim::DeltaOp;
+use ooc_knn::store::StorageBackend;
 use ooc_knn::{
     EngineConfig, EngineError, ItemId, KnnEngine, KnnGraph, Measure, Profile, ProfileDelta,
     ProfileStore, UserId, WorkingDir,
 };
-use std::sync::Arc;
 
 fn workload(n: usize, seed: u64) -> ProfileStore {
     let (store, _) = clustered_profiles(
@@ -150,22 +150,21 @@ fn naive_baseline_same_answer_far_more_io() {
     let engine_ops = report.cache.total_ops();
     engine.into_working_dir().destroy().unwrap();
 
-    // Naive random-access run over the same layout.
+    // Naive random-access run over the same layout (storage backend
+    // agnostic — run it on the disk backend, like the paper's setting).
     let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
     let partitioning = Partitioning::from_assignment(assignment, m).unwrap();
-    let wd = WorkingDir::temp("itest_naive").unwrap();
-    let stats = Arc::new(ooc_knn::IoStats::new());
-    reshard_profiles(&wd, None, &partitioning, Some(&profiles), &stats).unwrap();
+    let backend = ooc_knn::store::DiskBackend::temp("itest_naive").unwrap();
+    reshard_profiles(&backend, None, &partitioning, Some(&profiles)).unwrap();
     let naive =
-        naive_out_of_core_iteration(&g0, &partitioning, &wd, &stats, &Measure::Cosine, 4, 2)
-            .unwrap();
+        naive_out_of_core_iteration(&g0, &partitioning, &backend, &Measure::Cosine, 4, 2).unwrap();
     assert_eq!(naive.graph, engine_graph, "both paths must agree on G(t+1)");
     assert!(
         naive.cache.total_ops() > 3 * engine_ops,
         "naive ops {} should dwarf engine ops {engine_ops}",
         naive.cache.total_ops()
     );
-    wd.destroy().unwrap();
+    backend.working_dir().unwrap().clone().destroy().unwrap();
 }
 
 #[test]
@@ -182,7 +181,7 @@ fn corrupt_partition_file_surfaces_a_typed_error() {
     let mut engine = KnnEngine::new(config, profiles, wd).unwrap();
     engine.run_iteration().unwrap();
     // Truncate one profile partition file behind the engine's back.
-    let victim = engine.working_dir().profiles_path(1);
+    let victim = engine.working_dir().expect("disk-backed").profiles_path(1);
     let bytes = std::fs::read(&victim).unwrap();
     std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
     let err = engine.run_iteration().unwrap_err();
