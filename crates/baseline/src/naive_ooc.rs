@@ -124,7 +124,7 @@ mod tests {
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
         let b = knn_store::MemBackend::new();
-        reshard_profiles(&b, None, &p, Some(&profiles)).unwrap();
+        reshard_profiles(&b, None, &p, Some(&profiles), 1).unwrap();
         (g, profiles, p, b)
     }
 

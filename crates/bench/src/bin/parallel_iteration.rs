@@ -1,0 +1,191 @@
+//! **Experiment S3 — partition-parallel iteration scaling.**
+//!
+//! Runs identical engine workloads at several worker-thread budgets
+//! (`EngineConfig::threads`, the engine-wide knob driving phases 1, 2,
+//! 4, and 5) and reports per-iteration wall time, per-phase time, and
+//! the speedup over the first listed thread count (`speedup_vs_first`
+//! in the JSON — put 1 first for a true single-thread baseline, as the
+//! default list does). Every engine is seeded
+//! identically, so all graphs are equal by construction — asserted
+//! after every iteration, making the bench double as a determinism
+//! smoke test.
+//!
+//! Runs on `MemBackend` so the numbers isolate the compute scaling of
+//! the iteration pipeline rather than disk latency (the storage axis
+//! is experiment S2, `backends`).
+//!
+//! Emits one JSON document on stdout (for the BENCH trajectory,
+//! committed as `BENCH_parallel.json`) and a human-readable table on
+//! stderr.
+//!
+//! Usage: `parallel_iteration [--sizes LIST] [--threads LIST]
+//! [--k N] [--partitions N] [--seed N] [--iters N]`
+//! (defaults: sizes `10000,50000`, threads `1,2,4,8`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use knn_bench::{opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_store::MemBackend;
+
+struct Run {
+    users: usize,
+    threads: usize,
+    iter_ms: Vec<f64>,
+    /// Mean per-phase milliseconds across the measured iterations.
+    phase_ms: [f64; 5],
+    sims_computed: u64,
+    edges: usize,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn parse_list(arg: &str, what: &str) -> Vec<usize> {
+    arg.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--{what} takes comma-separated counts"))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes = parse_list(&opt_or(&args, "sizes", "10000,50000".to_string()), "sizes");
+    let thread_counts = parse_list(&opt_or(&args, "threads", "1,2,4,8".to_string()), "threads");
+    let k: usize = opt_or(&args, "k", 8);
+    let m: usize = opt_or(&args, "partitions", 8);
+    let seed: u64 = opt_or(&args, "seed", 42);
+    let iters: usize = opt_or(&args, "iters", 3);
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "S3 parallel iteration: sizes={sizes:?}, threads={thread_counts:?}, K={k}, m={m}, \
+         seed={seed}, iters={iters}, host_cpus={host_cpus}"
+    );
+    if thread_counts.iter().any(|&t| t > host_cpus) {
+        eprintln!(
+            "WARNING: host exposes only {host_cpus} CPU(s); thread counts above that \
+             timeslice one core and cannot show wall-clock speedup. The graph-equality \
+             determinism checks still run in full."
+        );
+    }
+
+    let started = Instant::now();
+    let mut runs: Vec<Run> = Vec::new();
+    for &n in &sizes {
+        let workload = WorkloadConfig::recommender().build(n, seed);
+        let mut reference_graph = None;
+        for &threads in &thread_counts {
+            let config = EngineConfig::builder(n)
+                .k(k)
+                .num_partitions(m)
+                .measure(workload.measure)
+                .threads(threads)
+                .seed(seed)
+                .build()
+                .expect("config");
+            let mut engine = KnnEngine::new_on(
+                config,
+                workload.profiles.clone(),
+                Arc::new(MemBackend::new()),
+            )
+            .expect("engine");
+            let mut iter_ms = Vec::with_capacity(iters);
+            let mut phase_ms = [0f64; 5];
+            let mut sims = 0u64;
+            for _ in 0..iters {
+                let t0 = Instant::now();
+                let report = engine.run_iteration().expect("iteration");
+                iter_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                for (acc, d) in phase_ms.iter_mut().zip(report.phase_durations) {
+                    *acc += d.as_secs_f64() * 1e3 / iters as f64;
+                }
+                sims += report.sims_computed;
+            }
+            // The determinism guarantee, checked in anger: every
+            // thread count lands on the identical graph.
+            match &reference_graph {
+                None => reference_graph = Some(engine.graph().clone()),
+                Some(g) => assert_eq!(
+                    g,
+                    engine.graph(),
+                    "threads={threads} diverged from threads={}",
+                    thread_counts[0]
+                ),
+            }
+            runs.push(Run {
+                users: n,
+                threads,
+                iter_ms,
+                phase_ms,
+                sims_computed: sims,
+                edges: engine.graph().num_edges(),
+            });
+        }
+    }
+
+    let mut table = TextTable::new(&[
+        "users",
+        "threads",
+        "mean iter ms",
+        "p1 ms",
+        "p2 ms",
+        "p4 ms",
+        "p5 ms",
+        "speedup",
+    ]);
+    for group in runs.chunks(thread_counts.len()) {
+        let base = mean(&group[0].iter_ms);
+        for r in group {
+            table.row(&[
+                r.users.to_string(),
+                r.threads.to_string(),
+                format!("{:.1}", mean(&r.iter_ms)),
+                format!("{:.1}", r.phase_ms[0]),
+                format!("{:.1}", r.phase_ms[1]),
+                format!("{:.1}", r.phase_ms[3]),
+                format!("{:.1}", r.phase_ms[4]),
+                format!("{:.2}x", base / mean(&r.iter_ms)),
+            ]);
+        }
+    }
+    eprintln!("{}", table.render());
+
+    // The BENCH-trajectory JSON document.
+    let rows: Vec<String> = runs
+        .chunks(thread_counts.len())
+        .flat_map(|group| {
+            let base = mean(&group[0].iter_ms);
+            group.iter().map(move |r| {
+                let iters_json: Vec<String> =
+                    r.iter_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+                let phases_json: Vec<String> =
+                    r.phase_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+                format!(
+                    r#"{{"users":{},"threads":{},"iter_ms":[{}],"mean_iter_ms":{:.2},"phase_ms":[{}],"speedup_vs_first":{:.3},"sims_computed":{},"edges":{}}}"#,
+                    r.users,
+                    r.threads,
+                    iters_json.join(","),
+                    mean(&r.iter_ms),
+                    phases_json.join(","),
+                    base / mean(&r.iter_ms),
+                    r.sims_computed,
+                    r.edges
+                )
+            })
+        })
+        .collect();
+    println!(
+        r#"{{"bench":"parallel_iteration","backend":"mem","k":{k},"partitions":{m},"seed":{seed},"iters":{iters},"host_cpus":{host_cpus},"wall_s":{:.2},"results":[{}]}}"#,
+        started.elapsed().as_secs_f64(),
+        rows.join(",")
+    );
+}

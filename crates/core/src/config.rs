@@ -43,6 +43,13 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Starts building a configuration for `num_users` users.
+    ///
+    /// The default worker budget is 1 thread, unless the
+    /// `KNN_TEST_THREADS` environment variable carries a positive
+    /// integer — the hook CI uses to drive the whole test suite down
+    /// the partition-parallel paths without touching every call site.
+    /// An explicit [`threads`](EngineConfigBuilder::threads) call
+    /// always wins.
     pub fn builder(num_users: usize) -> EngineConfigBuilder {
         EngineConfigBuilder {
             num_users,
@@ -51,7 +58,7 @@ impl EngineConfig {
             measure: Measure::Cosine,
             heuristic: Heuristic::DegreeLowHigh,
             partitioner: PartitionerKind::Greedy,
-            threads: 1,
+            threads: default_threads(),
             cache_slots: 2,
             include_reverse: false,
             repartition_each_iteration: true,
@@ -90,7 +97,12 @@ impl EngineConfig {
         self.partitioner
     }
 
-    /// Worker threads for phase-4 similarity scoring.
+    /// The engine-wide worker-thread budget: phases 1 (edge layout and
+    /// profile resharding), 2 (tuple generation and bucket merge), 4
+    /// (similarity scoring), and 5 (profile-update application) all
+    /// run partition-parallel across up to this many scoped workers.
+    /// Results are identical at every thread count — see the crate
+    /// docs for the determinism guarantee.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -122,6 +134,16 @@ impl EngineConfig {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+}
+
+/// The default worker budget: `KNN_TEST_THREADS` when it parses to a
+/// positive integer, 1 otherwise.
+fn default_threads() -> usize {
+    std::env::var("KNN_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 /// Builder for [`EngineConfig`] (see there for an example).
@@ -173,7 +195,10 @@ impl EngineConfigBuilder {
         self
     }
 
-    /// Sets the phase-4 worker thread count (default 1).
+    /// Sets the engine-wide worker-thread budget (default 1, or
+    /// `KNN_TEST_THREADS` when set — see [`EngineConfig::builder`]).
+    /// Every partition-parallel phase draws from this budget; the
+    /// computed graph and persisted bytes do not depend on it.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -235,6 +260,13 @@ impl EngineConfigBuilder {
                 self.num_users, self.num_partitions
             )));
         }
+        if self.num_partitions > crate::tuple_table::MAX_PARTITIONS {
+            return Err(EngineError::config(format!(
+                "num_partitions must be at most {} (the phase-2 spill-run namespace bound), got {}",
+                crate::tuple_table::MAX_PARTITIONS,
+                self.num_partitions
+            )));
+        }
         if self.threads == 0 {
             return Err(EngineError::config("threads must be at least 1"));
         }
@@ -273,9 +305,17 @@ mod tests {
         assert_eq!(c.k(), 10);
         assert_eq!(c.num_partitions(), 8);
         assert_eq!(c.cache_slots(), 2);
-        assert_eq!(c.threads(), 1);
+        // The default worker budget tracks KNN_TEST_THREADS (the CI
+        // matrix hook); without it, 1.
+        assert_eq!(c.threads(), default_threads());
         assert!(!c.include_reverse());
         assert!(c.repartition_each_iteration());
+    }
+
+    #[test]
+    fn explicit_threads_beat_the_env_default() {
+        let c = EngineConfig::builder(100).threads(3).build().unwrap();
+        assert_eq!(c.threads(), 3);
     }
 
     #[test]
@@ -285,6 +325,12 @@ mod tests {
         assert!(EngineConfig::builder(10).num_partitions(0).build().is_err());
         assert!(EngineConfig::builder(10)
             .num_partitions(11)
+            .build()
+            .is_err());
+        // Above the phase-2 spill-run namespace bound: a config error,
+        // not a mid-iteration panic.
+        assert!(EngineConfig::builder(100_000)
+            .num_partitions(70_000)
             .build()
             .is_err());
         assert!(EngineConfig::builder(10).threads(0).build().is_err());

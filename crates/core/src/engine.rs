@@ -162,7 +162,13 @@ impl KnnEngine {
         // partitioner and shard the profiles accordingly.
         let partitioner = config.partitioner().instantiate(config.seed());
         let partitioning = partitioner.partition(&graph.to_digraph(), config.num_partitions())?;
-        phase1::reshard_profiles(backend.as_ref(), None, &partitioning, Some(&profiles))?;
+        phase1::reshard_profiles(
+            backend.as_ref(),
+            None,
+            &partitioning,
+            Some(&profiles),
+            config.threads(),
+        )?;
         let queue = UpdateQueue::new(config.num_users());
         let engine = KnnEngine {
             config,
@@ -470,6 +476,13 @@ impl KnnEngine {
     /// Executes one full five-phase iteration, advancing `G(t)` to
     /// `G(t+1)` and `P(t)` to `P(t+1)`.
     ///
+    /// Phases 1, 2, 4, and 5 run partition-parallel across the
+    /// configured [`threads`](EngineConfig::threads) budget. The
+    /// resulting graph, every persisted stream, and the deterministic
+    /// fields of the [`IterationReport`] (everything except wall-clock
+    /// durations) are identical at every thread count and on every
+    /// backend — see the crate docs for the guarantee.
+    ///
     /// # Errors
     ///
     /// Any phase's storage or validation error aborts the iteration;
@@ -489,11 +502,22 @@ impl KnnEngine {
             let next =
                 partitioner.partition(&self.graph.to_digraph(), self.config.num_partitions())?;
             if next != self.partitioning {
-                phase1::reshard_profiles(backend, Some(&self.partitioning), &next, None)?;
+                phase1::reshard_profiles(
+                    backend,
+                    Some(&self.partitioning),
+                    &next,
+                    None,
+                    self.config.threads(),
+                )?;
                 self.partitioning = next;
             }
         }
-        phase1::write_partition_edges(&self.graph, &self.partitioning, backend)?;
+        phase1::write_partition_edges(
+            &self.graph,
+            &self.partitioning,
+            backend,
+            self.config.threads(),
+        )?;
         let replication_cost =
             objective::replication_cost(&self.graph.to_digraph(), &self.partitioning);
         durations[0] = t0.elapsed();
@@ -502,8 +526,12 @@ impl KnnEngine {
         // Phase 2: tuple generation + dedup into pair buckets.
         let before = stats.snapshot();
         let t0 = Instant::now();
-        let phase2_out =
-            phase2::generate_tuples(&self.partitioning, backend, self.config.spill_threshold())?;
+        let phase2_out = phase2::generate_tuples(
+            &self.partitioning,
+            backend,
+            self.config.spill_threshold(),
+            self.config.threads(),
+        )?;
         durations[1] = t0.elapsed();
         io[1] = stats.snapshot() - before;
 
@@ -538,7 +566,9 @@ impl KnnEngine {
         // Phase 5: apply the lazy profile-update queue.
         let before = stats.snapshot();
         let t0 = Instant::now();
-        let phase5_stats = self.queue.apply_all(&self.partitioning, backend)?;
+        let phase5_stats =
+            self.queue
+                .apply_all(&self.partitioning, backend, self.config.threads())?;
         durations[4] = t0.elapsed();
         io[4] = stats.snapshot() - before;
 

@@ -53,6 +53,28 @@
 //! # }
 //! ```
 //!
+//! # Parallelism and the determinism guarantee
+//!
+//! [`EngineConfig::threads`](EngineConfig::threads) is the engine-wide
+//! worker budget: phases 1, 2, 4, and 5 each fan their per-partition
+//! (or per-bucket) work out over that many scoped workers, pulling
+//! tasks from a work-stealing queue ([`mod@phase1`] sorts and encodes
+//! partition streams concurrently, [`mod@phase2`] scans partitions
+//! with per-scan tuple tables merged bucket-parallel, [`mod@phase4`]
+//! scores tuple chunks on a worker pool, [`mod@phase5`] rebuilds
+//! touched profile streams concurrently).
+//!
+//! The guarantee: **thread count never changes the answer.** Each unit
+//! of work is a pure function of its partition's inputs, every
+//! [`StorageBackend`](knn_store::StorageBackend) stream is written by
+//! exactly one unit (the streams are disjoint), and merge points sort
+//! before they write — so `G(t+1)`, every persisted stream byte, the
+//! [`IterationReport`] (durations aside), and the backend's
+//! [`IoStats`](knn_store::IoStats) totals are identical whether the
+//! engine ran on 1 thread or 8, on disk or in RAM. The
+//! `parallel_equivalence` integration suite pins exactly this across
+//! threads × backends.
+//!
 //! The in-memory fast path is one constructor away — identical graphs
 //! for identical seeds, verified by the backend-equivalence suite:
 //!
@@ -85,6 +107,7 @@ pub mod traversal;
 pub mod tuple_table;
 
 mod engine;
+mod par;
 
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use engine::KnnEngine;

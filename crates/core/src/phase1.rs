@@ -6,14 +6,24 @@
 //! merge-scan), migrates profile streams to the new layout, and resets
 //! the per-partition top-K accumulator state. All I/O goes through the
 //! engine's [`StorageBackend`].
+//!
+//! The per-partition work — sorting edge rows, encoding and writing
+//! stream payloads — runs across the engine's worker budget. Every
+//! stream is written by exactly one worker and the streams are
+//! disjoint, so the persisted bytes (and the backend's atomic I/O
+//! meter) are identical at every thread count.
 
 use knn_graph::{KnnGraph, UserId};
 use knn_sim::ProfileStore;
 use knn_store::backend::{read_user_lists, write_pairs, write_user_lists};
 use knn_store::{StorageBackend, StreamId};
 
+use crate::par;
 use crate::partition::Partitioning;
 use crate::EngineError;
+
+/// One partition's grouped edge rows: `(out_rows, in_rows)`.
+type EdgeRows = (Vec<(u32, u32)>, Vec<(u32, u32)>);
 
 /// Summary of one phase-1 run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,7 +37,8 @@ pub struct Phase1Stats {
 }
 
 /// Writes the per-partition edge streams of `graph` under
-/// `partitioning`.
+/// `partitioning`, preparing partitions across up to `threads`
+/// workers.
 ///
 /// For partition `Ri` with users `Vi`:
 /// * the **out-edge stream** holds rows `(v, d)` for every edge
@@ -45,6 +56,7 @@ pub fn write_partition_edges(
     graph: &KnnGraph,
     partitioning: &Partitioning,
     backend: &dyn StorageBackend,
+    threads: usize,
 ) -> Result<Phase1Stats, EngineError> {
     let m = partitioning.num_partitions();
     let mut result = Phase1Stats::default();
@@ -58,17 +70,15 @@ pub fn write_partition_edges(
         in_rows[partitioning.partition_of(d) as usize].push((d.raw(), s.raw()));
     }
 
-    for p in 0..m as u32 {
-        let rows = &mut out_rows[p as usize];
-        rows.sort_unstable();
-        write_pairs(backend, StreamId::OutEdges(p), rows)?;
-        result.out_edges_written += rows.len() as u64;
-
-        let rows = &mut in_rows[p as usize];
-        rows.sort_unstable();
-        write_pairs(backend, StreamId::InEdges(p), rows)?;
-        result.in_edges_written += rows.len() as u64;
-
+    // Each worker owns one partition's rows: sort, write the three
+    // streams (no other worker touches them), report the edge counts.
+    let rows: Vec<EdgeRows> = out_rows.into_iter().zip(in_rows).collect();
+    let counts = par::run_indexed_owned(rows, threads, |p, (mut out, mut inn)| {
+        let p = p as u32;
+        out.sort_unstable();
+        inn.sort_unstable();
+        write_pairs(backend, StreamId::OutEdges(p), &out)?;
+        write_pairs(backend, StreamId::InEdges(p), &inn)?;
         // Fresh (empty) accumulator state for every user of p.
         let accum_rows: Vec<(u32, Vec<(u32, f32)>)> = partitioning
             .users_of(p)
@@ -76,12 +86,20 @@ pub fn write_partition_edges(
             .map(|u| (u.raw(), Vec::new()))
             .collect();
         write_user_lists(backend, StreamId::Accumulators(p), &accum_rows)?;
+        Ok((out.len() as u64, inn.len() as u64))
+    })?;
+    for (out_edges, in_edges) in counts {
+        result.out_edges_written += out_edges;
+        result.in_edges_written += in_edges;
     }
 
     Ok(result)
 }
 
-/// Migrates profile streams from `old` partition layout to `new`.
+/// Migrates profile streams from `old` partition layout to `new`,
+/// reading old streams and sorting/writing new ones across up to
+/// `threads` workers (one worker per stream — the streams are
+/// disjoint, so the persisted bytes are thread-count-invariant).
 ///
 /// When `old` is `None` the profiles come from `initial` (engine
 /// setup); otherwise each old partition stream is read once and its
@@ -97,13 +115,17 @@ pub fn reshard_profiles(
     old: Option<&Partitioning>,
     new: &Partitioning,
     initial: Option<&ProfileStore>,
+    threads: usize,
 ) -> Result<u64, EngineError> {
     let m = new.num_partitions();
     let n = new.num_users();
     let mut staged: Vec<Vec<knn_store::record_file::UserListRow>> = vec![Vec::new(); m];
     let mut seen = 0u64;
 
-    let mut place = |user: u32, row: Vec<(u32, f32)>| -> Result<(), EngineError> {
+    let mut place = |staged: &mut Vec<Vec<knn_store::record_file::UserListRow>>,
+                     user: u32,
+                     row: Vec<(u32, f32)>|
+     -> Result<(), EngineError> {
         if user as usize >= n {
             return Err(EngineError::input(format!(
                 "profile row for user {user} but n={n}"
@@ -117,17 +139,22 @@ pub fn reshard_profiles(
 
     match (old, initial) {
         (Some(old_layout), _) => {
-            for p in 0..old_layout.num_partitions() as u32 {
-                let rows = read_user_lists(backend, StreamId::Profiles(p))?;
+            // Read every old partition stream concurrently; placement
+            // stays on the driving thread (the staged rows are sorted
+            // by user before the write, so arrival order is moot).
+            let all_rows = par::run_indexed(old_layout.num_partitions(), threads, |p| {
+                Ok(read_user_lists(backend, StreamId::Profiles(p as u32))?)
+            })?;
+            for rows in all_rows {
                 for (user, row) in rows {
-                    place(user, row)?;
+                    place(&mut staged, user, row)?;
                 }
             }
         }
         (None, Some(store)) => {
             for (user, profile) in store.iter() {
                 let row: Vec<(u32, f32)> = profile.iter().map(|(i, w)| (i.raw(), w)).collect();
-                place(user.raw(), row)?;
+                place(&mut staged, user.raw(), row)?;
             }
         }
         (None, None) => {
@@ -143,11 +170,13 @@ pub fn reshard_profiles(
         )));
     }
 
-    for p in 0..m as u32 {
-        let rows = &mut staged[p as usize];
+    // Sort and write each new stream on its own worker, dropping the
+    // partition's rows as soon as its stream is persisted.
+    par::run_indexed_owned(staged, threads, |p, mut rows| {
         rows.sort_unstable_by_key(|&(u, _)| u);
-        write_user_lists(backend, StreamId::Profiles(p), rows)?;
-    }
+        write_user_lists(backend, StreamId::Profiles(p as u32), &rows)?;
+        Ok(())
+    })?;
     Ok(seen)
 }
 
@@ -178,7 +207,7 @@ mod tests {
         let b = b.as_ref();
         // Edges: 4→0, 2→0, 0→5 (users 0,2,4 in partition 0; 1,3,5 in 1).
         let g = graph_with_edges(6, 3, &[(4, 0), (2, 0), (0, 5)]);
-        let st = write_partition_edges(&g, &p, b).unwrap();
+        let st = write_partition_edges(&g, &p, b, 1).unwrap();
         assert_eq!(st.out_edges_written, 3);
         assert_eq!(st.in_edges_written, 3);
         // Partition 0 out-edges: bridges 0,2,4 → rows (0,5),(2,0),(4,0).
@@ -196,7 +225,7 @@ mod tests {
     fn accumulator_files_initialized_empty() {
         let (b, p) = setup(4, 2);
         let g = graph_with_edges(4, 2, &[]);
-        write_partition_edges(&g, &p, b.as_ref()).unwrap();
+        write_partition_edges(&g, &p, b.as_ref(), 1).unwrap();
         let rows = read_user_lists(b.as_ref(), StreamId::Accumulators(0)).unwrap();
         assert_eq!(rows, vec![(0u32, vec![]), (2, vec![])]);
     }
@@ -210,7 +239,7 @@ mod tests {
                 .get_mut(UserId::new(u))
                 .set(knn_sim::ItemId::new(u), u as f32 + 1.0);
         }
-        let moved = reshard_profiles(b.as_ref(), None, &p, Some(&store)).unwrap();
+        let moved = reshard_profiles(b.as_ref(), None, &p, Some(&store), 1).unwrap();
         assert_eq!(moved, 5);
         let rows0 = read_user_lists(b.as_ref(), StreamId::Profiles(0)).unwrap();
         let users0: Vec<u32> = rows0.iter().map(|&(u, _)| u).collect();
@@ -230,10 +259,10 @@ mod tests {
                 .get_mut(UserId::new(u))
                 .set(knn_sim::ItemId::new(9), u as f32);
         }
-        reshard_profiles(&disk, None, &old, Some(&store)).unwrap();
+        reshard_profiles(&disk, None, &old, Some(&store), 1).unwrap();
         // New layout: contiguous halves.
         let new = Partitioning::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
-        let moved = reshard_profiles(&disk, Some(&old), &new, None).unwrap();
+        let moved = reshard_profiles(&disk, Some(&old), &new, None, 2).unwrap();
         assert_eq!(moved, 4);
         let rows0 = read_user_lists(&disk, StreamId::Profiles(0)).unwrap();
         let users0: Vec<u32> = rows0.iter().map(|&(u, _)| u).collect();
@@ -245,7 +274,7 @@ mod tests {
     fn reshard_without_source_errors() {
         let (b, p) = setup(4, 2);
         assert!(matches!(
-            reshard_profiles(b.as_ref(), None, &p, None),
+            reshard_profiles(b.as_ref(), None, &p, None, 1),
             Err(EngineError::InputMismatch { .. })
         ));
     }
@@ -255,7 +284,7 @@ mod tests {
         let (b, p) = setup(4, 2);
         let store = ProfileStore::new(3); // one user short
         assert!(matches!(
-            reshard_profiles(b.as_ref(), None, &p, Some(&store)),
+            reshard_profiles(b.as_ref(), None, &p, Some(&store), 1),
             Err(EngineError::InputMismatch { .. })
         ));
     }
@@ -264,7 +293,45 @@ mod tests {
     fn io_is_counted() {
         let (b, p) = setup(4, 2);
         let g = graph_with_edges(4, 2, &[(0, 1), (2, 3)]);
-        write_partition_edges(&g, &p, b.as_ref()).unwrap();
+        write_partition_edges(&g, &p, b.as_ref(), 1).unwrap();
         assert!(b.stats().snapshot().bytes_written > 0);
+    }
+
+    /// The phase-1 determinism leg: identical stream bytes, stats, and
+    /// I/O totals at every thread count.
+    #[test]
+    fn thread_count_does_not_change_phase1_output() {
+        let n = 50;
+        let g = KnnGraph::random_init(n, 4, 33);
+        let mut store = ProfileStore::new(n);
+        for u in 0..n as u32 {
+            store
+                .get_mut(UserId::new(u))
+                .set(knn_sim::ItemId::new(u % 7), 1.0 + u as f32);
+        }
+        type Reference = (Phase1Stats, Vec<(StreamId, Vec<u8>)>, u64);
+        let mut reference: Option<Reference> = None;
+        for threads in [1usize, 2, 4] {
+            let (b, p) = setup(n, 5);
+            let b = b.as_ref();
+            reshard_profiles(b, None, &p, Some(&store), threads).unwrap();
+            let st = write_partition_edges(&g, &p, b, threads).unwrap();
+            let mut streams: Vec<(StreamId, Vec<u8>)> = b
+                .list()
+                .unwrap()
+                .into_iter()
+                .map(|s| (s, b.read(s).unwrap()))
+                .collect();
+            streams.sort_by_key(|&(s, _)| s);
+            let bytes_written = b.stats().snapshot().bytes_written;
+            match &reference {
+                None => reference = Some((st, streams, bytes_written)),
+                Some((ref_st, ref_streams, ref_bytes)) => {
+                    assert_eq!(ref_st, &st, "threads={threads}");
+                    assert_eq!(ref_streams, &streams, "threads={threads}");
+                    assert_eq!(ref_bytes, &bytes_written, "threads={threads}");
+                }
+            }
+        }
     }
 }

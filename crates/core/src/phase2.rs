@@ -7,12 +7,21 @@
 //! together the "neighbors and neighbors' neighbors" set the paper's
 //! KNN step scores. Uniqueness is enforced by the hash table
 //! ([`crate::tuple_table::TupleTable`]).
+//!
+//! Partitions are scanned **in parallel**: every scan owns a private
+//! [`TupleTable`] spilling into its own run namespace, and
+//! [`crate::tuple_table::merge_parts`] folds the per-scan outputs into
+//! the final bucket streams. The algorithm is the same at every thread
+//! count — only the distribution of scans over workers changes — so
+//! tuple buckets, [`PiGraph`] weights, and [`TupleTableStats`] are
+//! identical whether phase 2 ran on one thread or eight.
 
 use knn_store::backend::read_pairs;
 use knn_store::{StorageBackend, StreamId};
 
+use crate::par;
 use crate::partition::Partitioning;
-use crate::tuple_table::{TupleTable, TupleTableStats};
+use crate::tuple_table::{merge_parts, TupleTable, TupleTableStats};
 use crate::{EngineError, PiGraph};
 
 /// Output of phase 2: the PI graph over the written tuple buckets plus
@@ -26,7 +35,8 @@ pub struct Phase2Output {
 }
 
 /// Runs phase 2 over the edge streams written by
-/// [`crate::phase1::write_partition_edges`].
+/// [`crate::phase1::write_partition_edges`], scanning partitions
+/// across up to `threads` workers.
 ///
 /// # Errors
 ///
@@ -36,47 +46,57 @@ pub fn generate_tuples(
     partitioning: &Partitioning,
     backend: &dyn StorageBackend,
     spill_threshold: usize,
+    threads: usize,
 ) -> Result<Phase2Output, EngineError> {
     backend.clear_tuples()?;
-    let mut table = TupleTable::new(backend, partitioning, spill_threshold);
+    let m = partitioning.num_partitions();
+    let parts = par::run_indexed(m, threads, |p| {
+        let p = p as u32;
+        let mut table = TupleTable::with_namespace(backend, partitioning, spill_threshold, p);
+        scan_partition(p, backend, &mut table)?;
+        Ok(table.into_parts())
+    })?;
+    let (pi, stats) = merge_parts(backend, m, parts, threads)?;
+    Ok(Phase2Output { pi, stats })
+}
 
-    for p in 0..partitioning.num_partitions() as u32 {
-        // Rows are (bridge, other), sorted by bridge then other.
-        let in_rows = read_pairs(backend, StreamId::InEdges(p))?;
-        let out_rows = read_pairs(backend, StreamId::OutEdges(p))?;
+/// Scans one partition's edge streams, offering every direct and
+/// two-hop candidate to `table`.
+fn scan_partition(
+    p: u32,
+    backend: &dyn StorageBackend,
+    table: &mut TupleTable<'_>,
+) -> Result<(), EngineError> {
+    // Rows are (bridge, other), sorted by bridge then other.
+    let in_rows = read_pairs(backend, StreamId::InEdges(p))?;
+    let out_rows = read_pairs(backend, StreamId::OutEdges(p))?;
 
-        // Direct candidates: each out-edge (v, d) of G(t).
-        for &(v, d) in &out_rows {
-            table.offer(v, d)?;
-        }
+    // Direct candidates: each out-edge (v, d) of G(t).
+    for &(v, d) in &out_rows {
+        table.offer(v, d)?;
+    }
 
-        // Two-hop candidates: group both lists by bridge and cross.
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < in_rows.len() && j < out_rows.len() {
-            let bridge = in_rows[i].0;
-            match bridge.cmp(&out_rows[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let i_end = in_rows[i..].partition_point(|r| r.0 == bridge) + i;
-                    let j_end = out_rows[j..].partition_point(|r| r.0 == bridge) + j;
-                    for &(_, s) in &in_rows[i..i_end] {
-                        for &(_, d) in &out_rows[j..j_end] {
-                            table.offer(s, d)?;
-                        }
+    // Two-hop candidates: group both lists by bridge and cross.
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < in_rows.len() && j < out_rows.len() {
+        let bridge = in_rows[i].0;
+        match bridge.cmp(&out_rows[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = in_rows[i..].partition_point(|r| r.0 == bridge) + i;
+                let j_end = out_rows[j..].partition_point(|r| r.0 == bridge) + j;
+                for &(_, s) in &in_rows[i..i_end] {
+                    for &(_, d) in &out_rows[j..j_end] {
+                        table.offer(s, d)?;
                     }
-                    i = i_end;
-                    j = j_end;
                 }
+                i = i_end;
+                j = j_end;
             }
         }
     }
-
-    let (pi, table_stats) = table.finalize()?;
-    Ok(Phase2Output {
-        pi,
-        stats: table_stats,
-    })
+    Ok(())
 }
 
 /// Reference tuple set for a KNN graph: all direct edges plus all
@@ -119,8 +139,8 @@ mod tests {
     }
 
     fn run_phase2(g: &KnnGraph, b: &dyn StorageBackend, p: &Partitioning) -> Phase2Output {
-        write_partition_edges(g, p, b).unwrap();
-        generate_tuples(p, b, 1 << 16).unwrap()
+        write_partition_edges(g, p, b, 1).unwrap();
+        generate_tuples(p, b, 1 << 16, 1).unwrap()
     }
 
     fn all_tuples(
@@ -232,5 +252,41 @@ mod tests {
             !b.exists(StreamId::TupleBucket(1, 1)),
             "stale bucket must be removed"
         );
+    }
+
+    /// The determinism guarantee at the phase boundary: identical
+    /// buckets (bytes included), PI graph, and stats at every thread
+    /// count, on spill-heavy configurations too.
+    #[test]
+    fn thread_count_does_not_change_phase2_output() {
+        for spill_threshold in [1usize, 4, 1 << 16] {
+            let n = 60;
+            let g = KnnGraph::random_init(n, 4, 21);
+            type Reference = (Phase2Output, Vec<(StreamId, Vec<u8>)>);
+            let mut reference: Option<Reference> = None;
+            for threads in [1usize, 2, 4] {
+                let (b, p) = setup(n, 5);
+                write_partition_edges(&g, &p, &b, threads).unwrap();
+                let out = generate_tuples(&p, &b, spill_threshold, threads).unwrap();
+                let mut streams: Vec<(StreamId, Vec<u8>)> = b
+                    .list()
+                    .unwrap()
+                    .into_iter()
+                    .filter(|s| matches!(s, StreamId::TupleBucket(..)))
+                    .map(|s| (s, b.read(s).unwrap()))
+                    .collect();
+                streams.sort_by_key(|&(s, _)| s);
+                match &reference {
+                    None => reference = Some((out, streams)),
+                    Some((ref_out, ref_streams)) => {
+                        assert_eq!(ref_out, &out, "threads={threads} spill={spill_threshold}");
+                        assert_eq!(
+                            ref_streams, &streams,
+                            "bucket bytes diverged at threads={threads} spill={spill_threshold}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

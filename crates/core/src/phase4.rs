@@ -356,9 +356,9 @@ mod tests {
         let b = knn_store::MemBackend::new();
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
-        reshard_profiles(&b, None, &p, Some(profiles)).unwrap();
-        write_partition_edges(g, &p, &b).unwrap();
-        let out = generate_tuples(&p, &b, 1 << 16).unwrap();
+        reshard_profiles(&b, None, &p, Some(profiles), 1).unwrap();
+        write_partition_edges(g, &p, &b, 1).unwrap();
+        let out = generate_tuples(&p, &b, 1 << 16, 1).unwrap();
         (b, p, out.pi)
     }
 

@@ -14,6 +14,7 @@ use knn_sim::{DeltaOp, Profile, ProfileDelta};
 use knn_store::backend::{append_delta, read_deltas, read_user_lists, write_user_lists};
 use knn_store::{StorageBackend, StoreError, StreamId};
 
+use crate::par;
 use crate::partition::Partitioning;
 use crate::EngineError;
 
@@ -83,7 +84,10 @@ impl UpdateQueue {
 
     /// Drains the log into the partition profile streams: groups
     /// deltas by the owning partition, rewrites each touched stream
-    /// once, and truncates the log.
+    /// once — touched partitions are rebuilt and written across up to
+    /// `threads` workers, each owning its (disjoint) stream, so peak
+    /// memory stays `O(threads × partition)` and the persisted bytes
+    /// are thread-count-invariant — and truncates the log.
     ///
     /// # Errors
     ///
@@ -93,6 +97,7 @@ impl UpdateQueue {
         &mut self,
         partitioning: &Partitioning,
         backend: &dyn StorageBackend,
+        threads: usize,
     ) -> Result<Phase5Stats, EngineError> {
         let deltas = read_deltas(backend)?;
         if deltas.is_empty() {
@@ -105,12 +110,19 @@ impl UpdateQueue {
                 .or_default()
                 .push(d);
         }
-        let mut result = Phase5Stats {
+        let result = Phase5Stats {
             updates_applied: deltas.len() as u64,
-            ..Default::default()
+            partitions_rewritten: by_partition.len() as u64,
         };
-        for (p, partition_deltas) in by_partition {
-            let stream = StreamId::Profiles(p);
+        // Each touched partition reads its profile stream, applies its
+        // deltas in arrival order, and rewrites the stream — fully
+        // independently (no other group touches that stream), so the
+        // groups run concurrently and nothing is buffered past its
+        // own write.
+        let groups: Vec<(u32, Vec<&ProfileDelta>)> = by_partition.into_iter().collect();
+        par::run_indexed(groups.len(), threads, |idx| {
+            let (p, partition_deltas) = &groups[idx];
+            let stream = StreamId::Profiles(*p);
             let rows = read_user_lists(backend, stream)?;
             let mut profiles: BTreeMap<u32, Profile> = BTreeMap::new();
             for (user, row) in rows {
@@ -136,8 +148,8 @@ impl UpdateQueue {
                 .map(|(user, profile)| (user, profile.iter().map(|(i, w)| (i.raw(), w)).collect()))
                 .collect();
             write_user_lists(backend, stream, &new_rows)?;
-            result.partitions_rewritten += 1;
-        }
+            Ok(())
+        })?;
         backend.truncate_updates()?;
         Ok(result)
     }
@@ -185,7 +197,7 @@ mod tests {
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
         let store = ProfileStore::new(n);
-        reshard_profiles(&b, None, &p, Some(&store)).unwrap();
+        reshard_profiles(&b, None, &p, Some(&store), 1).unwrap();
         let q = UpdateQueue::new(n);
         (b, p, q)
     }
@@ -218,7 +230,7 @@ mod tests {
             .unwrap();
         q.queue(&ProfileDelta::set(UserId::new(3), ItemId::new(6), 3.0), &b)
             .unwrap();
-        let st = q.apply_all(&p, &b).unwrap();
+        let st = q.apply_all(&p, &b, 1).unwrap();
         assert_eq!(st.updates_applied, 2);
         assert_eq!(st.partitions_rewritten, 1);
         let profile = UpdateQueue::read_profile(UserId::new(0), &p, &b).unwrap();
@@ -237,7 +249,7 @@ mod tests {
             .unwrap();
         q.queue(&ProfileDelta::set(u, ItemId::new(1), 7.0), &b)
             .unwrap();
-        q.apply_all(&p, &b).unwrap();
+        q.apply_all(&p, &b, 1).unwrap();
         let profile = UpdateQueue::read_profile(u, &p, &b).unwrap();
         assert_eq!(profile.get(ItemId::new(1)), Some(7.0));
     }
@@ -247,9 +259,9 @@ mod tests {
         let (b, p, mut q) = setup(2, 1);
         q.queue(&ProfileDelta::set(UserId::new(1), ItemId::new(0), 1.0), &b)
             .unwrap();
-        q.apply_all(&p, &b).unwrap();
+        q.apply_all(&p, &b, 1).unwrap();
         assert_eq!(q.pending(&b).unwrap(), 0);
-        let st = q.apply_all(&p, &b).unwrap();
+        let st = q.apply_all(&p, &b, 1).unwrap();
         assert_eq!(st.updates_applied, 0);
     }
 
@@ -260,11 +272,39 @@ mod tests {
         let full = Profile::from_unsorted_pairs(vec![(1, 1.0), (2, 2.0)]).unwrap();
         q.queue(&ProfileDelta::replace(u, full.clone()), &b)
             .unwrap();
-        q.apply_all(&p, &b).unwrap();
+        q.apply_all(&p, &b, 1).unwrap();
         assert_eq!(UpdateQueue::read_profile(u, &p, &b).unwrap(), full);
         q.queue(&ProfileDelta::new(u, DeltaOp::Clear), &b).unwrap();
-        q.apply_all(&p, &b).unwrap();
+        q.apply_all(&p, &b, 1).unwrap();
         assert!(UpdateQueue::read_profile(u, &p, &b).unwrap().is_empty());
+    }
+
+    /// The phase-5 determinism leg: identical rewritten streams and
+    /// stats at every thread count.
+    #[test]
+    fn thread_count_does_not_change_apply_output() {
+        let mut reference: Option<(Phase5Stats, Vec<Vec<u8>>)> = None;
+        for threads in [1usize, 2, 4] {
+            let (b, p, mut q) = setup(12, 4);
+            for u in 0..12u32 {
+                q.queue(
+                    &ProfileDelta::set(UserId::new(u), ItemId::new(u % 3), u as f32 + 0.5),
+                    &b,
+                )
+                .unwrap();
+            }
+            let st = q.apply_all(&p, &b, threads).unwrap();
+            let streams: Vec<Vec<u8>> = (0..4u32)
+                .map(|part| b.read(StreamId::Profiles(part)).unwrap())
+                .collect();
+            match &reference {
+                None => reference = Some((st, streams)),
+                Some((ref_st, ref_streams)) => {
+                    assert_eq!(ref_st, &st, "threads={threads}");
+                    assert_eq!(ref_streams, &streams, "threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -153,6 +153,15 @@ impl fmt::Display for StreamId {
 /// the raw [`read`](StorageBackend::read)/[`write`](StorageBackend::write)
 /// methods; they add the codec layer and keep every backend's record
 /// layout identical.
+///
+/// Implementations must be usable from many threads at once (hence
+/// the `Send + Sync` bound): the partition-parallel engine issues
+/// reads and writes of *disjoint* streams concurrently, and the
+/// [`IoStats`] meter must stay exact under that concurrency (it is
+/// atomic — see its concurrency contract). Concurrent operations on
+/// the *same* stream are never issued by the engine and need no
+/// ordering guarantee beyond each call being atomic with respect to
+/// the stream it touches.
 pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// A short human-readable backend name (`"disk"`, `"mem"`), used
     /// in reports and bench output.

@@ -8,6 +8,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// performs. Shared (`Arc<IoStats>`) between the engine, the partition
 /// cache, and the record files; the disk models replay a
 /// [snapshot](IoStats::snapshot) as simulated device time.
+///
+/// # Concurrency contract
+///
+/// The partition-parallel engine meters from many worker threads at
+/// once, so every counter is a lock-free atomic: concurrent
+/// `record_*` calls never lose an increment, and a run's totals equal
+/// the sum of its operations regardless of interleaving. Consequently
+/// a parallel iteration and a sequential one that perform the same
+/// multiset of storage operations report **identical totals** — the
+/// `parallel_equivalence` suite asserts exactly that. Snapshots taken
+/// while workers are mid-flight are torn only *across* counters
+/// (relaxed loads), never within one; the engine snapshots at phase
+/// boundaries, where no worker is active.
 #[derive(Debug, Default)]
 pub struct IoStats {
     bytes_read: AtomicU64,
@@ -203,6 +216,39 @@ mod tests {
         }
         assert_eq!(s.snapshot().bytes_read, 8000);
         assert_eq!(s.snapshot().read_ops, 8000);
+    }
+
+    /// The full concurrency contract: every counter — not just reads —
+    /// holds its exact total under mixed multi-threaded metering, so
+    /// parallel and sequential runs of the same operations report the
+    /// same snapshot.
+    #[test]
+    fn concurrent_mixed_ops_preserve_every_counter() {
+        let s = Arc::new(IoStats::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        s.record_read(t + i);
+                        s.record_write(2 * (t + i));
+                        if i % 5 == 0 {
+                            s.record_partition_load();
+                            s.record_partition_unload();
+                        }
+                    }
+                });
+            }
+        });
+        let per_thread: u64 = (0..500).sum::<u64>();
+        let expected_read: u64 = (0..8).map(|t| 500 * t + per_thread).sum();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_read, expected_read);
+        assert_eq!(snap.bytes_written, 2 * expected_read);
+        assert_eq!(snap.read_ops, 4000);
+        assert_eq!(snap.write_ops, 4000);
+        assert_eq!(snap.partition_loads, 800);
+        assert_eq!(snap.partition_unloads, 800);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The partition-parallel acceptance bar: for the same seeded
+//! workload, the engine produces **the same computation** at every
+//! thread count on every backend — identical `KnnGraph`s after every
+//! iteration, identical deterministic `IterationReport` fields,
+//! identical `IoStats` totals, and byte-identical persisted streams.
+//! This extends `backend_equivalence.rs` across the thread axis: six
+//! engines (threads ∈ {1, 2, 4} × {mem, disk}) run in lockstep and
+//! must be indistinguishable in everything but wall-clock time.
+
+use std::sync::Arc;
+
+use ooc_knn::core::metrics::IterationReport;
+use ooc_knn::sim::generators::{clustered_profiles, ClusteredConfig};
+use ooc_knn::store::backend::StreamId;
+use ooc_knn::store::IoSnapshot;
+use ooc_knn::{
+    DiskBackend, EngineConfig, ItemId, KnnEngine, KnnGraph, Measure, MemBackend, Profile,
+    ProfileDelta, ProfileStore, StorageBackend, UserId,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn workload(n: usize, seed: u64) -> ProfileStore {
+    let (store, _) = clustered_profiles(
+        ClusteredConfig::new(n, seed)
+            .with_clusters(4)
+            .with_ratings(10, 2),
+    );
+    store
+}
+
+fn config(n: usize, k: usize, m: usize, seed: u64, threads: usize) -> EngineConfig {
+    EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(m)
+        .measure(Measure::Cosine)
+        .seed(seed)
+        .threads(threads)
+        // A small spill threshold keeps the parallel spill/merge path
+        // honest, not just the in-memory staging fast path.
+        .spill_threshold(64)
+        .build()
+        .expect("config")
+}
+
+/// The deterministic projection of a report: everything except
+/// wall-clock durations (and the phase-duration-bearing fields),
+/// which legitimately differ run to run.
+fn deterministic_fields(r: &IterationReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.iteration,
+        r.phase_io,
+        r.cache,
+        r.predicted,
+        r.tuples,
+        r.schedule_len,
+        r.sims_computed,
+        r.updates_applied,
+        r.replication_cost,
+        r.changed_fraction.to_bits(),
+    )
+}
+
+/// Reads every stream the backend holds, sorted by stream id, as the
+/// backend returns it (unframed payload bytes).
+fn all_stream_bytes(b: &dyn StorageBackend) -> Vec<(StreamId, Vec<u8>)> {
+    let mut streams: Vec<(StreamId, Vec<u8>)> = b
+        .list()
+        .expect("list")
+        .into_iter()
+        .map(|s| (s, b.read(s).expect("read")))
+        .collect();
+    streams.sort_by_key(|&(s, _)| s);
+    streams
+}
+
+/// Threads {1, 2, 4} × backends {mem, disk}: six engines over the
+/// same seeded workload (updates queued mid-run on all of them) stay
+/// bit-for-bit in lockstep for 3 iterations.
+#[test]
+fn thread_count_and_backend_never_change_the_computation() {
+    let n = 72;
+    let (k, m, seed) = (4, 6, 23);
+    let g0 = KnnGraph::random_init(n, k, seed);
+
+    let mut engines: Vec<(String, Arc<dyn StorageBackend>, KnnEngine)> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        for disk in [false, true] {
+            let backend: Arc<dyn StorageBackend> = if disk {
+                Arc::new(DiskBackend::temp("parallel_equivalence").expect("disk backend"))
+            } else {
+                Arc::new(MemBackend::new())
+            };
+            let engine = KnnEngine::with_initial_graph_on(
+                config(n, k, m, seed, threads),
+                g0.clone(),
+                workload(n, seed),
+                Arc::clone(&backend),
+            )
+            .expect("engine");
+            engines.push((
+                format!("threads={threads} backend={}", backend.name()),
+                backend,
+                engine,
+            ));
+        }
+    }
+
+    for iteration in 0..3u32 {
+        if iteration == 1 {
+            // The same updates land on every engine mid-run.
+            for (_, _, engine) in &mut engines {
+                engine
+                    .queue_update(&ProfileDelta::set(UserId::new(5), ItemId::new(801), 3.5))
+                    .expect("update");
+                engine
+                    .queue_update(&ProfileDelta::replace(
+                        UserId::new(17),
+                        Profile::from_unsorted_pairs(vec![(3, 1.0), (8, 2.0)]).expect("profile"),
+                    ))
+                    .expect("update");
+            }
+        }
+        let reports: Vec<IterationReport> = engines
+            .iter_mut()
+            .map(|(_, _, e)| e.run_iteration().expect("iteration"))
+            .collect();
+
+        let (ref_label, _, ref_engine) = &engines[0];
+        for (idx, (label, _, engine)) in engines.iter().enumerate().skip(1) {
+            assert_eq!(
+                ref_engine.graph(),
+                engine.graph(),
+                "iteration {iteration}: graph of [{label}] diverged from [{ref_label}]"
+            );
+            assert_eq!(
+                deterministic_fields(&reports[0]),
+                deterministic_fields(&reports[idx]),
+                "iteration {iteration}: report of [{label}] diverged from [{ref_label}]"
+            );
+        }
+    }
+
+    // Byte-for-byte: the full persisted stream set of every engine
+    // matches the reference engine's.
+    let reference = all_stream_bytes(engines[0].1.as_ref());
+    assert!(
+        reference.len() > 2 * m,
+        "reference run persisted suspiciously few streams"
+    );
+    for (label, backend, _) in engines.iter().skip(1) {
+        assert_eq!(
+            reference,
+            all_stream_bytes(backend.as_ref()),
+            "persisted streams of [{label}] diverged"
+        );
+    }
+
+    // Satellite 6's assertion: the parallel runs' I/O totals equal the
+    // sequential run's, counter by counter, on both backends — the
+    // atomic meter neither loses nor invents operations under
+    // concurrency.
+    let reference_io: IoSnapshot = engines[0].1.stats().snapshot();
+    for (label, backend, _) in engines.iter().skip(1) {
+        assert_eq!(
+            reference_io,
+            backend.stats().snapshot(),
+            "IoStats of [{label}] diverged"
+        );
+    }
+
+    // Cleanup the disk-backed working directories.
+    for (_, backend, engine) in engines {
+        let wd = backend.working_dir().cloned();
+        drop(engine);
+        if let Some(wd) = wd {
+            wd.destroy().expect("cleanup");
+        }
+    }
+}
+
+/// The same claim under convergence pressure: running each engine
+/// independently to convergence (not in lockstep) still lands on the
+/// same iteration count and the same final graph.
+#[test]
+fn independent_runs_to_convergence_agree_across_thread_counts() {
+    let n = 64;
+    let (k, m, seed) = (4, 4, 31);
+    let mut reference: Option<(usize, KnnGraph)> = None;
+    for &threads in &THREAD_COUNTS {
+        let mut engine = KnnEngine::new_on(
+            config(n, k, m, seed, threads),
+            workload(n, seed),
+            Arc::new(MemBackend::new()),
+        )
+        .expect("engine");
+        let outcome = engine.run_until_converged(0.02, 12).expect("convergence");
+        match &reference {
+            None => reference = Some((outcome.iterations_run, engine.graph().clone())),
+            Some((ref_iters, ref_graph)) => {
+                assert_eq!(ref_iters, &outcome.iterations_run, "threads={threads}");
+                assert_eq!(ref_graph, engine.graph(), "threads={threads}");
+            }
+        }
+    }
+}

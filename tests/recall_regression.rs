@@ -1,0 +1,69 @@
+//! End-to-end recall regression: the engine, run to convergence on
+//! seeded `knn-datasets` workloads, must recover the brute-force
+//! ground-truth KNN graph to a pinned recall@K floor. This is the
+//! quality backstop under the partition-parallel executor — a refactor
+//! that silently degrades the graph (dropped tuples, broken merges,
+//! mis-ordered commits) fails here even if it stays self-consistent.
+//!
+//! The engines run with `threads = 4` so the floor is measured on the
+//! parallel paths; by the determinism guarantee (see
+//! `parallel_equivalence.rs`) the numbers are identical at any other
+//! thread count.
+
+use ooc_knn::{brute_force_knn, recall_at_k, EngineConfig, KnnEngine, WorkloadConfig};
+
+/// Converges the engine (in memory, 4 worker threads) on `workload`
+/// and returns mean recall@K against brute force.
+fn converged_recall(workload: &WorkloadConfig, n: usize, k: usize, seed: u64) -> f64 {
+    let built = workload.build(n, seed);
+    let truth = brute_force_knn(&built.profiles, &built.measure, k, 4);
+    let config = EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(8)
+        .measure(built.measure)
+        .threads(4)
+        .seed(seed)
+        .build()
+        .expect("config");
+    let mut engine = KnnEngine::in_memory(config, built.profiles).expect("engine");
+    let outcome = engine.run_until_converged(0.01, 20).expect("run");
+    assert!(
+        outcome.converged,
+        "{} did not converge in 20 iterations (final change {:.4})",
+        built.name, outcome.final_change_fraction
+    );
+    let report = recall_at_k(engine.graph(), &truth);
+    eprintln!(
+        "{}: n={n} K={k} seed={seed} → mean recall {:.4} (min {:.4}, {} perfect / {} measured) after {} iterations",
+        built.name,
+        report.mean_recall,
+        report.min_recall,
+        report.perfect_users,
+        report.users_measured,
+        outcome.iterations_run
+    );
+    report.mean_recall
+}
+
+/// Recommender-style clustered ratings under cosine: the paper's
+/// friendliest regime; the refined graph must be near-exact.
+#[test]
+fn recall_floor_on_clustered_ratings() {
+    let recall = converged_recall(&WorkloadConfig::recommender(), 400, 10, 42);
+    assert!(
+        recall >= 0.93,
+        "mean recall@10 regressed to {recall:.4} (floor 0.93)"
+    );
+}
+
+/// Tag-style Zipf item sets under Jaccard: weaker cluster structure,
+/// so the floor is lower — but a broken executor still lands far
+/// below it.
+#[test]
+fn recall_floor_on_zipf_tags() {
+    let recall = converged_recall(&WorkloadConfig::tags(), 400, 10, 7);
+    assert!(
+        recall >= 0.80,
+        "mean recall@10 regressed to {recall:.4} (floor 0.80)"
+    );
+}

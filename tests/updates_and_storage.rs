@@ -155,7 +155,7 @@ fn naive_baseline_same_answer_far_more_io() {
     let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
     let partitioning = Partitioning::from_assignment(assignment, m).unwrap();
     let backend = ooc_knn::store::DiskBackend::temp("itest_naive").unwrap();
-    reshard_profiles(&backend, None, &partitioning, Some(&profiles)).unwrap();
+    reshard_profiles(&backend, None, &partitioning, Some(&profiles), 1).unwrap();
     let naive =
         naive_out_of_core_iteration(&g0, &partitioning, &backend, &Measure::Cosine, 4, 2).unwrap();
     assert_eq!(naive.graph, engine_graph, "both paths must agree on G(t+1)");
