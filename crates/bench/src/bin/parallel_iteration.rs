@@ -14,6 +14,15 @@
 //! the iteration pipeline rather than disk latency (the storage axis
 //! is experiment S2, `backends`).
 //!
+//! Besides wall times, the JSON carries the per-iteration phase-4
+//! scoring-funnel trajectory (`p4_ms`, `sims_per_iter`,
+//! `sims_skipped`, `sims_pruned`, `accums_seeded`): as the graph
+//! converges, cross-iteration pair suppression removes most kernel
+//! evaluations and phase 4's cost falls with it — the committed
+//! artifact runs 8 iterations per configuration so the steady-state
+//! regime is on record, not just the cold bootstrap (the paired
+//! funnel-vs-rescore measurement is experiment S5, `scoring_funnel`).
+//!
 //! Emits one JSON document on stdout (for the BENCH trajectory,
 //! committed as `BENCH_parallel.json`) and a human-readable table on
 //! stderr.
@@ -36,8 +45,20 @@ struct Run {
     iter_ms: Vec<f64>,
     /// Mean per-phase milliseconds across the measured iterations.
     phase_ms: [f64; 5],
+    /// Per-iteration phase-4 wall time (the hot-path trajectory: the
+    /// scoring funnel makes later iterations cheaper).
+    p4_ms: Vec<f64>,
+    /// Per-iteration scoring-funnel counters.
+    sims_per_iter: Vec<u64>,
+    skipped_per_iter: Vec<u64>,
+    pruned_per_iter: Vec<u64>,
+    seeded_per_iter: Vec<u64>,
     sims_computed: u64,
     edges: usize,
+}
+
+fn join_u64(xs: &[u64]) -> String {
+    xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -100,6 +121,11 @@ fn main() {
             .expect("engine");
             let mut iter_ms = Vec::with_capacity(iters);
             let mut phase_ms = [0f64; 5];
+            let mut p4_ms = Vec::with_capacity(iters);
+            let mut sims_per_iter = Vec::with_capacity(iters);
+            let mut skipped_per_iter = Vec::with_capacity(iters);
+            let mut pruned_per_iter = Vec::with_capacity(iters);
+            let mut seeded_per_iter = Vec::with_capacity(iters);
             let mut sims = 0u64;
             for _ in 0..iters {
                 let t0 = Instant::now();
@@ -108,6 +134,11 @@ fn main() {
                 for (acc, d) in phase_ms.iter_mut().zip(report.phase_durations) {
                     *acc += d.as_secs_f64() * 1e3 / iters as f64;
                 }
+                p4_ms.push(report.phase_durations[3].as_secs_f64() * 1e3);
+                sims_per_iter.push(report.sims_computed);
+                skipped_per_iter.push(report.sims_skipped);
+                pruned_per_iter.push(report.sims_pruned);
+                seeded_per_iter.push(report.accums_seeded);
                 sims += report.sims_computed;
             }
             // The determinism guarantee, checked in anger: every
@@ -126,6 +157,11 @@ fn main() {
                 threads,
                 iter_ms,
                 phase_ms,
+                p4_ms,
+                sims_per_iter,
+                skipped_per_iter,
+                pruned_per_iter,
+                seeded_per_iter,
                 sims_computed: sims,
                 edges: engine.graph().num_edges(),
             });
@@ -141,6 +177,9 @@ fn main() {
         "p4 ms",
         "p5 ms",
         "speedup",
+        "sims/iter",
+        "skipped/iter",
+        "pruned/iter",
     ]);
     for group in runs.chunks(thread_counts.len()) {
         let base = mean(&group[0].iter_ms);
@@ -154,6 +193,9 @@ fn main() {
                 format!("{:.1}", r.phase_ms[3]),
                 format!("{:.1}", r.phase_ms[4]),
                 format!("{:.2}x", base / mean(&r.iter_ms)),
+                join_u64(&r.sims_per_iter),
+                join_u64(&r.skipped_per_iter),
+                join_u64(&r.pruned_per_iter),
             ]);
         }
     }
@@ -169,15 +211,21 @@ fn main() {
                     r.iter_ms.iter().map(|ms| format!("{ms:.2}")).collect();
                 let phases_json: Vec<String> =
                     r.phase_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+                let p4_json: Vec<String> = r.p4_ms.iter().map(|ms| format!("{ms:.2}")).collect();
                 format!(
-                    r#"{{"users":{},"threads":{},"iter_ms":[{}],"mean_iter_ms":{:.2},"phase_ms":[{}],"speedup_vs_first":{:.3},"sims_computed":{},"edges":{}}}"#,
+                    r#"{{"users":{},"threads":{},"iter_ms":[{}],"mean_iter_ms":{:.2},"phase_ms":[{}],"p4_ms":[{}],"speedup_vs_first":{:.3},"sims_computed":{},"sims_per_iter":[{}],"sims_skipped":[{}],"sims_pruned":[{}],"accums_seeded":[{}],"edges":{}}}"#,
                     r.users,
                     r.threads,
                     iters_json.join(","),
                     mean(&r.iter_ms),
                     phases_json.join(","),
+                    p4_json.join(","),
                     base / mean(&r.iter_ms),
                     r.sims_computed,
+                    join_u64(&r.sims_per_iter),
+                    join_u64(&r.skipped_per_iter),
+                    join_u64(&r.pruned_per_iter),
+                    join_u64(&r.seeded_per_iter),
                     r.edges
                 )
             })

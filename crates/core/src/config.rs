@@ -38,6 +38,9 @@ pub struct EngineConfig {
     include_reverse: bool,
     repartition_each_iteration: bool,
     spill_threshold: usize,
+    parallel_threshold: usize,
+    prune_pairs: bool,
+    bound_filter: bool,
     seed: u64,
 }
 
@@ -50,6 +53,13 @@ impl EngineConfig {
     /// the partition-parallel paths without touching every call site.
     /// An explicit [`threads`](EngineConfigBuilder::threads) call
     /// always wins.
+    ///
+    /// Similarly, phase-4 pruning
+    /// ([`prune_pairs`](EngineConfig::prune_pairs) and
+    /// [`bound_filter`](EngineConfig::bound_filter)) defaults to
+    /// enabled unless `KNN_TEST_PRUNE=0` is set — the hook CI uses to
+    /// run the whole suite down the classic full-rescore path.
+    /// Explicit builder calls always win.
     pub fn builder(num_users: usize) -> EngineConfigBuilder {
         EngineConfigBuilder {
             num_users,
@@ -63,6 +73,9 @@ impl EngineConfig {
             include_reverse: false,
             repartition_each_iteration: true,
             spill_threshold: 1 << 20,
+            parallel_threshold: crate::phase4::DEFAULT_PARALLEL_THRESHOLD,
+            prune_pairs: default_prune(),
+            bound_filter: default_prune(),
             seed: 0,
         }
     }
@@ -129,6 +142,31 @@ impl EngineConfig {
         self.spill_threshold
     }
 
+    /// Minimum surviving-tuple count before phase 4 fans a bucket out
+    /// to the worker pool; smaller buckets score inline because the
+    /// dispatch overhead would dominate (see
+    /// [`Phase4Options::parallel_threshold`](crate::phase4::Phase4Options::parallel_threshold)
+    /// for the tradeoff).
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+
+    /// Whether phase 4 suppresses tuples already evaluated last
+    /// iteration (cross-iteration pair tracking + accumulator
+    /// seeding). Exact: the computed graphs are identical either way;
+    /// disabling merely re-scores everything (see the crate docs'
+    /// scoring-pipeline section).
+    pub fn prune_pairs(&self) -> bool {
+        self.prune_pairs
+    }
+
+    /// Whether phase 4 drops kernel evaluations whose O(1) score
+    /// upper bound cannot beat the current k-th accumulator entry.
+    /// Exact: the computed graphs are identical either way.
+    pub fn bound_filter(&self) -> bool {
+        self.bound_filter
+    }
+
     /// Seed for every randomized component (initial graph, partitioner
     /// tie-breaks).
     pub fn seed(&self) -> u64 {
@@ -146,6 +184,14 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The default pruning toggle: enabled unless `KNN_TEST_PRUNE=0` —
+/// the CI hook that routes the whole suite down the full-rescore path.
+fn default_prune() -> bool {
+    std::env::var("KNN_TEST_PRUNE")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
 /// Builder for [`EngineConfig`] (see there for an example).
 #[derive(Debug, Clone)]
 pub struct EngineConfigBuilder {
@@ -160,6 +206,9 @@ pub struct EngineConfigBuilder {
     include_reverse: bool,
     repartition_each_iteration: bool,
     spill_threshold: usize,
+    parallel_threshold: usize,
+    prune_pairs: bool,
+    bound_filter: bool,
     seed: u64,
 }
 
@@ -231,6 +280,32 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the phase-4 bucket size below which scoring stays inline
+    /// instead of fanning out to the worker pool (default
+    /// [`DEFAULT_PARALLEL_THRESHOLD`](crate::phase4::DEFAULT_PARALLEL_THRESHOLD);
+    /// the result never depends on it, only the dispatch overhead
+    /// does).
+    pub fn parallel_threshold(mut self, tuples: usize) -> Self {
+        self.parallel_threshold = tuples;
+        self
+    }
+
+    /// Toggles cross-iteration pair suppression (default on, or
+    /// `KNN_TEST_PRUNE` — see [`EngineConfig::builder`]). Exact: the
+    /// computed graphs are identical either way.
+    pub fn prune_pairs(mut self, yes: bool) -> Self {
+        self.prune_pairs = yes;
+        self
+    }
+
+    /// Toggles upper-bound candidate filtering (default on, or
+    /// `KNN_TEST_PRUNE` — see [`EngineConfig::builder`]). Exact: the
+    /// computed graphs are identical either way.
+    pub fn bound_filter(mut self, yes: bool) -> Self {
+        self.bound_filter = yes;
+        self
+    }
+
     /// Sets the global seed (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -278,6 +353,11 @@ impl EngineConfigBuilder {
         if self.spill_threshold == 0 {
             return Err(EngineError::config("spill_threshold must be at least 1"));
         }
+        if self.parallel_threshold == 0 {
+            return Err(EngineError::config(
+                "parallel_threshold must be at least 1 (use a huge value to force inline scoring)",
+            ));
+        }
         Ok(EngineConfig {
             num_users: self.num_users,
             k: self.k,
@@ -290,6 +370,9 @@ impl EngineConfigBuilder {
             include_reverse: self.include_reverse,
             repartition_each_iteration: self.repartition_each_iteration,
             spill_threshold: self.spill_threshold,
+            parallel_threshold: self.parallel_threshold,
+            prune_pairs: self.prune_pairs,
+            bound_filter: self.bound_filter,
             seed: self.seed,
         })
     }
@@ -310,6 +393,25 @@ mod tests {
         assert_eq!(c.threads(), default_threads());
         assert!(!c.include_reverse());
         assert!(c.repartition_each_iteration());
+        // Pruning tracks KNN_TEST_PRUNE (the CI no-prune hook);
+        // without it, on.
+        assert_eq!(c.prune_pairs(), default_prune());
+        assert_eq!(c.bound_filter(), default_prune());
+        assert_eq!(
+            c.parallel_threshold(),
+            crate::phase4::DEFAULT_PARALLEL_THRESHOLD
+        );
+    }
+
+    #[test]
+    fn explicit_prune_toggles_beat_the_env_default() {
+        let c = EngineConfig::builder(100)
+            .prune_pairs(false)
+            .bound_filter(false)
+            .build()
+            .unwrap();
+        assert!(!c.prune_pairs());
+        assert!(!c.bound_filter());
     }
 
     #[test]
@@ -339,6 +441,10 @@ mod tests {
             .spill_threshold(0)
             .build()
             .is_err());
+        assert!(EngineConfig::builder(10)
+            .parallel_threshold(0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -354,6 +460,9 @@ mod tests {
             .include_reverse(true)
             .repartition_each_iteration(false)
             .spill_threshold(128)
+            .parallel_threshold(512)
+            .prune_pairs(false)
+            .bound_filter(true)
             .seed(99)
             .build()
             .unwrap();
@@ -367,6 +476,9 @@ mod tests {
         assert!(c.include_reverse());
         assert!(!c.repartition_each_iteration());
         assert_eq!(c.spill_threshold(), 128);
+        assert_eq!(c.parallel_threshold(), 512);
+        assert!(!c.prune_pairs());
+        assert!(c.bound_filter());
         assert_eq!(c.seed(), 99);
     }
 

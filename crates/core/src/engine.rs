@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_graph::{EdgeAdditions, KnnGraph, Neighbor, UserId};
 use knn_sim::{Profile, ProfileDelta, ProfileStore};
 use knn_store::backend::{
     read_meta, read_pairs, read_scored_pairs, read_user_lists, write_meta, write_pairs,
@@ -16,7 +16,7 @@ use crate::metrics::{ConvergenceOutcome, IterationReport};
 use crate::partition::{objective, Partitioning};
 use crate::phase1;
 use crate::phase2;
-use crate::phase4::{self, Phase4Options};
+use crate::phase4::{self, Phase4Options, Phase4Prune};
 use crate::phase5::UpdateQueue;
 use crate::traversal::simulate_schedule_ops;
 use crate::EngineError;
@@ -46,6 +46,22 @@ pub struct KnnEngine {
     queue: UpdateQueue,
     iteration: u64,
     reports: Vec<IterationReport>,
+    /// Cross-iteration bookkeeping for phase-4 pair suppression;
+    /// `None` when no prior iteration ran in this process (fresh
+    /// engine, resume) or suppression is disabled — the next
+    /// iteration then re-scores everything.
+    prune: Option<PruneState>,
+}
+
+/// What phase-4 suppression needs to know about the previous
+/// iteration, maintained by [`KnnEngine::run_iteration`]:
+struct PruneState {
+    /// Users whose profile changed in the last phase 5 — every score
+    /// involving them is stale.
+    profile_dirty: Vec<bool>,
+    /// Edges of `G(t)` absent from `G(t-1)` — a tuple generated only
+    /// through such an edge was never evaluated before.
+    additions: EdgeAdditions,
 }
 
 impl std::fmt::Debug for KnnEngine {
@@ -178,6 +194,7 @@ impl KnnEngine {
             queue,
             iteration: 0,
             reports: Vec::new(),
+            prune: None,
         };
         engine.persist_state()?;
         Ok(engine)
@@ -318,6 +335,10 @@ impl KnnEngine {
             queue,
             iteration,
             reports: Vec::new(),
+            // A resumed engine has no in-process memory of the last
+            // iteration's scoring, so the first iteration re-scores
+            // everything (suppression resumes one iteration later).
+            prune: None,
         })
     }
 
@@ -494,6 +515,31 @@ impl KnnEngine {
         let backend = backend.as_ref();
         let stats = backend.stats();
 
+        // Cross-iteration suppression inputs (see the crate docs'
+        // scoring-pipeline section). `seed_ok[u]` means u's prior
+        // top-K verdict is replayable: u's own profile and every
+        // profile in u's current neighbor list unchanged since those
+        // scores were computed, and the list fully scored.
+        let prune_state = if self.config.prune_pairs() {
+            self.prune.as_ref()
+        } else {
+            None
+        };
+        let seed_ok: Option<Vec<bool>> = prune_state.map(|st| {
+            (0..self.config.num_users())
+                .map(|u| {
+                    let user = UserId::new(u as u32);
+                    !st.profile_dirty[u]
+                        && self.graph.fully_scored(user)
+                        && self
+                            .graph
+                            .neighbors(user)
+                            .iter()
+                            .all(|nb| !st.profile_dirty[nb.id.index()])
+                })
+                .collect()
+        });
+
         // Phase 1: partition G(t) and lay out edge/profile streams.
         let before = stats.snapshot();
         let t0 = Instant::now();
@@ -512,18 +558,20 @@ impl KnnEngine {
                 self.partitioning = next;
             }
         }
-        phase1::write_partition_edges(
+        let phase1_stats = phase1::write_partition_edges(
             &self.graph,
             &self.partitioning,
             backend,
             self.config.threads(),
+            seed_ok.as_deref(),
         )?;
         let replication_cost =
             objective::replication_cost(&self.graph.to_digraph(), &self.partitioning);
         durations[0] = t0.elapsed();
         io[0] = stats.snapshot() - before;
 
-        // Phase 2: tuple generation + dedup into pair buckets.
+        // Phase 2: tuple generation + dedup into pair buckets (tagged
+        // with path age when suppression is active).
         let before = stats.snapshot();
         let t0 = Instant::now();
         let phase2_out = phase2::generate_tuples(
@@ -531,6 +579,7 @@ impl KnnEngine {
             backend,
             self.config.spill_threshold(),
             self.config.threads(),
+            prune_state.map(|st| &st.additions),
         )?;
         durations[1] = t0.elapsed();
         io[1] = stats.snapshot() - before;
@@ -552,13 +601,24 @@ impl KnnEngine {
             threads: self.config.threads(),
             cache_slots: self.config.cache_slots(),
             include_reverse: self.config.include_reverse(),
+            parallel_threshold: self.config.parallel_threshold(),
+            bound_filter: self.config.bound_filter(),
+        };
+        let prune_ctx = match (prune_state, &seed_ok) {
+            (Some(st), Some(ok)) => Some(Phase4Prune {
+                seed_ok: ok,
+                profile_dirty: &st.profile_dirty,
+            }),
+            _ => None,
         };
         let phase4_out = phase4::run_phase4(
             &schedule,
             &phase2_out.pi,
+            &phase2_out.tuple_meta,
             &self.partitioning,
             backend,
             &options,
+            prune_ctx.as_ref(),
         )?;
         durations[3] = t0.elapsed();
         io[3] = stats.snapshot() - before;
@@ -566,13 +626,27 @@ impl KnnEngine {
         // Phase 5: apply the lazy profile-update queue.
         let before = stats.snapshot();
         let t0 = Instant::now();
-        let phase5_stats =
+        let (phase5_stats, updated_users) =
             self.queue
                 .apply_all(&self.partitioning, backend, self.config.threads())?;
         durations[4] = t0.elapsed();
         io[4] = stats.snapshot() - before;
 
         let changed_fraction = self.graph.edge_change_fraction(&phase4_out.graph);
+        // Bookkeeping for the next iteration's suppression, derived
+        // before G(t) is replaced: which edges are new, and whose
+        // profile just changed.
+        self.prune = self.config.prune_pairs().then(|| {
+            let additions = phase4_out.graph.additions_since(&self.graph);
+            let mut profile_dirty = vec![false; self.config.num_users()];
+            for &u in &updated_users {
+                profile_dirty[u as usize] = true;
+            }
+            PruneState {
+                profile_dirty,
+                additions,
+            }
+        });
         self.graph = phase4_out.graph;
         self.iteration += 1;
         self.persist_state()?;
@@ -586,6 +660,9 @@ impl KnnEngine {
             tuples: phase2_out.stats,
             schedule_len: schedule.len(),
             sims_computed: phase4_out.sims_computed,
+            sims_skipped: phase4_out.sims_skipped,
+            sims_pruned: phase4_out.sims_pruned,
+            accums_seeded: phase1_stats.accums_seeded,
             updates_applied: phase5_stats.updates_applied,
             replication_cost,
             changed_fraction,

@@ -1,0 +1,126 @@
+//! A deterministic, allocation-free hasher for the engine's hot maps.
+//!
+//! Phases 2 and 4 perform tens of millions of lookups per iteration in
+//! maps keyed by `u32` user ids or `(u32, u32)` tuples. The standard
+//! library's default SipHash is DoS-resistant but costs ~10× more than
+//! needed for trusted integer keys; this is the classic
+//! Fowler/Firefox "Fx" multiply-rotate hash, which the compiler reduces
+//! to a handful of ALU ops per key.
+//!
+//! Determinism note: unlike `RandomState`, this hasher is seed-free,
+//! so map iteration order is stable across runs — the engine never
+//! relies on map order (every persisted artifact is sorted first), but
+//! stability removes a whole class of "works this run" hazards.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply-rotate hasher (as used by rustc).
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const ROTATE: u32 = 5;
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Deterministic builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the fast deterministic hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast deterministic hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// An [`FxHashMap`] with reserved capacity.
+pub fn map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_keys_hash_identically_across_maps() {
+        let mut a: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut b: FxHashMap<u32, u32> = map_with_capacity(16);
+        for i in 0..1000u32 {
+            a.insert(i.wrapping_mul(2654435761), i);
+            b.insert(i.wrapping_mul(2654435761), i);
+        }
+        assert_eq!(a.len(), 1000);
+        for (k, v) in &a {
+            assert_eq!(b.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn tuple_keys_work() {
+        let mut m: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+        m.insert((1, 2), true);
+        m.insert((2, 1), false);
+        assert_eq!(m.get(&(1, 2)), Some(&true));
+        assert_eq!(m.get(&(2, 1)), Some(&false));
+        assert_eq!(m.get(&(2, 2)), None);
+    }
+
+    #[test]
+    fn iteration_order_is_stable_across_identical_builds() {
+        let build = || {
+            let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+            for i in 0..500u32 {
+                m.insert(i * 7919, i);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -75,6 +75,41 @@
 //! `parallel_equivalence` integration suite pins exactly this across
 //! threads × backends.
 //!
+//! # The phase-4 scoring funnel
+//!
+//! Phase 4 dominates iteration cost, so its scoring path removes
+//! kernel evaluations whose outcome is already decided — and every
+//! stage is **exact** (the refined graph is identical with the funnel
+//! on or off):
+//!
+//! * **Symmetric pair dedup** — phase 2 stores each unordered
+//!   candidate pair once ([`tuple_table::meta_bits`] direction bits);
+//!   the symmetric kernel runs once per pair, its score offered along
+//!   every recorded direction.
+//! * **Prepared profiles** — partition loads wrap profiles in
+//!   [`knn_sim::PreparedProfile`] (one-pass aggregates + block
+//!   sketches); [`knn_sim::Measure::score_prepared`] is bit-identical
+//!   to the classic `score` path.
+//! * **Cross-iteration pair suppression** (`EngineConfig::prune_pairs`,
+//!   default on) — the engine tracks per-user profile-dirty bits from
+//!   phase 5 and the edge additions `G(t) ∖ G(t-1)`; pairs generated
+//!   purely through old edges between clean users were already
+//!   evaluated last iteration, and phase 1's accumulator seeding
+//!   (each clean user's scored neighbor list) replays their verdict,
+//!   so phase 4 skips them (`sims_skipped`). A fresh engine or resume
+//!   has no bookkeeping, so its first iteration re-scores everything.
+//! * **Bound-based filtering** (`EngineConfig::bound_filter`, default
+//!   on) — [`knn_sim::Measure::upper_bound`] is an O(1) score
+//!   ceiling; candidates that cannot beat the current k-th
+//!   accumulator entry are dropped unevaluated (`sims_pruned`).
+//!
+//! Funnel decisions are taken on the driving thread against
+//! bucket-start state, so the counters and the graph stay
+//! thread-count- and backend-invariant; `tests/pruning_equivalence.rs`
+//! pins pruned ≡ unpruned graph equality per iteration, updates
+//! included. `KNN_TEST_PRUNE=0` routes the whole suite down the
+//! full-rescore path.
+//!
 //! The in-memory fast path is one constructor away — identical graphs
 //! for identical seeds, verified by the backend-equivalence suite:
 //!
@@ -94,6 +129,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fasthash;
 pub mod metrics;
 pub mod partition;
 pub mod phase1;

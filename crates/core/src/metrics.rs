@@ -35,8 +35,19 @@ pub struct IterationReport {
     pub tuples: TupleTableStats,
     /// Number of schedule steps (PI pairs processed).
     pub schedule_len: usize,
-    /// Similarity evaluations performed.
+    /// Similarity evaluations performed (kernels actually run).
     pub sims_computed: u64,
+    /// Tuples suppressed by cross-iteration pair tracking: already
+    /// evaluated last iteration with provably unchanged outcome, so
+    /// no kernel ran.
+    pub sims_skipped: u64,
+    /// Tuples dropped by the upper-bound filter: their O(1) score
+    /// ceiling could not beat the current k-th accumulator entry.
+    pub sims_pruned: u64,
+    /// Accumulator entries pre-seeded in phase 1 from `G(t)`'s scored
+    /// edges (the replayed prior verdicts that make suppression
+    /// sound).
+    pub accums_seeded: u64,
     /// Profile updates applied in phase 5.
     pub updates_applied: u64,
     /// The partitioning objective `Σ (N_in + N_out)` of this iteration.
@@ -46,14 +57,27 @@ pub struct IterationReport {
 }
 
 impl IterationReport {
-    /// Unique tuples scored per second of phase-4 time; `None` when
-    /// the phase was too fast to time.
+    /// Kernel evaluations actually performed per second of phase-4
+    /// time (suppressed/pruned tuples are not computations and do not
+    /// inflate the rate); `None` when the phase was too fast to time.
     pub fn scan_rate(&self) -> Option<f64> {
         let secs = self.phase_durations[3].as_secs_f64();
         if secs > 0.0 {
             Some(self.sims_computed as f64 / secs)
         } else {
             None
+        }
+    }
+
+    /// Fraction of this iteration's unique tuples whose kernel
+    /// evaluation was avoided (suppressed or bound-pruned); 0 when
+    /// there were no tuples.
+    pub fn sims_avoided_fraction(&self) -> f64 {
+        let total = self.sims_computed + self.sims_skipped + self.sims_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            (self.sims_skipped + self.sims_pruned) as f64 / total as f64
         }
     }
 
@@ -98,8 +122,16 @@ impl fmt::Display for IterationReport {
         )?;
         writeln!(
             f,
-            "  similarities: {}; replication cost: {}; updates: {}; changed: {:.2}%",
+            "  similarities: {} computed, {} skipped, {} pruned ({:.1}% avoided); {} seeds",
             self.sims_computed,
+            self.sims_skipped,
+            self.sims_pruned,
+            self.sims_avoided_fraction() * 100.0,
+            self.accums_seeded,
+        )?;
+        writeln!(
+            f,
+            "  replication cost: {}; updates: {}; changed: {:.2}%",
             self.replication_cost,
             self.updates_applied,
             self.changed_fraction * 100.0
@@ -150,6 +182,9 @@ mod tests {
             },
             schedule_len: 7,
             sims_computed: 80,
+            sims_skipped: 15,
+            sims_pruned: 5,
+            accums_seeded: 12,
             updates_applied: 2,
             replication_cost: 42,
             changed_fraction: 0.25,
@@ -173,9 +208,33 @@ mod tests {
     }
 
     #[test]
-    fn scan_rate_uses_phase4_time() {
+    fn scan_rate_uses_phase4_time_and_only_computed_sims() {
         let r = sample();
         let rate = r.scan_rate().unwrap();
+        // 80 computed / 10ms — skipped and pruned tuples don't count.
         assert!((rate - 8000.0).abs() < 1e-6, "{rate}");
+    }
+
+    #[test]
+    fn avoided_fraction_counts_skips_and_prunes() {
+        let r = sample();
+        // (15 + 5) / (80 + 15 + 5)
+        assert!((r.sims_avoided_fraction() - 0.2).abs() < 1e-9);
+        let empty = IterationReport {
+            sims_computed: 0,
+            sims_skipped: 0,
+            sims_pruned: 0,
+            ..sample()
+        };
+        assert_eq!(empty.sims_avoided_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_reports_the_scoring_funnel() {
+        let text = sample().to_string();
+        assert!(text.contains("80 computed"), "{text}");
+        assert!(text.contains("15 skipped"), "{text}");
+        assert!(text.contains("5 pruned"), "{text}");
+        assert!(text.contains("12 seeds"), "{text}");
     }
 }

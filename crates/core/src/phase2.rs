@@ -16,27 +16,41 @@
 //! tuple buckets, [`PiGraph`] weights, and [`TupleTableStats`] are
 //! identical whether phase 2 ran on one thread or eight.
 
+use knn_graph::EdgeAdditions;
 use knn_store::backend::read_pairs;
 use knn_store::{StorageBackend, StreamId};
 
 use crate::par;
 use crate::partition::Partitioning;
-use crate::tuple_table::{merge_parts, TupleTable, TupleTableStats};
+use crate::tuple_table::{merge_parts, BucketMeta, TupleTable, TupleTableStats};
 use crate::{EngineError, PiGraph};
 
 /// Output of phase 2: the PI graph over the written tuple buckets plus
-/// dedup statistics.
+/// dedup statistics and the per-bucket tuple metadata (direction bits
+/// always; old-path bits when an edge-addition oracle was supplied).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Phase2Output {
     /// The partition-interaction graph (bucket tuple counts).
     pub pi: PiGraph,
     /// Hash-table statistics.
     pub stats: TupleTableStats,
+    /// Per-bucket tuple metadata, aligned with each bucket stream's
+    /// sorted tuple order: which directions of each canonical tuple
+    /// exist (phase 4 scores each unordered pair once and offers along
+    /// these), and which were already evaluated last iteration.
+    pub tuple_meta: BucketMeta,
 }
 
 /// Runs phase 2 over the edge streams written by
 /// [`crate::phase1::write_partition_edges`], scanning partitions
 /// across up to `threads` workers.
+///
+/// With an `additions` oracle (the edges of `G(t)` absent from
+/// `G(t-1)`), every offered tuple is tagged with whether its
+/// generating path consists entirely of **old** edges — such a pair
+/// was already generated and evaluated last iteration, which is what
+/// lets phase 4 skip its kernel evaluation. The tag does not change
+/// the tuple set, the bucket bytes, the PI graph, or the stats.
 ///
 /// # Errors
 ///
@@ -47,33 +61,44 @@ pub fn generate_tuples(
     backend: &dyn StorageBackend,
     spill_threshold: usize,
     threads: usize,
+    additions: Option<&EdgeAdditions>,
 ) -> Result<Phase2Output, EngineError> {
     backend.clear_tuples()?;
     let m = partitioning.num_partitions();
     let parts = par::run_indexed(m, threads, |p| {
         let p = p as u32;
         let mut table = TupleTable::with_namespace(backend, partitioning, spill_threshold, p);
-        scan_partition(p, backend, &mut table)?;
+        scan_partition(p, backend, &mut table, additions)?;
         Ok(table.into_parts())
     })?;
-    let (pi, stats) = merge_parts(backend, m, parts, threads)?;
-    Ok(Phase2Output { pi, stats })
+    let (pi, stats, tuple_meta) = merge_parts(backend, m, parts, threads)?;
+    Ok(Phase2Output {
+        pi,
+        stats,
+        tuple_meta,
+    })
 }
 
 /// Scans one partition's edge streams, offering every direct and
-/// two-hop candidate to `table`.
+/// two-hop candidate to `table` (tagged with path age when an oracle
+/// is present).
 fn scan_partition(
     p: u32,
     backend: &dyn StorageBackend,
     table: &mut TupleTable<'_>,
+    additions: Option<&EdgeAdditions>,
 ) -> Result<(), EngineError> {
     // Rows are (bridge, other), sorted by bridge then other.
     let in_rows = read_pairs(backend, StreamId::InEdges(p))?;
     let out_rows = read_pairs(backend, StreamId::OutEdges(p))?;
 
+    // An edge is "old" when it is not among this iteration's
+    // additions; a path is old when every edge on it is.
+    let edge_is_old = |s: u32, d: u32| additions.is_some_and(|a| !a.is_added(s, d));
+
     // Direct candidates: each out-edge (v, d) of G(t).
     for &(v, d) in &out_rows {
-        table.offer(v, d)?;
+        table.offer_flagged(v, d, edge_is_old(v, d))?;
     }
 
     // Two-hop candidates: group both lists by bridge and cross.
@@ -87,8 +112,11 @@ fn scan_partition(
                 let i_end = in_rows[i..].partition_point(|r| r.0 == bridge) + i;
                 let j_end = out_rows[j..].partition_point(|r| r.0 == bridge) + j;
                 for &(_, s) in &in_rows[i..i_end] {
+                    // The in-leg s → bridge is shared by every tuple
+                    // of this group; check it once.
+                    let in_leg_old = edge_is_old(s, bridge);
                     for &(_, d) in &out_rows[j..j_end] {
-                        table.offer(s, d)?;
+                        table.offer_flagged(s, d, in_leg_old && edge_is_old(bridge, d))?;
                     }
                 }
                 i = i_end;
@@ -139,18 +167,31 @@ mod tests {
     }
 
     fn run_phase2(g: &KnnGraph, b: &dyn StorageBackend, p: &Partitioning) -> Phase2Output {
-        write_partition_edges(g, p, b, 1).unwrap();
-        generate_tuples(p, b, 1 << 16, 1).unwrap()
+        write_partition_edges(g, p, b, 1, None).unwrap();
+        generate_tuples(p, b, 1 << 16, 1, None).unwrap()
     }
 
+    /// Expands the canonical buckets back to the directed tuple view
+    /// (what the reference engine scores) via the direction bits.
     fn all_tuples(
         out: &Phase2Output,
         b: &dyn StorageBackend,
     ) -> std::collections::HashSet<(u32, u32)> {
+        use crate::tuple_table::meta_bits;
         let mut set = std::collections::HashSet::new();
         for ((i, j), _) in out.pi.iter_buckets() {
-            for t in read_pairs(b, StreamId::TupleBucket(i, j)).unwrap() {
-                set.insert(t);
+            for (idx, &(u, v)) in read_pairs(b, StreamId::TupleBucket(i, j))
+                .unwrap()
+                .iter()
+                .enumerate()
+            {
+                let bits = out.tuple_meta.bits((i, j), idx);
+                if bits & meta_bits::FWD != 0 {
+                    set.insert((u, v));
+                }
+                if bits & meta_bits::BWD != 0 {
+                    set.insert((v, u));
+                }
             }
         }
         set
@@ -214,7 +255,8 @@ mod tests {
             let out = run_phase2(&g, &b, &p);
             let got = all_tuples(&out, &b);
             assert_eq!(got, reference_tuple_set(&g), "seed {seed}");
-            assert_eq!(out.stats.unique as usize, got.len());
+            assert_eq!(out.tuple_meta.num_directed() as usize, got.len());
+            assert!(out.stats.unique as usize <= got.len());
         }
     }
 
@@ -231,6 +273,99 @@ mod tests {
                 assert_eq!(p.partition_of(UserId::new(d)), j);
             }
         }
+    }
+
+    /// The tuple metadata against brute-force oracles: each direction
+    /// bit matches membership in the directed reference tuple set, and
+    /// each old-path bit matches the directed tuple set of the
+    /// shared-edge (old ∩ new) subgraph.
+    #[test]
+    fn tuple_meta_matches_brute_force_path_analysis() {
+        use crate::tuple_table::meta_bits;
+        for seed in [3u64, 8] {
+            let n = 40;
+            let old_g = KnnGraph::random_init(n, 4, seed);
+            // Perturb: rebuild with a different seed so a realistic
+            // mix of edges is shared/new.
+            let new_g = KnnGraph::random_init(n, 4, seed + 100);
+            let additions = new_g.additions_since(&old_g);
+            let (b, p) = setup(n, 4);
+            write_partition_edges(&new_g, &p, &b, 1, None).unwrap();
+            let out = generate_tuples(&p, &b, 1 << 16, 1, Some(&additions)).unwrap();
+
+            // Brute-force oracles: the directed tuple sets of the new
+            // graph and of the shared-edge subgraph.
+            let directed = reference_tuple_set(&new_g);
+            let mut shared = KnnGraph::new(n, 4);
+            for (s, nb) in new_g.iter_edges() {
+                if !additions.is_added(s.raw(), nb.id.raw()) {
+                    shared.insert(s, nb);
+                }
+            }
+            let old_pairs = reference_tuple_set(&shared);
+
+            let mut checked = 0usize;
+            let mut old_count = 0usize;
+            for ((i, j), _) in out.pi.iter_buckets() {
+                let bucket = read_pairs(&b, StreamId::TupleBucket(i, j)).unwrap();
+                for (idx, &(u, v)) in bucket.iter().enumerate() {
+                    let bits = out.tuple_meta.bits((i, j), idx);
+                    let label = format!("seed {seed}: tuple ({u}, {v})");
+                    assert_eq!(
+                        bits & meta_bits::FWD != 0,
+                        directed.contains(&(u, v)),
+                        "{label} FWD"
+                    );
+                    assert_eq!(
+                        bits & meta_bits::BWD != 0,
+                        directed.contains(&(v, u)),
+                        "{label} BWD"
+                    );
+                    assert_eq!(
+                        bits & meta_bits::OLD_FWD != 0,
+                        old_pairs.contains(&(u, v)),
+                        "{label} OLD_FWD"
+                    );
+                    assert_eq!(
+                        bits & meta_bits::OLD_BWD != 0,
+                        old_pairs.contains(&(v, u)),
+                        "{label} OLD_BWD"
+                    );
+                    checked += 1;
+                    old_count += (bits & (meta_bits::OLD_FWD | meta_bits::OLD_BWD) != 0) as usize;
+                }
+            }
+            assert_eq!(checked as u64, out.stats.unique);
+            assert!(old_count > 0, "seed {seed}: some paths must be old");
+            assert!(
+                (old_count as u64) < out.stats.unique,
+                "seed {seed}: some paths must be new"
+            );
+        }
+    }
+
+    /// Tagging tuples never changes what is persisted: bucket bytes,
+    /// PI graph, and stats are identical with and without the oracle.
+    #[test]
+    fn oracle_does_not_change_buckets_or_stats() {
+        let n = 30;
+        let g = KnnGraph::random_init(n, 3, 17);
+        let additions = g.additions_since(&KnnGraph::new(n, 3)); // everything new
+        let mut outputs = Vec::new();
+        for oracle in [None, Some(&additions)] {
+            let (b, p) = setup(n, 3);
+            write_partition_edges(&g, &p, &b, 1, None).unwrap();
+            let out = generate_tuples(&p, &b, 1 << 16, 1, oracle).unwrap();
+            let mut streams: Vec<(StreamId, Vec<u8>)> = b
+                .list()
+                .unwrap()
+                .into_iter()
+                .map(|s| (s, b.read(s).unwrap()))
+                .collect();
+            streams.sort_by_key(|&(s, _)| s);
+            outputs.push((out.pi, out.stats, streams));
+        }
+        assert_eq!(outputs[0], outputs[1]);
     }
 
     #[test]
@@ -266,8 +401,8 @@ mod tests {
             let mut reference: Option<Reference> = None;
             for threads in [1usize, 2, 4] {
                 let (b, p) = setup(n, 5);
-                write_partition_edges(&g, &p, &b, threads).unwrap();
-                let out = generate_tuples(&p, &b, spill_threshold, threads).unwrap();
+                write_partition_edges(&g, &p, &b, threads, None).unwrap();
+                let out = generate_tuples(&p, &b, spill_threshold, threads, None).unwrap();
                 let mut streams: Vec<(StreamId, Vec<u8>)> = b
                     .list()
                     .unwrap()

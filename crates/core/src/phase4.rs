@@ -2,29 +2,61 @@
 //!
 //! Walks the phase-3 schedule with a bounded partition cache (two
 //! slots by default, exactly the paper's memory constraint), scores
-//! every tuple of the resident pair's buckets — across a persistent
-//! worker pool when `threads > 1` — and folds the scores into per-user
-//! top-K accumulators. Accumulator state belongs to its partition: it
-//! is loaded and saved with the partition, so peak memory stays
-//! `O(cache_slots × partition)`.
+//! every surviving tuple of the resident pair's buckets — across a
+//! persistent worker pool when `threads > 1` — and folds the scores
+//! into per-user top-K accumulators. Accumulator state belongs to its
+//! partition: it is loaded and saved with the partition, so peak
+//! memory stays `O(cache_slots × partition)`.
+//!
+//! # The scoring funnel
+//!
+//! Each bucket's tuples pass a driver-side filter before any kernel
+//! runs; a tuple is **evaluated** only if it survives all three
+//! stages, and every decision is a pure function of iteration-start
+//! state plus the deterministic bucket order — so the counters and the
+//! resulting graph are identical at every thread count:
+//!
+//! 0. **Symmetric pair dedup** — phase 2 stores each unordered pair
+//!    once ([`BucketMeta`] direction bits recording which directed
+//!    candidates exist), so the symmetric kernel runs once per pair
+//!    and its score is offered along every recorded direction.
+//! 1. **Prepared profiles** — partition loads wrap every profile in a
+//!    [`PreparedProfile`], hoisting the per-profile aggregates (L2
+//!    norm, weight sum, extrema, block sketches) out of the per-pair
+//!    kernels. Scores are bit-identical to the unprepared kernels.
+//! 2. **Cross-iteration pair suppression** (`sims_skipped`) — tuples
+//!    that were already evaluated last iteration (old generating path,
+//!    per [`BucketMeta`]) between users whose standing is provably
+//!    unchanged (see [`Phase4Prune`]) are skipped outright; the
+//!    accumulator seeds written in phase 1 carry their prior verdict.
+//! 3. **Bound-based filtering** (`sims_pruned`) — a surviving tuple is
+//!    scored only if its O(1) score ceiling
+//!    ([`Measure::upper_bound`]) could still beat the current k-th
+//!    entry of the target accumulator(s); thresholds are sampled at
+//!    bucket start, which only under-prunes, never over-prunes.
+//!
+//! Both pruning stages are **exact**: they only ever drop evaluations
+//! whose outcome is already decided, so `G(t+1)` is identical with
+//! pruning on, off, or partially applicable.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel;
 use knn_graph::{KnnGraph, Neighbor, UserId};
-use knn_sim::{Measure, Profile, Similarity};
+use knn_sim::{Measure, PreparedProfile, Profile};
 use knn_store::backend::{read_pairs, read_user_lists, write_user_lists};
 use knn_store::{CacheCounters, SlotCache, StorageBackend, StoreError, StreamId};
 
+use crate::fasthash::{map_with_capacity, FxHashMap};
 use crate::partition::Partitioning;
 use crate::topk::TopKAccumulator;
 use crate::traversal::Schedule;
+use crate::tuple_table::{meta_bits, BucketMeta};
 use crate::{EngineError, PiGraph};
 
-/// Buckets smaller than this are scored inline even when a worker pool
-/// exists (the dispatch overhead would dominate).
-const PARALLEL_THRESHOLD: usize = 2048;
+/// Default for [`Phase4Options::parallel_threshold`]: buckets smaller
+/// than this are scored inline even when a worker pool exists.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
 
 /// Options of one phase-4 run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +71,44 @@ pub struct Phase4Options {
     pub cache_slots: usize,
     /// Offer each tuple's source as a candidate to its destination too.
     pub include_reverse: bool,
+    /// Minimum surviving-tuple count before a bucket is fanned out to
+    /// the worker pool; smaller buckets are scored inline because the
+    /// chunking/channel dispatch overhead (task allocation, `Arc`
+    /// clones, cross-thread wakeups) dominates the few microseconds of
+    /// kernel work they carry. Raise it on machines with slow wakeups
+    /// or tiny partitions; lower it when individual kernel evaluations
+    /// are unusually expensive.
+    pub parallel_threshold: usize,
+    /// Skip kernel evaluations whose O(1) score upper bound cannot
+    /// beat the current k-th accumulator entry (exact — never changes
+    /// the graph).
+    pub bound_filter: bool,
+}
+
+/// The cross-iteration suppression inputs of one phase-4 run — all
+/// derived by the engine at iteration start:
+///
+/// * `seed_ok` — per user: this user's accumulator was seeded from its
+///   current scored neighbor list, and every one of those seed scores
+///   is still valid (the user's own profile and every seed neighbor's
+///   profile unchanged). Implies the user's prior top-K verdict is
+///   replayable, so losing candidates stay losing;
+/// * `profile_dirty` — per user: profile changed in the last phase 5,
+///   so any score involving this user must be recomputed.
+///
+/// Combined with the [`BucketMeta`] old-path bits, a directed
+/// candidate offer `s → d` is redundant iff it has an old path,
+/// `seed_ok[s]`, `!profile_dirty[d]`, and — when reverse offers are
+/// on — also `seed_ok[d]`; a canonical tuple whose every direction is
+/// redundant is skipped without a kernel evaluation. Under these
+/// conditions re-scoring provably cannot change any accumulator, so
+/// suppression is exact.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase4Prune<'a> {
+    /// Per-user seed validity (accumulator seeded and scores current).
+    pub seed_ok: &'a [bool],
+    /// Per-user profile dirtiness from the last phase 5.
+    pub profile_dirty: &'a [bool],
 }
 
 /// Result of one phase-4 run.
@@ -50,34 +120,59 @@ pub struct Phase4Output {
     pub cache: CacheCounters,
     /// Similarity evaluations performed.
     pub sims_computed: u64,
+    /// Tuples suppressed by cross-iteration pair tracking (already
+    /// evaluated last iteration, outcome unchanged).
+    pub sims_skipped: u64,
+    /// Tuples dropped by the upper-bound filter (ceiling could not
+    /// beat the current k-th accumulator entry).
+    pub sims_pruned: u64,
 }
 
-/// One partition's resident state: its users' profiles (read-only
-/// during the iteration, shared with scoring workers via `Arc`) and
-/// their top-K accumulators (read-write, persisted on unload).
+/// One partition's resident state: its users' prepared profiles
+/// (read-only during the iteration, shared with scoring workers via
+/// `Arc`) and their top-K accumulators (read-write, persisted on
+/// unload).
 struct PartitionState {
-    profiles: Arc<HashMap<u32, Profile>>,
-    accums: HashMap<u32, TopKAccumulator>,
+    profiles: Arc<FxHashMap<u32, PreparedProfile>>,
+    accums: FxHashMap<u32, TopKAccumulator>,
     dirty: bool,
 }
+
+/// A canonical tuple queued for scoring: endpoints plus its
+/// [`meta_bits`] direction byte (carried through so the offers follow
+/// exactly the directions phase 2 recorded).
+type PendingTuple = (u32, u32, u8);
+
+/// A scored canonical tuple: endpoints, direction byte, similarity.
+type ScoredTuple = (u32, u32, u8, f32);
 
 /// A unit of scoring work: an owned tuple chunk plus shared profile
 /// maps, safe to outlive cache evictions.
 struct ScoreTask {
-    src: Arc<HashMap<u32, Profile>>,
-    dst: Arc<HashMap<u32, Profile>>,
-    tuples: Vec<(u32, u32)>,
+    src: Arc<FxHashMap<u32, PreparedProfile>>,
+    dst: Arc<FxHashMap<u32, PreparedProfile>>,
+    tuples: Vec<PendingTuple>,
     measure: Measure,
 }
 
-fn score_chunk(task: &ScoreTask) -> Vec<(u32, u32, f32)> {
-    task.tuples
-        .iter()
-        .map(|&(s, d)| {
-            let sim = task.measure.score(&task.src[&s], &task.dst[&d]);
-            (s, d, sim)
-        })
-        .collect()
+fn score_chunk(task: &ScoreTask) -> Vec<ScoredTuple> {
+    // Bucket tuples are sorted by (u, v), so equal sources run
+    // together: hoist the source-profile lookup out of the pair loop
+    // (chunk boundaries merely split a run, never reorder it).
+    let mut out = Vec::with_capacity(task.tuples.len());
+    let mut current: Option<(u32, &PreparedProfile)> = None;
+    for &(u, v, bits) in &task.tuples {
+        let up = match current {
+            Some((cu, up)) if cu == u => up,
+            _ => {
+                let up = &task.src[&u];
+                current = Some((u, up));
+                up
+            }
+        };
+        out.push((u, v, bits, task.measure.score_prepared(up, &task.dst[&v])));
+    }
+    out
 }
 
 fn load_state(
@@ -86,7 +181,7 @@ fn load_state(
     p: u32,
 ) -> Result<PartitionState, EngineError> {
     let profile_rows = read_user_lists(backend, StreamId::Profiles(p))?;
-    let mut profiles = HashMap::with_capacity(profile_rows.len());
+    let mut profiles = map_with_capacity(profile_rows.len());
     for (user, row) in profile_rows {
         let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
             EngineError::Store(StoreError::corrupt(
@@ -94,10 +189,11 @@ fn load_state(
                 format!("invalid profile for user {user}: {e}"),
             ))
         })?;
-        profiles.insert(user, profile);
+        // Per-profile aggregates computed once per load, not per pair.
+        profiles.insert(user, PreparedProfile::new(profile));
     }
     let accum_rows = read_user_lists(backend, StreamId::Accumulators(p))?;
-    let mut accums = HashMap::with_capacity(accum_rows.len());
+    let mut accums = map_with_capacity(accum_rows.len());
     for (user, row) in accum_rows {
         accums.insert(user, TopKAccumulator::from_row(k, &row));
     }
@@ -130,6 +226,11 @@ fn unload_state(
 
 /// Runs phase 4 over the given schedule.
 ///
+/// `prune` enables cross-iteration pair suppression (see
+/// [`Phase4Prune`]); `None` re-scores every tuple, which is the
+/// correct choice whenever the previous iteration's bookkeeping is
+/// unavailable (first iteration, resume, pruning disabled).
+///
 /// # Errors
 ///
 /// Returns [`EngineError::Store`] on I/O failure or corrupt state
@@ -138,19 +239,30 @@ fn unload_state(
 pub fn run_phase4(
     schedule: &Schedule,
     pi: &PiGraph,
+    meta: &BucketMeta,
     partitioning: &Partitioning,
     backend: &dyn StorageBackend,
     options: &Phase4Options,
+    prune: Option<&Phase4Prune<'_>>,
 ) -> Result<Phase4Output, EngineError> {
     let workers = options.threads.max(1);
     if workers <= 1 {
-        return drive(schedule, pi, partitioning, backend, options, None);
+        return drive(
+            schedule,
+            pi,
+            meta,
+            partitioning,
+            backend,
+            options,
+            prune,
+            None,
+        );
     }
     // Persistent worker pool for the whole run: tasks own Arc'd
     // profile maps, so the cache can evict freely while chunks are in
     // flight within a bucket.
     let (task_tx, task_rx) = channel::unbounded::<ScoreTask>();
-    let (result_tx, result_rx) = channel::unbounded::<Vec<(u32, u32, f32)>>();
+    let (result_tx, result_rx) = channel::unbounded::<Vec<ScoredTuple>>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let task_rx = task_rx.clone();
@@ -168,7 +280,16 @@ pub fn run_phase4(
             result_rx,
             workers,
         };
-        drive(schedule, pi, partitioning, backend, options, Some(pool))
+        drive(
+            schedule,
+            pi,
+            meta,
+            partitioning,
+            backend,
+            options,
+            prune,
+            Some(pool),
+        )
     })
 }
 
@@ -176,21 +297,26 @@ pub fn run_phase4(
 /// the workers down).
 struct WorkerPool {
     task_tx: channel::Sender<ScoreTask>,
-    result_rx: channel::Receiver<Vec<(u32, u32, f32)>>,
+    result_rx: channel::Receiver<Vec<ScoredTuple>>,
     workers: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive(
     schedule: &Schedule,
     pi: &PiGraph,
+    meta: &BucketMeta,
     partitioning: &Partitioning,
     backend: &dyn StorageBackend,
     options: &Phase4Options,
+    prune: Option<&Phase4Prune<'_>>,
     pool: Option<WorkerPool>,
 ) -> Result<Phase4Output, EngineError> {
     let mut cache: SlotCache<PartitionState> =
         SlotCache::new(options.cache_slots).with_io_stats(Arc::clone(backend.stats()));
     let mut sims_computed = 0u64;
+    let mut sims_skipped = 0u64;
+    let mut sims_pruned = 0u64;
 
     for step in schedule.iter() {
         cache.ensure(
@@ -218,14 +344,35 @@ fn drive(
                 continue;
             }
             let tuples = read_pairs(backend, StreamId::TupleBucket(src, dst))?;
+            // Validate and filter on the driving thread: skip / prune
+            // decisions read the accumulators as of bucket start
+            // (scores land only after the whole bucket is collected),
+            // so they are identical at every thread count.
+            let (survivors, skipped, pruned) = {
+                let src_state = cache.get(src).expect("src resident");
+                let dst_state = cache.get(dst).expect("dst resident");
+                filter_bucket(
+                    (src, dst),
+                    tuples,
+                    meta,
+                    src_state,
+                    dst_state,
+                    options,
+                    prune,
+                )?
+            };
+            sims_skipped += skipped;
+            sims_pruned += pruned;
+            if survivors.is_empty() {
+                continue;
+            }
             let src_profiles = Arc::clone(&cache.get(src).expect("src resident").profiles);
             let dst_profiles = Arc::clone(&cache.get(dst).expect("dst resident").profiles);
-            validate_tuples(&tuples, &src_profiles, &dst_profiles)?;
             let scored = match &pool {
-                Some(pool) if tuples.len() >= PARALLEL_THRESHOLD => {
-                    let chunk = tuples.len().div_ceil(pool.workers);
+                Some(pool) if survivors.len() >= options.parallel_threshold => {
+                    let chunk = survivors.len().div_ceil(pool.workers);
                     let mut dispatched = 0usize;
-                    for part in tuples.chunks(chunk) {
+                    for part in survivors.chunks(chunk) {
                         pool.task_tx
                             .send(ScoreTask {
                                 src: Arc::clone(&src_profiles),
@@ -236,7 +383,7 @@ fn drive(
                             .expect("workers alive while the run drives them");
                         dispatched += 1;
                     }
-                    let mut out = Vec::with_capacity(tuples.len());
+                    let mut out = Vec::with_capacity(survivors.len());
                     for _ in 0..dispatched {
                         out.extend(pool.result_rx.recv().expect("worker delivered its chunk"));
                     }
@@ -245,7 +392,7 @@ fn drive(
                 _ => score_chunk(&ScoreTask {
                     src: src_profiles,
                     dst: dst_profiles,
-                    tuples,
+                    tuples: survivors,
                     measure: options.measure,
                 }),
             };
@@ -275,55 +422,220 @@ fn drive(
         graph,
         cache: counters,
         sims_computed,
+        sims_skipped,
+        sims_pruned,
     })
 }
 
-/// Checks that every tuple endpoint has a profile row before scoring.
-fn validate_tuples(
-    tuples: &[(u32, u32)],
-    src: &HashMap<u32, Profile>,
-    dst: &HashMap<u32, Profile>,
-) -> Result<(), EngineError> {
-    for &(s, d) in tuples {
-        if !src.contains_key(&s) || !dst.contains_key(&d) {
-            return Err(EngineError::input(format!(
-                "tuple ({s}, {d}) references a user missing from its partition file"
-            )));
-        }
+/// After this many bound evaluations in one bucket with a hit rate
+/// below [`GATE_MIN_HIT_SHIFT`], the bound filter stands down for the
+/// bucket's remainder: on candidate pools where the ceiling can
+/// rarely beat the thresholds (e.g. an almost-converged in-cluster
+/// pool), the checks would be pure overhead. The gate runs on the
+/// driving thread in bucket order, so it — and therefore
+/// `sims_pruned` — is deterministic across thread counts.
+const GATE_WINDOW: u64 = 1024;
+
+/// Gate threshold: keep checking while `hits << GATE_MIN_HIT_SHIFT >=
+/// attempts`, i.e. at least 1 prune per 32 attempts.
+const GATE_MIN_HIT_SHIFT: u64 = 5;
+
+/// The driver-side scoring funnel of one bucket: validates every
+/// canonical tuple's endpoints, applies cross-iteration suppression
+/// and the upper-bound filter per recorded direction, and returns
+/// `(survivors, skipped, pruned)`.
+///
+/// Thresholds are read from the accumulators as they stand at bucket
+/// start; since thresholds only tighten as scores arrive, a stale
+/// threshold can only *under*-prune — the filter is exact regardless
+/// of bucket or thread scheduling.
+#[allow(clippy::too_many_arguments)]
+fn filter_bucket(
+    bucket: (u32, u32),
+    tuples: Vec<(u32, u32)>,
+    meta: &BucketMeta,
+    src: &PartitionState,
+    dst: &PartitionState,
+    options: &Phase4Options,
+    prune: Option<&Phase4Prune<'_>>,
+) -> Result<(Vec<PendingTuple>, u64, u64), EngineError> {
+    // Resolve the bucket's metadata slice once — the per-tuple bits
+    // are then a plain index, not a map lookup on the hot path.
+    let meta_bytes = meta.bucket_bytes(bucket).unwrap_or(&[]);
+    if meta_bytes.len() != tuples.len() {
+        return Err(EngineError::input(format!(
+            "bucket ({}, {}) has {} tuples but its metadata covers {} — phase-2 metadata \
+             must come from the same run as the bucket streams",
+            bucket.0,
+            bucket.1,
+            tuples.len(),
+            meta_bytes.len(),
+        )));
     }
-    Ok(())
+    let mut survivors: Vec<PendingTuple> = Vec::with_capacity(tuples.len());
+    let mut skipped = 0u64;
+    let mut pruned = 0u64;
+    let mut bound_attempts = 0u64;
+    let mut bound_hits = 0u64;
+
+    // Bucket tuples are sorted by (u, v): walk them in equal-u groups
+    // so the per-user lookups (profile, threshold, seed bit) happen
+    // once per group instead of once per tuple.
+    let mut start = 0usize;
+    while start < tuples.len() {
+        let u = tuples[start].0;
+        let end = start + tuples[start..].partition_point(|t| t.0 == u);
+        let Some(up) = src.profiles.get(&u) else {
+            return Err(EngineError::input(format!(
+                "tuple ({u}, {}) references a user missing from its partition file",
+                tuples[start].1
+            )));
+        };
+        let u_seed_ok = prune.is_some_and(|pr| pr.seed_ok[u as usize]);
+        let u_profile_dirty = prune.is_some_and(|pr| pr.profile_dirty[u as usize]);
+        let u_threshold = if options.bound_filter {
+            src.accums
+                .get(&u)
+                .expect("accumulator row exists for every partition user")
+                .threshold()
+        } else {
+            None
+        };
+        #[allow(clippy::needless_range_loop)] // idx also indexes the bucket metadata
+        for idx in start..end {
+            let v = tuples[idx].1;
+            let Some(vp) = dst.profiles.get(&v) else {
+                return Err(EngineError::input(format!(
+                    "tuple ({u}, {v}) references a user missing from its partition file"
+                )));
+            };
+            let bits = meta_bytes[idx];
+            // Which directed offers still need a fresh evaluation? A
+            // direction is redundant when its pair was evaluated last
+            // iteration (old path) and everything it was judged
+            // against is provably unchanged.
+            let (fwd_needed, bwd_needed) = match prune {
+                Some(pr) => {
+                    let v_seed_ok = pr.seed_ok[v as usize];
+                    let v_profile_dirty = pr.profile_dirty[v as usize];
+                    let fwd_redundant = bits & meta_bits::OLD_FWD != 0
+                        && u_seed_ok
+                        && !v_profile_dirty
+                        && (!options.include_reverse || v_seed_ok);
+                    let bwd_redundant = bits & meta_bits::OLD_BWD != 0
+                        && v_seed_ok
+                        && !u_profile_dirty
+                        && (!options.include_reverse || u_seed_ok);
+                    (
+                        bits & meta_bits::FWD != 0 && !fwd_redundant,
+                        bits & meta_bits::BWD != 0 && !bwd_redundant,
+                    )
+                }
+                None => (bits & meta_bits::FWD != 0, bits & meta_bits::BWD != 0),
+            };
+            if !fwd_needed && !bwd_needed {
+                // Every recorded direction was already evaluated last
+                // iteration; the seed rows carry their verdicts.
+                skipped += 1;
+                continue;
+            }
+            // Which accumulators would a fresh score have to beat?
+            let into_u = fwd_needed || (options.include_reverse && bwd_needed);
+            let into_v = bwd_needed || (options.include_reverse && fwd_needed);
+            if options.bound_filter {
+                let gate_open = bound_attempts < GATE_WINDOW
+                    || bound_hits << GATE_MIN_HIT_SHIFT >= bound_attempts;
+                if gate_open {
+                    bound_attempts += 1;
+                    let bound = options.measure.upper_bound(up, vp);
+                    let prunable = bound.is_finite()
+                        && (!into_u
+                            || u_threshold.is_some_and(|thr| {
+                                !Neighbor::new(UserId::new(v), bound).beats(&thr)
+                            }))
+                        && (!into_v
+                            || dst
+                                .accums
+                                .get(&v)
+                                .expect("accumulator row exists for every partition user")
+                                .threshold()
+                                .is_some_and(|thr| {
+                                    !Neighbor::new(UserId::new(u), bound).beats(&thr)
+                                }));
+                    if prunable {
+                        // Even the score ceiling cannot displace the
+                        // current k-th entry anywhere this tuple
+                        // would be offered.
+                        bound_hits += 1;
+                        pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            survivors.push((u, v, bits));
+        }
+        start = end;
+    }
+    Ok((survivors, skipped, pruned))
 }
 
-/// Applies scored tuples to the resident accumulators.
+/// Applies scored canonical tuples to the resident accumulators,
+/// following each tuple's direction bits (both directions when
+/// `include_reverse` widens the offers).
 fn apply_scores(
     cache: &mut SlotCache<PartitionState>,
     src: u32,
     dst: u32,
-    scored: &[(u32, u32, f32)],
+    scored: &[ScoredTuple],
     include_reverse: bool,
 ) {
-    // Forward offers: candidate d for user s (s lives in `src`).
+    // Offers into the src-side accumulators (candidate v for user u).
+    // Scored rows arrive in equal-u runs (chunk results may be
+    // concatenated out of order, which only splits runs), so the
+    // accumulator lookup hoists per run.
+    let mut src_dirty = false;
     {
         let state = cache.get_mut(src).expect("src resident");
-        for &(s, d, sim) in scored {
-            state
+        let mut i = 0usize;
+        while i < scored.len() {
+            let u = scored[i].0;
+            let mut end = i + 1;
+            while end < scored.len() && scored[end].0 == u {
+                end += 1;
+            }
+            let acc = state
                 .accums
-                .get_mut(&s)
-                .expect("accumulator row exists for every partition user")
-                .offer(Neighbor::new(UserId::new(d), sim));
+                .get_mut(&u)
+                .expect("accumulator row exists for every partition user");
+            for &(_, v, bits, sim) in &scored[i..end] {
+                let offer_fwd =
+                    bits & meta_bits::FWD != 0 || (include_reverse && bits & meta_bits::BWD != 0);
+                if offer_fwd {
+                    acc.offer(Neighbor::new(UserId::new(v), sim));
+                    src_dirty = true;
+                }
+            }
+            i = end;
         }
-        state.dirty = true;
+        state.dirty |= src_dirty;
     }
-    if include_reverse {
+    // Offers into the dst-side accumulators (candidate u for user v).
+    let mut dst_dirty = false;
+    {
         let state = cache.get_mut(dst).expect("dst resident");
-        for &(s, d, sim) in scored {
-            state
-                .accums
-                .get_mut(&d)
-                .expect("accumulator row exists for every partition user")
-                .offer(Neighbor::new(UserId::new(s), sim));
+        for &(u, v, bits, sim) in scored {
+            let offer_bwd =
+                bits & meta_bits::BWD != 0 || (include_reverse && bits & meta_bits::FWD != 0);
+            if offer_bwd {
+                state
+                    .accums
+                    .get_mut(&v)
+                    .expect("accumulator row exists for every partition user")
+                    .offer(Neighbor::new(UserId::new(u), sim));
+                dst_dirty = true;
+            }
         }
-        state.dirty = true;
+        state.dirty |= dst_dirty;
     }
 }
 
@@ -342,6 +654,8 @@ mod tests {
             threads,
             cache_slots: 2,
             include_reverse: false,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            bound_filter: false,
         }
     }
 
@@ -351,15 +665,19 @@ mod tests {
         g: &KnnGraph,
         profiles: &ProfileStore,
         m: usize,
-    ) -> (knn_store::MemBackend, Partitioning, PiGraph) {
+    ) -> (
+        knn_store::MemBackend,
+        Partitioning,
+        crate::phase2::Phase2Output,
+    ) {
         let n = g.num_vertices();
         let b = knn_store::MemBackend::new();
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let p = Partitioning::from_assignment(assignment, m).unwrap();
         reshard_profiles(&b, None, &p, Some(profiles), 1).unwrap();
-        write_partition_edges(g, &p, &b, 1).unwrap();
-        let out = generate_tuples(&p, &b, 1 << 16, 1).unwrap();
-        (b, p, out.pi)
+        write_partition_edges(g, &p, &b, 1, None).unwrap();
+        let out = generate_tuples(&p, &b, 1 << 16, 1, None).unwrap();
+        (b, p, out)
     }
 
     fn line_profiles(n: usize) -> ProfileStore {
@@ -379,14 +697,25 @@ mod tests {
         let mut g = KnnGraph::new(2, 1);
         g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
         let profiles = line_profiles(2);
-        let (b, p, pi) = setup_world(&g, &profiles, 2);
-        let schedule = Heuristic::Sequential.schedule(&pi);
-        let out = run_phase4(&schedule, &pi, &p, &b, &options(1, 1)).unwrap();
+        let (b, p, p2) = setup_world(&g, &profiles, 2);
+        let schedule = Heuristic::Sequential.schedule(&p2.pi);
+        let out = run_phase4(
+            &schedule,
+            &p2.pi,
+            &p2.tuple_meta,
+            &p,
+            &b,
+            &options(1, 1),
+            None,
+        )
+        .unwrap();
         let nbrs = out.graph.neighbors(UserId::new(0));
         assert_eq!(nbrs.len(), 1);
         assert_eq!(nbrs[0].id, UserId::new(1));
         assert!((nbrs[0].sim - 0.5).abs() < 1e-6, "cosine of half-overlap");
         assert_eq!(out.sims_computed, 1);
+        assert_eq!(out.sims_skipped, 0);
+        assert_eq!(out.sims_pruned, 0);
     }
 
     #[test]
@@ -396,9 +725,18 @@ mod tests {
         let profiles = line_profiles(n);
         let mut results = Vec::new();
         for h in Heuristic::ALL {
-            let (b, p, pi) = setup_world(&g, &profiles, 4);
-            let schedule = h.schedule(&pi);
-            let out = run_phase4(&schedule, &pi, &p, &b, &options(4, 1)).unwrap();
+            let (b, p, p2) = setup_world(&g, &profiles, 4);
+            let schedule = h.schedule(&p2.pi);
+            let out = run_phase4(
+                &schedule,
+                &p2.pi,
+                &p2.tuple_meta,
+                &p,
+                &b,
+                &options(4, 1),
+                None,
+            )
+            .unwrap();
             results.push((h, out.graph));
         }
         for (h, g2) in &results[1..] {
@@ -413,9 +751,18 @@ mod tests {
         let profiles = line_profiles(n);
         let mut results = Vec::new();
         for threads in [1, 2, 4] {
-            let (b, p, pi) = setup_world(&g, &profiles, 3);
-            let schedule = Heuristic::DegreeLowHigh.schedule(&pi);
-            let out = run_phase4(&schedule, &pi, &p, &b, &options(5, threads)).unwrap();
+            let (b, p, p2) = setup_world(&g, &profiles, 3);
+            let schedule = Heuristic::DegreeLowHigh.schedule(&p2.pi);
+            let out = run_phase4(
+                &schedule,
+                &p2.pi,
+                &p2.tuple_meta,
+                &p,
+                &b,
+                &options(5, threads),
+                None,
+            )
+            .unwrap();
             results.push(out.graph);
         }
         assert_eq!(results[0], results[1]);
@@ -429,17 +776,56 @@ mod tests {
         let n = 600;
         let g = KnnGraph::random_init(n, 6, 2);
         let profiles = line_profiles(n);
-        let (b, p, pi) = setup_world(&g, &profiles, 2);
+        let (b, p, p2) = setup_world(&g, &profiles, 2);
         assert!(
-            pi.iter_buckets()
-                .any(|(_, w)| w >= PARALLEL_THRESHOLD as u64),
+            p2.pi
+                .iter_buckets()
+                .any(|(_, w)| w >= DEFAULT_PARALLEL_THRESHOLD as u64),
             "test needs a bucket above the parallel threshold"
         );
-        let schedule = Heuristic::Sequential.schedule(&pi);
-        let sequential = run_phase4(&schedule, &pi, &p, &b, &options(6, 1)).unwrap();
-        let parallel = run_phase4(&schedule, &pi, &p, &b, &options(6, 4)).unwrap();
+        let schedule = Heuristic::Sequential.schedule(&p2.pi);
+        let sequential = run_phase4(
+            &schedule,
+            &p2.pi,
+            &p2.tuple_meta,
+            &p,
+            &b,
+            &options(6, 1),
+            None,
+        )
+        .unwrap();
+        let parallel = run_phase4(
+            &schedule,
+            &p2.pi,
+            &p2.tuple_meta,
+            &p,
+            &b,
+            &options(6, 4),
+            None,
+        )
+        .unwrap();
         assert_eq!(sequential.graph, parallel.graph);
         assert_eq!(sequential.sims_computed, parallel.sims_computed);
+    }
+
+    #[test]
+    fn parallel_threshold_is_tunable() {
+        // With the threshold forced to 1, even tiny buckets take the
+        // pool path; with it huge, everything scores inline — both
+        // must produce the identical graph and counters.
+        let n = 60;
+        let g = KnnGraph::random_init(n, 4, 9);
+        let profiles = line_profiles(n);
+        let mut results = Vec::new();
+        for threshold in [1usize, usize::MAX] {
+            let (b, p, p2) = setup_world(&g, &profiles, 3);
+            let schedule = Heuristic::Sequential.schedule(&p2.pi);
+            let mut opts = options(4, 4);
+            opts.parallel_threshold = threshold;
+            let out = run_phase4(&schedule, &p2.pi, &p2.tuple_meta, &p, &b, &opts, None).unwrap();
+            results.push((out.graph, out.sims_computed));
+        }
+        assert_eq!(results[0], results[1]);
     }
 
     #[test]
@@ -449,9 +835,18 @@ mod tests {
         let profiles = line_profiles(n);
         let mut results = Vec::new();
         for m in [2, 3, 5] {
-            let (b, p, pi) = setup_world(&g, &profiles, m);
-            let schedule = Heuristic::Sequential.schedule(&pi);
-            let out = run_phase4(&schedule, &pi, &p, &b, &options(3, 1)).unwrap();
+            let (b, p, p2) = setup_world(&g, &profiles, m);
+            let schedule = Heuristic::Sequential.schedule(&p2.pi);
+            let out = run_phase4(
+                &schedule,
+                &p2.pi,
+                &p2.tuple_meta,
+                &p,
+                &b,
+                &options(3, 1),
+                None,
+            )
+            .unwrap();
             results.push(out.graph);
         }
         assert_eq!(results[0], results[1]);
@@ -463,10 +858,19 @@ mod tests {
         let n = 24;
         let g = KnnGraph::random_init(n, 3, 5);
         let profiles = line_profiles(n);
-        let (b, p, pi) = setup_world(&g, &profiles, 6);
-        let schedule = Heuristic::Sequential.schedule(&pi);
+        let (b, p, p2) = setup_world(&g, &profiles, 6);
+        let schedule = Heuristic::Sequential.schedule(&p2.pi);
         let predicted = crate::traversal::simulate_schedule_ops(&schedule, 2);
-        let out = run_phase4(&schedule, &pi, &p, &b, &options(3, 1)).unwrap();
+        let out = run_phase4(
+            &schedule,
+            &p2.pi,
+            &p2.tuple_meta,
+            &p,
+            &b,
+            &options(3, 1),
+            None,
+        )
+        .unwrap();
         assert_eq!(
             out.cache.loads, predicted.loads,
             "dry run must match execution"
@@ -481,11 +885,11 @@ mod tests {
         let mut g = KnnGraph::new(2, 1);
         g.insert(UserId::new(0), Neighbor::unscored(UserId::new(1)));
         let profiles = line_profiles(2);
-        let (b, p, pi) = setup_world(&g, &profiles, 2);
-        let schedule = Heuristic::Sequential.schedule(&pi);
+        let (b, p, p2) = setup_world(&g, &profiles, 2);
+        let schedule = Heuristic::Sequential.schedule(&p2.pi);
         let mut opts = options(1, 1);
         opts.include_reverse = true;
-        let out = run_phase4(&schedule, &pi, &p, &b, &opts).unwrap();
+        let out = run_phase4(&schedule, &p2.pi, &p2.tuple_meta, &p, &b, &opts, None).unwrap();
         assert_eq!(out.graph.neighbors(UserId::new(1)).len(), 1);
         assert_eq!(out.graph.neighbors(UserId::new(1))[0].id, UserId::new(0));
     }
@@ -494,11 +898,179 @@ mod tests {
     fn empty_schedule_yields_empty_graph() {
         let g = KnnGraph::new(4, 2);
         let profiles = ProfileStore::new(4);
-        let (b, p, pi) = setup_world(&g, &profiles, 2);
-        let schedule = Heuristic::Sequential.schedule(&pi);
+        let (b, p, p2) = setup_world(&g, &profiles, 2);
+        let schedule = Heuristic::Sequential.schedule(&p2.pi);
         assert!(schedule.is_empty());
-        let out = run_phase4(&schedule, &pi, &p, &b, &options(2, 1)).unwrap();
+        let out = run_phase4(
+            &schedule,
+            &p2.pi,
+            &p2.tuple_meta,
+            &p,
+            &b,
+            &options(2, 1),
+            None,
+        )
+        .unwrap();
         assert_eq!(out.graph.num_edges(), 0);
         assert_eq!(out.sims_computed, 0);
+    }
+
+    /// Profiles with strongly varied lengths (1–6 items), so the
+    /// set-measure upper bounds `min(|A|,|B|)/max(|A|,|B|)` actually
+    /// separate candidates.
+    fn varied_profiles(n: usize) -> ProfileStore {
+        let mut store = ProfileStore::new(n);
+        for u in 0..n as u32 {
+            let p = store.get_mut(UserId::new(u));
+            for i in 0..=(u % 6) {
+                p.set(knn_sim::ItemId::new(u + i), 1.0);
+            }
+        }
+        store
+    }
+
+    /// The bound filter never changes the graph, only the number of
+    /// kernel evaluations, across measures and thread counts.
+    #[test]
+    fn bound_filter_is_exact_and_thread_invariant() {
+        let n = 80;
+        for measure in [Measure::Jaccard, Measure::Dice, Measure::Cosine] {
+            let g = KnnGraph::random_init(n, 5, 13);
+            let profiles = varied_profiles(n);
+            let (b, p, p2) = setup_world(&g, &profiles, 4);
+            let schedule = Heuristic::DegreeLowHigh.schedule(&p2.pi);
+            let mut plain_opts = options(2, 1);
+            plain_opts.measure = measure;
+            let plain =
+                run_phase4(&schedule, &p2.pi, &p2.tuple_meta, &p, &b, &plain_opts, None).unwrap();
+            let mut counters = Vec::new();
+            for threads in [1usize, 4] {
+                let mut opts = options(2, threads);
+                opts.measure = measure;
+                opts.bound_filter = true;
+                opts.parallel_threshold = 8; // force the pool path too
+                let filtered =
+                    run_phase4(&schedule, &p2.pi, &p2.tuple_meta, &p, &b, &opts, None).unwrap();
+                assert_eq!(
+                    plain.graph, filtered.graph,
+                    "{measure}: bound filter changed the graph"
+                );
+                assert_eq!(
+                    filtered.sims_computed + filtered.sims_pruned,
+                    plain.sims_computed,
+                    "{measure}: every tuple is either computed or pruned"
+                );
+                counters.push((filtered.sims_computed, filtered.sims_pruned));
+            }
+            assert_eq!(
+                counters[0], counters[1],
+                "{measure}: counters must not depend on threads"
+            );
+            // K=2 on heavily-overlapping line profiles: the filter
+            // must actually bite for the set measures.
+            if measure != Measure::Cosine {
+                assert!(counters[0].1 > 0, "{measure}: filter never pruned");
+            }
+        }
+    }
+
+    /// One unpruned iteration from `g` (fresh world), returning
+    /// `G(t+1)`.
+    fn iterate_unpruned(g: &KnnGraph, profiles: &ProfileStore, k: usize, m: usize) -> KnnGraph {
+        let (b, p, p2) = setup_world(g, profiles, m);
+        let schedule = Heuristic::Sequential.schedule(&p2.pi);
+        run_phase4(
+            &schedule,
+            &p2.pi,
+            &p2.tuple_meta,
+            &p,
+            &b,
+            &options(k, 1),
+            None,
+        )
+        .unwrap()
+        .graph
+    }
+
+    /// One pruned iteration from `current` (with `previous` as the
+    /// last graph and clean profiles), returning the full output.
+    fn iterate_pruned(
+        current: &KnnGraph,
+        previous: &KnnGraph,
+        profiles: &ProfileStore,
+        k: usize,
+        m: usize,
+    ) -> Phase4Output {
+        let n = current.num_vertices();
+        let additions = current.additions_since(previous);
+        let seed_ok: Vec<bool> = (0..n as u32)
+            .map(|u| current.fully_scored(UserId::new(u)))
+            .collect();
+        let profile_dirty = vec![false; n];
+        let b = knn_store::MemBackend::new();
+        let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
+        let p = Partitioning::from_assignment(assignment, m).unwrap();
+        reshard_profiles(&b, None, &p, Some(profiles), 1).unwrap();
+        write_partition_edges(current, &p, &b, 1, Some(&seed_ok)).unwrap();
+        let out = generate_tuples(&p, &b, 1 << 16, 1, Some(&additions)).unwrap();
+        let schedule = Heuristic::Sequential.schedule(&out.pi);
+        let prune = Phase4Prune {
+            seed_ok: &seed_ok,
+            profile_dirty: &profile_dirty,
+        };
+        run_phase4(
+            &schedule,
+            &out.pi,
+            &out.tuple_meta,
+            &p,
+            &b,
+            &options(k, 1),
+            Some(&prune),
+        )
+        .unwrap()
+    }
+
+    /// Cross-iteration suppression is exact: iteration 2 with the
+    /// honest G(0) → G(1) addition oracle skips a real share of the
+    /// tuples and still lands on the identical G(2).
+    #[test]
+    fn suppression_is_exact_on_iteration_two() {
+        let (n, k, m) = (40, 4, 4);
+        let g0 = KnnGraph::random_init(n, k, 21);
+        let profiles = line_profiles(n);
+        let g1 = iterate_unpruned(&g0, &profiles, k, m);
+        let reference = iterate_unpruned(&g1, &profiles, k, m);
+        let pruned = iterate_pruned(&g1, &g0, &profiles, k, m);
+        assert_eq!(pruned.graph, reference, "suppression changed G(2)");
+        assert!(pruned.sims_skipped > 0, "no pair was suppressed");
+        assert!(
+            pruned.sims_computed > 0,
+            "iteration 2 still has fresh pairs"
+        );
+    }
+
+    /// At a fixed point (G(t+1) == G(t), static profiles) suppression
+    /// skips *every* tuple: zero kernel evaluations, identical graph.
+    #[test]
+    fn suppression_skips_everything_at_a_fixed_point() {
+        let (n, k, m) = (40, 4, 4);
+        let profiles = line_profiles(n);
+        let mut prev = KnnGraph::random_init(n, k, 21);
+        let mut current = iterate_unpruned(&prev, &profiles, k, m);
+        let mut rounds = 0;
+        while current != prev {
+            prev = current;
+            current = iterate_unpruned(&prev, &profiles, k, m);
+            rounds += 1;
+            assert!(rounds < 20, "line-profile world failed to converge");
+        }
+        // current == prev: the oracle between them is empty.
+        let pruned = iterate_pruned(&current, &prev, &profiles, k, m);
+        assert_eq!(pruned.graph, current, "fixed point not reproduced");
+        assert_eq!(
+            pruned.sims_computed, 0,
+            "a fully static world needs zero kernel evaluations"
+        );
+        assert!(pruned.sims_skipped > 0);
     }
 }

@@ -89,6 +89,11 @@ impl UpdateQueue {
     /// memory stays `O(threads × partition)` and the persisted bytes
     /// are thread-count-invariant — and truncates the log.
     ///
+    /// Returns the run statistics plus the **sorted, deduplicated**
+    /// set of users whose profile changed — the input of the engine's
+    /// per-user dirty bits: every similarity score involving one of
+    /// these users is stale from the next iteration on.
+    ///
     /// # Errors
     ///
     /// Returns [`EngineError::Store`] on I/O failure or corrupt
@@ -98,18 +103,22 @@ impl UpdateQueue {
         partitioning: &Partitioning,
         backend: &dyn StorageBackend,
         threads: usize,
-    ) -> Result<Phase5Stats, EngineError> {
+    ) -> Result<(Phase5Stats, Vec<u32>), EngineError> {
         let deltas = read_deltas(backend)?;
         if deltas.is_empty() {
-            return Ok(Phase5Stats::default());
+            return Ok((Phase5Stats::default(), Vec::new()));
         }
         let mut by_partition: BTreeMap<u32, Vec<&ProfileDelta>> = BTreeMap::new();
+        let mut updated_users: Vec<u32> = Vec::with_capacity(deltas.len());
         for d in &deltas {
             by_partition
                 .entry(partitioning.partition_of(d.user))
                 .or_default()
                 .push(d);
+            updated_users.push(d.user.raw());
         }
+        updated_users.sort_unstable();
+        updated_users.dedup();
         let result = Phase5Stats {
             updates_applied: deltas.len() as u64,
             partitions_rewritten: by_partition.len() as u64,
@@ -151,7 +160,7 @@ impl UpdateQueue {
             Ok(())
         })?;
         backend.truncate_updates()?;
-        Ok(result)
+        Ok((result, updated_users))
     }
 
     /// Reads one user's current stored profile (diagnostics and
@@ -230,9 +239,10 @@ mod tests {
             .unwrap();
         q.queue(&ProfileDelta::set(UserId::new(3), ItemId::new(6), 3.0), &b)
             .unwrap();
-        let st = q.apply_all(&p, &b, 1).unwrap();
+        let (st, updated) = q.apply_all(&p, &b, 1).unwrap();
         assert_eq!(st.updates_applied, 2);
         assert_eq!(st.partitions_rewritten, 1);
+        assert_eq!(updated, vec![0, 3], "updated users sorted and deduped");
         let profile = UpdateQueue::read_profile(UserId::new(0), &p, &b).unwrap();
         assert_eq!(profile.get(ItemId::new(5)), Some(2.0));
     }
@@ -249,7 +259,12 @@ mod tests {
             .unwrap();
         q.queue(&ProfileDelta::set(u, ItemId::new(1), 7.0), &b)
             .unwrap();
-        q.apply_all(&p, &b, 1).unwrap();
+        let (_, updated) = q.apply_all(&p, &b, 1).unwrap();
+        assert_eq!(
+            updated,
+            vec![0],
+            "four deltas to one user dedup to one entry"
+        );
         let profile = UpdateQueue::read_profile(u, &p, &b).unwrap();
         assert_eq!(profile.get(ItemId::new(1)), Some(7.0));
     }
@@ -261,8 +276,9 @@ mod tests {
             .unwrap();
         q.apply_all(&p, &b, 1).unwrap();
         assert_eq!(q.pending(&b).unwrap(), 0);
-        let st = q.apply_all(&p, &b, 1).unwrap();
+        let (st, updated) = q.apply_all(&p, &b, 1).unwrap();
         assert_eq!(st.updates_applied, 0);
+        assert!(updated.is_empty());
     }
 
     #[test]
@@ -293,7 +309,7 @@ mod tests {
                 )
                 .unwrap();
             }
-            let st = q.apply_all(&p, &b, threads).unwrap();
+            let (st, _) = q.apply_all(&p, &b, threads).unwrap();
             let streams: Vec<Vec<u8>> = (0..4u32)
                 .map(|part| b.read(StreamId::Profiles(part)).unwrap())
                 .collect();

@@ -59,6 +59,25 @@ impl TopKAccumulator {
         self.entries.is_empty()
     }
 
+    /// Whether the accumulator holds `K` entries — the precondition
+    /// for bound-based pruning (a non-full accumulator accepts any
+    /// candidate, so nothing can be pruned against it).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.k
+    }
+
+    /// The current k-th (worst retained) entry, or `None` while the
+    /// accumulator is not full — the pruning threshold: a candidate
+    /// whose score upper bound does not [`Neighbor::beats`] this entry
+    /// cannot change the accumulator and need not be scored.
+    pub fn threshold(&self) -> Option<Neighbor> {
+        if self.is_full() {
+            self.entries.last().copied()
+        } else {
+            None
+        }
+    }
+
     /// Offers a candidate; returns `true` if the entry set changed.
     pub fn offer(&mut self, cand: Neighbor) -> bool {
         if let Some(pos) = self.entries.iter().position(|n| n.id == cand.id) {
@@ -110,7 +129,29 @@ impl TopKAccumulator {
     }
 
     /// Rebuilds from an on-disk row.
+    ///
+    /// Rows written by [`TopKAccumulator::to_row`] are already in the
+    /// deterministic best-first order with unique ids and length ≤ K;
+    /// such rows are adopted directly (the hot path — partition loads
+    /// rebuild every resident accumulator). Anything else falls back
+    /// to offering entry by entry, which produces the same result for
+    /// any well-formed multiset.
     pub fn from_row(k: usize, row: &[(u32, f32)]) -> Self {
+        assert!(k > 0, "K must be positive");
+        let sorted_unique = row.len() <= k
+            && row.windows(2).all(|w| {
+                Neighbor::new(UserId::new(w[0].0), w[0].1)
+                    .beats(&Neighbor::new(UserId::new(w[1].0), w[1].1))
+            });
+        if sorted_unique {
+            return TopKAccumulator {
+                k,
+                entries: row
+                    .iter()
+                    .map(|&(id, sim)| Neighbor::new(UserId::new(id), sim))
+                    .collect(),
+            };
+        }
         let mut acc = TopKAccumulator::new(k);
         for &(id, sim) in row {
             acc.offer(Neighbor::new(UserId::new(id), sim));
@@ -215,5 +256,39 @@ mod tests {
     #[should_panic(expected = "K must be positive")]
     fn zero_k_rejected() {
         let _ = TopKAccumulator::new(0);
+    }
+
+    #[test]
+    fn threshold_appears_only_when_full() {
+        let mut acc = TopKAccumulator::new(2);
+        assert!(!acc.is_full());
+        assert_eq!(acc.threshold(), None);
+        acc.offer(nb(1, 0.9));
+        assert_eq!(acc.threshold(), None);
+        acc.offer(nb(2, 0.4));
+        assert!(acc.is_full());
+        assert_eq!(acc.threshold(), Some(nb(2, 0.4)));
+        acc.offer(nb(3, 0.6));
+        assert_eq!(acc.threshold(), Some(nb(3, 0.6)));
+    }
+
+    /// The pruning contract: a candidate that does not beat the
+    /// threshold can be dropped without changing the accumulator.
+    #[test]
+    fn candidates_below_threshold_never_change_a_full_accumulator() {
+        let mut acc = TopKAccumulator::new(3);
+        for c in [nb(1, 0.9), nb(2, 0.7), nb(3, 0.5)] {
+            acc.offer(c);
+        }
+        let threshold = acc.threshold().unwrap();
+        let before = acc.clone();
+        for cand in [nb(9, 0.5), nb(4, 0.4), nb(8, -1.0)] {
+            assert!(!cand.beats(&threshold));
+            acc.offer(cand);
+            assert_eq!(acc, before, "sub-threshold candidate changed the set");
+        }
+        // While one that beats it does change the set.
+        assert!(nb(4, 0.6).beats(&threshold));
+        assert!(acc.offer(nb(4, 0.6)));
     }
 }

@@ -3,7 +3,7 @@
 use knn_core::partition::{objective, PartitionerKind, Partitioning};
 use knn_core::topk::TopKAccumulator;
 use knn_core::traversal::{simulate_schedule_ops, Heuristic};
-use knn_core::tuple_table::{merge_parts, TupleTable};
+use knn_core::tuple_table::{merge_parts, meta_bits, TupleTable};
 use knn_core::PiGraph;
 use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
 use knn_store::backend::read_pairs;
@@ -26,16 +26,21 @@ fn arb_offers() -> impl Strategy<Value = (usize, Vec<Offer>)> {
 }
 
 /// Replays `offers` into tables (one per `namespaces`) and merges,
-/// returning bucket contents and stats. Repeat-offers are interleaved
-/// round-robin so duplicates straddle spill runs rather than sitting
-/// adjacent.
+/// returning bucket contents (canonical tuples), the directed-tuple
+/// expansion via the metadata bits, and stats. Repeat-offers are
+/// interleaved round-robin so duplicates straddle spill runs rather
+/// than sitting adjacent.
 fn run_tables(
     backend: &MemBackend,
     partitioning: &Partitioning,
     offers: &[Offer],
     spill_threshold: usize,
     namespaces: u32,
-) -> (knn_core::tuple_table::TupleTableStats, Buckets) {
+) -> (
+    knn_core::tuple_table::TupleTableStats,
+    Buckets,
+    std::collections::BTreeSet<(u32, u32)>,
+) {
     let mut tables: Vec<TupleTable> = (0..namespaces)
         .map(|ns| TupleTable::with_namespace(backend, partitioning, spill_threshold, ns))
         .collect();
@@ -48,14 +53,24 @@ fn run_tables(
         }
     }
     let parts = tables.into_iter().map(TupleTable::into_parts).collect();
-    let (pi, stats) = merge_parts(backend, partitioning.num_partitions(), parts, 2).unwrap();
+    let (pi, stats, meta) = merge_parts(backend, partitioning.num_partitions(), parts, 2).unwrap();
     let mut buckets = Buckets::new();
+    let mut directed = std::collections::BTreeSet::new();
     for ((i, j), w) in pi.iter_buckets() {
         let rows = read_pairs(backend, StreamId::TupleBucket(i, j)).unwrap();
         assert_eq!(rows.len() as u64, w, "PI weight disagrees with bucket");
+        for (idx, &(u, v)) in rows.iter().enumerate() {
+            let bits = meta.bits((i, j), idx);
+            if bits & meta_bits::FWD != 0 {
+                directed.insert((u, v));
+            }
+            if bits & meta_bits::BWD != 0 {
+                directed.insert((v, u));
+            }
+        }
         buckets.insert((i, j), rows);
     }
-    (stats, buckets)
+    (stats, buckets, directed)
 }
 
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
@@ -194,24 +209,28 @@ proptest! {
         let assignment: Vec<u32> = (0..n).map(|u| (u % m) as u32).collect();
         let partitioning = Partitioning::from_assignment(assignment, m).unwrap();
         let backend = MemBackend::new();
-        let (stats, buckets) =
+        let (stats, buckets, directed) =
             run_tables(&backend, &partitioning, &offers, spill_threshold, namespaces);
 
-        // Reference: the unique non-self pair set, bucketed.
+        // Reference: canonical (undirected) unique pairs, bucketed by
+        // the canonical endpoints' partitions, plus the directed view.
         let mut expected: Buckets = Buckets::new();
-        let mut unique = std::collections::HashSet::new();
+        let mut canonical = std::collections::HashSet::new();
+        let mut expected_directed = std::collections::BTreeSet::new();
         let mut offered = 0u64;
         for &((s, d), repeats) in &offers {
             if s == d {
                 continue;
             }
             offered += repeats as u64;
-            if unique.insert((s, d)) {
+            expected_directed.insert((s, d));
+            let (u, v) = (s.min(d), s.max(d));
+            if canonical.insert((u, v)) {
                 let key = (
-                    partitioning.partition_of(UserId::new(s)),
-                    partitioning.partition_of(UserId::new(d)),
+                    partitioning.partition_of(UserId::new(u)),
+                    partitioning.partition_of(UserId::new(v)),
                 );
-                expected.entry(key).or_default().push((s, d));
+                expected.entry(key).or_default().push((u, v));
             }
         }
         for rows in expected.values_mut() {
@@ -219,9 +238,10 @@ proptest! {
         }
 
         prop_assert_eq!(&buckets, &expected);
+        prop_assert_eq!(&directed, &expected_directed);
         prop_assert_eq!(stats.offered, offered);
-        prop_assert_eq!(stats.unique, unique.len() as u64);
-        prop_assert_eq!(stats.duplicates, offered - unique.len() as u64);
+        prop_assert_eq!(stats.unique, canonical.len() as u64);
+        prop_assert_eq!(stats.duplicates, offered - canonical.len() as u64);
         // Every spill run was consumed and deleted by the merge.
         prop_assert!(backend
             .list()
@@ -246,11 +266,57 @@ proptest! {
         let mut reference = None;
         for threshold in [1usize, count, 1 << 16] {
             let backend = MemBackend::new();
-            let (stats, buckets) = run_tables(&backend, &partitioning, &offers, threshold, 2);
-            let projected = (stats.offered, stats.unique, stats.duplicates, buckets);
+            let (stats, buckets, directed) =
+                run_tables(&backend, &partitioning, &offers, threshold, 2);
+            let projected = (stats.offered, stats.unique, stats.duplicates, buckets, directed);
             match &reference {
                 None => reference = Some(projected),
                 Some(r) => prop_assert_eq!(r, &projected, "threshold {} diverged", threshold),
+            }
+        }
+    }
+
+    /// The bound-filter safety property end to end: for any pair of
+    /// profiles, any measure, and any full accumulator, if the O(1)
+    /// upper bound says the candidate cannot beat the current k-th
+    /// entry, then offering the *true* score never changes the
+    /// accumulator — pruning is exact, for every measure.
+    #[test]
+    fn bound_filter_never_prunes_a_winner(
+        k in 1usize..5,
+        seated in proptest::collection::vec((0u32..50, -1.0f32..1.0), 1..30),
+        pa in proptest::collection::vec((0u32..40, -5.0f32..5.0), 0..20),
+        pb in proptest::collection::vec((0u32..40, -5.0f32..5.0), 0..20),
+        cand_id in 100u32..120,
+    ) {
+        use knn_sim::{Measure, PreparedProfile, Profile};
+        let build = |pairs: &[(u32, f32)]| {
+            let mut map = std::collections::HashMap::new();
+            for &(i, w) in pairs {
+                map.insert(i, w);
+            }
+            PreparedProfile::new(Profile::from_unsorted_pairs(map.into_iter().collect()).unwrap())
+        };
+        let (a, b) = (build(&pa), build(&pb));
+        let mut acc = TopKAccumulator::new(k);
+        for &(id, sim) in &seated {
+            acc.offer(Neighbor::new(UserId::new(id), sim));
+        }
+        for m in Measure::ALL {
+            let Some(threshold) = acc.threshold() else { break };
+            let bound = m.upper_bound(&a, &b);
+            let prunable =
+                bound.is_finite() && !Neighbor::new(UserId::new(cand_id), bound).beats(&threshold);
+            if prunable {
+                let mut replay = acc.clone();
+                let true_score = m.score_prepared(&a, &b);
+                let changed = replay.offer(Neighbor::new(UserId::new(cand_id), true_score));
+                prop_assert!(
+                    !changed,
+                    "{} pruned a winner: bound {}, true {}, threshold {:?}",
+                    m, bound, true_score, threshold
+                );
+                prop_assert_eq!(replay.entries(), acc.entries());
             }
         }
     }

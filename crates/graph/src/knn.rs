@@ -276,6 +276,64 @@ impl KnnGraph {
         out
     }
 
+    /// Whether every neighbor of `v` carries a real similarity (no
+    /// [`Neighbor::unscored`] sentinel) — the precondition for using
+    /// `v`'s list as a top-K accumulator seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn fully_scored(&self, v: UserId) -> bool {
+        self.neighbors(v).iter().all(|n| !n.is_unscored())
+    }
+
+    /// `v`'s neighbor list as on-storage accumulator rows
+    /// `(target, sim)`, best-first — the phase-4 **seed row** that
+    /// replays iteration `t-1`'s scores into iteration `t`'s top-K
+    /// accumulator so that suppressed (already-evaluated) pairs keep
+    /// their standing without being re-scored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn seed_row(&self, v: UserId) -> Vec<(u32, f32)> {
+        self.neighbors(v)
+            .iter()
+            .map(|n| (n.id.raw(), n.sim))
+            .collect()
+    }
+
+    /// The edges of `self` that are **not** in `previous`, grouped by
+    /// source — the "new edge" oracle of cross-iteration pair
+    /// suppression: a candidate tuple needs (re-)scoring only if some
+    /// edge on its generating path is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex counts differ.
+    pub fn additions_since(&self, previous: &KnnGraph) -> EdgeAdditions {
+        assert_eq!(
+            self.num_vertices(),
+            previous.num_vertices(),
+            "graphs must have the same vertex set"
+        );
+        let mut added: Vec<Vec<u32>> = Vec::with_capacity(self.num_vertices());
+        for v in 0..self.num_vertices() {
+            let u = UserId::new(v as u32);
+            let old: std::collections::HashSet<UserId> =
+                previous.neighbors(u).iter().map(|n| n.id).collect();
+            let mut fresh: Vec<u32> = self
+                .neighbors(u)
+                .iter()
+                .filter(|n| !old.contains(&n.id))
+                .map(|n| n.id.raw())
+                .collect();
+            fresh.sort_unstable();
+            added.push(fresh);
+        }
+        EdgeAdditions { added }
+    }
+
     /// Sum of all edge similarities, ignoring unscored sentinels — a
     /// monotonicity probe used by tests and convergence diagnostics.
     pub fn total_similarity(&self) -> f64 {
@@ -283,6 +341,38 @@ impl KnnGraph {
             .filter(|(_, nb)| !nb.is_unscored())
             .map(|(_, nb)| nb.sim as f64)
             .sum()
+    }
+}
+
+/// The per-source sets of edges added between two KNN graphs
+/// (`G(t-1) → G(t)`), queryable in `O(log K)` — produced by
+/// [`KnnGraph::additions_since`] and consumed by phase 2's
+/// cross-iteration tuple-freshness tagging.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeAdditions {
+    /// Sorted added target ids, indexed by source.
+    added: Vec<Vec<u32>>,
+}
+
+impl EdgeAdditions {
+    /// Whether the edge `s → d` is an addition (present now, absent
+    /// before). Out-of-range sources are never additions.
+    pub fn is_added(&self, s: u32, d: u32) -> bool {
+        self.added
+            .get(s as usize)
+            .is_some_and(|targets| targets.binary_search(&d).is_ok())
+    }
+
+    /// Whether source `s` gained any out-edge.
+    pub fn any_added_from(&self, s: u32) -> bool {
+        self.added
+            .get(s as usize)
+            .is_some_and(|targets| !targets.is_empty())
+    }
+
+    /// Total number of added edges.
+    pub fn num_added(&self) -> usize {
+        self.added.iter().map(Vec::len).sum()
     }
 }
 
@@ -475,6 +565,42 @@ mod tests {
             .collect();
         assert_eq!(raw, vec![1, 2]);
         assert!(g.two_hop_candidates(UserId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn seed_row_and_fully_scored_track_sentinels() {
+        let mut g = KnnGraph::new(4, 3);
+        g.insert(UserId::new(0), nb(1, 0.75));
+        g.insert(UserId::new(0), nb(2, 0.25));
+        assert!(g.fully_scored(UserId::new(0)));
+        assert_eq!(g.seed_row(UserId::new(0)), vec![(1, 0.75), (2, 0.25)]);
+        g.insert(UserId::new(0), Neighbor::unscored(UserId::new(3)));
+        assert!(!g.fully_scored(UserId::new(0)));
+        // Empty lists are vacuously fully scored.
+        assert!(g.fully_scored(UserId::new(1)));
+        assert!(g.seed_row(UserId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn additions_since_finds_exactly_the_new_edges() {
+        let mut old = KnnGraph::new(4, 2);
+        old.insert(UserId::new(0), nb(1, 0.5));
+        old.insert(UserId::new(1), nb(2, 0.5));
+        let mut new = KnnGraph::new(4, 2);
+        new.insert(UserId::new(0), nb(1, 0.9)); // same target, new score: not an addition
+        new.insert(UserId::new(0), nb(3, 0.4)); // added
+        new.insert(UserId::new(2), nb(0, 0.2)); // added
+        let adds = new.additions_since(&old);
+        assert!(!adds.is_added(0, 1), "rescored edge is not an addition");
+        assert!(adds.is_added(0, 3));
+        assert!(adds.is_added(2, 0));
+        assert!(!adds.is_added(1, 2));
+        assert!(!adds.is_added(9, 9), "out-of-range source");
+        assert!(adds.any_added_from(0));
+        assert!(!adds.any_added_from(1));
+        assert_eq!(adds.num_added(), 2);
+        // A graph diffed against itself has no additions.
+        assert_eq!(new.additions_since(&new).num_added(), 0);
     }
 
     #[test]

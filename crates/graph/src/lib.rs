@@ -36,7 +36,7 @@ pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use id::UserId;
-pub use knn::KnnGraph;
+pub use knn::{EdgeAdditions, KnnGraph};
 pub use neighbor::Neighbor;
 pub use stats::DegreeStats;
 

@@ -8,6 +8,11 @@
 //!   representation for rating vectors, term sets, and tag sets;
 //! * [`Similarity`] / [`Measure`] — the similarity kernels (cosine,
 //!   Jaccard, weighted Jaccard, overlap, common-items, Pearson);
+//! * [`PreparedProfile`] / [`ProfileStats`] — profiles with one-pass
+//!   precomputed aggregates, powering the hot-path
+//!   [`Measure::score_prepared`] kernels (bit-identical to
+//!   [`Similarity::score`]) and the O(1) [`Measure::upper_bound`]
+//!   score ceilings used for top-K candidate pruning;
 //! * [`ProfileStore`] — an in-memory profile table with byte accounting;
 //! * [`ProfileDelta`] — the update objects queued during an iteration
 //!   and applied lazily in phase 5;
@@ -27,6 +32,7 @@
 pub mod delta;
 pub mod error;
 pub mod generators;
+pub mod prepared;
 pub mod profile;
 pub mod similarity;
 pub mod store;
@@ -34,6 +40,7 @@ pub mod tfidf;
 
 pub use delta::{DeltaOp, ProfileDelta};
 pub use error::ProfileError;
+pub use prepared::{PreparedProfile, ProfileStats};
 pub use profile::{ItemId, Profile};
 pub use similarity::{Measure, Similarity};
 pub use store::ProfileStore;

@@ -1,7 +1,20 @@
 //! Similarity measures over sparse profiles.
+//!
+//! Two evaluation paths share one set of kernels:
+//!
+//! * [`Similarity::score`] — the classic two-profile entry point; any
+//!   per-profile aggregate a kernel needs (the L2 norm for cosine) is
+//!   computed on the spot.
+//! * [`crate::Measure::score_prepared`] — the hot-path entry point
+//!   over [`crate::PreparedProfile`] operands whose aggregates were
+//!   computed once up front.
+//!
+//! Both paths execute the same floating-point operations in the same
+//! order, so their results are bit-identical (property-tested).
 
 use std::fmt;
 
+use crate::prepared::ProfileStats;
 use crate::Profile;
 
 /// A similarity function between two user profiles.
@@ -78,9 +91,13 @@ impl fmt::Display for Measure {
 }
 
 impl Similarity for Measure {
+    /// Scores two plain profiles — a thin wrapper over the shared
+    /// kernels that computes the needed per-profile aggregates on the
+    /// spot. Bit-identical to [`Measure::score_prepared`] on prepared
+    /// operands.
     fn score(&self, a: &Profile, b: &Profile) -> f32 {
         let v = match self {
-            Measure::Cosine => cosine(a, b),
+            Measure::Cosine => cosine(a, a.l2_norm(), b, b.l2_norm()),
             Measure::Jaccard => jaccard(a, b),
             Measure::WeightedJaccard => weighted_jaccard(a, b),
             Measure::Overlap => overlap(a, b),
@@ -105,8 +122,30 @@ impl Similarity for Measure {
     }
 }
 
-fn cosine(a: &Profile, b: &Profile) -> f64 {
-    let denom = a.l2_norm() * b.l2_norm();
+/// The prepared-operand kernel dispatch: scores `a` against `b` with
+/// their precomputed aggregates (called by
+/// [`crate::Measure::score_prepared`]; same arithmetic as
+/// [`Similarity::score`]).
+pub(crate) fn score_with_stats(
+    measure: Measure,
+    a: &Profile,
+    a_stats: &ProfileStats,
+    b: &Profile,
+    b_stats: &ProfileStats,
+) -> f64 {
+    match measure {
+        Measure::Cosine => cosine(a, a_stats.l2_norm, b, b_stats.l2_norm),
+        Measure::Jaccard => jaccard(a, b),
+        Measure::WeightedJaccard => weighted_jaccard(a, b),
+        Measure::Overlap => overlap(a, b),
+        Measure::CommonItems => a.common_items(b) as f64,
+        Measure::Pearson => pearson(a, b),
+        Measure::Dice => dice(a, b),
+    }
+}
+
+fn cosine(a: &Profile, a_norm: f64, b: &Profile, b_norm: f64) -> f64 {
+    let denom = a_norm * b_norm;
     if denom == 0.0 {
         return 0.0;
     }

@@ -1,6 +1,6 @@
 //! Property-based tests for profiles and similarity kernels.
 
-use knn_sim::{Measure, Profile, Similarity};
+use knn_sim::{Measure, PreparedProfile, Profile, Similarity};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -86,6 +86,51 @@ proptest! {
         prop_assert!((cos - 1.0).abs() < 1e-5, "cosine self = {cos}");
         let jac = Measure::Jaccard.score(&a, &a);
         prop_assert!((jac - 1.0).abs() < 1e-6);
+    }
+
+    /// The prepared-kernel determinism contract: for every measure,
+    /// `score_prepared` is **bit-identical** to the classic
+    /// `Similarity::score` path — preparing profiles never changes a
+    /// computed graph.
+    #[test]
+    fn prepared_scores_are_bit_identical(pa in raw_pairs(), pb in raw_pairs()) {
+        let (a, b) = (build(&pa), build(&pb));
+        let (qa, qb) = (PreparedProfile::new(a.clone()), PreparedProfile::new(b.clone()));
+        for m in Measure::ALL {
+            let plain = m.score(&a, &b);
+            let prepared = m.score_prepared(&qa, &qb);
+            prop_assert_eq!(
+                plain.to_bits(),
+                prepared.to_bits(),
+                "{} diverged: plain {} vs prepared {}",
+                m, plain, prepared
+            );
+        }
+    }
+
+    /// Upper bounds are true upper bounds: no measure ever scores a
+    /// pair above its O(1) ceiling, for arbitrary (including negative)
+    /// weights — item ids spanning many sketch blocks (and wrapping
+    /// the block ring) included.
+    #[test]
+    fn upper_bounds_dominate_scores(
+        pa in proptest::collection::vec((0u32..5000, -5.0f32..5.0), 0..40),
+        pb in proptest::collection::vec((0u32..5000, -5.0f32..5.0), 0..40),
+    ) {
+        let (qa, qb) = (
+            PreparedProfile::new(build(&pa)),
+            PreparedProfile::new(build(&pb)),
+        );
+        for m in Measure::ALL {
+            let score = m.score_prepared(&qa, &qb);
+            let bound = m.upper_bound(&qa, &qb);
+            prop_assert!(
+                bound >= score,
+                "{} bound {} below score {}", m, bound, score
+            );
+            // Bounds are symmetric, like the measures themselves.
+            prop_assert_eq!(bound.to_bits(), m.upper_bound(&qb, &qa).to_bits(), "{} bound asymmetric", m);
+        }
     }
 
     #[test]

@@ -45,7 +45,11 @@ fn config(n: usize, k: usize, m: usize, seed: u64, threads: usize) -> EngineConf
 
 /// The deterministic projection of a report: everything except
 /// wall-clock durations (and the phase-duration-bearing fields),
-/// which legitimately differ run to run.
+/// which legitimately differ run to run. The scoring-funnel counters
+/// (`sims_skipped`, `sims_pruned`, `accums_seeded`) are part of the
+/// determinism contract: suppression and bound decisions are taken on
+/// the driving thread against bucket-start state, so they must not
+/// depend on thread count or backend either.
 fn deterministic_fields(r: &IterationReport) -> impl PartialEq + std::fmt::Debug {
     (
         r.iteration,
@@ -54,7 +58,8 @@ fn deterministic_fields(r: &IterationReport) -> impl PartialEq + std::fmt::Debug
         r.predicted,
         r.tuples,
         r.schedule_len,
-        r.sims_computed,
+        (r.sims_computed, r.sims_skipped, r.sims_pruned),
+        r.accums_seeded,
         r.updates_applied,
         r.replication_cost,
         r.changed_fraction.to_bits(),
