@@ -43,11 +43,19 @@ struct Run {
     users: usize,
     threads: usize,
     iter_ms: Vec<f64>,
-    /// Mean per-phase milliseconds across the measured iterations.
+    /// Mean per-phase milliseconds across the measured iterations
+    /// (the coarse summary; the per-iteration arrays below are the
+    /// trajectory).
     phase_ms: [f64; 5],
+    /// Per-iteration phase-1 wall time (partitioning + layout).
+    p1_ms: Vec<f64>,
+    /// Per-iteration phase-2 wall time (the tuple pipeline).
+    p2_ms: Vec<f64>,
     /// Per-iteration phase-4 wall time (the hot-path trajectory: the
     /// scoring funnel makes later iterations cheaper).
     p4_ms: Vec<f64>,
+    /// Per-iteration phase-2 spill traffic.
+    spilled_per_iter: Vec<u64>,
     /// Per-iteration scoring-funnel counters.
     sims_per_iter: Vec<u64>,
     skipped_per_iter: Vec<u64>,
@@ -121,7 +129,10 @@ fn main() {
             .expect("engine");
             let mut iter_ms = Vec::with_capacity(iters);
             let mut phase_ms = [0f64; 5];
+            let mut p1_ms = Vec::with_capacity(iters);
+            let mut p2_ms = Vec::with_capacity(iters);
             let mut p4_ms = Vec::with_capacity(iters);
+            let mut spilled_per_iter = Vec::with_capacity(iters);
             let mut sims_per_iter = Vec::with_capacity(iters);
             let mut skipped_per_iter = Vec::with_capacity(iters);
             let mut pruned_per_iter = Vec::with_capacity(iters);
@@ -134,7 +145,12 @@ fn main() {
                 for (acc, d) in phase_ms.iter_mut().zip(report.phase_durations) {
                     *acc += d.as_secs_f64() * 1e3 / iters as f64;
                 }
+                // Per-iteration per-phase trajectory, symmetric across
+                // the pipeline's hot phases (1, 2, and 4).
+                p1_ms.push(report.phase_durations[0].as_secs_f64() * 1e3);
+                p2_ms.push(report.phase_durations[1].as_secs_f64() * 1e3);
                 p4_ms.push(report.phase_durations[3].as_secs_f64() * 1e3);
+                spilled_per_iter.push(report.bytes_spilled);
                 sims_per_iter.push(report.sims_computed);
                 skipped_per_iter.push(report.sims_skipped);
                 pruned_per_iter.push(report.sims_pruned);
@@ -157,7 +173,10 @@ fn main() {
                 threads,
                 iter_ms,
                 phase_ms,
+                p1_ms,
+                p2_ms,
                 p4_ms,
+                spilled_per_iter,
                 sims_per_iter,
                 skipped_per_iter,
                 pruned_per_iter,
@@ -207,25 +226,29 @@ fn main() {
         .flat_map(|group| {
             let base = mean(&group[0].iter_ms);
             group.iter().map(move |r| {
-                let iters_json: Vec<String> =
-                    r.iter_ms.iter().map(|ms| format!("{ms:.2}")).collect();
-                let phases_json: Vec<String> =
-                    r.phase_ms.iter().map(|ms| format!("{ms:.2}")).collect();
-                let p4_json: Vec<String> = r.p4_ms.iter().map(|ms| format!("{ms:.2}")).collect();
+                let fmt_ms = |xs: &[f64]| {
+                    xs.iter()
+                        .map(|ms| format!("{ms:.2}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
                 format!(
-                    r#"{{"users":{},"threads":{},"iter_ms":[{}],"mean_iter_ms":{:.2},"phase_ms":[{}],"p4_ms":[{}],"speedup_vs_first":{:.3},"sims_computed":{},"sims_per_iter":[{}],"sims_skipped":[{}],"sims_pruned":[{}],"accums_seeded":[{}],"edges":{}}}"#,
+                    r#"{{"users":{},"threads":{},"iter_ms":[{}],"mean_iter_ms":{:.2},"phase_ms":[{}],"p1_ms":[{}],"p2_ms":[{}],"p4_ms":[{}],"speedup_vs_first":{:.3},"sims_computed":{},"sims_per_iter":[{}],"sims_skipped":[{}],"sims_pruned":[{}],"accums_seeded":[{}],"bytes_spilled":[{}],"edges":{}}}"#,
                     r.users,
                     r.threads,
-                    iters_json.join(","),
+                    fmt_ms(&r.iter_ms),
                     mean(&r.iter_ms),
-                    phases_json.join(","),
-                    p4_json.join(","),
+                    fmt_ms(&r.phase_ms),
+                    fmt_ms(&r.p1_ms),
+                    fmt_ms(&r.p2_ms),
+                    fmt_ms(&r.p4_ms),
                     base / mean(&r.iter_ms),
                     r.sims_computed,
                     join_u64(&r.sims_per_iter),
                     join_u64(&r.skipped_per_iter),
                     join_u64(&r.pruned_per_iter),
                     join_u64(&r.seeded_per_iter),
+                    join_u64(&r.spilled_per_iter),
                     r.edges
                 )
             })

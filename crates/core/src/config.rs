@@ -38,6 +38,8 @@ pub struct EngineConfig {
     include_reverse: bool,
     repartition_each_iteration: bool,
     spill_threshold: usize,
+    tuple_table_memory: Option<usize>,
+    legacy_tuple_pipeline: bool,
     parallel_threshold: usize,
     prune_pairs: bool,
     bound_filter: bool,
@@ -73,6 +75,8 @@ impl EngineConfig {
             include_reverse: false,
             repartition_each_iteration: true,
             spill_threshold: 1 << 20,
+            tuple_table_memory: None,
+            legacy_tuple_pipeline: false,
             parallel_threshold: crate::phase4::DEFAULT_PARALLEL_THRESHOLD,
             prune_pairs: default_prune(),
             bound_filter: default_prune(),
@@ -142,6 +146,28 @@ impl EngineConfig {
         self.spill_threshold
     }
 
+    /// Optional phase-2 staging byte budget **per scan table**: when
+    /// set, a scan table whose total staging exceeds the budget spills
+    /// its largest bucket, bounding peak phase-2 staging at
+    /// `min(threads, partitions) × budget` bytes regardless of tuple
+    /// volume. `None` (the default) bounds staging by
+    /// [`spill_threshold`](EngineConfig::spill_threshold) alone.
+    /// Per-table by definition, so the spill pattern — and therefore
+    /// every persisted byte — stays identical at every thread count.
+    pub fn tuple_table_memory(&self) -> Option<usize> {
+        self.tuple_table_memory
+    }
+
+    /// Whether phase 2 routes through the pre-overhaul row-based
+    /// tuple pipeline (hash dedup at offer, comparison sort,
+    /// fixed-width spill runs, load-everything merge). Off by default;
+    /// exists as the paired baseline of the `tuple_pipeline` bench —
+    /// the computed graphs and persisted buckets are identical either
+    /// way.
+    pub fn legacy_tuple_pipeline(&self) -> bool {
+        self.legacy_tuple_pipeline
+    }
+
     /// Minimum surviving-tuple count before phase 4 fans a bucket out
     /// to the worker pool; smaller buckets score inline because the
     /// dispatch overhead would dominate (see
@@ -206,6 +232,8 @@ pub struct EngineConfigBuilder {
     include_reverse: bool,
     repartition_each_iteration: bool,
     spill_threshold: usize,
+    tuple_table_memory: Option<usize>,
+    legacy_tuple_pipeline: bool,
     parallel_threshold: usize,
     prune_pairs: bool,
     bound_filter: bool,
@@ -277,6 +305,21 @@ impl EngineConfigBuilder {
     /// (default 2²⁰).
     pub fn spill_threshold(mut self, tuples: usize) -> Self {
         self.spill_threshold = tuples;
+        self
+    }
+
+    /// Caps each phase-2 scan table's staging at `bytes` (default
+    /// uncapped — see [`EngineConfig::tuple_table_memory`]). Must be
+    /// at least 1 KiB when set.
+    pub fn tuple_table_memory(mut self, bytes: Option<usize>) -> Self {
+        self.tuple_table_memory = bytes;
+        self
+    }
+
+    /// Routes phase 2 through the legacy row-based tuple pipeline
+    /// (paired-bench baseline; results identical, performance is not).
+    pub fn legacy_tuple_pipeline(mut self, yes: bool) -> Self {
+        self.legacy_tuple_pipeline = yes;
         self
     }
 
@@ -353,6 +396,17 @@ impl EngineConfigBuilder {
         if self.spill_threshold == 0 {
             return Err(EngineError::config("spill_threshold must be at least 1"));
         }
+        if self.tuple_table_memory.is_some_and(|b| b < 1024) {
+            return Err(EngineError::config(
+                "tuple_table_memory must be at least 1 KiB (or None to disable the budget)",
+            ));
+        }
+        if self.legacy_tuple_pipeline && self.tuple_table_memory.is_some() {
+            return Err(EngineError::config(
+                "tuple_table_memory is a columnar-pipeline feature; the legacy tuple pipeline \
+                 has no staging budget (its dedup maps grow with the unique-tuple count)",
+            ));
+        }
         if self.parallel_threshold == 0 {
             return Err(EngineError::config(
                 "parallel_threshold must be at least 1 (use a huge value to force inline scoring)",
@@ -370,6 +424,8 @@ impl EngineConfigBuilder {
             include_reverse: self.include_reverse,
             repartition_each_iteration: self.repartition_each_iteration,
             spill_threshold: self.spill_threshold,
+            tuple_table_memory: self.tuple_table_memory,
+            legacy_tuple_pipeline: self.legacy_tuple_pipeline,
             parallel_threshold: self.parallel_threshold,
             prune_pairs: self.prune_pairs,
             bound_filter: self.bound_filter,
@@ -442,6 +498,17 @@ mod tests {
             .build()
             .is_err());
         assert!(EngineConfig::builder(10)
+            .tuple_table_memory(Some(100))
+            .build()
+            .is_err());
+        // The byte budget only exists on the columnar pipeline; the
+        // combination must fail loudly, not silently ignore the budget.
+        assert!(EngineConfig::builder(10)
+            .tuple_table_memory(Some(1 << 20))
+            .legacy_tuple_pipeline(true)
+            .build()
+            .is_err());
+        assert!(EngineConfig::builder(10)
             .parallel_threshold(0)
             .build()
             .is_err());
@@ -460,6 +527,7 @@ mod tests {
             .include_reverse(true)
             .repartition_each_iteration(false)
             .spill_threshold(128)
+            .tuple_table_memory(Some(1 << 20))
             .parallel_threshold(512)
             .prune_pairs(false)
             .bound_filter(true)
@@ -476,7 +544,14 @@ mod tests {
         assert!(c.include_reverse());
         assert!(!c.repartition_each_iteration());
         assert_eq!(c.spill_threshold(), 128);
+        assert_eq!(c.tuple_table_memory(), Some(1 << 20));
+        assert!(!c.legacy_tuple_pipeline());
         assert_eq!(c.parallel_threshold(), 512);
+        let legacy = EngineConfig::builder(50)
+            .legacy_tuple_pipeline(true)
+            .build()
+            .unwrap();
+        assert!(legacy.legacy_tuple_pipeline());
         assert!(!c.prune_pairs());
         assert!(c.bound_filter());
         assert_eq!(c.seed(), 99);

@@ -574,11 +574,16 @@ impl KnnEngine {
         // with path age when suppression is active).
         let before = stats.snapshot();
         let t0 = Instant::now();
+        let phase2_options = phase2::Phase2Options {
+            spill_threshold: self.config.spill_threshold(),
+            tuple_table_memory: self.config.tuple_table_memory(),
+            threads: self.config.threads(),
+            legacy_pipeline: self.config.legacy_tuple_pipeline(),
+        };
         let phase2_out = phase2::generate_tuples(
             &self.partitioning,
             backend,
-            self.config.spill_threshold(),
-            self.config.threads(),
+            &phase2_options,
             prune_state.map(|st| &st.additions),
         )?;
         durations[1] = t0.elapsed();
@@ -663,6 +668,9 @@ impl KnnEngine {
             sims_skipped: phase4_out.sims_skipped,
             sims_pruned: phase4_out.sims_pruned,
             accums_seeded: phase1_stats.accums_seeded,
+            bytes_spilled: io[1].spill_bytes,
+            spill_runs: io[1].spill_runs,
+            merge_passes: io[1].merge_passes,
             updates_applied: phase5_stats.updates_applied,
             replication_cost,
             changed_fraction,

@@ -12,8 +12,9 @@
 //!    external-vertex count `Σ (N_in + N_out)`; write per-partition
 //!    edge lists sorted by bridge vertex.
 //! 2. **Tuple generation** ([`phase2`], [`tuple_table`]) — merge-scan
-//!    the sorted lists to emit candidate tuples `(s, d)`, deduplicated
-//!    in a hash table and bucketed by partition pair.
+//!    the sorted lists to emit candidate tuples `(s, d)` into
+//!    columnar per-bucket staging, deduplicated by radix sort and
+//!    spilled as varint-delta runs when memory bounds demand it.
 //! 3. **PI graph** ([`pigraph`], [`traversal`]) — build the
 //!    partition-interaction graph and order the partition pairs with a
 //!    traversal heuristic so that partition load/unload operations are
@@ -109,6 +110,26 @@
 //! pins pruned ≡ unpruned graph equality per iteration, updates
 //! included. `KNN_TEST_PRUNE=0` routes the whole suite down the
 //! full-rescore path.
+//!
+//! # The phase-1/2 tuple pipeline
+//!
+//! The tuple data plane is columnar end to end (see [`tuple_table`]):
+//! struct-of-arrays staging with no per-offer hash probe or
+//! allocation, LSD-radix sort-time dedup, a varint-delta spill codec
+//! ([`knn_store::tuple_stream`], ~2 B per dense tuple vs the legacy
+//! fixed-width 8), and a streaming loser-tree k-way merge whose
+//! output encodes straight into the bucket streams phase 4 iterates.
+//! Phase-2 staging is bounded by `spill_threshold` rows per bucket
+//! or an explicit per-scan-table byte budget
+//! ([`EngineConfig::tuple_table_memory`]); spill traffic is metered
+//! (`IterationReport::bytes_spilled` / `spill_runs` /
+//! `merge_passes`). On the phase-4 side, each partition's profiles
+//! materialize into one CSR [`knn_sim::ProfileArena`] whose borrowed
+//! [`knn_sim::PreparedRef`] views score bit-identically to the owned
+//! prepared path. The pre-overhaul row pipeline remains available as
+//! [`tuple_table::legacy`] behind
+//! `EngineConfig::legacy_tuple_pipeline` — the paired baseline of the
+//! `tuple_pipeline` bench, persisting byte-identical final buckets.
 //!
 //! The in-memory fast path is one constructor away — identical graphs
 //! for identical seeds, verified by the backend-equivalence suite:

@@ -48,6 +48,15 @@ pub struct IterationReport {
     /// edges (the replayed prior verdicts that make suppression
     /// sound).
     pub accums_seeded: u64,
+    /// Bytes written into phase-2 tuple spill runs (the out-of-core
+    /// overflow traffic; 0 when everything staged in memory). Sourced
+    /// from the backend's [`knn_store::IoStats`] spill meter.
+    pub bytes_spilled: u64,
+    /// Phase-2 spill runs written.
+    pub spill_runs: u64,
+    /// Phase-2 k-way merge passes over spill runs (one per bucket that
+    /// had runs to merge).
+    pub merge_passes: u64,
     /// Profile updates applied in phase 5.
     pub updates_applied: u64,
     /// The partitioning objective `Σ (N_in + N_out)` of this iteration.
@@ -110,6 +119,11 @@ impl fmt::Display for IterationReport {
             f,
             "  tuples: {} offered, {} unique, {} duplicates, {} spills",
             self.tuples.offered, self.tuples.unique, self.tuples.duplicates, self.tuples.spills
+        )?;
+        writeln!(
+            f,
+            "  spill: {} B in {} runs, {} merge passes",
+            self.bytes_spilled, self.spill_runs, self.merge_passes
         )?;
         writeln!(
             f,
@@ -185,6 +199,9 @@ mod tests {
             sims_skipped: 15,
             sims_pruned: 5,
             accums_seeded: 12,
+            bytes_spilled: 4096,
+            spill_runs: 3,
+            merge_passes: 2,
             updates_applied: 2,
             replication_cost: 42,
             changed_fraction: 0.25,
@@ -236,5 +253,12 @@ mod tests {
         assert!(text.contains("15 skipped"), "{text}");
         assert!(text.contains("5 pruned"), "{text}");
         assert!(text.contains("12 seeds"), "{text}");
+    }
+
+    #[test]
+    fn display_reports_the_spill_traffic() {
+        let text = sample().to_string();
+        assert!(text.contains("4096 B in 3 runs"), "{text}");
+        assert!(text.contains("2 merge passes"), "{text}");
     }
 }

@@ -22,7 +22,7 @@ use knn_store::{StorageBackend, StreamId};
 
 use crate::par;
 use crate::partition::Partitioning;
-use crate::tuple_table::{merge_parts, BucketMeta, TupleTable, TupleTableStats};
+use crate::tuple_table::{legacy, merge_parts, BucketMeta, TupleSink, TupleTable, TupleTableStats};
 use crate::{EngineError, PiGraph};
 
 /// Output of phase 2: the PI graph over the written tuple buckets plus
@@ -32,7 +32,7 @@ use crate::{EngineError, PiGraph};
 pub struct Phase2Output {
     /// The partition-interaction graph (bucket tuple counts).
     pub pi: PiGraph,
-    /// Hash-table statistics.
+    /// Tuple-table statistics.
     pub stats: TupleTableStats,
     /// Per-bucket tuple metadata, aligned with each bucket stream's
     /// sorted tuple order: which directions of each canonical tuple
@@ -41,16 +41,49 @@ pub struct Phase2Output {
     pub tuple_meta: BucketMeta,
 }
 
+/// Options of one phase-2 run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase2Options {
+    /// Per-bucket staging row count that triggers a spill.
+    pub spill_threshold: usize,
+    /// Optional per-scan-table staging byte budget (see
+    /// [`TupleTable::with_memory_budget`]); peak phase-2 staging is
+    /// then at most `min(threads, partitions) × budget`.
+    pub tuple_table_memory: Option<usize>,
+    /// Worker budget for the partition scans and the bucket merge.
+    pub threads: usize,
+    /// Route through the pre-overhaul row-based pipeline
+    /// ([`legacy`]) — the paired baseline of the `tuple_pipeline`
+    /// bench. Final buckets, metadata, and dedup stats are identical
+    /// either way; only the data plane differs.
+    pub legacy_pipeline: bool,
+}
+
+impl Phase2Options {
+    /// Options with the given spill threshold and worker budget, no
+    /// byte budget, columnar pipeline.
+    pub fn new(spill_threshold: usize, threads: usize) -> Self {
+        Phase2Options {
+            spill_threshold,
+            tuple_table_memory: None,
+            threads,
+            legacy_pipeline: false,
+        }
+    }
+}
+
 /// Runs phase 2 over the edge streams written by
 /// [`crate::phase1::write_partition_edges`], scanning partitions
-/// across up to `threads` workers.
+/// across up to `options.threads` workers.
 ///
 /// With an `additions` oracle (the edges of `G(t)` absent from
 /// `G(t-1)`), every offered tuple is tagged with whether its
 /// generating path consists entirely of **old** edges — such a pair
 /// was already generated and evaluated last iteration, which is what
 /// lets phase 4 skip its kernel evaluation. The tag does not change
-/// the tuple set, the bucket bytes, the PI graph, or the stats.
+/// the tuple set, the bucket bytes, the PI graph, or the stats (the
+/// old-path bits live in the returned [`BucketMeta`] and, transiently,
+/// in the spill runs the merge consumes).
 ///
 /// # Errors
 ///
@@ -59,19 +92,35 @@ pub struct Phase2Output {
 pub fn generate_tuples(
     partitioning: &Partitioning,
     backend: &dyn StorageBackend,
-    spill_threshold: usize,
-    threads: usize,
+    options: &Phase2Options,
     additions: Option<&EdgeAdditions>,
 ) -> Result<Phase2Output, EngineError> {
     backend.clear_tuples()?;
     let m = partitioning.num_partitions();
-    let parts = par::run_indexed(m, threads, |p| {
-        let p = p as u32;
-        let mut table = TupleTable::with_namespace(backend, partitioning, spill_threshold, p);
-        scan_partition(p, backend, &mut table, additions)?;
-        Ok(table.into_parts())
-    })?;
-    let (pi, stats, tuple_meta) = merge_parts(backend, m, parts, threads)?;
+    let (pi, stats, tuple_meta) = if options.legacy_pipeline {
+        let parts = par::run_indexed(m, options.threads, |p| {
+            let p = p as u32;
+            let mut table = legacy::LegacyTupleTable::with_namespace(
+                backend,
+                partitioning,
+                options.spill_threshold,
+                p,
+            );
+            scan_partition(p, backend, &mut table, additions)?;
+            Ok(table.into_parts())
+        })?;
+        legacy::merge_legacy_parts(backend, m, parts, options.threads)?
+    } else {
+        let parts = par::run_indexed(m, options.threads, |p| {
+            let p = p as u32;
+            let mut table =
+                TupleTable::with_namespace(backend, partitioning, options.spill_threshold, p)
+                    .with_memory_budget(options.tuple_table_memory);
+            scan_partition(p, backend, &mut table, additions)?;
+            Ok(table.into_parts())
+        })?;
+        merge_parts(backend, m, parts, options.threads)?
+    };
     Ok(Phase2Output {
         pi,
         stats,
@@ -81,11 +130,12 @@ pub fn generate_tuples(
 
 /// Scans one partition's edge streams, offering every direct and
 /// two-hop candidate to `table` (tagged with path age when an oracle
-/// is present).
-fn scan_partition(
+/// is present). Generic over the sink so both pipelines share the
+/// scan.
+fn scan_partition<T: TupleSink>(
     p: u32,
     backend: &dyn StorageBackend,
-    table: &mut TupleTable<'_>,
+    table: &mut T,
     additions: Option<&EdgeAdditions>,
 ) -> Result<(), EngineError> {
     // Rows are (bridge, other), sorted by bridge then other.
@@ -168,7 +218,7 @@ mod tests {
 
     fn run_phase2(g: &KnnGraph, b: &dyn StorageBackend, p: &Partitioning) -> Phase2Output {
         write_partition_edges(g, p, b, 1, None).unwrap();
-        generate_tuples(p, b, 1 << 16, 1, None).unwrap()
+        generate_tuples(p, b, &Phase2Options::new(1 << 16, 1), None).unwrap()
     }
 
     /// Expands the canonical buckets back to the directed tuple view
@@ -180,9 +230,9 @@ mod tests {
         use crate::tuple_table::meta_bits;
         let mut set = std::collections::HashSet::new();
         for ((i, j), _) in out.pi.iter_buckets() {
-            for (idx, &(u, v)) in read_pairs(b, StreamId::TupleBucket(i, j))
+            for (idx, (u, v, _)) in knn_store::backend::read_tuples(b, StreamId::TupleBucket(i, j))
                 .unwrap()
-                .iter()
+                .into_iter()
                 .enumerate()
             {
                 let bits = out.tuple_meta.bits((i, j), idx);
@@ -266,9 +316,9 @@ mod tests {
         let g = KnnGraph::random_init(30, 3, 9);
         let out = run_phase2(&g, &b, &p);
         for ((i, j), w) in out.pi.iter_buckets() {
-            let rows = read_pairs(&b, StreamId::TupleBucket(i, j)).unwrap();
+            let rows = knn_store::backend::read_tuples(&b, StreamId::TupleBucket(i, j)).unwrap();
             assert_eq!(rows.len() as u64, w);
-            for (s, d) in rows {
+            for (s, d, _) in rows {
                 assert_eq!(p.partition_of(UserId::new(s)), i);
                 assert_eq!(p.partition_of(UserId::new(d)), j);
             }
@@ -291,7 +341,8 @@ mod tests {
             let additions = new_g.additions_since(&old_g);
             let (b, p) = setup(n, 4);
             write_partition_edges(&new_g, &p, &b, 1, None).unwrap();
-            let out = generate_tuples(&p, &b, 1 << 16, 1, Some(&additions)).unwrap();
+            let out =
+                generate_tuples(&p, &b, &Phase2Options::new(1 << 16, 1), Some(&additions)).unwrap();
 
             // Brute-force oracles: the directed tuple sets of the new
             // graph and of the shared-edge subgraph.
@@ -307,8 +358,9 @@ mod tests {
             let mut checked = 0usize;
             let mut old_count = 0usize;
             for ((i, j), _) in out.pi.iter_buckets() {
-                let bucket = read_pairs(&b, StreamId::TupleBucket(i, j)).unwrap();
-                for (idx, &(u, v)) in bucket.iter().enumerate() {
+                let bucket =
+                    knn_store::backend::read_tuples(&b, StreamId::TupleBucket(i, j)).unwrap();
+                for (idx, &(u, v, _)) in bucket.iter().enumerate() {
                     let bits = out.tuple_meta.bits((i, j), idx);
                     let label = format!("seed {seed}: tuple ({u}, {v})");
                     assert_eq!(
@@ -355,7 +407,7 @@ mod tests {
         for oracle in [None, Some(&additions)] {
             let (b, p) = setup(n, 3);
             write_partition_edges(&g, &p, &b, 1, None).unwrap();
-            let out = generate_tuples(&p, &b, 1 << 16, 1, oracle).unwrap();
+            let out = generate_tuples(&p, &b, &Phase2Options::new(1 << 16, 1), oracle).unwrap();
             let mut streams: Vec<(StreamId, Vec<u8>)> = b
                 .list()
                 .unwrap()
@@ -366,6 +418,43 @@ mod tests {
             outputs.push((out.pi, out.stats, streams));
         }
         assert_eq!(outputs[0], outputs[1]);
+    }
+
+    /// The pipeline knob is output-invariant: the legacy row pipeline
+    /// and the columnar pipeline persist identical buckets and report
+    /// identical PI graphs, metadata, and dedup stats for real scans,
+    /// oracle included (spill counts legitimately differ).
+    #[test]
+    fn legacy_pipeline_flag_is_output_invariant() {
+        let n = 50;
+        let old_g = KnnGraph::random_init(n, 4, 5);
+        let g = KnnGraph::random_init(n, 4, 55);
+        let additions = g.additions_since(&old_g);
+        for spill_threshold in [2usize, 1 << 16] {
+            let mut outputs = Vec::new();
+            for legacy in [false, true] {
+                let (b, p) = setup(n, 4);
+                write_partition_edges(&g, &p, &b, 1, None).unwrap();
+                let mut opts = Phase2Options::new(spill_threshold, 2);
+                opts.legacy_pipeline = legacy;
+                let out = generate_tuples(&p, &b, &opts, Some(&additions)).unwrap();
+                let mut streams: Vec<(StreamId, Vec<u8>)> = b
+                    .list()
+                    .unwrap()
+                    .into_iter()
+                    .filter(|s| matches!(s, StreamId::TupleBucket(..)))
+                    .map(|s| (s, b.read(s).unwrap()))
+                    .collect();
+                streams.sort_by_key(|&(s, _)| s);
+                outputs.push((
+                    out.pi,
+                    (out.stats.offered, out.stats.unique, out.stats.duplicates),
+                    out.tuple_meta,
+                    streams,
+                ));
+            }
+            assert_eq!(outputs[0], outputs[1], "spill={spill_threshold}");
+        }
     }
 
     #[test]
@@ -402,7 +491,9 @@ mod tests {
             for threads in [1usize, 2, 4] {
                 let (b, p) = setup(n, 5);
                 write_partition_edges(&g, &p, &b, threads, None).unwrap();
-                let out = generate_tuples(&p, &b, spill_threshold, threads, None).unwrap();
+                let out =
+                    generate_tuples(&p, &b, &Phase2Options::new(spill_threshold, threads), None)
+                        .unwrap();
                 let mut streams: Vec<(StreamId, Vec<u8>)> = b
                     .list()
                     .unwrap()

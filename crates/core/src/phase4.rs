@@ -43,8 +43,9 @@ use std::sync::Arc;
 
 use crossbeam::channel;
 use knn_graph::{KnnGraph, Neighbor, UserId};
-use knn_sim::{Measure, PreparedProfile, Profile};
-use knn_store::backend::{read_pairs, read_user_lists, write_user_lists};
+use knn_sim::{Measure, PreparedRef, ProfileArena};
+use knn_store::backend::{read_tuples, read_user_lists, write_user_lists};
+use knn_store::tuple_stream::TupleRow;
 use knn_store::{CacheCounters, SlotCache, StorageBackend, StoreError, StreamId};
 
 use crate::fasthash::{map_with_capacity, FxHashMap};
@@ -128,49 +129,58 @@ pub struct Phase4Output {
     pub sims_pruned: u64,
 }
 
-/// One partition's resident state: its users' prepared profiles
-/// (read-only during the iteration, shared with scoring workers via
-/// `Arc`) and their top-K accumulators (read-write, persisted on
-/// unload).
+/// One partition's resident state: its users' profiles in one
+/// CSR [`ProfileArena`] (read-only during the iteration, shared with
+/// scoring workers via `Arc`), a user → arena-row index, and the
+/// top-K accumulators (read-write, persisted on unload).
+///
+/// The arena replaces the old per-user `PreparedProfile` map: one
+/// allocation per column instead of several per user, and scoring
+/// workers index rows directly instead of hashing user ids per pair.
 struct PartitionState {
-    profiles: Arc<FxHashMap<u32, PreparedProfile>>,
+    arena: Arc<ProfileArena>,
+    index: FxHashMap<u32, u32>,
     accums: FxHashMap<u32, TopKAccumulator>,
     dirty: bool,
 }
 
-/// A canonical tuple queued for scoring: endpoints plus its
-/// [`meta_bits`] direction byte (carried through so the offers follow
-/// exactly the directions phase 2 recorded).
-type PendingTuple = (u32, u32, u8);
+/// A canonical tuple queued for scoring: endpoints, their resolved
+/// arena row indices (looked up once on the driving thread, so the
+/// scoring workers do no hashing at all), and the [`meta_bits`]
+/// direction byte (carried through so the offers follow exactly the
+/// directions phase 2 recorded).
+type PendingTuple = (u32, u32, u32, u32, u8);
 
 /// A scored canonical tuple: endpoints, direction byte, similarity.
 type ScoredTuple = (u32, u32, u8, f32);
 
 /// A unit of scoring work: an owned tuple chunk plus shared profile
-/// maps, safe to outlive cache evictions.
+/// arenas, safe to outlive cache evictions.
 struct ScoreTask {
-    src: Arc<FxHashMap<u32, PreparedProfile>>,
-    dst: Arc<FxHashMap<u32, PreparedProfile>>,
+    src: Arc<ProfileArena>,
+    dst: Arc<ProfileArena>,
     tuples: Vec<PendingTuple>,
     measure: Measure,
 }
 
 fn score_chunk(task: &ScoreTask) -> Vec<ScoredTuple> {
     // Bucket tuples are sorted by (u, v), so equal sources run
-    // together: hoist the source-profile lookup out of the pair loop
-    // (chunk boundaries merely split a run, never reorder it).
+    // together: hoist the source-view resolution out of the pair loop
+    // (chunk boundaries merely split a run, never reorder it). The
+    // views are slices into the shared arenas — no per-pair hashing,
+    // no allocation.
     let mut out = Vec::with_capacity(task.tuples.len());
-    let mut current: Option<(u32, &PreparedProfile)> = None;
-    for &(u, v, bits) in &task.tuples {
+    let mut current: Option<(u32, PreparedRef<'_>)> = None;
+    for &(u, v, u_idx, v_idx, bits) in &task.tuples {
         let up = match current {
-            Some((cu, up)) if cu == u => up,
+            Some((ci, up)) if ci == u_idx => up,
             _ => {
-                let up = &task.src[&u];
-                current = Some((u, up));
+                let up = task.src.view(u_idx);
+                current = Some((u_idx, up));
                 up
             }
         };
-        out.push((u, v, bits, task.measure.score_prepared(up, &task.dst[&v])));
+        out.push((u, v, bits, task.measure.score_ref(up, task.dst.view(v_idx))));
     }
     out
 }
@@ -181,16 +191,19 @@ fn load_state(
     p: u32,
 ) -> Result<PartitionState, EngineError> {
     let profile_rows = read_user_lists(backend, StreamId::Profiles(p))?;
-    let mut profiles = map_with_capacity(profile_rows.len());
-    for (user, row) in profile_rows {
-        let profile = Profile::from_unsorted_pairs(row).map_err(|e| {
+    let total_entries: usize = profile_rows.iter().map(|(_, row)| row.len()).sum();
+    let mut index = map_with_capacity(profile_rows.len());
+    // One pass over the (user-sorted) stream materializes the CSR
+    // arena; per-user aggregates are computed as rows are appended.
+    let mut builder = ProfileArena::builder(profile_rows.len(), total_entries);
+    for (i, (user, row)) in profile_rows.into_iter().enumerate() {
+        builder.push(user, row).map_err(|e| {
             EngineError::Store(StoreError::corrupt(
                 backend.describe(StreamId::Profiles(p)),
                 format!("invalid profile for user {user}: {e}"),
             ))
         })?;
-        // Per-profile aggregates computed once per load, not per pair.
-        profiles.insert(user, PreparedProfile::new(profile));
+        index.insert(user, i as u32);
     }
     let accum_rows = read_user_lists(backend, StreamId::Accumulators(p))?;
     let mut accums = map_with_capacity(accum_rows.len());
@@ -198,7 +211,8 @@ fn load_state(
         accums.insert(user, TopKAccumulator::from_row(k, &row));
     }
     Ok(PartitionState {
-        profiles: Arc::new(profiles),
+        arena: Arc::new(builder.finish()),
+        index,
         accums,
         dirty: false,
     })
@@ -343,7 +357,10 @@ fn drive(
             if pi.bucket_weight(src, dst) == 0 {
                 continue;
             }
-            let tuples = read_pairs(backend, StreamId::TupleBucket(src, dst))?;
+            // Bucket rows stream in already carrying their direction
+            // bits (v2 tuple codec); the full metadata byte — old-path
+            // bits included — comes from the phase-2 BucketMeta.
+            let tuples = read_tuples(backend, StreamId::TupleBucket(src, dst))?;
             // Validate and filter on the driving thread: skip / prune
             // decisions read the accumulators as of bucket start
             // (scores land only after the whole bucket is collected),
@@ -366,8 +383,8 @@ fn drive(
             if survivors.is_empty() {
                 continue;
             }
-            let src_profiles = Arc::clone(&cache.get(src).expect("src resident").profiles);
-            let dst_profiles = Arc::clone(&cache.get(dst).expect("dst resident").profiles);
+            let src_profiles = Arc::clone(&cache.get(src).expect("src resident").arena);
+            let dst_profiles = Arc::clone(&cache.get(dst).expect("dst resident").arena);
             let scored = match &pool {
                 Some(pool) if survivors.len() >= options.parallel_threshold => {
                     let chunk = survivors.len().div_ceil(pool.workers);
@@ -452,7 +469,7 @@ const GATE_MIN_HIT_SHIFT: u64 = 5;
 #[allow(clippy::too_many_arguments)]
 fn filter_bucket(
     bucket: (u32, u32),
-    tuples: Vec<(u32, u32)>,
+    tuples: Vec<TupleRow>,
     meta: &BucketMeta,
     src: &PartitionState,
     dst: &PartitionState,
@@ -479,18 +496,19 @@ fn filter_bucket(
     let mut bound_hits = 0u64;
 
     // Bucket tuples are sorted by (u, v): walk them in equal-u groups
-    // so the per-user lookups (profile, threshold, seed bit) happen
+    // so the per-user lookups (arena row, threshold, seed bit) happen
     // once per group instead of once per tuple.
     let mut start = 0usize;
     while start < tuples.len() {
         let u = tuples[start].0;
         let end = start + tuples[start..].partition_point(|t| t.0 == u);
-        let Some(up) = src.profiles.get(&u) else {
+        let Some(&u_idx) = src.index.get(&u) else {
             return Err(EngineError::input(format!(
                 "tuple ({u}, {}) references a user missing from its partition file",
                 tuples[start].1
             )));
         };
+        let up = src.arena.view(u_idx);
         let u_seed_ok = prune.is_some_and(|pr| pr.seed_ok[u as usize]);
         let u_profile_dirty = prune.is_some_and(|pr| pr.profile_dirty[u as usize]);
         let u_threshold = if options.bound_filter {
@@ -504,12 +522,18 @@ fn filter_bucket(
         #[allow(clippy::needless_range_loop)] // idx also indexes the bucket metadata
         for idx in start..end {
             let v = tuples[idx].1;
-            let Some(vp) = dst.profiles.get(&v) else {
+            let Some(&v_idx) = dst.index.get(&v) else {
                 return Err(EngineError::input(format!(
                     "tuple ({u}, {v}) references a user missing from its partition file"
                 )));
             };
+            let vp = dst.arena.view(v_idx);
             let bits = meta_bytes[idx];
+            debug_assert_eq!(
+                tuples[idx].2,
+                bits & (meta_bits::FWD | meta_bits::BWD),
+                "bucket stream direction bits disagree with BucketMeta"
+            );
             // Which directed offers still need a fresh evaluation? A
             // direction is redundant when its pair was evaluated last
             // iteration (old path) and everything it was judged
@@ -547,7 +571,7 @@ fn filter_bucket(
                     || bound_hits << GATE_MIN_HIT_SHIFT >= bound_attempts;
                 if gate_open {
                     bound_attempts += 1;
-                    let bound = options.measure.upper_bound(up, vp);
+                    let bound = options.measure.upper_bound_ref(up, vp);
                     let prunable = bound.is_finite()
                         && (!into_u
                             || u_threshold.is_some_and(|thr| {
@@ -572,7 +596,7 @@ fn filter_bucket(
                     }
                 }
             }
-            survivors.push((u, v, bits));
+            survivors.push((u, v, u_idx, v_idx, bits));
         }
         start = end;
     }
@@ -676,7 +700,8 @@ mod tests {
         let p = Partitioning::from_assignment(assignment, m).unwrap();
         reshard_profiles(&b, None, &p, Some(profiles), 1).unwrap();
         write_partition_edges(g, &p, &b, 1, None).unwrap();
-        let out = generate_tuples(&p, &b, 1 << 16, 1, None).unwrap();
+        let out =
+            generate_tuples(&p, &b, &crate::phase2::Phase2Options::new(1 << 16, 1), None).unwrap();
         (b, p, out)
     }
 
@@ -1012,7 +1037,13 @@ mod tests {
         let p = Partitioning::from_assignment(assignment, m).unwrap();
         reshard_profiles(&b, None, &p, Some(profiles), 1).unwrap();
         write_partition_edges(current, &p, &b, 1, Some(&seed_ok)).unwrap();
-        let out = generate_tuples(&p, &b, 1 << 16, 1, Some(&additions)).unwrap();
+        let out = generate_tuples(
+            &p,
+            &b,
+            &crate::phase2::Phase2Options::new(1 << 16, 1),
+            Some(&additions),
+        )
+        .unwrap();
         let schedule = Heuristic::Sequential.schedule(&out.pi);
         let prune = Phase4Prune {
             seed_ok: &seed_ok,

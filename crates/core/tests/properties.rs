@@ -6,7 +6,7 @@ use knn_core::traversal::{simulate_schedule_ops, Heuristic};
 use knn_core::tuple_table::{merge_parts, meta_bits, TupleTable};
 use knn_core::PiGraph;
 use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
-use knn_store::backend::read_pairs;
+use knn_store::backend::read_tuples;
 use knn_store::{MemBackend, StorageBackend, StreamId};
 use proptest::prelude::*;
 
@@ -57,10 +57,15 @@ fn run_tables(
     let mut buckets = Buckets::new();
     let mut directed = std::collections::BTreeSet::new();
     for ((i, j), w) in pi.iter_buckets() {
-        let rows = read_pairs(backend, StreamId::TupleBucket(i, j)).unwrap();
+        let rows = read_tuples(backend, StreamId::TupleBucket(i, j)).unwrap();
         assert_eq!(rows.len() as u64, w, "PI weight disagrees with bucket");
-        for (idx, &(u, v)) in rows.iter().enumerate() {
+        for (idx, &(u, v, inline)) in rows.iter().enumerate() {
             let bits = meta.bits((i, j), idx);
+            assert_eq!(
+                inline,
+                bits & (meta_bits::FWD | meta_bits::BWD),
+                "bucket stream direction bits must match the metadata"
+            );
             if bits & meta_bits::FWD != 0 {
                 directed.insert((u, v));
             }
@@ -68,7 +73,7 @@ fn run_tables(
                 directed.insert((v, u));
             }
         }
-        buckets.insert((i, j), rows);
+        buckets.insert((i, j), rows.into_iter().map(|(u, v, _)| (u, v)).collect());
     }
     (stats, buckets, directed)
 }

@@ -1,0 +1,305 @@
+//! Arena-backed prepared profiles: one CSR allocation per partition.
+//!
+//! Phase 4 used to wrap every loaded profile in its own
+//! [`crate::PreparedProfile`] inside a hash map — one heap allocation
+//! per user for the entry vector, another for the boxed sketch, and a
+//! fat map entry per lookup. At partition scale that is thousands of
+//! small allocations per load and a pointer chase per scored pair.
+//!
+//! [`ProfileArena`] replaces the per-user objects with four columns
+//! shared by the whole partition:
+//!
+//! * `offsets` — CSR row boundaries (`offsets[i]..offsets[i+1]` is
+//!   user `i`'s entry range);
+//! * `entries` — every user's sorted `(item, weight)` rows,
+//!   concatenated;
+//! * `stats` / `sketches` — the per-user [`ProfileStats`] and
+//!   [`BoundSketch`], in row order.
+//!
+//! [`PreparedRef`] is the borrowing view over one row: two pointers
+//! and two slice lengths, created on demand — no allocation, no
+//! clone. [`Measure::score_ref`] and [`Measure::upper_bound_ref`]
+//! run the *same* kernel functions over the same entry slices as the
+//! owned [`crate::Measure::score_prepared`] path, so the scores are
+//! bit-identical by construction (property-tested in
+//! `tests/properties.rs`).
+//!
+//! Rows are appended in ascending user order — exactly the order of
+//! the engine's per-partition profile streams, which is what lets
+//! phase 4 materialize the arena in one pass over a stream read.
+
+use crate::prepared::{upper_bound_parts, BoundSketch, ProfileStats};
+use crate::similarity::score_entries;
+use crate::{ItemId, Measure, ProfileError};
+
+/// The per-partition CSR profile arena (see the module docs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileArena {
+    users: Vec<u32>,
+    offsets: Vec<u32>,
+    entries: Vec<(ItemId, f32)>,
+    stats: Vec<ProfileStats>,
+    sketches: Vec<BoundSketch>,
+}
+
+impl ProfileArena {
+    /// Starts building an arena, reserving for `users` rows and
+    /// `entries` total profile entries.
+    pub fn builder(users: usize, entries: usize) -> ProfileArenaBuilder {
+        ProfileArenaBuilder {
+            arena: ProfileArena {
+                users: Vec::with_capacity(users),
+                offsets: {
+                    let mut v = Vec::with_capacity(users + 1);
+                    v.push(0);
+                    v
+                },
+                entries: Vec::with_capacity(entries),
+                stats: Vec::with_capacity(users),
+                sketches: Vec::with_capacity(users),
+            },
+        }
+    }
+
+    /// Number of profiles stored.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the arena holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Total profile entries across all rows.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored user ids, ascending (row order).
+    pub fn users(&self) -> &[u32] {
+        &self.users
+    }
+
+    /// The row index of `user`, if present (binary search over the
+    /// sorted user column; hot paths should cache the index).
+    pub fn index_of(&self, user: u32) -> Option<u32> {
+        self.users.binary_search(&user).ok().map(|i| i as u32)
+    }
+
+    /// The borrowing prepared view of row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn view(&self, idx: u32) -> PreparedRef<'_> {
+        let i = idx as usize;
+        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        PreparedRef {
+            entries: &self.entries[start..end],
+            stats: &self.stats[i],
+            sketch: &self.sketches[i],
+        }
+    }
+
+    /// The view of `user`'s row, resolving the index first.
+    pub fn get(&self, user: u32) -> Option<PreparedRef<'_>> {
+        self.index_of(user).map(|i| self.view(i))
+    }
+}
+
+/// Incremental [`ProfileArena`] constructor; rows arrive in strictly
+/// ascending user order.
+#[derive(Debug)]
+pub struct ProfileArenaBuilder {
+    arena: ProfileArena,
+}
+
+impl ProfileArenaBuilder {
+    /// Appends one user's profile row from raw `(item, weight)` pairs
+    /// in any order, validating exactly like
+    /// [`crate::Profile::from_unsorted_pairs`] and computing the row's
+    /// stats and sketch over the sorted entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::NonFiniteWeight`] / [`ProfileError::DuplicateItem`]
+    /// for invalid rows, [`ProfileError::OutOfOrderUser`] when `user`
+    /// is not strictly greater than the previously pushed one.
+    pub fn push(&mut self, user: u32, pairs: Vec<(u32, f32)>) -> Result<(), ProfileError> {
+        if self.arena.users.last().is_some_and(|&last| last >= user) {
+            return Err(ProfileError::OutOfOrderUser { user });
+        }
+        let start = self.arena.entries.len();
+        for (item, weight) in pairs {
+            if !weight.is_finite() {
+                self.arena.entries.truncate(start);
+                return Err(ProfileError::NonFiniteWeight { item, weight });
+            }
+            self.arena.entries.push((ItemId::new(item), weight));
+        }
+        let duplicate = {
+            let row = &mut self.arena.entries[start..];
+            row.sort_unstable_by_key(|&(i, _)| i);
+            row.windows(2)
+                .find(|w| w[0].0 == w[1].0)
+                .map(|w| w[0].0.raw())
+        };
+        if let Some(item) = duplicate {
+            self.arena.entries.truncate(start);
+            return Err(ProfileError::DuplicateItem { item });
+        }
+        let (stats, sketch) = ProfileStats::with_sketch_of_entries(&self.arena.entries[start..]);
+        self.arena.users.push(user);
+        self.arena.offsets.push(self.arena.entries.len() as u32);
+        self.arena.stats.push(stats);
+        self.arena.sketches.push(sketch);
+        Ok(())
+    }
+
+    /// Finishes the arena.
+    pub fn finish(self) -> ProfileArena {
+        self.arena
+    }
+}
+
+/// A borrowed prepared profile: the operand of [`Measure::score_ref`]
+/// and [`Measure::upper_bound_ref`] — slices into a
+/// [`ProfileArena`]'s columns, no ownership, no allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedRef<'a> {
+    entries: &'a [(ItemId, f32)],
+    stats: &'a ProfileStats,
+    sketch: &'a BoundSketch,
+}
+
+impl<'a> PreparedRef<'a> {
+    /// The sorted entry slice.
+    pub fn entries(&self) -> &'a [(ItemId, f32)] {
+        self.entries
+    }
+
+    /// The precomputed scalar aggregates.
+    pub fn stats(&self) -> &'a ProfileStats {
+        self.stats
+    }
+
+    /// The precomputed bound sketch.
+    pub fn sketch(&self) -> &'a BoundSketch {
+        self.sketch
+    }
+}
+
+impl Measure {
+    /// Scores two arena views. Bit-identical to
+    /// [`Measure::score_prepared`] (and therefore to
+    /// [`crate::Similarity::score`]) on the same profiles: the same
+    /// kernel runs over the same sorted entry slices with the same
+    /// precomputed aggregates.
+    pub fn score_ref(&self, a: PreparedRef<'_>, b: PreparedRef<'_>) -> f32 {
+        let v = score_entries(*self, a.entries, a.stats, b.entries, b.stats);
+        debug_assert!(v.is_finite(), "{self} produced non-finite score {v}");
+        v as f32
+    }
+
+    /// The O(1) score ceiling of two arena views; identical to
+    /// [`Measure::upper_bound`] on the same profiles.
+    pub fn upper_bound_ref(&self, a: PreparedRef<'_>, b: PreparedRef<'_>) -> f32 {
+        upper_bound_parts(*self, a.stats, a.sketch, b.stats, b.sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PreparedProfile, Profile};
+
+    fn arena_of(rows: &[(u32, Vec<(u32, f32)>)]) -> ProfileArena {
+        let mut b = ProfileArena::builder(rows.len(), 16);
+        for (user, pairs) in rows {
+            b.push(*user, pairs.clone()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn views_score_bit_identically_to_prepared_profiles() {
+        let rows = vec![
+            (0u32, vec![(1u32, 1.0f32), (2, -2.0), (9, 0.5)]),
+            (3, vec![(2, 3.0), (9, 1.0)]),
+            (4, vec![]),
+            (9, vec![(100, 1.0), (1, 0.25), (3, 4.0)]),
+        ];
+        let arena = arena_of(&rows);
+        let prepared: Vec<PreparedProfile> = rows
+            .iter()
+            .map(|(_, p)| PreparedProfile::new(Profile::from_unsorted_pairs(p.clone()).unwrap()))
+            .collect();
+        for m in Measure::ALL {
+            for i in 0..rows.len() {
+                for j in 0..rows.len() {
+                    let via_ref = m.score_ref(arena.view(i as u32), arena.view(j as u32));
+                    let via_owned = m.score_prepared(&prepared[i], &prepared[j]);
+                    assert_eq!(via_ref.to_bits(), via_owned.to_bits(), "{m} diverged");
+                    let bound_ref = m.upper_bound_ref(arena.view(i as u32), arena.view(j as u32));
+                    let bound_owned = m.upper_bound(&prepared[i], &prepared[j]);
+                    assert_eq!(bound_ref.to_bits(), bound_owned.to_bits(), "{m} bound");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_and_views_resolve_rows() {
+        let arena = arena_of(&[(2, vec![(5, 1.0)]), (7, vec![(1, 2.0), (3, 4.0)])]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.entry_count(), 3);
+        assert_eq!(arena.users(), &[2, 7]);
+        assert_eq!(arena.index_of(7), Some(1));
+        assert_eq!(arena.index_of(3), None);
+        let v = arena.get(7).unwrap();
+        assert_eq!(v.entries().len(), 2);
+        assert_eq!(v.stats().len, 2);
+        assert_eq!(v.entries()[0].0.raw(), 1, "entries sorted by item");
+        assert!(arena.get(3).is_none());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_order_and_invalid_rows() {
+        let mut b = ProfileArena::builder(4, 4);
+        b.push(5, vec![(1, 1.0)]).unwrap();
+        assert_eq!(
+            b.push(5, vec![]),
+            Err(ProfileError::OutOfOrderUser { user: 5 })
+        );
+        assert_eq!(
+            b.push(2, vec![]),
+            Err(ProfileError::OutOfOrderUser { user: 2 })
+        );
+        assert_eq!(
+            b.push(8, vec![(3, 1.0), (3, 2.0)]),
+            Err(ProfileError::DuplicateItem { item: 3 })
+        );
+        assert!(matches!(
+            b.push(9, vec![(1, f32::NAN)]),
+            Err(ProfileError::NonFiniteWeight { item: 1, .. })
+        ));
+        // Failed pushes leave no partial row behind.
+        b.push(10, vec![(2, 2.0)]).unwrap();
+        let arena = b.finish();
+        assert_eq!(arena.users(), &[5, 10]);
+        assert_eq!(arena.entry_count(), 2);
+    }
+
+    #[test]
+    fn empty_arena_and_empty_rows() {
+        let empty = ProfileArena::builder(0, 0).finish();
+        assert!(empty.is_empty());
+        assert_eq!(empty.index_of(0), None);
+        let arena = arena_of(&[(0, vec![])]);
+        let v = arena.view(0);
+        assert!(v.entries().is_empty());
+        assert_eq!(v.stats().len, 0);
+        assert_eq!(Measure::Cosine.score_ref(v, v), 0.0);
+    }
+}

@@ -16,6 +16,12 @@ pub enum ProfileError {
         /// The repeated item.
         item: u32,
     },
+    /// A profile-arena row arrived out of ascending user order (the
+    /// arena's CSR layout requires the partition stream's sort order).
+    OutOfOrderUser {
+        /// The offending user.
+        user: u32,
+    },
 }
 
 impl fmt::Display for ProfileError {
@@ -26,6 +32,9 @@ impl fmt::Display for ProfileError {
             }
             ProfileError::DuplicateItem { item } => {
                 write!(f, "duplicate item {item} in profile")
+            }
+            ProfileError::OutOfOrderUser { user } => {
+                write!(f, "arena row for user {user} out of ascending order")
             }
         }
     }

@@ -29,6 +29,7 @@
 //! assert!(sim > 0.0 && sim < 1.0);
 //! ```
 
+pub mod arena;
 pub mod delta;
 pub mod error;
 pub mod generators;
@@ -38,6 +39,7 @@ pub mod similarity;
 pub mod store;
 pub mod tfidf;
 
+pub use arena::{PreparedRef, ProfileArena, ProfileArenaBuilder};
 pub use delta::{DeltaOp, ProfileDelta};
 pub use error::ProfileError;
 pub use prepared::{PreparedProfile, ProfileStats};

@@ -88,6 +88,14 @@ impl ProfileStats {
     /// Computes the scalar aggregates and the bound sketch in one
     /// shared pass.
     pub fn with_sketch(profile: &Profile) -> (Self, BoundSketch) {
+        Self::with_sketch_of_entries(profile.entries())
+    }
+
+    /// The entry-slice form of [`ProfileStats::with_sketch`]: the same
+    /// one-pass aggregation over a sorted entry slice — the arena
+    /// builder runs it over each user's freshly appended CSR rows, so
+    /// the borrowed and owned prepared paths carry identical stats.
+    pub fn with_sketch_of_entries(entries: &[(crate::ItemId, f32)]) -> (Self, BoundSketch) {
         let mut sq_sum = 0.0f64;
         let mut weight_sum = 0.0f64;
         let mut max_abs_weight = 0.0f64;
@@ -95,7 +103,7 @@ impl ProfileStats {
         let mut block_sq = [0.0f64; SKETCH_BLOCKS];
         let mut block_counts = [0u32; SKETCH_BLOCKS];
         let mut block_sums = [0.0f64; SKETCH_BLOCKS];
-        for (item, w) in profile.iter() {
+        for &(item, w) in entries {
             let w = w as f64;
             sq_sum += w * w;
             weight_sum += w;
@@ -113,7 +121,7 @@ impl ProfileStats {
             block_weight_sums[k] = block_sums[k] as f32;
         }
         let stats = ProfileStats {
-            len: profile.len(),
+            len: entries.len(),
             l2_norm: sq_sum.sqrt(),
             weight_sum,
             max_abs_weight,
@@ -242,11 +250,11 @@ impl Measure {
     /// precomputed aggregates and the SoA intersection walk but
     /// performs the same arithmetic in the same order.
     pub fn score_prepared(&self, a: &PreparedProfile, b: &PreparedProfile) -> f32 {
-        let v = crate::similarity::score_with_stats(
+        let v = crate::similarity::score_entries(
             *self,
-            a.profile(),
+            a.profile().entries(),
             a.stats(),
-            b.profile(),
+            b.profile().entries(),
             b.stats(),
         );
         debug_assert!(v.is_finite(), "{self} produced non-finite score {v}");
@@ -263,10 +271,25 @@ impl Measure {
     /// score: when even the ceiling cannot beat the current worst
     /// top-K entry, the full intersection walk is skipped.
     pub fn upper_bound(&self, a: &PreparedProfile, b: &PreparedProfile) -> f32 {
-        let (sa, sb) = (a.stats(), b.stats());
-        let (ka, kb) = (a.sketch(), b.sketch());
+        upper_bound_parts(*self, a.stats(), a.sketch(), b.stats(), b.sketch())
+    }
+}
+
+/// The aggregate-only core of [`Measure::upper_bound`]: every bound is
+/// a function of the two operands' [`ProfileStats`] and
+/// [`BoundSketch`] alone, so the owned ([`PreparedProfile`]) and
+/// borrowed ([`crate::PreparedRef`]) prepared paths share one
+/// implementation.
+pub(crate) fn upper_bound_parts(
+    measure: Measure,
+    sa: &ProfileStats,
+    ka: &BoundSketch,
+    sb: &ProfileStats,
+    kb: &BoundSketch,
+) -> f32 {
+    {
         let min_len = sa.len.min(sb.len) as f64;
-        let v = match self {
+        let v = match measure {
             Measure::Cosine => {
                 // Blocked Cauchy–Schwarz: dot <= Σ_k ‖a_k‖·‖b_k‖ —
                 // profiles concentrated in disjoint id blocks bound

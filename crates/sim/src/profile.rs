@@ -196,41 +196,15 @@ impl Profile {
         self.entries.iter().map(|&(_, w)| w as f64).sum()
     }
 
-    /// Dot product with another profile (sorted merge join).
+    /// Dot product with another profile (sorted merge join; shares its
+    /// kernel with the similarity measures).
     pub fn dot(&self, other: &Profile) -> f64 {
-        let mut acc = 0.0f64;
-        let (a, b) = (&self.entries, &other.entries);
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    acc += a[i].1 as f64 * b[j].1 as f64;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        acc
+        crate::similarity::dot(&self.entries, &other.entries)
     }
 
     /// Number of items present in both profiles.
     pub fn common_items(&self, other: &Profile) -> usize {
-        let (a, b) = (&self.entries, &other.entries);
-        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
+        crate::similarity::common_items(&self.entries, &other.entries)
     }
 
     /// Approximate heap footprint in bytes (used for memory budgeting

@@ -15,7 +15,14 @@
 use std::fmt;
 
 use crate::prepared::ProfileStats;
-use crate::Profile;
+use crate::{ItemId, Profile};
+
+/// One sorted entry slice — the common operand of every kernel. Both
+/// the owned [`Profile`] and the arena-backed
+/// [`crate::PreparedRef`] views resolve to this shape, which is what
+/// makes the owned and borrowed scoring paths bit-identical by
+/// construction.
+pub(crate) type Entries<'a> = &'a [(ItemId, f32)];
 
 /// A similarity function between two user profiles.
 ///
@@ -96,14 +103,15 @@ impl Similarity for Measure {
     /// spot. Bit-identical to [`Measure::score_prepared`] on prepared
     /// operands.
     fn score(&self, a: &Profile, b: &Profile) -> f32 {
+        let (ae, be) = (a.entries(), b.entries());
         let v = match self {
-            Measure::Cosine => cosine(a, a.l2_norm(), b, b.l2_norm()),
-            Measure::Jaccard => jaccard(a, b),
-            Measure::WeightedJaccard => weighted_jaccard(a, b),
-            Measure::Overlap => overlap(a, b),
-            Measure::CommonItems => a.common_items(b) as f64,
-            Measure::Pearson => pearson(a, b),
-            Measure::Dice => dice(a, b),
+            Measure::Cosine => cosine(ae, a.l2_norm(), be, b.l2_norm()),
+            Measure::Jaccard => jaccard(ae, be),
+            Measure::WeightedJaccard => weighted_jaccard(ae, be),
+            Measure::Overlap => overlap(ae, be),
+            Measure::CommonItems => common_items(ae, be) as f64,
+            Measure::Pearson => pearson(ae, be),
+            Measure::Dice => dice(ae, be),
         };
         debug_assert!(v.is_finite(), "{self} produced non-finite score {v}");
         v as f32
@@ -122,15 +130,16 @@ impl Similarity for Measure {
     }
 }
 
-/// The prepared-operand kernel dispatch: scores `a` against `b` with
-/// their precomputed aggregates (called by
-/// [`crate::Measure::score_prepared`]; same arithmetic as
+/// The prepared-operand kernel dispatch: scores the entry slices of
+/// `a` against `b` with their precomputed aggregates (called by
+/// [`crate::Measure::score_prepared`] and the arena-backed
+/// [`crate::Measure::score_ref`]; same arithmetic as
 /// [`Similarity::score`]).
-pub(crate) fn score_with_stats(
+pub(crate) fn score_entries(
     measure: Measure,
-    a: &Profile,
+    a: Entries<'_>,
     a_stats: &ProfileStats,
-    b: &Profile,
+    b: Entries<'_>,
     b_stats: &ProfileStats,
 ) -> f64 {
     match measure {
@@ -138,22 +147,59 @@ pub(crate) fn score_with_stats(
         Measure::Jaccard => jaccard(a, b),
         Measure::WeightedJaccard => weighted_jaccard(a, b),
         Measure::Overlap => overlap(a, b),
-        Measure::CommonItems => a.common_items(b) as f64,
+        Measure::CommonItems => common_items(a, b) as f64,
         Measure::Pearson => pearson(a, b),
         Measure::Dice => dice(a, b),
     }
 }
 
-fn cosine(a: &Profile, a_norm: f64, b: &Profile, b_norm: f64) -> f64 {
+/// Dot product of two sorted entry slices (merge join); shared by
+/// [`Profile::dot`] and the cosine kernel.
+pub(crate) fn dot(a: Entries<'_>, b: Entries<'_>) -> f64 {
+    let mut acc = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[i].1 as f64 * b[j].1 as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Intersection size of two sorted entry slices; shared by
+/// [`Profile::common_items`] and the set kernels.
+pub(crate) fn common_items(a: Entries<'_>, b: Entries<'_>) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+fn cosine(a: Entries<'_>, a_norm: f64, b: Entries<'_>, b_norm: f64) -> f64 {
     let denom = a_norm * b_norm;
     if denom == 0.0 {
         return 0.0;
     }
-    (a.dot(b) / denom).clamp(-1.0, 1.0)
+    (dot(a, b) / denom).clamp(-1.0, 1.0)
 }
 
-fn jaccard(a: &Profile, b: &Profile) -> f64 {
-    let inter = a.common_items(b);
+fn jaccard(a: Entries<'_>, b: Entries<'_>) -> f64 {
+    let inter = common_items(a, b);
     let union = a.len() + b.len() - inter;
     if union == 0 {
         return 0.0;
@@ -161,9 +207,8 @@ fn jaccard(a: &Profile, b: &Profile) -> f64 {
     inter as f64 / union as f64
 }
 
-fn weighted_jaccard(a: &Profile, b: &Profile) -> f64 {
+fn weighted_jaccard(ae: Entries<'_>, be: Entries<'_>) -> f64 {
     let (mut min_sum, mut max_sum) = (0.0f64, 0.0f64);
-    let (ae, be) = (a.entries(), b.entries());
     let (mut i, mut j) = (0usize, 0usize);
     while i < ae.len() || j < be.len() {
         match (ae.get(i), be.get(j)) {
@@ -201,25 +246,24 @@ fn weighted_jaccard(a: &Profile, b: &Profile) -> f64 {
     }
 }
 
-fn dice(a: &Profile, b: &Profile) -> f64 {
+fn dice(a: Entries<'_>, b: Entries<'_>) -> f64 {
     let total = a.len() + b.len();
     if total == 0 {
         return 0.0;
     }
-    2.0 * a.common_items(b) as f64 / total as f64
+    2.0 * common_items(a, b) as f64 / total as f64
 }
 
-fn overlap(a: &Profile, b: &Profile) -> f64 {
+fn overlap(a: Entries<'_>, b: Entries<'_>) -> f64 {
     let smaller = a.len().min(b.len());
     if smaller == 0 {
         return 0.0;
     }
-    a.common_items(b) as f64 / smaller as f64
+    common_items(a, b) as f64 / smaller as f64
 }
 
-fn pearson(a: &Profile, b: &Profile) -> f64 {
+fn pearson(ae: Entries<'_>, be: Entries<'_>) -> f64 {
     // Collect co-rated weights.
-    let (ae, be) = (a.entries(), b.entries());
     let (mut i, mut j) = (0usize, 0usize);
     let mut xs: Vec<f64> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();

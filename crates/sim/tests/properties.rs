@@ -152,3 +152,57 @@ proptest! {
         prop_assert_eq!(items, sorted);
     }
 }
+
+/// Builds an arena of the two generated profiles next to their owned
+/// prepared forms (same map semantics as `build`).
+fn build_arena(pa: &[(u32, f32)], pb: &[(u32, f32)]) -> knn_sim::ProfileArena {
+    let dedup = |pairs: &[(u32, f32)]| {
+        let mut map: HashMap<u32, f32> = HashMap::new();
+        for &(i, w) in pairs {
+            map.insert(i, w);
+        }
+        map.into_iter().collect::<Vec<_>>()
+    };
+    let mut builder = knn_sim::ProfileArena::builder(2, pa.len() + pb.len());
+    builder.push(0, dedup(pa)).unwrap();
+    builder.push(1, dedup(pb)).unwrap();
+    builder.finish()
+}
+
+proptest! {
+    /// The arena-backed borrowed path is bit-identical to the owned
+    /// prepared path — scores and upper bounds alike, for every
+    /// measure: the tentpole determinism contract of the phase-4
+    /// arena rework.
+    #[test]
+    fn arena_views_are_bit_identical_to_prepared_profiles(
+        pa in raw_pairs(),
+        pb in raw_pairs(),
+    ) {
+        let arena = build_arena(&pa, &pb);
+        let (a, b) = (build(&pa), build(&pb));
+        let (pa, pb) = (PreparedProfile::new(a), PreparedProfile::new(b));
+        let (va, vb) = (arena.view(0), arena.view(1));
+        for m in Measure::ALL {
+            prop_assert_eq!(
+                m.score_ref(va, vb).to_bits(),
+                m.score_prepared(&pa, &pb).to_bits(),
+                "{} score diverged", m
+            );
+            prop_assert_eq!(
+                m.score_ref(va, vb).to_bits(),
+                m.score(pa.profile(), pb.profile()).to_bits(),
+                "{} unprepared score diverged", m
+            );
+            prop_assert_eq!(
+                m.upper_bound_ref(va, vb).to_bits(),
+                m.upper_bound(&pa, &pb).to_bits(),
+                "{} bound diverged", m
+            );
+            prop_assert!(
+                m.upper_bound_ref(va, vb) >= m.score_ref(va, vb),
+                "{} bound below score", m
+            );
+        }
+    }
+}

@@ -29,6 +29,9 @@ pub struct IoStats {
     write_ops: AtomicU64,
     partition_loads: AtomicU64,
     partition_unloads: AtomicU64,
+    spill_bytes: AtomicU64,
+    spill_runs: AtomicU64,
+    merge_passes: AtomicU64,
 }
 
 impl IoStats {
@@ -59,6 +62,19 @@ impl IoStats {
         self.partition_unloads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one tuple spill run of `bytes` bytes hitting storage
+    /// (phase-2 overflow traffic; the bytes are *also* counted in
+    /// `bytes_written` — this meter isolates the spill share).
+    pub fn record_spill(&self, bytes: u64) {
+        self.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.spill_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one k-way merge pass over a bucket's spill runs.
+    pub fn record_merge_pass(&self) {
+        self.merge_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters (individual
     /// counters are read relaxed; exactness across counters is not
     /// needed for reporting).
@@ -70,6 +86,9 @@ impl IoStats {
             write_ops: self.write_ops.load(Ordering::Relaxed),
             partition_loads: self.partition_loads.load(Ordering::Relaxed),
             partition_unloads: self.partition_unloads.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            spill_runs: self.spill_runs.load(Ordering::Relaxed),
+            merge_passes: self.merge_passes.load(Ordering::Relaxed),
         }
     }
 
@@ -81,6 +100,9 @@ impl IoStats {
         self.write_ops.store(0, Ordering::Relaxed);
         self.partition_loads.store(0, Ordering::Relaxed);
         self.partition_unloads.store(0, Ordering::Relaxed);
+        self.spill_bytes.store(0, Ordering::Relaxed);
+        self.spill_runs.store(0, Ordering::Relaxed);
+        self.merge_passes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -112,6 +134,13 @@ pub struct IoSnapshot {
     pub partition_loads: u64,
     /// Number of partition unload operations.
     pub partition_unloads: u64,
+    /// Bytes written into tuple spill runs (a subset of
+    /// `bytes_written`: phase 2's memory-overflow traffic).
+    pub spill_bytes: u64,
+    /// Number of tuple spill runs written.
+    pub spill_runs: u64,
+    /// Number of k-way merge passes over bucket spill runs.
+    pub merge_passes: u64,
 }
 
 impl IoSnapshot {
@@ -137,6 +166,9 @@ impl Sub for IoSnapshot {
             write_ops: self.write_ops.saturating_sub(rhs.write_ops),
             partition_loads: self.partition_loads.saturating_sub(rhs.partition_loads),
             partition_unloads: self.partition_unloads.saturating_sub(rhs.partition_unloads),
+            spill_bytes: self.spill_bytes.saturating_sub(rhs.spill_bytes),
+            spill_runs: self.spill_runs.saturating_sub(rhs.spill_runs),
+            merge_passes: self.merge_passes.saturating_sub(rhs.merge_passes),
         }
     }
 }
@@ -145,13 +177,17 @@ impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "read {} B in {} ops, wrote {} B in {} ops, {} loads / {} unloads",
+            "read {} B in {} ops, wrote {} B in {} ops, {} loads / {} unloads, \
+             {} B spilled in {} runs / {} merges",
             self.bytes_read,
             self.read_ops,
             self.bytes_written,
             self.write_ops,
             self.partition_loads,
-            self.partition_unloads
+            self.partition_unloads,
+            self.spill_bytes,
+            self.spill_runs,
+            self.merge_passes
         )
     }
 }
@@ -249,6 +285,25 @@ mod tests {
         assert_eq!(snap.write_ops, 4000);
         assert_eq!(snap.partition_loads, 800);
         assert_eq!(snap.partition_unloads, 800);
+    }
+
+    #[test]
+    fn spill_and_merge_counters_accumulate_and_subtract() {
+        let s = IoStats::new();
+        s.record_spill(100);
+        s.record_spill(50);
+        s.record_merge_pass();
+        let before = s.snapshot();
+        assert_eq!(before.spill_bytes, 150);
+        assert_eq!(before.spill_runs, 2);
+        assert_eq!(before.merge_passes, 1);
+        s.record_spill(10);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.spill_bytes, 10);
+        assert_eq!(delta.spill_runs, 1);
+        assert_eq!(delta.merge_passes, 0);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
     }
 
     #[test]

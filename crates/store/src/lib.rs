@@ -19,6 +19,11 @@
 //! * [`codec`] / [`record_file`] — explicit, versioned binary encodings
 //!   shared by every backend (no serde formats are available offline;
 //!   the codec is ~100 lines and round-trip tested);
+//! * [`tuple_stream`] — the varint-delta tuple codec (format v2):
+//!   sorted canonical pairs delta-encoded with packed meta nibbles,
+//!   with streaming reader/writer cursors for phase 2's spill runs
+//!   and bucket streams; legacy fixed-width pair streams still decode
+//!   (see the module docs for the versioning story);
 //! * [`IoStats`] — atomic counters living *inside* the backend
 //!   boundary, so different backends are metered uniformly;
 //! * [`DiskModel`] — seek + bandwidth cost models replaying a run's I/O
@@ -50,6 +55,7 @@ pub mod error;
 pub mod io_stats;
 pub mod layout;
 pub mod record_file;
+pub mod tuple_stream;
 
 pub use backend::{DiskBackend, MemBackend, StorageBackend, StreamId};
 pub use cache::{CacheCounters, SlotCache};
@@ -58,3 +64,4 @@ pub use error::StoreError;
 pub use io_stats::{IoSnapshot, IoStats};
 pub use layout::WorkingDir;
 pub use record_file::RecordKind;
+pub use tuple_stream::{DecodeStep, TupleDecoder, TupleRow, TupleStreamReader, TupleStreamWriter};

@@ -45,6 +45,10 @@ pub enum RecordKind {
     Updates = 8,
     /// User → partition assignment rows.
     Assignment = 9,
+    /// Canonical similarity tuples with packed meta nibbles, in the
+    /// varint-delta format of [`crate::tuple_stream`] (format v2;
+    /// [`RecordKind::Tuples`] is the legacy fixed-width encoding).
+    TuplesV2 = 10,
 }
 
 /// Appends the trailing CRC-32 frame to a codec payload, producing the

@@ -37,8 +37,11 @@ fn config(n: usize, k: usize, m: usize, seed: u64, threads: usize) -> EngineConf
         .seed(seed)
         .threads(threads)
         // A small spill threshold keeps the parallel spill/merge path
-        // honest, not just the in-memory staging fast path.
+        // honest, not just the in-memory staging fast path — and a
+        // small per-table byte budget exercises the budget-spill path
+        // (per-table by definition, so it must be thread-invariant).
         .spill_threshold(64)
+        .tuple_table_memory(Some(1024))
         .build()
         .expect("config")
 }
@@ -49,7 +52,11 @@ fn config(n: usize, k: usize, m: usize, seed: u64, threads: usize) -> EngineConf
 /// (`sims_skipped`, `sims_pruned`, `accums_seeded`) are part of the
 /// determinism contract: suppression and bound decisions are taken on
 /// the driving thread against bucket-start state, so they must not
-/// depend on thread count or backend either.
+/// depend on thread count or backend either. The spill counters
+/// (`bytes_spilled`, `spill_runs`, `merge_passes`) are pinned the same
+/// way: spilling is per scan table and the merge is per bucket, so
+/// the traffic is a pure function of the workload (`phase_io` pins the
+/// same meters again at the IoSnapshot level).
 fn deterministic_fields(r: &IterationReport) -> impl PartialEq + std::fmt::Debug {
     (
         r.iteration,
@@ -60,6 +67,7 @@ fn deterministic_fields(r: &IterationReport) -> impl PartialEq + std::fmt::Debug
         r.schedule_len,
         (r.sims_computed, r.sims_skipped, r.sims_pruned),
         r.accums_seeded,
+        (r.bytes_spilled, r.spill_runs, r.merge_passes),
         r.updates_applied,
         r.replication_cost,
         r.changed_fraction.to_bits(),
@@ -130,6 +138,10 @@ fn thread_count_and_backend_never_change_the_computation() {
             .iter_mut()
             .map(|(_, _, e)| e.run_iteration().expect("iteration"))
             .collect();
+        assert!(
+            reports[0].bytes_spilled > 0 && reports[0].merge_passes > 0,
+            "iteration {iteration}: the spill/merge path was not exercised"
+        );
 
         let (ref_label, _, ref_engine) = &engines[0];
         for (idx, (label, _, engine)) in engines.iter().enumerate().skip(1) {
