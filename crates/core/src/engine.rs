@@ -51,6 +51,41 @@ pub struct KnnEngine {
     /// engine, resume) or suppression is disabled — the next
     /// iteration then re-scores everything.
     prune: Option<PruneState>,
+    /// Phase-2 override (see [`Phase2Provider`]); `None` runs the
+    /// built-in single-backend pipeline.
+    phase2_provider: Option<Box<dyn Phase2Provider>>,
+    /// I/O meter override for the per-phase report brackets; `None`
+    /// reads this engine's backend stats. A sharded driver installs a
+    /// closure summing its shard meters so phase I/O deltas cover
+    /// every backend the iteration touched.
+    io_meter: Option<Arc<dyn Fn() -> IoSnapshot + Send + Sync>>,
+}
+
+/// Pluggable phase-2 implementation. The engine driver calls this in
+/// place of [`phase2::generate_tuples`] when installed via
+/// [`KnnEngine::set_phase2_provider`] — the hook a sharded driver uses
+/// to scan partitions on per-shard backends, exchange foreign buckets,
+/// and merge at each bucket's owner, while phases 1/3/4/5 run
+/// unchanged against the routing backend.
+///
+/// Implementations own their storage handles (the engine passes no
+/// backend) and must uphold the determinism contract: for a given
+/// partitioning and edge streams, the persisted tuple buckets and the
+/// returned [`Phase2Output`](phase2::Phase2Output) must equal what the
+/// built-in pipeline would produce.
+pub trait Phase2Provider: Send {
+    /// Runs phase 2 for the current iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] on I/O failure, like
+    /// [`phase2::generate_tuples`].
+    fn generate_tuples(
+        &mut self,
+        partitioning: &Partitioning,
+        options: &phase2::Phase2Options,
+        additions: Option<&EdgeAdditions>,
+    ) -> Result<phase2::Phase2Output, EngineError>;
 }
 
 /// What phase-4 suppression needs to know about the previous
@@ -195,6 +230,8 @@ impl KnnEngine {
             iteration: 0,
             reports: Vec::new(),
             prune: None,
+            phase2_provider: None,
+            io_meter: None,
         };
         engine.persist_state()?;
         Ok(engine)
@@ -339,6 +376,8 @@ impl KnnEngine {
             // iteration's scoring, so the first iteration re-scores
             // everything (suppression resumes one iteration later).
             prune: None,
+            phase2_provider: None,
+            io_meter: None,
         })
     }
 
@@ -401,9 +440,33 @@ impl KnnEngine {
         &self.reports
     }
 
-    /// Cumulative I/O counters (metered inside the storage backend).
+    /// Cumulative I/O counters (metered inside the storage backend),
+    /// or whatever the installed [`io meter`](KnnEngine::set_io_meter)
+    /// reports.
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.backend.stats().snapshot()
+        self.io_now()
+    }
+
+    /// The I/O counters the per-phase report brackets observe.
+    fn io_now(&self) -> IoSnapshot {
+        match &self.io_meter {
+            Some(meter) => meter(),
+            None => self.backend.stats().snapshot(),
+        }
+    }
+
+    /// Installs (or clears) a [`Phase2Provider`] overriding the
+    /// built-in phase-2 pipeline on subsequent iterations.
+    pub fn set_phase2_provider(&mut self, provider: Option<Box<dyn Phase2Provider>>) {
+        self.phase2_provider = provider;
+    }
+
+    /// Installs (or clears) the I/O meter backing
+    /// [`io_snapshot`](KnnEngine::io_snapshot) and the per-phase
+    /// [`IterationReport`] I/O brackets. Use when iteration I/O lands
+    /// on backends other than this engine's own (sharding).
+    pub fn set_io_meter(&mut self, meter: Option<Arc<dyn Fn() -> IoSnapshot + Send + Sync>>) {
+        self.io_meter = meter;
     }
 
     /// The storage backend this engine runs on.
@@ -513,7 +576,6 @@ impl KnnEngine {
         let mut io = [IoSnapshot::default(); 5];
         let backend = Arc::clone(&self.backend);
         let backend = backend.as_ref();
-        let stats = backend.stats();
 
         // Cross-iteration suppression inputs (see the crate docs'
         // scoring-pipeline section). `seed_ok[u]` means u's prior
@@ -541,7 +603,7 @@ impl KnnEngine {
         });
 
         // Phase 1: partition G(t) and lay out edge/profile streams.
-        let before = stats.snapshot();
+        let before = self.io_now();
         let t0 = Instant::now();
         if self.config.repartition_each_iteration() || self.iteration == 0 {
             let partitioner = self.config.partitioner().instantiate(self.config.seed());
@@ -568,11 +630,11 @@ impl KnnEngine {
         let replication_cost =
             objective::replication_cost(&self.graph.to_digraph(), &self.partitioning);
         durations[0] = t0.elapsed();
-        io[0] = stats.snapshot() - before;
+        io[0] = self.io_now() - before;
 
         // Phase 2: tuple generation + dedup into pair buckets (tagged
         // with path age when suppression is active).
-        let before = stats.snapshot();
+        let before = self.io_now();
         let t0 = Instant::now();
         let phase2_options = phase2::Phase2Options {
             spill_threshold: self.config.spill_threshold(),
@@ -580,25 +642,28 @@ impl KnnEngine {
             threads: self.config.threads(),
             legacy_pipeline: self.config.legacy_tuple_pipeline(),
         };
-        let phase2_out = phase2::generate_tuples(
-            &self.partitioning,
-            backend,
-            &phase2_options,
-            prune_state.map(|st| &st.additions),
-        )?;
+        let additions = prune_state.map(|st| &st.additions);
+        let phase2_out = match self.phase2_provider.as_mut() {
+            Some(provider) => {
+                provider.generate_tuples(&self.partitioning, &phase2_options, additions)?
+            }
+            None => {
+                phase2::generate_tuples(&self.partitioning, backend, &phase2_options, additions)?
+            }
+        };
         durations[1] = t0.elapsed();
-        io[1] = stats.snapshot() - before;
+        io[1] = self.io_now() - before;
 
         // Phase 3: PI-graph traversal schedule.
-        let before = stats.snapshot();
+        let before = self.io_now();
         let t0 = Instant::now();
         let schedule = self.config.heuristic().schedule(&phase2_out.pi);
         let predicted = simulate_schedule_ops(&schedule, self.config.cache_slots());
         durations[2] = t0.elapsed();
-        io[2] = stats.snapshot() - before;
+        io[2] = self.io_now() - before;
 
         // Phase 4: out-of-core similarity scoring and top-K harvest.
-        let before = stats.snapshot();
+        let before = self.io_now();
         let t0 = Instant::now();
         let options = Phase4Options {
             k: self.config.k(),
@@ -626,16 +691,16 @@ impl KnnEngine {
             prune_ctx.as_ref(),
         )?;
         durations[3] = t0.elapsed();
-        io[3] = stats.snapshot() - before;
+        io[3] = self.io_now() - before;
 
         // Phase 5: apply the lazy profile-update queue.
-        let before = stats.snapshot();
+        let before = self.io_now();
         let t0 = Instant::now();
         let (phase5_stats, updated_users) =
             self.queue
                 .apply_all(&self.partitioning, backend, self.config.threads())?;
         durations[4] = t0.elapsed();
-        io[4] = stats.snapshot() - before;
+        io[4] = self.io_now() - before;
 
         let changed_fraction = self.graph.edge_change_fraction(&phase4_out.graph);
         // Bookkeeping for the next iteration's suppression, derived

@@ -76,6 +76,13 @@
 //! `parallel_equivalence` integration suite pins exactly this across
 //! threads × backends.
 //!
+//! The `knn-shard` crate extends the same contract across **shard
+//! counts**: a sharded engine scans partitions on per-shard backends,
+//! exchanges foreign buckets as extra merge inputs (via the
+//! [`Phase2Provider`] hook), and produces bucket streams, graphs,
+//! reports, and summed I/O totals byte/value-identical to one process
+//! — pinned by the `shard_equivalence` suite.
+//!
 //! # The phase-4 scoring funnel
 //!
 //! Phase 4 dominates iteration cost, so its scoring path removes
@@ -167,7 +174,7 @@ mod engine;
 mod par;
 
 pub use config::{EngineConfig, EngineConfigBuilder};
-pub use engine::KnnEngine;
+pub use engine::{KnnEngine, Phase2Provider};
 pub use error::EngineError;
 pub use metrics::IterationReport;
 pub use partition::{Partitioner, PartitionerKind, Partitioning};

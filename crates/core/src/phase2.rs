@@ -111,14 +111,8 @@ pub fn generate_tuples(
         })?;
         legacy::merge_legacy_parts(backend, m, parts, options.threads)?
     } else {
-        let parts = par::run_indexed(m, options.threads, |p| {
-            let p = p as u32;
-            let mut table =
-                TupleTable::with_namespace(backend, partitioning, options.spill_threshold, p)
-                    .with_memory_budget(options.tuple_table_memory);
-            scan_partition(p, backend, &mut table, additions)?;
-            Ok(table.into_parts())
-        })?;
+        let all: Vec<u32> = (0..m as u32).collect();
+        let parts = scan_tables(partitioning, backend, options, additions, &all)?;
         merge_parts(backend, m, parts, options.threads)?
     };
     Ok(Phase2Output {
@@ -128,11 +122,42 @@ pub fn generate_tuples(
     })
 }
 
+/// Scans the given `partitions` (columnar pipeline), returning one
+/// [`TableParts`](crate::tuple_table::TableParts) per partition in the
+/// given order. This is [`generate_tuples`]'s scan half, exposed so a
+/// sharded driver can scan only the partitions a shard owns, extract
+/// the foreign buckets, and feed the rest into
+/// [`crate::tuple_table::merge_parts_with_exchange`]. Each table's run
+/// namespace is its **partition id** (not its slot in `partitions`),
+/// so spill-run stream names are identical however partitions are
+/// divided among callers.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Store`] on I/O failure or corrupt edge
+/// streams.
+pub fn scan_tables(
+    partitioning: &Partitioning,
+    backend: &dyn StorageBackend,
+    options: &Phase2Options,
+    additions: Option<&EdgeAdditions>,
+    partitions: &[u32],
+) -> Result<Vec<crate::tuple_table::TableParts>, EngineError> {
+    par::run_indexed(partitions.len(), options.threads, |idx| {
+        let p = partitions[idx];
+        let mut table =
+            TupleTable::with_namespace(backend, partitioning, options.spill_threshold, p)
+                .with_memory_budget(options.tuple_table_memory);
+        scan_partition(p, backend, &mut table, additions)?;
+        Ok(table.into_parts())
+    })
+}
+
 /// Scans one partition's edge streams, offering every direct and
 /// two-hop candidate to `table` (tagged with path age when an oracle
 /// is present). Generic over the sink so both pipelines share the
 /// scan.
-fn scan_partition<T: TupleSink>(
+pub fn scan_partition<T: TupleSink>(
     p: u32,
     backend: &dyn StorageBackend,
     table: &mut T,

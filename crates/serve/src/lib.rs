@@ -26,6 +26,12 @@
 //!   on its own thread, and publishes a fresh snapshot after every
 //!   iteration. [`RefineHandle::stop`] recovers the engine.
 //!
+//! The sharded twins — [`spawn_sharded`], [`ShardedKnnService`],
+//! [`ShardedRefineHandle`] — serve a `knn_shard::ShardedEngine` the
+//! same way, with per-shard snapshots and scatter-gather queries that
+//! answer identically to the unsharded service (see the `sharded`
+//! module docs).
+//!
 //! ```
 //! use knn_core::{EngineConfig, KnnEngine};
 //! use knn_serve::{spawn, RefineOptions};
@@ -55,10 +61,12 @@ mod error;
 mod ingest;
 mod refine;
 mod service;
+mod sharded;
 mod snapshot;
 
 pub use error::ServeError;
 pub use ingest::UpdateIngest;
 pub use refine::{spawn, RefineHandle, RefineOptions};
-pub use service::{KnnService, ServiceStats};
+pub use service::{BatchNeighbors, KnnService, ServiceStats};
+pub use sharded::{spawn_sharded, ShardedKnnService, ShardedRefineHandle};
 pub use snapshot::{Snapshot, SnapshotCell};

@@ -34,6 +34,23 @@ pub struct ServiceStats {
     pub snapshot_epoch: u64,
 }
 
+/// A batch answer and the snapshot generation it was served from.
+///
+/// Every row of `results` was read from **one** snapshot (one coherent
+/// generation of the graph), identified by `generation` — callers can
+/// compare generations across batches to detect refinement progress,
+/// or join rows of one batch knowing they never straddle a swap. The
+/// sharded service keeps the same contract across shards: its
+/// generation covers one coherent per-shard generation vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNeighbors {
+    /// Generation (epoch) of the snapshot(s) the batch was answered
+    /// from.
+    pub generation: u64,
+    /// Per queried user, in query order: the best-first neighbor list.
+    pub results: Vec<Vec<Neighbor>>,
+}
+
 /// The always-on query front-end over the refining engine.
 ///
 /// Cloning is cheap (a few `Arc`s) and every clone serves from the
@@ -79,7 +96,8 @@ impl KnnService {
 
     /// The top-K lists of several users, all answered from a single
     /// snapshot — the batch is internally consistent even while the
-    /// refinement loop publishes mid-call.
+    /// refinement loop publishes mid-call — tagged with that snapshot's
+    /// [`generation`](Snapshot::generation).
     ///
     /// # Errors
     ///
@@ -87,7 +105,7 @@ impl KnnService {
     /// id and answers nothing: every id is validated against the
     /// snapshot *before* any result row is materialized, so a failing
     /// batch does no allocation work.
-    pub fn neighbors_many(&self, users: &[UserId]) -> Result<Vec<Vec<Neighbor>>, ServeError> {
+    pub fn neighbors_many(&self, users: &[UserId]) -> Result<BatchNeighbors, ServeError> {
         self.counters
             .neighbor_queries
             .fetch_add(users.len() as u64, Ordering::Relaxed);
@@ -98,15 +116,18 @@ impl KnnService {
                 num_users: snapshot.num_users(),
             });
         }
-        Ok(users
-            .iter()
-            .map(|&u| {
-                snapshot
-                    .neighbors(u)
-                    .expect("validated above against the same snapshot")
-                    .to_vec()
-            })
-            .collect())
+        Ok(BatchNeighbors {
+            generation: snapshot.generation(),
+            results: users
+                .iter()
+                .map(|&u| {
+                    snapshot
+                        .neighbors(u)
+                        .expect("validated above against the same snapshot")
+                        .to_vec()
+                })
+                .collect(),
+        })
     }
 
     /// Top-`k` users for an ad-hoc `query` profile that belongs to no

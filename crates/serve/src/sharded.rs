@@ -1,0 +1,452 @@
+//! Scatter-gather serving over a sharded engine.
+//!
+//! One refinement thread drives a [`ShardedEngine`] exactly like the
+//! single-engine loop drives a `KnnEngine`, but publishes **one
+//! snapshot per shard** after every iteration: shard `s`'s snapshot
+//! holds the neighbor lists and profiles of exactly the users the ring
+//! assigns to `s` (a network deployment would publish the same
+//! projection on each peer). Queries then fan out:
+//!
+//! - [`neighbors`](ShardedKnnService::neighbors) routes to the user's
+//!   owner shard — one cell load, inherently coherent;
+//! - [`neighbors_many`](ShardedKnnService::neighbors_many) loads *all*
+//!   shard cells and retries until the generation vector is coherent
+//!   (all cells on one epoch), so a batch never mixes two graph
+//!   generations even while the loop is publishing; validation is
+//!   all-or-nothing before any row is materialized;
+//! - [`query_profile`](ShardedKnnService::query_profile) scatters the
+//!   scan to every shard (each ranks only its owned users) and gathers
+//!   the global top-k from the per-shard top-k lists.
+//!
+//! Updates go through the same validated [`UpdateIngest`] queue; the
+//! loop hands drained deltas to the engine, whose router lands each on
+//! its user's owner shard's durable log.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+use knn_graph::{KnnGraph, Neighbor, UserId};
+use knn_shard::ShardedEngine;
+use knn_sim::{Measure, Profile, ProfileDelta, ProfileStore};
+
+use crate::ingest::UpdateIngest;
+use crate::service::BatchNeighbors;
+use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::{RefineOptions, ServeError};
+
+/// Shared state between the sharded service, its handle, and the loop.
+#[derive(Debug)]
+struct ShardedShared {
+    /// One publication cell per shard, in shard order.
+    cells: Vec<SnapshotCell>,
+    /// Users per shard, in shard order — the scatter lists.
+    owned: Vec<Vec<UserId>>,
+    /// `user index → shard`, precomputed from the ring.
+    owner_of: Vec<u32>,
+    ingest: UpdateIngest,
+    stop: AtomicBool,
+    published: Mutex<u64>,
+    published_cv: Condvar,
+}
+
+impl ShardedShared {
+    fn notify_epoch(&self, epoch: u64) {
+        let mut last = self.published.lock().expect("publish lock poisoned");
+        *last = epoch;
+        drop(last);
+        self.published_cv.notify_all();
+    }
+
+    /// Loads one snapshot per shard, all on the same generation. The
+    /// loop publishes the cells one after another, so a reader landing
+    /// mid-publish simply reloads — the window is a handful of pointer
+    /// swaps.
+    fn coherent_snapshots(&self) -> Vec<Arc<Snapshot>> {
+        loop {
+            let snaps: Vec<Arc<Snapshot>> = self.cells.iter().map(SnapshotCell::load).collect();
+            if snaps.windows(2).all(|w| w[0].epoch() == w[1].epoch()) {
+                return snaps;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Builds the per-shard projections of one engine state: shard `s`'s
+/// snapshot carries full-width (n-user) containers populated only at
+/// the users shard `s` owns.
+fn shard_snapshots(
+    epoch: u64,
+    iteration: u64,
+    changed_fraction: f64,
+    measure: Measure,
+    graph: &KnnGraph,
+    profiles: &ProfileStore,
+    owned: &[Vec<UserId>],
+) -> Vec<Snapshot> {
+    let (n, k) = (graph.num_vertices(), graph.k());
+    owned
+        .iter()
+        .map(|users| {
+            let mut g = KnnGraph::new(n, k);
+            let mut p = ProfileStore::new(n);
+            for &u in users {
+                g.set_neighbors(u, graph.neighbors(u).to_vec())
+                    .expect("projecting a valid graph");
+                p.set(u, profiles.get(u).clone());
+            }
+            Snapshot::new(
+                epoch,
+                iteration,
+                changed_fraction,
+                measure,
+                Arc::new(g),
+                Arc::new(p),
+            )
+        })
+        .collect()
+}
+
+/// Starts serving a sharded engine: publishes its current state as
+/// per-shard snapshots at generation 0, then hands the engine to a
+/// background refinement thread (same lifecycle as [`crate::spawn`]).
+///
+/// # Errors
+///
+/// Returns a storage error if the initial profile export fails.
+pub fn spawn_sharded(
+    engine: ShardedEngine,
+    options: RefineOptions,
+) -> Result<(ShardedKnnService, ShardedRefineHandle), ServeError> {
+    let n = engine.config().num_users();
+    let num_shards = engine.num_shards();
+    let ring = Arc::clone(engine.ring());
+    let mut owned: Vec<Vec<UserId>> = vec![Vec::new(); num_shards];
+    let mut owner_of = Vec::with_capacity(n);
+    for u in 0..n as u32 {
+        let owner = ring.owner_of_user(u);
+        owner_of.push(owner);
+        owned[owner as usize].push(UserId::new(u));
+    }
+
+    let profiles = engine.export_profiles()?;
+    let cells = shard_snapshots(
+        0,
+        engine.iteration(),
+        1.0,
+        engine.config().measure(),
+        engine.graph(),
+        &profiles,
+        &owned,
+    )
+    .into_iter()
+    .map(SnapshotCell::new)
+    .collect();
+
+    let shared = Arc::new(ShardedShared {
+        cells,
+        owned,
+        owner_of,
+        ingest: UpdateIngest::new(n),
+        stop: AtomicBool::new(false),
+        published: Mutex::new(0),
+        published_cv: Condvar::new(),
+    });
+
+    let loop_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("knn-refine-sharded".into())
+        .spawn(move || refine_loop(engine, profiles, loop_shared, options))
+        .expect("spawning the sharded refinement thread");
+
+    let service = ShardedKnnService {
+        shared: Arc::clone(&shared),
+        counters: Arc::new(Counters::default()),
+        refine_thread: thread.thread().clone(),
+    };
+    let handle = ShardedRefineHandle { shared, thread };
+    Ok((service, handle))
+}
+
+fn refine_loop(
+    mut engine: ShardedEngine,
+    profiles: ProfileStore,
+    shared: Arc<ShardedShared>,
+    options: RefineOptions,
+) -> Result<ShardedEngine, ServeError> {
+    let result = refine_loop_inner(&mut engine, profiles, &shared, &options);
+    // Same terminal contract as the single-engine loop: accepted
+    // updates are never dropped — stragglers are parked in the owner
+    // shards' durable logs on the way out.
+    let stragglers = shared.ingest.close_and_drain();
+    for delta in &stragglers {
+        engine.queue_update(delta)?;
+    }
+    result?;
+    Ok(engine)
+}
+
+fn refine_loop_inner(
+    engine: &mut ShardedEngine,
+    mut profiles: ProfileStore,
+    shared: &ShardedShared,
+    options: &RefineOptions,
+) -> Result<(), ServeError> {
+    let mut epoch = 0u64;
+    let mut iterations_run = 0u64;
+    let mut converged = false;
+    let mut unapplied: Vec<ProfileDelta> = Vec::new();
+
+    while !shared.stop.load(Ordering::Acquire) {
+        let drained = shared.ingest.drain();
+        if !drained.is_empty() {
+            converged = false;
+            for delta in &drained {
+                engine.queue_update(delta)?;
+            }
+            unapplied.extend(drained);
+        }
+
+        let capped = options
+            .max_iterations
+            .is_some_and(|max| iterations_run >= max);
+        if (capped || converged) && unapplied.is_empty() {
+            std::thread::park_timeout(options.idle_park);
+            continue;
+        }
+
+        let sharded_report = engine.run_iteration()?;
+        let report = &sharded_report.report;
+        iterations_run += 1;
+        if let Some(threshold) = options.convergence_threshold {
+            if report.changed_fraction < threshold {
+                converged = true;
+            }
+        }
+
+        // Served profile view, maintained incrementally exactly like
+        // the single-engine loop (see refine.rs for the contract).
+        if report.updates_applied == unapplied.len() as u64 {
+            if !unapplied.is_empty() {
+                profiles.apply_deltas(&unapplied);
+                unapplied.clear();
+            }
+        } else {
+            unapplied.clear();
+            profiles = engine.export_profiles()?;
+        }
+
+        epoch += 1;
+        let snapshots = shard_snapshots(
+            epoch,
+            engine.iteration(),
+            report.changed_fraction,
+            engine.config().measure(),
+            engine.graph(),
+            &profiles,
+            &shared.owned,
+        );
+        // Publish shard by shard; batch readers ride out the short
+        // mixed-generation window via coherent_snapshots.
+        for (cell, snapshot) in shared.cells.iter().zip(snapshots) {
+            cell.publish(snapshot);
+        }
+        shared.notify_epoch(epoch);
+    }
+    Ok(())
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    neighbor_queries: AtomicU64,
+    profile_queries: AtomicU64,
+}
+
+/// The scatter-gather query front-end over the sharded refinement
+/// loop. Cloning is cheap; all clones serve from the same per-shard
+/// cells. Answers are identical to a single-shard [`crate::KnnService`]
+/// over the same engine state — sharding changes where state lives,
+/// never what a query returns.
+#[derive(Debug, Clone)]
+pub struct ShardedKnnService {
+    shared: Arc<ShardedShared>,
+    counters: Arc<Counters>,
+    refine_thread: Thread,
+}
+
+impl ShardedKnnService {
+    /// Number of shards served.
+    pub fn num_shards(&self) -> usize {
+        self.shared.cells.len()
+    }
+
+    /// Number of users served.
+    pub fn num_users(&self) -> usize {
+        self.shared.ingest.num_users()
+    }
+
+    fn owner_cell(&self, user: UserId) -> &SnapshotCell {
+        &self.shared.cells[self.shared.owner_of[user.index()] as usize]
+    }
+
+    /// The top-K list of `user`, read from its owner shard's snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownUser`] for out-of-range ids.
+    pub fn neighbors(&self, user: UserId) -> Result<Vec<Neighbor>, ServeError> {
+        self.counters
+            .neighbor_queries
+            .fetch_add(1, Ordering::Relaxed);
+        if user.index() >= self.num_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                num_users: self.num_users(),
+            });
+        }
+        let snapshot = self.owner_cell(user).load();
+        Ok(snapshot.neighbors(user)?.to_vec())
+    }
+
+    /// The top-K lists of several users, scatter-gathered across the
+    /// shards from **one coherent generation vector**: every row comes
+    /// from a snapshot of the same generation, which the returned
+    /// [`BatchNeighbors::generation`] names.
+    ///
+    /// # Errors
+    ///
+    /// All-or-nothing like the unsharded batch call: every id is
+    /// validated before any row is materialized, and the first
+    /// out-of-range id fails the whole batch with
+    /// [`ServeError::UnknownUser`].
+    pub fn neighbors_many(&self, users: &[UserId]) -> Result<BatchNeighbors, ServeError> {
+        self.counters
+            .neighbor_queries
+            .fetch_add(users.len() as u64, Ordering::Relaxed);
+        let num_users = self.num_users();
+        if let Some(&bad) = users.iter().find(|u| u.index() >= num_users) {
+            return Err(ServeError::UnknownUser {
+                user: bad,
+                num_users,
+            });
+        }
+        let snaps = self.shared.coherent_snapshots();
+        Ok(BatchNeighbors {
+            generation: snaps[0].generation(),
+            results: users
+                .iter()
+                .map(|&u| {
+                    snaps[self.shared.owner_of[u.index()] as usize]
+                        .neighbors(u)
+                        .expect("validated above")
+                        .to_vec()
+                })
+                .collect(),
+        })
+    }
+
+    /// Exact top-`k` users for an ad-hoc `query` profile: each shard
+    /// ranks the users it owns, the gather step merges the per-shard
+    /// top-`k` lists. Every user is a candidate on exactly one shard,
+    /// so the merged list equals the unsharded full scan.
+    pub fn query_profile(&self, query: &Profile, k: usize) -> Vec<Neighbor> {
+        self.counters
+            .profile_queries
+            .fetch_add(1, Ordering::Relaxed);
+        let snaps = self.shared.coherent_snapshots();
+        let mut merged: Vec<Neighbor> = snaps
+            .iter()
+            .zip(&self.shared.owned)
+            .flat_map(|(snap, users)| snap.rank_candidates(query, users.iter().copied(), k))
+            .collect();
+        merged.sort_unstable();
+        merged.truncate(k);
+        merged
+    }
+
+    /// Queues a profile update; the refinement loop routes it to its
+    /// user's owner shard's durable log before the next iteration
+    /// applies it. Same validation and visibility contract as
+    /// [`crate::KnnService::submit_update`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownUser`], [`ServeError::NonFiniteWeight`], or
+    /// [`ServeError::Stopped`] after shutdown.
+    pub fn submit_update(&self, delta: ProfileDelta) -> Result<(), ServeError> {
+        self.shared.ingest.submit(delta)?;
+        self.refine_thread.unpark();
+        Ok(())
+    }
+
+    /// Current counters (epoch is the latest fully published
+    /// generation).
+    pub fn stats(&self) -> crate::ServiceStats {
+        crate::ServiceStats {
+            neighbor_queries: self.counters.neighbor_queries.load(Ordering::Relaxed),
+            profile_queries: self.counters.profile_queries.load(Ordering::Relaxed),
+            updates_submitted: self.shared.ingest.submitted(),
+            updates_drained: self.shared.ingest.drained(),
+            snapshot_epoch: *self.shared.published.lock().expect("publish lock poisoned"),
+        }
+    }
+}
+
+/// Control handle of the sharded refinement loop — the sharded twin of
+/// [`crate::RefineHandle`].
+#[derive(Debug)]
+pub struct ShardedRefineHandle {
+    shared: Arc<ShardedShared>,
+    thread: JoinHandle<Result<ShardedEngine, ServeError>>,
+}
+
+impl ShardedRefineHandle {
+    /// Stops the loop after its current iteration and returns the
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an engine error that terminated the loop early, or
+    /// [`ServeError::RefineLoopPanicked`] if the thread panicked.
+    pub fn stop(self) -> Result<ShardedEngine, ServeError> {
+        self.shared.stop.store(true, Ordering::Release);
+        self.thread.thread().unpark();
+        self.thread
+            .join()
+            .map_err(|_| ServeError::RefineLoopPanicked)?
+    }
+
+    /// Whether the loop thread is still alive.
+    pub fn is_running(&self) -> bool {
+        !self.thread.is_finished()
+    }
+
+    /// Blocks until generation `epoch` (or newer) is fully published
+    /// on every shard, or `timeout` elapses.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last = self.shared.published.lock().expect("publish lock poisoned");
+        while *last < epoch {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, wait) = self
+                .shared
+                .published_cv
+                .wait_timeout(last, remaining)
+                .expect("publish lock poisoned");
+            last = guard;
+            if wait.timed_out() && *last < epoch {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The latest fully published generation.
+    pub fn current_epoch(&self) -> u64 {
+        *self.shared.published.lock().expect("publish lock poisoned")
+    }
+}

@@ -57,6 +57,14 @@ impl Snapshot {
         self.epoch
     }
 
+    /// The snapshot's generation — the client-facing name of the
+    /// epoch. Batch answers carry it so callers can pin or compare the
+    /// coherent graph generation a result set was served from (see
+    /// [`BatchNeighbors`](crate::BatchNeighbors)).
+    pub fn generation(&self) -> u64 {
+        self.epoch
+    }
+
     /// The engine iteration `t` this snapshot reflects.
     pub fn iteration(&self) -> u64 {
         self.iteration

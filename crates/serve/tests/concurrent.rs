@@ -97,7 +97,10 @@ fn concurrent_readers_observe_only_complete_generations() {
                         UserId::new(((reader_id as usize * 13 + i * 7 + reads as usize) % N) as u32)
                     })
                     .collect();
-                let lists = service.neighbors_many(&users).expect("in-range users");
+                let lists = service
+                    .neighbors_many(&users)
+                    .expect("in-range users")
+                    .results;
                 // Atomicity of the batch: *some single* completed
                 // generation must explain every returned list at once.
                 let single_generation = expected.iter().any(|gen| {
@@ -338,9 +341,9 @@ fn neighbors_many_is_all_or_nothing() {
         );
     }
     // A clean batch still answers fully.
-    let lists = service.neighbors_many(&good).expect("all in range");
-    assert_eq!(lists.len(), good.len());
-    assert!(lists.iter().all(|l| l.len() == K));
+    let batch = service.neighbors_many(&good).expect("all in range");
+    assert_eq!(batch.results.len(), good.len());
+    assert!(batch.results.iter().all(|l| l.len() == K));
 
     let engine = refine.stop().expect("stop");
     engine.into_working_dir().destroy().expect("cleanup");

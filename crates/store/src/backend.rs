@@ -80,6 +80,14 @@ pub enum StreamId {
     TupleBucket(u32, u32),
     /// One sorted spill run of a tuple bucket (phase-2 scratch).
     TupleRun(u32, u32, u32),
+    /// One foreign tuple run received over the exchange fabric
+    /// (sharded phase-2 scratch): bucket `(i, j)`, arrival sequence
+    /// `r`. Same TuplesV2 payload as [`StreamId::TupleRun`], but its
+    /// traffic is **not** metered in [`IoStats`] — exchange volume is
+    /// a shard-topology cost, accounted by the fabric itself, and
+    /// keeping it off the storage meter is what makes the per-phase
+    /// `IoSnapshot`s identical at every shard count.
+    ExchangeRun(u32, u32, u32),
 }
 
 impl StreamId {
@@ -93,14 +101,20 @@ impl StreamId {
             StreamId::Profiles(_) => RecordKind::Profiles,
             StreamId::Accumulators(_) => RecordKind::Accumulators,
             StreamId::KnnSlice(_) => RecordKind::ScoredEdges,
-            StreamId::TupleBucket(..) | StreamId::TupleRun(..) => RecordKind::Tuples,
+            StreamId::TupleBucket(..) | StreamId::TupleRun(..) | StreamId::ExchangeRun(..) => {
+                RecordKind::Tuples
+            }
         }
     }
 
-    /// Whether this stream is phase-2 tuple scratch (bucket or run),
-    /// i.e. cleared at the start of every iteration.
+    /// Whether this stream is phase-2 tuple scratch (bucket, spill run,
+    /// or received exchange run), i.e. cleared at the start of every
+    /// iteration.
     pub fn is_tuple_scratch(self) -> bool {
-        matches!(self, StreamId::TupleBucket(..) | StreamId::TupleRun(..))
+        matches!(
+            self,
+            StreamId::TupleBucket(..) | StreamId::TupleRun(..) | StreamId::ExchangeRun(..)
+        )
     }
 
     /// This stream's location inside a [`WorkingDir`] — the disk
@@ -116,7 +130,14 @@ impl StreamId {
             StreamId::KnnSlice(p) => wd.knn_path(p),
             StreamId::TupleBucket(i, j) => wd.tuples_path(i, j),
             StreamId::TupleRun(i, j, r) => wd.tuples_path(i, j).with_extension(format!("run{r}")),
+            StreamId::ExchangeRun(i, j, r) => wd.tuples_path(i, j).with_extension(format!("x{r}")),
         }
+    }
+
+    /// Whether this stream's traffic bypasses the [`IoStats`] meter
+    /// (exchange-fabric scratch — see [`StreamId::ExchangeRun`]).
+    fn is_unmetered(self) -> bool {
+        matches!(self, StreamId::ExchangeRun(..))
     }
 }
 
@@ -132,6 +153,7 @@ impl fmt::Display for StreamId {
             StreamId::KnnSlice(p) => write!(f, "p{p:04}.knn"),
             StreamId::TupleBucket(i, j) => write!(f, "t{i:04}_{j:04}.tuples"),
             StreamId::TupleRun(i, j, r) => write!(f, "t{i:04}_{j:04}.run{r}"),
+            StreamId::ExchangeRun(i, j, r) => write!(f, "t{i:04}_{j:04}.x{r}"),
         }
     }
 }
@@ -487,7 +509,12 @@ impl StorageBackend for DiskBackend {
     }
 
     fn read(&self, stream: StreamId) -> Result<Vec<u8>, StoreError> {
-        record_file::read_file(&stream.path_in(&self.workdir), &self.stats)
+        let path = stream.path_in(&self.workdir);
+        if stream.is_unmetered() {
+            let bytes = std::fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+            return record_file::verify_unframe(bytes, &path);
+        }
+        record_file::read_file(&path, &self.stats)
     }
 
     fn read_chunk(&self, stream: StreamId, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
@@ -508,11 +535,19 @@ impl StorageBackend for DiskBackend {
             filled += n;
         }
         buf.truncate(filled);
-        self.stats.record_read(filled as u64);
+        if !stream.is_unmetered() {
+            self.stats.record_read(filled as u64);
+        }
         Ok(buf)
     }
 
     fn write(&self, stream: StreamId, payload: &[u8]) -> Result<(), StoreError> {
+        if stream.is_unmetered() {
+            let path = stream.path_in(&self.workdir);
+            let framed = record_file::frame(payload);
+            std::fs::write(&path, &framed).map_err(|e| StoreError::io(&path, e))?;
+            return Ok(());
+        }
         record_file::write_file(&stream.path_in(&self.workdir), payload, &self.stats)?;
         if matches!(stream, StreamId::TupleRun(..)) {
             // Spill traffic is metered separately (framed size, same
@@ -597,13 +632,16 @@ impl StorageBackend for DiskBackend {
         let path = self.updates_path();
         match std::fs::read(&path) {
             Ok(bytes) => {
-                self.stats.record_read(bytes.len() as u64);
+                // Log drains are metered as bytes only (no op count):
+                // how many log files back one logical drain is a
+                // deployment detail, the byte total is not — see
+                // IoStats::record_log_drain.
+                self.stats.record_log_drain(bytes.len() as u64);
                 Ok(bytes)
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                // A never-written log reads as empty; still one
-                // logical read op, so backends meter identically.
-                self.stats.record_read(0);
+                // A never-written log reads as empty (zero bytes, no
+                // meter movement — identically on every backend).
                 Ok(Vec::new())
             }
             Err(e) => Err(StoreError::io(&path, e)),
@@ -656,6 +694,8 @@ fn parse_tuple_name(name: &str) -> Option<StreamId> {
         Some(StreamId::TupleBucket(i, j))
     } else if let Some(run) = ext.strip_prefix("run") {
         Some(StreamId::TupleRun(i, j, run.parse().ok()?))
+    } else if let Some(run) = ext.strip_prefix('x') {
+        Some(StreamId::ExchangeRun(i, j, run.parse().ok()?))
     } else {
         None
     }
@@ -706,7 +746,9 @@ impl StorageBackend for MemBackend {
                 std::io::Error::new(std::io::ErrorKind::NotFound, "no such stream"),
             )
         })?;
-        self.stats.record_read(bytes.len() as u64);
+        if !stream.is_unmetered() {
+            self.stats.record_read(bytes.len() as u64);
+        }
         // The stored bytes are the full frame (identical to what the
         // disk backend persists), but RAM buffers cannot rot the way
         // bytes at rest can, so the checksum is written once and not
@@ -733,13 +775,17 @@ impl StorageBackend for MemBackend {
         let start = (offset as usize).min(bytes.len());
         let end = start.saturating_add(len as usize).min(bytes.len());
         let out = bytes[start..end].to_vec();
-        self.stats.record_read(out.len() as u64);
+        if !stream.is_unmetered() {
+            self.stats.record_read(out.len() as u64);
+        }
         Ok(out)
     }
 
     fn write(&self, stream: StreamId, payload: &[u8]) -> Result<(), StoreError> {
         let framed = record_file::frame(payload);
-        self.stats.record_write(framed.len() as u64);
+        if !stream.is_unmetered() {
+            self.stats.record_write(framed.len() as u64);
+        }
         if matches!(stream, StreamId::TupleRun(..)) {
             // Same spill meter as DiskBackend (framed size), so the
             // backends stay byte-for-byte comparable.
@@ -773,7 +819,8 @@ impl StorageBackend for MemBackend {
 
     fn read_updates(&self) -> Result<Vec<u8>, StoreError> {
         let bytes = self.updates.lock().expect("mem backend poisoned").clone();
-        self.stats.record_read(bytes.len() as u64);
+        // Bytes-only log-drain meter, same as DiskBackend.
+        self.stats.record_log_drain(bytes.len() as u64);
         Ok(bytes)
     }
 
@@ -881,6 +928,7 @@ mod tests {
             let b = b.as_ref();
             write_pairs(b, StreamId::TupleBucket(0, 1), &[(0, 1)]).unwrap();
             write_pairs(b, StreamId::TupleRun(0, 1, 2), &[(0, 1)]).unwrap();
+            write_pairs(b, StreamId::ExchangeRun(0, 1, 0), &[(0, 1)]).unwrap();
             write_user_lists(b, StreamId::Profiles(0), &[]).unwrap();
             write_meta(b, &[]).unwrap();
             let mut listed = b.list().unwrap();
@@ -892,6 +940,7 @@ mod tests {
                     StreamId::Profiles(0),
                     StreamId::TupleBucket(0, 1),
                     StreamId::TupleRun(0, 1, 2),
+                    StreamId::ExchangeRun(0, 1, 0),
                 ]
             );
             b.clear_tuples().unwrap();
@@ -1026,7 +1075,35 @@ mod tests {
             parse_tuple_name(&StreamId::TupleRun(1, 2, 3).to_string()),
             Some(StreamId::TupleRun(1, 2, 3))
         );
+        assert_eq!(
+            parse_tuple_name(&StreamId::ExchangeRun(4, 5, 6).to_string()),
+            Some(StreamId::ExchangeRun(4, 5, 6))
+        );
         assert_eq!(parse_part_name("garbage"), None);
         assert_eq!(parse_tuple_name("t00_xx.nope"), None);
+    }
+
+    /// Exchange-run traffic is invisible to the I/O meter on both
+    /// backends — sharded and unsharded runs must report identical
+    /// storage counters — while the bytes still round-trip framed.
+    #[test]
+    fn exchange_runs_are_stored_framed_but_unmetered() {
+        for (b, wd) in backends() {
+            let b = b.as_ref();
+            let stream = StreamId::ExchangeRun(1, 2, 0);
+            let before = b.stats().snapshot();
+            write_pairs(b, stream, &[(3, 4), (5, 6)]).unwrap();
+            assert_eq!(read_pairs(b, stream).unwrap(), vec![(3, 4), (5, 6)]);
+            let chunk = b.read_chunk(stream, 0, 8).unwrap();
+            assert_eq!(chunk.len(), 8);
+            assert_eq!(
+                b.stats().snapshot(),
+                before,
+                "{}: exchange traffic leaked into the meter",
+                b.name()
+            );
+            b.delete(stream).unwrap();
+            destroy(wd);
+        }
     }
 }

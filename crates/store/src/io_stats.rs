@@ -1,7 +1,8 @@
 //! Global I/O accounting.
 
 use std::fmt;
-use std::ops::Sub;
+use std::iter::Sum;
+use std::ops::{Add, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic counters observing every storage operation the engine
@@ -32,6 +33,7 @@ pub struct IoStats {
     spill_bytes: AtomicU64,
     spill_runs: AtomicU64,
     merge_passes: AtomicU64,
+    log_drain_bytes: AtomicU64,
 }
 
 impl IoStats {
@@ -75,6 +77,48 @@ impl IoStats {
         self.merge_passes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `bytes` drained from the durable update log. Metered as
+    /// bytes only — deliberately **not** as a read operation — because
+    /// the number of log *files* behind one logical drain is a
+    /// deployment detail (a sharded engine drains one log per shard),
+    /// while the byte total is a pure function of the queued updates.
+    pub fn record_log_drain(&self, bytes: u64) {
+        self.log_drain_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Folds another meter's current totals into this one (used to
+    /// aggregate per-shard backends into one cross-shard view).
+    ///
+    /// # Atomicity
+    ///
+    /// Each counter is read and added atomically, but the merge is not
+    /// atomic *across* counters: if `other` is being updated
+    /// concurrently, the folded totals may mix counter values from
+    /// slightly different instants (never losing or double-counting
+    /// any single increment). Call it at quiescent points — phase or
+    /// iteration boundaries — for exact cross-counter totals.
+    pub fn merge(&self, other: &IoStats) {
+        let snap = other.snapshot();
+        self.bytes_read
+            .fetch_add(snap.bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(snap.bytes_written, Ordering::Relaxed);
+        self.read_ops.fetch_add(snap.read_ops, Ordering::Relaxed);
+        self.write_ops.fetch_add(snap.write_ops, Ordering::Relaxed);
+        self.partition_loads
+            .fetch_add(snap.partition_loads, Ordering::Relaxed);
+        self.partition_unloads
+            .fetch_add(snap.partition_unloads, Ordering::Relaxed);
+        self.spill_bytes
+            .fetch_add(snap.spill_bytes, Ordering::Relaxed);
+        self.spill_runs
+            .fetch_add(snap.spill_runs, Ordering::Relaxed);
+        self.merge_passes
+            .fetch_add(snap.merge_passes, Ordering::Relaxed);
+        self.log_drain_bytes
+            .fetch_add(snap.log_drain_bytes, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters (individual
     /// counters are read relaxed; exactness across counters is not
     /// needed for reporting).
@@ -89,6 +133,7 @@ impl IoStats {
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             spill_runs: self.spill_runs.load(Ordering::Relaxed),
             merge_passes: self.merge_passes.load(Ordering::Relaxed),
+            log_drain_bytes: self.log_drain_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -103,6 +148,7 @@ impl IoStats {
         self.spill_bytes.store(0, Ordering::Relaxed);
         self.spill_runs.store(0, Ordering::Relaxed);
         self.merge_passes.store(0, Ordering::Relaxed);
+        self.log_drain_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -141,6 +187,10 @@ pub struct IoSnapshot {
     pub spill_runs: u64,
     /// Number of k-way merge passes over bucket spill runs.
     pub merge_passes: u64,
+    /// Bytes drained from the durable update log (bytes only; log
+    /// drains carry no operation count — see
+    /// [`IoStats::record_log_drain`]).
+    pub log_drain_bytes: u64,
 }
 
 impl IoSnapshot {
@@ -169,7 +219,35 @@ impl Sub for IoSnapshot {
             spill_bytes: self.spill_bytes.saturating_sub(rhs.spill_bytes),
             spill_runs: self.spill_runs.saturating_sub(rhs.spill_runs),
             merge_passes: self.merge_passes.saturating_sub(rhs.merge_passes),
+            log_drain_bytes: self.log_drain_bytes.saturating_sub(rhs.log_drain_bytes),
         }
+    }
+}
+
+impl Add for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn add(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            read_ops: self.read_ops + rhs.read_ops,
+            write_ops: self.write_ops + rhs.write_ops,
+            partition_loads: self.partition_loads + rhs.partition_loads,
+            partition_unloads: self.partition_unloads + rhs.partition_unloads,
+            spill_bytes: self.spill_bytes + rhs.spill_bytes,
+            spill_runs: self.spill_runs + rhs.spill_runs,
+            merge_passes: self.merge_passes + rhs.merge_passes,
+            log_drain_bytes: self.log_drain_bytes + rhs.log_drain_bytes,
+        }
+    }
+}
+
+/// Sums per-shard (or per-phase) snapshots into one total, counter by
+/// counter — the canonical way to aggregate I/O across backends.
+impl Sum for IoSnapshot {
+    fn sum<I: Iterator<Item = IoSnapshot>>(iter: I) -> IoSnapshot {
+        iter.fold(IoSnapshot::default(), Add::add)
     }
 }
 
@@ -178,7 +256,7 @@ impl fmt::Display for IoSnapshot {
         write!(
             f,
             "read {} B in {} ops, wrote {} B in {} ops, {} loads / {} unloads, \
-             {} B spilled in {} runs / {} merges",
+             {} B spilled in {} runs / {} merges, {} B drained from the log",
             self.bytes_read,
             self.read_ops,
             self.bytes_written,
@@ -187,7 +265,8 @@ impl fmt::Display for IoSnapshot {
             self.partition_unloads,
             self.spill_bytes,
             self.spill_runs,
-            self.merge_passes
+            self.merge_passes,
+            self.log_drain_bytes
         )
     }
 }
@@ -304,6 +383,50 @@ mod tests {
         assert_eq!(delta.merge_passes, 0);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn log_drains_count_bytes_but_no_ops() {
+        let s = IoStats::new();
+        s.record_log_drain(64);
+        s.record_log_drain(0);
+        let snap = s.snapshot();
+        assert_eq!(snap.log_drain_bytes, 64);
+        assert_eq!(snap.read_ops, 0);
+        assert_eq!(snap.bytes_read, 0);
+    }
+
+    #[test]
+    fn merge_folds_every_counter() {
+        let total = IoStats::new();
+        let a = IoStats::new();
+        a.record_read(10);
+        a.record_spill(3);
+        a.record_log_drain(7);
+        let b = IoStats::new();
+        b.record_write(20);
+        b.record_partition_load();
+        b.record_merge_pass();
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.snapshot(), a.snapshot() + b.snapshot());
+    }
+
+    #[test]
+    fn snapshots_add_and_sum() {
+        let a = IoStats::new();
+        a.record_read(5);
+        a.record_write(6);
+        let b = IoStats::new();
+        b.record_partition_unload();
+        b.record_log_drain(9);
+        let summed: IoSnapshot = [a.snapshot(), b.snapshot(), IoSnapshot::default()]
+            .into_iter()
+            .sum();
+        assert_eq!(summed, a.snapshot() + b.snapshot());
+        assert_eq!(summed.bytes_read, 5);
+        assert_eq!(summed.partition_unloads, 1);
+        assert_eq!(summed.log_drain_bytes, 9);
     }
 
     #[test]

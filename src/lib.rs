@@ -14,7 +14,8 @@
 //! | [`sim`] | `knn-sim` | sparse profiles, similarity measures, workload generators |
 //! | [`store`] | `knn-store` | the `StorageBackend` trait (disk + in-memory backends), codecs, I/O accounting, disk models, the 2-slot cache |
 //! | [`core`] | `knn-core` | the five-phase engine (partitioning → tuples → PI graph → KNN → updates) |
-//! | [`serve`] | `knn-serve` | online query layer: snapshot swap, concurrent `KnnService`, background refinement |
+//! | [`shard`] | `knn-shard` | consistent-hash shard layer: `ShardedEngine`, cross-shard tuple exchange, routing backend |
+//! | [`serve`] | `knn-serve` | online query layer: snapshot swap, concurrent `KnnService`, background refinement, sharded scatter-gather |
 //! | [`baseline`] | `knn-baseline` | brute force, NN-Descent, naive out-of-core, recall |
 //! | [`datasets`] | `knn-datasets` | Table-1 dataset replicas and workload presets |
 //!
@@ -88,6 +89,7 @@ pub use knn_core as core;
 pub use knn_datasets as datasets;
 pub use knn_graph as graph;
 pub use knn_serve as serve;
+pub use knn_shard as shard;
 pub use knn_sim as sim;
 pub use knn_store as store;
 
@@ -98,5 +100,6 @@ pub use knn_core::{
 pub use knn_datasets::{Table1Dataset, Workload, WorkloadConfig};
 pub use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
 pub use knn_serve::{KnnService, RefineHandle, RefineOptions, ServeError, Snapshot};
+pub use knn_shard::{ShardedEngine, ShardedIterationReport};
 pub use knn_sim::{ItemId, Measure, Profile, ProfileDelta, ProfileStore, Similarity};
 pub use knn_store::{DiskBackend, DiskModel, IoStats, MemBackend, StorageBackend, WorkingDir};

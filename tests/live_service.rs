@@ -65,10 +65,11 @@ fn live_service_round_trip() {
     }
 
     // Queries keep answering from consistent snapshots meanwhile.
-    let lists = service
+    let batch = service
         .neighbors_many(&[UserId::new(1), UserId::new(2), UserId::new(3)])
         .expect("known users");
-    assert!(lists.iter().all(|l| l.len() == 6));
+    assert!(batch.results.iter().all(|l| l.len() == 6));
+    assert_eq!(batch.generation, service.snapshot().generation());
     assert!(
         service.neighbors(UserId::new(300)).is_err(),
         "out of range must fail"
