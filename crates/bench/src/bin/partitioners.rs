@@ -43,6 +43,12 @@ fn main() {
         let mut cells = vec![row.label.to_string()];
         let mut greedy_time = String::new();
         for kind in PartitionerKind::ALL {
+            // The cluster packer is profile-driven — the engine binds it
+            // to a clustering pre-pass, so there is no graph-only
+            // instantiation to ablate here. Part 2 covers it end to end.
+            if kind == PartitionerKind::Cluster {
+                continue;
+            }
             let t0 = Instant::now();
             let p = kind.instantiate(seed).partition(&g, m).expect("partition");
             let elapsed = t0.elapsed();

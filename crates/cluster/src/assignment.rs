@@ -1,0 +1,175 @@
+//! The persisted user → cluster artifact.
+
+use knn_store::backend::{read_pairs, write_pairs};
+use knn_store::{StorageBackend, StreamId};
+
+use crate::ClusterError;
+
+/// A complete user → cluster labeling: one label per user, labels
+/// dense in `0..num_clusters` (individual clusters may be empty — the
+/// consumers only group by label).
+///
+/// Persisted through any [`StorageBackend`] as `(user, label)` pair
+/// rows under [`StreamId::Clusters`], in ascending user order, so the
+/// bytes are identical wherever and however often it is written — the
+/// property the engine's cross-backend/shard equivalence suites pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterAssignment {
+    labels: Vec<u32>,
+    num_clusters: u32,
+}
+
+impl ClusterAssignment {
+    /// Builds an assignment, validating every label against
+    /// `num_clusters`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Config`] if `num_clusters` is zero or
+    /// any label is out of range.
+    pub fn new(labels: Vec<u32>, num_clusters: u32) -> Result<Self, ClusterError> {
+        if num_clusters == 0 {
+            return Err(ClusterError::config("num_clusters must be positive"));
+        }
+        if let Some((u, &c)) = labels.iter().enumerate().find(|(_, &c)| c >= num_clusters) {
+            return Err(ClusterError::config(format!(
+                "user {u} labeled {c} but num_clusters={num_clusters}"
+            )));
+        }
+        Ok(ClusterAssignment {
+            labels,
+            num_clusters,
+        })
+    }
+
+    /// Number of users covered.
+    pub fn num_users(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The cluster-count bound (labels are `< num_clusters`).
+    pub fn num_clusters(&self) -> u32 {
+        self.num_clusters
+    }
+
+    /// The label of one user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn label_of(&self, user: u32) -> u32 {
+        self.labels[user as usize]
+    }
+
+    /// The raw label vector (index = user id).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// The member users of every cluster, ascending within each
+    /// cluster (index = cluster label; empty clusters yield empty
+    /// vectors).
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut members = vec![Vec::new(); self.num_clusters as usize];
+        for (u, &c) in self.labels.iter().enumerate() {
+            members[c as usize].push(u as u32);
+        }
+        members
+    }
+
+    /// Writes the assignment to `backend` under
+    /// [`StreamId::Clusters`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn persist(&self, backend: &dyn StorageBackend) -> Result<(), ClusterError> {
+        let rows: Vec<(u32, u32)> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(u, &c)| (u as u32, c))
+            .collect();
+        write_pairs(backend, StreamId::Clusters, &rows)?;
+        Ok(())
+    }
+
+    /// Reads an assignment previously written by
+    /// [`persist`](ClusterAssignment::persist), validating it covers
+    /// exactly `expected_users` users with labels below
+    /// `num_clusters`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a storage error if the stream is missing or corrupt,
+    /// and [`ClusterError::Config`] on coverage or range violations.
+    pub fn load(
+        backend: &dyn StorageBackend,
+        expected_users: usize,
+        num_clusters: u32,
+    ) -> Result<Self, ClusterError> {
+        let rows = read_pairs(backend, StreamId::Clusters)?;
+        if rows.len() != expected_users {
+            return Err(ClusterError::config(format!(
+                "cluster assignment covers {} users, expected {expected_users}",
+                rows.len()
+            )));
+        }
+        let mut labels = vec![u32::MAX; expected_users];
+        for (user, label) in rows {
+            let slot = labels.get_mut(user as usize).ok_or_else(|| {
+                ClusterError::config(format!("cluster row for unknown user {user}"))
+            })?;
+            if *slot != u32::MAX {
+                return Err(ClusterError::config(format!(
+                    "cluster assignment names user {user} twice"
+                )));
+            }
+            *slot = label;
+        }
+        ClusterAssignment::new(labels, num_clusters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_store::MemBackend;
+
+    #[test]
+    fn new_validates_labels() {
+        assert!(ClusterAssignment::new(vec![0, 1, 2], 3).is_ok());
+        assert!(ClusterAssignment::new(vec![0, 3], 3).is_err());
+        assert!(ClusterAssignment::new(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn members_group_and_sort() {
+        let a = ClusterAssignment::new(vec![1, 0, 1, 2], 4).unwrap();
+        let members = a.members();
+        assert_eq!(members.len(), 4);
+        assert_eq!(members[0], vec![1]);
+        assert_eq!(members[1], vec![0, 2]);
+        assert_eq!(members[2], vec![3]);
+        assert!(members[3].is_empty());
+        assert_eq!(a.label_of(3), 2);
+    }
+
+    #[test]
+    fn persist_load_round_trips() {
+        let backend = MemBackend::new();
+        let a = ClusterAssignment::new(vec![2, 0, 1, 1, 2], 3).unwrap();
+        a.persist(&backend).unwrap();
+        let b = ClusterAssignment::load(&backend, 5, 3).unwrap();
+        assert_eq!(a, b);
+        // Wrong expectations are rejected loudly.
+        assert!(ClusterAssignment::load(&backend, 4, 3).is_err());
+        assert!(ClusterAssignment::load(&backend, 5, 2).is_err());
+    }
+
+    #[test]
+    fn load_missing_stream_errors() {
+        let backend = MemBackend::new();
+        assert!(ClusterAssignment::load(&backend, 3, 2).is_err());
+    }
+}

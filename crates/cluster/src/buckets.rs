@@ -1,0 +1,85 @@
+//! The Cluster-and-Conquer random-bucket variant: random-hyperplane
+//! sign hashing over sketch embeddings. One pass, no iteration —
+//! coarser locality than k-means, but essentially free.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use knn_sim::SKETCH_BLOCKS;
+
+/// Labels every embedding with one of `k` buckets: `⌈log₂ k⌉` seeded
+/// random hyperplanes turn each embedding into a sign bit-pattern,
+/// folded into `0..k`. Users on the same side of every hyperplane
+/// (similar sketch direction) share a bucket. Deterministic in `seed`.
+pub(crate) fn bucket_labels(embeddings: &[[f32; SKETCH_BLOCKS]], k: usize, seed: u64) -> Vec<u32> {
+    let k = k.max(1);
+    let bits = usize::BITS - (k - 1).leading_zeros(); // ⌈log₂ k⌉, 0 for k=1
+    let mut rng = StdRng::seed_from_u64(seed);
+    let planes: Vec<[f32; SKETCH_BLOCKS]> = (0..bits)
+        .map(|_| {
+            let mut p = [0.0f32; SKETCH_BLOCKS];
+            for x in &mut p {
+                *x = rng.random_range(-1.0f32..1.0);
+            }
+            p
+        })
+        .collect();
+    embeddings
+        .iter()
+        .map(|e| {
+            let mut code = 0usize;
+            for (b, plane) in planes.iter().enumerate() {
+                let dot: f32 = e.iter().zip(plane.iter()).map(|(x, y)| x * y).sum();
+                if dot >= 0.0 {
+                    code |= 1 << b;
+                }
+            }
+            (code % k) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner(block: usize, scale: f32) -> [f32; SKETCH_BLOCKS] {
+        let mut v = [0.0; SKETCH_BLOCKS];
+        v[block] = scale;
+        v
+    }
+
+    #[test]
+    fn identical_embeddings_share_a_bucket() {
+        let pts = vec![corner(5, 1.0); 20];
+        let labels = bucket_labels(&pts, 8, 3);
+        assert!(labels.windows(2).all(|w| w[0] == w[1]));
+        assert!(labels[0] < 8);
+    }
+
+    #[test]
+    fn same_direction_shares_a_bucket() {
+        // Hyperplane sign hashing only sees direction, not magnitude.
+        let labels = bucket_labels(&[corner(2, 0.1), corner(2, 9.0)], 16, 1);
+        assert_eq!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let pts: Vec<[f32; SKETCH_BLOCKS]> = (0..64)
+            .map(|i| corner(i % SKETCH_BLOCKS, 1.0 + i as f32))
+            .collect();
+        let a = bucket_labels(&pts, 6, 11);
+        let b = bucket_labels(&pts, 6, 11);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| c < 6));
+        // Different seeds hash differently (with overwhelming odds).
+        assert_ne!(a, bucket_labels(&pts, 6, 12));
+    }
+
+    #[test]
+    fn single_bucket_needs_no_planes() {
+        let labels = bucket_labels(&[corner(0, 1.0), corner(9, 1.0)], 1, 5);
+        assert_eq!(labels, vec![0, 0]);
+    }
+}

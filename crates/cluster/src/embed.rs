@@ -1,0 +1,74 @@
+//! Profile → dense sketch embedding.
+
+use knn_sim::{ProfileStats, ProfileStore, SKETCH_BLOCKS};
+
+/// A user's dense embedding: the unit-normalized per-block L2 norms of
+/// its profile's 32-block [`BoundSketch`](knn_sim::BoundSketch).
+///
+/// Two users whose ratings mass lands in the same item blocks get
+/// nearby embeddings — exactly the signal every similarity measure in
+/// the workspace keys on (cosine/Jaccard/overlap all grow with shared
+/// item blocks), at 32 floats per user instead of a sparse vector.
+/// Normalizing to unit length makes the embedding scale-invariant, so
+/// heavy raters and light raters with the same taste cluster together.
+///
+/// The all-zero profile embeds to the zero vector.
+pub fn sketch_embedding(entries: &[(knn_sim::ItemId, f32)]) -> [f32; SKETCH_BLOCKS] {
+    let (_, sketch) = ProfileStats::with_sketch_of_entries(entries);
+    let mut v = sketch.block_norms;
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Embeds every user of `profiles`, indexed by user id.
+pub fn embed_profiles(profiles: &ProfileStore) -> Vec<[f32; SKETCH_BLOCKS]> {
+    (0..profiles.num_users())
+        .map(|u| sketch_embedding(profiles.get(knn_graph::UserId::new(u as u32)).entries()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::UserId;
+    use knn_sim::Profile;
+
+    #[test]
+    fn embedding_is_unit_length_or_zero() {
+        let p = Profile::from_unsorted_pairs(vec![(1, 2.0), (70, 1.0), (900, 3.0)]).unwrap();
+        let v = sketch_embedding(p.entries());
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        let empty = sketch_embedding(&[]);
+        assert!(empty.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scaling_a_profile_does_not_move_its_embedding() {
+        let a = Profile::from_unsorted_pairs(vec![(3, 1.0), (200, 2.0)]).unwrap();
+        let b = Profile::from_unsorted_pairs(vec![(3, 5.0), (200, 10.0)]).unwrap();
+        let va = sketch_embedding(a.entries());
+        let vb = sketch_embedding(b.entries());
+        for (x, y) in va.iter().zip(vb.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn embed_profiles_covers_every_user() {
+        let mut store = ProfileStore::new(3);
+        store.set(
+            UserId::new(1),
+            Profile::from_unsorted_pairs(vec![(7, 1.0)]).unwrap(),
+        );
+        let embedded = embed_profiles(&store);
+        assert_eq!(embedded.len(), 3);
+        assert!(embedded[0].iter().all(|&x| x == 0.0));
+        assert!(embedded[1].iter().any(|&x| x > 0.0));
+    }
+}

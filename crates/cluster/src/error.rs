@@ -1,0 +1,53 @@
+//! Error type of the clustering pre-pass.
+
+use knn_store::StoreError;
+
+/// Errors produced while clustering or (de)serializing assignments.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An invalid parameter or an inconsistent persisted artifact.
+    Config(String),
+    /// A storage failure while persisting or loading an assignment.
+    Store(StoreError),
+}
+
+impl ClusterError {
+    pub(crate) fn config(msg: impl Into<String>) -> Self {
+        ClusterError::Config(msg.into())
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(msg) => write!(f, "cluster config error: {msg}"),
+            ClusterError::Store(e) => write!(f, "cluster storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Config(_) => None,
+            ClusterError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for ClusterError {
+    fn from(e: StoreError) -> Self {
+        ClusterError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = ClusterError::config("bad k");
+        assert!(e.to_string().contains("bad k"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic seeded mini-batch k-means over sketch embeddings.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use knn_sim::SKETCH_BLOCKS;
+
+/// Mini-batch rounds (Sculley 2010). The embeddings are 32-dim and
+/// unit-length, so centroids settle fast; more rounds buy nothing the
+/// downstream partitioner can observe.
+const ROUNDS: usize = 16;
+
+/// Mini-batch size floor; the batch also scales with `8·k` so every
+/// centroid sees a handful of samples per round.
+const MIN_BATCH: usize = 256;
+
+fn dist2(a: &[f32; SKETCH_BLOCKS], b: &[f32; SKETCH_BLOCKS]) -> f32 {
+    let mut d = 0.0f32;
+    for i in 0..SKETCH_BLOCKS {
+        let diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    d
+}
+
+/// Index of the nearest centroid (strict `<`, so ties resolve to the
+/// lowest index — deterministic regardless of float noise).
+fn nearest(x: &[f32; SKETCH_BLOCKS], centroids: &[[f32; SKETCH_BLOCKS]]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = dist2(x, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Labels every embedding with one of `k` clusters. Deterministic in
+/// `seed`; single-threaded (thread-count invariance by construction).
+///
+/// Centroids initialize from `k` seeded-shuffled distinct users, then
+/// `ROUNDS` mini-batch rounds pull each centroid toward its sampled
+/// members with the per-centroid `1/count` learning rate; a final full
+/// pass assigns every user to its nearest centroid.
+pub(crate) fn kmeans_labels(embeddings: &[[f32; SKETCH_BLOCKS]], k: usize, seed: u64) -> Vec<u32> {
+    let n = embeddings.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Farthest-point init (deterministic k-means++ flavor): a seeded
+    // random non-zero first centroid, then each next centroid is the
+    // point farthest from all chosen ones (ties → lowest user id).
+    // Well-separated clusters each receive exactly one centroid, which
+    // is what lets the planted structure survive the mini-batch pass.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    order.sort_by_key(|&u| embeddings[u].iter().all(|&x| x == 0.0));
+    let mut centroids: Vec<[f32; SKETCH_BLOCKS]> = vec![embeddings[order[0]]];
+    let mut min_d: Vec<f32> = embeddings.iter().map(|x| dist2(x, &centroids[0])).collect();
+    while centroids.len() < k {
+        let mut far = 0usize;
+        let mut far_d = -1.0f32;
+        for (u, &d) in min_d.iter().enumerate() {
+            if d > far_d {
+                far_d = d;
+                far = u;
+            }
+        }
+        let next = embeddings[far];
+        for (u, d) in min_d.iter_mut().enumerate() {
+            *d = d.min(dist2(&embeddings[u], &next));
+        }
+        centroids.push(next);
+    }
+    let mut counts = vec![1u64; k];
+
+    let batch = MIN_BATCH.max(8 * k).min(n);
+    for _ in 0..ROUNDS {
+        for _ in 0..batch {
+            let u = rng.random_range(0..n);
+            let x = embeddings[u];
+            let c = nearest(&x, &centroids);
+            counts[c] += 1;
+            let lr = 1.0 / counts[c] as f32;
+            for i in 0..SKETCH_BLOCKS {
+                centroids[c][i] += lr * (x[i] - centroids[c][i]);
+            }
+        }
+    }
+
+    embeddings
+        .iter()
+        .map(|x| nearest(x, &centroids) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner(block: usize) -> [f32; SKETCH_BLOCKS] {
+        let mut v = [0.0; SKETCH_BLOCKS];
+        v[block] = 1.0;
+        v
+    }
+
+    #[test]
+    fn separable_points_land_in_separate_clusters() {
+        // 30 points at block 0, 30 at block 17: k=2 must split them.
+        let mut pts = Vec::new();
+        for _ in 0..30 {
+            pts.push(corner(0));
+        }
+        for _ in 0..30 {
+            pts.push(corner(17));
+        }
+        let labels = kmeans_labels(&pts, 2, 42);
+        assert!(labels[..30].iter().all(|&c| c == labels[0]));
+        assert!(labels[30..].iter().all(|&c| c == labels[30]));
+        assert_ne!(labels[0], labels[30]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts: Vec<[f32; SKETCH_BLOCKS]> = (0..50).map(|i| corner(i % SKETCH_BLOCKS)).collect();
+        assert_eq!(kmeans_labels(&pts, 4, 7), kmeans_labels(&pts, 4, 7));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(kmeans_labels(&[], 3, 1).is_empty());
+        let one = vec![corner(0)];
+        assert_eq!(kmeans_labels(&one, 5, 1), vec![0]);
+        // All-identical points: everything in one cluster label range.
+        let same = vec![corner(3); 10];
+        let labels = kmeans_labels(&same, 3, 2);
+        assert_eq!(labels.len(), 10);
+        assert!(labels.iter().all(|&c| c < 3));
+        // Identical points are indistinguishable: one shared label.
+        assert!(labels.windows(2).all(|w| w[0] == w[1]));
+    }
+}

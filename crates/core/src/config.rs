@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use knn_cluster::ClusterMethod;
 use knn_sim::Measure;
 
 use crate::partition::PartitionerKind;
@@ -43,6 +44,9 @@ pub struct EngineConfig {
     parallel_threshold: usize,
     prune_pairs: bool,
     bound_filter: bool,
+    cluster_init: bool,
+    num_clusters: Option<usize>,
+    cluster_method: ClusterMethod,
     seed: u64,
 }
 
@@ -80,6 +84,9 @@ impl EngineConfig {
             parallel_threshold: crate::phase4::DEFAULT_PARALLEL_THRESHOLD,
             prune_pairs: default_prune(),
             bound_filter: default_prune(),
+            cluster_init: false,
+            num_clusters: None,
+            cluster_method: ClusterMethod::KMeans,
             seed: 0,
         }
     }
@@ -193,6 +200,37 @@ impl EngineConfig {
         self.bound_filter
     }
 
+    /// Whether `G(0)` is cluster-seeded (intra-cluster edges from the
+    /// `knn-cluster` pre-pass) instead of uniformly random. Exactness
+    /// is untouched — only the iteration count to convergence changes.
+    pub fn cluster_init(&self) -> bool {
+        self.cluster_init
+    }
+
+    /// Explicit cluster count for the pre-pass, or `None` for the
+    /// `⌈√n⌉` default ([`knn_cluster::default_num_clusters`]).
+    pub fn num_clusters(&self) -> Option<usize> {
+        self.num_clusters
+    }
+
+    /// The cluster count the pre-pass will actually use.
+    pub fn effective_num_clusters(&self) -> usize {
+        self.num_clusters
+            .unwrap_or_else(|| knn_cluster::default_num_clusters(self.num_users))
+    }
+
+    /// The clustering algorithm of the pre-pass (default k-means).
+    pub fn cluster_method(&self) -> ClusterMethod {
+        self.cluster_method
+    }
+
+    /// Whether this configuration needs the clustering pre-pass: the
+    /// partitioner is [`PartitionerKind::Cluster`] and/or
+    /// [`cluster_init`](EngineConfig::cluster_init) is on.
+    pub fn clustering_enabled(&self) -> bool {
+        self.cluster_init || self.partitioner == PartitionerKind::Cluster
+    }
+
     /// Seed for every randomized component (initial graph, partitioner
     /// tie-breaks).
     pub fn seed(&self) -> u64 {
@@ -237,6 +275,9 @@ pub struct EngineConfigBuilder {
     parallel_threshold: usize,
     prune_pairs: bool,
     bound_filter: bool,
+    cluster_init: bool,
+    num_clusters: Option<usize>,
+    cluster_method: ClusterMethod,
     seed: u64,
 }
 
@@ -248,6 +289,12 @@ impl EngineConfigBuilder {
     }
 
     /// Sets the number of partitions `m` (default 8).
+    ///
+    /// [`build`](EngineConfigBuilder::build) rejects `m == 0` and
+    /// `m > num_users`: with fewer users than partitions some
+    /// partition is necessarily empty, which the cluster packing of
+    /// [`PartitionerKind::Cluster`] (and the balance contract in
+    /// general) refuses to produce silently.
     pub fn num_partitions(mut self, m: usize) -> Self {
         self.num_partitions = m;
         self
@@ -349,6 +396,27 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Seeds `G(0)` from intra-cluster edges of the `knn-cluster`
+    /// pre-pass instead of uniform random neighbors (default off).
+    pub fn cluster_init(mut self, yes: bool) -> Self {
+        self.cluster_init = yes;
+        self
+    }
+
+    /// Sets an explicit cluster count for the pre-pass (default
+    /// `None`: `⌈√n⌉`). Must satisfy `1 ≤ num_clusters ≤ n`.
+    pub fn num_clusters(mut self, clusters: Option<usize>) -> Self {
+        self.num_clusters = clusters;
+        self
+    }
+
+    /// Sets the clustering algorithm of the pre-pass (default
+    /// k-means; `RandomBuckets` is the cheaper, coarser variant).
+    pub fn cluster_method(mut self, method: ClusterMethod) -> Self {
+        self.cluster_method = method;
+        self
+    }
+
     /// Sets the global seed (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -412,6 +480,14 @@ impl EngineConfigBuilder {
                 "parallel_threshold must be at least 1 (use a huge value to force inline scoring)",
             ));
         }
+        if let Some(c) = self.num_clusters {
+            if c == 0 || c > self.num_users {
+                return Err(EngineError::config(format!(
+                    "num_clusters must be in 1..={} (at most one user per cluster), got {c}",
+                    self.num_users
+                )));
+            }
+        }
         Ok(EngineConfig {
             num_users: self.num_users,
             k: self.k,
@@ -429,6 +505,9 @@ impl EngineConfigBuilder {
             parallel_threshold: self.parallel_threshold,
             prune_pairs: self.prune_pairs,
             bound_filter: self.bound_filter,
+            cluster_init: self.cluster_init,
+            num_clusters: self.num_clusters,
+            cluster_method: self.cluster_method,
             seed: self.seed,
         })
     }
@@ -512,6 +591,60 @@ mod tests {
             .parallel_threshold(0)
             .build()
             .is_err());
+        // Cluster counts outside 1..=n.
+        assert!(EngineConfig::builder(10)
+            .num_clusters(Some(0))
+            .build()
+            .is_err());
+        assert!(EngineConfig::builder(10)
+            .num_clusters(Some(11))
+            .build()
+            .is_err());
+    }
+
+    /// The m ≤ n rejection the cluster packer relies on: the builder
+    /// (not the partitioner) is the choke point that keeps an engine
+    /// from ever asking any partitioner — cluster packing included —
+    /// to leave a partition empty.
+    #[test]
+    fn more_partitions_than_users_rejected_for_every_partitioner() {
+        for kind in PartitionerKind::ALL {
+            let err = EngineConfig::builder(6)
+                .num_partitions(7)
+                .partitioner(kind)
+                .build()
+                .unwrap_err();
+            assert!(err.to_string().contains("num_partitions"), "{kind}: {err}");
+        }
+    }
+
+    #[test]
+    fn clustering_knobs_stick_and_default_off() {
+        let c = EngineConfig::builder(100).build().unwrap();
+        assert!(!c.cluster_init());
+        assert!(!c.clustering_enabled());
+        assert_eq!(c.num_clusters(), None);
+        assert_eq!(c.effective_num_clusters(), 10, "⌈√100⌉");
+        assert_eq!(c.cluster_method(), ClusterMethod::KMeans);
+
+        let c = EngineConfig::builder(100)
+            .cluster_init(true)
+            .num_clusters(Some(5))
+            .cluster_method(ClusterMethod::RandomBuckets)
+            .build()
+            .unwrap();
+        assert!(c.cluster_init());
+        assert!(c.clustering_enabled());
+        assert_eq!(c.effective_num_clusters(), 5);
+        assert_eq!(c.cluster_method(), ClusterMethod::RandomBuckets);
+
+        // The cluster partitioner alone also flips the pre-pass on.
+        let c = EngineConfig::builder(100)
+            .partitioner(PartitionerKind::Cluster)
+            .build()
+            .unwrap();
+        assert!(!c.cluster_init());
+        assert!(c.clustering_enabled());
     }
 
     #[test]

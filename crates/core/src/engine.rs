@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use knn_cluster::{cluster_profiles, cluster_seeded_graph, ClusterAssignment};
 use knn_graph::{EdgeAdditions, KnnGraph, Neighbor, UserId};
 use knn_sim::{Profile, ProfileDelta, ProfileStore};
 use knn_store::backend::{
@@ -13,7 +14,7 @@ use knn_store::{DiskBackend, IoSnapshot, MemBackend, StorageBackend, StreamId, W
 
 use crate::config::EngineConfig;
 use crate::metrics::{ConvergenceOutcome, IterationReport};
-use crate::partition::{objective, Partitioning};
+use crate::partition::{objective, ClusterPartitioner, Partitioner, PartitionerKind, Partitioning};
 use crate::phase1;
 use crate::phase2;
 use crate::phase4::{self, Phase4Options, Phase4Prune};
@@ -27,6 +28,10 @@ const META_NUM_USERS: u32 = 2;
 const META_K: u32 = 3;
 const META_NUM_PARTITIONS: u32 = 4;
 const META_SEED: u32 = 5;
+// Written only when the clustering pre-pass ran (so non-cluster runs
+// keep the historical five-key metadata byte-for-byte).
+const META_NUM_CLUSTERS: u32 = 6;
+const META_CLUSTER_METHOD: u32 = 7;
 
 /// The out-of-core KNN engine: owns a [`StorageBackend`], the current
 /// KNN graph `G(t)`, and the update queue, and executes the five-phase
@@ -46,6 +51,10 @@ pub struct KnnEngine {
     queue: UpdateQueue,
     iteration: u64,
     reports: Vec<IterationReport>,
+    /// The clustering pre-pass output, present iff
+    /// [`EngineConfig::clustering_enabled`]; consumed by the cluster
+    /// partitioner on every (re)partition and persisted for resume.
+    clusters: Option<Arc<ClusterAssignment>>,
     /// Cross-iteration bookkeeping for phase-4 pair suppression;
     /// `None` when no prior iteration ran in this process (fresh
     /// engine, resume) or suppression is disabled — the next
@@ -144,8 +153,79 @@ impl KnnEngine {
         profiles: ProfileStore,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Self, EngineError> {
-        let initial = KnnGraph::random_init(config.num_users(), config.k(), config.seed());
-        Self::with_initial_graph_on(config, initial, profiles, backend)
+        let clusters = Self::compute_clusters(&config, &profiles)?;
+        let initial = Self::initial_graph_with(&config, clusters.as_deref());
+        Self::build_on(config, initial, profiles, clusters, backend)
+    }
+
+    /// Runs the clustering pre-pass when the configuration asks for one
+    /// ([`EngineConfig::clustering_enabled`]), else `None`.
+    fn compute_clusters(
+        config: &EngineConfig,
+        profiles: &ProfileStore,
+    ) -> Result<Option<Arc<ClusterAssignment>>, EngineError> {
+        if !config.clustering_enabled() {
+            return Ok(None);
+        }
+        let assignment = cluster_profiles(
+            profiles,
+            config.cluster_method(),
+            config.effective_num_clusters(),
+            config.seed(),
+        )?;
+        Ok(Some(Arc::new(assignment)))
+    }
+
+    /// The initial graph `G(0)` for a config plus an optional cluster
+    /// assignment: cluster-seeded when
+    /// [`cluster_init`](EngineConfig::cluster_init) is on, else the
+    /// classic uniform-random NN-Descent start.
+    fn initial_graph_with(config: &EngineConfig, clusters: Option<&ClusterAssignment>) -> KnnGraph {
+        match clusters {
+            Some(assignment) if config.cluster_init() => {
+                cluster_seeded_graph(assignment, config.k(), config.seed())
+            }
+            _ => KnnGraph::random_init(config.num_users(), config.k(), config.seed()),
+        }
+    }
+
+    /// Computes the initial graph `G(0)` a fresh engine would start
+    /// from: cluster-seeded when the config enables
+    /// [`cluster_init`](EngineConfig::cluster_init) (running the
+    /// clustering pre-pass), uniform random otherwise. Used by drivers
+    /// (the sharded engine) that construct the engine through
+    /// [`with_initial_graph_on`](KnnEngine::with_initial_graph_on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if the configured cluster count
+    /// is invalid for `profiles`.
+    pub fn initial_graph(
+        config: &EngineConfig,
+        profiles: &ProfileStore,
+    ) -> Result<KnnGraph, EngineError> {
+        let clusters = Self::compute_clusters(config, profiles)?;
+        Ok(Self::initial_graph_with(config, clusters.as_deref()))
+    }
+
+    /// The partitioner instance for this engine: graph partitioners
+    /// from the bare kind + seed; [`PartitionerKind::Cluster`] bound to
+    /// the pre-pass assignment.
+    fn make_partitioner(
+        config: &EngineConfig,
+        clusters: Option<&Arc<ClusterAssignment>>,
+    ) -> Result<Box<dyn Partitioner>, EngineError> {
+        if config.partitioner() == PartitionerKind::Cluster {
+            let clusters = clusters.ok_or_else(|| {
+                EngineError::config(
+                    "PartitionerKind::Cluster requires the clustering pre-pass output \
+                     (engine invariant violated)",
+                )
+            })?;
+            Ok(Box::new(ClusterPartitioner::new(Arc::clone(clusters))))
+        } else {
+            Ok(config.partitioner().instantiate(config.seed()))
+        }
     }
 
     /// Creates a fully in-memory engine ([`MemBackend`]) with the
@@ -188,6 +268,20 @@ impl KnnEngine {
         profiles: ProfileStore,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Self, EngineError> {
+        let clusters = Self::compute_clusters(&config, &profiles)?;
+        Self::build_on(config, graph, profiles, clusters, backend)
+    }
+
+    /// The shared constructor core: validates inputs, lays out the
+    /// initial partitioning (cluster-aware when a pre-pass ran), shards
+    /// the profiles, and persists the resumable state.
+    fn build_on(
+        config: EngineConfig,
+        graph: KnnGraph,
+        profiles: ProfileStore,
+        clusters: Option<Arc<ClusterAssignment>>,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self, EngineError> {
         if graph.num_vertices() != config.num_users() {
             return Err(EngineError::input(format!(
                 "graph has {} vertices, config expects {}",
@@ -211,7 +305,7 @@ impl KnnEngine {
         }
         // Initial layout: partition G(0) with the configured
         // partitioner and shard the profiles accordingly.
-        let partitioner = config.partitioner().instantiate(config.seed());
+        let partitioner = Self::make_partitioner(&config, clusters.as_ref())?;
         let partitioning = partitioner.partition(&graph.to_digraph(), config.num_partitions())?;
         phase1::reshard_profiles(
             backend.as_ref(),
@@ -220,6 +314,11 @@ impl KnnEngine {
             Some(&profiles),
             config.threads(),
         )?;
+        // The cluster table never changes after the pre-pass: persist
+        // it once here, not in per-iteration persist_state.
+        if let Some(assignment) = &clusters {
+            assignment.persist(backend.as_ref())?;
+        }
         let queue = UpdateQueue::new(config.num_users());
         let engine = KnnEngine {
             config,
@@ -229,6 +328,7 @@ impl KnnEngine {
             queue,
             iteration: 0,
             reports: Vec::new(),
+            clusters,
             prune: None,
             phase2_provider: None,
             io_meter: None,
@@ -284,6 +384,25 @@ impl KnnEngine {
             config.num_partitions() as u64,
         )?;
         expect(META_SEED, "seed", config.seed())?;
+        let clusters = if config.clustering_enabled() {
+            expect(
+                META_NUM_CLUSTERS,
+                "num_clusters",
+                config.effective_num_clusters() as u64,
+            )?;
+            expect(
+                META_CLUSTER_METHOD,
+                "cluster_method",
+                config.cluster_method().code(),
+            )?;
+            Some(Arc::new(ClusterAssignment::load(
+                backend.as_ref(),
+                config.num_users(),
+                config.effective_num_clusters() as u32,
+            )?))
+        } else {
+            None
+        };
         let iteration = *meta
             .get(&META_ITERATION)
             .ok_or_else(|| EngineError::input("metadata missing iteration"))?;
@@ -372,6 +491,7 @@ impl KnnEngine {
             queue,
             iteration,
             reports: Vec::new(),
+            clusters,
             // A resumed engine has no in-process memory of the last
             // iteration's scoring, so the first iteration re-scores
             // everything (suppression resumes one iteration later).
@@ -385,16 +505,18 @@ impl KnnEngine {
     /// and the current KNN graph sliced per partition.
     fn persist_state(&self) -> Result<(), EngineError> {
         let backend = self.backend.as_ref();
-        write_meta(
-            backend,
-            &[
-                (META_ITERATION, self.iteration),
-                (META_NUM_USERS, self.config.num_users() as u64),
-                (META_K, self.config.k() as u64),
-                (META_NUM_PARTITIONS, self.config.num_partitions() as u64),
-                (META_SEED, self.config.seed()),
-            ],
-        )?;
+        let mut meta = vec![
+            (META_ITERATION, self.iteration),
+            (META_NUM_USERS, self.config.num_users() as u64),
+            (META_K, self.config.k() as u64),
+            (META_NUM_PARTITIONS, self.config.num_partitions() as u64),
+            (META_SEED, self.config.seed()),
+        ];
+        if let Some(clusters) = &self.clusters {
+            meta.push((META_NUM_CLUSTERS, clusters.num_clusters() as u64));
+            meta.push((META_CLUSTER_METHOD, self.config.cluster_method().code()));
+        }
+        write_meta(backend, &meta)?;
         let assignment_rows: Vec<(u32, u32)> = self
             .partitioning
             .assignment()
@@ -433,6 +555,12 @@ impl KnnEngine {
     /// The current partition layout.
     pub fn partitioning(&self) -> &Partitioning {
         &self.partitioning
+    }
+
+    /// The clustering pre-pass output, when the configuration enabled
+    /// one ([`EngineConfig::clustering_enabled`]).
+    pub fn clusters(&self) -> Option<&Arc<ClusterAssignment>> {
+        self.clusters.as_ref()
     }
 
     /// Reports of every completed iteration.
@@ -606,7 +734,7 @@ impl KnnEngine {
         let before = self.io_now();
         let t0 = Instant::now();
         if self.config.repartition_each_iteration() || self.iteration == 0 {
-            let partitioner = self.config.partitioner().instantiate(self.config.seed());
+            let partitioner = Self::make_partitioner(&self.config, self.clusters.as_ref())?;
             let next =
                 partitioner.partition(&self.graph.to_digraph(), self.config.num_partitions())?;
             if next != self.partitioning {
@@ -653,6 +781,12 @@ impl KnnEngine {
         };
         durations[1] = t0.elapsed();
         io[1] = self.io_now() - before;
+        // Partition locality of this iteration's tuple volume: the
+        // diagonal of the PI graph counts tuples whose endpoints share
+        // a partition.
+        let intra_partition_tuples: u64 = (0..self.partitioning.num_partitions() as u32)
+            .map(|p| phase2_out.pi.bucket_weight(p, p))
+            .sum();
 
         // Phase 3: PI-graph traversal schedule.
         let before = self.io_now();
@@ -738,6 +872,7 @@ impl KnnEngine {
             merge_passes: io[1].merge_passes,
             updates_applied: phase5_stats.updates_applied,
             replication_cost,
+            intra_partition_tuples,
             changed_fraction,
         };
         self.reports.push(report.clone());

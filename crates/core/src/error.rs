@@ -87,6 +87,15 @@ impl From<GraphError> for EngineError {
     }
 }
 
+impl From<knn_cluster::ClusterError> for EngineError {
+    fn from(e: knn_cluster::ClusterError) -> Self {
+        match e {
+            knn_cluster::ClusterError::Config(detail) => EngineError::Config { detail },
+            knn_cluster::ClusterError::Store(e) => EngineError::Store(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

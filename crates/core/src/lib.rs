@@ -83,6 +83,33 @@
 //! reports, and summed I/O totals byte/value-identical to one process
 //! — pinned by the `shard_equivalence` suite.
 //!
+//! # Choosing a partitioner
+//!
+//! Placement is an I/O lever, never a correctness one: every
+//! [`PartitionerKind`] produces the same refined graph for the same
+//! `G(t)` (pinned by `tests/cluster_invariance.rs`), so pick by cost
+//! profile:
+//!
+//! * [`PartitionerKind::Greedy`] (default) — the paper's objective
+//!   minimizer; the best replication cost per phase-1 second for most
+//!   workloads.
+//! * [`PartitionerKind::Refined`] — greedy plus a local-move pass;
+//!   buys a few percent of objective when iterations are long enough
+//!   to amortize the extra phase-1 time.
+//! * [`PartitionerKind::Cluster`] — packs the `knn-cluster` pre-pass's
+//!   clusters into partitions; the right choice when profiles have
+//!   community structure, where it concentrates tuples on the PI
+//!   diagonal (watch `IterationReport::intra_partition_tuples` rise
+//!   and `bytes_spilled` / cross-shard exchange fall). Requires the
+//!   engine to run the pre-pass (it does automatically; the bare
+//!   `instantiate` errors). Pair with
+//!   [`EngineConfig::cluster_init`](config::EngineConfig::cluster_init)
+//!   to also seed `G(0)` from intra-cluster edges and save an
+//!   iteration to the recall floor on clustered data.
+//! * [`PartitionerKind::Random`] / [`PartitionerKind::Contiguous`] —
+//!   near-zero phase-1 cost and the worst/structure-dependent
+//!   objective; baselines and id-ordered data respectively.
+//!
 //! # The phase-4 scoring funnel
 //!
 //! Phase 4 dominates iteration cost, so its scoring path removes

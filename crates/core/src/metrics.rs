@@ -61,6 +61,11 @@ pub struct IterationReport {
     pub updates_applied: u64,
     /// The partitioning objective `Σ (N_in + N_out)` of this iteration.
     pub replication_cost: u64,
+    /// Unique phase-2 tuples whose two endpoints live in the same
+    /// partition (the PI-graph diagonal) — the locality a placement
+    /// policy buys: intra-partition tuples never spill across partition
+    /// streams nor cross shards.
+    pub intra_partition_tuples: u64,
     /// Fraction of `G(t)` edges absent from `G(t+1)`.
     pub changed_fraction: f64,
 }
@@ -98,6 +103,18 @@ impl IterationReport {
     /// Total bytes moved (read + write) across phases.
     pub fn total_bytes(&self) -> u64 {
         self.phase_io.iter().map(IoSnapshot::bytes_total).sum()
+    }
+
+    /// Fraction of this iteration's unique tuples that stayed inside
+    /// one partition; 0 when there were no tuples. Higher is better —
+    /// a locality-aware partitioner (e.g.
+    /// `PartitionerKind::Cluster`) exists to raise this number.
+    pub fn intra_partition_tuple_fraction(&self) -> f64 {
+        if self.tuples.unique == 0 {
+            0.0
+        } else {
+            self.intra_partition_tuples as f64 / self.tuples.unique as f64
+        }
     }
 }
 
@@ -142,6 +159,12 @@ impl fmt::Display for IterationReport {
             self.sims_pruned,
             self.sims_avoided_fraction() * 100.0,
             self.accums_seeded,
+        )?;
+        writeln!(
+            f,
+            "  locality: {} intra-partition tuples ({:.1}%)",
+            self.intra_partition_tuples,
+            self.intra_partition_tuple_fraction() * 100.0
         )?;
         writeln!(
             f,
@@ -204,6 +227,7 @@ mod tests {
             merge_passes: 2,
             updates_applied: 2,
             replication_cost: 42,
+            intra_partition_tuples: 20,
             changed_fraction: 0.25,
         }
     }
@@ -260,5 +284,19 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("4096 B in 3 runs"), "{text}");
         assert!(text.contains("2 merge passes"), "{text}");
+    }
+
+    #[test]
+    fn intra_partition_fraction_counts_unique_tuples() {
+        let r = sample();
+        // 20 intra / 80 unique.
+        assert!((r.intra_partition_tuple_fraction() - 0.25).abs() < 1e-9);
+        assert!(r.to_string().contains("20 intra-partition tuples (25.0%)"));
+        let empty = IterationReport {
+            intra_partition_tuples: 0,
+            tuples: TupleTableStats::default(),
+            ..sample()
+        };
+        assert_eq!(empty.intra_partition_tuple_fraction(), 0.0);
     }
 }

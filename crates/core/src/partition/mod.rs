@@ -4,12 +4,14 @@
 //! destinations per partition, i.e. the vertex-replication cost that
 //! phase 4 will pay in partition I/O.
 
+mod cluster;
 mod contiguous;
 mod greedy;
 pub mod objective;
 mod random;
 mod refine;
 
+pub use cluster::ClusterPartitioner;
 pub use contiguous::ContiguousPartitioner;
 pub use greedy::GreedyPartitioner;
 pub use random::RandomPartitioner;
@@ -140,18 +142,31 @@ pub enum PartitionerKind {
     Greedy,
     /// Greedy followed by swap-refinement passes.
     Refined,
+    /// Locality-aware packing of the `knn-cluster` pre-pass clusters
+    /// (profile locality, not graph structure). Engine-managed: the
+    /// engine runs the clustering pre-pass and binds its assignment;
+    /// [`instantiate`](PartitionerKind::instantiate) alone yields an
+    /// unbound partitioner that refuses to run.
+    Cluster,
 }
 
 impl PartitionerKind {
     /// All built-in kinds, for sweeps.
-    pub const ALL: [PartitionerKind; 4] = [
+    pub const ALL: [PartitionerKind; 5] = [
         PartitionerKind::Contiguous,
         PartitionerKind::Random,
         PartitionerKind::Greedy,
         PartitionerKind::Refined,
+        PartitionerKind::Cluster,
     ];
 
     /// Instantiates the partitioner with the given seed.
+    ///
+    /// [`Cluster`](PartitionerKind::Cluster) yields an **unbound**
+    /// [`ClusterPartitioner`] whose `partition` fails with a config
+    /// error: it needs the engine-computed cluster assignment, which a
+    /// bare kind + seed cannot supply (the engine binds it via
+    /// [`ClusterPartitioner::new`]).
     pub fn instantiate(self, seed: u64) -> Box<dyn Partitioner> {
         match self {
             PartitionerKind::Contiguous => Box::new(ContiguousPartitioner),
@@ -162,6 +177,7 @@ impl PartitionerKind {
                 2,
                 seed,
             )),
+            PartitionerKind::Cluster => Box::new(ClusterPartitioner::unbound()),
         }
     }
 }
@@ -173,6 +189,7 @@ impl std::fmt::Display for PartitionerKind {
             PartitionerKind::Random => "random",
             PartitionerKind::Greedy => "greedy",
             PartitionerKind::Refined => "refined",
+            PartitionerKind::Cluster => "cluster",
         };
         f.write_str(s)
     }
@@ -223,9 +240,15 @@ mod tests {
     fn kind_instantiates_all() {
         let g = DiGraph::from_edges(6, [(0, 1), (2, 3), (4, 5)]).unwrap();
         for kind in PartitionerKind::ALL {
+            assert!(!kind.to_string().is_empty());
+            if kind == PartitionerKind::Cluster {
+                // Cluster is engine-managed: the bare instantiation
+                // must refuse rather than partition without labels.
+                assert!(kind.instantiate(1).partition(&g, 3).is_err());
+                continue;
+            }
             let p = kind.instantiate(1).partition(&g, 3).unwrap();
             assert_balanced(&p);
-            assert!(!kind.to_string().is_empty());
         }
     }
 

@@ -1,6 +1,9 @@
 //! Property-based tests for the engine's invariant-bearing pieces.
 
-use knn_core::partition::{objective, PartitionerKind, Partitioning};
+use knn_cluster::ClusterAssignment;
+use knn_core::partition::{
+    objective, ClusterPartitioner, Partitioner, PartitionerKind, Partitioning,
+};
 use knn_core::topk::TopKAccumulator;
 use knn_core::traversal::{simulate_schedule_ops, Heuristic};
 use knn_core::tuple_table::{merge_parts, meta_bits, TupleTable};
@@ -85,14 +88,35 @@ fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     })
 }
 
+/// Instantiates `kind` the way the engine would: graph partitioners
+/// from the bare kind + seed, `Cluster` bound to a deterministic
+/// synthetic cluster assignment (labels derived from the seed).
+fn make_partitioner(kind: PartitionerKind, seed: u64, n: usize) -> Box<dyn Partitioner> {
+    if kind == PartitionerKind::Cluster {
+        let k = ((n as u64 % 4) + 1).min(n.max(1) as u64) as u32;
+        let labels: Vec<u32> = (0..n as u64)
+            .map(|u| ((u * 31 + seed) % k as u64) as u32)
+            .collect();
+        Box::new(ClusterPartitioner::new(std::sync::Arc::new(
+            ClusterAssignment::new(labels, k).unwrap(),
+        )))
+    } else {
+        kind.instantiate(seed)
+    }
+}
+
 proptest! {
+    /// One harness over every `Partitioner` impl (random, greedy,
+    /// contiguous, refined, cluster): the result is a permutation of
+    /// the users, balanced within `⌈n/m⌉`, and byte-identical when the
+    /// same partitioner runs twice with the same seed.
     #[test]
     fn every_partitioner_is_balanced_and_total((n, edges) in arb_graph(), m in 1usize..6, seed in 0u64..20) {
         let m = m.min(n);
         let mut g = DiGraph::from_edges(n, edges).unwrap();
         g.sort_and_dedup();
         for kind in PartitionerKind::ALL {
-            let p = kind.instantiate(seed).partition(&g, m).unwrap();
+            let p = make_partitioner(kind, seed, n).partition(&g, m).unwrap();
             let cap = n.div_ceil(m);
             let mut seen = vec![false; n];
             for part in 0..m as u32 {
@@ -103,6 +127,11 @@ proptest! {
                 }
             }
             prop_assert!(seen.iter().all(|&s| s), "{kind} lost a user");
+            // Deterministic per seed: a fresh instance reproduces the
+            // assignment exactly (thread counts never enter: every
+            // partitioner is single-threaded by construction).
+            let again = make_partitioner(kind, seed, n).partition(&g, m).unwrap();
+            prop_assert_eq!(&p, &again, "{} not deterministic", kind);
         }
     }
 

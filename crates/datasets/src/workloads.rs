@@ -1,7 +1,10 @@
 //! End-to-end workload presets: a profile set plus engine-ready
 //! parameters, used by the benches and examples.
 
-use knn_sim::generators::{clustered_profiles, zipf_profiles, ClusteredConfig, ZipfConfig};
+use knn_sim::generators::{
+    clustered_bipartite, clustered_profiles, zipf_profiles, BipartiteConfig, ClusteredConfig,
+    ZipfConfig,
+};
 use knn_sim::{Measure, ProfileStore};
 
 /// The kind of synthetic profile workload.
@@ -23,6 +26,19 @@ pub enum WorkloadConfig {
         per_user: usize,
         /// Zipf skew.
         skew: f64,
+    },
+    /// User–item bipartite ratings with planted user communities,
+    /// controllable cross-community overlap, and a Zipf noise tail —
+    /// the workload that exercises locality-aware placement
+    /// (`PartitionerKind::Cluster` / cluster-seeded `G(0)`).
+    ClusteredBipartite {
+        /// Number of planted user communities.
+        clusters: usize,
+        /// Fraction of each user's ratings drawn from the neighboring
+        /// community's item block (`0.0..=0.5`).
+        overlap: f64,
+        /// Zipf skew of the shared noise-item tail.
+        noise_skew: f64,
     },
 }
 
@@ -53,6 +69,16 @@ impl WorkloadConfig {
             items: 20_000,
             per_user: 25,
             skew: 1.0,
+        }
+    }
+
+    /// The default community-structured bipartite workload (the
+    /// locality benchmark input).
+    pub fn communities() -> Self {
+        WorkloadConfig::ClusteredBipartite {
+            clusters: 8,
+            overlap: 0.1,
+            noise_skew: 1.0,
         }
     }
 
@@ -94,6 +120,23 @@ impl WorkloadConfig {
                     measure: Measure::Jaccard,
                 }
             }
+            WorkloadConfig::ClusteredBipartite {
+                clusters,
+                overlap,
+                noise_skew,
+            } => {
+                let (profiles, _) = clustered_bipartite(
+                    BipartiteConfig::new(num_users, seed)
+                        .with_clusters(clusters)
+                        .with_overlap(overlap)
+                        .with_noise(4, noise_skew),
+                );
+                Workload {
+                    name: format!("clustered-bipartite(c={clusters}, o={overlap}, s={noise_skew})"),
+                    profiles,
+                    measure: Measure::Cosine,
+                }
+            }
         }
     }
 }
@@ -120,8 +163,43 @@ mod tests {
 
     #[test]
     fn workloads_are_deterministic() {
-        let a = WorkloadConfig::recommender().build(30, 9);
-        let b = WorkloadConfig::recommender().build(30, 9);
-        assert_eq!(a, b);
+        for config in [WorkloadConfig::recommender(), WorkloadConfig::communities()] {
+            let a = config.build(30, 9);
+            let b = config.build(30, 9);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn communities_workload_builds() {
+        let w = WorkloadConfig::communities().build(64, 3);
+        assert_eq!(w.profiles.num_users(), 64);
+        assert_eq!(w.measure, Measure::Cosine);
+        assert!(w.name.contains("bipartite"));
+    }
+
+    /// Every measure must produce finite scores on the bipartite
+    /// workload — the smoke check that the new generator plays with the
+    /// whole similarity surface, not just cosine.
+    #[test]
+    fn communities_workload_smokes_every_measure() {
+        use knn_sim::Similarity;
+        let w = WorkloadConfig::communities().build(40, 11);
+        for measure in Measure::ALL {
+            let mut nontrivial = 0usize;
+            for a in 0..10u32 {
+                for b in (a + 1)..10 {
+                    let s = measure.score(
+                        w.profiles.get(knn_graph::UserId::new(a)),
+                        w.profiles.get(knn_graph::UserId::new(b)),
+                    );
+                    assert!(s.is_finite(), "{measure} produced {s}");
+                    if s != 0.0 {
+                        nontrivial += 1;
+                    }
+                }
+            }
+            assert!(nontrivial > 0, "{measure} flat-zero on the workload");
+        }
     }
 }

@@ -247,7 +247,7 @@ impl ShardedEngine {
         profiles: ProfileStore,
         shards: Vec<Arc<dyn StorageBackend>>,
     ) -> Result<Self, EngineError> {
-        let graph = KnnGraph::random_init(config.num_users(), config.k(), config.seed());
+        let graph = KnnEngine::initial_graph(&config, &profiles)?;
         Self::with_initial_graph_on(config, graph, profiles, shards)
     }
 

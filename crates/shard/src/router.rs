@@ -66,7 +66,7 @@ impl ShardRouter {
     /// The shard index serving `stream`.
     pub fn shard_of(&self, stream: StreamId) -> usize {
         match stream {
-            StreamId::Meta | StreamId::Assignment => 0,
+            StreamId::Meta | StreamId::Assignment | StreamId::Clusters => 0,
             StreamId::InEdges(p)
             | StreamId::OutEdges(p)
             | StreamId::Profiles(p)
@@ -211,6 +211,7 @@ mod tests {
         }
         assert_eq!(r.shard_of(StreamId::Meta), 0);
         assert_eq!(r.shard_of(StreamId::Assignment), 0);
+        assert_eq!(r.shard_of(StreamId::Clusters), 0);
     }
 
     #[test]

@@ -139,6 +139,172 @@ pub fn clustered_profiles(config: ClusteredConfig) -> (ProfileStore, Vec<u32>) {
     (ProfileStore::from_profiles(profiles), labels)
 }
 
+/// Configuration for [`clustered_bipartite`]: a user–item bipartite
+/// workload with planted user clusters, *controllable overlap* between
+/// neighboring clusters' item blocks, and a Zipf-skewed global noise
+/// tail. This is the workload a locality-aware placement policy is
+/// measured on: `overlap = 0` gives perfectly separable communities,
+/// raising it blurs the boundary that clustering has to recover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BipartiteConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of planted user clusters (≥ 1).
+    pub num_clusters: usize,
+    /// Items in each cluster's dedicated block. Keep this ≥ 64 (one
+    /// `knn-sim` sketch block) so the planted structure survives in
+    /// the 32-dim sketch embeddings the `knn-cluster` pre-pass uses.
+    pub items_per_cluster: usize,
+    /// Ratings drawn per user from cluster blocks (own + overlap).
+    pub ratings_per_user: usize,
+    /// Fraction of `ratings_per_user` drawn from the *next* cluster's
+    /// block instead of the user's own (`0.0..=0.5`): the knob blurring
+    /// cluster boundaries.
+    pub overlap: f64,
+    /// Extra ratings per user from the global noise block, drawn with
+    /// Zipf-skewed popularity (hub items every user may share).
+    pub noise_ratings: usize,
+    /// Items in the global noise block.
+    pub noise_items: usize,
+    /// Zipf skew of the noise-item popularity (0 = uniform).
+    pub noise_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BipartiteConfig {
+    /// A balanced default: 8 clusters, 192-item blocks (three sketch
+    /// blocks each), 24 cluster ratings with 10% overlap, 4 Zipf-1.0
+    /// noise ratings from a 512-item tail.
+    pub fn new(num_users: usize, seed: u64) -> Self {
+        BipartiteConfig {
+            num_users,
+            num_clusters: 8,
+            items_per_cluster: 192,
+            ratings_per_user: 24,
+            overlap: 0.1,
+            noise_ratings: 4,
+            noise_items: 512,
+            noise_skew: 1.0,
+            seed,
+        }
+    }
+
+    /// Overrides the number of clusters.
+    pub fn with_clusters(mut self, num_clusters: usize) -> Self {
+        self.num_clusters = num_clusters;
+        self
+    }
+
+    /// Overrides the cross-cluster overlap fraction.
+    pub fn with_overlap(mut self, overlap: f64) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Overrides the noise-tail shape.
+    pub fn with_noise(mut self, ratings: usize, skew: f64) -> Self {
+        self.noise_ratings = ratings;
+        self.noise_skew = skew;
+        self
+    }
+}
+
+/// Generates the clustered user–item bipartite workload described by
+/// [`BipartiteConfig`], returning the store and each user's planted
+/// cluster label (`u % num_clusters`). Ratings are in `[1.0, 5.0]`;
+/// deterministic in `config.seed`.
+///
+/// # Panics
+///
+/// Panics if `num_clusters == 0`, `items_per_cluster == 0`, `overlap`
+/// is outside `0.0..=0.5`, the per-block sample counts exceed the block
+/// sizes, or `noise_skew < 0`.
+pub fn clustered_bipartite(config: BipartiteConfig) -> (ProfileStore, Vec<u32>) {
+    let BipartiteConfig {
+        num_users,
+        num_clusters,
+        items_per_cluster,
+        ratings_per_user,
+        overlap,
+        noise_ratings,
+        noise_items,
+        noise_skew,
+        seed,
+    } = config;
+    assert!(num_clusters > 0, "need at least one cluster");
+    assert!(
+        items_per_cluster > 0,
+        "cluster item blocks must be non-empty"
+    );
+    assert!(
+        (0.0..=0.5).contains(&overlap),
+        "overlap must be in 0.0..=0.5, got {overlap}"
+    );
+    let cross = (ratings_per_user as f64 * overlap).round() as usize;
+    let own = ratings_per_user - cross;
+    assert!(
+        ratings_per_user <= items_per_cluster,
+        "ratings_per_user ({ratings_per_user}) exceeds items_per_cluster ({items_per_cluster})"
+    );
+    assert!(
+        noise_ratings <= noise_items,
+        "noise_ratings ({noise_ratings}) exceeds noise_items ({noise_items})"
+    );
+    assert!(noise_skew >= 0.0, "noise_skew must be non-negative");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noise_base = (num_clusters * items_per_cluster) as u32;
+
+    // Inverse-CDF table for the Zipf noise popularity.
+    let mut cumulative = Vec::with_capacity(noise_items);
+    let mut acc = 0.0f64;
+    for rank in 1..=noise_items.max(1) {
+        acc += (rank as f64).powf(-noise_skew);
+        cumulative.push(acc);
+    }
+    let total = acc;
+
+    let mut profiles = Vec::with_capacity(num_users);
+    let mut labels = Vec::with_capacity(num_users);
+    for u in 0..num_users {
+        let cluster = (u % num_clusters) as u32;
+        labels.push(cluster);
+        let own_base = cluster * items_per_cluster as u32;
+        let next_base = ((cluster + 1) % num_clusters as u32) * items_per_cluster as u32;
+        let mut profile = Profile::new();
+        // With one cluster, "next" is "own": fold the cross budget back
+        // into one distinct draw so every user still gets
+        // `ratings_per_user` cluster items.
+        let own_take = if next_base == own_base {
+            own + cross
+        } else {
+            own
+        };
+        sample_distinct(&mut rng, items_per_cluster, own_take, |item_off, rng| {
+            let rating = 1.0 + rng.random_range(0.0..4.0f32);
+            profile.set(ItemId::new(own_base + item_off as u32), rating);
+        });
+        if cross > 0 && next_base != own_base {
+            sample_distinct(&mut rng, items_per_cluster, cross, |item_off, rng| {
+                let rating = 1.0 + rng.random_range(0.0..4.0f32);
+                profile.set(ItemId::new(next_base + item_off as u32), rating);
+            });
+        }
+        // Zipf noise tail (duplicates collapse via Profile::set; retry
+        // until the profile grew by noise_ratings distinct items).
+        let before = profile.len();
+        while profile.len() < before + noise_ratings {
+            let x = rng.random_range(0.0..total);
+            let item = cumulative.partition_point(|&c| c <= x) as u32;
+            let rating = 1.0 + rng.random_range(0.0..4.0f32);
+            profile.set(ItemId::new(noise_base + item), rating);
+        }
+        profiles.push(profile);
+    }
+    (ProfileStore::from_profiles(profiles), labels)
+}
+
 /// Configuration for [`zipf_profiles`]: each user holds a set of items
 /// sampled from a Zipf popularity distribution — the shape of tag/like
 /// data, exercising the set-based measures (Jaccard, overlap).
@@ -299,6 +465,78 @@ mod tests {
             seed: 0,
         };
         let _ = clustered_profiles(cfg);
+    }
+
+    #[test]
+    fn bipartite_overlap_blurs_cluster_boundaries() {
+        // Higher overlap must raise the neighbor-cluster similarity
+        // relative to the zero-overlap baseline, while intra-cluster
+        // similarity still dominates.
+        let score = |overlap: f64| {
+            let (store, labels) = clustered_bipartite(
+                BipartiteConfig::new(60, 4)
+                    .with_clusters(3)
+                    .with_overlap(overlap),
+            );
+            let (mut intra, mut inter) = (Vec::new(), Vec::new());
+            for a in 0..60usize {
+                for b in (a + 1)..60 {
+                    let s = Measure::Cosine.score(
+                        store.get(knn_graph::UserId::new(a as u32)),
+                        store.get(knn_graph::UserId::new(b as u32)),
+                    );
+                    if labels[a] == labels[b] {
+                        intra.push(s);
+                    } else {
+                        inter.push(s);
+                    }
+                }
+            }
+            let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+            (mean(&intra), mean(&inter))
+        };
+        let (intra0, inter0) = score(0.0);
+        let (intra4, inter4) = score(0.4);
+        assert!(
+            intra0 > 3.0 * inter0,
+            "no planted structure: {intra0} vs {inter0}"
+        );
+        assert!(intra4 > inter4, "overlap 0.4 destroyed the structure");
+        assert!(
+            inter4 > inter0 + 0.01,
+            "overlap knob had no effect: {inter4} vs {inter0}"
+        );
+    }
+
+    #[test]
+    fn bipartite_is_deterministic_and_sized() {
+        let cfg = BipartiteConfig::new(40, 6);
+        let (a, la) = clustered_bipartite(cfg);
+        let (b, lb) = clustered_bipartite(cfg);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert_eq!(a.num_users(), 40);
+        for (_, p) in a.iter() {
+            assert_eq!(p.len(), 24 + 4, "ratings + noise");
+        }
+    }
+
+    #[test]
+    fn bipartite_single_cluster_keeps_rating_count() {
+        let (store, _) = clustered_bipartite(
+            BipartiteConfig::new(10, 1)
+                .with_clusters(1)
+                .with_overlap(0.3),
+        );
+        for (_, p) in store.iter() {
+            assert_eq!(p.len(), 24 + 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn bipartite_rejects_wild_overlap() {
+        let _ = clustered_bipartite(BipartiteConfig::new(5, 1).with_overlap(0.9));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod tfidf;
 pub use arena::{PreparedRef, ProfileArena, ProfileArenaBuilder};
 pub use delta::{DeltaOp, ProfileDelta};
 pub use error::ProfileError;
-pub use prepared::{PreparedProfile, ProfileStats};
+pub use prepared::{BoundSketch, PreparedProfile, ProfileStats, BLOCK_SHIFT, SKETCH_BLOCKS};
 pub use profile::{ItemId, Profile};
 pub use similarity::{Measure, Similarity};
 pub use store::ProfileStore;

@@ -66,6 +66,9 @@ pub enum StreamId {
     Meta,
     /// The user → partition assignment table.
     Assignment,
+    /// The user → cluster-label table written by the locality
+    /// pre-pass (`knn-cluster`); present only when a run clusters.
+    Clusters,
     /// In-edges of one partition, sorted by bridge vertex.
     InEdges(u32),
     /// Out-edges of one partition, sorted by bridge vertex.
@@ -96,6 +99,7 @@ impl StreamId {
         match self {
             StreamId::Meta => RecordKind::Meta,
             StreamId::Assignment => RecordKind::Assignment,
+            StreamId::Clusters => RecordKind::Clusters,
             StreamId::InEdges(_) => RecordKind::InEdges,
             StreamId::OutEdges(_) => RecordKind::OutEdges,
             StreamId::Profiles(_) => RecordKind::Profiles,
@@ -123,6 +127,7 @@ impl StreamId {
         match self {
             StreamId::Meta => wd.meta_path(),
             StreamId::Assignment => wd.assignment_path(),
+            StreamId::Clusters => wd.clusters_path(),
             StreamId::InEdges(p) => wd.in_edges_path(p),
             StreamId::OutEdges(p) => wd.out_edges_path(p),
             StreamId::Profiles(p) => wd.profiles_path(p),
@@ -146,6 +151,7 @@ impl fmt::Display for StreamId {
         match self {
             StreamId::Meta => write!(f, "meta"),
             StreamId::Assignment => write!(f, "assignment"),
+            StreamId::Clusters => write!(f, "clusters"),
             StreamId::InEdges(p) => write!(f, "p{p:04}.in_edges"),
             StreamId::OutEdges(p) => write!(f, "p{p:04}.out_edges"),
             StreamId::Profiles(p) => write!(f, "p{p:04}.profiles"),
@@ -577,6 +583,7 @@ impl StorageBackend for DiskBackend {
         for (file, stream) in [
             ("meta.bin", StreamId::Meta),
             ("assignment.bin", StreamId::Assignment),
+            ("clusters.bin", StreamId::Clusters),
         ] {
             if root.join(file).exists() {
                 streams.push(stream);

@@ -103,6 +103,12 @@ impl WorkingDir {
         self.root.join("assignment.bin")
     }
 
+    /// Path of the user→cluster assignment file (written only when a
+    /// run uses the clustering pre-pass; absent otherwise).
+    pub fn clusters_path(&self) -> PathBuf {
+        self.root.join("clusters.bin")
+    }
+
     /// Path of the tuple bucket for the partition pair `(i, j)` — the
     /// on-disk materialization of the PI-graph edge `(Ri, Rj)`.
     pub fn tuples_path(&self, i: u32, j: u32) -> PathBuf {

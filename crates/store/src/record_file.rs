@@ -49,6 +49,8 @@ pub enum RecordKind {
     /// varint-delta format of [`crate::tuple_stream`] (format v2;
     /// [`RecordKind::Tuples`] is the legacy fixed-width encoding).
     TuplesV2 = 10,
+    /// User → cluster-label rows (the locality pre-pass artifact).
+    Clusters = 11,
 }
 
 /// Appends the trailing CRC-32 frame to a codec payload, producing the

@@ -13,6 +13,7 @@
 //! | [`graph`] | `knn-graph` | graph types, generators, edge-list I/O |
 //! | [`sim`] | `knn-sim` | sparse profiles, similarity measures, workload generators |
 //! | [`store`] | `knn-store` | the `StorageBackend` trait (disk + in-memory backends), codecs, I/O accounting, disk models, the 2-slot cache |
+//! | [`cluster`] | `knn-cluster` | locality pre-pass: sketch embeddings, mini-batch k-means / random buckets, cluster-seeded `G(0)` |
 //! | [`core`] | `knn-core` | the five-phase engine (partitioning → tuples → PI graph → KNN → updates) |
 //! | [`shard`] | `knn-shard` | consistent-hash shard layer: `ShardedEngine`, cross-shard tuple exchange, routing backend |
 //! | [`serve`] | `knn-serve` | online query layer: snapshot swap, concurrent `KnnService`, background refinement, sharded scatter-gather |
@@ -85,6 +86,7 @@
 //! ```
 
 pub use knn_baseline as baseline;
+pub use knn_cluster as cluster;
 pub use knn_core as core;
 pub use knn_datasets as datasets;
 pub use knn_graph as graph;
@@ -94,6 +96,7 @@ pub use knn_sim as sim;
 pub use knn_store as store;
 
 pub use knn_baseline::{brute_force_knn, recall_at_k, NnDescent, NnDescentConfig};
+pub use knn_cluster::{cluster_profiles, ClusterAssignment, ClusterMethod};
 pub use knn_core::{
     EngineConfig, EngineError, Heuristic, IterationReport, KnnEngine, PartitionerKind, PiGraph,
 };

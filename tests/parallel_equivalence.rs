@@ -69,7 +69,10 @@ fn deterministic_fields(r: &IterationReport) -> impl PartialEq + std::fmt::Debug
         r.accums_seeded,
         (r.bytes_spilled, r.spill_runs, r.merge_passes),
         r.updates_applied,
-        r.replication_cost,
+        // Partition locality (replication cost, intra-partition tuple
+        // count) is a function of the partitioning and the tuple set
+        // alone — thread- and shard-invariant like the rest.
+        (r.replication_cost, r.intra_partition_tuples),
         r.changed_fraction.to_bits(),
     )
 }

@@ -66,7 +66,7 @@ fn deterministic_fields(r: &IterationReport) -> impl PartialEq + std::fmt::Debug
         r.accums_seeded,
         (r.bytes_spilled, r.spill_runs, r.merge_passes),
         r.updates_applied,
-        r.replication_cost,
+        (r.replication_cost, r.intra_partition_tuples),
         r.changed_fraction.to_bits(),
     )
 }
