@@ -1,0 +1,197 @@
+//! **Experiment S2 — ingest-to-visibility latency.**
+//!
+//! Measures how long an accepted profile update takes to become
+//! visible in a served snapshot, under live refinement, with the
+//! fast-path repair worker on versus off. With repair off an update
+//! waits for the next full iteration (seconds on large worlds); with
+//! repair on the worker drains, re-places, and republishes in
+//! milliseconds — the paper-scale claim is a repaired publish well
+//! under one second on a 50k-user world.
+//!
+//! Emits one JSON document on stdout (for the BENCH trajectory) and a
+//! human-readable table on stderr.
+//!
+//! Usage: `repair_latency [--users N] [--k N] [--partitions N]
+//! [--seed N] [--updates N] [--baseline-updates N]`
+
+use std::time::{Duration, Instant};
+
+use knn_bench::{opt_or, TextTable};
+use knn_core::{EngineConfig, KnnEngine};
+use knn_datasets::WorkloadConfig;
+use knn_graph::UserId;
+use knn_serve::{KnnService, RefineOptions};
+use knn_sim::{Profile, ProfileDelta, ProfileStore};
+
+/// Item-id range far above any workload item, so every benched update
+/// is detectable by profile equality alone.
+const FRESH_ITEM_BASE: u32 = 10_000_000;
+
+struct Measurement {
+    mode: &'static str,
+    latencies_ms: Vec<f64>,
+    repaired_epochs: u64,
+    epochs_crossed: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fresh_profile(tag: u32) -> Profile {
+    Profile::from_unsorted_pairs(vec![
+        (FRESH_ITEM_BASE + 2 * tag, 1.0),
+        (FRESH_ITEM_BASE + 2 * tag + 1, 2.0),
+    ])
+    .expect("finite profile")
+}
+
+/// Submits `updates` replaces one at a time and measures each
+/// submit→visible wall time by polling the served snapshot.
+fn measure(
+    mode: &'static str,
+    repair: bool,
+    config: EngineConfig,
+    profiles: ProfileStore,
+    updates: usize,
+    n: usize,
+) -> Measurement {
+    let engine = KnnEngine::in_memory(config, profiles).expect("engine");
+    let options = RefineOptions {
+        // Refine forever: visibility is measured *under* live
+        // iteration churn, not on an idle loop.
+        convergence_threshold: None,
+        max_iterations: None,
+        idle_park: Duration::from_millis(1),
+        repair,
+    };
+    let (service, refine) = knn_serve::spawn(engine, options).expect("spawn");
+    // Let the loop enter its first iteration before measuring.
+    std::thread::sleep(Duration::from_millis(50));
+    let epoch_before = service.snapshot().epoch();
+
+    let mut state = 0x9E37_79B9u64 | 1;
+    let mut latencies_ms = Vec::with_capacity(updates);
+    for i in 0..updates {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let user = UserId::new(((state >> 33) % n as u64) as u32);
+        let fresh = fresh_profile(i as u32);
+        let submitted = Instant::now();
+        service
+            .submit_update(ProfileDelta::replace(user, fresh.clone()))
+            .expect("accepted");
+        wait_visible(&service, user, &fresh);
+        latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stats = service.stats();
+    let epochs_crossed = service.snapshot().epoch() - epoch_before;
+    refine.stop().expect("stop");
+    Measurement {
+        mode,
+        latencies_ms,
+        repaired_epochs: stats.repaired_epochs,
+        epochs_crossed,
+    }
+}
+
+fn wait_visible(service: &KnnService, user: UserId, expected: &Profile) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while service.snapshot().profiles().get(user) != expected {
+        if Instant::now() > deadline {
+            panic!("update for {user} never became visible");
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = opt_or(&args, "users", 50_000);
+    let k: usize = opt_or(&args, "k", 8);
+    let m: usize = opt_or(&args, "partitions", 8);
+    let seed: u64 = opt_or(&args, "seed", 42);
+    let updates: usize = opt_or(&args, "updates", 40);
+    let baseline_updates: usize = opt_or(&args, "baseline-updates", 6);
+
+    eprintln!(
+        "S2 repair latency: n={n}, K={k}, m={m}, seed={seed}, \
+         updates={updates} (baseline {baseline_updates})"
+    );
+
+    let workload = WorkloadConfig::recommender().build(n, seed);
+    let config = EngineConfig::builder(n)
+        .k(k)
+        .num_partitions(m)
+        .measure(workload.measure)
+        .seed(seed)
+        .build()
+        .expect("config");
+
+    let started = Instant::now();
+    let results = [
+        measure(
+            "repair",
+            true,
+            config.clone(),
+            workload.profiles.clone(),
+            updates,
+            n,
+        ),
+        measure(
+            "baseline",
+            false,
+            config,
+            workload.profiles,
+            baseline_updates,
+            n,
+        ),
+    ];
+
+    let mut table = TextTable::new(&[
+        "mode", "updates", "p50 ms", "p99 ms", "max ms", "repaired", "epochs",
+    ]);
+    let mut rows = Vec::new();
+    for r in &results {
+        let mut sorted = r.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let p50 = percentile(&sorted, 0.50);
+        let p99 = percentile(&sorted, 0.99);
+        let max = sorted.last().copied().unwrap_or(f64::NAN);
+        let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+        table.row(&[
+            r.mode.to_string(),
+            sorted.len().to_string(),
+            format!("{p50:.1}"),
+            format!("{p99:.1}"),
+            format!("{max:.1}"),
+            r.repaired_epochs.to_string(),
+            r.epochs_crossed.to_string(),
+        ]);
+        rows.push(format!(
+            r#"{{"mode":"{}","updates":{},"p50_ms":{:.2},"p99_ms":{:.2},"max_ms":{:.2},"mean_ms":{:.2},"repaired_epochs":{},"epochs_crossed":{}}}"#,
+            r.mode,
+            sorted.len(),
+            p50,
+            p99,
+            max,
+            mean,
+            r.repaired_epochs,
+            r.epochs_crossed
+        ));
+    }
+    eprintln!("{}", table.render());
+
+    println!(
+        r#"{{"bench":"repair_latency","users":{n},"k":{k},"partitions":{m},"seed":{seed},"wall_s":{:.2},"results":[{}]}}"#,
+        started.elapsed().as_secs_f64(),
+        rows.join(",")
+    );
+}

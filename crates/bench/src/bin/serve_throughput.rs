@@ -103,6 +103,7 @@ fn main() {
         convergence_threshold: None,
         max_iterations: None,
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options).expect("spawn service");
 

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use knn_graph::UserId;
-use knn_sim::{DeltaOp, Profile, ProfileDelta};
+use knn_sim::{Profile, ProfileDelta};
 use knn_store::backend::{append_delta, read_deltas, read_user_lists, write_user_lists};
 use knn_store::{StorageBackend, StoreError, StreamId};
 
@@ -48,7 +48,8 @@ impl UpdateQueue {
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidUpdate`] for an out-of-range user
-    /// or a non-finite `Set` weight, [`EngineError::Store`] on I/O
+    /// or any non-finite weight (`Set` and `Replace` alike, via
+    /// [`DeltaOp::weights_finite`]), [`EngineError::Store`] on I/O
     /// failure.
     pub fn queue(
         &mut self,
@@ -61,13 +62,11 @@ impl UpdateQueue {
                 delta.user, self.num_users
             )));
         }
-        if let DeltaOp::Set(item, weight) = &delta.op {
-            if !weight.is_finite() {
-                return Err(EngineError::update(format!(
-                    "non-finite weight {weight} for item {item} of user {}",
-                    delta.user
-                )));
-            }
+        if !delta.op.weights_finite() {
+            return Err(EngineError::update(format!(
+                "non-finite weight in update for user {}",
+                delta.user
+            )));
         }
         append_delta(backend, delta)?;
         Ok(())
@@ -198,7 +197,7 @@ impl UpdateQueue {
 mod tests {
     use super::*;
     use crate::phase1::reshard_profiles;
-    use knn_sim::{ItemId, ProfileStore};
+    use knn_sim::{DeltaOp, ItemId, ProfileStore};
     use knn_store::MemBackend;
 
     fn setup(n: usize, m: usize) -> (MemBackend, Partitioning, UpdateQueue) {

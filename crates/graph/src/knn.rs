@@ -148,6 +148,96 @@ impl KnnGraph {
         false
     }
 
+    /// Re-scores an existing edge `v → target` to `sim`, repositioning
+    /// it in the best-first order. Unlike [`insert`](KnnGraph::insert),
+    /// this **allows downgrades** — it is the primitive the online
+    /// repair path uses when a profile change moves a similarity in
+    /// either direction.
+    ///
+    /// Returns `false` (and changes nothing) if `target` is not in
+    /// `v`'s list or the score is bit-identical already.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `sim` is non-finite.
+    pub fn rescore_neighbor(&mut self, v: UserId, target: UserId, sim: f32) -> bool {
+        assert!(
+            sim.is_finite(),
+            "non-finite rescore of edge {v} -> {target}"
+        );
+        let list = &mut self.lists[v.index()];
+        let Some(pos) = list.iter().position(|n| n.id == target) else {
+            return false;
+        };
+        if list[pos].sim.to_bits() == sim.to_bits() {
+            return false;
+        }
+        list.remove(pos);
+        let cand = Neighbor::new(target, sim);
+        let at = list.partition_point(|n| n.beats(&cand));
+        list.insert(at, cand);
+        true
+    }
+
+    /// Offers `cand` to `v`'s list with **rescore semantics**: if the
+    /// target is already listed its score is moved to `cand.sim` (up
+    /// *or* down, via [`rescore_neighbor`](KnnGraph::rescore_neighbor));
+    /// otherwise this is a plain [`insert`](KnnGraph::insert). Returns
+    /// whether the list changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range, `cand.id == v`, or `cand.sim` is
+    /// non-finite.
+    pub fn offer_rescored(&mut self, v: UserId, cand: Neighbor) -> bool {
+        assert_ne!(v, cand.id, "self-loop offered to KNN list of {v}");
+        assert!(
+            cand.sim.is_finite(),
+            "non-finite score offered to KNN list of {v}"
+        );
+        if self.lists[v.index()].iter().any(|n| n.id == cand.id) {
+            self.rescore_neighbor(v, cand.id, cand.sim)
+        } else {
+            self.insert(v, cand)
+        }
+    }
+
+    /// Copy-on-write [`set_neighbors`](KnnGraph::set_neighbors): the
+    /// first patch on a shared graph clones it once (`Arc::make_mut`),
+    /// subsequent patches in the same batch mutate that private copy
+    /// in place. Published snapshots holding the old `Arc` are never
+    /// touched — this is how the serving layer's repair path edits
+    /// rows next to live readers.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`set_neighbors`](KnnGraph::set_neighbors).
+    pub fn patch_row(
+        graph: &mut std::sync::Arc<KnnGraph>,
+        v: UserId,
+        list: Vec<Neighbor>,
+    ) -> Result<(), GraphError> {
+        std::sync::Arc::make_mut(graph).set_neighbors(v, list)
+    }
+
+    /// Copy-on-write [`insert`](KnnGraph::insert) (see
+    /// [`patch_row`](KnnGraph::patch_row) for the sharing contract).
+    pub fn patch_offer(graph: &mut std::sync::Arc<KnnGraph>, v: UserId, cand: Neighbor) -> bool {
+        std::sync::Arc::make_mut(graph).offer_rescored(v, cand)
+    }
+
+    /// Copy-on-write [`rescore_neighbor`](KnnGraph::rescore_neighbor)
+    /// (see [`patch_row`](KnnGraph::patch_row) for the sharing
+    /// contract).
+    pub fn patch_rescore(
+        graph: &mut std::sync::Arc<KnnGraph>,
+        v: UserId,
+        target: UserId,
+        sim: f32,
+    ) -> bool {
+        std::sync::Arc::make_mut(graph).rescore_neighbor(v, target, sim)
+    }
+
     /// Replaces `v`'s entire neighbor list after validating the KNN
     /// invariants; the list is sorted internally.
     ///
@@ -508,6 +598,87 @@ mod tests {
         ));
         assert!(g.set_neighbors(v, vec![nb(2, 0.1), nb(1, 0.9)]).is_ok());
         assert_eq!(g.neighbors(v)[0], nb(1, 0.9));
+    }
+
+    #[test]
+    fn rescore_repositions_in_both_directions() {
+        let mut g = KnnGraph::new(5, 3);
+        let v = UserId::new(0);
+        g.insert(v, nb(1, 0.9));
+        g.insert(v, nb(2, 0.5));
+        g.insert(v, nb(3, 0.1));
+        // Downgrade: 1 falls from the top to the bottom.
+        assert!(g.rescore_neighbor(v, UserId::new(1), 0.05));
+        let ids: Vec<u32> = g.neighbors(v).iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+        // Upgrade: 3 climbs to the top.
+        assert!(g.rescore_neighbor(v, UserId::new(3), 0.95));
+        assert_eq!(g.neighbors(v)[0], nb(3, 0.95));
+        // Absent target and bit-identical score are both no-ops.
+        assert!(!g.rescore_neighbor(v, UserId::new(4), 0.5));
+        assert!(!g.rescore_neighbor(v, UserId::new(2), 0.5));
+        assert_eq!(g.neighbors(v).len(), 3);
+    }
+
+    #[test]
+    fn offer_rescored_downgrades_where_insert_would_not() {
+        let mut g = KnnGraph::new(5, 2);
+        let v = UserId::new(0);
+        g.insert(v, nb(1, 0.9));
+        g.insert(v, nb(2, 0.5));
+        // insert() ignores a downgrade for a listed target...
+        assert!(!g.insert(v, nb(1, 0.2)));
+        assert_eq!(g.neighbors(v)[0], nb(1, 0.9));
+        // ...offer_rescored applies it.
+        assert!(g.offer_rescored(v, nb(1, 0.2)));
+        let ids: Vec<u32> = g.neighbors(v).iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, vec![2, 1]);
+        // Unlisted targets go through plain insert (top-K eviction).
+        assert!(g.offer_rescored(v, nb(3, 0.7)));
+        let ids: Vec<u32> = g.neighbors(v).iter().map(|n| n.id.raw()).collect();
+        assert_eq!(ids, vec![3, 2]);
+        assert!(!g.offer_rescored(v, nb(4, 0.1)), "worse than a full tail");
+    }
+
+    #[test]
+    fn patch_helpers_leave_shared_readers_untouched() {
+        let mut base = KnnGraph::new(4, 2);
+        base.insert(UserId::new(0), nb(1, 0.5));
+        base.insert(UserId::new(1), nb(0, 0.5));
+        let published = std::sync::Arc::new(base);
+        let reader = std::sync::Arc::clone(&published);
+
+        let mut patched = std::sync::Arc::clone(&published);
+        KnnGraph::patch_row(&mut patched, UserId::new(0), vec![nb(2, 0.8), nb(3, 0.6)])
+            .expect("valid row");
+        assert!(KnnGraph::patch_offer(
+            &mut patched,
+            UserId::new(2),
+            nb(0, 0.8)
+        ));
+        assert!(KnnGraph::patch_rescore(
+            &mut patched,
+            UserId::new(1),
+            UserId::new(0),
+            0.1
+        ));
+
+        // The reader still sees the pre-patch generation, bit for bit.
+        assert_eq!(reader.neighbors(UserId::new(0)), &[nb(1, 0.5)]);
+        assert_eq!(reader.neighbors(UserId::new(1)), &[nb(0, 0.5)]);
+        assert!(reader.neighbors(UserId::new(2)).is_empty());
+        // The patched copy has all three edits.
+        assert_eq!(patched.neighbors(UserId::new(0))[0], nb(2, 0.8));
+        assert_eq!(patched.neighbors(UserId::new(2)), &[nb(0, 0.8)]);
+        assert_eq!(patched.neighbors(UserId::new(1)), &[nb(0, 0.1)]);
+        // An exclusively held Arc is patched in place (no clone).
+        let before = std::sync::Arc::as_ptr(&patched);
+        assert!(KnnGraph::patch_offer(
+            &mut patched,
+            UserId::new(3),
+            nb(1, 0.3)
+        ));
+        assert_eq!(std::sync::Arc::as_ptr(&patched), before);
     }
 
     #[test]

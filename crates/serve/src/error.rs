@@ -4,6 +4,7 @@ use std::fmt;
 
 use knn_core::EngineError;
 use knn_graph::UserId;
+use knn_sim::ProfileDelta;
 
 /// Errors surfaced by the online serving layer.
 #[derive(Debug)]
@@ -22,6 +23,24 @@ pub enum ServeError {
     NonFiniteWeight {
         /// The user whose update was rejected.
         user: UserId,
+    },
+    /// An ad-hoc query profile carried a non-finite weight. Scoring a
+    /// NaN would rank the garbage result *first* (best-first order is
+    /// `total_cmp`, under which NaN sorts above every real score), so
+    /// queries are validated with the same finite-weight rule ingest
+    /// enforces.
+    NonFiniteQuery,
+    /// Accepted updates could not be handed to the engine's durable
+    /// phase-5 log before shutdown (the log's backend kept failing).
+    /// Rather than being dropped, they are returned here — the caller
+    /// can re-queue them once storage recovers. `source` is the last
+    /// queueing error observed.
+    UnpersistedUpdates {
+        /// The accepted-but-unpersisted deltas, in submission order
+        /// per user.
+        updates: Vec<ProfileDelta>,
+        /// The last error the engine's update queue returned.
+        source: Option<Box<ServeError>>,
     },
     /// The refinement thread panicked; the engine state is lost.
     RefineLoopPanicked,
@@ -44,6 +63,15 @@ impl fmt::Display for ServeError {
             ServeError::NonFiniteWeight { user } => {
                 write!(f, "update for user {user} carries a non-finite weight")
             }
+            ServeError::NonFiniteQuery => f.write_str("query profile carries a non-finite weight"),
+            ServeError::UnpersistedUpdates { updates, .. } => {
+                write!(
+                    f,
+                    "{} accepted update(s) could not be persisted to the engine's \
+                     update log at shutdown and are returned to the caller",
+                    updates.len()
+                )
+            }
             ServeError::RefineLoopPanicked => f.write_str("refinement thread panicked"),
             ServeError::Stopped => {
                 f.write_str("refinement loop has terminated; updates are no longer accepted")
@@ -56,6 +84,9 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
+            ServeError::UnpersistedUpdates {
+                source: Some(e), ..
+            } => Some(e.as_ref()),
             _ => None,
         }
     }

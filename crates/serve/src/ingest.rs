@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use knn_sim::{DeltaOp, ProfileDelta};
+use knn_sim::ProfileDelta;
 
 use crate::ServeError;
 
@@ -73,13 +73,12 @@ impl UpdateIngest {
                 num_users: self.num_users,
             });
         }
-        let finite = match &delta.op {
-            DeltaOp::Set(_, w) => w.is_finite(),
-            DeltaOp::Replace(p) => p.iter().all(|(_, w)| w.is_finite()),
-            DeltaOp::Remove(_) | DeltaOp::Clear => true,
-            _ => true,
-        };
-        if !finite {
+        // `DeltaOp` is #[non_exhaustive], so an exhaustive match here
+        // is impossible — the finite-weight rule lives in
+        // `DeltaOp::weights_finite`, whose in-crate match *is*
+        // exhaustive: adding a weight-carrying variant breaks the
+        // build there instead of silently bypassing this check.
+        if !delta.op.weights_finite() {
             return Err(ServeError::NonFiniteWeight { user: delta.user });
         }
         Ok(())
@@ -191,6 +190,13 @@ mod tests {
         let mut p = Profile::new();
         p.set(ItemId::new(1), 2.0);
         q.submit(ProfileDelta::replace(UserId::new(0), p)).unwrap();
+        // A Replace smuggling a NaN through the unchecked constructor
+        // is still caught — the check walks every carried weight.
+        let poisoned = Profile::from_sorted_pairs_unchecked(vec![(ItemId::new(1), f32::NAN)]);
+        assert!(matches!(
+            q.submit(ProfileDelta::replace(UserId::new(0), poisoned)),
+            Err(ServeError::NonFiniteWeight { .. })
+        ));
         // Remove and Clear are always valid for in-range users.
         q.submit(ProfileDelta::remove(UserId::new(0), ItemId::new(1)))
             .unwrap();

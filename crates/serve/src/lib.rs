@@ -26,6 +26,35 @@
 //!   on its own thread, and publishes a fresh snapshot after every
 //!   iteration. [`RefineHandle::stop`] recovers the engine.
 //!
+//! # Fast-path repair (sub-second ingest-to-visibility)
+//!
+//! By default an accepted update becomes queryable only when the next
+//! full iteration publishes — seconds on large worlds. Setting
+//! [`RefineOptions::repair`] spawns a repair worker that makes
+//! ingest-to-visibility iteration-independent: as soon as updates
+//! drain it applies them to a cloned profile view, re-places each
+//! touched user by greedy search over the current snapshot graph
+//! (seeded from the user's old row, scored through the exact phase-4
+//! `upper_bound` funnel), patches the affected rows copy-on-write, and
+//! publishes the result as a new epoch tagged
+//! [`Snapshot::repaired`]`() == true`.
+//!
+//! **Approximation contract.** Repaired epochs are *best-effort*: the
+//! placed rows are the best candidates the greedy search reached, not
+//! a full recomputation. Every epoch with `repaired() == false` is an
+//! *exact* engine generation — the background iteration reconciles
+//! repaired state on its next publish, and once all pending updates
+//! have been through an iteration the served graph is bit-identical
+//! to a never-repaired engine's (the engine itself never sees
+//! repaired rows; its durable phase-5 log gets every delta).
+//!
+//! **Durability contract.** An update accepted with `Ok` is never
+//! dropped: it is either applied by an iteration, parked in the
+//! engine's durable phase-5 log, or — if the log's backend keeps
+//! failing through shutdown — returned to the caller in
+//! [`ServeError::UnpersistedUpdates`]. Queue failures are retried on
+//! every loop pass, preserving per-user submission order.
+//!
 //! The sharded twins — [`spawn_sharded`], [`ShardedKnnService`],
 //! [`ShardedRefineHandle`] — serve a `knn_shard::ShardedEngine` the
 //! same way, with per-shard snapshots and scatter-gather queries that
@@ -60,6 +89,7 @@
 mod error;
 mod ingest;
 mod refine;
+mod repair;
 mod service;
 mod sharded;
 mod snapshot;

@@ -1,13 +1,33 @@
-//! The background refinement loop and its control handle.
+//! The background refinement loop, the fast-path repair worker, and
+//! their control handle.
+//!
+//! With [`RefineOptions::repair`] off (the default) there is one
+//! background thread: it drains the ingest queue, feeds the engine's
+//! phase-5 log, runs iterations, and publishes an exact snapshot after
+//! each one — updates become visible only at iteration boundaries.
+//!
+//! With repair on, a second thread (`knn-repair`) owns the ingest
+//! queue: it drains updates, applies them to the served view
+//! immediately, re-places each touched user by greedy search over the
+//! current graph (see [`crate::repair`]), and publishes the patched
+//! state as a new epoch tagged [`repaired`](crate::Snapshot::repaired)
+//! — ingest-to-visibility is decoupled from iteration time. Drained
+//! deltas are then forwarded to the refine thread, which queues them
+//! into the engine's durable log and reconciles exactly on its next
+//! publish. Both threads publish through one shared [`ViewState`]
+//! lock, so epochs stay strictly ordered.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use knn_core::KnnEngine;
+use knn_graph::KnnGraph;
+use knn_sim::{Measure, ProfileDelta, ProfileStore};
 
 use crate::ingest::UpdateIngest;
+use crate::repair::{queue_all, repair_touched};
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::{KnnService, ServeError};
 
@@ -29,6 +49,14 @@ pub struct RefineOptions {
     /// service wakes it immediately, so this only bounds the latency
     /// of convergence-threshold re-checks.
     pub idle_park: Duration,
+    /// Enable the fast-path repair worker: drained updates are placed
+    /// into the served graph and published as `repaired: true` epochs
+    /// *immediately*, instead of waiting for the next full iteration.
+    /// Repaired generations are best-effort (greedy placement); every
+    /// exact publish reconciles them. Off by default: with repair off
+    /// every published snapshot is an exact engine generation, which
+    /// some tests and consumers rely on.
+    pub repair: bool,
 }
 
 impl Default for RefineOptions {
@@ -37,11 +65,29 @@ impl Default for RefineOptions {
             convergence_threshold: Some(0.01),
             max_iterations: None,
             idle_park: Duration::from_millis(20),
+            repair: false,
         }
     }
 }
 
-/// Shared state between the service, the handle, and the loop thread.
+/// The mutable served view both publishers edit under one lock: the
+/// repair worker patches it per drained batch, the refine thread
+/// replaces it wholesale per iteration. `epoch` is the single source
+/// of publication order.
+#[derive(Debug)]
+pub(crate) struct ViewState {
+    pub(crate) epoch: u64,
+    pub(crate) iteration: u64,
+    pub(crate) changed_fraction: f64,
+    pub(crate) graph: Arc<KnnGraph>,
+    pub(crate) profiles: Arc<ProfileStore>,
+    /// Deltas already applied to the view (and published as repaired)
+    /// but not yet handed to the engine — the repair worker appends,
+    /// the refine thread takes.
+    pub(crate) pending_engine: Vec<ProfileDelta>,
+}
+
+/// Shared state between the service, the handle, and the loop threads.
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) cell: SnapshotCell,
@@ -50,6 +96,15 @@ pub(crate) struct Shared {
     /// Last published epoch + its condvar, for `wait_for_epoch`.
     pub(crate) published: Mutex<u64>,
     pub(crate) published_cv: Condvar,
+    pub(crate) view: Mutex<ViewState>,
+    /// Repaired epochs published so far.
+    pub(crate) repaired_epochs: AtomicU64,
+    /// Failed `queue_update` attempts (each is retried; see
+    /// [`crate::repair::queue_all`]).
+    pub(crate) queue_failures: AtomicU64,
+    /// The refine thread's handle, set right after spawn — the repair
+    /// worker unparks it when it forwards deltas.
+    pub(crate) refine_thread: OnceLock<std::thread::Thread>,
 }
 
 impl Shared {
@@ -64,7 +119,9 @@ impl Shared {
 /// Starts serving `engine`: publishes the engine's current state as
 /// snapshot epoch 0, then hands the engine to a background thread that
 /// drains queued updates, runs five-phase iterations, and publishes a
-/// fresh snapshot after each one.
+/// fresh snapshot after each one. With [`RefineOptions::repair`] a
+/// second worker additionally publishes repaired epochs as soon as
+/// updates drain (see the module docs).
 ///
 /// Returns the cloneable query front-end and the (unique) control
 /// handle that stops the loop and recovers the engine.
@@ -76,13 +133,16 @@ pub fn spawn(
     engine: KnnEngine,
     options: RefineOptions,
 ) -> Result<(KnnService, RefineHandle), ServeError> {
+    let measure = engine.config().measure();
+    let graph = Arc::new(engine.graph().clone());
+    let profiles = Arc::new(engine.export_profiles()?);
     let initial = Snapshot::new(
         0,
         engine.iteration(),
         1.0,
-        engine.config().measure(),
-        Arc::new(engine.graph().clone()),
-        Arc::new(engine.export_profiles()?),
+        measure,
+        Arc::clone(&graph),
+        Arc::clone(&profiles),
     );
     let shared = Arc::new(Shared {
         cell: SnapshotCell::new(initial),
@@ -90,34 +150,141 @@ pub fn spawn(
         stop: AtomicBool::new(false),
         published: Mutex::new(0),
         published_cv: Condvar::new(),
+        view: Mutex::new(ViewState {
+            epoch: 0,
+            iteration: engine.iteration(),
+            changed_fraction: 1.0,
+            graph,
+            profiles: Arc::clone(&profiles),
+            pending_engine: Vec::new(),
+        }),
+        repaired_epochs: AtomicU64::new(0),
+        queue_failures: AtomicU64::new(0),
+        refine_thread: OnceLock::new(),
     });
+
+    let worker = if options.repair {
+        let worker_shared = Arc::clone(&shared);
+        let idle_park = options.idle_park;
+        Some(
+            std::thread::Builder::new()
+                .name("knn-repair".into())
+                .spawn(move || repair_worker(&worker_shared, measure, idle_park))
+                .expect("spawning the repair worker"),
+        )
+    } else {
+        None
+    };
+    // Submits wake the thread that drains the ingest queue: the repair
+    // worker when repair is on, the refine loop otherwise.
+    let wake = worker.as_ref().map(|w| w.thread().clone());
 
     let loop_shared = Arc::clone(&shared);
     let thread = std::thread::Builder::new()
         .name("knn-refine".into())
-        .spawn(move || refine_loop(engine, loop_shared, options))
+        .spawn(move || refine_loop(engine, profiles, loop_shared, options, worker))
         .expect("spawning the refinement thread");
+    let wake = wake.unwrap_or_else(|| thread.thread().clone());
+    shared
+        .refine_thread
+        .set(thread.thread().clone())
+        .expect("refine thread registered once");
 
-    let service = KnnService::new(Arc::clone(&shared), thread.thread().clone());
+    let service = KnnService::new(Arc::clone(&shared), wake);
     let handle = RefineHandle { shared, thread };
     Ok((service, handle))
 }
 
+/// The fast-path worker: drain → apply to the view → greedy re-place →
+/// publish as a repaired epoch → forward to the refine thread.
+fn repair_worker(shared: &Shared, measure: Measure, idle_park: Duration) {
+    while !shared.stop.load(Ordering::Acquire) {
+        let drained = shared.ingest.drain();
+        if drained.is_empty() {
+            std::thread::park_timeout(idle_park);
+            continue;
+        }
+        let epoch = {
+            let mut view = shared.view.lock().expect("view lock poisoned");
+            let state = &mut *view;
+            Arc::make_mut(&mut state.profiles).apply_deltas(&drained);
+            repair_touched(&mut state.graph, &state.profiles, measure, &drained);
+            state.pending_engine.extend(drained);
+            state.epoch += 1;
+            shared.cell.publish(
+                Snapshot::new(
+                    state.epoch,
+                    state.iteration,
+                    state.changed_fraction,
+                    measure,
+                    Arc::clone(&state.graph),
+                    Arc::clone(&state.profiles),
+                )
+                .with_repaired(true),
+            );
+            state.epoch
+        };
+        shared.repaired_epochs.fetch_add(1, Ordering::Relaxed);
+        shared.notify_epoch(epoch);
+        // The refine thread must queue the forwarded deltas into the
+        // engine's durable log and eventually reconcile.
+        if let Some(refine) = shared.refine_thread.get() {
+            refine.unpark();
+        }
+    }
+}
+
 fn refine_loop(
     mut engine: KnnEngine,
+    initial_profiles: Arc<ProfileStore>,
     shared: Arc<Shared>,
     options: RefineOptions,
-) -> Result<KnnEngine, crate::ServeError> {
-    let result = refine_loop_inner(&mut engine, &shared, &options);
-    // Terminal path for stop, engine failure, and (via the panic
-    // hook-free contract) normal return alike: close the ingest queue
-    // so submits start failing with `Stopped`, then move anything it
-    // still held into the engine's durable phase-5 log — an update
-    // accepted with `Ok` is never silently dropped, it is either in a
-    // published snapshot or recoverable from the engine's log.
-    let stragglers = shared.ingest.close_and_drain();
-    for delta in &stragglers {
-        engine.queue_update(delta)?;
+    worker: Option<JoinHandle<()>>,
+) -> Result<KnnEngine, ServeError> {
+    let mut parked: Vec<ProfileDelta> = Vec::new();
+    let result = refine_loop_inner(
+        &mut engine,
+        initial_profiles,
+        &shared,
+        &options,
+        &mut parked,
+    );
+    // Terminal path for stop, engine failure, and normal return alike.
+    // Order matters: stop and join the repair worker first so nothing
+    // drains the ingest queue behind our back, then close the queue so
+    // submits start failing with `Stopped`, then move everything
+    // accepted but not yet in the engine's durable phase-5 log into
+    // it: previously parked deltas (oldest first), deltas the worker
+    // forwarded but we never queued, then the closing drain's
+    // stragglers. Every delta is attempted — one failure must not drop
+    // the rest — and anything that still cannot be persisted is
+    // *returned* via [`ServeError::UnpersistedUpdates`], never
+    // silently dropped.
+    shared.stop.store(true, Ordering::Release);
+    if let Some(worker) = worker {
+        worker.thread().unpark();
+        let _ = worker.join();
+    }
+    let mut leftovers = {
+        let mut view = shared.view.lock().expect("view lock poisoned");
+        std::mem::take(&mut view.pending_engine)
+    };
+    leftovers.extend(shared.ingest.close_and_drain());
+    let mut errors = Vec::new();
+    queue_all(
+        &mut parked,
+        leftovers,
+        &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
+        &mut errors,
+    );
+    shared
+        .queue_failures
+        .fetch_add(errors.len() as u64, Ordering::Relaxed);
+    if !parked.is_empty() {
+        return Err(ServeError::UnpersistedUpdates {
+            updates: parked,
+            source: errors.pop().map(Box::new),
+        });
     }
     result?;
     Ok(engine)
@@ -125,37 +292,66 @@ fn refine_loop(
 
 fn refine_loop_inner(
     engine: &mut KnnEngine,
+    initial_profiles: Arc<ProfileStore>,
     shared: &Shared,
     options: &RefineOptions,
-) -> Result<(), crate::ServeError> {
-    let mut epoch = 0u64;
+    parked: &mut Vec<ProfileDelta>,
+) -> Result<(), ServeError> {
+    let measure = engine.config().measure();
     let mut iterations_run = 0u64;
     let mut converged = false;
-    // The served profile view, maintained incrementally: cloning the
-    // previous store and replaying the drained deltas mirrors exactly
-    // what the iteration's phase 5 does on disk, without re-reading
-    // every partition file per publish.
-    let mut profiles = Arc::clone(shared.cell.load().profiles());
-    let mut unapplied: Vec<knn_sim::ProfileDelta> = Vec::new();
+    // The engine-exact profile view `P(t)`, maintained incrementally:
+    // cloning the previous store and replaying the drained deltas
+    // mirrors exactly what the iteration's phase 5 does on disk,
+    // without re-reading every partition file per publish. (This must
+    // start from the engine's own export, *not* the served view — the
+    // repair worker may already have patched the latter.)
+    let mut engine_profiles = initial_profiles;
+    // Deltas queued into the engine's log but not yet applied by an
+    // iteration.
+    let mut unapplied: Vec<ProfileDelta> = Vec::new();
 
     while !shared.stop.load(Ordering::Acquire) {
-        let drained = shared.ingest.drain();
-        if !drained.is_empty() {
+        // Intake: with repair on, the worker owns the ingest queue and
+        // forwards drained deltas through the view; otherwise we drain
+        // the queue directly.
+        let fresh = if options.repair {
+            let mut view = shared.view.lock().expect("view lock poisoned");
+            std::mem::take(&mut view.pending_engine)
+        } else {
+            shared.ingest.drain()
+        };
+
+        // Queue every delta into the engine's durable log, retrying
+        // previously failed ones first. Failures park the delta (and
+        // its user's later deltas, preserving order) for the next
+        // pass; they do not abort the loop.
+        let mut errors = Vec::new();
+        let queued = queue_all(
+            parked,
+            fresh,
+            &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
+            &mut errors,
+        );
+        if !errors.is_empty() {
+            shared
+                .queue_failures
+                .fetch_add(errors.len() as u64, Ordering::Relaxed);
+        }
+        if !queued.is_empty() {
             // New profile data can change similarities: resume refining.
             converged = false;
-            for delta in &drained {
-                engine.queue_update(delta)?;
-            }
-            unapplied.extend(drained);
         }
+        unapplied.extend(queued);
 
         let capped = options
             .max_iterations
             .is_some_and(|max| iterations_run >= max);
         if (capped || converged) && unapplied.is_empty() {
             // Nothing to refine and no updates awaiting application:
-            // park until a submit/stop unparks us (or the idle
-            // interval elapses and we re-check).
+            // park until a submit/forward/stop unparks us (or the idle
+            // interval elapses and we re-check, which also retries
+            // parked deltas).
             std::thread::park_timeout(options.idle_park);
             continue;
         }
@@ -169,33 +365,66 @@ fn refine_loop_inner(
         }
 
         // Phase 5 just applied the engine's whole update log. In the
-        // steady state that log is exactly `unapplied`, so the served
+        // steady state that log is exactly `unapplied`, so the exact
         // view advances by replaying the same deltas in the same
         // order. If the counts disagree (e.g. the engine recovered
         // older updates from a pre-existing on-disk log), fall back to
         // the authoritative full export.
         if report.updates_applied == unapplied.len() as u64 {
             if !unapplied.is_empty() {
-                let mut next = (*profiles).clone();
+                let mut next = (*engine_profiles).clone();
                 next.apply_deltas(&unapplied);
                 unapplied.clear();
-                profiles = Arc::new(next);
+                engine_profiles = Arc::new(next);
             }
         } else {
             unapplied.clear();
-            profiles = Arc::new(engine.export_profiles()?);
+            engine_profiles = Arc::new(engine.export_profiles()?);
         }
 
-        epoch += 1;
-        let next = Snapshot::new(
-            epoch,
-            engine.iteration(),
-            report.changed_fraction,
-            engine.config().measure(),
-            Arc::new(engine.graph().clone()),
-            Arc::clone(&profiles),
-        );
-        shared.cell.publish(next);
+        // Exact publish, through the same view lock the repair worker
+        // uses so epochs stay strictly ordered.
+        let epoch = {
+            let mut view = shared.view.lock().expect("view lock poisoned");
+            let state = &mut *view;
+            let mut graph = Arc::new(engine.graph().clone());
+            let mut profiles = Arc::clone(&engine_profiles);
+            let mut repaired = false;
+            if options.repair {
+                // Deltas already visible in the served view (published
+                // as repaired) but not in this iteration — forwarded
+                // mid-run or still parked on queue failures. Re-apply
+                // and re-place them on the fresh exact state so the
+                // served view never loses a published update.
+                let still_pending: Vec<ProfileDelta> = parked
+                    .iter()
+                    .chain(state.pending_engine.iter())
+                    .cloned()
+                    .collect();
+                if !still_pending.is_empty() {
+                    Arc::make_mut(&mut profiles).apply_deltas(&still_pending);
+                    repair_touched(&mut graph, &profiles, measure, &still_pending);
+                    repaired = true;
+                }
+            }
+            state.graph = graph;
+            state.profiles = profiles;
+            state.iteration = engine.iteration();
+            state.changed_fraction = report.changed_fraction;
+            state.epoch += 1;
+            shared.cell.publish(
+                Snapshot::new(
+                    state.epoch,
+                    state.iteration,
+                    state.changed_fraction,
+                    measure,
+                    Arc::clone(&state.graph),
+                    Arc::clone(&state.profiles),
+                )
+                .with_repaired(repaired),
+            );
+            state.epoch
+        };
         shared.notify_epoch(epoch);
     }
     Ok(())
@@ -213,13 +442,16 @@ pub struct RefineHandle {
 
 impl RefineHandle {
     /// Signals the loop to stop after its current iteration, joins
-    /// the thread, and returns the engine (for persistence, batch
-    /// work, or a later re-spawn).
+    /// the thread (and the repair worker, if any), and returns the
+    /// engine (for persistence, batch work, or a later re-spawn).
     ///
     /// # Errors
     ///
-    /// Propagates an engine error that terminated the loop early, or
-    /// [`ServeError::RefineLoopPanicked`] if the thread panicked.
+    /// Propagates an engine error that terminated the loop early,
+    /// [`ServeError::RefineLoopPanicked`] if the thread panicked, or
+    /// [`ServeError::UnpersistedUpdates`] carrying every accepted
+    /// update that could not be moved into the engine's durable log —
+    /// accepted updates are returned, never dropped.
     pub fn stop(self) -> Result<KnnEngine, ServeError> {
         self.shared.stop.store(true, Ordering::Release);
         self.thread.thread().unpark();

@@ -18,6 +18,17 @@ struct Counters {
     profile_queries: AtomicU64,
 }
 
+/// Rejects query profiles carrying non-finite weights: best-first
+/// ordering is `total_cmp`, under which a NaN similarity would rank
+/// *above* every real score — garbage at rank 0. Same finite-weight
+/// rule ingest enforces on updates.
+pub(crate) fn validate_query(query: &Profile) -> Result<(), ServeError> {
+    if query.iter().any(|(_, w)| !w.is_finite()) {
+        return Err(ServeError::NonFiniteQuery);
+    }
+    Ok(())
+}
+
 /// A point-in-time copy of the service counters plus snapshot state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -32,6 +43,13 @@ pub struct ServiceStats {
     pub updates_drained: u64,
     /// Epoch of the currently published snapshot.
     pub snapshot_epoch: u64,
+    /// Fast-path repaired epochs published so far (0 unless
+    /// [`RefineOptions::repair`](crate::RefineOptions) is on).
+    pub repaired_epochs: u64,
+    /// Failed attempts to hand an update to the engine's durable log
+    /// (each is retried until shutdown; see
+    /// [`ServeError::UnpersistedUpdates`]).
+    pub queue_failures: u64,
 }
 
 /// A batch answer and the snapshot generation it was served from.
@@ -63,15 +81,17 @@ pub struct BatchNeighbors {
 pub struct KnnService {
     shared: Arc<Shared>,
     counters: Arc<Counters>,
-    refine_thread: Thread,
+    /// The thread a submit must wake: the repair worker when fast-path
+    /// repair is on, the refine loop otherwise.
+    wake: Thread,
 }
 
 impl KnnService {
-    pub(crate) fn new(shared: Arc<Shared>, refine_thread: Thread) -> Self {
+    pub(crate) fn new(shared: Arc<Shared>, wake: Thread) -> Self {
         KnnService {
             shared,
             counters: Arc::new(Counters::default()),
-            refine_thread,
+            wake,
         }
     }
 
@@ -133,11 +153,17 @@ impl KnnService {
     /// Top-`k` users for an ad-hoc `query` profile that belongs to no
     /// existing user: a brute-force scan of the snapshot's whole
     /// profile set (exact, O(n) similarity evaluations).
-    pub fn query_profile(&self, query: &Profile, k: usize) -> Vec<Neighbor> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NonFiniteQuery`] if the query profile
+    /// carries a NaN/infinite weight.
+    pub fn query_profile(&self, query: &Profile, k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        validate_query(query)?;
         self.counters
             .profile_queries
             .fetch_add(1, Ordering::Relaxed);
-        self.snapshot().scan_top_k(query, k)
+        Ok(self.snapshot().scan_top_k(query, k))
     }
 
     /// Top-`k` users for `query`, anchored at a known similar user:
@@ -150,13 +176,16 @@ impl KnnService {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownUser`] if `anchor` is out of range.
+    /// Returns [`ServeError::UnknownUser`] if `anchor` is out of
+    /// range, [`ServeError::NonFiniteQuery`] for a non-finite query
+    /// weight.
     pub fn query_profile_near(
         &self,
         anchor: UserId,
         query: &Profile,
         k: usize,
     ) -> Result<Vec<Neighbor>, ServeError> {
+        validate_query(query)?;
         self.counters
             .profile_queries
             .fetch_add(1, Ordering::Relaxed);
@@ -191,8 +220,8 @@ impl KnnService {
     /// the engine's durable phase-5 log on shutdown).
     pub fn submit_update(&self, delta: ProfileDelta) -> Result<(), ServeError> {
         self.shared.ingest.submit(delta)?;
-        // A parked (converged/idle) loop must wake to apply it.
-        self.refine_thread.unpark();
+        // A parked (converged/idle) drainer must wake to apply it.
+        self.wake.unpark();
         Ok(())
     }
 
@@ -209,6 +238,8 @@ impl KnnService {
             updates_submitted: self.shared.ingest.submitted(),
             updates_drained: self.shared.ingest.drained(),
             snapshot_epoch: self.shared.cell.epoch(),
+            repaired_epochs: self.shared.repaired_epochs.load(Ordering::Relaxed),
+            queue_failures: self.shared.queue_failures.load(Ordering::Relaxed),
         }
     }
 }

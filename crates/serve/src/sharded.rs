@@ -21,9 +21,17 @@
 //! Updates go through the same validated [`UpdateIngest`] queue; the
 //! loop hands drained deltas to the engine, whose router lands each on
 //! its user's owner shard's durable log.
+//!
+//! With [`RefineOptions::repair`] on, a `knn-repair-sharded` worker
+//! additionally publishes fast-path repaired generations: it patches a
+//! *global* view of the graph and profiles (greedy placement, see
+//! [`crate::repair`]), refreshes exactly the owner-shard projections
+//! of the rows that changed, and republishes **every** cell at the new
+//! epoch — untouched shards re-share their old containers, so the
+//! generation vector stays coherent at the cost of a few `Arc` clones.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{JoinHandle, Thread};
 use std::time::{Duration, Instant};
 
@@ -32,9 +40,32 @@ use knn_shard::ShardedEngine;
 use knn_sim::{Measure, Profile, ProfileDelta, ProfileStore};
 
 use crate::ingest::UpdateIngest;
-use crate::service::BatchNeighbors;
+use crate::repair::{queue_all, repair_touched};
+use crate::service::{validate_query, BatchNeighbors};
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::{RefineOptions, ServeError};
+
+/// The mutable served view both sharded publishers edit under one
+/// lock: the global state plus its per-shard projections, kept in
+/// sync incrementally by the repair worker and rebuilt wholesale by
+/// the refine thread.
+#[derive(Debug)]
+struct ShardedViewState {
+    epoch: u64,
+    iteration: u64,
+    changed_fraction: f64,
+    /// The global graph the repair search runs over.
+    graph: Arc<KnnGraph>,
+    /// The global profile view.
+    profiles: Arc<ProfileStore>,
+    /// Shard `s`'s projection of `graph` (full-width, populated only
+    /// at owned users).
+    shard_graphs: Vec<Arc<KnnGraph>>,
+    /// Shard `s`'s projection of `profiles`.
+    shard_profiles: Vec<Arc<ProfileStore>>,
+    /// Deltas published as repaired but not yet handed to the engine.
+    pending_engine: Vec<ProfileDelta>,
+}
 
 /// Shared state between the sharded service, its handle, and the loop.
 #[derive(Debug)]
@@ -49,6 +80,10 @@ struct ShardedShared {
     stop: AtomicBool,
     published: Mutex<u64>,
     published_cv: Condvar,
+    view: Mutex<ShardedViewState>,
+    repaired_epochs: AtomicU64,
+    queue_failures: AtomicU64,
+    refine_thread: OnceLock<Thread>,
 }
 
 impl ShardedShared {
@@ -72,46 +107,55 @@ impl ShardedShared {
             std::thread::yield_now();
         }
     }
+
+    /// Publishes every shard cell from the view's current projections
+    /// (call with the view lock held).
+    fn publish_view(&self, view: &ShardedViewState, measure: Measure, repaired: bool) {
+        for (shard, cell) in self.cells.iter().enumerate() {
+            cell.publish(
+                Snapshot::new(
+                    view.epoch,
+                    view.iteration,
+                    view.changed_fraction,
+                    measure,
+                    Arc::clone(&view.shard_graphs[shard]),
+                    Arc::clone(&view.shard_profiles[shard]),
+                )
+                .with_repaired(repaired),
+            );
+        }
+    }
 }
 
-/// Builds the per-shard projections of one engine state: shard `s`'s
-/// snapshot carries full-width (n-user) containers populated only at
-/// the users shard `s` owns.
-fn shard_snapshots(
-    epoch: u64,
-    iteration: u64,
-    changed_fraction: f64,
-    measure: Measure,
+/// Builds the per-shard projections of one global state: shard `s`'s
+/// containers are full-width (n users) but populated only at the users
+/// shard `s` owns.
+fn project_shards(
     graph: &KnnGraph,
     profiles: &ProfileStore,
     owned: &[Vec<UserId>],
-) -> Vec<Snapshot> {
+) -> (Vec<Arc<KnnGraph>>, Vec<Arc<ProfileStore>>) {
     let (n, k) = (graph.num_vertices(), graph.k());
-    owned
-        .iter()
-        .map(|users| {
-            let mut g = KnnGraph::new(n, k);
-            let mut p = ProfileStore::new(n);
-            for &u in users {
-                g.set_neighbors(u, graph.neighbors(u).to_vec())
-                    .expect("projecting a valid graph");
-                p.set(u, profiles.get(u).clone());
-            }
-            Snapshot::new(
-                epoch,
-                iteration,
-                changed_fraction,
-                measure,
-                Arc::new(g),
-                Arc::new(p),
-            )
-        })
-        .collect()
+    let mut graphs = Vec::with_capacity(owned.len());
+    let mut stores = Vec::with_capacity(owned.len());
+    for users in owned {
+        let mut g = KnnGraph::new(n, k);
+        let mut p = ProfileStore::new(n);
+        for &u in users {
+            g.set_neighbors(u, graph.neighbors(u).to_vec())
+                .expect("projecting a valid graph");
+            p.set(u, profiles.get(u).clone());
+        }
+        graphs.push(Arc::new(g));
+        stores.push(Arc::new(p));
+    }
+    (graphs, stores)
 }
 
 /// Starts serving a sharded engine: publishes its current state as
 /// per-shard snapshots at generation 0, then hands the engine to a
-/// background refinement thread (same lifecycle as [`crate::spawn`]).
+/// background refinement thread (same lifecycle as [`crate::spawn`],
+/// including the optional fast-path repair worker).
 ///
 /// # Errors
 ///
@@ -121,6 +165,7 @@ pub fn spawn_sharded(
     options: RefineOptions,
 ) -> Result<(ShardedKnnService, ShardedRefineHandle), ServeError> {
     let n = engine.config().num_users();
+    let measure = engine.config().measure();
     let num_shards = engine.num_shards();
     let ring = Arc::clone(engine.ring());
     let mut owned: Vec<Vec<UserId>> = vec![Vec::new(); num_shards];
@@ -131,19 +176,23 @@ pub fn spawn_sharded(
         owned[owner as usize].push(UserId::new(u));
     }
 
-    let profiles = engine.export_profiles()?;
-    let cells = shard_snapshots(
-        0,
-        engine.iteration(),
-        1.0,
-        engine.config().measure(),
-        engine.graph(),
-        &profiles,
-        &owned,
-    )
-    .into_iter()
-    .map(SnapshotCell::new)
-    .collect();
+    let profiles = Arc::new(engine.export_profiles()?);
+    let graph = Arc::new(engine.graph().clone());
+    let (shard_graphs, shard_profiles) = project_shards(&graph, &profiles, &owned);
+    let cells = shard_graphs
+        .iter()
+        .zip(&shard_profiles)
+        .map(|(g, p)| {
+            SnapshotCell::new(Snapshot::new(
+                0,
+                engine.iteration(),
+                1.0,
+                measure,
+                Arc::clone(g),
+                Arc::clone(p),
+            ))
+        })
+        .collect();
 
     let shared = Arc::new(ShardedShared {
         cells,
@@ -153,36 +202,141 @@ pub fn spawn_sharded(
         stop: AtomicBool::new(false),
         published: Mutex::new(0),
         published_cv: Condvar::new(),
+        view: Mutex::new(ShardedViewState {
+            epoch: 0,
+            iteration: engine.iteration(),
+            changed_fraction: 1.0,
+            graph,
+            profiles: Arc::clone(&profiles),
+            shard_graphs,
+            shard_profiles,
+            pending_engine: Vec::new(),
+        }),
+        repaired_epochs: AtomicU64::new(0),
+        queue_failures: AtomicU64::new(0),
+        refine_thread: OnceLock::new(),
     });
+
+    let worker = if options.repair {
+        let worker_shared = Arc::clone(&shared);
+        let idle_park = options.idle_park;
+        Some(
+            std::thread::Builder::new()
+                .name("knn-repair-sharded".into())
+                .spawn(move || repair_worker(&worker_shared, measure, idle_park))
+                .expect("spawning the sharded repair worker"),
+        )
+    } else {
+        None
+    };
+    let wake = worker.as_ref().map(|w| w.thread().clone());
 
     let loop_shared = Arc::clone(&shared);
     let thread = std::thread::Builder::new()
         .name("knn-refine-sharded".into())
-        .spawn(move || refine_loop(engine, profiles, loop_shared, options))
+        .spawn(move || refine_loop(engine, profiles, loop_shared, options, worker))
         .expect("spawning the sharded refinement thread");
+    let wake = wake.unwrap_or_else(|| thread.thread().clone());
+    shared
+        .refine_thread
+        .set(thread.thread().clone())
+        .expect("refine thread registered once");
 
     let service = ShardedKnnService {
         shared: Arc::clone(&shared),
         counters: Arc::new(Counters::default()),
-        refine_thread: thread.thread().clone(),
+        wake,
     };
     let handle = ShardedRefineHandle { shared, thread };
     Ok((service, handle))
 }
 
+/// The sharded fast-path worker: drain → patch the global view →
+/// refresh the owner projections of changed rows → republish every
+/// cell at the new (coherent) epoch → forward to the refine thread.
+fn repair_worker(shared: &ShardedShared, measure: Measure, idle_park: Duration) {
+    while !shared.stop.load(Ordering::Acquire) {
+        let drained = shared.ingest.drain();
+        if drained.is_empty() {
+            std::thread::park_timeout(idle_park);
+            continue;
+        }
+        let epoch = {
+            let mut view = shared.view.lock().expect("view lock poisoned");
+            let state = &mut *view;
+            Arc::make_mut(&mut state.profiles).apply_deltas(&drained);
+            let changed = repair_touched(&mut state.graph, &state.profiles, measure, &drained);
+            // Refresh exactly the touched projections: changed rows on
+            // their owner's graph, changed profiles on their owner's
+            // store.
+            for &v in &changed {
+                let owner = shared.owner_of[v.index()] as usize;
+                Arc::make_mut(&mut state.shard_graphs[owner])
+                    .set_neighbors(v, state.graph.neighbors(v).to_vec())
+                    .expect("projecting a valid repaired row");
+            }
+            for delta in &drained {
+                let owner = shared.owner_of[delta.user.index()] as usize;
+                Arc::make_mut(&mut state.shard_profiles[owner])
+                    .set(delta.user, state.profiles.get(delta.user).clone());
+            }
+            state.pending_engine.extend(drained);
+            state.epoch += 1;
+            shared.publish_view(state, measure, true);
+            state.epoch
+        };
+        shared.repaired_epochs.fetch_add(1, Ordering::Relaxed);
+        shared.notify_epoch(epoch);
+        if let Some(refine) = shared.refine_thread.get() {
+            refine.unpark();
+        }
+    }
+}
+
 fn refine_loop(
     mut engine: ShardedEngine,
-    profiles: ProfileStore,
+    initial_profiles: Arc<ProfileStore>,
     shared: Arc<ShardedShared>,
     options: RefineOptions,
+    worker: Option<JoinHandle<()>>,
 ) -> Result<ShardedEngine, ServeError> {
-    let result = refine_loop_inner(&mut engine, profiles, &shared, &options);
-    // Same terminal contract as the single-engine loop: accepted
-    // updates are never dropped — stragglers are parked in the owner
-    // shards' durable logs on the way out.
-    let stragglers = shared.ingest.close_and_drain();
-    for delta in &stragglers {
-        engine.queue_update(delta)?;
+    let mut parked: Vec<ProfileDelta> = Vec::new();
+    let result = refine_loop_inner(
+        &mut engine,
+        initial_profiles,
+        &shared,
+        &options,
+        &mut parked,
+    );
+    // Same terminal contract as the single-engine loop (see
+    // refine.rs): join the worker, close the queue, attempt *every*
+    // accepted-but-unqueued delta, and return what still cannot be
+    // persisted instead of dropping it.
+    shared.stop.store(true, Ordering::Release);
+    if let Some(worker) = worker {
+        worker.thread().unpark();
+        let _ = worker.join();
+    }
+    let mut leftovers = {
+        let mut view = shared.view.lock().expect("view lock poisoned");
+        std::mem::take(&mut view.pending_engine)
+    };
+    leftovers.extend(shared.ingest.close_and_drain());
+    let mut errors = Vec::new();
+    queue_all(
+        &mut parked,
+        leftovers,
+        &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
+        &mut errors,
+    );
+    shared
+        .queue_failures
+        .fetch_add(errors.len() as u64, Ordering::Relaxed);
+    if !parked.is_empty() {
+        return Err(ServeError::UnpersistedUpdates {
+            updates: parked,
+            source: errors.pop().map(Box::new),
+        });
     }
     result?;
     Ok(engine)
@@ -190,24 +344,43 @@ fn refine_loop(
 
 fn refine_loop_inner(
     engine: &mut ShardedEngine,
-    mut profiles: ProfileStore,
+    initial_profiles: Arc<ProfileStore>,
     shared: &ShardedShared,
     options: &RefineOptions,
+    parked: &mut Vec<ProfileDelta>,
 ) -> Result<(), ServeError> {
-    let mut epoch = 0u64;
+    let measure = engine.config().measure();
     let mut iterations_run = 0u64;
     let mut converged = false;
+    // Engine-exact profile view, maintained incrementally exactly like
+    // the single-engine loop (see refine.rs for the contract).
+    let mut engine_profiles = initial_profiles;
     let mut unapplied: Vec<ProfileDelta> = Vec::new();
 
     while !shared.stop.load(Ordering::Acquire) {
-        let drained = shared.ingest.drain();
-        if !drained.is_empty() {
-            converged = false;
-            for delta in &drained {
-                engine.queue_update(delta)?;
-            }
-            unapplied.extend(drained);
+        let fresh = if options.repair {
+            let mut view = shared.view.lock().expect("view lock poisoned");
+            std::mem::take(&mut view.pending_engine)
+        } else {
+            shared.ingest.drain()
+        };
+
+        let mut errors = Vec::new();
+        let queued = queue_all(
+            parked,
+            fresh,
+            &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
+            &mut errors,
+        );
+        if !errors.is_empty() {
+            shared
+                .queue_failures
+                .fetch_add(errors.len() as u64, Ordering::Relaxed);
         }
+        if !queued.is_empty() {
+            converged = false;
+        }
+        unapplied.extend(queued);
 
         let capped = options
             .max_iterations
@@ -226,33 +399,52 @@ fn refine_loop_inner(
             }
         }
 
-        // Served profile view, maintained incrementally exactly like
-        // the single-engine loop (see refine.rs for the contract).
         if report.updates_applied == unapplied.len() as u64 {
             if !unapplied.is_empty() {
-                profiles.apply_deltas(&unapplied);
+                let mut next = (*engine_profiles).clone();
+                next.apply_deltas(&unapplied);
                 unapplied.clear();
+                engine_profiles = Arc::new(next);
             }
         } else {
             unapplied.clear();
-            profiles = engine.export_profiles()?;
+            engine_profiles = Arc::new(engine.export_profiles()?);
         }
 
-        epoch += 1;
-        let snapshots = shard_snapshots(
-            epoch,
-            engine.iteration(),
-            report.changed_fraction,
-            engine.config().measure(),
-            engine.graph(),
-            &profiles,
-            &shared.owned,
-        );
-        // Publish shard by shard; batch readers ride out the short
-        // mixed-generation window via coherent_snapshots.
-        for (cell, snapshot) in shared.cells.iter().zip(snapshots) {
-            cell.publish(snapshot);
-        }
+        // Exact publish: rebuild the global view and all projections
+        // from the fresh engine state, re-placing any deltas that are
+        // visible in the served view but missed this iteration.
+        let epoch = {
+            let mut view = shared.view.lock().expect("view lock poisoned");
+            let state = &mut *view;
+            let mut graph = Arc::new(engine.graph().clone());
+            let mut profiles = Arc::clone(&engine_profiles);
+            let mut repaired = false;
+            if options.repair {
+                let still_pending: Vec<ProfileDelta> = parked
+                    .iter()
+                    .chain(state.pending_engine.iter())
+                    .cloned()
+                    .collect();
+                if !still_pending.is_empty() {
+                    Arc::make_mut(&mut profiles).apply_deltas(&still_pending);
+                    repair_touched(&mut graph, &profiles, measure, &still_pending);
+                    repaired = true;
+                }
+            }
+            let (shard_graphs, shard_profiles) = project_shards(&graph, &profiles, &shared.owned);
+            state.graph = graph;
+            state.profiles = profiles;
+            state.shard_graphs = shard_graphs;
+            state.shard_profiles = shard_profiles;
+            state.iteration = engine.iteration();
+            state.changed_fraction = report.changed_fraction;
+            state.epoch += 1;
+            // Publish shard by shard; batch readers ride out the short
+            // mixed-generation window via coherent_snapshots.
+            shared.publish_view(state, measure, repaired);
+            state.epoch
+        };
         shared.notify_epoch(epoch);
     }
     Ok(())
@@ -273,7 +465,8 @@ struct Counters {
 pub struct ShardedKnnService {
     shared: Arc<ShardedShared>,
     counters: Arc<Counters>,
-    refine_thread: Thread,
+    /// The thread a submit must wake (repair worker or refine loop).
+    wake: Thread,
 }
 
 impl ShardedKnnService {
@@ -351,7 +544,13 @@ impl ShardedKnnService {
     /// ranks the users it owns, the gather step merges the per-shard
     /// top-`k` lists. Every user is a candidate on exactly one shard,
     /// so the merged list equals the unsharded full scan.
-    pub fn query_profile(&self, query: &Profile, k: usize) -> Vec<Neighbor> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NonFiniteQuery`] if the query profile
+    /// carries a NaN/infinite weight.
+    pub fn query_profile(&self, query: &Profile, k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        validate_query(query)?;
         self.counters
             .profile_queries
             .fetch_add(1, Ordering::Relaxed);
@@ -363,13 +562,14 @@ impl ShardedKnnService {
             .collect();
         merged.sort_unstable();
         merged.truncate(k);
-        merged
+        Ok(merged)
     }
 
     /// Queues a profile update; the refinement loop routes it to its
     /// user's owner shard's durable log before the next iteration
-    /// applies it. Same validation and visibility contract as
-    /// [`crate::KnnService::submit_update`].
+    /// applies it (with repair on, the repair worker additionally
+    /// publishes it within milliseconds). Same validation and
+    /// visibility contract as [`crate::KnnService::submit_update`].
     ///
     /// # Errors
     ///
@@ -377,7 +577,7 @@ impl ShardedKnnService {
     /// [`ServeError::Stopped`] after shutdown.
     pub fn submit_update(&self, delta: ProfileDelta) -> Result<(), ServeError> {
         self.shared.ingest.submit(delta)?;
-        self.refine_thread.unpark();
+        self.wake.unpark();
         Ok(())
     }
 
@@ -390,6 +590,8 @@ impl ShardedKnnService {
             updates_submitted: self.shared.ingest.submitted(),
             updates_drained: self.shared.ingest.drained(),
             snapshot_epoch: *self.shared.published.lock().expect("publish lock poisoned"),
+            repaired_epochs: self.shared.repaired_epochs.load(Ordering::Relaxed),
+            queue_failures: self.shared.queue_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -408,8 +610,10 @@ impl ShardedRefineHandle {
     ///
     /// # Errors
     ///
-    /// Propagates an engine error that terminated the loop early, or
-    /// [`ServeError::RefineLoopPanicked`] if the thread panicked.
+    /// Propagates an engine error that terminated the loop early,
+    /// [`ServeError::RefineLoopPanicked`] if the thread panicked, or
+    /// [`ServeError::UnpersistedUpdates`] with every accepted update
+    /// that could not reach a durable log.
     pub fn stop(self) -> Result<ShardedEngine, ServeError> {
         self.shared.stop.store(true, Ordering::Release);
         self.thread.thread().unpark();

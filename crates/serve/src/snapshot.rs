@@ -23,6 +23,7 @@ pub struct Snapshot {
     changed_fraction: f64,
     measure: Measure,
     k: usize,
+    repaired: bool,
     graph: Arc<KnnGraph>,
     profiles: Arc<ProfileStore>,
 }
@@ -47,9 +48,28 @@ impl Snapshot {
             changed_fraction,
             measure,
             k,
+            repaired: false,
             graph,
             profiles,
         }
+    }
+
+    /// Tags the snapshot as repaired (or exact). Fast-path repair
+    /// publishes graph rows placed by greedy search instead of a full
+    /// iteration — best-effort state that the next iteration
+    /// reconciles exactly. Consumers (and tests) that must only
+    /// observe exact generations filter on
+    /// [`repaired`](Snapshot::repaired).
+    pub fn with_repaired(mut self, repaired: bool) -> Self {
+        self.repaired = repaired;
+        self
+    }
+
+    /// Whether this generation came from the fast-path repair worker
+    /// (best-effort placement) rather than a full five-phase iteration
+    /// (exact). The initial epoch-0 snapshot is exact.
+    pub fn repaired(&self) -> bool {
+        self.repaired
     }
 
     /// Publication counter: strictly increasing, one per swap.

@@ -54,6 +54,7 @@ fn options() -> RefineOptions {
         convergence_threshold: None,
         max_iterations: Some(ITERATIONS),
         idle_park: Duration::from_millis(1),
+        repair: false,
     }
 }
 

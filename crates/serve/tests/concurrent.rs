@@ -65,6 +65,7 @@ fn concurrent_readers_observe_only_complete_generations() {
         convergence_threshold: None,
         max_iterations: Some(ITERATIONS),
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options).expect("spawn service");
 
@@ -163,6 +164,7 @@ fn submitted_updates_become_visible_in_a_later_snapshot() {
         convergence_threshold: None,
         max_iterations: None,
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 
@@ -213,10 +215,11 @@ fn profile_queries_agree_between_scan_and_neighborhood() {
         convergence_threshold: Some(1.1), // already converged: loop idles
         max_iterations: Some(0),
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 
-    let exact = service.query_profile(&probe, K);
+    let exact = service.query_profile(&probe, K).expect("finite query");
     assert_eq!(exact.len(), K);
     // User 0's own profile: its top match is itself at maximal score.
     assert_eq!(exact[0].id, UserId::new(0));
@@ -251,6 +254,7 @@ fn updates_are_applied_even_past_the_iteration_cap() {
         convergence_threshold: None,
         max_iterations: Some(1),
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
     assert!(
@@ -288,6 +292,7 @@ fn stop_rejects_new_updates_and_preserves_accepted_ones() {
         convergence_threshold: None,
         max_iterations: None,
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 
@@ -361,6 +366,7 @@ fn service_runs_fully_in_memory() {
         convergence_threshold: None,
         max_iterations: None,
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 

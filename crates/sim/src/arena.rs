@@ -174,6 +174,25 @@ pub struct PreparedRef<'a> {
 }
 
 impl<'a> PreparedRef<'a> {
+    /// Assembles a view from parts the caller prepared: a sorted,
+    /// deduplicated entry slice plus the matching
+    /// [`ProfileStats::with_sketch`] outputs. This is how callers
+    /// outside the arena (e.g. the serving layer's online repair
+    /// search) run ad-hoc profiles through the exact same score and
+    /// upper-bound kernels phase 4 uses — same funnel, same skips,
+    /// bit-identical scores.
+    pub fn new(
+        entries: &'a [(ItemId, f32)],
+        stats: &'a ProfileStats,
+        sketch: &'a BoundSketch,
+    ) -> Self {
+        PreparedRef {
+            entries,
+            stats,
+            sketch,
+        }
+    }
+
     /// The sorted entry slice.
     pub fn entries(&self) -> &'a [(ItemId, f32)] {
         self.entries

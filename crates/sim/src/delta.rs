@@ -64,6 +64,23 @@ impl ProfileDelta {
 }
 
 impl DeltaOp {
+    /// Whether every weight this operation carries is finite — the
+    /// validation rule shared by the serving layer's ingest queue and
+    /// the engine's phase-5 update queue.
+    ///
+    /// `DeltaOp` is `#[non_exhaustive]`, so downstream crates cannot
+    /// match it exhaustively; this in-crate match *is* exhaustive on
+    /// purpose, so a future weight-carrying variant fails compilation
+    /// here instead of silently skipping validation behind a
+    /// catch-all arm.
+    pub fn weights_finite(&self) -> bool {
+        match self {
+            DeltaOp::Set(_, w) => w.is_finite(),
+            DeltaOp::Replace(p) => p.iter().all(|(_, w)| w.is_finite()),
+            DeltaOp::Remove(_) | DeltaOp::Clear => true,
+        }
+    }
+
     /// Applies the mutation to a profile in place.
     ///
     /// # Panics
@@ -116,6 +133,21 @@ mod tests {
         assert_eq!(p.get(ItemId::new(9)), Some(9.0));
         DeltaOp::Clear.apply(&mut p);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn weights_finite_covers_every_op() {
+        assert!(DeltaOp::Set(ItemId::new(1), 2.0).weights_finite());
+        assert!(!DeltaOp::Set(ItemId::new(1), f32::NAN).weights_finite());
+        assert!(!DeltaOp::Set(ItemId::new(1), f32::INFINITY).weights_finite());
+        assert!(DeltaOp::Remove(ItemId::new(1)).weights_finite());
+        assert!(DeltaOp::Clear.weights_finite());
+        assert!(DeltaOp::Replace(prof(&[(1, 1.0)])).weights_finite());
+        // A poisoned Replace is only constructible through the
+        // trusted/unchecked profile path — exactly what downstream
+        // validation must still catch.
+        let poisoned = Profile::from_sorted_pairs_unchecked(vec![(ItemId::new(3), f32::NAN)]);
+        assert!(!DeltaOp::Replace(poisoned).weights_finite());
     }
 
     #[test]

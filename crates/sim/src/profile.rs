@@ -107,6 +107,23 @@ impl Profile {
         Ok(Profile { entries })
     }
 
+    /// Builds a profile from pairs that are **already sorted by item,
+    /// deduplicated** — without validating weights. The trusted-input
+    /// escape hatch: every other constructor enforces finite weights,
+    /// so this is the only way to materialize a non-finite profile
+    /// (tests use it to prove downstream layers — e.g. `knn-serve`
+    /// query validation — treat profiles as untrusted anyway).
+    ///
+    /// Sortedness/uniqueness are `debug_assert`ed; weight finiteness
+    /// deliberately is not checked at all.
+    pub fn from_sorted_pairs_unchecked(pairs: Vec<(ItemId, f32)>) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "pairs must be sorted by item and deduplicated"
+        );
+        Profile { entries: pairs }
+    }
+
     /// Builds a set-semantics profile (all weights `1.0`) from item ids.
     ///
     /// # Errors

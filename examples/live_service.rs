@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         convergence_threshold: Some(0.02),
         max_iterations: Some(8),
         idle_park: Duration::from_millis(5),
+        repair: false,
     };
     let (service, refine) = spawn(engine, options)?;
 
@@ -78,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Ad-hoc query: a brand-new visitor profile, matched against
     //    the current snapshot without belonging to the graph at all.
     let visitor = service.snapshot().profiles().get(UserId::new(3)).clone();
-    let matches = service.query_profile(&visitor, 5);
+    let matches = service.query_profile(&visitor, 5).expect("finite query");
     println!(
         "visitor query: {} matches, best {:?}",
         matches.len(),

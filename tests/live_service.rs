@@ -32,6 +32,7 @@ fn live_service_round_trip() {
             convergence_threshold: Some(0.02),
             max_iterations: Some(10),
             idle_park: Duration::from_millis(1),
+            repair: false,
         },
     )
     .expect("spawn");
@@ -75,7 +76,9 @@ fn live_service_round_trip() {
         "out of range must fail"
     );
 
-    let ad_hoc = service.query_profile(service.snapshot().profiles().get(me), 4);
+    let ad_hoc = service
+        .query_profile(service.snapshot().profiles().get(me), 4)
+        .expect("finite query");
     assert_eq!(ad_hoc.len(), 4);
     assert_eq!(
         ad_hoc[0].id, me,

@@ -284,6 +284,7 @@ fn scatter_gather_matches_the_single_shard_service() {
         convergence_threshold: None,
         max_iterations: Some(0),
         idle_park: Duration::from_millis(1),
+        repair: false,
     };
     let (service, refine) = spawn(plain, frozen.clone()).expect("spawn");
     let (sharded_service, sharded_refine) = spawn_sharded(sharded, frozen).expect("spawn_sharded");
@@ -308,8 +309,10 @@ fn scatter_gather_matches_the_single_shard_service() {
     for &u in users.iter().take(8) {
         let query = snapshot.profiles().get(u);
         assert_eq!(
-            service.query_profile(query, k + 2),
-            sharded_service.query_profile(query, k + 2),
+            service.query_profile(query, k + 2).expect("finite query"),
+            sharded_service
+                .query_profile(query, k + 2)
+                .expect("finite query"),
             "query_profile near {u:?} diverged"
         );
     }
@@ -348,6 +351,7 @@ fn updates_flow_through_the_sharded_service() {
             convergence_threshold: Some(0.02),
             max_iterations: Some(10),
             idle_park: Duration::from_millis(1),
+            repair: false,
         },
     )
     .expect("spawn_sharded");
@@ -371,7 +375,12 @@ fn updates_flow_through_the_sharded_service() {
         }
         // The update has surfaced once the owner shard's snapshot
         // carries the replaced profile.
-        let done = service.query_profile(&fresh, 1).first().map(|n| n.id) == Some(target);
+        let done = service
+            .query_profile(&fresh, 1)
+            .expect("finite query")
+            .first()
+            .map(|n| n.id)
+            == Some(target);
         if done {
             break;
         }
