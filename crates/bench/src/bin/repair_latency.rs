@@ -68,6 +68,7 @@ fn measure(
         max_iterations: None,
         idle_park: Duration::from_millis(1),
         repair,
+        ..RefineOptions::default()
     };
     let (service, refine) = knn_serve::spawn(engine, options).expect("spawn");
     // Let the loop enter its first iteration before measuring.

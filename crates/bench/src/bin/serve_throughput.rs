@@ -104,6 +104,7 @@ fn main() {
         max_iterations: None,
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options).expect("spawn service");
 

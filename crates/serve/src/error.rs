@@ -1,6 +1,7 @@
 //! Serving-layer errors.
 
 use std::fmt;
+use std::time::Duration;
 
 use knn_core::EngineError;
 use knn_graph::UserId;
@@ -42,6 +43,16 @@ pub enum ServeError {
         /// The last error the engine's update queue returned.
         source: Option<Box<ServeError>>,
     },
+    /// The update ingest queue is at capacity and shedding could not
+    /// free space (see [`AdmissionConfig`](crate::AdmissionConfig)).
+    /// The update was **not** accepted. With
+    /// [`OverloadPolicy::Block`](crate::OverloadPolicy) this surfaces
+    /// only after the blocking deadline elapsed.
+    Overloaded {
+        /// How long the caller should wait before retrying — one
+        /// drain cadence of the refinement loop.
+        retry_after_hint: Duration,
+    },
     /// The refinement thread panicked; the engine state is lost.
     RefineLoopPanicked,
     /// The refinement loop has terminated (stopped or failed); the
@@ -70,6 +81,13 @@ impl fmt::Display for ServeError {
                     "{} accepted update(s) could not be persisted to the engine's \
                      update log at shutdown and are returned to the caller",
                     updates.len()
+                )
+            }
+            ServeError::Overloaded { retry_after_hint } => {
+                write!(
+                    f,
+                    "update ingest queue is at capacity; retry in ~{} ms",
+                    retry_after_hint.as_millis()
                 )
             }
             ServeError::RefineLoopPanicked => f.write_str("refinement thread panicked"),

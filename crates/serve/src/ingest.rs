@@ -1,11 +1,14 @@
 //! The online update queue feeding the engine's phase-5 path.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use knn_sim::ProfileDelta;
+use knn_graph::UserId;
+use knn_sim::{DeltaOp, ProfileDelta};
 
+use crate::admission::{AdmissionConfig, OverloadPolicy};
 use crate::ServeError;
 
 /// Accepts profile updates from any thread and hands them to the
@@ -15,12 +18,40 @@ use crate::ServeError;
 /// `t` runs is therefore applied to `P` at the end of the iteration
 /// that drains it and influences similarity scores from the following
 /// iteration on, exactly the paper's eventual-visibility contract.
+///
+/// # Admission control
+///
+/// With a bounded [`AdmissionConfig`] the queue stops accepting at
+/// capacity instead of growing without bound while the drain side is
+/// slow or wedged. Above the shed watermark, a submitted
+/// `Replace`/`Clear` first coalesces the same user's earlier queued
+/// deltas (they are fully superseded, so dropping them never changes
+/// the user's final profile); at capacity a whole-queue shed sweep
+/// drops every delta superseded by a later queued `Replace`/`Clear`.
+/// Only when shedding frees nothing does the
+/// [`OverloadPolicy`] apply: reject with
+/// [`ServeError::Overloaded`], or block until space frees (bounded by
+/// the policy's deadline, then `Overloaded`). A rejected submit was
+/// never accepted — the durability guarantee covers exactly the
+/// submits that returned `Ok`.
 #[derive(Debug)]
 pub struct UpdateIngest {
     num_users: usize,
+    admission: AdmissionConfig,
+    /// `retry_after_hint` carried by [`ServeError::Overloaded`]: one
+    /// drain cadence of the loop this queue feeds.
+    retry_hint: Duration,
     queue: Mutex<Queue>,
+    /// Signalled whenever queue space frees (drain, shed) or the
+    /// queue closes — wakes submitters blocked by
+    /// [`OverloadPolicy::Block`].
+    space: Condvar,
     submitted: AtomicU64,
     drained: AtomicU64,
+    rejected: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    peak_pending: AtomicU64,
 }
 
 /// The lock-protected queue state. `closed` lives under the same lock
@@ -29,21 +60,112 @@ pub struct UpdateIngest {
 #[derive(Debug, Default)]
 struct Queue {
     items: VecDeque<ProfileDelta>,
+    /// Pending deltas per user (entries are removed at zero).
+    per_user: HashMap<UserId, u32>,
     closed: bool,
 }
 
+/// Whether `op` fully supersedes every earlier delta of the same user
+/// (the resulting profile no longer depends on them).
+fn supersedes(op: &DeltaOp) -> bool {
+    matches!(op, DeltaOp::Replace(_) | DeltaOp::Clear)
+}
+
+impl Queue {
+    fn pending_of(&self, user: UserId) -> usize {
+        self.per_user.get(&user).copied().unwrap_or(0) as usize
+    }
+
+    fn push(&mut self, delta: ProfileDelta) {
+        *self.per_user.entry(delta.user).or_insert(0) += 1;
+        self.items.push_back(delta);
+    }
+
+    /// Drops every queued delta of `user` (the caller is about to push
+    /// a superseding `Replace`/`Clear` for it). Returns how many were
+    /// removed. Relative order of the surviving deltas is unchanged.
+    fn coalesce_user(&mut self, user: UserId) -> u64 {
+        let before = self.items.len();
+        self.items.retain(|d| d.user != user);
+        let removed = before - self.items.len();
+        if removed > 0 {
+            self.per_user.remove(&user);
+        }
+        removed as u64
+    }
+
+    /// Whole-queue shed sweep: drops every delta superseded by a
+    /// *later* queued `Replace`/`Clear` of the same user. Lossless for
+    /// every user's final profile. Returns how many were dropped.
+    fn shed_sweep(&mut self) -> u64 {
+        let mut last_supersede: HashMap<UserId, usize> = HashMap::new();
+        for (i, d) in self.items.iter().enumerate() {
+            if supersedes(&d.op) {
+                last_supersede.insert(d.user, i);
+            }
+        }
+        if last_supersede.is_empty() {
+            return 0;
+        }
+        let mut dropped = 0u64;
+        let mut idx = 0usize;
+        let per_user = &mut self.per_user;
+        self.items.retain(|d| {
+            let keep = match last_supersede.get(&d.user) {
+                Some(&pos) => idx >= pos,
+                None => true,
+            };
+            if !keep {
+                dropped += 1;
+                if let Some(count) = per_user.get_mut(&d.user) {
+                    *count -= 1;
+                    if *count == 0 {
+                        per_user.remove(&d.user);
+                    }
+                }
+            }
+            idx += 1;
+            keep
+        });
+        dropped
+    }
+}
+
 impl UpdateIngest {
-    /// An empty queue for a `num_users`-user engine.
+    /// An unbounded queue for a `num_users`-user engine (the
+    /// pre-admission behavior).
     pub fn new(num_users: usize) -> Self {
+        UpdateIngest::with_admission(
+            num_users,
+            AdmissionConfig::unbounded(),
+            Duration::from_millis(20),
+        )
+    }
+
+    /// A queue with explicit admission control. `retry_hint` is the
+    /// drain cadence reported in [`ServeError::Overloaded`] (the
+    /// serving layer passes its idle-park interval).
+    pub fn with_admission(
+        num_users: usize,
+        admission: AdmissionConfig,
+        retry_hint: Duration,
+    ) -> Self {
         UpdateIngest {
             num_users,
+            admission,
+            retry_hint,
             queue: Mutex::new(Queue::default()),
+            space: Condvar::new(),
             submitted: AtomicU64::new(0),
             drained: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            peak_pending: AtomicU64::new(0),
         }
     }
 
-    /// Validates and enqueues one update.
+    /// Validates and enqueues one update, applying admission control.
     ///
     /// Validation happens here, synchronously, so the caller gets the
     /// error instead of the background thread: the user must be in
@@ -53,17 +175,90 @@ impl UpdateIngest {
     ///
     /// [`ServeError::UnknownUser`] or [`ServeError::NonFiniteWeight`]
     /// for invalid updates, [`ServeError::Stopped`] once the queue has
-    /// been closed by a terminating refinement loop.
+    /// been closed by a terminating refinement loop, and
+    /// [`ServeError::Overloaded`] when the queue is at capacity and
+    /// shedding freed nothing (with [`OverloadPolicy::Block`], only
+    /// after the blocking deadline elapsed).
     pub fn submit(&self, delta: ProfileDelta) -> Result<(), ServeError> {
         self.validate(&delta)?;
         let mut queue = self.queue.lock().expect("ingest lock poisoned");
         if queue.closed {
             return Err(ServeError::Stopped);
         }
-        queue.items.push_back(delta);
+        if !self.try_admit(&mut queue, &delta) {
+            match self.admission.policy {
+                OverloadPolicy::Reject => {
+                    drop(queue);
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(self.overloaded());
+                }
+                OverloadPolicy::Block { deadline } => {
+                    let give_up = Instant::now() + deadline;
+                    loop {
+                        let Some(remaining) = give_up.checked_duration_since(Instant::now()) else {
+                            drop(queue);
+                            self.rejected.fetch_add(1, Ordering::Relaxed);
+                            return Err(self.overloaded());
+                        };
+                        let (guard, _) = self
+                            .space
+                            .wait_timeout(queue, remaining)
+                            .expect("ingest lock poisoned");
+                        queue = guard;
+                        if queue.closed {
+                            return Err(ServeError::Stopped);
+                        }
+                        if self.try_admit(&mut queue, &delta) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        queue.push(delta);
+        let depth = queue.items.len() as u64;
         drop(queue);
+        self.peak_pending.fetch_max(depth, Ordering::Relaxed);
         self.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Makes room for `delta` under the admission bounds, shedding
+    /// superseded deltas where that helps. Returns whether the queue
+    /// can take it. Must be called with the queue lock held.
+    fn try_admit(&self, queue: &mut Queue, delta: &ProfileDelta) -> bool {
+        let per_user_cap = self.admission.per_user_len();
+        let capacity = self.admission.capacity_len();
+        // Opportunistic coalescing: a superseding delta above the shed
+        // watermark (or over its user's bound) drops the user's
+        // queued history — lossless, and the cheapest space to free.
+        if supersedes(&delta.op)
+            && queue.pending_of(delta.user) > 0
+            && (queue.items.len() >= self.admission.watermark_len()
+                || queue.pending_of(delta.user) >= per_user_cap)
+        {
+            let removed = queue.coalesce_user(delta.user);
+            self.coalesced.fetch_add(removed, Ordering::Relaxed);
+        }
+        if queue.pending_of(delta.user) >= per_user_cap {
+            return false;
+        }
+        if queue.items.len() >= capacity {
+            let dropped = queue.shed_sweep();
+            if dropped > 0 {
+                self.shed.fetch_add(dropped, Ordering::Relaxed);
+            }
+            if queue.items.len() >= capacity {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn overloaded(&self) -> ServeError {
+        ServeError::Overloaded {
+            retry_after_hint: self.retry_hint,
+        }
     }
 
     fn validate(&self, delta: &ProfileDelta) -> Result<(), ServeError> {
@@ -85,14 +280,15 @@ impl UpdateIngest {
     }
 
     /// Removes and returns every queued update, in submission order.
+    /// Wakes submitters blocked on queue space.
     pub fn drain(&self) -> Vec<ProfileDelta> {
-        let drained: Vec<ProfileDelta> = self
-            .queue
-            .lock()
-            .expect("ingest lock poisoned")
-            .items
-            .drain(..)
-            .collect();
+        let mut queue = self.queue.lock().expect("ingest lock poisoned");
+        let drained: Vec<ProfileDelta> = queue.items.drain(..).collect();
+        queue.per_user.clear();
+        drop(queue);
+        if !drained.is_empty() {
+            self.space.notify_all();
+        }
         self.drained
             .fetch_add(drained.len() as u64, Ordering::Relaxed);
         drained
@@ -101,18 +297,21 @@ impl UpdateIngest {
     /// Closes the queue (future submits fail with
     /// [`ServeError::Stopped`]) and returns everything still queued.
     /// Close and drain happen under one lock acquisition, so no update
-    /// accepted with `Ok` can slip past this call.
+    /// accepted with `Ok` can slip past this call. Submitters blocked
+    /// on queue space wake and observe `Stopped`.
     pub fn close_and_drain(&self) -> Vec<ProfileDelta> {
         let mut queue = self.queue.lock().expect("ingest lock poisoned");
         queue.closed = true;
         let drained: Vec<ProfileDelta> = queue.items.drain(..).collect();
+        queue.per_user.clear();
         drop(queue);
+        self.space.notify_all();
         self.drained
             .fetch_add(drained.len() as u64, Ordering::Relaxed);
         drained
     }
 
-    /// Updates accepted so far.
+    /// Updates accepted so far (rejected submits are not counted).
     pub fn submitted(&self) -> u64 {
         self.submitted.load(Ordering::Relaxed)
     }
@@ -120,6 +319,29 @@ impl UpdateIngest {
     /// Updates already handed to the engine.
     pub fn drained(&self) -> u64 {
         self.drained.load(Ordering::Relaxed)
+    }
+
+    /// Submits turned away at capacity (including blocking submits
+    /// whose deadline elapsed).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Queued deltas dropped by opportunistic same-user coalescing
+    /// (superseded by the incoming `Replace`/`Clear`).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Queued deltas dropped by the at-capacity shed sweep (superseded
+    /// by a later queued `Replace`/`Clear`).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the pending depth since construction.
+    pub fn peak_pending(&self) -> u64 {
+        self.peak_pending.load(Ordering::Relaxed)
     }
 
     /// Updates still waiting in this queue (not yet handed to the
@@ -140,6 +362,16 @@ mod tests {
     use knn_graph::UserId;
     use knn_sim::{ItemId, Profile};
 
+    fn set(u: u32, item: u32) -> ProfileDelta {
+        ProfileDelta::set(UserId::new(u), ItemId::new(item), 1.0)
+    }
+
+    fn replace(u: u32, item: u32) -> ProfileDelta {
+        let mut p = Profile::new();
+        p.set(ItemId::new(item), 1.0);
+        ProfileDelta::replace(UserId::new(u), p)
+    }
+
     #[test]
     fn fifo_submit_and_drain() {
         let q = UpdateIngest::new(10);
@@ -155,6 +387,8 @@ mod tests {
         assert_eq!(q.pending(), 0);
         assert_eq!(q.submitted(), 2);
         assert_eq!(q.drained(), 2);
+        assert_eq!(q.peak_pending(), 2);
+        assert_eq!(q.rejected() + q.coalesced() + q.shed(), 0);
     }
 
     #[test]
@@ -202,5 +436,179 @@ mod tests {
             .unwrap();
         q.submit(ProfileDelta::new(UserId::new(0), knn_sim::DeltaOp::Clear))
             .unwrap();
+    }
+
+    #[test]
+    fn reject_policy_fails_fast_at_capacity() {
+        let q =
+            UpdateIngest::with_admission(64, AdmissionConfig::bounded(3), Duration::from_millis(7));
+        for u in 0..3 {
+            q.submit(set(u, u)).unwrap();
+        }
+        // Distinct users, no superseding deltas: nothing to shed.
+        let err = q.submit(set(3, 3)).expect_err("queue is full");
+        match err {
+            ServeError::Overloaded { retry_after_hint } => {
+                assert_eq!(retry_after_hint, Duration::from_millis(7));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.submitted(), 3, "rejected submit not counted");
+        // Space frees on drain; the retry is admitted.
+        assert_eq!(q.drain().len(), 3);
+        q.submit(set(3, 3)).unwrap();
+    }
+
+    #[test]
+    fn watermark_coalesces_superseded_same_user_deltas() {
+        // Capacity 4, watermark 0.5: coalescing starts at 2 pending.
+        let q = UpdateIngest::with_admission(
+            64,
+            AdmissionConfig::bounded(4).with_shed_watermark(0.5),
+            Duration::from_millis(1),
+        );
+        q.submit(set(1, 10)).unwrap();
+        q.submit(set(1, 11)).unwrap();
+        q.submit(set(2, 20)).unwrap();
+        // Above the watermark; this Replace supersedes user 1's two
+        // queued Sets, which are dropped (lossless).
+        q.submit(replace(1, 12)).unwrap();
+        assert_eq!(q.coalesced(), 2);
+        assert_eq!(q.pending(), 2);
+        let drained = q.drain();
+        assert_eq!(drained[0], set(2, 20), "other users keep their order");
+        assert_eq!(drained[1], replace(1, 12));
+    }
+
+    #[test]
+    fn below_watermark_keeps_full_history() {
+        let q = UpdateIngest::with_admission(
+            64,
+            AdmissionConfig::bounded(100).with_shed_watermark(0.9),
+            Duration::from_millis(1),
+        );
+        q.submit(set(1, 10)).unwrap();
+        q.submit(replace(1, 11)).unwrap();
+        assert_eq!(q.coalesced(), 0, "no coalescing below the watermark");
+        assert_eq!(q.pending(), 2);
+    }
+
+    #[test]
+    fn at_capacity_shed_sweep_drops_superseded_history() {
+        // Watermark 1.0: no opportunistic coalescing, so superseded
+        // history accumulates until the at-capacity sweep.
+        let q = UpdateIngest::with_admission(
+            64,
+            AdmissionConfig::bounded(4).with_shed_watermark(1.0),
+            Duration::from_millis(1),
+        );
+        q.submit(set(1, 10)).unwrap();
+        q.submit(set(2, 20)).unwrap();
+        q.submit(replace(1, 11)).unwrap(); // supersedes the first Set
+        q.submit(set(3, 30)).unwrap();
+        assert_eq!(q.pending(), 4);
+        // Full. The sweep drops user 1's pre-Replace Set and admits.
+        q.submit(set(4, 40)).unwrap();
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.pending(), 4);
+        assert_eq!(q.rejected(), 0);
+        let drained = q.drain();
+        assert_eq!(
+            drained,
+            vec![set(2, 20), replace(1, 11), set(3, 30), set(4, 40)]
+        );
+    }
+
+    #[test]
+    fn per_user_bound_rejects_non_superseding_and_coalesces_superseding() {
+        let q = UpdateIngest::with_admission(
+            64,
+            AdmissionConfig {
+                capacity: None,
+                per_user_capacity: Some(2),
+                policy: OverloadPolicy::Reject,
+                shed_watermark: 0.75,
+            },
+            Duration::from_millis(1),
+        );
+        q.submit(set(1, 10)).unwrap();
+        q.submit(set(1, 11)).unwrap();
+        // A third Set cannot coalesce anything: rejected.
+        assert!(matches!(
+            q.submit(set(1, 12)),
+            Err(ServeError::Overloaded { .. })
+        ));
+        assert_eq!(q.rejected(), 1);
+        // A Replace supersedes the queued history: coalesced, admitted.
+        q.submit(replace(1, 13)).unwrap();
+        assert_eq!(q.coalesced(), 2);
+        assert_eq!(q.pending(), 1);
+        // Other users are unaffected by user 1's bound.
+        q.submit(set(2, 20)).unwrap();
+    }
+
+    #[test]
+    fn block_policy_waits_for_drain_then_admits() {
+        let q = std::sync::Arc::new(UpdateIngest::with_admission(
+            64,
+            AdmissionConfig::bounded(1).with_policy(OverloadPolicy::Block {
+                deadline: Duration::from_secs(30),
+            }),
+            Duration::from_millis(1),
+        ));
+        q.submit(set(1, 10)).unwrap();
+        let drainer = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                q.drain()
+            })
+        };
+        // Full queue: this blocks until the drainer frees space.
+        let started = Instant::now();
+        q.submit(set(2, 20)).unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(10));
+        assert_eq!(drainer.join().unwrap(), vec![set(1, 10)]);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.rejected(), 0);
+    }
+
+    #[test]
+    fn block_policy_times_out_with_overloaded() {
+        let q = UpdateIngest::with_admission(
+            64,
+            AdmissionConfig::bounded(1).with_policy(OverloadPolicy::Block {
+                deadline: Duration::from_millis(20),
+            }),
+            Duration::from_millis(5),
+        );
+        q.submit(set(1, 10)).unwrap();
+        let started = Instant::now();
+        let err = q.submit(set(2, 20)).expect_err("nobody drains");
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        assert_eq!(q.rejected(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_submitters_with_stopped() {
+        let q = std::sync::Arc::new(UpdateIngest::with_admission(
+            64,
+            AdmissionConfig::bounded(1).with_policy(OverloadPolicy::Block {
+                deadline: Duration::from_secs(30),
+            }),
+            Duration::from_millis(1),
+        ));
+        q.submit(set(1, 10)).unwrap();
+        let blocked = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.submit(set(2, 20)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let stragglers = q.close_and_drain();
+        assert_eq!(stragglers.len(), 1);
+        assert!(matches!(blocked.join().unwrap(), Err(ServeError::Stopped)));
     }
 }

@@ -61,6 +61,49 @@
 //! answer identically to the unsharded service (see the `sharded`
 //! module docs).
 //!
+//! # Operating under load
+//!
+//! Every failure mode under pressure is **typed and bounded** — no
+//! silent queue growth, no unbounded spins:
+//!
+//! * **Admission control** ([`RefineOptions::admission`],
+//!   [`AdmissionConfig`]): bounds the pending ingest queue globally
+//!   and per user. Above the shed watermark a submitted
+//!   `Replace`/`Clear` losslessly coalesces the same user's queued
+//!   history; at capacity a whole-queue shed sweep drops every delta
+//!   superseded by a later queued `Replace`/`Clear`. Only when
+//!   shedding frees nothing does [`OverloadPolicy`] apply: **reject**
+//!   with [`ServeError::Overloaded`] (carrying a `retry_after_hint`)
+//!   or **block** the submitter up to a deadline. A rejected update
+//!   was never accepted; an accepted update keeps the full durability
+//!   guarantee.
+//! * **Degraded reads** ([`RefineOptions::coherence`],
+//!   [`CoherenceBudget`]): the sharded batch paths retry generation
+//!   coherence within a bounded budget (attempts + wall deadline) and
+//!   then answer from the freshest per-shard snapshots, flagged via
+//!   [`BatchNeighbors::degraded`], instead of spinning against a
+//!   racing publisher.
+//! * **Circuit breaker** ([`RefineOptions::breaker`],
+//!   [`BreakerConfig`]): a flapping storage backend opens the breaker
+//!   — drain/queue passes are suspended for a capped, exponentially
+//!   growing, jittered interval (probing, not hammering), surfaced in
+//!   [`ServiceStats`] as `breaker_open` / `breaker_open_ms`. With
+//!   bounded admission the undrained backlog becomes backpressure on
+//!   submitters.
+//! * **Query cache** ([`RefineOptions::query_cache`]): repeat
+//!   `neighbors`/`query_profile` lookups are answered from a
+//!   generation-keyed cache, invalidated wholesale on every snapshot
+//!   swap. Hits are bit-identical to uncached answers (the cached
+//!   value is a prior answer for the same immutable generation);
+//!   degraded sharded reads bypass it entirely.
+//!
+//! [`ServiceStats`] exposes the whole overload surface: `rejected`,
+//! `shed`, `coalesced`, `peak_pending`, `breaker_open`,
+//! `breaker_open_ms`, `cache_hits`, `cache_misses`. The
+//! `serve_load` bench bin drives closed-loop mixed read/update
+//! traffic against both services and reports latency percentiles and
+//! saturation throughput.
+//!
 //! ```
 //! use knn_core::{EngineConfig, KnnEngine};
 //! use knn_serve::{spawn, RefineOptions};
@@ -86,6 +129,9 @@
 //! # }
 //! ```
 
+mod admission;
+mod breaker;
+mod cache;
 mod error;
 mod ingest;
 mod refine;
@@ -94,9 +140,11 @@ mod service;
 mod sharded;
 mod snapshot;
 
+pub use admission::{AdmissionConfig, OverloadPolicy};
+pub use breaker::BreakerConfig;
 pub use error::ServeError;
 pub use ingest::UpdateIngest;
 pub use refine::{spawn, RefineHandle, RefineOptions};
 pub use service::{BatchNeighbors, KnnService, ServiceStats};
-pub use sharded::{spawn_sharded, ShardedKnnService, ShardedRefineHandle};
+pub use sharded::{spawn_sharded, CoherenceBudget, ShardedKnnService, ShardedRefineHandle};
 pub use snapshot::{Snapshot, SnapshotCell};

@@ -26,10 +26,17 @@ use knn_core::KnnEngine;
 use knn_graph::KnnGraph;
 use knn_sim::{Measure, ProfileDelta, ProfileStore};
 
+use crate::admission::AdmissionConfig;
+use crate::breaker::{Breaker, BreakerConfig};
+use crate::cache::QueryCache;
 use crate::ingest::UpdateIngest;
 use crate::repair::{queue_all, repair_touched};
+use crate::sharded::CoherenceBudget;
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::{KnnService, ServeError};
+
+/// Deterministic seed of the breaker's backoff jitter (per loop).
+const BREAKER_JITTER_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Tuning of the refinement loop.
 #[derive(Debug, Clone)]
@@ -57,6 +64,28 @@ pub struct RefineOptions {
     /// every published snapshot is an exact engine generation, which
     /// some tests and consumers rely on.
     pub repair: bool,
+    /// Admission control on the update ingest queue. Unbounded by
+    /// default (the pre-admission behavior); bound it in production so
+    /// a submit storm turns into typed
+    /// [`ServeError::Overloaded`](crate::ServeError) backpressure
+    /// instead of unbounded queue growth.
+    pub admission: AdmissionConfig,
+    /// Capacity (entries) of the generation-keyed query cache serving
+    /// repeat `neighbors`/`query_profile` lookups; invalidated on every
+    /// snapshot swap. `0` disables it. Hits are bit-identical to
+    /// uncached answers (the cached value is a prior answer for the
+    /// same immutable generation).
+    pub query_cache: usize,
+    /// Retry budget of the sharded batch paths' coherence gather
+    /// (attempts + wall deadline); ignored by the unsharded service,
+    /// whose single cell is inherently coherent.
+    pub coherence: CoherenceBudget,
+    /// Backoff schedule of the durable-path circuit breaker: after a
+    /// queueing pass with failures, drain/queue is skipped for a
+    /// capped, exponentially growing interval so a flapping
+    /// [`StorageBackend`](knn_store::StorageBackend) is probed, not
+    /// hammered.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for RefineOptions {
@@ -66,6 +95,10 @@ impl Default for RefineOptions {
             max_iterations: None,
             idle_park: Duration::from_millis(20),
             repair: false,
+            admission: AdmissionConfig::default(),
+            query_cache: 1024,
+            coherence: CoherenceBudget::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -102,6 +135,13 @@ pub(crate) struct Shared {
     /// Failed `queue_update` attempts (each is retried; see
     /// [`crate::repair::queue_all`]).
     pub(crate) queue_failures: AtomicU64,
+    /// Generation-keyed read cache shared by every service clone.
+    pub(crate) cache: QueryCache,
+    /// Whether the durable-path circuit breaker is currently open
+    /// (mirrored here by the loop for `stats()`).
+    pub(crate) breaker_open: AtomicBool,
+    /// Total milliseconds the breaker has spent open.
+    pub(crate) breaker_open_ms: AtomicU64,
     /// The refine thread's handle, set right after spawn — the repair
     /// worker unparks it when it forwards deltas.
     pub(crate) refine_thread: OnceLock<std::thread::Thread>,
@@ -146,7 +186,11 @@ pub fn spawn(
     );
     let shared = Arc::new(Shared {
         cell: SnapshotCell::new(initial),
-        ingest: UpdateIngest::new(engine.config().num_users()),
+        ingest: UpdateIngest::with_admission(
+            engine.config().num_users(),
+            options.admission.clone(),
+            options.idle_park,
+        ),
         stop: AtomicBool::new(false),
         published: Mutex::new(0),
         published_cv: Condvar::new(),
@@ -160,6 +204,9 @@ pub fn spawn(
         }),
         repaired_epochs: AtomicU64::new(0),
         queue_failures: AtomicU64::new(0),
+        cache: QueryCache::new(options.query_cache),
+        breaker_open: AtomicBool::new(false),
+        breaker_open_ms: AtomicU64::new(0),
         refine_thread: OnceLock::new(),
     });
 
@@ -310,34 +357,55 @@ fn refine_loop_inner(
     // Deltas queued into the engine's log but not yet applied by an
     // iteration.
     let mut unapplied: Vec<ProfileDelta> = Vec::new();
+    let mut breaker = Breaker::new(options.breaker, BREAKER_JITTER_SEED);
 
     while !shared.stop.load(Ordering::Acquire) {
-        // Intake: with repair on, the worker owns the ingest queue and
-        // forwards drained deltas through the view; otherwise we drain
-        // the queue directly.
-        let fresh = if options.repair {
-            let mut view = shared.view.lock().expect("view lock poisoned");
-            std::mem::take(&mut view.pending_engine)
+        // While the circuit breaker is open the drain/queue step is
+        // skipped entirely: undrained submits stay in the ingest queue
+        // (bounded admission turns that into backpressure), forwarded
+        // repair deltas stay in the view, and parked deltas are not
+        // retried against a backend that just refused them.
+        let queued = if breaker.remaining_open(Instant::now()).is_some() {
+            Vec::new()
         } else {
-            shared.ingest.drain()
-        };
+            // Intake: with repair on, the worker owns the ingest queue
+            // and forwards drained deltas through the view; otherwise
+            // we drain the queue directly.
+            let fresh = if options.repair {
+                let mut view = shared.view.lock().expect("view lock poisoned");
+                std::mem::take(&mut view.pending_engine)
+            } else {
+                shared.ingest.drain()
+            };
 
-        // Queue every delta into the engine's durable log, retrying
-        // previously failed ones first. Failures park the delta (and
-        // its user's later deltas, preserving order) for the next
-        // pass; they do not abort the loop.
-        let mut errors = Vec::new();
-        let queued = queue_all(
-            parked,
-            fresh,
-            &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
-            &mut errors,
+            // Queue every delta into the engine's durable log, retrying
+            // previously failed ones first. Failures park the delta
+            // (and its user's later deltas, preserving order) for the
+            // next pass; they do not abort the loop.
+            let attempted = parked.len() + fresh.len();
+            let mut errors = Vec::new();
+            let queued = queue_all(
+                parked,
+                fresh,
+                &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
+                &mut errors,
+            );
+            if !errors.is_empty() {
+                shared
+                    .queue_failures
+                    .fetch_add(errors.len() as u64, Ordering::Relaxed);
+            }
+            breaker.record(Instant::now(), attempted, errors.len());
+            queued
+        };
+        let now = Instant::now();
+        shared
+            .breaker_open
+            .store(breaker.is_open(now), Ordering::Relaxed);
+        shared.breaker_open_ms.store(
+            breaker.open_total(now).as_millis() as u64,
+            Ordering::Relaxed,
         );
-        if !errors.is_empty() {
-            shared
-                .queue_failures
-                .fetch_add(errors.len() as u64, Ordering::Relaxed);
-        }
         if !queued.is_empty() {
             // New profile data can change similarities: resume refining.
             converged = false;

@@ -7,6 +7,7 @@ use std::thread::Thread;
 use knn_graph::{Neighbor, UserId};
 use knn_sim::{Profile, ProfileDelta};
 
+use crate::cache::CacheKey;
 use crate::refine::Shared;
 use crate::snapshot::Snapshot;
 use crate::ServeError;
@@ -50,6 +51,29 @@ pub struct ServiceStats {
     /// (each is retried until shutdown; see
     /// [`ServeError::UnpersistedUpdates`]).
     pub queue_failures: u64,
+    /// Submits turned away by admission control with
+    /// [`ServeError::Overloaded`] (see
+    /// [`RefineOptions::admission`](crate::RefineOptions)).
+    pub rejected: u64,
+    /// Queued deltas dropped by the at-capacity shed sweep — each was
+    /// superseded by a later queued `Replace`/`Clear` of the same
+    /// user, so no user's final profile changed.
+    pub shed: u64,
+    /// Queued deltas dropped by opportunistic same-user coalescing
+    /// above the shed watermark (same lossless contract as `shed`).
+    pub coalesced: u64,
+    /// High-water mark of the pending ingest depth; with a configured
+    /// capacity this never exceeds it.
+    pub peak_pending: u64,
+    /// Whether the durable-path circuit breaker is currently open
+    /// (drain/queue passes suspended, backend backing off).
+    pub breaker_open: bool,
+    /// Total milliseconds the breaker has spent open.
+    pub breaker_open_ms: u64,
+    /// Query-cache hits (answers served bit-identical from cache).
+    pub cache_hits: u64,
+    /// Query-cache misses (answers computed, then cached).
+    pub cache_misses: u64,
 }
 
 /// A batch answer and the snapshot generation it was served from.
@@ -67,6 +91,14 @@ pub struct BatchNeighbors {
     pub generation: u64,
     /// Per queried user, in query order: the best-first neighbor list.
     pub results: Vec<Vec<Neighbor>>,
+    /// `true` when the sharded gather exhausted its coherence-retry
+    /// budget (see
+    /// [`RefineOptions::coherence`](crate::RefineOptions)) and the
+    /// rows were read from the freshest snapshots available instead of
+    /// one coherent generation vector; `generation` is then the newest
+    /// epoch among them. Always `false` from the unsharded service and
+    /// whenever the budget sufficed.
+    pub degraded: bool,
 }
 
 /// The always-on query front-end over the refining engine.
@@ -111,7 +143,20 @@ impl KnnService {
             .neighbor_queries
             .fetch_add(1, Ordering::Relaxed);
         let snapshot = self.snapshot();
-        Ok(snapshot.neighbors(user)?.to_vec())
+        if user.index() >= snapshot.num_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                num_users: snapshot.num_users(),
+            });
+        }
+        let generation = snapshot.generation();
+        let key = CacheKey::Neighbors(user);
+        if let Some(hit) = self.shared.cache.get(generation, &key) {
+            return Ok(hit);
+        }
+        let answer = snapshot.neighbors(user)?.to_vec();
+        self.shared.cache.insert(generation, key, &answer);
+        Ok(answer)
     }
 
     /// The top-K lists of several users, all answered from a single
@@ -138,6 +183,7 @@ impl KnnService {
         }
         Ok(BatchNeighbors {
             generation: snapshot.generation(),
+            degraded: false,
             results: users
                 .iter()
                 .map(|&u| {
@@ -163,7 +209,15 @@ impl KnnService {
         self.counters
             .profile_queries
             .fetch_add(1, Ordering::Relaxed);
-        Ok(self.snapshot().scan_top_k(query, k))
+        let snapshot = self.snapshot();
+        let generation = snapshot.generation();
+        let key = CacheKey::profile(query, k);
+        if let Some(hit) = self.shared.cache.get(generation, &key) {
+            return Ok(hit);
+        }
+        let answer = snapshot.scan_top_k(query, k);
+        self.shared.cache.insert(generation, key, &answer);
+        Ok(answer)
     }
 
     /// Top-`k` users for `query`, anchored at a known similar user:
@@ -240,6 +294,14 @@ impl KnnService {
             snapshot_epoch: self.shared.cell.epoch(),
             repaired_epochs: self.shared.repaired_epochs.load(Ordering::Relaxed),
             queue_failures: self.shared.queue_failures.load(Ordering::Relaxed),
+            rejected: self.shared.ingest.rejected(),
+            shed: self.shared.ingest.shed(),
+            coalesced: self.shared.ingest.coalesced(),
+            peak_pending: self.shared.ingest.peak_pending(),
+            breaker_open: self.shared.breaker_open.load(Ordering::Relaxed),
+            breaker_open_ms: self.shared.breaker_open_ms.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
         }
     }
 }

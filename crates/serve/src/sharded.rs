@@ -39,11 +39,134 @@ use knn_graph::{KnnGraph, Neighbor, UserId};
 use knn_shard::ShardedEngine;
 use knn_sim::{Measure, Profile, ProfileDelta, ProfileStore};
 
+use std::collections::BTreeMap;
+
+use crate::breaker::Breaker;
+use crate::cache::{CacheKey, QueryCache};
 use crate::ingest::UpdateIngest;
 use crate::repair::{queue_all, repair_touched};
 use crate::service::{validate_query, BatchNeighbors};
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::{RefineOptions, ServeError};
+
+/// Deterministic seed of the sharded loop's breaker jitter (distinct
+/// from the single-engine loop's so co-located services decorrelate).
+const BREAKER_JITTER_SEED: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// Retry budget of the sharded batch paths' coherence gather: how hard
+/// [`ShardedKnnService::neighbors_many`] and
+/// [`ShardedKnnService::query_profile`] may try to assemble one
+/// coherent generation vector before degrading.
+///
+/// The refinement loop publishes the shard cells one after another, so
+/// a reader landing mid-publish sees a mixed generation vector for a
+/// handful of pointer swaps — almost always resolved by the next load.
+/// But with publishers continuously racing readers there is no instant
+/// the vector is *observed* coherent, and an unbounded retry loop can
+/// spin indefinitely. The budget bounds the retry at `attempts` load
+/// rounds and `wall` elapsed time, whichever trips first; on
+/// exhaustion the read **degrades** — it answers from the freshest
+/// per-shard snapshots observed and flags it via
+/// [`BatchNeighbors::degraded`] — instead of spinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceBudget {
+    /// Maximum rounds of loading every shard cell (≥ 1; clamped).
+    pub attempts: usize,
+    /// Wall-clock deadline across all rounds.
+    pub wall: Duration,
+}
+
+impl Default for CoherenceBudget {
+    fn default() -> Self {
+        CoherenceBudget {
+            attempts: 32,
+            wall: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Accumulates per-shard snapshot observations across gather rounds,
+/// keyed by epoch. Snapshots are immutable, so a *full* per-shard set
+/// collected at one epoch — even across different rounds — IS that
+/// coherent generation, whether or not all cells ever held it
+/// simultaneously while we looked.
+/// Shards seen so far, plus one slot per shard.
+type PartialEpoch = (usize, Vec<Option<Arc<Snapshot>>>);
+
+struct EpochGather {
+    num_shards: usize,
+    /// epoch → partially assembled generation.
+    partial: BTreeMap<u64, PartialEpoch>,
+}
+
+impl EpochGather {
+    fn new(num_shards: usize) -> Self {
+        EpochGather {
+            num_shards,
+            partial: BTreeMap::new(),
+        }
+    }
+
+    fn offer(&mut self, shard: usize, snap: Arc<Snapshot>) {
+        let entry = self
+            .partial
+            .entry(snap.epoch())
+            .or_insert_with(|| (0, vec![None; self.num_shards]));
+        if entry.1[shard].is_none() {
+            entry.1[shard] = Some(snap);
+            entry.0 += 1;
+        }
+    }
+
+    /// The newest epoch for which every shard has been observed.
+    fn complete(&self) -> Option<Vec<Arc<Snapshot>>> {
+        self.partial
+            .iter()
+            .rev()
+            .find(|(_, (seen, _))| *seen == self.num_shards)
+            .map(|(_, (_, slots))| {
+                slots
+                    .iter()
+                    .map(|s| Arc::clone(s.as_ref().expect("slot counted as seen")))
+                    .collect()
+            })
+    }
+}
+
+/// Loads one snapshot per shard, all on one generation if the budget
+/// allows. Returns the snapshots and whether the read **degraded**:
+/// `false` means one coherent generation vector, `true` means the
+/// budget ran out and these are simply the freshest per-shard loads
+/// (mixed generations possible — callers flag it to their callers).
+fn gather_coherent(cells: &[SnapshotCell], budget: CoherenceBudget) -> (Vec<Arc<Snapshot>>, bool) {
+    let load_all = || -> Vec<Arc<Snapshot>> { cells.iter().map(SnapshotCell::load).collect() };
+    let coherent = |snaps: &[Arc<Snapshot>]| snaps.windows(2).all(|w| w[0].epoch() == w[1].epoch());
+    // Fast path: the overwhelmingly common no-publish-in-flight case,
+    // no accumulator allocation.
+    let mut latest = load_all();
+    if coherent(&latest) {
+        return (latest, false);
+    }
+    let deadline = Instant::now() + budget.wall;
+    let mut gather = EpochGather::new(cells.len());
+    for (shard, snap) in latest.iter().enumerate() {
+        gather.offer(shard, Arc::clone(snap));
+    }
+    let mut rounds = 1usize;
+    while rounds < budget.attempts.max(1) && Instant::now() < deadline {
+        std::thread::yield_now();
+        latest = load_all();
+        rounds += 1;
+        for (shard, snap) in latest.iter().enumerate() {
+            gather.offer(shard, Arc::clone(snap));
+        }
+        if let Some(snaps) = gather.complete() {
+            return (snaps, false);
+        }
+    }
+    // Budget exhausted: degrade to the freshest loads rather than spin.
+    (latest, true)
+}
 
 /// The mutable served view both sharded publishers edit under one
 /// lock: the global state plus its per-shard projections, kept in
@@ -83,6 +206,13 @@ struct ShardedShared {
     view: Mutex<ShardedViewState>,
     repaired_epochs: AtomicU64,
     queue_failures: AtomicU64,
+    /// Generation-keyed read cache shared by every service clone.
+    cache: QueryCache,
+    /// Coherence-retry budget of the batch read paths.
+    coherence: CoherenceBudget,
+    /// Breaker state mirrored for `stats()` (see refine.rs).
+    breaker_open: AtomicBool,
+    breaker_open_ms: AtomicU64,
     refine_thread: OnceLock<Thread>,
 }
 
@@ -94,18 +224,10 @@ impl ShardedShared {
         self.published_cv.notify_all();
     }
 
-    /// Loads one snapshot per shard, all on the same generation. The
-    /// loop publishes the cells one after another, so a reader landing
-    /// mid-publish simply reloads — the window is a handful of pointer
-    /// swaps.
-    fn coherent_snapshots(&self) -> Vec<Arc<Snapshot>> {
-        loop {
-            let snaps: Vec<Arc<Snapshot>> = self.cells.iter().map(SnapshotCell::load).collect();
-            if snaps.windows(2).all(|w| w[0].epoch() == w[1].epoch()) {
-                return snaps;
-            }
-            std::thread::yield_now();
-        }
+    /// Loads one snapshot per shard, on one coherent generation when
+    /// the retry budget allows (see [`gather_coherent`]).
+    fn coherent_snapshots(&self) -> (Vec<Arc<Snapshot>>, bool) {
+        gather_coherent(&self.cells, self.coherence)
     }
 
     /// Publishes every shard cell from the view's current projections
@@ -198,7 +320,7 @@ pub fn spawn_sharded(
         cells,
         owned,
         owner_of,
-        ingest: UpdateIngest::new(n),
+        ingest: UpdateIngest::with_admission(n, options.admission.clone(), options.idle_park),
         stop: AtomicBool::new(false),
         published: Mutex::new(0),
         published_cv: Condvar::new(),
@@ -214,6 +336,10 @@ pub fn spawn_sharded(
         }),
         repaired_epochs: AtomicU64::new(0),
         queue_failures: AtomicU64::new(0),
+        cache: QueryCache::new(options.query_cache),
+        coherence: options.coherence,
+        breaker_open: AtomicBool::new(false),
+        breaker_open_ms: AtomicU64::new(0),
         refine_thread: OnceLock::new(),
     });
 
@@ -356,27 +482,45 @@ fn refine_loop_inner(
     // the single-engine loop (see refine.rs for the contract).
     let mut engine_profiles = initial_profiles;
     let mut unapplied: Vec<ProfileDelta> = Vec::new();
+    let mut breaker = Breaker::new(options.breaker, BREAKER_JITTER_SEED);
 
     while !shared.stop.load(Ordering::Acquire) {
-        let fresh = if options.repair {
-            let mut view = shared.view.lock().expect("view lock poisoned");
-            std::mem::take(&mut view.pending_engine)
+        // Breaker-open passes skip drain/queue entirely, exactly like
+        // the single-engine loop (see refine.rs).
+        let queued = if breaker.remaining_open(Instant::now()).is_some() {
+            Vec::new()
         } else {
-            shared.ingest.drain()
-        };
+            let fresh = if options.repair {
+                let mut view = shared.view.lock().expect("view lock poisoned");
+                std::mem::take(&mut view.pending_engine)
+            } else {
+                shared.ingest.drain()
+            };
 
-        let mut errors = Vec::new();
-        let queued = queue_all(
-            parked,
-            fresh,
-            &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
-            &mut errors,
+            let attempted = parked.len() + fresh.len();
+            let mut errors = Vec::new();
+            let queued = queue_all(
+                parked,
+                fresh,
+                &mut |delta| engine.queue_update(delta).map_err(ServeError::from),
+                &mut errors,
+            );
+            if !errors.is_empty() {
+                shared
+                    .queue_failures
+                    .fetch_add(errors.len() as u64, Ordering::Relaxed);
+            }
+            breaker.record(Instant::now(), attempted, errors.len());
+            queued
+        };
+        let now = Instant::now();
+        shared
+            .breaker_open
+            .store(breaker.is_open(now), Ordering::Relaxed);
+        shared.breaker_open_ms.store(
+            breaker.open_total(now).as_millis() as u64,
+            Ordering::Relaxed,
         );
-        if !errors.is_empty() {
-            shared
-                .queue_failures
-                .fetch_add(errors.len() as u64, Ordering::Relaxed);
-        }
         if !queued.is_empty() {
             converged = false;
         }
@@ -500,7 +644,14 @@ impl ShardedKnnService {
             });
         }
         let snapshot = self.owner_cell(user).load();
-        Ok(snapshot.neighbors(user)?.to_vec())
+        let generation = snapshot.generation();
+        let key = CacheKey::Neighbors(user);
+        if let Some(hit) = self.shared.cache.get(generation, &key) {
+            return Ok(hit);
+        }
+        let answer = snapshot.neighbors(user)?.to_vec();
+        self.shared.cache.insert(generation, key, &answer);
+        Ok(answer)
     }
 
     /// The top-K lists of several users, scatter-gathered across the
@@ -525,9 +676,16 @@ impl ShardedKnnService {
                 num_users,
             });
         }
-        let snaps = self.shared.coherent_snapshots();
+        let (snaps, degraded) = self.shared.coherent_snapshots();
         Ok(BatchNeighbors {
-            generation: snaps[0].generation(),
+            // Coherent: every shard is on this generation. Degraded:
+            // name the newest generation any row came from.
+            generation: snaps
+                .iter()
+                .map(|s| s.generation())
+                .max()
+                .expect("at least one shard"),
+            degraded,
             results: users
                 .iter()
                 .map(|&u| {
@@ -554,7 +712,21 @@ impl ShardedKnnService {
         self.counters
             .profile_queries
             .fetch_add(1, Ordering::Relaxed);
-        let snaps = self.shared.coherent_snapshots();
+        let (snaps, degraded) = self.shared.coherent_snapshots();
+        let generation = snaps
+            .iter()
+            .map(|s| s.generation())
+            .max()
+            .expect("at least one shard");
+        let key = CacheKey::profile(query, k);
+        // Degraded reads mix generations: never cache them, and never
+        // answer from cache entries that belong to one clean
+        // generation of a different state.
+        if !degraded {
+            if let Some(hit) = self.shared.cache.get(generation, &key) {
+                return Ok(hit);
+            }
+        }
         let mut merged: Vec<Neighbor> = snaps
             .iter()
             .zip(&self.shared.owned)
@@ -562,6 +734,9 @@ impl ShardedKnnService {
             .collect();
         merged.sort_unstable();
         merged.truncate(k);
+        if !degraded {
+            self.shared.cache.insert(generation, key, &merged);
+        }
         Ok(merged)
     }
 
@@ -592,6 +767,14 @@ impl ShardedKnnService {
             snapshot_epoch: *self.shared.published.lock().expect("publish lock poisoned"),
             repaired_epochs: self.shared.repaired_epochs.load(Ordering::Relaxed),
             queue_failures: self.shared.queue_failures.load(Ordering::Relaxed),
+            rejected: self.shared.ingest.rejected(),
+            shed: self.shared.ingest.shed(),
+            coalesced: self.shared.ingest.coalesced(),
+            peak_pending: self.shared.ingest.peak_pending(),
+            breaker_open: self.shared.breaker_open.load(Ordering::Relaxed),
+            breaker_open_ms: self.shared.breaker_open_ms.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
         }
     }
 }
@@ -652,5 +835,121 @@ impl ShardedRefineHandle {
     /// The latest fully published generation.
     pub fn current_epoch(&self) -> u64 {
         *self.shared.published.lock().expect("publish lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_sim::{ItemId, Measure};
+
+    fn snapshot(epoch: u64) -> Snapshot {
+        let mut graph = KnnGraph::new(2, 1);
+        graph.insert(UserId::new(0), Neighbor::new(UserId::new(1), 0.5));
+        let mut profiles = ProfileStore::new(2);
+        let mut p = Profile::new();
+        p.set(ItemId::new(0), 1.0);
+        profiles.set(UserId::new(0), p);
+        Snapshot::new(
+            epoch,
+            epoch,
+            1.0,
+            Measure::Cosine,
+            Arc::new(graph),
+            Arc::new(profiles),
+        )
+    }
+
+    #[test]
+    fn gather_assembles_coherent_epoch_across_rounds() {
+        // Mid-publish observation order: shard 0 already at epoch 6,
+        // shard 1 still at 5 — then shard 1 catches up. The full
+        // epoch-6 set is assembled from observations of *two* rounds.
+        let mut gather = EpochGather::new(2);
+        gather.offer(0, Arc::new(snapshot(6)));
+        gather.offer(1, Arc::new(snapshot(5)));
+        assert!(gather.complete().is_none(), "no epoch has both shards");
+        gather.offer(0, Arc::new(snapshot(6)));
+        gather.offer(1, Arc::new(snapshot(6)));
+        let snaps = gather.complete().expect("epoch 6 complete");
+        assert!(snaps.iter().all(|s| s.epoch() == 6));
+    }
+
+    #[test]
+    fn gather_prefers_newest_complete_epoch() {
+        let mut gather = EpochGather::new(2);
+        for epoch in [3, 4] {
+            gather.offer(0, Arc::new(snapshot(epoch)));
+            gather.offer(1, Arc::new(snapshot(epoch)));
+        }
+        let snaps = gather.complete().expect("two complete epochs");
+        assert!(snaps.iter().all(|s| s.epoch() == 4));
+    }
+
+    #[test]
+    fn coherent_cells_take_the_fast_path() {
+        let cells = vec![
+            SnapshotCell::new(snapshot(2)),
+            SnapshotCell::new(snapshot(2)),
+        ];
+        let (snaps, degraded) = gather_coherent(&cells, CoherenceBudget::default());
+        assert!(!degraded);
+        assert!(snaps.iter().all(|s| s.epoch() == 2));
+    }
+
+    /// Regression for the unbounded coherence-retry loop: with a
+    /// publisher keeping the cells *permanently* incoherent (shard 0
+    /// only ever holds odd epochs, shard 1 only even), the old
+    /// implementation spun forever. The bounded gather must return a
+    /// degraded read within its budget.
+    #[test]
+    fn gather_degrades_instead_of_spinning_under_racing_publisher() {
+        let cells = Arc::new(vec![
+            SnapshotCell::new(snapshot(1)),
+            SnapshotCell::new(snapshot(2)),
+        ]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let cells = Arc::clone(&cells);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut epoch = 3u64;
+                while !stop.load(Ordering::Relaxed) {
+                    cells[0].publish(snapshot(epoch));
+                    cells[1].publish(snapshot(epoch + 1));
+                    epoch += 2;
+                }
+            })
+        };
+        let budget = CoherenceBudget {
+            attempts: 64,
+            wall: Duration::from_millis(50),
+        };
+        let started = Instant::now();
+        let (snaps, degraded) = gather_coherent(&cells, budget);
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        publisher.join().unwrap();
+        assert!(degraded, "permanently incoherent cells must degrade");
+        assert_eq!(snaps.len(), 2, "degraded read still answers per shard");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "must return within the budget, took {elapsed:?}"
+        );
+    }
+
+    /// A publisher racing reads but *pausing* lets the gather assemble
+    /// a coherent set within budget (no degradation on the happy path).
+    #[test]
+    fn gather_recovers_coherence_when_publisher_finishes() {
+        let cells = vec![
+            SnapshotCell::new(snapshot(1)),
+            SnapshotCell::new(snapshot(2)),
+        ];
+        // Shard 0 catches up before the reader arrives.
+        cells[0].publish(snapshot(2));
+        let (snaps, degraded) = gather_coherent(&cells, CoherenceBudget::default());
+        assert!(!degraded);
+        assert!(snaps.iter().all(|s| s.epoch() == 2));
     }
 }

@@ -55,6 +55,7 @@ fn options() -> RefineOptions {
         max_iterations: Some(ITERATIONS),
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     }
 }
 

@@ -66,6 +66,7 @@ fn concurrent_readers_observe_only_complete_generations() {
         max_iterations: Some(ITERATIONS),
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options).expect("spawn service");
 
@@ -165,6 +166,7 @@ fn submitted_updates_become_visible_in_a_later_snapshot() {
         max_iterations: None,
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 
@@ -216,6 +218,7 @@ fn profile_queries_agree_between_scan_and_neighborhood() {
         max_iterations: Some(0),
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 
@@ -255,6 +258,7 @@ fn updates_are_applied_even_past_the_iteration_cap() {
         max_iterations: Some(1),
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
     assert!(
@@ -293,6 +297,7 @@ fn stop_rejects_new_updates_and_preserves_accepted_ones() {
         max_iterations: None,
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 
@@ -367,6 +372,7 @@ fn service_runs_fully_in_memory() {
         max_iterations: None,
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options).expect("spawn");
 

@@ -188,6 +188,7 @@ fn transient_append_failure_loses_nothing() {
             max_iterations: None,
             idle_park: Duration::from_millis(1),
             repair: false,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");
@@ -243,6 +244,7 @@ fn permanent_append_failure_returns_updates_on_stop() {
             max_iterations: Some(0),
             idle_park: Duration::from_millis(1),
             repair: false,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");
@@ -303,6 +305,7 @@ fn permanent_failure_with_repair_returns_served_updates() {
             max_iterations: Some(0),
             idle_park: Duration::from_millis(1),
             repair: true,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");
@@ -349,6 +352,7 @@ fn healed_before_stop_persists_parked_updates() {
             max_iterations: Some(0),
             idle_park: Duration::from_millis(1),
             repair: true,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");
@@ -397,6 +401,7 @@ fn interleaved_failures_under_load_lose_nothing() {
             max_iterations: None,
             idle_park: Duration::from_millis(1),
             repair: false,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");

@@ -44,6 +44,7 @@ fn repair_options() -> RefineOptions {
         max_iterations: Some(0),
         idle_park: Duration::from_millis(1),
         repair: true,
+        ..RefineOptions::default()
     }
 }
 
@@ -168,6 +169,7 @@ fn nan_query_is_rejected_not_ranked_first() {
             max_iterations: Some(0),
             idle_park: Duration::from_millis(1),
             repair: false,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");
@@ -200,6 +202,7 @@ fn sharded_nan_query_is_rejected() {
             max_iterations: Some(0),
             idle_park: Duration::from_millis(1),
             repair: false,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn_sharded");

@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_iterations: Some(8),
         idle_park: Duration::from_millis(5),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(engine, options)?;
 

@@ -102,7 +102,9 @@ pub use knn_core::{
 };
 pub use knn_datasets::{Table1Dataset, Workload, WorkloadConfig};
 pub use knn_graph::{DiGraph, KnnGraph, Neighbor, UserId};
-pub use knn_serve::{KnnService, RefineHandle, RefineOptions, ServeError, Snapshot};
+pub use knn_serve::{
+    AdmissionConfig, KnnService, OverloadPolicy, RefineHandle, RefineOptions, ServeError, Snapshot,
+};
 pub use knn_shard::{ShardedEngine, ShardedIterationReport};
 pub use knn_sim::{ItemId, Measure, Profile, ProfileDelta, ProfileStore, Similarity};
 pub use knn_store::{DiskBackend, DiskModel, IoStats, MemBackend, StorageBackend, WorkingDir};

@@ -33,6 +33,7 @@ fn live_service_round_trip() {
             max_iterations: Some(10),
             idle_park: Duration::from_millis(1),
             repair: false,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");

@@ -66,6 +66,7 @@ fn reconciled_engine_is_bit_identical_to_never_repaired_twin() {
             max_iterations: Some(0),
             idle_park: Duration::from_millis(1),
             repair: true,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");
@@ -149,6 +150,7 @@ fn converges_to_recall_floor_under_churn() {
             max_iterations: None,
             idle_park: Duration::from_millis(1),
             repair: true,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn");

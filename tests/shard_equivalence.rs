@@ -285,6 +285,7 @@ fn scatter_gather_matches_the_single_shard_service() {
         max_iterations: Some(0),
         idle_park: Duration::from_millis(1),
         repair: false,
+        ..RefineOptions::default()
     };
     let (service, refine) = spawn(plain, frozen.clone()).expect("spawn");
     let (sharded_service, sharded_refine) = spawn_sharded(sharded, frozen).expect("spawn_sharded");
@@ -352,6 +353,7 @@ fn updates_flow_through_the_sharded_service() {
             max_iterations: Some(10),
             idle_park: Duration::from_millis(1),
             repair: false,
+            ..RefineOptions::default()
         },
     )
     .expect("spawn_sharded");
