@@ -47,6 +47,7 @@ pub struct EngineConfig {
     cluster_init: bool,
     num_clusters: Option<usize>,
     cluster_method: ClusterMethod,
+    commit_protocol: bool,
     seed: u64,
 }
 
@@ -87,6 +88,7 @@ impl EngineConfig {
             cluster_init: false,
             num_clusters: None,
             cluster_method: ClusterMethod::KMeans,
+            commit_protocol: true,
             seed: 0,
         }
     }
@@ -231,6 +233,18 @@ impl EngineConfig {
         self.cluster_init || self.partitioner == PartitionerKind::Cluster
     }
 
+    /// Whether iterations commit atomically (default on): committed
+    /// streams are backed up before in-place rewrites, a
+    /// generation-stamped commit record is written at the end of each
+    /// iteration, and resume rolls back to the last committed
+    /// generation (see `knn_store::commit`). Off reproduces the exact
+    /// pre-protocol behavior — no backups, no commit record — which is
+    /// what the paired recovery bench measures against and how legacy
+    /// working directories are generated.
+    pub fn commit_protocol(&self) -> bool {
+        self.commit_protocol
+    }
+
     /// Seed for every randomized component (initial graph, partitioner
     /// tie-breaks).
     pub fn seed(&self) -> u64 {
@@ -278,6 +292,7 @@ pub struct EngineConfigBuilder {
     cluster_init: bool,
     num_clusters: Option<usize>,
     cluster_method: ClusterMethod,
+    commit_protocol: bool,
     seed: u64,
 }
 
@@ -417,6 +432,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Toggles the atomic iteration-commit protocol (default on — see
+    /// [`EngineConfig::commit_protocol`]).
+    pub fn commit_protocol(mut self, yes: bool) -> Self {
+        self.commit_protocol = yes;
+        self
+    }
+
     /// Sets the global seed (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -508,6 +530,7 @@ impl EngineConfigBuilder {
             cluster_init: self.cluster_init,
             num_clusters: self.num_clusters,
             cluster_method: self.cluster_method,
+            commit_protocol: self.commit_protocol,
             seed: self.seed,
         })
     }
@@ -688,6 +711,16 @@ mod tests {
         assert!(!c.prune_pairs());
         assert!(c.bound_filter());
         assert_eq!(c.seed(), 99);
+    }
+
+    #[test]
+    fn commit_protocol_defaults_on_and_toggles() {
+        assert!(EngineConfig::builder(10).build().unwrap().commit_protocol());
+        assert!(!EngineConfig::builder(10)
+            .commit_protocol(false)
+            .build()
+            .unwrap()
+            .commit_protocol());
     }
 
     #[test]

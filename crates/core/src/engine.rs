@@ -10,7 +10,11 @@ use knn_store::backend::{
     read_meta, read_pairs, read_scored_pairs, read_user_lists, write_meta, write_pairs,
     write_scored_pairs,
 };
-use knn_store::{DiskBackend, IoSnapshot, MemBackend, StorageBackend, StreamId, WorkingDir};
+use knn_store::commit::{read_commit_state, write_commit, CommitState};
+use knn_store::{
+    CommitRecord, CommitTarget, CommitTxn, DiskBackend, IoSnapshot, MemBackend, RecoveryReport,
+    RetryBackend, RetryPolicy, StorageBackend, StreamId, WorkingDir,
+};
 
 use crate::config::EngineConfig;
 use crate::metrics::{ConvergenceOutcome, IterationReport};
@@ -68,6 +72,10 @@ pub struct KnnEngine {
     /// closure summing its shard meters so phase I/O deltas cover
     /// every backend the iteration touched.
     io_meter: Option<Arc<dyn Fn() -> IoSnapshot + Send + Sync>>,
+    /// What crash recovery found when this engine was resumed with the
+    /// commit protocol on; `None` for fresh engines and protocol-off
+    /// resumes.
+    recovery: Option<RecoveryReport>,
 }
 
 /// Pluggable phase-2 implementation. The engine driver calls this in
@@ -95,6 +103,38 @@ pub trait Phase2Provider: Send {
         options: &phase2::Phase2Options,
         additions: Option<&EdgeAdditions>,
     ) -> Result<phase2::Phase2Output, EngineError>;
+}
+
+/// Outcome of [`KnnEngine::verify`]: how many invariants were checked
+/// and every violation found, in check order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScrubReport {
+    /// Invariant checks performed (streams and cross-stream checks).
+    pub streams_checked: u64,
+    /// Human-readable findings; empty for a healthy store.
+    pub issues: Vec<String>,
+}
+
+impl ScrubReport {
+    /// `true` when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl std::fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "scrub: {} checks, {} issue(s)",
+            self.streams_checked,
+            self.issues.len()
+        )?;
+        for issue in &self.issues {
+            writeln!(f, "  - {issue}")?;
+        }
+        Ok(())
+    }
 }
 
 /// What phase-4 suppression needs to know about the previous
@@ -282,6 +322,14 @@ impl KnnEngine {
         clusters: Option<Arc<ClusterAssignment>>,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Self, EngineError> {
+        // Every engine I/O path runs behind the bounded retry policy:
+        // transient storage failures are absorbed deterministically
+        // (seeded jitter), permanent ones propagate unchanged, and a
+        // clean run is byte- and meter-identical to an unwrapped one.
+        let backend: Arc<dyn StorageBackend> = Arc::new(RetryBackend::new(
+            backend,
+            RetryPolicy::from_seed(config.seed()),
+        ));
         if graph.num_vertices() != config.num_users() {
             return Err(EngineError::input(format!(
                 "graph has {} vertices, config expects {}",
@@ -332,8 +380,14 @@ impl KnnEngine {
             prune: None,
             phase2_provider: None,
             io_meter: None,
+            recovery: None,
         };
-        engine.persist_state()?;
+        engine.persist_state(None)?;
+        // Generation 0 is committed the moment the initial state is
+        // durable, so a crash during iteration 0 rolls back here.
+        if engine.config.commit_protocol() {
+            write_commit(engine.backend.as_ref(), &CommitRecord::clean(0))?;
+        }
         Ok(engine)
     }
 
@@ -365,6 +419,20 @@ impl KnnEngine {
         config: EngineConfig,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Self, EngineError> {
+        let backend: Arc<dyn StorageBackend> = Arc::new(RetryBackend::new(
+            backend,
+            RetryPolicy::from_seed(config.seed()),
+        ));
+        // Crash recovery runs before a single byte of state is
+        // trusted: a torn iteration rolls back to the last committed
+        // generation, an interrupted log truncation is finished, torn
+        // log tails are pruned, and orphaned scratch is deleted. A
+        // legacy layout (no commit record) passes through untouched.
+        let recovery = if config.commit_protocol() {
+            Some(knn_store::recover(backend.as_ref())?)
+        } else {
+            None
+        };
         let meta: std::collections::HashMap<u32, u64> =
             read_meta(backend.as_ref())?.into_iter().collect();
         let expect = |key: u32, name: &str, want: u64| -> Result<(), EngineError> {
@@ -406,6 +474,17 @@ impl KnnEngine {
         let iteration = *meta
             .get(&META_ITERATION)
             .ok_or_else(|| EngineError::input("metadata missing iteration"))?;
+        // After recovery the commit record and the metadata must name
+        // the same generation — a disagreement means the directory was
+        // modified outside the protocol.
+        if let Some(generation) = recovery.as_ref().and_then(|r| r.committed_generation) {
+            if generation != iteration {
+                return Err(EngineError::input(format!(
+                    "commit record names generation {generation}, \
+                     stored metadata says iteration {iteration}"
+                )));
+            }
+        }
 
         let assignment_rows = read_pairs(backend.as_ref(), StreamId::Assignment)?;
         let mut assignment = vec![0u32; config.num_users()];
@@ -498,13 +577,20 @@ impl KnnEngine {
             prune: None,
             phase2_provider: None,
             io_meter: None,
+            recovery,
         })
     }
 
     /// Writes the resumable state: metadata, the partition assignment,
-    /// and the current KNN graph sliced per partition.
-    fn persist_state(&self) -> Result<(), EngineError> {
+    /// and the current KNN graph sliced per partition. With a `txn`,
+    /// every stream is staged (pre-image backed up) before its
+    /// rewrite, so a crash mid-persist rolls back cleanly.
+    fn persist_state(&self, mut txn: Option<&mut CommitTxn>) -> Result<(), EngineError> {
         let backend = self.backend.as_ref();
+        if let Some(txn) = txn.as_deref_mut() {
+            txn.backup(backend, CommitTarget::Meta)?;
+            txn.backup(backend, CommitTarget::Assignment)?;
+        }
         let mut meta = vec![
             (META_ITERATION, self.iteration),
             (META_NUM_USERS, self.config.num_users() as u64),
@@ -526,6 +612,9 @@ impl KnnEngine {
             .collect();
         write_pairs(backend, StreamId::Assignment, &assignment_rows)?;
         for p in 0..self.partitioning.num_partitions() as u32 {
+            if let Some(txn) = txn.as_deref_mut() {
+                txn.backup(backend, CommitTarget::KnnSlice(p))?;
+            }
             let mut rows: Vec<(u32, u32, f32)> = Vec::new();
             for &user in self.partitioning.users_of(p) {
                 for nb in self.graph.neighbors(user) {
@@ -566,6 +655,227 @@ impl KnnEngine {
     /// Reports of every completed iteration.
     pub fn reports(&self) -> &[IterationReport] {
         &self.reports
+    }
+
+    /// What crash recovery found and repaired when this engine was
+    /// resumed with [`EngineConfig::commit_protocol`] on; `None` for
+    /// fresh engines and protocol-off resumes. A clean shutdown
+    /// resumes with a default report (nothing rolled back, nothing
+    /// deleted).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Scrubs the persisted state: decodes every committed stream
+    /// (CRC-verified by the backend), cross-checks the commit record,
+    /// metadata, assignment, profile, and KNN-slice invariants against
+    /// the configuration, and strictly decodes the update log. Read
+    /// only — call it between iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Store`] only on outright I/O failure;
+    /// consistency problems are findings in the returned report, not
+    /// errors.
+    pub fn verify(&self) -> Result<ScrubReport, EngineError> {
+        use knn_store::StoreError;
+        let backend = self.backend.as_ref();
+        let mut report = ScrubReport::default();
+        let check = |ok: bool, finding: String, report: &mut ScrubReport| {
+            report.streams_checked += 1;
+            if !ok {
+                report.issues.push(finding);
+            }
+        };
+        // Decode failures are findings (a scrub exists to surface
+        // them); only genuine I/O failure aborts the scrub.
+        fn soft<T>(
+            result: Result<T, StoreError>,
+            what: &str,
+            report: &mut ScrubReport,
+        ) -> Result<Option<T>, EngineError> {
+            report.streams_checked += 1;
+            match result {
+                Ok(v) => Ok(Some(v)),
+                Err(e @ (StoreError::Corrupt { .. } | StoreError::VersionMismatch { .. })) => {
+                    report.issues.push(format!("{what}: {e}"));
+                    Ok(None)
+                }
+                Err(e) => Err(e.into()),
+            }
+        }
+
+        // The commit record, when present, must be intact, clean, and
+        // name the current generation. Absent is fine: legacy layout
+        // or protocol off.
+        match read_commit_state(backend)? {
+            CommitState::Absent => {}
+            CommitState::Torn => {
+                check(false, "commit record is torn".to_string(), &mut report);
+            }
+            CommitState::Valid(rec) => {
+                check(
+                    rec.generation == self.iteration,
+                    format!(
+                        "commit record names generation {}, engine is at iteration {}",
+                        rec.generation, self.iteration
+                    ),
+                    &mut report,
+                );
+                check(
+                    rec.log_consumed_len == 0,
+                    format!(
+                        "commit record carries {} consumed-log bytes at rest \
+                         (truncation never completed)",
+                        rec.log_consumed_len
+                    ),
+                    &mut report,
+                );
+            }
+        }
+
+        // Metadata must agree with the configuration.
+        let meta: std::collections::HashMap<u32, u64> =
+            soft(read_meta(backend), "metadata stream", &mut report)?
+                .unwrap_or_default()
+                .into_iter()
+                .collect();
+        for (key, name, want) in [
+            (META_ITERATION, "iteration", self.iteration),
+            (META_NUM_USERS, "num_users", self.config.num_users() as u64),
+            (META_K, "k", self.config.k() as u64),
+            (
+                META_NUM_PARTITIONS,
+                "num_partitions",
+                self.config.num_partitions() as u64,
+            ),
+            (META_SEED, "seed", self.config.seed()),
+        ] {
+            check(
+                meta.get(&key) == Some(&want),
+                format!(
+                    "metadata {name} is {:?}, expected {want}",
+                    meta.get(&key).copied()
+                ),
+                &mut report,
+            );
+        }
+
+        // The assignment must cover exactly the configured users with
+        // in-range partitions — and match the in-memory layout.
+        let assignment_rows = soft(
+            read_pairs(backend, StreamId::Assignment),
+            "assignment stream",
+            &mut report,
+        )?
+        .unwrap_or_default();
+        let n = self.config.num_users();
+        let m = self.config.num_partitions() as u32;
+        let mut assignment_ok = assignment_rows.len() == n;
+        for &(user, p) in &assignment_rows {
+            assignment_ok &= (user as usize) < n
+                && p < m
+                && self.partitioning.assignment().get(user as usize) == Some(&p);
+        }
+        check(
+            assignment_ok,
+            format!(
+                "assignment stream disagrees with the engine layout \
+                 ({} rows for n={n})",
+                assignment_rows.len()
+            ),
+            &mut report,
+        );
+
+        // Every user's profile lives exactly once, in its assigned
+        // partition.
+        let mut profile_seen = vec![false; n];
+        for p in 0..m {
+            let Some(rows) = soft(
+                read_user_lists(backend, StreamId::Profiles(p)),
+                &format!("profile stream of partition {p}"),
+                &mut report,
+            )?
+            else {
+                continue;
+            };
+            let mut ok = true;
+            for (user, _) in &rows {
+                ok &= (*user as usize) < n
+                    && self.partitioning.partition_of(UserId::new(*user)) == p
+                    && !std::mem::replace(&mut profile_seen[*user as usize], true);
+            }
+            check(
+                ok,
+                format!("profile stream of partition {p} misplaces or repeats a user"),
+                &mut report,
+            );
+        }
+        check(
+            profile_seen.iter().all(|&s| s),
+            format!(
+                "{} users have no stored profile",
+                profile_seen.iter().filter(|&&s| !s).count()
+            ),
+            &mut report,
+        );
+
+        // KNN slices: each user at most once across all slices, in its
+        // assigned partition, with at most K neighbors.
+        let mut knn_seen = vec![0usize; n];
+        for p in 0..m {
+            let Some(rows) = soft(
+                read_scored_pairs(backend, StreamId::KnnSlice(p)),
+                &format!("KNN slice of partition {p}"),
+                &mut report,
+            )?
+            else {
+                continue;
+            };
+            let mut ok = true;
+            for (s, _, _) in &rows {
+                ok &= (*s as usize) < n && self.partitioning.partition_of(UserId::new(*s)) == p;
+                if let Some(count) = knn_seen.get_mut(*s as usize) {
+                    *count += 1;
+                    ok &= *count <= self.config.k();
+                }
+            }
+            check(
+                ok,
+                format!("KNN slice of partition {p} misplaces a user or overflows K"),
+                &mut report,
+            );
+        }
+
+        // The update log must decode strictly (a torn tail at rest is
+        // a finding — recovery prunes those on resume).
+        check(
+            self.queue.pending(backend).is_ok(),
+            "update log does not decode cleanly".to_string(),
+            &mut report,
+        );
+
+        // Between iterations no staged backups, spill runs, or
+        // exchange runs should survive — a leftover means an
+        // interrupted commit or GC. Bucket streams legitimately rest
+        // between iterations, so they are not leftovers.
+        let leftovers = backend
+            .list()?
+            .into_iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    StreamId::Staged(..) | StreamId::TupleRun(..) | StreamId::ExchangeRun(..)
+                )
+            })
+            .count();
+        check(
+            leftovers == 0,
+            format!("{leftovers} staged/scratch streams survive at rest"),
+            &mut report,
+        );
+
+        Ok(report)
     }
 
     /// Cumulative I/O counters (metered inside the storage backend),
@@ -704,6 +1014,14 @@ impl KnnEngine {
         let mut io = [IoSnapshot::default(); 5];
         let backend = Arc::clone(&self.backend);
         let backend = backend.as_ref();
+        // The iteration's undo log: committed streams are staged
+        // before their first in-place mutation, and the commit record
+        // written at the end flips the visible generation atomically —
+        // a crash anywhere in between rolls back on resume.
+        let mut txn = self
+            .config
+            .commit_protocol()
+            .then(|| CommitTxn::new(self.iteration));
 
         // Cross-iteration suppression inputs (see the crate docs'
         // scoring-pipeline section). `seed_ok[u]` means u's prior
@@ -738,6 +1056,13 @@ impl KnnEngine {
             let next =
                 partitioner.partition(&self.graph.to_digraph(), self.config.num_partitions())?;
             if next != self.partitioning {
+                // Resharding rewrites every profile stream in place —
+                // stage them all first.
+                if let Some(txn) = txn.as_mut() {
+                    for p in 0..self.partitioning.num_partitions() as u32 {
+                        txn.backup(backend, CommitTarget::Profiles(p))?;
+                    }
+                }
                 phase1::reshard_profiles(
                     backend,
                     Some(&self.partitioning),
@@ -827,12 +1152,17 @@ impl KnnEngine {
         durations[3] = t0.elapsed();
         io[3] = self.io_now() - before;
 
-        // Phase 5: apply the lazy profile-update queue.
+        // Phase 5: apply the lazy profile-update queue. In commit mode
+        // the consumed log bytes come back here and are truncated by
+        // the commit step below, not by phase 5.
         let before = self.io_now();
         let t0 = Instant::now();
-        let (phase5_stats, updated_users) =
-            self.queue
-                .apply_all(&self.partitioning, backend, self.config.threads())?;
+        let (phase5_stats, updated_users, consumed) = self.queue.apply_all(
+            &self.partitioning,
+            backend,
+            self.config.threads(),
+            txn.as_mut(),
+        )?;
         durations[4] = t0.elapsed();
         io[4] = self.io_now() - before;
 
@@ -853,7 +1183,10 @@ impl KnnEngine {
         });
         self.graph = phase4_out.graph;
         self.iteration += 1;
-        self.persist_state()?;
+        self.persist_state(txn.as_mut())?;
+        if let Some(txn) = txn.take() {
+            txn.commit(backend, self.iteration, &consumed)?;
+        }
 
         let report = IterationReport {
             iteration: self.iteration - 1,

@@ -201,7 +201,7 @@ mod engine;
 mod par;
 
 pub use config::{EngineConfig, EngineConfigBuilder};
-pub use engine::{KnnEngine, Phase2Provider};
+pub use engine::{KnnEngine, Phase2Provider, ScrubReport};
 pub use error::EngineError;
 pub use metrics::IterationReport;
 pub use partition::{Partitioner, PartitionerKind, Partitioning};

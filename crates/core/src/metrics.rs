@@ -105,6 +105,20 @@ impl IterationReport {
         self.phase_io.iter().map(IoSnapshot::bytes_total).sum()
     }
 
+    /// Transient-I/O retries performed across phases (0 in a clean
+    /// run; nonzero only when the backend reported
+    /// [`knn_store::StoreError::Transient`] failures that the retry
+    /// policy absorbed).
+    pub fn retries(&self) -> u64 {
+        self.phase_io.iter().map(|io| io.retries).sum()
+    }
+
+    /// Staged-backup restores performed across phases (0 in a clean
+    /// run; nonzero only when crash recovery rolled streams back).
+    pub fn rollbacks(&self) -> u64 {
+        self.phase_io.iter().map(|io| io.rollbacks).sum()
+    }
+
     /// Fraction of this iteration's unique tuples that stayed inside
     /// one partition; 0 when there were no tuples. Higher is better —
     /// a locality-aware partitioner (e.g.
@@ -246,6 +260,18 @@ mod tests {
         let r = sample();
         assert_eq!(r.total_duration(), Duration::from_millis(50));
         assert_eq!(r.total_bytes(), 5 * 150);
+    }
+
+    #[test]
+    fn retries_and_rollbacks_sum_phases() {
+        let mut r = sample();
+        assert_eq!(r.retries(), 0);
+        assert_eq!(r.rollbacks(), 0);
+        r.phase_io[1].retries = 3;
+        r.phase_io[4].retries = 2;
+        r.phase_io[0].rollbacks = 1;
+        assert_eq!(r.retries(), 5);
+        assert_eq!(r.rollbacks(), 1);
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! iteration `t+1`.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use knn_graph::UserId;
 use knn_sim::{Profile, ProfileDelta};
 use knn_store::backend::{append_delta, read_deltas, read_user_lists, write_user_lists};
-use knn_store::{StorageBackend, StoreError, StreamId};
+use knn_store::delta_log::decode_deltas;
+use knn_store::{CommitTarget, CommitTxn, StorageBackend, StoreError, StreamId};
 
 use crate::par;
 use crate::partition::Partitioning;
@@ -88,10 +90,19 @@ impl UpdateQueue {
     /// memory stays `O(threads × partition)` and the persisted bytes
     /// are thread-count-invariant — and truncates the log.
     ///
-    /// Returns the run statistics plus the **sorted, deduplicated**
-    /// set of users whose profile changed — the input of the engine's
+    /// Returns the run statistics, the **sorted, deduplicated** set of
+    /// users whose profile changed — the input of the engine's
     /// per-user dirty bits: every similarity score involving one of
-    /// these users is stale from the next iteration on.
+    /// these users is stale from the next iteration on — and the raw
+    /// log bytes this call consumed.
+    ///
+    /// With `txn` present the commit protocol is active: each touched
+    /// profile stream is backed up (pre-image staged) before the
+    /// rewrite loop, and the log is **not** truncated here — the
+    /// engine truncates it inside [`CommitTxn::commit`], where the
+    /// consumed-prefix record makes an interrupted truncation
+    /// recoverable. With `txn == None` the legacy behavior is exact:
+    /// rewrite, then truncate.
     ///
     /// # Errors
     ///
@@ -102,10 +113,18 @@ impl UpdateQueue {
         partitioning: &Partitioning,
         backend: &dyn StorageBackend,
         threads: usize,
-    ) -> Result<(Phase5Stats, Vec<u32>), EngineError> {
-        let deltas = read_deltas(backend)?;
+        txn: Option<&mut CommitTxn>,
+    ) -> Result<(Phase5Stats, Vec<u32>, Vec<u8>), EngineError> {
+        // One raw read serves both decoding and the consumed-bytes
+        // return (`read_deltas` is exactly this read + decode, so the
+        // metering is unchanged).
+        let raw = backend.read_updates()?;
+        let deltas = decode_deltas(
+            &raw,
+            &PathBuf::from(format!("{}:updates.log", backend.name())),
+        )?;
         if deltas.is_empty() {
-            return Ok((Phase5Stats::default(), Vec::new()));
+            return Ok((Phase5Stats::default(), Vec::new(), raw));
         }
         let mut by_partition: BTreeMap<u32, Vec<&ProfileDelta>> = BTreeMap::new();
         let mut updated_users: Vec<u32> = Vec::with_capacity(deltas.len());
@@ -128,6 +147,18 @@ impl UpdateQueue {
         // groups run concurrently and nothing is buffered past its
         // own write.
         let groups: Vec<(u32, Vec<&ProfileDelta>)> = by_partition.into_iter().collect();
+        let committing = if let Some(txn) = txn {
+            // Pre-images are staged sequentially, in partition order,
+            // before any worker mutates — the backup traffic is
+            // thread-count-invariant and every touched stream is
+            // restorable whatever op the crash lands on.
+            for (p, _) in &groups {
+                txn.backup(backend, CommitTarget::Profiles(*p))?;
+            }
+            true
+        } else {
+            false
+        };
         par::run_indexed(groups.len(), threads, |idx| {
             let (p, partition_deltas) = &groups[idx];
             let stream = StreamId::Profiles(*p);
@@ -158,8 +189,10 @@ impl UpdateQueue {
             write_user_lists(backend, stream, &new_rows)?;
             Ok(())
         })?;
-        backend.truncate_updates()?;
-        Ok((result, updated_users))
+        if !committing {
+            backend.truncate_updates()?;
+        }
+        Ok((result, updated_users, raw))
     }
 
     /// Reads one user's current stored profile (diagnostics and
@@ -238,7 +271,7 @@ mod tests {
             .unwrap();
         q.queue(&ProfileDelta::set(UserId::new(3), ItemId::new(6), 3.0), &b)
             .unwrap();
-        let (st, updated) = q.apply_all(&p, &b, 1).unwrap();
+        let (st, updated, _) = q.apply_all(&p, &b, 1, None).unwrap();
         assert_eq!(st.updates_applied, 2);
         assert_eq!(st.partitions_rewritten, 1);
         assert_eq!(updated, vec![0, 3], "updated users sorted and deduped");
@@ -258,7 +291,7 @@ mod tests {
             .unwrap();
         q.queue(&ProfileDelta::set(u, ItemId::new(1), 7.0), &b)
             .unwrap();
-        let (_, updated) = q.apply_all(&p, &b, 1).unwrap();
+        let (_, updated, _) = q.apply_all(&p, &b, 1, None).unwrap();
         assert_eq!(
             updated,
             vec![0],
@@ -273,9 +306,9 @@ mod tests {
         let (b, p, mut q) = setup(2, 1);
         q.queue(&ProfileDelta::set(UserId::new(1), ItemId::new(0), 1.0), &b)
             .unwrap();
-        q.apply_all(&p, &b, 1).unwrap();
+        q.apply_all(&p, &b, 1, None).unwrap();
         assert_eq!(q.pending(&b).unwrap(), 0);
-        let (st, updated) = q.apply_all(&p, &b, 1).unwrap();
+        let (st, updated, _) = q.apply_all(&p, &b, 1, None).unwrap();
         assert_eq!(st.updates_applied, 0);
         assert!(updated.is_empty());
     }
@@ -287,10 +320,10 @@ mod tests {
         let full = Profile::from_unsorted_pairs(vec![(1, 1.0), (2, 2.0)]).unwrap();
         q.queue(&ProfileDelta::replace(u, full.clone()), &b)
             .unwrap();
-        q.apply_all(&p, &b, 1).unwrap();
+        q.apply_all(&p, &b, 1, None).unwrap();
         assert_eq!(UpdateQueue::read_profile(u, &p, &b).unwrap(), full);
         q.queue(&ProfileDelta::new(u, DeltaOp::Clear), &b).unwrap();
-        q.apply_all(&p, &b, 1).unwrap();
+        q.apply_all(&p, &b, 1, None).unwrap();
         assert!(UpdateQueue::read_profile(u, &p, &b).unwrap().is_empty());
     }
 
@@ -308,7 +341,7 @@ mod tests {
                 )
                 .unwrap();
             }
-            let (st, _) = q.apply_all(&p, &b, threads).unwrap();
+            let (st, _, _) = q.apply_all(&p, &b, threads, None).unwrap();
             let streams: Vec<Vec<u8>> = (0..4u32)
                 .map(|part| b.read(StreamId::Profiles(part)).unwrap())
                 .collect();
@@ -320,6 +353,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn commit_mode_stages_preimages_and_defers_truncation() {
+        let (b, p, mut q) = setup(6, 3);
+        let before = b.read(StreamId::Profiles(0)).unwrap();
+        q.queue(&ProfileDelta::set(UserId::new(0), ItemId::new(5), 2.0), &b)
+            .unwrap();
+        let mut txn = CommitTxn::new(7);
+        let (st, _, raw) = q.apply_all(&p, &b, 1, Some(&mut txn)).unwrap();
+        assert_eq!(st.partitions_rewritten, 1);
+        // Only the touched partition is staged, under the txn epoch,
+        // holding the pre-image; the log is left for the commit step.
+        assert!(b.exists(StreamId::Staged(CommitTarget::Profiles(0), 7)));
+        assert!(!b.exists(StreamId::Staged(CommitTarget::Profiles(1), 7)));
+        assert_eq!(
+            b.read(StreamId::Staged(CommitTarget::Profiles(0), 7))
+                .unwrap(),
+            before
+        );
+        assert_eq!(b.read_updates().unwrap(), raw);
+        assert!(!raw.is_empty());
+        assert_eq!(
+            q.pending(&b).unwrap(),
+            1,
+            "log not truncated in commit mode"
+        );
     }
 
     #[test]

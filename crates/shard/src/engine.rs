@@ -237,6 +237,65 @@ impl ShardedEngine {
         })
     }
 
+    /// Reopens a sharded engine from shard backends previously
+    /// populated by a sharded constructor **with the same shard
+    /// count** (stream placement is a pure function of the ring). With
+    /// [`EngineConfig::commit_protocol`] on, crash recovery runs first
+    /// — through the router, so every shard's streams converge to the
+    /// common committed generation before any state is trusted (the
+    /// commit record lives on shard 0; each staged backup lives with
+    /// its target's owner).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnEngine::resume_on`], plus an input error for zero
+    /// shards or the legacy tuple pipeline.
+    pub fn resume_on(
+        config: EngineConfig,
+        shards: Vec<Arc<dyn StorageBackend>>,
+    ) -> Result<Self, EngineError> {
+        if shards.is_empty() {
+            return Err(EngineError::input(
+                "a sharded engine needs at least one shard",
+            ));
+        }
+        if config.legacy_tuple_pipeline() {
+            return Err(EngineError::input(
+                "the sharded engine supports only the columnar tuple pipeline",
+            ));
+        }
+        let ring = Arc::new(HashRing::new(shards.len()));
+        let router = Arc::new(ShardRouter::new(shards.clone(), Arc::clone(&ring)));
+        let mut inner =
+            KnnEngine::resume_on(config, Arc::clone(&router) as Arc<dyn StorageBackend>)?;
+
+        let exchange = Arc::new(Mutex::new(ExchangeStats::default()));
+        let fabric: Arc<dyn ExchangeFabric> = Arc::new(ChannelFabric::new(shards.len()));
+        inner.set_phase2_provider(Some(Box::new(ShardedPhase2 {
+            shards: shards.clone(),
+            ring: Arc::clone(&ring),
+            fabric,
+            exchange: Arc::clone(&exchange),
+        })));
+        let meters: Vec<Arc<knn_store::IoStats>> = shards
+            .iter()
+            .map(|s| Arc::clone(s.stats()))
+            .chain(std::iter::once(Arc::clone(router.stats())))
+            .collect();
+        inner.set_io_meter(Some(Arc::new(move || {
+            meters.iter().map(|m| m.snapshot()).sum()
+        })));
+
+        Ok(ShardedEngine {
+            inner,
+            shards,
+            router,
+            ring,
+            exchange,
+            reports: Vec::new(),
+        })
+    }
+
     /// Random-initial-graph constructor over explicit shard backends.
     ///
     /// # Errors
@@ -380,6 +439,23 @@ impl ShardedEngine {
     /// The inner single-driver engine (read-only).
     pub fn inner(&self) -> &KnnEngine {
         &self.inner
+    }
+
+    /// What crash recovery found when this engine was resumed (see
+    /// [`KnnEngine::recovery_report`]).
+    pub fn recovery_report(&self) -> Option<&knn_store::RecoveryReport> {
+        self.inner.recovery_report()
+    }
+
+    /// Scrubs the persisted state across all shards (see
+    /// [`KnnEngine::verify`] — the checks run through the router, so
+    /// every stream is read from its owning shard).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KnnEngine::verify`].
+    pub fn verify(&self) -> Result<knn_core::ScrubReport, EngineError> {
+        self.inner.verify()
     }
 
     /// Materializes the stored profile set `P(t)` (see

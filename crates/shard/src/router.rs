@@ -75,6 +75,11 @@ impl ShardRouter {
             StreamId::TupleBucket(i, _)
             | StreamId::TupleRun(i, _, _)
             | StreamId::ExchangeRun(i, _, _) => self.ring.owner_of_partition(i) as usize,
+            // The commit record is a singleton (like Meta); a staged
+            // backup lives wherever its target lives, so recovery
+            // through the façade restores each shard's own streams.
+            StreamId::Commit => 0,
+            StreamId::Staged(target, _) => self.shard_of(target.stream()),
         }
     }
 
@@ -112,6 +117,17 @@ impl StorageBackend for ShardRouter {
 
     fn write(&self, stream: StreamId, payload: &[u8]) -> Result<(), StoreError> {
         self.owner(stream).write(stream, payload)
+    }
+
+    fn write_raw(&self, stream: StreamId, framed: &[u8]) -> Result<(), StoreError> {
+        self.owner(stream).write_raw(stream, framed)
+    }
+
+    fn copy_stream(&self, from: StreamId, to: StreamId) -> Result<(), StoreError> {
+        // A staged backup routes with its commit target, so both ends
+        // live on the same shard and the copy stays shard-local.
+        debug_assert_eq!(self.shard_of(from), self.shard_of(to));
+        self.owner(from).copy_stream(from, to)
     }
 
     fn delete(&self, stream: StreamId) -> Result<(), StoreError> {
@@ -164,6 +180,24 @@ impl StorageBackend for ShardRouter {
             shard.truncate_updates()?;
         }
         Ok(())
+    }
+
+    fn repair_update_log(&self) -> Result<Option<String>, StoreError> {
+        // Each shard's log is an independent append stream; a torn
+        // tail must be pruned *there* — in the façade's concatenated
+        // view it would sit mid-stream and poison every later shard's
+        // records.
+        let mut dropped: Vec<String> = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Some(detail) = shard.repair_update_log()? {
+                dropped.push(format!("shard {s}: {detail}"));
+            }
+        }
+        Ok(if dropped.is_empty() {
+            None
+        } else {
+            Some(dropped.join("; "))
+        })
     }
 
     fn storage_usage(&self) -> Result<u64, StoreError> {

@@ -17,9 +17,11 @@
 //! * [`MemBackend`] — framed byte buffers in a hash map. It stores the
 //!   **same** encoded bytes (codec header + payload + CRC-32), so the
 //!   layout/checksum code stays covered while the filesystem drops out
-//!   of the iteration loop. Integrity checking is medium-appropriate:
-//!   the disk backend re-verifies the CRC on every read (bytes at rest
-//!   rot), the memory backend does not (RAM buffers don't).
+//!   of the iteration loop. Both backends re-verify the trailing
+//!   CRC-32 on every whole-stream read: corruption — whether rotted
+//!   bytes at rest or a torn write that persisted only a prefix —
+//!   surfaces as the identical [`StoreError::Corrupt`] regardless of
+//!   medium, which the crash-recovery path depends on.
 //!
 //! Typed helpers ([`write_pairs`], [`read_user_lists`], …) sit on top
 //! of the raw byte contract and share the [`crate::record_file`] codec
@@ -91,6 +93,58 @@ pub enum StreamId {
     /// keeping it off the storage meter is what makes the per-phase
     /// `IoSnapshot`s identical at every shard count.
     ExchangeRun(u32, u32, u32),
+    /// The generation commit record: one tiny CRC-framed record naming
+    /// the last durably committed iteration (see `crate::commit`).
+    /// Writing it is the single atomic step that flips a working
+    /// directory's visible generation.
+    Commit,
+    /// A staged pre-image backup of one committed stream, tagged with
+    /// the epoch (committed generation) whose content it preserves.
+    /// The commit protocol copies a committed stream here before the
+    /// engine first mutates it in place; recovery restores or deletes
+    /// these, and a cleanly committed directory contains none.
+    Staged(CommitTarget, u64),
+}
+
+/// A committed stream the atomic-commit protocol may back up before
+/// the engine mutates it in place during an iteration. (`Clusters` is
+/// written once by the pre-pass and never mutated, so it needs no
+/// backup; everything else committed — meta, assignment, profiles,
+/// KNN slices — is rewritten by iterations.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommitTarget {
+    /// The engine metadata map.
+    Meta,
+    /// The user → partition assignment table.
+    Assignment,
+    /// One partition's profiles.
+    Profiles(u32),
+    /// One partition's persisted KNN-graph slice.
+    KnnSlice(u32),
+}
+
+impl CommitTarget {
+    /// The committed stream this target names.
+    pub fn stream(self) -> StreamId {
+        match self {
+            CommitTarget::Meta => StreamId::Meta,
+            CommitTarget::Assignment => StreamId::Assignment,
+            CommitTarget::Profiles(p) => StreamId::Profiles(p),
+            CommitTarget::KnnSlice(p) => StreamId::KnnSlice(p),
+        }
+    }
+
+    /// The backup target for a committed stream, if it is one the
+    /// protocol stages (`None` for scratch and never-mutated streams).
+    pub fn of(stream: StreamId) -> Option<CommitTarget> {
+        match stream {
+            StreamId::Meta => Some(CommitTarget::Meta),
+            StreamId::Assignment => Some(CommitTarget::Assignment),
+            StreamId::Profiles(p) => Some(CommitTarget::Profiles(p)),
+            StreamId::KnnSlice(p) => Some(CommitTarget::KnnSlice(p)),
+            _ => None,
+        }
+    }
 }
 
 impl StreamId {
@@ -108,6 +162,8 @@ impl StreamId {
             StreamId::TupleBucket(..) | StreamId::TupleRun(..) | StreamId::ExchangeRun(..) => {
                 RecordKind::Tuples
             }
+            StreamId::Commit => RecordKind::Commit,
+            StreamId::Staged(target, _) => target.stream().kind(),
         }
     }
 
@@ -136,6 +192,14 @@ impl StreamId {
             StreamId::TupleBucket(i, j) => wd.tuples_path(i, j),
             StreamId::TupleRun(i, j, r) => wd.tuples_path(i, j).with_extension(format!("run{r}")),
             StreamId::ExchangeRun(i, j, r) => wd.tuples_path(i, j).with_extension(format!("x{r}")),
+            StreamId::Commit => wd.commit_path(),
+            StreamId::Staged(target, epoch) => {
+                // The backup sits next to its target: `<file>.bak<epoch>`.
+                let base = target.stream().path_in(wd);
+                let mut name = base.file_name().expect("stream file name").to_os_string();
+                name.push(format!(".bak{epoch}"));
+                base.with_file_name(name)
+            }
         }
     }
 
@@ -160,6 +224,8 @@ impl fmt::Display for StreamId {
             StreamId::TupleBucket(i, j) => write!(f, "t{i:04}_{j:04}.tuples"),
             StreamId::TupleRun(i, j, r) => write!(f, "t{i:04}_{j:04}.run{r}"),
             StreamId::ExchangeRun(i, j, r) => write!(f, "t{i:04}_{j:04}.x{r}"),
+            StreamId::Commit => write!(f, "commit"),
+            StreamId::Staged(target, epoch) => write!(f, "{}.bak{epoch}", target.stream()),
         }
     }
 }
@@ -170,12 +236,13 @@ impl fmt::Display for StreamId {
 /// Implementations store **framed** records — the codec payload
 /// followed by its CRC-32, exactly the bytes [`record_file::frame`]
 /// produces — and [`read`](StorageBackend::read) returns the payload
-/// with the frame stripped. How much integrity checking a read does
-/// is the backend's choice, matched to its medium: [`DiskBackend`]
-/// re-verifies the checksum on every read and fails with
-/// [`StoreError::Corrupt`], while [`MemBackend`] trusts its own RAM
-/// buffers. All byte and operation counts flow into the backend's
-/// [`IoStats`] so different backends are compared with the same meter.
+/// with the frame stripped, **re-verifying the checksum on every
+/// read**: a torn or rotted record must fail with
+/// [`StoreError::Corrupt`] identically on every backend, because
+/// crash recovery uses that signal to distinguish intact streams from
+/// partially persisted ones. All byte and operation counts flow into
+/// the backend's [`IoStats`] so different backends are compared with
+/// the same meter.
 ///
 /// Prefer the typed helpers ([`write_pairs`] and friends) over
 /// the raw [`read`](StorageBackend::read)/[`write`](StorageBackend::write)
@@ -236,6 +303,46 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     /// [`StoreError::Io`] on storage failure.
     fn write(&self, stream: StreamId, payload: &[u8]) -> Result<(), StoreError>;
 
+    /// Stores one stream's **framed** representation verbatim —
+    /// `framed` is payload + trailing CRC-32, or a deliberately torn
+    /// prefix of such a frame. This is the escape hatch fault-injection
+    /// harnesses use to persist a *genuinely* torn write (re-framing a
+    /// prefix through [`write`](StorageBackend::write) would mint a
+    /// fresh valid checksum and defeat corruption detection). Metered
+    /// as one write of `framed.len()` bytes, like `write`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on storage failure, or if the backend does
+    /// not support raw writes (the default).
+    fn write_raw(&self, stream: StreamId, framed: &[u8]) -> Result<(), StoreError> {
+        let _ = framed;
+        Err(StoreError::io(
+            self.describe(stream),
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "backend does not support raw framed writes",
+            ),
+        ))
+    }
+
+    /// Copies `from`'s record into `to`, replacing any previous
+    /// content. Semantically `read` + `write` — and metered exactly
+    /// like that pair (one read and one write of the framed length) —
+    /// but backends may move the framed bytes natively without
+    /// decoding, re-framing, or verifying the checksum. The commit
+    /// protocol's pre-image backups ride this path, so copying
+    /// verbatim is a feature: a rollback restores byte-for-byte what
+    /// was committed, even if that record was already damaged.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if `from` is absent or storage fails.
+    fn copy_stream(&self, from: StreamId, to: StreamId) -> Result<(), StoreError> {
+        let payload = self.read(from)?;
+        self.write(to, &payload)
+    }
+
     /// Deletes one stream (no-op if absent).
     ///
     /// # Errors
@@ -290,6 +397,32 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     ///
     /// [`StoreError::Io`] on storage failure.
     fn truncate_updates(&self) -> Result<(), StoreError>;
+
+    /// Detects a torn tail on the durable update log — a crash
+    /// mid-append leaves a partial final record — and drops it at the
+    /// last whole-record boundary, rewriting the log to its longest
+    /// cleanly decodable prefix. Returns a description of what was
+    /// dropped, or `None` when the log was already clean (the common
+    /// case; nothing is rewritten then). Sharding facades override
+    /// this to repair each shard's log independently, since a torn
+    /// tail sits mid-concatenation in the merged view.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on storage failure.
+    fn repair_update_log(&self) -> Result<Option<String>, StoreError> {
+        let bytes = self.read_updates()?;
+        let path = PathBuf::from(format!("{}:updates.log", self.name()));
+        let prefix = crate::delta_log::decode_delta_prefix(&bytes, &path);
+        let Some(dropped) = prefix.dropped else {
+            return Ok(None);
+        };
+        self.truncate_updates()?;
+        if prefix.consumed > 0 {
+            self.append_updates(&bytes[..prefix.consumed])?;
+        }
+        Ok(Some(dropped))
+    }
 
     /// Total bytes currently stored across all streams and the log.
     ///
@@ -564,6 +697,34 @@ impl StorageBackend for DiskBackend {
         Ok(())
     }
 
+    fn write_raw(&self, stream: StreamId, framed: &[u8]) -> Result<(), StoreError> {
+        let path = stream.path_in(&self.workdir);
+        std::fs::write(&path, framed).map_err(|e| StoreError::io(&path, e))?;
+        if !stream.is_unmetered() {
+            self.stats.record_write(framed.len() as u64);
+        }
+        Ok(())
+    }
+
+    fn copy_stream(&self, from: StreamId, to: StreamId) -> Result<(), StoreError> {
+        // Spill runs meter on a dedicated axis in `write`; route them
+        // through the decode path so the accounting stays uniform.
+        if matches!(to, StreamId::TupleRun(..)) {
+            let payload = self.read(from)?;
+            return self.write(to, &payload);
+        }
+        let src = from.path_in(&self.workdir);
+        let dst = to.path_in(&self.workdir);
+        let len = std::fs::copy(&src, &dst).map_err(|e| StoreError::io(&src, e))?;
+        if !from.is_unmetered() {
+            self.stats.record_read(len);
+        }
+        if !to.is_unmetered() {
+            self.stats.record_write(len);
+        }
+        Ok(())
+    }
+
     fn delete(&self, stream: StreamId) -> Result<(), StoreError> {
         let path = stream.path_in(&self.workdir);
         match std::fs::remove_file(&path) {
@@ -580,15 +741,6 @@ impl StorageBackend for DiskBackend {
     fn list(&self) -> Result<Vec<StreamId>, StoreError> {
         let root = self.workdir.root();
         let mut streams = Vec::new();
-        for (file, stream) in [
-            ("meta.bin", StreamId::Meta),
-            ("assignment.bin", StreamId::Assignment),
-            ("clusters.bin", StreamId::Clusters),
-        ] {
-            if root.join(file).exists() {
-                streams.push(stream);
-            }
-        }
         let read_dir = |dir: PathBuf| -> Result<Vec<String>, StoreError> {
             let mut names = Vec::new();
             match std::fs::read_dir(&dir) {
@@ -605,6 +757,11 @@ impl StorageBackend for DiskBackend {
             }
             Ok(names)
         };
+        for name in read_dir(root.to_path_buf())? {
+            if let Some(stream) = parse_root_name(&name) {
+                streams.push(stream);
+            }
+        }
         for name in read_dir(root.join("parts"))? {
             if let Some(stream) = parse_part_name(&name) {
                 streams.push(stream);
@@ -673,9 +830,37 @@ impl StorageBackend for DiskBackend {
     }
 }
 
-/// Parses a `parts/` file name (`p0042.profiles`, …) back to its
-/// stream id; foreign names yield `None`.
+/// Parses a root-level file name back to its stream id; directories
+/// (`parts`, `tuples`), the update log, and foreign names yield `None`.
+fn parse_root_name(name: &str) -> Option<StreamId> {
+    match name {
+        "meta.bin" => return Some(StreamId::Meta),
+        "assignment.bin" => return Some(StreamId::Assignment),
+        "clusters.bin" => return Some(StreamId::Clusters),
+        "commit.bin" => return Some(StreamId::Commit),
+        _ => {}
+    }
+    let (base, epoch) = name.rsplit_once(".bak")?;
+    let epoch: u64 = epoch.parse().ok()?;
+    match base {
+        "meta.bin" => Some(StreamId::Staged(CommitTarget::Meta, epoch)),
+        "assignment.bin" => Some(StreamId::Staged(CommitTarget::Assignment, epoch)),
+        _ => None,
+    }
+}
+
+/// Parses a `parts/` file name (`p0042.profiles`, or a staged backup
+/// `p0042.profiles.bak3`, …) back to its stream id; foreign names
+/// yield `None`.
 fn parse_part_name(name: &str) -> Option<StreamId> {
+    if let Some((base, epoch)) = name.rsplit_once(".bak") {
+        let epoch: u64 = epoch.parse().ok()?;
+        return match parse_part_name(base)? {
+            StreamId::Profiles(p) => Some(StreamId::Staged(CommitTarget::Profiles(p), epoch)),
+            StreamId::KnnSlice(p) => Some(StreamId::Staged(CommitTarget::KnnSlice(p), epoch)),
+            _ => None,
+        };
+    }
     let rest = name.strip_prefix('p')?;
     let (digits, ext) = rest.split_once('.')?;
     let p: u32 = digits.parse().ok()?;
@@ -732,7 +917,7 @@ impl MemBackend {
         Self::default()
     }
 
-    fn lock_streams(&self) -> std::sync::MutexGuard<'_, HashMap<StreamId, Vec<u8>>> {
+    pub(crate) fn lock_streams(&self) -> std::sync::MutexGuard<'_, HashMap<StreamId, Vec<u8>>> {
         self.streams.lock().expect("mem backend poisoned")
     }
 }
@@ -747,7 +932,7 @@ impl StorageBackend for MemBackend {
     }
 
     fn read(&self, stream: StreamId) -> Result<Vec<u8>, StoreError> {
-        let mut bytes = self.lock_streams().get(&stream).cloned().ok_or_else(|| {
+        let bytes = self.lock_streams().get(&stream).cloned().ok_or_else(|| {
             StoreError::io(
                 self.describe(stream),
                 std::io::Error::new(std::io::ErrorKind::NotFound, "no such stream"),
@@ -757,18 +942,12 @@ impl StorageBackend for MemBackend {
             self.stats.record_read(bytes.len() as u64);
         }
         // The stored bytes are the full frame (identical to what the
-        // disk backend persists), but RAM buffers cannot rot the way
-        // bytes at rest can, so the checksum is written once and not
-        // re-verified on every read — that is the bulk of the
-        // in-memory fast path.
-        if bytes.len() < 4 {
-            return Err(StoreError::corrupt(
-                self.describe(stream),
-                "record shorter than its checksum",
-            ));
-        }
-        bytes.truncate(bytes.len() - 4);
-        Ok(bytes)
+        // disk backend persists). The checksum is re-verified on every
+        // read even though RAM buffers don't rot: a torn raw write (a
+        // crash mid-persist, injected or real) leaves a prefix whose
+        // only tell is the frame, and corruption must surface as the
+        // same Corrupt error on every backend.
+        record_file::verify_unframe(bytes, &self.describe(stream))
     }
 
     fn read_chunk(&self, stream: StreamId, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
@@ -799,6 +978,40 @@ impl StorageBackend for MemBackend {
             self.stats.record_spill(framed.len() as u64);
         }
         self.lock_streams().insert(stream, framed);
+        Ok(())
+    }
+
+    fn write_raw(&self, stream: StreamId, framed: &[u8]) -> Result<(), StoreError> {
+        if !stream.is_unmetered() {
+            self.stats.record_write(framed.len() as u64);
+        }
+        self.lock_streams().insert(stream, framed.to_vec());
+        Ok(())
+    }
+
+    fn copy_stream(&self, from: StreamId, to: StreamId) -> Result<(), StoreError> {
+        // Spill runs meter on a dedicated axis in `write`; keep them
+        // on the decode path, same as DiskBackend.
+        if matches!(to, StreamId::TupleRun(..)) {
+            let payload = self.read(from)?;
+            return self.write(to, &payload);
+        }
+        let mut streams = self.lock_streams();
+        let bytes = streams.get(&from).cloned().ok_or_else(|| {
+            StoreError::io(
+                self.describe(from),
+                std::io::Error::new(std::io::ErrorKind::NotFound, "no such stream"),
+            )
+        })?;
+        let len = bytes.len() as u64;
+        streams.insert(to, bytes);
+        drop(streams);
+        if !from.is_unmetered() {
+            self.stats.record_read(len);
+        }
+        if !to.is_unmetered() {
+            self.stats.record_write(len);
+        }
         Ok(())
     }
 
@@ -1088,6 +1301,107 @@ mod tests {
         );
         assert_eq!(parse_part_name("garbage"), None);
         assert_eq!(parse_tuple_name("t00_xx.nope"), None);
+    }
+
+    /// The CRC parity contract (regression for the PR-2 gap): a
+    /// corrupted frame — here a torn prefix persisted via `write_raw`,
+    /// exactly what a crash mid-write leaves — fails the read with
+    /// `Corrupt` on **both** backends, not just disk.
+    #[test]
+    fn corrupt_frames_fail_reads_identically_on_both_backends() {
+        for (b, wd) in backends() {
+            let b = b.as_ref();
+            let stream = StreamId::Profiles(0);
+            let payload = record_file::encode_user_lists(
+                RecordKind::Profiles,
+                &[(7, vec![(1, 1.0)]), (8, vec![(2, -0.5)])],
+            );
+            let framed = record_file::frame(&payload);
+
+            // A bit flip inside the stored frame.
+            let mut flipped = framed.clone();
+            flipped[18] ^= 0x40;
+            b.write_raw(stream, &flipped).unwrap();
+            let err = b.read(stream).unwrap_err();
+            assert!(
+                matches!(&err, StoreError::Corrupt { detail, .. } if detail.contains("checksum")),
+                "{}: {err}",
+                b.name()
+            );
+
+            // A torn prefix (write persisted only part of the frame).
+            b.write_raw(stream, &framed[..framed.len() / 2]).unwrap();
+            let err = b.read(stream).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt { .. }),
+                "{}: {err}",
+                b.name()
+            );
+
+            // The intact frame reads back fine.
+            b.write_raw(stream, &framed).unwrap();
+            assert_eq!(b.read(stream).unwrap(), payload.to_vec());
+            destroy(wd);
+        }
+    }
+
+    #[test]
+    fn commit_and_staged_streams_round_trip_and_list() {
+        for (b, wd) in backends() {
+            let b = b.as_ref();
+            b.write(StreamId::Commit, b"commit-payload").unwrap();
+            let staged = [
+                StreamId::Staged(CommitTarget::Meta, 3),
+                StreamId::Staged(CommitTarget::Assignment, 3),
+                StreamId::Staged(CommitTarget::Profiles(2), 3),
+                StreamId::Staged(CommitTarget::KnnSlice(11), 4),
+            ];
+            for (i, s) in staged.iter().enumerate() {
+                b.write(*s, &[i as u8; 8]).unwrap();
+            }
+            assert_eq!(b.read(StreamId::Commit).unwrap(), b"commit-payload");
+            for (i, s) in staged.iter().enumerate() {
+                assert_eq!(b.read(*s).unwrap(), vec![i as u8; 8]);
+                assert!(b.exists(*s));
+            }
+            let mut listed = b.list().unwrap();
+            listed.sort_unstable();
+            let mut expected = vec![StreamId::Commit];
+            expected.extend(staged);
+            expected.sort_unstable();
+            assert_eq!(listed, expected);
+            // Backups sit outside the epoch they don't belong to:
+            // deleting them is ordinary stream deletion.
+            for s in staged {
+                b.delete(s).unwrap();
+                assert!(!b.exists(s));
+            }
+            destroy(wd);
+        }
+    }
+
+    #[test]
+    fn staged_names_parse_back_and_never_collide_with_bases() {
+        for (target, epoch) in [
+            (CommitTarget::Profiles(7), 0u64),
+            (CommitTarget::KnnSlice(3), 12),
+        ] {
+            let s = StreamId::Staged(target, epoch);
+            assert_eq!(parse_part_name(&s.to_string()), Some(s));
+        }
+        assert_eq!(
+            parse_root_name("meta.bin.bak5"),
+            Some(StreamId::Staged(CommitTarget::Meta, 5))
+        );
+        assert_eq!(
+            parse_root_name("assignment.bin.bak0"),
+            Some(StreamId::Staged(CommitTarget::Assignment, 0))
+        );
+        assert_eq!(parse_root_name("commit.bin"), Some(StreamId::Commit));
+        assert_eq!(parse_root_name("updates.log"), None);
+        assert_eq!(parse_root_name("parts"), None);
+        assert_eq!(parse_part_name("p0001.accum.bak2"), None);
+        assert_eq!(parse_part_name("p0001.profiles.bakx"), None);
     }
 
     /// Exchange-run traffic is invisible to the I/O meter on both

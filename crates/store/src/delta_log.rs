@@ -171,6 +171,55 @@ pub fn decode_deltas(bytes: &[u8], path: &Path) -> Result<Vec<ProfileDelta>, Sto
     Ok(deltas)
 }
 
+/// The longest decodable prefix of a (possibly torn) delta log — see
+/// [`decode_delta_prefix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaPrefix {
+    /// Every delta decoded before the first undecodable record.
+    pub deltas: Vec<ProfileDelta>,
+    /// Byte length of that valid prefix: the log truncated to
+    /// `consumed` bytes re-decodes cleanly to exactly `deltas`.
+    pub consumed: usize,
+    /// Why the scan stopped short — detail of the first undecodable
+    /// record — or `None` when the whole log decoded.
+    pub dropped: Option<String>,
+}
+
+/// Tolerantly decodes the longest valid prefix of a delta log,
+/// stopping at the first record that fails to decode instead of
+/// erroring. A crash mid-append leaves a torn final record; recovery
+/// uses this to keep every whole record, truncate the log at the last
+/// record boundary, and report (never silently swallow) the dropped
+/// tail. This function never fails — a fully corrupt log yields an
+/// empty prefix.
+pub fn decode_delta_prefix(bytes: &[u8], path: &Path) -> DeltaPrefix {
+    let mut buf = bytes;
+    let mut deltas = Vec::new();
+    while buf.has_remaining() {
+        // Slices are `Buf` by advancing the reference, so a copy of the
+        // reference checkpoints the record boundary.
+        let checkpoint = buf;
+        match decode_delta(&mut buf, path) {
+            Ok(delta) => deltas.push(delta),
+            Err(err) => {
+                return DeltaPrefix {
+                    deltas,
+                    consumed: bytes.len() - checkpoint.len(),
+                    dropped: Some(format!(
+                        "{} trailing bytes dropped at record boundary: {err}",
+                        checkpoint.len()
+                    )),
+                };
+            }
+        }
+    }
+    DeltaPrefix {
+        deltas,
+        consumed: bytes.len(),
+        dropped: None,
+    }
+}
+
 fn decode_delta(buf: &mut impl Buf, path: &Path) -> Result<ProfileDelta, StoreError> {
     need(buf, 5, "delta header", path)?;
     let user = UserId::new(buf.get_u32_le());
@@ -321,6 +370,62 @@ mod tests {
             Err(StoreError::Corrupt { .. })
         ));
         wd.destroy().unwrap();
+    }
+
+    /// The torn-tail fixture the crash-recovery path depends on: for a
+    /// log of whole records plus one final record truncated at *every*
+    /// possible byte offset, the tolerant decode returns exactly the
+    /// whole records, a consumed length at the last record boundary,
+    /// and a non-silent report of the dropped tail.
+    #[test]
+    fn torn_tail_is_dropped_at_the_record_boundary_for_every_offset() {
+        let whole = vec![
+            ProfileDelta::set(UserId::new(1), ItemId::new(10), 2.5),
+            ProfileDelta::remove(UserId::new(2), ItemId::new(11)),
+            ProfileDelta::new(UserId::new(3), DeltaOp::Clear),
+        ];
+        let mut prefix_bytes = BytesMut::new();
+        for d in &whole {
+            encode_delta(&mut prefix_bytes, d);
+        }
+        let boundary = prefix_bytes.len();
+        // One final record of each shape, torn at every byte offset.
+        let finals = vec![
+            ProfileDelta::set(UserId::new(4), ItemId::new(12), -1.5),
+            ProfileDelta::replace(
+                UserId::new(5),
+                Profile::from_unsorted_pairs(vec![(5, 1.0), (6, 2.0)]).unwrap(),
+            ),
+        ];
+        let path = PathBuf::from("/test/updates.log");
+        for last in finals {
+            let mut full = prefix_bytes.clone();
+            encode_delta(&mut full, &last);
+            // Untorn: everything decodes, nothing dropped.
+            let intact = decode_delta_prefix(&full, &path);
+            assert_eq!(intact.consumed, full.len());
+            assert!(intact.dropped.is_none());
+            assert_eq!(intact.deltas.len(), whole.len() + 1);
+            // Torn at every offset strictly inside the final record.
+            for cut in boundary..full.len() - 1 {
+                let torn = &full[..=cut];
+                let out = decode_delta_prefix(torn, &path);
+                assert_eq!(out.deltas, whole, "cut at {cut}");
+                assert_eq!(out.consumed, boundary, "cut at {cut}");
+                let detail = out.dropped.expect("torn tail must be reported");
+                assert!(detail.contains("dropped"), "{detail}");
+                // The strict decoder must refuse the same bytes.
+                assert!(decode_deltas(torn, &path).is_err(), "cut at {cut}");
+            }
+        }
+        // A fully corrupt log (bad tag in record 0) salvages nothing
+        // but still does not error or panic.
+        let mut bad = prefix_bytes.to_vec();
+        bad[4] = 200;
+        let out = decode_delta_prefix(&bad, &path);
+        assert!(out.deltas.is_empty());
+        assert_eq!(out.consumed, 0);
+        assert!(out.dropped.is_some());
     }
 
     #[test]

@@ -30,6 +30,17 @@ pub enum StoreError {
         /// Version this build expects.
         expected: u16,
     },
+    /// A transient storage failure: the operation did not take effect
+    /// but retrying it may succeed (flaky device, momentary
+    /// contention). Produced by fault-injecting backends and cloud-ish
+    /// backends; the engine retries these under a bounded deterministic
+    /// policy before giving up (see `retry`).
+    Transient {
+        /// The stream involved, when known.
+        path: Option<PathBuf>,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl StoreError {
@@ -47,6 +58,19 @@ impl StoreError {
             path: path.into(),
             detail: detail.into(),
         }
+    }
+
+    /// Builds a transient (retryable) error.
+    pub fn transient(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StoreError::Transient {
+            path: Some(path.into()),
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient { .. })
     }
 }
 
@@ -73,6 +97,15 @@ impl fmt::Display for StoreError {
                     "file {} has codec version {found}, expected {expected}",
                     path.display()
                 )
+            }
+            StoreError::Transient {
+                path: Some(p),
+                detail,
+            } => {
+                write!(f, "transient storage error on {}: {detail}", p.display())
+            }
+            StoreError::Transient { path: None, detail } => {
+                write!(f, "transient storage error: {detail}")
             }
         }
     }
@@ -114,10 +147,22 @@ mod tests {
                 found: 9,
                 expected: 1,
             },
+            StoreError::transient("/tmp/w", "flaky device"),
+            StoreError::Transient {
+                path: None,
+                detail: "flaky device".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn transient_is_the_only_retryable_variant() {
+        assert!(StoreError::transient("/f", "x").is_transient());
+        assert!(!StoreError::corrupt("/f", "x").is_transient());
+        assert!(!StoreError::from(io::Error::other("x")).is_transient());
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct IoStats {
     spill_runs: AtomicU64,
     merge_passes: AtomicU64,
     log_drain_bytes: AtomicU64,
+    retries: AtomicU64,
+    rollbacks: AtomicU64,
 }
 
 impl IoStats {
@@ -86,6 +88,21 @@ impl IoStats {
         self.log_drain_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records one retried storage operation (a transient failure that
+    /// was re-attempted under the bounded retry policy). Zero in any
+    /// fault-free run, so the cross-backend/thread/shard equality
+    /// contracts are unaffected.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one generation rollback performed during crash
+    /// recovery (staged backups restored over torn committed streams).
+    /// Zero in any run that never crashed.
+    pub fn record_rollback(&self) {
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Folds another meter's current totals into this one (used to
     /// aggregate per-shard backends into one cross-shard view).
     ///
@@ -117,6 +134,8 @@ impl IoStats {
             .fetch_add(snap.merge_passes, Ordering::Relaxed);
         self.log_drain_bytes
             .fetch_add(snap.log_drain_bytes, Ordering::Relaxed);
+        self.retries.fetch_add(snap.retries, Ordering::Relaxed);
+        self.rollbacks.fetch_add(snap.rollbacks, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot of all counters (individual
@@ -134,6 +153,8 @@ impl IoStats {
             spill_runs: self.spill_runs.load(Ordering::Relaxed),
             merge_passes: self.merge_passes.load(Ordering::Relaxed),
             log_drain_bytes: self.log_drain_bytes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -149,6 +170,8 @@ impl IoStats {
         self.spill_runs.store(0, Ordering::Relaxed);
         self.merge_passes.store(0, Ordering::Relaxed);
         self.log_drain_bytes.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.rollbacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -191,6 +214,12 @@ pub struct IoSnapshot {
     /// drains carry no operation count — see
     /// [`IoStats::record_log_drain`]).
     pub log_drain_bytes: u64,
+    /// Number of storage operations retried after a transient failure
+    /// (zero on a fault-free run).
+    pub retries: u64,
+    /// Number of generation rollbacks performed during crash recovery
+    /// (zero on a run that never crashed).
+    pub rollbacks: u64,
 }
 
 impl IoSnapshot {
@@ -220,6 +249,8 @@ impl Sub for IoSnapshot {
             spill_runs: self.spill_runs.saturating_sub(rhs.spill_runs),
             merge_passes: self.merge_passes.saturating_sub(rhs.merge_passes),
             log_drain_bytes: self.log_drain_bytes.saturating_sub(rhs.log_drain_bytes),
+            retries: self.retries.saturating_sub(rhs.retries),
+            rollbacks: self.rollbacks.saturating_sub(rhs.rollbacks),
         }
     }
 }
@@ -239,6 +270,8 @@ impl Add for IoSnapshot {
             spill_runs: self.spill_runs + rhs.spill_runs,
             merge_passes: self.merge_passes + rhs.merge_passes,
             log_drain_bytes: self.log_drain_bytes + rhs.log_drain_bytes,
+            retries: self.retries + rhs.retries,
+            rollbacks: self.rollbacks + rhs.rollbacks,
         }
     }
 }
@@ -256,7 +289,8 @@ impl fmt::Display for IoSnapshot {
         write!(
             f,
             "read {} B in {} ops, wrote {} B in {} ops, {} loads / {} unloads, \
-             {} B spilled in {} runs / {} merges, {} B drained from the log",
+             {} B spilled in {} runs / {} merges, {} B drained from the log, \
+             {} retries / {} rollbacks",
             self.bytes_read,
             self.read_ops,
             self.bytes_written,
@@ -266,7 +300,9 @@ impl fmt::Display for IoSnapshot {
             self.spill_bytes,
             self.spill_runs,
             self.merge_passes,
-            self.log_drain_bytes
+            self.log_drain_bytes,
+            self.retries,
+            self.rollbacks
         )
     }
 }
@@ -432,5 +468,25 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!IoSnapshot::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn retry_and_rollback_counters_round_trip() {
+        let s = IoStats::new();
+        s.record_retry();
+        s.record_retry();
+        s.record_rollback();
+        let snap = s.snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.rollbacks, 1);
+        let total = IoStats::new();
+        total.merge(&s);
+        assert_eq!(total.snapshot().retries, 2);
+        assert_eq!(total.snapshot().rollbacks, 1);
+        let delta = snap - IoSnapshot::default();
+        assert_eq!(delta.retries, 2);
+        assert_eq!((snap + snap).rollbacks, 2);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
     }
 }

@@ -122,6 +122,12 @@ impl WorkingDir {
         self.root.join("updates.log")
     }
 
+    /// Path of the generation commit record (absent in pre-protocol
+    /// legacy layouts; see `knn_store::commit`).
+    pub fn commit_path(&self) -> PathBuf {
+        self.root.join("commit.bin")
+    }
+
     /// Removes every tuple bucket (phase 2 of each iteration starts
     /// clean).
     ///

@@ -33,6 +33,31 @@
 //!   load/unload operation counts are exactly the metric of the paper's
 //!   Table 1.
 //!
+//! # Durability & crash consistency
+//!
+//! The engine rewrites its committed streams in place each iteration,
+//! so three modules turn that into an atomic, testable contract:
+//!
+//! * [`commit`] — the generation-stamped commit protocol: staged
+//!   pre-image backups ([`backend::StreamId::Staged`]) taken before a
+//!   committed stream is first mutated, one CRC-framed commit record
+//!   ([`commit::CommitRecord`]) whose rewrite atomically flips the
+//!   visible generation, and [`commit::recover`], which rolls any
+//!   crash shape back to the last committed generation (restoring
+//!   backups, finishing interrupted log truncations, pruning torn log
+//!   tails at the record boundary, deleting orphaned scratch).
+//!   Pre-protocol working directories — no commit record, no staged
+//!   streams — are recognized and left untouched, so legacy layouts
+//!   still resume.
+//! * [`fault`] — [`fault::FaultBackend`], a backend decorator running
+//!   a seeded, scripted fault plan (crash the Nth op, torn write,
+//!   transient run, ENOSPC) so recovery is *property-tested* at every
+//!   kill point instead of spot-checked.
+//! * [`retry`] — [`retry::RetryBackend`], bounded deterministic
+//!   retries (capped exponential backoff, seeded jitter) for
+//!   [`StoreError::Transient`] failures, counted on the [`IoStats`]
+//!   meter (`retries`; rollbacks land on `rollbacks`).
+//!
 //! ```
 //! use knn_store::{IoStats, SlotCache};
 //!
@@ -48,20 +73,26 @@
 pub mod backend;
 pub mod cache;
 pub mod codec;
+pub mod commit;
 pub mod crc32;
 pub mod delta_log;
 pub mod disk_model;
 pub mod error;
+pub mod fault;
 pub mod io_stats;
 pub mod layout;
 pub mod record_file;
+pub mod retry;
 pub mod tuple_stream;
 
-pub use backend::{DiskBackend, MemBackend, StorageBackend, StreamId};
+pub use backend::{CommitTarget, DiskBackend, MemBackend, StorageBackend, StreamId};
 pub use cache::{CacheCounters, SlotCache};
+pub use commit::{recover, CommitRecord, CommitTxn, RecoveryReport};
 pub use disk_model::DiskModel;
 pub use error::StoreError;
+pub use fault::{FaultBackend, FaultKind, FaultPlan};
 pub use io_stats::{IoSnapshot, IoStats};
 pub use layout::WorkingDir;
 pub use record_file::RecordKind;
+pub use retry::{RetryBackend, RetryPolicy};
 pub use tuple_stream::{DecodeStep, TupleDecoder, TupleRow, TupleStreamReader, TupleStreamWriter};

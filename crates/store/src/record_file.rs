@@ -51,6 +51,8 @@ pub enum RecordKind {
     TuplesV2 = 10,
     /// User → cluster-label rows (the locality pre-pass artifact).
     Clusters = 11,
+    /// The generation commit record (see `crate::commit`).
+    Commit = 12,
 }
 
 /// Appends the trailing CRC-32 frame to a codec payload, producing the

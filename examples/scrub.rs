@@ -1,0 +1,54 @@
+//! Storage scrub: verify a working store's on-disk invariants.
+//!
+//! The engine's `verify()` walks every committed stream — the commit
+//! record, metadata, the assignment, per-partition profiles and KNN
+//! slices, the update log — and cross-checks them against each other:
+//! CRC framing intact, every user assigned exactly once, profiles and
+//! neighbor slices housed in their assigned partitions, no staged
+//! backups or spill scratch left at rest. A crash, a torn write, or a
+//! bad disk shows up here as a finding instead of a wrong answer
+//! later.
+//!
+//! The demo runs a few iterations, scrubs clean, then corrupts a
+//! stream in place and scrubs again to show detection.
+//!
+//! ```sh
+//! cargo run --release --example scrub
+//! ```
+
+use std::sync::Arc;
+
+use ooc_knn::store::{MemBackend, StorageBackend, StreamId};
+use ooc_knn::{EngineConfig, KnnEngine, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadConfig::recommender().build(2000, 42);
+    let config = EngineConfig::builder(2000)
+        .k(10)
+        .num_partitions(8)
+        .measure(workload.measure)
+        .seed(42)
+        .build()?;
+
+    // Any backend works — the scrub goes through the same trait the
+    // engine writes through. Swap in `KnnEngine::resume` on a real
+    // working directory to scrub an existing on-disk store.
+    let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let mut engine = KnnEngine::new_on(config, workload.profiles, Arc::clone(&backend))?;
+    for _ in 0..3 {
+        engine.run_iteration()?;
+    }
+
+    let report = engine.verify()?;
+    println!("after 3 iterations: {report}");
+    assert!(report.is_clean());
+
+    // Corrupt one profile stream's framing in place, the way a torn
+    // sector would, and scrub again.
+    backend.write_raw(StreamId::Profiles(0), b"torn sector")?;
+    let report = engine.verify()?;
+    println!("after corrupting {}: {report}", StreamId::Profiles(0));
+    assert!(!report.is_clean());
+
+    Ok(())
+}
